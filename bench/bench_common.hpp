@@ -1,0 +1,110 @@
+// Shared plumbing for the exhibit-reproduction benchmark binaries.
+//
+// Every binary accepts:
+//   --quick        smaller problem sizes (CI-friendly; default)
+//   --full         paper-scale problem sizes
+//   --reps N       repetitions per measurement (default 3, best-of)
+//   --csv PATH     append rows to a CSV file
+//
+// and prints a Report (see finbench/harness/report.hpp): measured host
+// throughput per optimization level and width, SNB-EP/KNC projections via
+// the measured-efficiency x Table-I roofline substitution, the paper's
+// numbers where the text states them, and PASS/FAIL shape checks.
+
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "finbench/arch/machine_model.hpp"
+#include "finbench/arch/timing.hpp"
+#include "finbench/harness/report.hpp"
+
+namespace finbench::bench {
+
+struct Options {
+  bool full = false;
+  int reps = 3;
+  std::string csv;
+
+  static Options parse(int argc, char** argv) {
+    Options o;
+    for (int i = 1; i < argc; ++i) {
+      if (!std::strcmp(argv[i], "--full")) o.full = true;
+      else if (!std::strcmp(argv[i], "--quick")) o.full = false;
+      else if (!std::strcmp(argv[i], "--reps") && i + 1 < argc) o.reps = std::atoi(argv[++i]);
+      else if (!std::strcmp(argv[i], "--csv") && i + 1 < argc) o.csv = argv[++i];
+      else if (!std::strcmp(argv[i], "--help")) {
+        std::printf("usage: %s [--quick|--full] [--reps N] [--csv PATH]\n", argv[0]);
+        std::exit(0);
+      }
+    }
+    return o;
+  }
+};
+
+// Measure items/second: best-of-reps wall time of fn() processing `items`.
+template <class F>
+double items_per_sec(std::size_t items, int reps, F&& fn) {
+  fn();  // warm-up (page-in, code, caches)
+  const double secs = arch::best_of(reps, fn);
+  return static_cast<double>(items) / secs;
+}
+
+// The DESIGN.md §1 projection: scale the host-measured throughput of a
+// W-wide code path to a modeled machine via the ratio of rooflines.
+//
+//   efficiency = host_measured / host_roofline(width-adjusted)
+//   projected  = efficiency x model_roofline
+//
+// The host roofline is adjusted to the SIMD width actually exercised so a
+// 4-wide measurement projects SNB-EP and an 8-wide measurement projects
+// KNC on like-for-like terms.
+// Thin adapter over the tested harness::Projector (see
+// tests/test_harness.cpp for the projection semantics).
+struct Projector {
+  arch::MachineModel host = arch::host();
+  arch::MachineModel snb = arch::snb_ep();
+  arch::MachineModel knc = arch::knc();
+
+  double host_roofline(double flops_per_item, double bytes_per_item, int width) const {
+    return harness::Projector::width_adjusted_roofline(host, flops_per_item, bytes_per_item,
+                                                       width);
+  }
+
+  double project(const arch::MachineModel& target, double host_measured, double flops_per_item,
+                 double bytes_per_item, int width) const {
+    return harness::Projector(host, target)
+        .project(host_measured, flops_per_item, bytes_per_item, width);
+  }
+
+  harness::Row make_row(const std::string& label, double host_measured, double flops,
+                        double bytes, int snb_width, int knc_width,
+                        std::optional<double> paper_snb = std::nullopt,
+                        std::optional<double> paper_knc = std::nullopt,
+                        std::optional<double> host_8wide = std::nullopt) const {
+    harness::Row r;
+    r.label = label;
+    r.host_items_per_sec = host_measured;
+    r.snb_projected = project(snb, host_measured, flops, bytes, snb_width);
+    const double knc_basis = host_8wide.value_or(host_measured);
+    r.knc_projected = project(knc, knc_basis, flops, bytes, knc_width);
+    r.paper_snb = paper_snb;
+    r.paper_knc = paper_knc;
+    return r;
+  }
+};
+
+inline void finish(harness::Report& report, const Options& opts) {
+  const int failed = report.print();
+  if (!opts.csv.empty()) report.write_csv(opts.csv);
+  // Shape-check failures are reported but do not fail the binary: on a
+  // 1-core container the absolute numbers are far from a 2012 dual-socket
+  // server, and the checks are advisory diagnostics.
+  (void)failed;
+}
+
+}  // namespace finbench::bench

@@ -1,0 +1,103 @@
+// Reproduces Fig. 4: Black–Scholes throughput (millions of options/second)
+// at each optimization level, with the bandwidth-bound roofline.
+//
+// Paper anchors (Sec. IV-A3):
+//   - bandwidth bound is B/40 options/s (B = STREAM GB/s): 1.9 G on SNB-EP,
+//     3.75 G on KNC; SNB-EP achieves 84% of its bound, KNC 60%.
+//   - the KNC reference (AOS) is ~3x slower than the SNB-EP reference;
+//     AOS->SOA is worth ~10x on KNC.
+
+#include <vector>
+
+#include "bench_common.hpp"
+#include "finbench/core/workload.hpp"
+#include "finbench/kernels/blackscholes.hpp"
+
+using namespace finbench;
+using namespace finbench::kernels;
+
+int main(int argc, char** argv) {
+  const auto opts = bench::Options::parse(argc, argv);
+  const std::size_t nopt = opts.full ? (1u << 23) : (1u << 20);
+
+  bench::Projector proj;
+  harness::Report report("Fig. 4: Black-Scholes European pricing", "options/s");
+  report.add_note("nopt = " + std::to_string(nopt) +
+                  "; 200 flops, 40 bytes DRAM traffic per option");
+
+  auto aos = core::make_bs_workload_aos(nopt, 1);
+  auto soa = core::make_bs_workload_soa(nopt, 1);
+  const double flops = bs::kFlopsPerOption, bytes = bs::kBytesPerOption;
+
+  const double ref =
+      bench::items_per_sec(nopt, opts.reps, [&] { bs::price_reference(aos); });
+  const double basic = bench::items_per_sec(nopt, opts.reps, [&] { bs::price_basic(aos); });
+  const double inter4 = bench::items_per_sec(
+      nopt, opts.reps, [&] { bs::price_intermediate(soa, bs::Width::kAvx2); });
+  const double inter8 = bench::items_per_sec(
+      nopt, opts.reps, [&] { bs::price_intermediate(soa, bs::Width::kAuto); });
+  const double vml4 = bench::items_per_sec(
+      nopt, opts.reps, [&] { bs::price_advanced_vml(soa, bs::Width::kAvx2); });
+  const double vml8 = bench::items_per_sec(
+      nopt, opts.reps, [&] { bs::price_advanced_vml(soa, bs::Width::kAuto); });
+
+  report.add_row(proj.make_row("Reference (scalar, AOS)", ref, flops, bytes, 1, 1));
+  report.add_row(proj.make_row("Basic (pragma simd/omp, AOS)", basic, flops, bytes, 4, 8));
+  report.add_row(proj.make_row("Intermediate (SOA + SIMD/erf) 4w", inter4, flops, bytes, 4, 4));
+  report.add_row(proj.make_row("Intermediate (SOA + SIMD/erf) 8w", inter8, flops, bytes, 8, 8,
+                               std::nullopt, 2.25e9));
+  report.add_row(proj.make_row("Advanced (VML-style arrays) 4w", vml4, flops, bytes, 4, 4,
+                               1.6e9, std::nullopt));
+  report.add_row(proj.make_row("Advanced (VML-style arrays) 8w", vml8, flops, bytes, 8, 8));
+
+  // Single-precision extension: double the lanes (Table I's SP peak rows).
+  auto sp = core::to_single(soa);
+  const double sp16 = bench::items_per_sec(
+      nopt, opts.reps, [&] { bs::price_intermediate_sp(sp, bs::WidthF::kAuto); });
+  {
+    harness::Row row;
+    row.label = "SP intermediate (16w, half the bytes)";
+    row.host_items_per_sec = sp16;
+    // SP halves bytes/option and doubles peak flops: separate roofline.
+    arch::MachineModel snb_sp = proj.snb;
+    snb_sp.dp_gflops = snb_sp.sp_gflops;
+    arch::MachineModel knc_sp = proj.knc;
+    knc_sp.dp_gflops = knc_sp.sp_gflops;
+    arch::MachineModel host_sp = proj.host;
+    host_sp.dp_gflops = 2 * host_sp.dp_gflops;
+    const double host_bound = arch::roofline(host_sp, flops, bytes / 2).items_per_sec();
+    const double eff = sp16 / host_bound;
+    row.snb_projected = eff * arch::roofline(snb_sp, flops, bytes / 2).items_per_sec();
+    row.knc_projected = eff * arch::roofline(knc_sp, flops, bytes / 2).items_per_sec();
+    report.add_row(row);
+  }
+
+  // Bandwidth-bound rooflines (the paper's top reference bars).
+  harness::Row bound;
+  bound.label = "Bandwidth bound (B/40)";
+  bound.host_items_per_sec = arch::stream_bandwidth_gbs() * 1e9 / 40.0;
+  bound.snb_projected = 1.9e9;
+  bound.knc_projected = 3.75e9;
+  report.add_row(bound);
+
+  // Shape checks from the paper's narrative.
+  report.add_check("SOA SIMD beats pragma-on-AOS (the AOS gather tax)", inter4 > basic);
+  report.add_check("every optimized level beats the scalar reference",
+                   basic > ref * 0.8 && inter4 > ref && vml4 > ref);
+  report.add_check("8-wide SOA at least matches 4-wide (KNC-class path scales)",
+                   inter8 > 0.9 * inter4);
+  report.add_check(
+      "fused SVML-style beats VML-style arrays (paper: SVML wins on KNC)",
+      inter8 > 0.9 * vml8,
+      "fused = " + harness::eng(inter8) + " vs arrays = " + harness::eng(vml8));
+  report.add_check("single precision beats double (2x lanes, half the bytes)", sp16 > inter8,
+                   harness::eng(sp16) + " vs " + harness::eng(inter8));
+  report.add_check("projected KNC/SNB advanced ratio ~2x (bandwidth ratio)",
+                   harness::ratio_within(
+                       proj.project(proj.knc, inter8, flops, bytes, 8) /
+                           proj.project(proj.snb, inter4, flops, bytes, 4),
+                       2.0, 0.5, 2.0));
+
+  bench::finish(report, opts);
+  return 0;
+}

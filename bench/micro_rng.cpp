@@ -1,0 +1,80 @@
+// google-benchmark microbenchmarks for the RNG substrate: raw generator
+// rates and distribution-transform costs (the components behind Table II's
+// RNG rows).
+
+#include <benchmark/benchmark.h>
+
+#include "finbench/arch/aligned.hpp"
+#include "finbench/rng/mt19937.hpp"
+#include "finbench/rng/normal.hpp"
+#include "finbench/rng/philox.hpp"
+#include "finbench/rng/xoshiro256.hpp"
+
+namespace {
+
+using namespace finbench;
+
+constexpr std::size_t kN = 1 << 16;
+
+void BM_Mt19937_U32Block(benchmark::State& state) {
+  rng::Mt19937 g(1);
+  arch::AlignedVector<std::uint32_t> buf(kN);
+  for (auto _ : state) {
+    g.generate(buf);
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * kN);
+}
+BENCHMARK(BM_Mt19937_U32Block);
+
+void BM_Philox_U32Block(benchmark::State& state) {
+  rng::Philox4x32 g(1, 0);
+  arch::AlignedVector<std::uint32_t> buf(kN);
+  for (auto _ : state) {
+    g.generate(buf);
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * kN);
+}
+BENCHMARK(BM_Philox_U32Block);
+
+void BM_Philox_U01(benchmark::State& state) {
+  rng::Philox4x32 g(1, 0);
+  arch::AlignedVector<double> buf(kN);
+  for (auto _ : state) {
+    g.generate_u01(buf);
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * kN);
+}
+BENCHMARK(BM_Philox_U01);
+
+void BM_Xoshiro_U01(benchmark::State& state) {
+  rng::Xoshiro256 g(1);
+  arch::AlignedVector<double> buf(kN);
+  for (auto _ : state) {
+    g.generate_u01(buf);
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * kN);
+}
+BENCHMARK(BM_Xoshiro_U01);
+
+void BM_Normal(benchmark::State& state) {
+  const auto method = static_cast<rng::NormalMethod>(state.range(0));
+  rng::NormalStream s(1, 0, method);
+  arch::AlignedVector<double> buf(kN);
+  for (auto _ : state) {
+    s.fill(buf);
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * kN);
+}
+BENCHMARK(BM_Normal)
+    ->Arg(static_cast<int>(rng::NormalMethod::kIcdf))
+    ->Arg(static_cast<int>(rng::NormalMethod::kBoxMuller))
+    ->Arg(static_cast<int>(rng::NormalMethod::kZiggurat));
+
+}  // namespace
+
+BENCHMARK_MAIN();

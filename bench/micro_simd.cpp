@@ -1,0 +1,91 @@
+// google-benchmark microbenchmarks for the SIMD wrapper layer: verify the
+// wrappers impose no overhead versus raw arrays for the paper's core
+// recurrence (the binomial reduction step) and quantify the AOS gather tax
+// that drives the Fig. 4 story.
+
+#include <benchmark/benchmark.h>
+
+#include "finbench/arch/aligned.hpp"
+#include "finbench/simd/vec.hpp"
+
+namespace {
+
+using namespace finbench;
+
+constexpr std::size_t kN = 8192;
+
+// The binomial inner recurrence on raw doubles (compiler autovectorizes).
+void BM_ReduceRaw(benchmark::State& state) {
+  arch::AlignedVector<double> call(kN + 1, 1.0);
+  const double pu = 0.51, pd = 0.48;
+  for (auto _ : state) {
+    double* c = call.data();
+    for (std::size_t j = 0; j < kN; ++j) c[j] = pu * c[j + 1] + pd * c[j];
+    benchmark::DoNotOptimize(call.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * kN);
+}
+BENCHMARK(BM_ReduceRaw);
+
+// The same recurrence through Vec<double, W>.
+template <int W>
+void BM_ReduceVec(benchmark::State& state) {
+  using V = simd::Vec<double, W>;
+  arch::AlignedVector<double> call(kN + W, 1.0);
+  const V pu(0.51), pd(0.48);
+  for (auto _ : state) {
+    double* c = call.data();
+    for (std::size_t j = 0; j + W <= kN; j += W) {
+      const V up = V::loadu(c + j + 1);
+      const V dn = V::load(c + j);
+      fmadd(pu, up, pd * dn).store(c + j);
+    }
+    benchmark::DoNotOptimize(call.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * kN);
+}
+BENCHMARK(BM_ReduceVec<4>);
+#if defined(FINBENCH_HAVE_AVX512)
+BENCHMARK(BM_ReduceVec<8>);
+#endif
+
+// Unit-stride load+multiply versus gather (the AOS tax of Fig. 4).
+template <int W>
+void BM_LoadContiguous(benchmark::State& state) {
+  using V = simd::Vec<double, W>;
+  arch::AlignedVector<double> data(kN, 1.5);
+  for (auto _ : state) {
+    V acc(0.0);
+    for (std::size_t i = 0; i + W <= kN; i += W) acc += V::load(data.data() + i);
+    benchmark::DoNotOptimize(hsum(acc));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * kN);
+}
+BENCHMARK(BM_LoadContiguous<4>);
+#if defined(FINBENCH_HAVE_AVX512)
+BENCHMARK(BM_LoadContiguous<8>);
+#endif
+
+template <int W>
+void BM_LoadGatherStride5(benchmark::State& state) {
+  using V = simd::Vec<double, W>;
+  arch::AlignedVector<double> data(5 * kN, 1.5);  // AOS with 5 fields
+  alignas(64) std::int32_t idx[W];
+  for (int l = 0; l < W; ++l) idx[l] = 5 * l;
+  for (auto _ : state) {
+    V acc(0.0);
+    for (std::size_t i = 0; i + W <= kN; i += W) {
+      acc += V::gather(data.data() + 5 * i, idx);
+    }
+    benchmark::DoNotOptimize(hsum(acc));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * kN);
+}
+BENCHMARK(BM_LoadGatherStride5<4>);
+#if defined(FINBENCH_HAVE_AVX512)
+BENCHMARK(BM_LoadGatherStride5<8>);
+#endif
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,86 @@
+// Reproduces Table II: double-precision European Monte Carlo pricing
+// throughput (path length 256k) with streamed vs computed random numbers,
+// plus raw normally-distributed and uniform RNG rates.
+//
+// Paper values (Table II):
+//                       SNB-EP      KNC
+//   options/s (stream)  29,813      92,722
+//   options/s (comp.)    5,556      16,366
+//   normal DP RNG/s     1.79e9      5.21e9
+//   uniform DP RNG/s    13.31e9     25.134e9
+
+#include <vector>
+
+#include "bench_common.hpp"
+#include "finbench/core/workload.hpp"
+#include "finbench/kernels/montecarlo.hpp"
+#include "finbench/rng/normal.hpp"
+#include "finbench/rng/philox.hpp"
+
+using namespace finbench;
+using namespace finbench::kernels;
+
+int main(int argc, char** argv) {
+  const auto opts = bench::Options::parse(argc, argv);
+  const std::size_t npath = opts.full ? (256u << 10) : (64u << 10);
+  const std::size_t nopt = opts.full ? 16 : 8;
+
+  bench::Projector proj;
+  harness::Report report("Table II: Monte Carlo pricing + RNG rates", "items/s (see labels)");
+  report.add_note("npath = " + std::to_string(npath) + ", nopt = " + std::to_string(nopt) +
+                  (opts.full ? " (paper scale)" : " (quick scale; --full for 256k paths)"));
+
+  const auto workload = core::make_option_workload(nopt, 3);
+  std::vector<mc::McResult> res(nopt);
+
+  arch::AlignedVector<double> z(npath);
+  rng::NormalStream stream(1);
+  stream.fill(z);
+
+  // ~30 flops per path (exp counted as ~20).
+  const double flops_path = mc::kFlopsPerPath;
+  const double scale = opts.full ? 1.0 : (256.0 / 64.0);  // path-count normalization
+
+  const double opt_stream = bench::items_per_sec(nopt, opts.reps, [&] {
+    mc::price_optimized_stream(workload, z, npath, res);
+  });
+  const double opt_comp = bench::items_per_sec(nopt, opts.reps, [&] {
+    mc::price_optimized_computed(workload, npath, 7, res);
+  });
+
+  // RNG rates: numbers per second.
+  const std::size_t nrng = opts.full ? (1u << 24) : (1u << 22);
+  arch::AlignedVector<double> buf(nrng);
+  const double normal_rate = bench::items_per_sec(nrng, opts.reps, [&] {
+    rng::NormalStream s(3);
+    s.fill(buf);
+  });
+  const double uniform_rate = bench::items_per_sec(nrng, opts.reps, [&] {
+    rng::Philox4x32 g(3, 0);
+    g.generate_u01(buf);
+  });
+
+  // Normalize quick-mode option rates to the paper's 256k path length so
+  // the "paper" column stays comparable.
+  report.add_row(proj.make_row("options/s, stream RNG (256k-path equiv)", opt_stream / scale,
+                               flops_path * 256 * 1024, 8.0 * 256 * 1024, 4, 8, 29813.0,
+                               92722.0));
+  report.add_row(proj.make_row("options/s, computed RNG (256k-path equiv)", opt_comp / scale,
+                               3.0 * flops_path * 256 * 1024, 0.0, 4, 8, 5556.0, 16366.0));
+  report.add_row(proj.make_row("normally-distributed DP RNG/s", normal_rate, 60.0, 8.0, 8, 8,
+                               1.79e9, 5.21e9));
+  report.add_row(proj.make_row("uniform DP RNG/s", uniform_rate, 15.0, 8.0, 8, 8, 13.31e9,
+                               25.134e9));
+
+  report.add_check("stream RNG beats computed RNG (paper: ~5.4x on SNB-EP)",
+                   opt_stream > 2.0 * opt_comp,
+                   std::to_string(opt_stream / opt_comp) + "x");
+  report.add_check("uniform generation is cheaper than normal transform (paper: ~7x)",
+                   uniform_rate > 2.0 * normal_rate,
+                   std::to_string(uniform_rate / normal_rate) + "x");
+  report.add_check("paper stream/computed ratio reproduced within 2.5x",
+                   harness::ratio_within(opt_stream / opt_comp, 29813.0 / 5556.0, 0.4, 2.5));
+
+  bench::finish(report, opts);
+  return 0;
+}

@@ -1,0 +1,92 @@
+// delta_hedging: the Black–Scholes argument, simulated. Sell a call,
+// delta-hedge it by trading the underlying at discrete rebalance dates,
+// and look at the P&L distribution: continuous hedging would make it
+// exactly zero; discrete hedging leaves a residual whose standard
+// deviation shrinks like 1/sqrt(rebalances) — and whose mean is ~zero
+// because the option was sold at its fair value. Exercises greeks, RNG,
+// and path simulation together.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+#include <vector>
+
+#include "finbench/core/analytic.hpp"
+#include "finbench/rng/normal.hpp"
+
+using namespace finbench;
+
+namespace {
+
+struct HedgeStats {
+  double mean, sd, worst;
+};
+
+HedgeStats simulate(int rebalances, std::size_t npaths, std::uint64_t seed) {
+  const double s0 = 100, strike = 100, years = 0.5, rate = 0.02, vol = 0.25;
+  core::OptionSpec opt{s0, strike, years, rate, vol, core::OptionType::kCall,
+                       core::ExerciseStyle::kEuropean};
+  const double premium = core::black_scholes_price(opt);
+  const double dt = years / rebalances;
+  const double growth = std::exp(rate * dt);
+  const double drift = (rate - 0.5 * vol * vol) * dt;
+  const double sig_dt = vol * std::sqrt(dt);
+
+  rng::NormalStream stream(seed);
+  std::vector<double> z(rebalances);
+  std::vector<double> pnl(npaths);
+
+  for (std::size_t p = 0; p < npaths; ++p) {
+    stream.fill(z);
+    double s = s0;
+    // Short one call: receive the premium, hold delta shares, rest in cash.
+    core::OptionSpec state = opt;
+    double delta = core::black_scholes_greeks(state).delta;
+    double cash = premium - delta * s;
+    for (int t = 1; t <= rebalances; ++t) {
+      s *= std::exp(drift + sig_dt * z[t - 1]);
+      cash *= growth;
+      state.spot = s;
+      state.years = years - t * dt;
+      const double new_delta =
+          t == rebalances ? (s > strike ? 1.0 : 0.0) : core::black_scholes_greeks(state).delta;
+      cash -= (new_delta - delta) * s;  // rebalance
+      delta = new_delta;
+    }
+    const double payoff = std::max(s - strike, 0.0);
+    pnl[p] = cash + delta * s - payoff;
+  }
+
+  HedgeStats st{};
+  st.mean = std::accumulate(pnl.begin(), pnl.end(), 0.0) / static_cast<double>(npaths);
+  double var = 0;
+  for (double x : pnl) var += (x - st.mean) * (x - st.mean);
+  st.sd = std::sqrt(var / static_cast<double>(npaths));
+  st.worst = *std::min_element(pnl.begin(), pnl.end());
+  return st;
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t npaths = 20000;
+  std::printf("Delta-hedging a sold ATM call (S=K=100, T=0.5, vol=25%%), %zu paths:\n\n",
+              npaths);
+  std::printf("%12s %12s %12s %12s %16s\n", "rebalances", "mean P&L", "sd P&L", "worst",
+              "sd * sqrt(N_reb)");
+  double prev_sd = 0;
+  for (int n : {4, 16, 64, 256}) {
+    const HedgeStats st = simulate(n, npaths, 7);
+    std::printf("%12d %12.4f %12.4f %12.4f %16.3f\n", n, st.mean, st.sd, st.worst,
+                st.sd * std::sqrt(static_cast<double>(n)));
+    prev_sd = st.sd;
+  }
+  (void)prev_sd;
+  std::printf(
+      "\nThe mean stays ~0 (the option was sold at fair value); the residual\n"
+      "risk shrinks ~1/sqrt(rebalances) — the right-hand column is ~constant,\n"
+      "which is the discrete-hedging error law. That residual is what the\n"
+      "Black-Scholes replication argument makes exactly zero in the limit.\n");
+  return 0;
+}

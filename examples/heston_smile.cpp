@@ -1,0 +1,70 @@
+// heston_smile: where volatility smiles come from. Prices a strike ladder
+// under the Heston stochastic-volatility model (Monte Carlo), then inverts
+// each price through the SIMD batch implied-vol kernel — reproducing the
+// skewed smile that flat-vol Black–Scholes cannot generate. Exercises the
+// whole stack end to end: RNG -> Heston MC -> batch implied vol.
+
+#include <cstdio>
+#include <vector>
+
+#include "finbench/core/option.hpp"
+#include "finbench/kernels/blackscholes.hpp"
+#include "finbench/kernels/heston.hpp"
+
+using namespace finbench;
+
+int main() {
+  const double spot = 100.0, years = 1.0, rate = 0.02;
+  const std::vector<double> strikes = {70, 80, 90, 100, 110, 120, 140};
+
+  kernels::heston::HestonParams model;
+  model.kappa = 2.0;
+  model.theta = 0.04;  // long-run vol 20%
+  model.xi = 0.6;      // strong vol-of-vol -> pronounced smile
+  model.rho = -0.7;    // equity-style negative correlation -> skew
+  model.v0 = 0.04;
+
+  kernels::heston::SimParams sim;
+  sim.num_paths = 1 << 17;
+  sim.num_steps = 64;
+
+  std::printf("Heston model: kappa=%.1f theta=%.2f xi=%.1f rho=%.1f v0=%.2f\n", model.kappa,
+              model.theta, model.xi, model.rho, model.v0);
+  std::printf("S=%.0f T=%.1fy r=%.2f, %zu paths x %d steps\n\n", spot, years, rate,
+              sim.num_paths, sim.num_steps);
+
+  // Price the ladder twice: semi-analytic characteristic function and
+  // Monte Carlo (each validating the other).
+  core::BsBatchSoa quotes;
+  quotes.rate = rate;
+  quotes.resize(strikes.size());
+  std::vector<double> prices(strikes.size()), errs(strikes.size()), exact(strikes.size());
+  for (std::size_t i = 0; i < strikes.size(); ++i) {
+    core::OptionSpec o{spot,  strikes[i], years, rate, 0.2, core::OptionType::kCall,
+                       core::ExerciseStyle::kEuropean};
+    const auto r = kernels::heston::price_european(o, model, sim);
+    prices[i] = r.call.price;
+    errs[i] = r.call.std_error;
+    exact[i] = kernels::heston::price_analytic(o, model).call;
+    quotes.spot[i] = spot;
+    quotes.strike[i] = strikes[i];
+    quotes.years[i] = years;
+  }
+
+  // Invert the analytic prices to Black–Scholes implied vols (SIMD kernel).
+  std::vector<double> ivs(strikes.size());
+  kernels::bs::implied_vol_intermediate(quotes, exact, ivs);
+
+  std::printf("%8s %12s %12s %12s %14s\n", "strike", "MC px", "(+/- SE)", "analytic",
+              "implied vol");
+  for (std::size_t i = 0; i < strikes.size(); ++i) {
+    std::printf("%8.0f %12.4f %12.4f %12.4f %13.2f%%\n", strikes[i], prices[i], errs[i],
+                exact[i], 100.0 * ivs[i]);
+  }
+
+  const bool skewed = ivs.front() > ivs[3] && ivs[3] < 0.25;
+  std::printf("\n[%s] negative rho produces the equity skew: low strikes price richer\n",
+              skewed ? "PASS" : "FAIL");
+  std::printf("(a flat line here would mean the market were Black-Scholes; it is not)\n");
+  return 0;
+}

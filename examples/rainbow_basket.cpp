@@ -1,0 +1,45 @@
+// rainbow_basket: multi-asset pricing with correlated Monte Carlo. Prices
+// an equally-weighted three-asset basket call across the correlation range
+// and cross-checks the two-asset engine against Margrabe's closed form —
+// showing why correlation is the price of diversification.
+
+#include <cstdio>
+
+#include "finbench/core/analytic.hpp"
+#include "finbench/kernels/multiasset.hpp"
+
+using namespace finbench;
+using namespace finbench::kernels;
+
+int main() {
+  // --- Margrabe cross-check -------------------------------------------------
+  multiasset::McParams sim;
+  sim.num_paths = 1 << 18;
+  sim.seed = 1;
+  std::printf("Exchange option max(S1 - S2, 0): S1=100 S2=95 vol1=0.3 vol2=0.2 T=1\n");
+  std::printf("%8s %14s %14s %12s\n", "rho", "Monte Carlo", "Margrabe", "diff");
+  for (double rho : {-0.8, -0.3, 0.0, 0.4, 0.9}) {
+    const auto mc = multiasset::price_exchange_mc(100, 95, 0.3, 0.2, rho, 1.0, 0.05, sim);
+    const double exact = multiasset::margrabe_exchange(100, 95, 0.3, 0.2, rho, 1.0);
+    std::printf("%8.1f %14.5f %14.5f %12.5f\n", rho, mc.price, exact, mc.price - exact);
+  }
+
+  // --- Basket call vs correlation --------------------------------------------
+  std::printf("\nEqually weighted 3-asset basket call, K=100, T=1, r=5%%:\n");
+  std::printf("%8s %14s %16s\n", "rho", "basket call", "(+/- SE)");
+  multiasset::BasketSpec basket;
+  basket.spots = {34, 33, 33};
+  basket.vols = {0.35, 0.25, 0.20};
+  basket.weights = {1.0, 1.0, 1.0};
+  basket.strike = 100.0;
+  basket.years = 1.0;
+  basket.rate = 0.05;
+  for (double rho : {0.0, 0.25, 0.5, 0.75, 0.95}) {
+    basket.correlation = {1, rho, rho, rho, 1, rho, rho, rho, 1};
+    const auto mc = multiasset::price_basket_mc(basket, sim);
+    std::printf("%8.2f %14.4f %16.4f\n", rho, mc.price, mc.std_error);
+  }
+  std::printf("\nHigher correlation -> less diversification -> the basket option\n");
+  std::printf("costs more; at rho ~ 1 it approaches a single-asset option on the sum.\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// finbench/arch/aligned.hpp
+//
+// Cache-line / vector-register aligned storage. All kernel working arrays
+// use 64-byte alignment so aligned SIMD loads/stores and streaming stores
+// are always legal, matching the paper's data-layout assumptions.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <vector>
+
+namespace finbench::arch {
+
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+// Minimal aligned allocator for std::vector.
+template <class T, std::size_t Align = kCacheLineBytes>
+struct AlignedAllocator {
+  using value_type = T;
+  // Required explicitly: the non-type Align parameter defeats the
+  // allocator_traits automatic rebind.
+  template <class U> struct rebind { using other = AlignedAllocator<U, Align>; };
+
+  AlignedAllocator() = default;
+  template <class U> AlignedAllocator(const AlignedAllocator<U, Align>&) {}
+
+  T* allocate(std::size_t n) {
+    if (n == 0) return nullptr;
+    void* p = std::aligned_alloc(Align, round_up(n * sizeof(T)));
+    if (!p) throw std::bad_alloc();
+    return static_cast<T*>(p);
+  }
+  void deallocate(T* p, std::size_t) noexcept { std::free(p); }
+
+  template <class U> bool operator==(const AlignedAllocator<U, Align>&) const { return true; }
+
+ private:
+  static std::size_t round_up(std::size_t bytes) {
+    return (bytes + Align - 1) / Align * Align;
+  }
+};
+
+// The workhorse container for kernel arrays.
+template <class T>
+using AlignedVector = std::vector<T, AlignedAllocator<T>>;
+
+}  // namespace finbench::arch

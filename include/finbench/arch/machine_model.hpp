@@ -1,0 +1,80 @@
+// finbench/arch/machine_model.hpp
+//
+// Analytical machine models + roofline performance bounds.
+//
+// The paper evaluates on two 2012 platforms (Table I): the Xeon E5-2680
+// "SNB-EP" and the Xeon Phi "KNC". Neither is obtainable today, so this
+// library reproduces the paper's *cross-platform claims* through a
+// substitution documented in DESIGN.md §1:
+//
+//   1. Each kernel runs natively on the host at 4-wide (SNB-EP-class AVX)
+//      and 8-wide (KNC-class 512-bit) SIMD, at every optimization level.
+//   2. The measured fraction of the host roofline ("efficiency") at each
+//      level is combined with the modeled SNB-EP / KNC rooflines below to
+//      project platform throughput — exactly the style of argument the
+//      paper itself makes ("84% of the bandwidth bound", "commensurate
+//      with the difference in peak flops").
+//
+// The models carry the paper's Table I numbers verbatim.
+
+#pragma once
+
+#include <string>
+
+namespace finbench::arch {
+
+struct MachineModel {
+  std::string name;
+  int sockets = 1;
+  int cores = 1;           // physical cores per socket
+  int smt = 1;             // hardware threads per core
+  double ghz = 1.0;
+  int simd_dp = 1;         // double-precision SIMD lanes
+  double dp_gflops = 1.0;  // peak double-precision GFLOP/s (whole machine)
+  double sp_gflops = 1.0;  // peak single-precision GFLOP/s
+  double bw_gbs = 1.0;     // STREAM bandwidth, GB/s
+  double l1_kb = 32, l2_kb = 256, l3_kb = 0;  // per-core L1/L2; shared L3
+
+  int total_cores() const { return sockets * cores; }
+  int total_threads() const { return sockets * cores * smt; }
+};
+
+// Table I: Intel Xeon E5-2680, 2 x 8 cores @ 2.7 GHz, AVX (4-wide DP).
+MachineModel snb_ep();
+
+// Table I: Intel Xeon Phi (Knights Corner), 60 cores @ 1.09 GHz, 8-wide DP.
+MachineModel knc();
+
+// The machine this binary is running on: cpuid + sysfs detection; peak
+// flops derived from frequency x lanes x 2 (FMA) x 2 ports; bandwidth
+// filled in from the mini-STREAM measurement (see stream_bandwidth_gbs).
+MachineModel host();
+
+// Measured STREAM-triad bandwidth of the host in GB/s (memoized; the first
+// call runs the measurement, ~0.5 s).
+double stream_bandwidth_gbs();
+
+// ---------------------------------------------------------------------------
+// Roofline bounds
+// ---------------------------------------------------------------------------
+
+// Throughput bound (items/second) for a kernel that performs
+// `flops_per_item` double-precision operations and moves `bytes_per_item`
+// to/from DRAM per item, on machine `m`.
+struct RooflineBound {
+  double compute_items_per_sec;
+  double bandwidth_items_per_sec;
+  bool compute_bound;  // true if the compute roof is the lower one
+  double items_per_sec() const {
+    return compute_bound ? compute_items_per_sec : bandwidth_items_per_sec;
+  }
+};
+
+RooflineBound roofline(const MachineModel& m, double flops_per_item, double bytes_per_item);
+
+// Project a kernel's throughput on machine `m` from a measured efficiency
+// (fraction of the host's roofline achieved): the DESIGN.md §1 substitution.
+double project_items_per_sec(const MachineModel& m, double efficiency, double flops_per_item,
+                             double bytes_per_item);
+
+}  // namespace finbench::arch

@@ -1,0 +1,45 @@
+// finbench/arch/parallel.hpp
+//
+// Thin OpenMP wrappers. The paper's thread-level parallelism is always
+// "#pragma omp parallel for over options / paths"; these helpers keep that
+// idiom in one place and make the thread count queryable and overridable.
+
+#pragma once
+
+#include <cstddef>
+
+#include <omp.h>
+
+namespace finbench::arch {
+
+inline int num_threads() {
+  int n = 1;
+#pragma omp parallel
+  {
+#pragma omp single
+    n = omp_get_num_threads();
+  }
+  return n;
+}
+
+// Static-schedule parallel loop over [0, n).
+template <class F>
+void parallel_for(std::ptrdiff_t n, F&& fn) {
+#pragma omp parallel for schedule(static)
+  for (std::ptrdiff_t i = 0; i < n; ++i) fn(i);
+}
+
+// Parallel loop in fixed-size blocks: fn(begin, end) per block. Used when
+// each thread needs private scratch sized to its block.
+template <class F>
+void parallel_for_blocked(std::ptrdiff_t n, std::ptrdiff_t block, F&& fn) {
+  const std::ptrdiff_t nblocks = (n + block - 1) / block;
+#pragma omp parallel for schedule(static)
+  for (std::ptrdiff_t b = 0; b < nblocks; ++b) {
+    const std::ptrdiff_t begin = b * block;
+    const std::ptrdiff_t end = begin + block < n ? begin + block : n;
+    fn(begin, end);
+  }
+}
+
+}  // namespace finbench::arch

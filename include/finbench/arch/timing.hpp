@@ -1,0 +1,47 @@
+// finbench/arch/timing.hpp
+//
+// Wall-clock timing and repeat-measurement helpers used by the benchmark
+// harness. Kernel throughput is reported from the best of R repetitions
+// (minimum wall time), the convention the paper's figures use.
+
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <utility>
+
+namespace finbench::arch {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(clock::now()) {}
+  void reset() { start_ = clock::now(); }
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+// Run `fn` `reps` times; return the minimum wall-clock seconds per run.
+template <class F>
+double best_of(int reps, F&& fn) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    WallTimer t;
+    fn();
+    const double s = t.seconds();
+    if (s < best) best = s;
+  }
+  return best;
+}
+
+// Defeat dead-code elimination of a computed value.
+template <class T>
+inline void do_not_optimize(const T& value) {
+  asm volatile("" : : "g"(&value) : "memory");
+}
+
+}  // namespace finbench::arch

@@ -1,0 +1,39 @@
+// finbench/arch/topology.hpp
+//
+// Host CPU detection: ISA features via cpuid, cache sizes via sysfs.
+// Feeds Table I reproduction (bench/tab1_sysconfig) and the host machine
+// model used for roofline efficiency measurements.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace finbench::arch {
+
+struct CpuFeatures {
+  bool avx2 = false;
+  bool fma = false;
+  bool avx512f = false;
+  bool avx512dq = false;
+  std::string brand;  // cpuid brand string, e.g. "Intel(R) Xeon(R) ..."
+};
+
+CpuFeatures detect_cpu_features();
+
+struct CacheInfo {
+  // Bytes; 0 when a level does not exist / cannot be detected.
+  std::size_t l1d = 0;
+  std::size_t l2 = 0;
+  std::size_t l3 = 0;
+};
+
+CacheInfo detect_caches();
+
+// Logical CPUs visible to this process.
+int logical_cpus();
+
+// Best-effort current nominal frequency in GHz (from cpuinfo; 0 if unknown).
+double cpu_ghz();
+
+}  // namespace finbench::arch

@@ -1,0 +1,58 @@
+// finbench/core/analytic.hpp
+//
+// Closed-form Black–Scholes (the paper's Eq. 1 solved for European options),
+// the full greek set, and implied volatility. These scalar, libm-accurate
+// routines are the golden reference every other kernel is validated against:
+// binomial and Crank–Nicolson European prices converge to them, and Monte
+// Carlo estimates must cover them within confidence bounds.
+
+#pragma once
+
+#include "finbench/core/option.hpp"
+
+namespace finbench::core {
+
+struct BsPrice {
+  double call = 0.0;
+  double put = 0.0;
+};
+
+// European call+put under Black–Scholes with continuous dividend yield q.
+// Handles the T -> 0 and vol -> 0 limits (returns discounted intrinsic
+// value of the forward).
+BsPrice black_scholes(double spot, double strike, double years, double rate, double vol,
+                      double dividend = 0.0);
+
+inline double black_scholes_price(const OptionSpec& o) {
+  const BsPrice p = black_scholes(o.spot, o.strike, o.years, o.rate, o.vol, o.dividend);
+  return o.type == OptionType::kCall ? p.call : p.put;
+}
+
+struct BsGreeks {
+  double delta = 0.0;  // dV/dS
+  double gamma = 0.0;  // d2V/dS2
+  double vega = 0.0;   // dV/dsigma (per unit vol)
+  double theta = 0.0;  // dV/dt (per year, calendar decay)
+  double rho = 0.0;    // dV/dr
+};
+
+BsGreeks black_scholes_greeks(const OptionSpec& o);
+
+// Implied volatility: Newton iteration on vega with bisection safeguarding.
+// Returns a negative value if `price` is outside the arbitrage-free range.
+double implied_volatility(const OptionSpec& o, double price);
+
+// Digital (binary) option closed forms: cash-or-nothing pays 1 at expiry
+// if in the money; asset-or-nothing pays S(T). The building blocks of the
+// vanilla formula itself (call = asset_call - K * cash_call).
+struct BsDigital {
+  double cash_call = 0.0;
+  double cash_put = 0.0;
+  double asset_call = 0.0;
+  double asset_put = 0.0;
+};
+
+BsDigital black_scholes_digital(double spot, double strike, double years, double rate,
+                                double vol);
+
+}  // namespace finbench::core

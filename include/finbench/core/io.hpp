@@ -1,0 +1,33 @@
+// finbench/core/io.hpp
+//
+// CSV import/export for option workloads — the glue a downstream user
+// needs to run the kernels on their own quote files. Format (header
+// required, columns in any order, '#' comments ignored):
+//
+//   spot,strike,years,rate,vol,type,style[,dividend]
+//   100,105,1.0,0.05,0.2,call,european,0.0
+//
+// `type` is call|put; `style` is european|american; dividend defaults 0.
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "finbench/core/option.hpp"
+
+namespace finbench::core {
+
+// Parse a CSV stream/file into option specs. Throws std::runtime_error
+// with a line number on malformed input.
+std::vector<OptionSpec> read_options_csv(std::istream& in);
+std::vector<OptionSpec> read_options_csv_file(const std::string& path);
+
+// Write specs (with an optional per-option price column).
+void write_options_csv(std::ostream& out, std::span<const OptionSpec> opts,
+                       std::span<const double> prices = {});
+void write_options_csv_file(const std::string& path, std::span<const OptionSpec> opts,
+                            std::span<const double> prices = {});
+
+}  // namespace finbench::core

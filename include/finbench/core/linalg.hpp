@@ -1,0 +1,29 @@
+// finbench/core/linalg.hpp
+//
+// Minimal dense linear algebra for the multi-asset extensions: just enough
+// to factor a correlation matrix and correlate normal draws. Row-major
+// storage, no external dependencies.
+
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace finbench::core {
+
+// Lower-triangular Cholesky factor L of a symmetric positive-definite
+// matrix A (row-major, n x n): A = L L^T. Returns nullopt if A is not
+// positive definite (within a small tolerance).
+std::optional<std::vector<double>> cholesky(std::span<const double> a, std::size_t n);
+
+// y = L z for lower-triangular L (row-major, n x n).
+void lower_tri_matvec(std::span<const double> l, std::size_t n, std::span<const double> z,
+                      std::span<double> y);
+
+// Validate a correlation matrix: symmetric, unit diagonal, entries in
+// [-1, 1]. (Positive definiteness is checked by cholesky().)
+bool is_correlation_matrix(std::span<const double> a, std::size_t n, double tol = 1e-12);
+
+}  // namespace finbench::core

@@ -1,0 +1,109 @@
+// finbench/core/option.hpp
+//
+// Core option vocabulary shared by every kernel: single-option specs, and
+// the two batch layouts whose contrast drives the paper's Black–Scholes
+// experiment (Fig. 4) — array-of-structures (the "reference data" layout,
+// which costs a gather per SIMD access) versus structure-of-arrays (the
+// SIMD-friendly layout the advanced optimization converts to).
+
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "finbench/arch/aligned.hpp"
+
+namespace finbench::core {
+
+enum class OptionType { kCall, kPut };
+enum class ExerciseStyle { kEuropean, kAmerican };
+
+// A single vanilla option on one underlying. Throughout the library the
+// risk-free rate r and volatility sigma are per-option unless a kernel
+// states otherwise (the paper's Black–Scholes kernel shares r and sigma
+// across the batch; see BsBatch*).
+struct OptionSpec {
+  double spot = 100.0;      // current underlying price S
+  double strike = 100.0;    // strike price K
+  double years = 1.0;       // time to expiry T (in years)
+  double rate = 0.05;       // risk-free interest rate r
+  double vol = 0.2;         // volatility sigma
+  OptionType type = OptionType::kCall;
+  ExerciseStyle style = ExerciseStyle::kEuropean;
+  double dividend = 0.0;    // continuous dividend yield q (extension; the
+                            // risk-neutral drift becomes r - q)
+};
+
+// --- Black–Scholes batch layouts (shared r, sigma, as in Lis. 1) ----------
+
+// AOS: one record per option, outputs interleaved with inputs. This is the
+// paper's reference layout; SIMD access requires gathering fields spread
+// across `vector width` cache lines.
+struct BsOptionAos {
+  double spot;
+  double strike;
+  double years;
+  double call;  // output
+  double put;   // output
+};
+
+struct BsBatchAos {
+  arch::AlignedVector<BsOptionAos> options;
+  double rate = 0.05;
+  double vol = 0.2;
+  double dividend = 0.0;  // shared continuous yield (extension; 0 = paper setup)
+
+  std::size_t size() const { return options.size(); }
+};
+
+// SOA: one contiguous array per field — unit-stride SIMD loads and
+// streaming stores. The paper's AOS->SOA conversion (Fig. 4, intermediate).
+struct BsBatchSoa {
+  arch::AlignedVector<double> spot;
+  arch::AlignedVector<double> strike;
+  arch::AlignedVector<double> years;
+  arch::AlignedVector<double> call;  // output
+  arch::AlignedVector<double> put;   // output
+  double rate = 0.05;
+  double vol = 0.2;
+  double dividend = 0.0;  // shared continuous yield (extension; 0 = paper setup)
+
+  std::size_t size() const { return spot.size(); }
+  void resize(std::size_t n) {
+    spot.resize(n);
+    strike.resize(n);
+    years.resize(n);
+    call.resize(n);
+    put.resize(n);
+  }
+};
+
+// Layout conversions (the "advanced" optimization's data restructuring).
+BsBatchSoa to_soa(const BsBatchAos& aos);
+BsBatchAos to_aos(const BsBatchSoa& soa);
+
+// Single-precision SOA batch for the SP kernel variants (Table I quotes
+// separate SP peaks; SP doubles the SIMD lane count).
+struct BsBatchSoaF {
+  arch::AlignedVector<float> spot;
+  arch::AlignedVector<float> strike;
+  arch::AlignedVector<float> years;
+  arch::AlignedVector<float> call;  // output
+  arch::AlignedVector<float> put;   // output
+  float rate = 0.05f;
+  float vol = 0.2f;
+
+  std::size_t size() const { return spot.size(); }
+  void resize(std::size_t n) {
+    spot.resize(n);
+    strike.resize(n);
+    years.resize(n);
+    call.resize(n);
+    put.resize(n);
+  }
+};
+
+// Narrowing conversion for SP experiments.
+BsBatchSoaF to_single(const BsBatchSoa& soa);
+
+}  // namespace finbench::core

@@ -1,0 +1,31 @@
+// finbench/core/optlevel.hpp
+//
+// The paper's optimization taxonomy (Sec. III-B): every kernel variant in
+// the library is tagged with the level that produced it, and the benchmark
+// harness reports results as the same incremental stack the paper's
+// figures use.
+
+#pragma once
+
+#include <string_view>
+
+namespace finbench::core {
+
+enum class OptLevel {
+  kReference,     // naively-written C/C++ (the paper's starting point)
+  kBasic,         // compiler-only: pragmas (unroll / simd / omp)
+  kIntermediate,  // code changes: outer-loop SIMD via Vec classes, prefetch
+  kAdvanced,      // algorithmic restructuring: AOS->SOA, tiling, fusion
+};
+
+constexpr std::string_view to_string(OptLevel level) {
+  switch (level) {
+    case OptLevel::kReference: return "Reference";
+    case OptLevel::kBasic: return "Basic";
+    case OptLevel::kIntermediate: return "Intermediate";
+    case OptLevel::kAdvanced: return "Advanced";
+  }
+  return "?";
+}
+
+}  // namespace finbench::core

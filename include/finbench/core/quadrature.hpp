@@ -1,0 +1,52 @@
+// finbench/core/quadrature.hpp
+//
+// Gauss–Legendre quadrature — the numerical-integration substrate for the
+// semi-analytic characteristic-function pricers (Heston). Nodes/weights
+// are computed at construction by Newton iteration on the Legendre
+// polynomials (no tables).
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace finbench::core {
+
+class GaussLegendre {
+ public:
+  // n-point rule on [-1, 1]; n >= 1.
+  explicit GaussLegendre(int n);
+
+  int points() const { return static_cast<int>(nodes_.size()); }
+  const std::vector<double>& nodes() const { return nodes_; }
+  const std::vector<double>& weights() const { return weights_; }
+
+  // Integrate f over [a, b] with this rule.
+  template <class F>
+  double integrate(F&& f, double a, double b) const {
+    const double half = 0.5 * (b - a);
+    const double mid = 0.5 * (a + b);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      acc += weights_[i] * f(mid + half * nodes_[i]);
+    }
+    return half * acc;
+  }
+
+  // Composite rule: [a, b] split into `panels` equal panels.
+  template <class F>
+  double integrate_panels(F&& f, double a, double b, int panels) const {
+    double acc = 0.0;
+    const double w = (b - a) / panels;
+    for (int p = 0; p < panels; ++p) {
+      acc += integrate(f, a + p * w, a + (p + 1) * w);
+    }
+    return acc;
+  }
+
+ private:
+  std::vector<double> nodes_;
+  std::vector<double> weights_;
+};
+
+}  // namespace finbench::core

@@ -1,0 +1,62 @@
+// finbench/core/term_structure.hpp
+//
+// Piecewise-constant term structures for rates and volatilities. Under
+// Black–Scholes dynamics, only the *integrals* matter: a European option
+// under r(t), sigma(t) prices exactly like one under the equivalent
+// constants r_eq = (1/T) int r dt and sigma_eq^2 = (1/T) int sigma^2 dt —
+// the identity the tests pin and the pricing adapters exploit.
+
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "finbench/core/analytic.hpp"
+#include "finbench/core/option.hpp"
+
+namespace finbench::core {
+
+// Right-continuous step function: value(t) = values[i] for
+// t in [times[i], times[i+1]), extended flat beyond the last knot.
+// times[0] must be 0 and times strictly increasing.
+class PiecewiseConstant {
+ public:
+  PiecewiseConstant(std::span<const double> times, std::span<const double> values);
+
+  double value(double t) const;
+
+  // int_0^t value(s) ds.
+  double integral(double t) const;
+
+  // int_0^t value(s)^2 ds (the accumulated variance when this is a vol).
+  double integral_squared(double t) const;
+
+  std::size_t num_segments() const { return times_.size(); }
+
+ private:
+  std::vector<double> times_;
+  std::vector<double> values_;
+  std::vector<double> cum_;     // integral up to each knot
+  std::vector<double> cum_sq_;  // integral of square up to each knot
+};
+
+// Term-structure-aware European pricing: collapses r(t), sigma(t) to their
+// option-equivalent constants and prices with the closed form. Exact for
+// European options (no approximation involved).
+struct TermStructures {
+  PiecewiseConstant rate;
+  PiecewiseConstant vol;
+};
+
+BsPrice black_scholes_term(const OptionSpec& shape, const TermStructures& ts);
+
+// The equivalent constants themselves (useful for feeding any other
+// pricer: lattice, PDE, MC).
+struct EquivalentConstants {
+  double rate;
+  double vol;
+};
+EquivalentConstants equivalent_constants(const TermStructures& ts, double years);
+
+}  // namespace finbench::core

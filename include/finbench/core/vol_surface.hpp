@@ -1,0 +1,46 @@
+// finbench/core/vol_surface.hpp
+//
+// Implied-volatility surface container: the natural output of the
+// calibration workloads (batch implied vol) and input to everything else.
+// Interpolation follows the market-standard scheme — linear in *total
+// variance* w = vol^2 * T across expiries (which preserves calendar
+// consistency when the input grid has it) and linear in log-strike across
+// the smile. Extrapolation clamps to the boundary.
+
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace finbench::core {
+
+class VolSurface {
+ public:
+  // Rectangular quote grid: vols[e * strikes.size() + k] is the implied
+  // vol at (expiries[e], strikes[k]). Both axes strictly increasing and
+  // positive. Throws std::invalid_argument on malformed input.
+  static VolSurface from_grid(std::span<const double> strikes,
+                              std::span<const double> expiries, std::span<const double> vols);
+
+  // Interpolated implied vol at (strike, expiry).
+  double vol(double strike, double expiry) const;
+
+  // Total variance vol^2 * expiry at a point (the interpolation variable).
+  double total_variance(double strike, double expiry) const;
+
+  // True when total variance is non-decreasing in expiry at every grid
+  // strike — the no-calendar-arbitrage condition interpolation preserves.
+  bool calendar_arbitrage_free() const;
+
+  std::size_t num_strikes() const { return strikes_.size(); }
+  std::size_t num_expiries() const { return expiries_.size(); }
+
+ private:
+  std::vector<double> strikes_;      // stored as log-strike for interpolation
+  std::vector<double> log_strikes_;
+  std::vector<double> expiries_;
+  std::vector<double> total_var_;    // w = vol^2 * T, row-major [expiry][strike]
+};
+
+}  // namespace finbench::core

@@ -1,0 +1,47 @@
+// finbench/core/workload.hpp
+//
+// Deterministic random workload generators. Parameter ranges follow the
+// common financial-benchmark convention the paper's kernels assume (spot
+// and strike of the same magnitude, expiries from months to years,
+// moderate vols) so that every kernel's numerical path — deep in/out of
+// the money, short/long dated — is exercised.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "finbench/core/option.hpp"
+
+namespace finbench::core {
+
+struct WorkloadParams {
+  double spot_min = 10.0, spot_max = 200.0;
+  double strike_min = 10.0, strike_max = 200.0;
+  double years_min = 0.25, years_max = 5.0;
+  double rate = 0.05;   // shared across the batch (as in Lis. 1)
+  double vol = 0.25;    // shared across the batch
+};
+
+// Batch workloads for the Black–Scholes kernel (shared r, sigma).
+BsBatchAos make_bs_workload_aos(std::size_t n, std::uint64_t seed = 0,
+                                const WorkloadParams& p = {});
+BsBatchSoa make_bs_workload_soa(std::size_t n, std::uint64_t seed = 0,
+                                const WorkloadParams& p = {});
+
+// Heterogeneous single-option workloads (per-option r and sigma) for the
+// lattice / PDE / Monte Carlo kernels.
+struct SingleOptionWorkloadParams {
+  double spot_min = 50.0, spot_max = 150.0;
+  double strike_min = 50.0, strike_max = 150.0;
+  double years_min = 0.25, years_max = 3.0;
+  double rate_min = 0.01, rate_max = 0.08;
+  double vol_min = 0.10, vol_max = 0.60;
+  OptionType type = OptionType::kPut;
+  ExerciseStyle style = ExerciseStyle::kEuropean;
+};
+
+std::vector<OptionSpec> make_option_workload(std::size_t n, std::uint64_t seed = 0,
+                                             const SingleOptionWorkloadParams& p = {});
+
+}  // namespace finbench::core

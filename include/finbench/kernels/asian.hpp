@@ -1,0 +1,38 @@
+// finbench/kernels/asian.hpp
+//
+// Arithmetic- and geometric-average Asian options. The geometric average
+// of lognormals is lognormal, so the geometric Asian has a closed form
+// (Kemna–Vorst 1990) — which makes it both a validation target and the
+// classic control variate for the arithmetic contract (Glasserman §4.2):
+// the two payoffs are ~99% correlated, so regressing one on the other
+// removes almost all Monte Carlo variance.
+//
+// Path generation goes through the Brownian-bridge engine so a
+// quasi-random driver (Halton + bridge variance reordering) is a drop-in
+// option.
+
+#pragma once
+
+#include <cstdint>
+
+#include "finbench/core/option.hpp"
+#include "finbench/kernels/montecarlo.hpp"
+
+namespace finbench::kernels::asian {
+
+struct AsianParams {
+  int num_averaging_dates = 16;     // must be a power of two (bridge depth)
+  std::size_t num_paths = 1 << 16;
+  std::uint64_t seed = 0;
+  bool control_variate = true;      // geometric closed form as control
+  bool quasi_random = false;        // Halton + bridge instead of Philox
+};
+
+// Discrete geometric-average Asian call/put, closed form.
+double geometric_closed_form(const core::OptionSpec& opt, int num_averaging_dates);
+
+// Arithmetic-average Asian price by (Q)MC, optionally variance-reduced by
+// the geometric control.
+mc::McResult price_arithmetic(const core::OptionSpec& opt, const AsianParams& params = {});
+
+}  // namespace finbench::kernels::asian

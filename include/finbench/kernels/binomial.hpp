@@ -1,0 +1,59 @@
+// finbench/kernels/binomial.hpp
+//
+// Kernel 2: 1D binomial-tree option pricing (paper Sec. IV-B, Fig. 5).
+// Cox–Ross–Rubinstein lattice with N time steps; the backward reduction
+// costs ~3·N(N+1)/2 flops per option.
+//
+// Variants (paper's stacked-bar levels):
+//   reference     — Lis. 2: per-option scalar reduction, inner j-loop
+//   basic         — reference + pragmas: inner-loop autovectorization and
+//                   OpenMP across options
+//   intermediate  — SIMD across options: one option per lane (Vec classes);
+//                   every access is aligned and full-width
+//   advanced      — intermediate + the paper's novel register-tiling
+//                   scheme (Lis. 3): a TS-deep tile lives in the register
+//                   file, each Call value is read/written once per TS time
+//                   steps instead of once per step
+//   advanced_unrolled — advanced + manual unrolling of the tile loop (the
+//                   Fig. 5 "Basic (Unrolled)" increment that helps in-order
+//                   KNC cores)
+//
+// American exercise is supported by the reference and intermediate
+// variants (the paper prices European; American is the natural extension
+// and is used to validate Crank–Nicolson).
+
+#pragma once
+
+#include <span>
+
+#include "finbench/core/option.hpp"
+#include "finbench/vecmath/array_math.hpp"
+
+namespace finbench::kernels::binomial {
+
+using vecmath::Width;
+
+// ~3 flops per lattice node.
+inline double flops_per_option(int steps) {
+  return 3.0 * steps * (steps + 1) / 2.0;
+}
+
+// Price a single option (any style); the building block of `reference`.
+double price_one_reference(const core::OptionSpec& opt, int steps);
+
+void price_reference(std::span<const core::OptionSpec> opts, int steps, std::span<double> out);
+void price_basic(std::span<const core::OptionSpec> opts, int steps, std::span<double> out);
+void price_intermediate(std::span<const core::OptionSpec> opts, int steps, std::span<double> out,
+                        Width w = Width::kAuto);
+// European only (the tile carries no per-node early-exercise information).
+void price_advanced(std::span<const core::OptionSpec> opts, int steps, std::span<double> out,
+                    Width w = Width::kAuto);
+void price_advanced_unrolled(std::span<const core::OptionSpec> opts, int steps,
+                             std::span<double> out, Width w = Width::kAuto);
+
+// Ablation entry: register tiling with an explicit tile depth (one of
+// 4, 8, 16, 32, 64; other values throw). The default variants use 16.
+void price_advanced_tile(std::span<const core::OptionSpec> opts, int steps,
+                         std::span<double> out, int tile_size, Width w = Width::kAuto);
+
+}  // namespace finbench::kernels::binomial

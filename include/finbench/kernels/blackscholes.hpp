@@ -1,0 +1,84 @@
+// finbench/kernels/blackscholes.hpp
+//
+// Kernel 1: closed-form Black–Scholes European pricing (paper Sec. IV-A,
+// Fig. 4). Prices `nopt` call/put pairs from 3 inputs per option (S, K, T)
+// with batch-shared r and sigma — ~200 flops, 24 bytes read, 16 bytes
+// written per option, so the optimized kernel is DRAM-bandwidth-bound.
+//
+// Variants (paper's stacked-bar levels):
+//   reference    — scalar AOS loop, exactly Lis. 1 (cnd via libm erfc)
+//   basic        — same AOS loop under "#pragma omp parallel for simd":
+//                  the compiler vectorizes but every field access is a
+//                  gather/scatter across `width` cache lines
+//   intermediate — AOS->SOA + explicit SIMD across options (one option per
+//                  lane, Vec classes), cnd -> erf substitution, and the
+//                  put from call/put parity (Sec. IV-A2)
+//   advanced_vml — SOA + VML-style array math: whole-array transcendental
+//                  passes through temporaries. Matches the paper's
+//                  "Advanced (Using VML)" bar; its larger cache footprint
+//                  is the reason SVML-style fusion can win (Sec. IV-A3)
+//
+// All SIMD variants take a Width so the 4-wide (SNB-EP-class) and 8-wide
+// (KNC-class) paths can be measured separately.
+
+#pragma once
+
+#include "finbench/core/option.hpp"
+#include "finbench/vecmath/array_math.hpp"
+
+namespace finbench::kernels::bs {
+
+using vecmath::Width;
+
+// Cost model constants used for roofline bounds (see DESIGN.md).
+inline constexpr double kFlopsPerOption = 200.0;
+inline constexpr double kBytesPerOption = 40.0;  // 24 in + 16 out
+
+void price_reference(core::BsBatchAos& batch);
+void price_basic(core::BsBatchAos& batch);
+void price_intermediate(core::BsBatchSoa& batch, Width w = Width::kAuto);
+void price_advanced_vml(core::BsBatchSoa& batch, Width w = Width::kAuto);
+
+// Single-precision variant of the intermediate kernel: one option per
+// float lane (8 on AVX2, 16 on AVX-512). Accuracy ~1e-6 relative — the
+// precision/lane-count trade Table I's SP peak rows quantify.
+using WidthF = vecmath::WidthF;
+void price_intermediate_sp(core::BsBatchSoaF& batch, WidthF w = WidthF::kAuto);
+
+// --- Batch greeks (extension): the full sensitivity set, SIMD across
+// options. Call and put greeks come from one d1/d2 evaluation per option
+// (put values via parity relations), so the whole set costs barely more
+// than pricing. Validated against core::black_scholes_greeks in tests.
+struct GreeksBatchSoa {
+  arch::AlignedVector<double> delta_call, delta_put;
+  arch::AlignedVector<double> gamma;       // same for call and put
+  arch::AlignedVector<double> vega;        // same for call and put
+  arch::AlignedVector<double> theta_call, theta_put;
+  arch::AlignedVector<double> rho_call, rho_put;
+
+  std::size_t size() const { return gamma.size(); }
+  void resize(std::size_t n) {
+    delta_call.resize(n);
+    delta_put.resize(n);
+    gamma.resize(n);
+    vega.resize(n);
+    theta_call.resize(n);
+    theta_put.resize(n);
+    rho_call.resize(n);
+    rho_put.resize(n);
+  }
+};
+
+void greeks_intermediate(const core::BsBatchSoa& batch, GreeksBatchSoa& out,
+                         Width w = Width::kAuto);
+
+// --- Batch implied volatility (extension): the model-calibration inner
+// loop, SIMD across quotes. Safeguarded Newton (bisection fallback) with
+// every lane iterating until its own convergence; quotes outside the
+// arbitrage-free band come back as -1. batch.vol is ignored; batch.call /
+// batch.put are not touched.
+void implied_vol_intermediate(const core::BsBatchSoa& batch,
+                              std::span<const double> call_prices, std::span<double> vols_out,
+                              Width w = Width::kAuto);
+
+}  // namespace finbench::kernels::bs

@@ -1,0 +1,92 @@
+// finbench/kernels/montecarlo.hpp
+//
+// Kernel 4: Monte Carlo European option pricing (paper Sec. IV-D, Lis. 5,
+// Table II). Each option is priced by averaging the discounted payoff of
+// npath geometric-Brownian terminal values:
+//
+//   S_T = S * exp((r - sigma^2/2) T + sigma sqrt(T) Z),  Z ~ N(0,1)
+//
+// Two RNG regimes, matching Table II's rows:
+//   *stream*   — normals are pre-generated and streamed from memory; the
+//                same array is reused for every option (compute-bound:
+//                the exp dominates)
+//   *computed* — normals are generated on the fly, a fresh set per option
+//                (RNG-dominated)
+//
+// Variants:
+//   reference — scalar inner loop, exactly Lis. 5
+//   basic     — reference + "#pragma omp parallel for" over options and
+//               "#pragma omp simd reduction" + unroll on the path loop (the
+//               paper's point: basic pragmas get this kernel to peak)
+//   optimized — explicit SIMD over paths with Vec classes + vecmath::exp,
+//               selectable width; computed-RNG flavor interleaves
+//               chunked Philox/ICDF generation with integration
+//
+// Unlike Lis. 5 (which sums raw payoffs), results are returned discounted,
+// with the standard error of the estimate.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "finbench/core/option.hpp"
+#include "finbench/vecmath/array_math.hpp"
+
+namespace finbench::kernels::mc {
+
+using vecmath::Width;
+
+struct McResult {
+  double price = 0.0;      // discounted mean payoff
+  double std_error = 0.0;  // standard error of the mean (discounted)
+};
+
+// ~10 flops + 1 exp (~20 flops) per path.
+inline constexpr double kFlopsPerPath = 30.0;
+
+// --- stream-RNG flavor: z.size() >= npath, shared across options ----------
+void price_reference_stream(std::span<const core::OptionSpec> opts, std::span<const double> z,
+                            std::size_t npath, std::span<McResult> out);
+void price_basic_stream(std::span<const core::OptionSpec> opts, std::span<const double> z,
+                        std::size_t npath, std::span<McResult> out);
+void price_optimized_stream(std::span<const core::OptionSpec> opts, std::span<const double> z,
+                            std::size_t npath, std::span<McResult> out, Width w = Width::kAuto);
+
+// --- computed-RNG flavor: a fresh Philox substream per option --------------
+void price_reference_computed(std::span<const core::OptionSpec> opts, std::size_t npath,
+                              std::uint64_t seed, std::span<McResult> out);
+void price_optimized_computed(std::span<const core::OptionSpec> opts, std::size_t npath,
+                              std::uint64_t seed, std::span<McResult> out,
+                              Width w = Width::kAuto);
+
+// --- Variance reduction (extension; Glasserman ch. 4) -----------------------
+// Antithetic pairs (+Z, -Z) halve the variance of monotone payoffs; the
+// optional control variate regresses the payoff on the terminal stock
+// (whose discounted mean S e^{-qT} is known exactly) and removes the
+// correlated component. `npath` counts total paths (antithetic pairs use
+// npath/2 draws). std_error reflects the reduced estimator.
+void price_variance_reduced(std::span<const core::OptionSpec> opts, std::size_t npath,
+                            std::uint64_t seed, std::span<McResult> out,
+                            bool antithetic = true, bool control_variate = true);
+
+// --- Pathwise greeks (extension; Glasserman ch. 7) ---------------------------
+// Unbiased delta and vega estimators from the same terminal draws as the
+// price: for a call, d payoff/d S0 = 1{S_T > K} S_T / S0 and
+// d payoff/d sigma = 1{S_T > K} S_T (ln(S_T/S0) - (r - q + sigma^2/2) T)/sigma.
+// Gamma has no pathwise estimator (the payoff kink); it is returned via the
+// likelihood-ratio-mixed estimator LRPW: gamma = e^{-rT} E[1{ITM} z /
+// (S0 sigma sqrt(T))] style weight.
+struct McGreeks {
+  double price = 0.0;
+  double delta = 0.0;
+  double vega = 0.0;
+  double gamma = 0.0;
+  double delta_se = 0.0;  // standard errors of the estimators
+  double vega_se = 0.0;
+};
+
+void greeks_pathwise(std::span<const core::OptionSpec> opts, std::size_t npath,
+                     std::uint64_t seed, std::span<McGreeks> out);
+
+}  // namespace finbench::kernels::mc

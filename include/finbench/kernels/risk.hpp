@@ -1,0 +1,49 @@
+// finbench/kernels/risk.hpp
+//
+// Portfolio risk engine: aggregate greeks and spot-ladder revaluation for
+// a book of vanilla positions, built on the SIMD batch pricing and greeks
+// kernels — the "risk management" half of the workloads the paper's
+// introduction motivates (STAC risk benchmarks).
+
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "finbench/core/option.hpp"
+
+namespace finbench::kernels::risk {
+
+struct Position {
+  core::OptionSpec option;  // European vanilla (priced in closed form)
+  double quantity = 1.0;    // signed; negative = short
+};
+
+struct PortfolioGreeks {
+  double value = 0.0;
+  double delta = 0.0;
+  double gamma = 0.0;
+  double vega = 0.0;
+  double theta = 0.0;
+  double rho = 0.0;
+};
+
+// Aggregate book value and greeks. All positions must share the same
+// underlying (the spot shifts below move one underlying); rate/vol may
+// differ per position.
+PortfolioGreeks aggregate(std::span<const Position> book);
+
+// Spot ladder: full revaluation of the book at multiplicative spot shifts
+// (e.g. {0.8, 0.9, 1.0, 1.1, 1.2}), returning the P&L versus the unshifted
+// value. Revaluation goes through the closed form (positions carry
+// per-position rates/vols, so the shared-parameter SIMD batch kernel does
+// not apply directly).
+std::vector<double> spot_ladder(std::span<const Position> book,
+                                std::span<const double> spot_multipliers);
+
+// Parallel vega ladder: P&L for additive vol shifts (e.g. ±1, ±5 vol pts).
+std::vector<double> vol_ladder(std::span<const Position> book,
+                               std::span<const double> vol_shifts);
+
+}  // namespace finbench::kernels::risk

@@ -1,0 +1,53 @@
+// finbench/rng/halton.hpp
+//
+// Halton low-discrepancy (quasi-random) sequences, with optional
+// Cranley–Patterson rotation for randomization. Quasi-random numbers are
+// the other half of the "RNG & QRNG" low-level technique family in the
+// paper's Fig. 1 taxonomy, and the classical partner of the Brownian
+// bridge: the bridge reorders a path's variance into the first few
+// dimensions, which is exactly where a low-discrepancy sequence is most
+// uniform (Glasserman 2004, ch. 5 — the paper's ref [12]).
+//
+// Dimension d uses the radical inverse in the d-th prime base. Plain
+// Halton is deterministic; a nonzero rotation seed applies a per-dimension
+// modular shift (preserves the low-discrepancy property, enables error
+// estimation over independent randomizations).
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace finbench::rng {
+
+// Radical inverse of `index` in base `base` (the building block; exposed
+// for testing and for custom sequence construction).
+double radical_inverse(std::uint64_t index, unsigned base);
+
+class Halton {
+ public:
+  // `dims` >= 1; rotation_seed == 0 means the plain (unrotated) sequence.
+  explicit Halton(int dims, std::uint64_t rotation_seed = 0);
+
+  int dims() const { return static_cast<int>(bases_.size()); }
+  std::uint64_t index() const { return index_; }
+
+  // Next point; out.size() must be >= dims(). Index 0 of the plain
+  // sequence is the all-zeros point; generation starts at index 1 by
+  // convention (skipping the degenerate origin).
+  void next(std::span<double> out);
+
+  // Fill `n` consecutive points, row-major: out[p * dims + d].
+  void generate(std::span<double> out, std::size_t n);
+
+  // Jump to an absolute index (points are a pure function of the index).
+  void seek(std::uint64_t index) { index_ = index; }
+
+ private:
+  std::vector<unsigned> bases_;   // first `dims` primes
+  std::vector<double> rotation_;  // per-dimension shift in [0,1)
+  std::uint64_t index_ = 1;
+};
+
+}  // namespace finbench::rng

@@ -1,0 +1,28 @@
+// finbench/rng/splitmix64.hpp
+//
+// SplitMix64 (Steele, Lea, Flood 2014): a tiny 64-bit generator used here
+// solely to expand user seeds into full generator states, so that nearby
+// seeds produce unrelated streams.
+
+#pragma once
+
+#include <cstdint>
+
+namespace finbench::rng {
+
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace finbench::rng

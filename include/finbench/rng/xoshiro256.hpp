@@ -1,0 +1,64 @@
+// finbench/rng/xoshiro256.hpp
+//
+// xoshiro256++ (Blackman & Vigna 2019): a fast 64-bit generator with a
+// 2^128 jump function for independent streams. Included as a third
+// generator family so the RNG-sensitive benchmarks (Table II, Brownian
+// bridge) can be cross-checked against structurally different generators.
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "finbench/rng/splitmix64.hpp"
+
+namespace finbench::rng {
+
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  double next_u01() { return static_cast<double>(next_u64() >> 11) * 0x1.0p-53; }
+
+  void generate_u01(std::span<double> out) {
+    for (auto& x : out) x = next_u01();
+  }
+
+  // Advance 2^128 steps: partitions the period into independent streams.
+  void jump() {
+    static constexpr std::uint64_t kJump[] = {0x180ec6d33cfd0abaULL, 0xd5a61266f0c9392cULL,
+                                              0xa9582618e03fc9aaULL, 0x39abdc4529b1661cULL};
+    std::array<std::uint64_t, 4> acc{};
+    for (std::uint64_t j : kJump) {
+      for (int b = 0; b < 64; ++b) {
+        if (j & (1ULL << b)) {
+          for (int i = 0; i < 4; ++i) acc[i] ^= state_[i];
+        }
+        next_u64();
+      }
+    }
+    state_ = acc;
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace finbench::rng

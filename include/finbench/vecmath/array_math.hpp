@@ -1,0 +1,48 @@
+// finbench/vecmath/array_math.hpp
+//
+// Array-level math: the library's substitute for Intel MKL VML, which the
+// paper's "Advanced (Using VML)" Black–Scholes variant calls into (Fig. 4).
+// Each routine applies a transcendental to a whole array with a SIMD main
+// loop and a scalar tail, optionally at a forced vector width so benchmarks
+// can compare the 4-wide (SNB-EP-class) and 8-wide (KNC-class) paths.
+
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace finbench::vecmath {
+
+// Vector-width selection for the array routines (and for kernels).
+enum class Width {
+  kScalar = 1,   // W=1 reference path
+  kAvx2 = 4,     // W=4, 256-bit (SNB-EP-class)
+  kAvx512 = 8,   // W=8, 512-bit (KNC-class)
+  kAuto = 0,     // widest path compiled in
+};
+
+// Single-precision width selection (float lanes are twice as many).
+enum class WidthF { kScalar = 1, kAvx2 = 8, kAvx512 = 16, kAuto = 0 };
+
+// Widest width compiled into this build (8 with AVX-512, else 4).
+int max_width() noexcept;
+
+// out[i] = f(in[i]); in and out may alias exactly (in == out) but must not
+// partially overlap. All routines are thread-safe and allocation-free.
+void exp(std::span<const double> in, std::span<double> out, Width w = Width::kAuto);
+void log(std::span<const double> in, std::span<double> out, Width w = Width::kAuto);
+void erf(std::span<const double> in, std::span<double> out, Width w = Width::kAuto);
+void erfc(std::span<const double> in, std::span<double> out, Width w = Width::kAuto);
+void cnd(std::span<const double> in, std::span<double> out, Width w = Width::kAuto);
+void inverse_cnd(std::span<const double> in, std::span<double> out, Width w = Width::kAuto);
+void sincos(std::span<const double> in, std::span<double> sin_out, std::span<double> cos_out,
+            Width w = Width::kAuto);
+void sqrt(std::span<const double> in, std::span<double> out, Width w = Width::kAuto);
+
+// Single-precision array routines (same aliasing rules).
+void expf(std::span<const float> in, std::span<float> out, WidthF w = WidthF::kAuto);
+void logf(std::span<const float> in, std::span<float> out, WidthF w = WidthF::kAuto);
+void erff(std::span<const float> in, std::span<float> out, WidthF w = WidthF::kAuto);
+void cndf(std::span<const float> in, std::span<float> out, WidthF w = WidthF::kAuto);
+
+}  // namespace finbench::vecmath

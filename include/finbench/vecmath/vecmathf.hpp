@@ -1,0 +1,115 @@
+// finbench/vecmath/vecmathf.hpp
+//
+// Single-precision vector transcendentals for the SP kernel variants
+// (Table I quotes separate SP peaks; SP doubles the SIMD lane count).
+// Same structure as the double kernels, with float-appropriate polynomial
+// degrees:
+//
+//   expf — Cody–Waite + degree-6 polynomial, <= 2 ulp over [-87, 88]
+//   logf — exponent split + atanh series, <= 2 ulp
+//   erff — rational approximation (|x|<=2: expf-free polynomial blend;
+//          tails via expf), ~5e-7 absolute
+//   cndf — normal CDF via erff
+
+#pragma once
+
+#include <limits>
+
+#include "finbench/simd/vecf.hpp"
+
+namespace finbench::vecmath {
+
+namespace detailf {
+
+inline constexpr float kLog2Ef = 1.44269504088896341f;
+inline constexpr float kLn2Hif = 0.693359375f;
+inline constexpr float kLn2Lof = -2.12194440e-4f;
+inline constexpr float kExpOverflowF = 88.3762626647950f;
+inline constexpr float kExpUnderflowF = -87.3365478515625f;
+inline constexpr float kSqrt2f = 1.41421356237f;
+
+}  // namespace detailf
+
+template <class VF> inline VF expf(VF x) {
+  using namespace detailf;
+  using M = typename VF::mask_type;
+
+  const M too_big = x > VF(kExpOverflowF);
+  const M too_small = x < VF(kExpUnderflowF);
+
+  VF n = round_nearest(x * VF(kLog2Ef));
+  VF r = fnmadd(n, VF(kLn2Hif), x);
+  r = fnmadd(n, VF(kLn2Lof), r);
+
+  // Degree-6 polynomial (coefficients 1/k!): |r| <= ln2/2 -> ~1e-8 rel.
+  VF p = VF(1.0f / 5040.0f);
+  p = fmadd(p, r, VF(1.0f / 720.0f));
+  p = fmadd(p, r, VF(1.0f / 120.0f));
+  p = fmadd(p, r, VF(1.0f / 24.0f));
+  p = fmadd(p, r, VF(1.0f / 6.0f));
+  p = fmadd(p, r, VF(0.5f));
+  p = fmadd(p, r, VF(1.0f));
+  p = fmadd(p, r, VF(1.0f));
+
+  n = min(max(n, VF(-126.0f)), VF(127.0f));
+  VF result = p * simd::pow2n_f(n);
+  result = select(too_big, VF(std::numeric_limits<float>::infinity()), result);
+  result = select(too_small, VF(0.0f), result);
+  result = select(x != x, x, result);
+  return result;
+}
+
+template <class VF> inline VF logf(VF x) {
+  using namespace detailf;
+  using M = typename VF::mask_type;
+
+  const M not_pos = !(x > VF(0.0f));
+  const M is_inf = x == VF(std::numeric_limits<float>::infinity());
+
+  VF m, e;
+  simd::split_exponent_f(x, m, e);
+  const M upper = m > VF(kSqrt2f);
+  m = select(upper, m * VF(0.5f), m);
+  e = select(upper, e + VF(1.0f), e);
+
+  const VF s = (m - VF(1.0f)) / (m + VF(1.0f));
+  const VF z = s * s;
+  VF p = VF(2.0f / 11.0f);
+  p = fmadd(p, z, VF(2.0f / 9.0f));
+  p = fmadd(p, z, VF(2.0f / 7.0f));
+  p = fmadd(p, z, VF(2.0f / 5.0f));
+  p = fmadd(p, z, VF(2.0f / 3.0f));
+  VF log_m = fmadd(p * z, s, s + s);
+
+  VF result = fmadd(e, VF(kLn2Hif), fmadd(e, VF(kLn2Lof), log_m));
+  result = select(is_inf, x, result);
+  result = select(x == VF(0.0f), VF(-std::numeric_limits<float>::infinity()), result);
+  result = select(not_pos & !(x == VF(0.0f)), VF(std::numeric_limits<float>::quiet_NaN()),
+                  result);
+  return result;
+}
+
+// erf via the Abramowitz–Stegun 7.1.26 rational (max error 1.5e-7,
+// i.e. full single precision), vectorized branch-free.
+template <class VF> inline VF erff(VF x) {
+  const VF ax = abs(x);
+  const VF t = VF(1.0f) / fmadd(VF(0.3275911f), ax, VF(1.0f));
+  VF poly = VF(1.061405429f);
+  poly = fmadd(poly, t, VF(-1.453152027f));
+  poly = fmadd(poly, t, VF(1.421413741f));
+  poly = fmadd(poly, t, VF(-0.284496736f));
+  poly = fmadd(poly, t, VF(0.254829592f));
+  const VF e = expf(-(ax * ax));
+  VF r = fnmadd(poly * t, e, VF(1.0f));
+  // Restore sign.
+  r = select(x < VF(0.0f), -r, r);
+  return r;
+}
+
+// Standard normal CDF, single precision.
+template <class VF> inline VF cndf(VF x) {
+  constexpr float kInvSqrt2f = 0.70710678118654752440f;
+  return fmadd(erff(x * VF(kInvSqrt2f)), VF(0.5f), VF(0.5f));
+}
+
+}  // namespace finbench::vecmath

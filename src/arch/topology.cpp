@@ -1,0 +1,124 @@
+#include "finbench/arch/topology.hpp"
+
+#include <cpuid.h>
+
+#include <array>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+namespace finbench::arch {
+
+namespace {
+
+struct CpuidRegs {
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+};
+
+CpuidRegs cpuid(unsigned leaf, unsigned subleaf = 0) {
+  CpuidRegs r;
+  __cpuid_count(leaf, subleaf, r.eax, r.ebx, r.ecx, r.edx);
+  return r;
+}
+
+std::size_t read_sysfs_cache_kb(int index) {
+  std::ostringstream path;
+  path << "/sys/devices/system/cpu/cpu0/cache/index" << index << "/size";
+  std::ifstream f(path.str());
+  if (!f) return 0;
+  std::string s;
+  f >> s;
+  if (s.empty()) return 0;
+  std::size_t mul = 1;
+  if (s.back() == 'K') mul = 1024;
+  else if (s.back() == 'M') mul = 1024 * 1024;
+  if (mul > 1) s.pop_back();
+  return static_cast<std::size_t>(std::stoull(s)) * mul;
+}
+
+std::string read_sysfs_cache_type(int index) {
+  std::ostringstream path;
+  path << "/sys/devices/system/cpu/cpu0/cache/index" << index << "/type";
+  std::ifstream f(path.str());
+  std::string s;
+  if (f) f >> s;
+  return s;
+}
+
+int read_sysfs_cache_level(int index) {
+  std::ostringstream path;
+  path << "/sys/devices/system/cpu/cpu0/cache/index" << index << "/level";
+  std::ifstream f(path.str());
+  int level = 0;
+  if (f) f >> level;
+  return level;
+}
+
+}  // namespace
+
+CpuFeatures detect_cpu_features() {
+  CpuFeatures out;
+  const CpuidRegs l7 = cpuid(7);
+  out.avx2 = (l7.ebx >> 5) & 1;
+  out.avx512f = (l7.ebx >> 16) & 1;
+  out.avx512dq = (l7.ebx >> 17) & 1;
+  const CpuidRegs l1 = cpuid(1);
+  out.fma = (l1.ecx >> 12) & 1;
+
+  // Brand string: leaves 0x80000002..4.
+  std::array<char, 49> brand{};
+  const unsigned max_ext = cpuid(0x80000000u).eax;
+  if (max_ext >= 0x80000004u) {
+    for (unsigned i = 0; i < 3; ++i) {
+      const CpuidRegs r = cpuid(0x80000002u + i);
+      std::memcpy(brand.data() + 16 * i + 0, &r.eax, 4);
+      std::memcpy(brand.data() + 16 * i + 4, &r.ebx, 4);
+      std::memcpy(brand.data() + 16 * i + 8, &r.ecx, 4);
+      std::memcpy(brand.data() + 16 * i + 12, &r.edx, 4);
+    }
+  }
+  out.brand = brand.data();
+  // Trim leading spaces.
+  const auto first = out.brand.find_first_not_of(' ');
+  if (first != std::string::npos) out.brand.erase(0, first);
+  return out;
+}
+
+CacheInfo detect_caches() {
+  CacheInfo info;
+  for (int idx = 0; idx < 8; ++idx) {
+    const int level = read_sysfs_cache_level(idx);
+    if (level == 0) continue;
+    const std::string type = read_sysfs_cache_type(idx);
+    const std::size_t bytes = read_sysfs_cache_kb(idx);
+    if (level == 1 && type == "Data") info.l1d = bytes;
+    else if (level == 2 && type != "Instruction") info.l2 = bytes;
+    else if (level == 3) info.l3 = bytes;
+  }
+  // Fallbacks if sysfs is unavailable (e.g. minimal containers).
+  if (info.l1d == 0) info.l1d = 32 * 1024;
+  if (info.l2 == 0) info.l2 = 512 * 1024;
+  return info;
+}
+
+int logical_cpus() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+double cpu_ghz() {
+  std::ifstream f("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(f, line)) {
+    if (line.rfind("cpu MHz", 0) == 0) {
+      const auto colon = line.find(':');
+      if (colon != std::string::npos) {
+        return std::stod(line.substr(colon + 1)) / 1000.0;
+      }
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace finbench::arch

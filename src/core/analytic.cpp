@@ -1,0 +1,125 @@
+#include "finbench/core/analytic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace finbench::core {
+
+namespace {
+
+constexpr double kInvSqrt2 = 0.70710678118654752440;
+constexpr double kInvSqrt2Pi = 0.39894228040143267794;
+
+double cnd(double x) { return 0.5 * std::erfc(-x * kInvSqrt2); }
+double npdf(double x) { return kInvSqrt2Pi * std::exp(-0.5 * x * x); }
+
+}  // namespace
+
+BsPrice black_scholes(double spot, double strike, double years, double rate, double vol,
+                      double dividend) {
+  BsPrice out;
+  const double df = std::exp(-rate * years);
+  const double qf = std::exp(-dividend * years);  // dividend discount
+  if (years <= 0.0 || vol <= 0.0) {
+    // Degenerate: option value is the discounted deterministic payoff of
+    // the forward S e^{(r-q)T}.
+    const double fwd = spot * qf / df;
+    out.call = df * std::max(fwd - strike, 0.0);
+    out.put = df * std::max(strike - fwd, 0.0);
+    return out;
+  }
+  const double sig_rt = vol * std::sqrt(years);
+  const double d1 =
+      (std::log(spot / strike) + (rate - dividend + 0.5 * vol * vol) * years) / sig_rt;
+  const double d2 = d1 - sig_rt;
+  out.call = spot * qf * cnd(d1) - strike * df * cnd(d2);
+  out.put = strike * df * cnd(-d2) - spot * qf * cnd(-d1);
+  return out;
+}
+
+BsGreeks black_scholes_greeks(const OptionSpec& o) {
+  BsGreeks g;
+  const bool call = o.type == OptionType::kCall;
+  if (o.years <= 0.0 || o.vol <= 0.0) {
+    const double intrinsic_sign = call ? 1.0 : -1.0;
+    g.delta = intrinsic_sign * (intrinsic_sign * (o.spot - o.strike) > 0 ? 1.0 : 0.0);
+    return g;
+  }
+  const double sig_rt = o.vol * std::sqrt(o.years);
+  const double df = std::exp(-o.rate * o.years);
+  const double qf = std::exp(-o.dividend * o.years);
+  const double d1 = (std::log(o.spot / o.strike) +
+                     (o.rate - o.dividend + 0.5 * o.vol * o.vol) * o.years) /
+                    sig_rt;
+  const double d2 = d1 - sig_rt;
+  const double pdf_d1 = npdf(d1);
+
+  g.gamma = qf * pdf_d1 / (o.spot * sig_rt);
+  g.vega = o.spot * qf * pdf_d1 * std::sqrt(o.years);
+  const double theta_common = -o.spot * qf * pdf_d1 * o.vol / (2.0 * std::sqrt(o.years));
+  if (call) {
+    g.delta = qf * cnd(d1);
+    g.theta = theta_common - o.rate * o.strike * df * cnd(d2) +
+              o.dividend * o.spot * qf * cnd(d1);
+    g.rho = o.strike * o.years * df * cnd(d2);
+  } else {
+    g.delta = qf * (cnd(d1) - 1.0);
+    g.theta = theta_common + o.rate * o.strike * df * cnd(-d2) -
+              o.dividend * o.spot * qf * cnd(-d1);
+    g.rho = -o.strike * o.years * df * cnd(-d2);
+  }
+  return g;
+}
+
+BsDigital black_scholes_digital(double spot, double strike, double years, double rate,
+                                double vol) {
+  BsDigital out;
+  const double df = std::exp(-rate * years);
+  if (years <= 0.0 || vol <= 0.0) {
+    const double fwd = spot / df;
+    out.cash_call = df * (fwd > strike ? 1.0 : 0.0);
+    out.cash_put = df * (fwd <= strike ? 1.0 : 0.0);
+    out.asset_call = fwd > strike ? spot : 0.0;
+    out.asset_put = fwd <= strike ? spot : 0.0;
+    return out;
+  }
+  const double sig_rt = vol * std::sqrt(years);
+  const double d1 = (std::log(spot / strike) + (rate + 0.5 * vol * vol) * years) / sig_rt;
+  const double d2 = d1 - sig_rt;
+  out.cash_call = df * cnd(d2);
+  out.cash_put = df * cnd(-d2);
+  out.asset_call = spot * cnd(d1);
+  out.asset_put = spot * cnd(-d1);
+  return out;
+}
+
+double implied_volatility(const OptionSpec& o, double price) {
+  const bool call = o.type == OptionType::kCall;
+  const double df = std::exp(-o.rate * o.years);
+  const double sq = o.spot * std::exp(-o.dividend * o.years);
+  // Arbitrage-free bounds for a European option (on the forward).
+  const double lower =
+      call ? std::max(sq - o.strike * df, 0.0) : std::max(o.strike * df - sq, 0.0);
+  const double upper = call ? sq : o.strike * df;
+  if (price < lower - 1e-12 || price > upper + 1e-12) return -1.0;
+
+  double lo = 1e-6, hi = 4.0;
+  OptionSpec probe = o;
+  double vol = 0.2;
+  for (int it = 0; it < 100; ++it) {
+    probe.vol = vol;
+    const double v = black_scholes_price(probe);
+    const double diff = v - price;
+    if (std::fabs(diff) < 1e-12 * std::max(1.0, price)) return vol;
+    if (diff > 0) hi = vol;
+    else lo = vol;
+    const double vega = black_scholes_greeks(probe).vega;
+    double next = vol - diff / std::max(vega, 1e-12);
+    if (!(next > lo && next < hi)) next = 0.5 * (lo + hi);  // bisect fallback
+    if (std::fabs(next - vol) < 1e-14) return next;
+    vol = next;
+  }
+  return vol;
+}
+
+}  // namespace finbench::core

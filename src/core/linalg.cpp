@@ -1,0 +1,49 @@
+#include "finbench/core/linalg.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace finbench::core {
+
+std::optional<std::vector<double>> cholesky(std::span<const double> a, std::size_t n) {
+  assert(a.size() >= n * n);
+  std::vector<double> l(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double sum = a[i * n + j];
+      for (std::size_t k = 0; k < j; ++k) sum -= l[i * n + k] * l[j * n + k];
+      if (i == j) {
+        if (sum <= 1e-14) return std::nullopt;  // not (sufficiently) PD
+        l[i * n + i] = std::sqrt(sum);
+      } else {
+        l[i * n + j] = sum / l[j * n + j];
+      }
+    }
+  }
+  return l;
+}
+
+void lower_tri_matvec(std::span<const double> l, std::size_t n, std::span<const double> z,
+                      std::span<double> y) {
+  assert(l.size() >= n * n && z.size() >= n && y.size() >= n);
+  for (std::size_t i = n; i-- > 0;) {  // backward so y may alias z
+    double acc = 0.0;
+    for (std::size_t k = 0; k <= i; ++k) acc += l[i * n + k] * z[k];
+    y[i] = acc;
+  }
+}
+
+bool is_correlation_matrix(std::span<const double> a, std::size_t n, double tol) {
+  assert(a.size() >= n * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (std::fabs(a[i * n + i] - 1.0) > tol) return false;
+    for (std::size_t j = 0; j < i; ++j) {
+      const double v = a[i * n + j];
+      if (std::fabs(v - a[j * n + i]) > tol) return false;
+      if (v < -1.0 - tol || v > 1.0 + tol) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace finbench::core

@@ -1,0 +1,39 @@
+#include "finbench/core/quadrature.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace finbench::core {
+
+GaussLegendre::GaussLegendre(int n) {
+  if (n < 1) throw std::invalid_argument("GaussLegendre: n must be >= 1");
+  nodes_.resize(n);
+  weights_.resize(n);
+  // Newton iteration from the Chebyshev-like initial guess; symmetric
+  // roots computed in pairs.
+  const int m = (n + 1) / 2;
+  for (int i = 0; i < m; ++i) {
+    double x = std::cos(3.14159265358979323846 * (i + 0.75) / (n + 0.5));
+    double dp = 0.0;
+    for (int it = 0; it < 100; ++it) {
+      // Evaluate P_n(x) and P'_n(x) by the three-term recurrence.
+      double p0 = 1.0, p1 = x;
+      for (int k = 2; k <= n; ++k) {
+        const double p2 = ((2 * k - 1) * x * p1 - (k - 1) * p0) / k;
+        p0 = p1;
+        p1 = p2;
+      }
+      dp = n * (x * p1 - p0) / (x * x - 1.0);
+      const double dx = p1 / dp;
+      x -= dx;
+      if (std::fabs(dx) < 1e-15) break;
+    }
+    nodes_[i] = -x;
+    nodes_[n - 1 - i] = x;
+    const double w = 2.0 / ((1.0 - x * x) * dp * dp);
+    weights_[i] = w;
+    weights_[n - 1 - i] = w;
+  }
+}
+
+}  // namespace finbench::core

@@ -1,0 +1,72 @@
+#include "finbench/core/term_structure.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "finbench/core/analytic.hpp"
+
+namespace finbench::core {
+
+PiecewiseConstant::PiecewiseConstant(std::span<const double> times,
+                                     std::span<const double> values) {
+  if (times.empty() || times.size() != values.size()) {
+    throw std::invalid_argument("term structure: times and values must match, non-empty");
+  }
+  if (times[0] != 0.0) throw std::invalid_argument("term structure: times[0] must be 0");
+  for (std::size_t i = 1; i < times.size(); ++i) {
+    if (times[i] <= times[i - 1]) {
+      throw std::invalid_argument("term structure: times must be strictly increasing");
+    }
+  }
+  times_.assign(times.begin(), times.end());
+  values_.assign(values.begin(), values.end());
+  cum_.resize(times_.size(), 0.0);
+  cum_sq_.resize(times_.size(), 0.0);
+  for (std::size_t i = 1; i < times_.size(); ++i) {
+    const double dt = times_[i] - times_[i - 1];
+    cum_[i] = cum_[i - 1] + values_[i - 1] * dt;
+    cum_sq_[i] = cum_sq_[i - 1] + values_[i - 1] * values_[i - 1] * dt;
+  }
+}
+
+double PiecewiseConstant::value(double t) const {
+  const auto it = std::upper_bound(times_.begin(), times_.end(), t);
+  const std::size_t i = static_cast<std::size_t>(it - times_.begin());
+  return values_[i == 0 ? 0 : std::min(i - 1, values_.size() - 1)];
+}
+
+double PiecewiseConstant::integral(double t) const {
+  if (t <= 0) return 0.0;
+  const auto it = std::upper_bound(times_.begin(), times_.end(), t);
+  const std::size_t i = std::min(static_cast<std::size_t>(it - times_.begin()),
+                                 times_.size()) -
+                        1;
+  return cum_[i] + values_[std::min(i, values_.size() - 1)] * (t - times_[i]);
+}
+
+double PiecewiseConstant::integral_squared(double t) const {
+  if (t <= 0) return 0.0;
+  const auto it = std::upper_bound(times_.begin(), times_.end(), t);
+  const std::size_t i = std::min(static_cast<std::size_t>(it - times_.begin()),
+                                 times_.size()) -
+                        1;
+  const double v = values_[std::min(i, values_.size() - 1)];
+  return cum_sq_[i] + v * v * (t - times_[i]);
+}
+
+EquivalentConstants equivalent_constants(const TermStructures& ts, double years) {
+  if (years <= 0) throw std::invalid_argument("term structure: years must be positive");
+  EquivalentConstants eq;
+  eq.rate = ts.rate.integral(years) / years;
+  eq.vol = std::sqrt(ts.vol.integral_squared(years) / years);
+  return eq;
+}
+
+BsPrice black_scholes_term(const OptionSpec& shape, const TermStructures& ts) {
+  const EquivalentConstants eq = equivalent_constants(ts, shape.years);
+  return black_scholes(shape.spot, shape.strike, shape.years, eq.rate, eq.vol,
+                       shape.dividend);
+}
+
+}  // namespace finbench::core

@@ -1,0 +1,91 @@
+#include "finbench/core/vol_surface.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace finbench::core {
+
+namespace {
+
+// Index of the interpolation interval and weight: x in [v[i], v[i+1]],
+// clamped to the boundary intervals.
+std::pair<std::size_t, double> bracket(const std::vector<double>& v, double x) {
+  if (x <= v.front()) return {0, 0.0};
+  if (x >= v.back()) return {v.size() - 2, 1.0};
+  const auto it = std::upper_bound(v.begin(), v.end(), x);
+  const std::size_t i = static_cast<std::size_t>(it - v.begin()) - 1;
+  return {i, (x - v[i]) / (v[i + 1] - v[i])};
+}
+
+}  // namespace
+
+VolSurface VolSurface::from_grid(std::span<const double> strikes,
+                                 std::span<const double> expiries,
+                                 std::span<const double> vols) {
+  if (strikes.size() < 2 || expiries.size() < 2) {
+    throw std::invalid_argument("vol surface: need at least a 2x2 grid");
+  }
+  if (vols.size() != strikes.size() * expiries.size()) {
+    throw std::invalid_argument("vol surface: vols size must be strikes x expiries");
+  }
+  for (std::size_t i = 0; i < strikes.size(); ++i) {
+    if (strikes[i] <= 0 || (i > 0 && strikes[i] <= strikes[i - 1])) {
+      throw std::invalid_argument("vol surface: strikes must be positive increasing");
+    }
+  }
+  for (std::size_t i = 0; i < expiries.size(); ++i) {
+    if (expiries[i] <= 0 || (i > 0 && expiries[i] <= expiries[i - 1])) {
+      throw std::invalid_argument("vol surface: expiries must be positive increasing");
+    }
+  }
+  for (double v : vols) {
+    if (!(v > 0)) throw std::invalid_argument("vol surface: vols must be positive");
+  }
+  VolSurface s;
+  s.strikes_.assign(strikes.begin(), strikes.end());
+  s.log_strikes_.resize(strikes.size());
+  for (std::size_t i = 0; i < strikes.size(); ++i) s.log_strikes_[i] = std::log(strikes[i]);
+  s.expiries_.assign(expiries.begin(), expiries.end());
+  s.total_var_.resize(vols.size());
+  for (std::size_t e = 0; e < expiries.size(); ++e) {
+    for (std::size_t k = 0; k < strikes.size(); ++k) {
+      const double vol = vols[e * strikes.size() + k];
+      s.total_var_[e * strikes.size() + k] = vol * vol * expiries[e];
+    }
+  }
+  return s;
+}
+
+double VolSurface::total_variance(double strike, double expiry) const {
+  if (strike <= 0) throw std::invalid_argument("vol surface: strike must be positive");
+  const auto [ke, wk] = bracket(log_strikes_, std::log(strike));
+  const auto [te, wt] = bracket(expiries_, expiry);
+  const std::size_t ns = strikes_.size();
+  auto at = [&](std::size_t e, std::size_t k) { return total_var_[e * ns + k]; };
+  const double lo = (1 - wk) * at(te, ke) + wk * at(te, ke + 1);
+  const double hi = (1 - wk) * at(te + 1, ke) + wk * at(te + 1, ke + 1);
+  double w = (1 - wt) * lo + wt * hi;
+  // Beyond the grid, extrapolate at constant implied vol: scale the
+  // boundary total variance linearly in expiry.
+  if (expiry < expiries_.front()) w = lo * expiry / expiries_.front();
+  else if (expiry > expiries_.back()) w = hi * expiry / expiries_.back();
+  return std::max(w, 0.0);
+}
+
+double VolSurface::vol(double strike, double expiry) const {
+  if (expiry <= 0) throw std::invalid_argument("vol surface: expiry must be positive");
+  return std::sqrt(total_variance(strike, expiry) / expiry);
+}
+
+bool VolSurface::calendar_arbitrage_free() const {
+  const std::size_t ns = strikes_.size();
+  for (std::size_t k = 0; k < ns; ++k) {
+    for (std::size_t e = 1; e < expiries_.size(); ++e) {
+      if (total_var_[e * ns + k] < total_var_[(e - 1) * ns + k] - 1e-12) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace finbench::core

@@ -1,0 +1,384 @@
+#include "finbench/kernels/binomial.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "finbench/arch/aligned.hpp"
+#include "finbench/simd/vec.hpp"
+
+namespace finbench::kernels::binomial {
+
+namespace {
+
+// CRR lattice parameters, pre-scaled by the per-step discount factor so the
+// inner loop is exactly Lis. 2's `puByDf*Call[j+1] + pdByDf*Call[j]`.
+struct CrrParams {
+  double pu_by_df;
+  double pd_by_df;
+  double up;    // u
+  double down;  // d
+};
+
+CrrParams crr(const core::OptionSpec& o, int steps) {
+  const double dt = o.years / steps;
+  const double u = std::exp(o.vol * std::sqrt(dt));
+  const double d = 1.0 / u;
+  // Risk-neutral drift is r - q; discounting stays at r.
+  const double growth = std::exp((o.rate - o.dividend) * dt);
+  const double pu = (growth - d) / (u - d);
+  if (pu < 0.0 || pu > 1.0) {
+    throw std::invalid_argument("binomial: risk-neutral probability outside [0,1]; "
+                                "increase steps or reduce |r - q|*dt");
+  }
+  const double df = std::exp(-o.rate * dt);
+  return {pu * df, (1.0 - pu) * df, u, d};
+}
+
+double payoff(const core::OptionSpec& o, double s) {
+  return o.type == core::OptionType::kCall ? std::max(s - o.strike, 0.0)
+                                           : std::max(o.strike - s, 0.0);
+}
+
+}  // namespace
+
+// --- Reference (Lis. 2) ----------------------------------------------------
+
+double price_one_reference(const core::OptionSpec& opt, int steps) {
+  const CrrParams p = crr(opt, steps);
+  arch::AlignedVector<double> call(steps + 1);
+
+  // Leaves: S * u^j * d^(N-j), j = 0..N (j counts up-moves).
+  double s = opt.spot * std::pow(p.down, steps);
+  const double ratio = p.up / p.down;
+  for (int j = 0; j <= steps; ++j) {
+    call[j] = payoff(opt, s);
+    s *= ratio;
+  }
+
+  const bool american = opt.style == core::ExerciseStyle::kAmerican;
+  for (int i = steps; i > 0; --i) {
+    if (american) {
+      // Spot at node (i-1, j) is S * u^j * d^(i-1-j).
+      double node_s = opt.spot * std::pow(p.down, i - 1);
+      for (int j = 0; j <= i - 1; ++j) {
+        const double cont = p.pu_by_df * call[j + 1] + p.pd_by_df * call[j];
+        call[j] = std::max(cont, payoff(opt, node_s));
+        node_s *= ratio;
+      }
+    } else {
+      for (int j = 0; j <= i - 1; ++j) {
+        call[j] = p.pu_by_df * call[j + 1] + p.pd_by_df * call[j];
+      }
+    }
+  }
+  return call[0];
+}
+
+void price_reference(std::span<const core::OptionSpec> opts, int steps, std::span<double> out) {
+  assert(out.size() >= opts.size());
+  for (std::size_t o = 0; o < opts.size(); ++o) out[o] = price_one_reference(opts[o], steps);
+}
+
+// --- Basic: pragmas only ----------------------------------------------------
+
+void price_basic(std::span<const core::OptionSpec> opts, int steps, std::span<double> out) {
+  assert(out.size() >= opts.size());
+  const std::ptrdiff_t n = static_cast<std::ptrdiff_t>(opts.size());
+#pragma omp parallel
+  {
+    arch::AlignedVector<double> call(steps + 1);
+#pragma omp for schedule(static)
+    for (std::ptrdiff_t o = 0; o < n; ++o) {
+      const core::OptionSpec& opt = opts[o];
+      const CrrParams p = crr(opt, steps);
+      double s = opt.spot * std::pow(p.down, steps);
+      const double ratio = p.up / p.down;
+      for (int j = 0; j <= steps; ++j) {
+        call[j] = payoff(opt, s);
+        s *= ratio;
+      }
+      const double pu = p.pu_by_df, pd = p.pd_by_df;
+      double* c = call.data();
+      for (int i = steps; i > 0; --i) {
+        // Inner-loop autovectorization — c[j+1] is the unaligned load the
+        // paper notes; this is all the "basic" level is allowed to do.
+#pragma omp simd
+        for (int j = 0; j <= i - 1; ++j) c[j] = pu * c[j + 1] + pd * c[j];
+      }
+      out[o] = c[0];
+    }
+  }
+}
+
+// --- Intermediate / Advanced: SIMD across options ---------------------------
+
+namespace {
+
+// Shared lane setup: W options side by side, Call[j] is a W-wide vector.
+// `group` indexes the block of W consecutive options.
+template <int W>
+struct LaneBatch {
+  using V = simd::Vec<double, W>;
+  V pu, pd;  // discounted probabilities per lane
+  void init_leaves(std::span<const core::OptionSpec> opts, std::size_t base, int steps,
+                   double* call /* (steps+1) x W */) {
+    alignas(64) double pu_a[W], pd_a[W];
+    for (int l = 0; l < W; ++l) {
+      const core::OptionSpec& o = opts[base + l];
+      const CrrParams p = crr(o, steps);
+      pu_a[l] = p.pu_by_df;
+      pd_a[l] = p.pd_by_df;
+      double s = o.spot * std::pow(p.down, steps);
+      const double ratio = p.up / p.down;
+      for (int j = 0; j <= steps; ++j) {
+        call[static_cast<std::size_t>(j) * W + l] =
+            o.type == core::OptionType::kCall ? std::max(s - o.strike, 0.0)
+                                              : std::max(o.strike - s, 0.0);
+        s *= ratio;
+      }
+    }
+    pu = V::load(pu_a);
+    pd = V::load(pd_a);
+  }
+};
+
+template <int W>
+void reduce_european(double* call, int steps, simd::Vec<double, W> pu, simd::Vec<double, W> pd) {
+  using V = simd::Vec<double, W>;
+  for (int i = steps; i > 0; --i) {
+    for (int j = 0; j <= i - 1; ++j) {
+      const V up = V::load(call + static_cast<std::size_t>(j + 1) * W);
+      const V dn = V::load(call + static_cast<std::size_t>(j) * W);
+      fmadd(pu, up, pd * dn).store(call + static_cast<std::size_t>(j) * W);
+    }
+  }
+}
+
+// American reduction needs the node spot prices: keep per-lane S*d^i and
+// the u/d ratio so node prices are rebuilt incrementally per level.
+template <int W>
+void reduce_american(std::span<const core::OptionSpec> opts, std::size_t base, double* call,
+                     int steps, simd::Vec<double, W> pu, simd::Vec<double, W> pd) {
+  using V = simd::Vec<double, W>;
+  alignas(64) double ratio_a[W], strike_a[W], sign_a[W], base_s_a[W], am_a[W];
+  for (int l = 0; l < W; ++l) {
+    const core::OptionSpec& o = opts[base + l];
+    const CrrParams p = crr(o, steps);
+    ratio_a[l] = p.up / p.down;
+    strike_a[l] = o.strike;
+    sign_a[l] = o.type == core::OptionType::kCall ? 1.0 : -1.0;
+    base_s_a[l] = o.spot * std::pow(p.down, steps);
+    am_a[l] = o.style == core::ExerciseStyle::kAmerican ? 1.0 : 0.0;
+  }
+  const V ratio = V::load(ratio_a), strike = V::load(strike_a), sign = V::load(sign_a);
+  // European lanes get exercise value 0; continuation values are always
+  // >= 0 for vanilla payoffs, so max(cont, 0) leaves them untouched.
+  const V am = V::load(am_a);
+  V level_base = V::load(base_s_a);  // S * d^i for current level i
+
+  alignas(64) double inv_down[W];
+  for (int l = 0; l < W; ++l) {
+    inv_down[l] = 1.0 / crr(opts[base + l], steps).down;
+  }
+  const V invd = V::load(inv_down);
+
+  for (int i = steps; i > 0; --i) {
+    level_base *= invd;  // now S * d^(i-1)
+    V node_s = level_base;
+    for (int j = 0; j <= i - 1; ++j) {
+      const V up = V::load(call + static_cast<std::size_t>(j + 1) * W);
+      const V dn = V::load(call + static_cast<std::size_t>(j) * W);
+      const V cont = fmadd(pu, up, pd * dn);
+      const V exercise = am * max(sign * (node_s - strike), V(0.0));
+      max(cont, exercise).store(call + static_cast<std::size_t>(j) * W);
+      node_s *= ratio;
+    }
+  }
+}
+
+template <int W>
+void price_simd(std::span<const core::OptionSpec> opts, int steps, std::span<double> out) {
+  using V = simd::Vec<double, W>;
+  const std::size_t n = opts.size();
+  const std::size_t groups = n / W;
+
+#pragma omp parallel
+  {
+    arch::AlignedVector<double> call(static_cast<std::size_t>(steps + 1) * W);
+#pragma omp for schedule(static)
+    for (std::ptrdiff_t g = 0; g < static_cast<std::ptrdiff_t>(groups); ++g) {
+      const std::size_t base = static_cast<std::size_t>(g) * W;
+      LaneBatch<W> lanes;
+      lanes.init_leaves(opts, base, steps, call.data());
+      bool any_american = false;
+      for (int l = 0; l < W; ++l) {
+        any_american |= opts[base + l].style == core::ExerciseStyle::kAmerican;
+      }
+      if (any_american) {
+        reduce_american<W>(opts, base, call.data(), steps, lanes.pu, lanes.pd);
+      } else {
+        reduce_european<W>(call.data(), steps, lanes.pu, lanes.pd);
+      }
+      V::load(call.data()).storeu(out.data() + base);
+    }
+  }
+  // Tail options: scalar reference.
+  for (std::size_t o = groups * W; o < n; ++o) out[o] = price_one_reference(opts[o], steps);
+}
+
+// --- Register tiling (Lis. 3) -----------------------------------------------
+
+// One tile pass: reduce the W-wide Call array (length m+1) by TS time
+// steps. The TS-deep Tile lives in registers; each Call value is loaded
+// and stored exactly once per pass.
+template <int W, int TS, bool Unroll>
+void tile_pass(double* call, int m, simd::Vec<double, W> pu, simd::Vec<double, W> pd) {
+  using V = simd::Vec<double, W>;
+  V tile[TS];
+
+  // Triangle init (the `...` of Lis. 3): Tile[j] holds the prefix value at
+  // position j after (TS-1-j) reduction steps, so the steady-state loop's
+  // diagonal recurrence lines up (see DESIGN.md §4).
+  for (int j = 0; j < TS; ++j) tile[j] = V::load(call + static_cast<std::size_t>(j) * W);
+  for (int s = 1; s < TS; ++s) {
+    for (int j = 0; j <= TS - 1 - s; ++j) tile[j] = fmadd(pu, tile[j + 1], pd * tile[j]);
+  }
+
+  // Steady state: stream Call[i] through the register tile. For the large
+  // step counts of Fig. 5 the Call array exceeds L1; prefetch the next
+  // column while the tile reduction runs (the paper's intermediate-level
+  // software-prefetch technique).
+  for (int i = TS; i <= m; ++i) {
+    simd::prefetch_read(call + static_cast<std::size_t>(i + 4) * W);
+    V m1 = V::load(call + static_cast<std::size_t>(i) * W);
+    if constexpr (Unroll) {
+#pragma GCC unroll 65534
+      for (int j = TS - 1; j >= 0; --j) {
+        const V m2 = fmadd(pu, m1, pd * tile[j]);
+        tile[j] = m1;
+        m1 = m2;
+      }
+    } else {
+      for (int j = TS - 1; j >= 0; --j) {
+        const V m2 = fmadd(pu, m1, pd * tile[j]);
+        tile[j] = m1;
+        m1 = m2;
+      }
+    }
+    m1.store(call + static_cast<std::size_t>(i - TS) * W);
+  }
+}
+
+template <int W, int TS, bool Unroll>
+void price_tiled(std::span<const core::OptionSpec> opts, int steps, std::span<double> out) {
+  using V = simd::Vec<double, W>;
+  const std::size_t n = opts.size();
+  const std::size_t groups = n / W;
+
+#pragma omp parallel
+  {
+    arch::AlignedVector<double> call(static_cast<std::size_t>(steps + 1) * W);
+#pragma omp for schedule(static)
+    for (std::ptrdiff_t g = 0; g < static_cast<std::ptrdiff_t>(groups); ++g) {
+      const std::size_t base = static_cast<std::size_t>(g) * W;
+      LaneBatch<W> lanes;
+      lanes.init_leaves(opts, base, steps, call.data());
+
+      int m = steps;
+      for (; m >= TS; m -= TS) tile_pass<W, TS, Unroll>(call.data(), m, lanes.pu, lanes.pd);
+      // Remainder (< TS steps): plain in-place reduction.
+      reduce_european<W>(call.data(), m, lanes.pu, lanes.pd);
+
+      V::load(call.data()).storeu(out.data() + base);
+    }
+  }
+  for (std::size_t o = groups * W; o < n; ++o) out[o] = price_one_reference(opts[o], steps);
+}
+
+constexpr int kTileSize = 16;  // fits the zmm/ymm register file with room to spare
+
+}  // namespace
+
+void price_intermediate(std::span<const core::OptionSpec> opts, int steps, std::span<double> out,
+                        Width w) {
+  assert(out.size() >= opts.size());
+  switch (w) {
+    case Width::kScalar: price_simd<1>(opts, steps, out); return;
+    case Width::kAvx2: price_simd<4>(opts, steps, out); return;
+#if defined(FINBENCH_HAVE_AVX512)
+    case Width::kAvx512:
+    case Width::kAuto: price_simd<8>(opts, steps, out); return;
+#else
+    case Width::kAvx512:
+    case Width::kAuto: price_simd<4>(opts, steps, out); return;
+#endif
+  }
+}
+
+void price_advanced(std::span<const core::OptionSpec> opts, int steps, std::span<double> out,
+                    Width w) {
+  assert(out.size() >= opts.size());
+  switch (w) {
+    case Width::kScalar: price_tiled<1, kTileSize, false>(opts, steps, out); return;
+    case Width::kAvx2: price_tiled<4, kTileSize, false>(opts, steps, out); return;
+#if defined(FINBENCH_HAVE_AVX512)
+    case Width::kAvx512:
+    case Width::kAuto: price_tiled<8, kTileSize, false>(opts, steps, out); return;
+#else
+    case Width::kAvx512:
+    case Width::kAuto: price_tiled<4, kTileSize, false>(opts, steps, out); return;
+#endif
+  }
+}
+
+namespace {
+
+template <int TS>
+void price_tiled_dispatch(std::span<const core::OptionSpec> opts, int steps,
+                          std::span<double> out, Width w) {
+  switch (w) {
+    case Width::kScalar: price_tiled<1, TS, false>(opts, steps, out); return;
+    case Width::kAvx2: price_tiled<4, TS, false>(opts, steps, out); return;
+#if defined(FINBENCH_HAVE_AVX512)
+    case Width::kAvx512:
+    case Width::kAuto: price_tiled<8, TS, false>(opts, steps, out); return;
+#else
+    case Width::kAvx512:
+    case Width::kAuto: price_tiled<4, TS, false>(opts, steps, out); return;
+#endif
+  }
+}
+
+}  // namespace
+
+void price_advanced_tile(std::span<const core::OptionSpec> opts, int steps,
+                         std::span<double> out, int tile_size, Width w) {
+  assert(out.size() >= opts.size());
+  switch (tile_size) {
+    case 4: price_tiled_dispatch<4>(opts, steps, out, w); return;
+    case 8: price_tiled_dispatch<8>(opts, steps, out, w); return;
+    case 16: price_tiled_dispatch<16>(opts, steps, out, w); return;
+    case 32: price_tiled_dispatch<32>(opts, steps, out, w); return;
+    case 64: price_tiled_dispatch<64>(opts, steps, out, w); return;
+    default: throw std::invalid_argument("binomial: tile_size must be 4/8/16/32/64");
+  }
+}
+
+void price_advanced_unrolled(std::span<const core::OptionSpec> opts, int steps,
+                             std::span<double> out, Width w) {
+  assert(out.size() >= opts.size());
+  switch (w) {
+    case Width::kScalar: price_tiled<1, kTileSize, true>(opts, steps, out); return;
+    case Width::kAvx2: price_tiled<4, kTileSize, true>(opts, steps, out); return;
+#if defined(FINBENCH_HAVE_AVX512)
+    case Width::kAvx512:
+    case Width::kAuto: price_tiled<8, kTileSize, true>(opts, steps, out); return;
+#else
+    case Width::kAvx512:
+    case Width::kAuto: price_tiled<4, kTileSize, true>(opts, steps, out); return;
+#endif
+  }
+}
+
+}  // namespace finbench::kernels::binomial

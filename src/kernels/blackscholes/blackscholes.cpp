@@ -1,0 +1,442 @@
+#include "finbench/kernels/blackscholes.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <cstddef>
+#include <stdexcept>
+
+#include "finbench/arch/aligned.hpp"
+#include "finbench/core/analytic.hpp"
+#include "finbench/vecmath/vecmath.hpp"
+#include "finbench/vecmath/vecmathf.hpp"
+
+namespace finbench::kernels::bs {
+
+namespace {
+
+inline double cnd_scalar(double x) { return 0.5 * std::erfc(-x * 0.70710678118654752440); }
+
+}  // namespace
+
+// --- Reference: Lis. 1, scalar, AOS --------------------------------------
+
+void price_reference(core::BsBatchAos& batch) {
+  if (batch.dividend != 0.0) {
+    throw std::invalid_argument(
+        "this variant reproduces the paper's dividend-free kernel; "
+        "use price_intermediate for dividend yields");
+  }
+  const double r = batch.rate;
+  const double sig = batch.vol;
+  const double sig22 = sig * sig / 2;
+  core::BsOptionAos* opts = batch.options.data();
+  const std::size_t nopt = batch.size();
+  for (std::size_t i = 0; i < nopt; ++i) {
+    const double qlog = std::log(opts[i].spot / opts[i].strike);
+    const double denom = 1.0 / (sig * std::sqrt(opts[i].years));
+    const double d1 = (qlog + (r + sig22) * opts[i].years) * denom;
+    const double d2 = (qlog + (r - sig22) * opts[i].years) * denom;
+    const double xexp = opts[i].strike * std::exp(-r * opts[i].years);
+    opts[i].call = opts[i].spot * cnd_scalar(d1) - xexp * cnd_scalar(d2);
+    opts[i].put = xexp * cnd_scalar(-d2) - opts[i].spot * cnd_scalar(-d1);
+  }
+}
+
+// --- Basic: compiler pragmas on the AOS loop ------------------------------
+
+void price_basic(core::BsBatchAos& batch) {
+  if (batch.dividend != 0.0) {
+    throw std::invalid_argument(
+        "this variant reproduces the paper's dividend-free kernel; "
+        "use price_intermediate for dividend yields");
+  }
+  const double r = batch.rate;
+  const double sig = batch.vol;
+  const double sig22 = sig * sig / 2;
+  core::BsOptionAos* opts = batch.options.data();
+  const std::ptrdiff_t nopt = static_cast<std::ptrdiff_t>(batch.size());
+  // The pragma is the whole optimization: the compiler vectorizes, but the
+  // strided AOS accesses become gathers/scatters (the paper's Fig. 4
+  // "Basic" bar, and the 10x instruction blow-up on 8-wide SIMD).
+#pragma omp parallel for simd schedule(static)
+  for (std::ptrdiff_t i = 0; i < nopt; ++i) {
+    const double qlog = std::log(opts[i].spot / opts[i].strike);
+    const double denom = 1.0 / (sig * std::sqrt(opts[i].years));
+    const double d1 = (qlog + (r + sig22) * opts[i].years) * denom;
+    const double d2 = (qlog + (r - sig22) * opts[i].years) * denom;
+    const double xexp = opts[i].strike * std::exp(-r * opts[i].years);
+    opts[i].call = opts[i].spot * cnd_scalar(d1) - xexp * cnd_scalar(d2);
+    opts[i].put = xexp * cnd_scalar(-d2) - opts[i].spot * cnd_scalar(-d1);
+  }
+}
+
+// --- Intermediate: SOA + explicit SIMD across options ----------------------
+
+namespace {
+
+// One option per SIMD lane; cnd via erf (cheaper, same accuracy — the
+// paper's SVML substitution) and the put derived from call/put parity.
+template <int W, bool HasDividend>
+void price_soa_width(core::BsBatchSoa& batch) {
+  using V = simd::Vec<double, W>;
+  const V r(batch.rate);
+  const V q(batch.dividend);
+  const V sig(batch.vol);
+  const V sig22(batch.vol * batch.vol / 2);
+  const V half(0.5), one(1.0);
+  const V inv_sqrt2(0.70710678118654752440);
+
+  const std::ptrdiff_t nopt = static_cast<std::ptrdiff_t>(batch.size());
+  const double* s = batch.spot.data();
+  const double* k = batch.strike.data();
+  const double* t = batch.years.data();
+  double* call = batch.call.data();
+  double* put = batch.put.data();
+
+  const std::ptrdiff_t vec_end = nopt - nopt % W;
+#pragma omp parallel for schedule(static)
+  for (std::ptrdiff_t i = 0; i < vec_end; i += W) {
+    const V S = V::load(s + i);
+    const V K = V::load(k + i);
+    const V T = V::load(t + i);
+    const V qlog = vecmath::log(S / K);
+    const V denom = one / (sig * sqrt(T));
+    V drift = r;
+    V sq = S;
+    if constexpr (HasDividend) {
+      drift = r - q;
+      sq = S * vecmath::exp(-q * T);  // forward-discounted spot
+    }
+    const V d1 = (qlog + (drift + sig22) * T) * denom;
+    const V d2 = (qlog + (drift - sig22) * T) * denom;
+    const V xexp = K * vecmath::exp(-r * T);
+    // cnd(x) = (1 + erf(x/sqrt(2))) / 2
+    const V nd1 = fmadd(vecmath::erf(d1 * inv_sqrt2), half, half);
+    const V nd2 = fmadd(vecmath::erf(d2 * inv_sqrt2), half, half);
+    const V c = fmsub(sq, nd1, xexp * nd2);
+    c.stream(call + i);
+    (c - sq + xexp).stream(put + i);  // put from call/put parity
+  }
+  // Scalar tail.
+  for (std::ptrdiff_t i = vec_end; i < nopt; ++i) {
+    const core::BsPrice p = core::black_scholes(s[i], k[i], t[i], batch.rate, batch.vol,
+                                                batch.dividend);
+    call[i] = p.call;
+    put[i] = p.put;
+  }
+}
+
+template <int W>
+void price_soa_dispatch_q(core::BsBatchSoa& batch) {
+  if (batch.dividend != 0.0) price_soa_width<W, true>(batch);
+  else price_soa_width<W, false>(batch);
+}
+
+}  // namespace
+
+void price_intermediate(core::BsBatchSoa& batch, Width w) {
+  switch (w) {
+    case Width::kScalar: price_soa_dispatch_q<1>(batch); return;
+    case Width::kAvx2: price_soa_dispatch_q<4>(batch); return;
+#if defined(FINBENCH_HAVE_AVX512)
+    case Width::kAvx512:
+    case Width::kAuto: price_soa_dispatch_q<8>(batch); return;
+#else
+    case Width::kAvx512:
+    case Width::kAuto: price_soa_dispatch_q<4>(batch); return;
+#endif
+  }
+}
+
+// --- Advanced: VML-style whole-array passes --------------------------------
+
+void price_advanced_vml(core::BsBatchSoa& batch, Width w) {
+  if (batch.dividend != 0.0) {
+    throw std::invalid_argument(
+        "this variant reproduces the paper's dividend-free kernel; "
+        "use price_intermediate for dividend yields");
+  }
+  const std::size_t n = batch.size();
+  const double r = batch.rate;
+  const double sig = batch.vol;
+  const double sig22 = sig * sig / 2;
+
+  // Chunked so the temporaries stay in L2; each chunk makes VML-style
+  // whole-array calls (log, exp, cnd) through aligned scratch buffers.
+  constexpr std::size_t kChunk = 4096;
+
+#pragma omp parallel
+  {
+    arch::AlignedVector<double> d1(kChunk), d2(kChunk), xexp(kChunk), qlog(kChunk);
+#pragma omp for schedule(static)
+    for (std::ptrdiff_t start = 0; start < static_cast<std::ptrdiff_t>(n);
+         start += static_cast<std::ptrdiff_t>(kChunk)) {
+      const std::size_t c =
+          std::min(kChunk, n - static_cast<std::size_t>(start));
+      const double* s = batch.spot.data() + start;
+      const double* k = batch.strike.data() + start;
+      const double* t = batch.years.data() + start;
+      double* call = batch.call.data() + start;
+      double* put = batch.put.data() + start;
+
+      for (std::size_t i = 0; i < c; ++i) qlog[i] = s[i] / k[i];
+      vecmath::log({qlog.data(), c}, {qlog.data(), c}, w);
+      for (std::size_t i = 0; i < c; ++i) {
+        const double denom = 1.0 / (sig * std::sqrt(t[i]));
+        d1[i] = (qlog[i] + (r + sig22) * t[i]) * denom;
+        d2[i] = (qlog[i] + (r - sig22) * t[i]) * denom;
+        xexp[i] = -r * t[i];
+      }
+      vecmath::exp({xexp.data(), c}, {xexp.data(), c}, w);
+      vecmath::cnd({d1.data(), c}, {d1.data(), c}, w);
+      vecmath::cnd({d2.data(), c}, {d2.data(), c}, w);
+      for (std::size_t i = 0; i < c; ++i) {
+        const double disc_k = k[i] * xexp[i];
+        call[i] = s[i] * d1[i] - disc_k * d2[i];
+        put[i] = call[i] - s[i] + disc_k;
+      }
+    }
+  }
+}
+
+// --- Batch greeks --------------------------------------------------------------
+
+namespace {
+
+template <int W>
+void greeks_width(const core::BsBatchSoa& batch, GreeksBatchSoa& out) {
+  using V = simd::Vec<double, W>;
+  const V r(batch.rate);
+  const V q(batch.dividend);
+  const V drift(batch.rate - batch.dividend);
+  const V sig(batch.vol);
+  const V sig22(batch.vol * batch.vol / 2);
+  const V one(1.0), half(0.5);
+  const V inv_sqrt2(0.70710678118654752440);
+  const V inv_sqrt2pi(0.39894228040143267794);
+
+  const std::ptrdiff_t nopt = static_cast<std::ptrdiff_t>(batch.size());
+  const double* s = batch.spot.data();
+  const double* k = batch.strike.data();
+  const double* t = batch.years.data();
+
+  const std::ptrdiff_t vec_end = nopt - nopt % W;
+#pragma omp parallel for schedule(static)
+  for (std::ptrdiff_t i = 0; i < vec_end; i += W) {
+    const V S = V::load(s + i);
+    const V K = V::load(k + i);
+    const V T = V::load(t + i);
+    const V rt_t = sqrt(T);
+    const V sig_rt = sig * rt_t;
+    const V d1 = (vecmath::log(S / K) + (drift + sig22) * T) / sig_rt;
+    const V d2 = d1 - sig_rt;
+    const V df = vecmath::exp(-r * T);
+    const V qf = vecmath::exp(-q * T);
+    const V kdf = K * df;
+    const V pdf_d1 = inv_sqrt2pi * vecmath::exp(-half * d1 * d1);
+    const V nd1 = fmadd(vecmath::erf(d1 * inv_sqrt2), half, half);
+    const V nd2 = fmadd(vecmath::erf(d2 * inv_sqrt2), half, half);
+
+    (qf * nd1).storeu(out.delta_call.data() + i);
+    (qf * (nd1 - one)).storeu(out.delta_put.data() + i);
+    (qf * pdf_d1 / (S * sig_rt)).storeu(out.gamma.data() + i);
+    (S * qf * pdf_d1 * rt_t).storeu(out.vega.data() + i);
+    const V theta_common = -S * qf * pdf_d1 * sig / (V(2.0) * rt_t);
+    const V r_kdf = r * kdf;
+    const V q_sqf = q * S * qf;
+    (theta_common - r_kdf * nd2 + q_sqf * nd1).storeu(out.theta_call.data() + i);
+    (theta_common + r_kdf * (one - nd2) - q_sqf * (one - nd1))
+        .storeu(out.theta_put.data() + i);
+    const V ktdf = kdf * T;
+    (ktdf * nd2).storeu(out.rho_call.data() + i);
+    (ktdf * (nd2 - one)).storeu(out.rho_put.data() + i);
+  }
+  // Tail: scalar via the analytic module.
+  for (std::ptrdiff_t i = vec_end; i < nopt; ++i) {
+    core::OptionSpec o{s[i], k[i], t[i], batch.rate, batch.vol, core::OptionType::kCall,
+                       core::ExerciseStyle::kEuropean, batch.dividend};
+    const core::BsGreeks gc = core::black_scholes_greeks(o);
+    o.type = core::OptionType::kPut;
+    const core::BsGreeks gp = core::black_scholes_greeks(o);
+    out.delta_call[i] = gc.delta;
+    out.delta_put[i] = gp.delta;
+    out.gamma[i] = gc.gamma;
+    out.vega[i] = gc.vega;
+    out.theta_call[i] = gc.theta;
+    out.theta_put[i] = gp.theta;
+    out.rho_call[i] = gc.rho;
+    out.rho_put[i] = gp.rho;
+  }
+}
+
+}  // namespace
+
+void greeks_intermediate(const core::BsBatchSoa& batch, GreeksBatchSoa& out, Width w) {
+  out.resize(batch.size());
+  switch (w) {
+    case Width::kScalar: greeks_width<1>(batch, out); return;
+    case Width::kAvx2: greeks_width<4>(batch, out); return;
+#if defined(FINBENCH_HAVE_AVX512)
+    case Width::kAvx512:
+    case Width::kAuto: greeks_width<8>(batch, out); return;
+#else
+    case Width::kAvx512:
+    case Width::kAuto: greeks_width<4>(batch, out); return;
+#endif
+  }
+}
+
+// --- Batch implied volatility ---------------------------------------------------
+
+namespace {
+
+template <int W>
+void implied_vol_width(const core::BsBatchSoa& batch, std::span<const double> prices,
+                       std::span<double> out) {
+  using V = simd::Vec<double, W>;
+  using M = typename V::mask_type;
+  const V r(batch.rate);
+  const V q(batch.dividend);
+  const V drift(batch.rate - batch.dividend);
+  const V half(0.5), one(1.0);
+  const V inv_sqrt2(0.70710678118654752440);
+  const V inv_sqrt2pi(0.39894228040143267794);
+  constexpr double kTol = 1e-12;
+
+  const std::ptrdiff_t n = static_cast<std::ptrdiff_t>(batch.size());
+  const std::ptrdiff_t vec_end = n - n % W;
+
+#pragma omp parallel for schedule(static)
+  for (std::ptrdiff_t i = 0; i < vec_end; i += W) {
+    const V S = V::loadu(batch.spot.data() + i);
+    const V K = V::loadu(batch.strike.data() + i);
+    const V T = V::loadu(batch.years.data() + i);
+    const V target = V::loadu(prices.data() + i);
+    const V rt_t = sqrt(T);
+    const V kdf = K * vecmath::exp(-r * T);
+    const V sq = S * vecmath::exp(-q * T);
+    const V log_sk = vecmath::log(S / K);
+
+    // Arbitrage-free band for a European call (on the forward).
+    const M valid = (target >= max(sq - kdf, V(0.0))) & (target <= sq);
+
+    V lo(1e-6), hi(4.0), vol(0.5);
+    M done = !valid;
+    for (int it = 0; it < 100 && !done.all(); ++it) {
+      const V sig_rt = vol * rt_t;
+      const V d1 = log_sk / sig_rt + fmadd(half * vol, rt_t, drift * T / sig_rt);
+      const V d2 = d1 - sig_rt;
+      const V nd1 = fmadd(vecmath::erf(d1 * inv_sqrt2), half, half);
+      const V nd2 = fmadd(vecmath::erf(d2 * inv_sqrt2), half, half);
+      const V price = fmsub(sq, nd1, kdf * nd2);
+      const V vega = sq * inv_sqrt2pi * vecmath::exp(-half * d1 * d1) * rt_t;
+      const V diff = price - target;
+
+      const M converged = abs(diff) <= V(kTol) * max(one, target);
+      done = done | converged;
+
+      const M high = diff > V(0.0);
+      hi = select(high & (!done), vol, hi);
+      lo = select((!high) & (!done), vol, lo);
+      V next = vol - diff / max(vega, V(1e-12));
+      const M out_of_band = !((next > lo) & (next < hi));
+      next = select(out_of_band, half * (lo + hi), next);
+      vol = select(done, vol, next);
+    }
+    select(valid, vol, V(-1.0)).storeu(out.data() + i);
+  }
+  // Tail via the scalar solver.
+  for (std::ptrdiff_t i = vec_end; i < n; ++i) {
+    core::OptionSpec o{batch.spot[i], batch.strike[i], batch.years[i], batch.rate, 0.2,
+                       core::OptionType::kCall, core::ExerciseStyle::kEuropean,
+                       batch.dividend};
+    out[i] = core::implied_volatility(o, prices[i]);
+  }
+}
+
+}  // namespace
+
+void implied_vol_intermediate(const core::BsBatchSoa& batch,
+                              std::span<const double> call_prices, std::span<double> vols_out,
+                              Width w) {
+  assert(call_prices.size() >= batch.size() && vols_out.size() >= batch.size());
+  switch (w) {
+    case Width::kScalar: implied_vol_width<1>(batch, call_prices, vols_out); return;
+    case Width::kAvx2: implied_vol_width<4>(batch, call_prices, vols_out); return;
+#if defined(FINBENCH_HAVE_AVX512)
+    case Width::kAvx512:
+    case Width::kAuto: implied_vol_width<8>(batch, call_prices, vols_out); return;
+#else
+    case Width::kAvx512:
+    case Width::kAuto: implied_vol_width<4>(batch, call_prices, vols_out); return;
+#endif
+  }
+}
+
+// --- Single precision ---------------------------------------------------------
+
+namespace {
+
+template <int W>
+void price_sp_width(core::BsBatchSoaF& batch) {
+  using V = simd::Vec<float, W>;
+  const V r(batch.rate);
+  const V sig(batch.vol);
+  const V sig22(batch.vol * batch.vol / 2);
+  const V one(1.0f);
+
+  const std::ptrdiff_t nopt = static_cast<std::ptrdiff_t>(batch.size());
+  const float* s = batch.spot.data();
+  const float* k = batch.strike.data();
+  const float* t = batch.years.data();
+  float* call = batch.call.data();
+  float* put = batch.put.data();
+
+  const std::ptrdiff_t vec_end = nopt - nopt % W;
+#pragma omp parallel for schedule(static)
+  for (std::ptrdiff_t i = 0; i < vec_end; i += W) {
+    const V S = V::load(s + i);
+    const V K = V::load(k + i);
+    const V T = V::load(t + i);
+    const V qlog = vecmath::logf(S / K);
+    const V denom = one / (sig * sqrt(T));
+    const V d1 = (qlog + (r + sig22) * T) * denom;
+    const V d2 = (qlog + (r - sig22) * T) * denom;
+    const V xexp = K * vecmath::expf(-r * T);
+    const V nd1 = vecmath::cndf(d1);
+    const V nd2 = vecmath::cndf(d2);
+    const V c = S * nd1 - xexp * nd2;
+    c.stream(call + i);
+    (c - S + xexp).stream(put + i);  // call/put parity
+  }
+  for (std::ptrdiff_t i = vec_end; i < nopt; ++i) {
+    using V1 = simd::Vec<float, 1>;
+    const V1 qlog = vecmath::logf(V1(s[i] / k[i]));
+    const float denom = 1.0f / (batch.vol * std::sqrt(t[i]));
+    const float d1 = (qlog.v + (batch.rate + batch.vol * batch.vol / 2) * t[i]) * denom;
+    const float d2 = d1 - batch.vol * std::sqrt(t[i]);
+    const float xexp = k[i] * std::exp(-batch.rate * t[i]);
+    const float nd1 = vecmath::cndf(V1(d1)).v;
+    const float nd2 = vecmath::cndf(V1(d2)).v;
+    call[i] = s[i] * nd1 - xexp * nd2;
+    put[i] = call[i] - s[i] + xexp;
+  }
+}
+
+}  // namespace
+
+void price_intermediate_sp(core::BsBatchSoaF& batch, WidthF w) {
+  switch (w) {
+    case WidthF::kScalar: price_sp_width<1>(batch); return;
+    case WidthF::kAvx2: price_sp_width<8>(batch); return;
+#if defined(FINBENCH_HAVE_AVX512)
+    case WidthF::kAvx512:
+    case WidthF::kAuto: price_sp_width<16>(batch); return;
+#else
+    case WidthF::kAvx512:
+    case WidthF::kAuto: price_sp_width<8>(batch); return;
+#endif
+  }
+}
+
+}  // namespace finbench::kernels::bs

@@ -1,0 +1,67 @@
+#include "finbench/kernels/risk.hpp"
+
+#include <stdexcept>
+
+#include "finbench/core/analytic.hpp"
+
+namespace finbench::kernels::risk {
+
+namespace {
+
+void validate(std::span<const Position> book) {
+  for (const auto& p : book) {
+    if (p.option.style != core::ExerciseStyle::kEuropean) {
+      throw std::invalid_argument("risk: European positions only");
+    }
+  }
+}
+
+double reprice(const Position& p, double spot_mult, double vol_shift) {
+  core::OptionSpec o = p.option;
+  o.spot *= spot_mult;
+  o.vol = std::max(o.vol + vol_shift, 1e-6);
+  return p.quantity * core::black_scholes_price(o);
+}
+
+}  // namespace
+
+PortfolioGreeks aggregate(std::span<const Position> book) {
+  validate(book);
+  PortfolioGreeks out;
+  for (const auto& p : book) {
+    out.value += p.quantity * core::black_scholes_price(p.option);
+    const core::BsGreeks g = core::black_scholes_greeks(p.option);
+    out.delta += p.quantity * g.delta;
+    out.gamma += p.quantity * g.gamma;
+    out.vega += p.quantity * g.vega;
+    out.theta += p.quantity * g.theta;
+    out.rho += p.quantity * g.rho;
+  }
+  return out;
+}
+
+std::vector<double> spot_ladder(std::span<const Position> book,
+                                std::span<const double> spot_multipliers) {
+  validate(book);
+  double base = 0.0;
+  for (const auto& p : book) base += reprice(p, 1.0, 0.0);
+  std::vector<double> pnl(spot_multipliers.size(), -base);
+  for (std::size_t s = 0; s < spot_multipliers.size(); ++s) {
+    for (const auto& p : book) pnl[s] += reprice(p, spot_multipliers[s], 0.0);
+  }
+  return pnl;
+}
+
+std::vector<double> vol_ladder(std::span<const Position> book,
+                               std::span<const double> vol_shifts) {
+  validate(book);
+  double base = 0.0;
+  for (const auto& p : book) base += reprice(p, 1.0, 0.0);
+  std::vector<double> pnl(vol_shifts.size(), -base);
+  for (std::size_t s = 0; s < vol_shifts.size(); ++s) {
+    for (const auto& p : book) pnl[s] += reprice(p, 1.0, vol_shifts[s]);
+  }
+  return pnl;
+}
+
+}  // namespace finbench::kernels::risk

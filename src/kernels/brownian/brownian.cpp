@@ -1,0 +1,338 @@
+#include "finbench/kernels/brownian.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "finbench/arch/parallel.hpp"
+#include "finbench/simd/vec.hpp"
+
+namespace finbench::kernels::brownian {
+
+// --- Schedule ---------------------------------------------------------------
+
+BridgeSchedule BridgeSchedule::uniform(int depth, double total_time) {
+  std::vector<double> times(std::size_t(1ULL << depth) + 1);
+  const double dt = total_time / static_cast<double>(times.size() - 1);
+  for (std::size_t i = 0; i < times.size(); ++i) times[i] = dt * static_cast<double>(i);
+  return from_times(times);
+}
+
+BridgeSchedule BridgeSchedule::from_times(std::span<const double> times) {
+  BridgeSchedule s;
+  const std::size_t n = times.size();
+  if (n < 2 || ((n - 1) & (n - 2)) != 0) {
+    throw std::invalid_argument("BridgeSchedule: need 2^depth + 1 time points");
+  }
+  int depth = 0;
+  while ((std::size_t{1} << depth) + 1 < n) ++depth;
+  s.depth_ = depth;
+  s.times_.assign(times.begin(), times.end());
+  s.terminal_sig_ = std::sqrt(times[n - 1] - times[0]);
+
+  const std::size_t total = (std::size_t{1} << depth) - 1;
+  s.w_l_.resize(total);
+  s.w_r_.resize(total);
+  s.sig_.resize(total);
+  for (int d = 0; d < depth; ++d) {
+    const std::size_t stride = (n - 1) >> d;
+    for (std::size_t c = 0; c < (std::size_t{1} << d); ++c) {
+      const double tl = times[c * stride];
+      const double tm = times[c * stride + stride / 2];
+      const double tr = times[(c + 1) * stride];
+      const std::size_t k = offset(d) + c;
+      s.w_l_[k] = (tr - tm) / (tr - tl);
+      s.w_r_[k] = (tm - tl) / (tr - tl);
+      s.sig_[k] = std::sqrt((tm - tl) * (tr - tm) / (tr - tl));
+    }
+  }
+  return s;
+}
+
+arch::AlignedVector<double> lane_block_normals(std::span<const double> z, std::size_t nsim,
+                                               std::size_t per_path, int width) {
+  assert(z.size() >= nsim * per_path);
+  arch::AlignedVector<double> out(nsim * per_path);
+  const std::size_t w = static_cast<std::size_t>(width);
+  const std::size_t groups = nsim / w;
+  for (std::size_t g = 0; g < groups; ++g) {
+    for (std::size_t l = 0; l < w; ++l) {
+      const std::size_t s = g * w + l;
+      for (std::size_t i = 0; i < per_path; ++i) {
+        out[g * per_path * w + i * w + l] = z[s * per_path + i];
+      }
+    }
+  }
+  // Tail paths keep per-path layout.
+  for (std::size_t s = groups * w; s < nsim; ++s) {
+    for (std::size_t i = 0; i < per_path; ++i) {
+      out[s * per_path + i] = z[s * per_path + i];
+    }
+  }
+  return out;
+}
+
+// --- Scalar construction (Lis. 4) -------------------------------------------
+
+namespace {
+
+// Build one path into `scratch` (num_points doubles); z points at this
+// path's normals_per_path() normals.
+void build_one(const BridgeSchedule& sched, const double* z, double* scratch, double* scratch2) {
+  const int depth = sched.depth();
+  std::size_t zi = 0;
+  double* src = scratch;
+  double* dst = scratch2;
+  src[0] = 0.0;
+  src[1] = z[zi++] * sched.terminal_sig();
+  for (int d = 0; d < depth; ++d) {
+    const double* wl = sched.w_l(d);
+    const double* wr = sched.w_r(d);
+    const double* sg = sched.sig(d);
+    dst[0] = src[0];
+    for (std::size_t c = 0; c < (std::size_t{1} << d); ++c) {
+      dst[2 * c + 1] = src[c] * wl[c] + src[c + 1] * wr[c] + sg[c] * z[zi++];
+      dst[2 * c + 2] = src[c + 1];
+    }
+    std::swap(src, dst);
+  }
+  if (src != scratch) {
+    for (std::size_t c = 0; c < sched.num_points(); ++c) scratch[c] = src[c];
+  }
+}
+
+}  // namespace
+
+void construct_reference(const BridgeSchedule& sched, std::span<const double> z,
+                         std::size_t nsim, std::span<double> out) {
+  const std::size_t np = sched.num_points();
+  const std::size_t zn = sched.normals_per_path();
+  assert(z.size() >= nsim * zn && out.size() >= nsim * np);
+  arch::AlignedVector<double> a(np), b(np);
+  for (std::size_t s = 0; s < nsim; ++s) {
+    build_one(sched, z.data() + s * zn, a.data(), b.data());
+    for (std::size_t c = 0; c < np; ++c) out[c * nsim + s] = a[c];
+  }
+}
+
+void construct_basic(const BridgeSchedule& sched, std::span<const double> z, std::size_t nsim,
+                     std::span<double> out) {
+  const std::size_t np = sched.num_points();
+  const std::size_t zn = sched.normals_per_path();
+  assert(z.size() >= nsim * zn && out.size() >= nsim * np);
+#pragma omp parallel
+  {
+    arch::AlignedVector<double> a(np), b(np);
+#pragma omp for schedule(static)
+    for (std::ptrdiff_t s = 0; s < static_cast<std::ptrdiff_t>(nsim); ++s) {
+      build_one(sched, z.data() + static_cast<std::size_t>(s) * zn, a.data(), b.data());
+      for (std::size_t c = 0; c < np; ++c) out[c * nsim + static_cast<std::size_t>(s)] = a[c];
+    }
+  }
+}
+
+// --- SIMD across paths -------------------------------------------------------
+
+namespace {
+
+// Build W paths at once. z is lane-blocked for this group; out columns are
+// contiguous (point-major layout), so stores are full-width.
+template <int W>
+void build_group(const BridgeSchedule& sched, const double* z, double* out, std::size_t nsim,
+                 std::size_t group_base, double* vsrc, double* vdst) {
+  using V = simd::Vec<double, W>;
+  const int depth = sched.depth();
+  std::size_t zi = 0;
+
+  double* src = vsrc;
+  double* dst = vdst;
+  V(0.0).store(src);
+  (V::load(z + (zi++) * W) * V(sched.terminal_sig())).store(src + W);
+
+  for (int d = 0; d < depth; ++d) {
+    const double* wl = sched.w_l(d);
+    const double* wr = sched.w_r(d);
+    const double* sg = sched.sig(d);
+    V::load(src).store(dst);
+    for (std::size_t c = 0; c < (std::size_t{1} << d); ++c) {
+      const V left = V::load(src + c * W);
+      const V right = V::load(src + (c + 1) * W);
+      const V zv = V::load(z + (zi++) * W);
+      const V mid = fmadd(left, V(wl[c]), fmadd(right, V(wr[c]), V(sg[c]) * zv));
+      mid.store(dst + (2 * c + 1) * W);
+      right.store(dst + (2 * c + 2) * W);
+    }
+    std::swap(src, dst);
+  }
+  for (std::size_t c = 0; c < sched.num_points(); ++c) {
+    V::load(src + c * W).storeu(out + c * nsim + group_base);
+  }
+}
+
+template <int W>
+void construct_simd(const BridgeSchedule& sched, std::span<const double> z, std::size_t nsim,
+                    std::span<double> out) {
+  const std::size_t np = sched.num_points();
+  const std::size_t zn = sched.normals_per_path();
+  const std::size_t groups = nsim / W;
+#pragma omp parallel
+  {
+    arch::AlignedVector<double> a(np * W), b(np * W);
+#pragma omp for schedule(static)
+    for (std::ptrdiff_t g = 0; g < static_cast<std::ptrdiff_t>(groups); ++g) {
+      build_group<W>(sched, z.data() + static_cast<std::size_t>(g) * zn * W, out.data(), nsim,
+                     static_cast<std::size_t>(g) * W, a.data(), b.data());
+    }
+  }
+  // Tail paths: scalar (their z kept per-path layout).
+  arch::AlignedVector<double> a(np), b(np);
+  for (std::size_t s = groups * W; s < nsim; ++s) {
+    build_one(sched, z.data() + s * zn, a.data(), b.data());
+    for (std::size_t c = 0; c < np; ++c) out[c * nsim + s] = a[c];
+  }
+}
+
+// Interleaved generation: per group of W paths, generate the zn*W normals
+// into a cache-resident buffer and consume immediately. Each group gets an
+// independent Philox stream so the construction is parallel and
+// reproducible regardless of thread count.
+template <int W, class Consume>
+void run_interleaved(const BridgeSchedule& sched, std::uint64_t seed, std::size_t nsim,
+                     Consume&& consume) {
+  const std::size_t np = sched.num_points();
+  const std::size_t zn = sched.normals_per_path();
+  const std::size_t groups = (nsim + W - 1) / W;
+#pragma omp parallel
+  {
+    arch::AlignedVector<double> zbuf(zn * W);
+    arch::AlignedVector<double> a(np * W), b(np * W);
+#pragma omp for schedule(static)
+    for (std::ptrdiff_t g = 0; g < static_cast<std::ptrdiff_t>(groups); ++g) {
+      rng::NormalStream stream(seed, static_cast<std::uint64_t>(g));
+      stream.fill(zbuf);
+      const std::size_t base = static_cast<std::size_t>(g) * W;
+      const std::size_t lanes = std::min<std::size_t>(W, nsim - base);
+      if (lanes == W) {
+        // Full group: vector construction straight from the cache buffer.
+        double* src = a.data();
+        double* dst = b.data();
+        using V = simd::Vec<double, W>;
+        std::size_t zi = 0;
+        V(0.0).store(src);
+        (V::load(zbuf.data()) * V(sched.terminal_sig())).store(src + W);
+        ++zi;
+        for (int d = 0; d < sched.depth(); ++d) {
+          const double* wl = sched.w_l(d);
+          const double* wr = sched.w_r(d);
+          const double* sg = sched.sig(d);
+          V::load(src).store(dst);
+          for (std::size_t c = 0; c < (std::size_t{1} << d); ++c) {
+            const V left = V::load(src + c * W);
+            const V right = V::load(src + (c + 1) * W);
+            const V zv = V::load(zbuf.data() + (zi++) * W);
+            fmadd(left, V(wl[c]), fmadd(right, V(wr[c]), V(sg[c]) * zv))
+                .store(dst + (2 * c + 1) * W);
+            right.store(dst + (2 * c + 2) * W);
+          }
+          std::swap(src, dst);
+        }
+        consume(src, base, W);
+      } else {
+        // Ragged final group: scalar per lane, reading lane-strided normals.
+        for (std::size_t l = 0; l < lanes; ++l) {
+          arch::AlignedVector<double> zs(zn);
+          for (std::size_t i = 0; i < zn; ++i) zs[i] = zbuf[i * W + l];
+          arch::AlignedVector<double> pa(np), pb(np);
+          build_one(sched, zs.data(), pa.data(), pb.data());
+          consume(pa.data(), base + l, 1);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void construct_intermediate(const BridgeSchedule& sched, std::span<const double> z,
+                            std::size_t nsim, std::span<double> out, Width w) {
+  assert(out.size() >= nsim * sched.num_points());
+  switch (w) {
+    case Width::kScalar: construct_simd<1>(sched, z, nsim, out); return;
+    case Width::kAvx2: construct_simd<4>(sched, z, nsim, out); return;
+#if defined(FINBENCH_HAVE_AVX512)
+    case Width::kAvx512:
+    case Width::kAuto: construct_simd<8>(sched, z, nsim, out); return;
+#else
+    case Width::kAvx512:
+    case Width::kAuto: construct_simd<4>(sched, z, nsim, out); return;
+#endif
+  }
+}
+
+namespace {
+
+template <int W>
+void advanced_interleaved_width(const BridgeSchedule& sched, std::uint64_t seed,
+                                std::size_t nsim, std::span<double> out) {
+  const std::size_t np = sched.num_points();
+  run_interleaved<W>(sched, seed, nsim,
+                     [&](const double* path, std::size_t base, std::size_t lanes) {
+                       // path is [point][lane] for `lanes` paths.
+                       for (std::size_t c = 0; c < np; ++c) {
+                         for (std::size_t l = 0; l < lanes; ++l) {
+                           out[c * nsim + base + l] = path[c * lanes + l];
+                         }
+                       }
+                     });
+}
+
+template <int W>
+void advanced_fused_width(const BridgeSchedule& sched, std::uint64_t seed, std::size_t nsim,
+                          std::span<double> avg_out) {
+  const std::size_t np = sched.num_points();
+  const double inv = 1.0 / static_cast<double>(np - 1);
+  run_interleaved<W>(sched, seed, nsim,
+                     [&](const double* path, std::size_t base, std::size_t lanes) {
+                       for (std::size_t l = 0; l < lanes; ++l) {
+                         double acc = 0.0;
+                         for (std::size_t c = 1; c < np; ++c) acc += path[c * lanes + l];
+                         avg_out[base + l] = acc * inv;
+                       }
+                     });
+}
+
+}  // namespace
+
+void construct_advanced_interleaved(const BridgeSchedule& sched, std::uint64_t seed,
+                                    std::size_t nsim, std::span<double> out, Width w) {
+  assert(out.size() >= nsim * sched.num_points());
+  switch (w) {
+    case Width::kScalar: advanced_interleaved_width<1>(sched, seed, nsim, out); return;
+    case Width::kAvx2: advanced_interleaved_width<4>(sched, seed, nsim, out); return;
+#if defined(FINBENCH_HAVE_AVX512)
+    case Width::kAvx512:
+    case Width::kAuto: advanced_interleaved_width<8>(sched, seed, nsim, out); return;
+#else
+    case Width::kAvx512:
+    case Width::kAuto: advanced_interleaved_width<4>(sched, seed, nsim, out); return;
+#endif
+  }
+}
+
+void construct_advanced_fused(const BridgeSchedule& sched, std::uint64_t seed, std::size_t nsim,
+                              std::span<double> path_average_out, Width w) {
+  assert(path_average_out.size() >= nsim);
+  switch (w) {
+    case Width::kScalar: advanced_fused_width<1>(sched, seed, nsim, path_average_out); return;
+    case Width::kAvx2: advanced_fused_width<4>(sched, seed, nsim, path_average_out); return;
+#if defined(FINBENCH_HAVE_AVX512)
+    case Width::kAvx512:
+    case Width::kAuto: advanced_fused_width<8>(sched, seed, nsim, path_average_out); return;
+#else
+    case Width::kAvx512:
+    case Width::kAuto: advanced_fused_width<4>(sched, seed, nsim, path_average_out); return;
+#endif
+  }
+}
+
+}  // namespace finbench::kernels::brownian

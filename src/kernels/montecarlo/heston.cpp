@@ -1,0 +1,272 @@
+#include "finbench/kernels/heston.hpp"
+
+#include <cmath>
+#include <complex>
+#include <stdexcept>
+
+#include "finbench/arch/aligned.hpp"
+#include "finbench/core/analytic.hpp"
+#include "finbench/core/quadrature.hpp"
+#include "finbench/rng/normal.hpp"
+
+namespace finbench::kernels::heston {
+
+HestonPrice price_european(const core::OptionSpec& opt, const HestonParams& model,
+                           const SimParams& sim) {
+  if (opt.years <= 0) throw std::invalid_argument("heston: years must be positive");
+  if (model.v0 < 0 || model.theta < 0 || model.xi < 0) {
+    throw std::invalid_argument("heston: variance parameters must be non-negative");
+  }
+  if (model.rho < -1 || model.rho > 1) {
+    throw std::invalid_argument("heston: rho must be in [-1, 1]");
+  }
+  const std::size_t npath = sim.num_paths;
+  const int nstep = sim.num_steps;
+  const double dt = opt.years / nstep;
+  const double sqrt_dt = std::sqrt(dt);
+  const double rho = model.rho;
+  const double rho_bar = std::sqrt(1.0 - rho * rho);
+  const double df = std::exp(-opt.rate * opt.years);
+
+  arch::AlignedVector<double> zv(npath), zi(npath);
+  arch::AlignedVector<double> log_s(npath, std::log(opt.spot));
+  arch::AlignedVector<double> v(npath, model.v0);
+
+  // Independent substreams for the two factors.
+  rng::NormalStream stream_v(sim.seed, 0);
+  rng::NormalStream stream_i(sim.seed, 1);
+
+  for (int t = 0; t < nstep; ++t) {
+    stream_v.fill(zv);
+    stream_i.fill(zi);
+#pragma omp simd
+    for (std::size_t p = 0; p < npath; ++p) {
+      const double vp = std::max(v[p], 0.0);  // full truncation
+      const double sqrt_v = std::sqrt(vp);
+      const double dw_v = sqrt_dt * zv[p];
+      const double dw_s = rho * dw_v + rho_bar * sqrt_dt * zi[p];
+      log_s[p] += (opt.rate - opt.dividend - 0.5 * vp) * dt + sqrt_v * dw_s;
+      v[p] += model.kappa * (model.theta - vp) * dt + model.xi * sqrt_v * dw_v;
+    }
+  }
+
+  double c0 = 0, c1 = 0, p0 = 0, p1 = 0;
+  for (std::size_t p = 0; p < npath; ++p) {
+    const double st = std::exp(log_s[p]);
+    const double cpay = std::max(st - opt.strike, 0.0);
+    const double ppay = std::max(opt.strike - st, 0.0);
+    c0 += cpay;
+    c1 += cpay * cpay;
+    p0 += ppay;
+    p1 += ppay * ppay;
+  }
+  const double n = static_cast<double>(npath);
+  auto finish = [&](double s0, double s1) {
+    mc::McResult r;
+    const double mean = s0 / n;
+    r.price = df * mean;
+    r.std_error = df * std::sqrt(std::max(s1 / n - mean * mean, 0.0) / n);
+    return r;
+  };
+  return {finish(c0, c1), finish(p0, p1)};
+}
+
+// --- American exercise via LSMC on (S, v) paths ----------------------------------
+
+mc::McResult price_american_lsmc(const core::OptionSpec& opt, const HestonParams& model,
+                                 const SimParams& sim) {
+  if (opt.years <= 0) throw std::invalid_argument("heston lsmc: years must be positive");
+  const std::size_t npath = sim.num_paths;
+  const int nstep = sim.num_steps;
+  const double dt = opt.years / nstep;
+  const double sqrt_dt = std::sqrt(dt);
+  const double rho = model.rho;
+  const double rho_bar = std::sqrt(1.0 - rho * rho);
+  const double df = std::exp(-opt.rate * dt);
+  const bool call = opt.type == core::OptionType::kCall;
+  const double inv_k = 1.0 / opt.strike;
+  auto payoff = [&](double s) {
+    return std::max(call ? s - opt.strike : opt.strike - s, 0.0);
+  };
+
+  // Forward simulation, storing S and v at every exercise date
+  // (time-major blocks).
+  arch::AlignedVector<double> spots(static_cast<std::size_t>(nstep) * npath);
+  arch::AlignedVector<double> vars(static_cast<std::size_t>(nstep) * npath);
+  {
+    arch::AlignedVector<double> zv(npath), zi(npath);
+    arch::AlignedVector<double> log_s(npath, std::log(opt.spot));
+    arch::AlignedVector<double> v(npath, model.v0);
+    rng::NormalStream stream_v(sim.seed, 0), stream_i(sim.seed, 1);
+    for (int t = 0; t < nstep; ++t) {
+      stream_v.fill(zv);
+      stream_i.fill(zi);
+      double* srow = spots.data() + static_cast<std::size_t>(t) * npath;
+      double* vrow = vars.data() + static_cast<std::size_t>(t) * npath;
+#pragma omp simd
+      for (std::size_t p = 0; p < npath; ++p) {
+        const double vp = std::max(v[p], 0.0);
+        const double sqrt_v = std::sqrt(vp);
+        const double dw_v = sqrt_dt * zv[p];
+        const double dw_s = rho * dw_v + rho_bar * sqrt_dt * zi[p];
+        log_s[p] += (opt.rate - opt.dividend - 0.5 * vp) * dt + sqrt_v * dw_s;
+        v[p] += model.kappa * (model.theta - vp) * dt + model.xi * sqrt_v * dw_v;
+        srow[p] = std::exp(log_s[p]);
+        vrow[p] = std::max(v[p], 0.0);
+      }
+    }
+  }
+
+  // Backward induction with a 6-term basis {1, x, x^2, w, w^2, x w},
+  // x = S/K, w = v: the variance state drives the continuation value.
+  constexpr int kB = 6;
+  arch::AlignedVector<double> value(npath);
+  {
+    const double* terminal = spots.data() + static_cast<std::size_t>(nstep - 1) * npath;
+    for (std::size_t p = 0; p < npath; ++p) value[p] = payoff(terminal[p]);
+  }
+  for (int t = nstep - 1; t >= 1; --t) {
+    const double* srow = spots.data() + static_cast<std::size_t>(t - 1) * npath;
+    const double* vrow = vars.data() + static_cast<std::size_t>(t - 1) * npath;
+    for (std::size_t p = 0; p < npath; ++p) value[p] *= df;
+
+    double gram[kB][kB] = {};
+    double rhs[kB] = {};
+    std::size_t n_itm = 0;
+    for (std::size_t p = 0; p < npath; ++p) {
+      const double ex = payoff(srow[p]);
+      if (ex <= 0.0) continue;
+      ++n_itm;
+      const double x = srow[p] * inv_k, w = vrow[p];
+      const double basis[kB] = {1.0, x, x * x, w, w * w, x * w};
+      for (int i = 0; i < kB; ++i) {
+        for (int j = 0; j <= i; ++j) gram[i][j] += basis[i] * basis[j];
+        rhs[i] += basis[i] * value[p];
+      }
+    }
+    if (n_itm < 4 * kB) continue;
+    for (int i = 0; i < kB; ++i) {
+      for (int j = i + 1; j < kB; ++j) gram[i][j] = gram[j][i];
+    }
+    // Cholesky with a ridge (variance terms can be nearly collinear).
+    const double ridge = 1e-9 * gram[0][0];
+    for (int i = 0; i < kB; ++i) gram[i][i] += ridge;
+    bool ok = true;
+    for (int i = 0; i < kB && ok; ++i) {
+      for (int j = 0; j <= i; ++j) {
+        double sum = gram[i][j];
+        for (int k = 0; k < j; ++k) sum -= gram[i][k] * gram[j][k];
+        if (i == j) {
+          if (sum <= 0) {
+            ok = false;
+            break;
+          }
+          gram[i][i] = std::sqrt(sum);
+        } else {
+          gram[i][j] = sum / gram[j][j];
+        }
+      }
+    }
+    if (!ok) continue;
+    for (int i = 0; i < kB; ++i) {
+      for (int k = 0; k < i; ++k) rhs[i] -= gram[i][k] * rhs[k];
+      rhs[i] /= gram[i][i];
+    }
+    for (int i = kB - 1; i >= 0; --i) {
+      for (int k = i + 1; k < kB; ++k) rhs[i] -= gram[k][i] * rhs[k];
+      rhs[i] /= gram[i][i];
+    }
+
+    for (std::size_t p = 0; p < npath; ++p) {
+      const double ex = payoff(srow[p]);
+      if (ex <= 0.0) continue;
+      const double x = srow[p] * inv_k, w = vrow[p];
+      const double cont = rhs[0] + rhs[1] * x + rhs[2] * x * x + rhs[3] * w +
+                          rhs[4] * w * w + rhs[5] * x * w;
+      if (ex > cont) value[p] = ex;
+    }
+  }
+
+  double sum = 0, sum2 = 0;
+  for (std::size_t p = 0; p < npath; ++p) {
+    const double v = df * value[p];
+    sum += v;
+    sum2 += v * v;
+  }
+  const double n = static_cast<double>(npath);
+  mc::McResult out;
+  out.price = std::max(sum / n, payoff(opt.spot));
+  out.std_error = std::sqrt(std::max(sum2 / n - (sum / n) * (sum / n), 0.0) / n);
+  return out;
+}
+
+// --- Semi-analytic (characteristic function) ------------------------------------
+
+namespace {
+
+using cplx = std::complex<double>;
+
+// P_j probabilities, j = 1 (delta measure) / 2 (risk-neutral), in the
+// "little Heston trap" formulation (Albrecher, Mayer, Schoutens, Tistaert
+// 2007): numerically stable for long maturities.
+double heston_pj(int j, const core::OptionSpec& o, const HestonParams& m) {
+  const double tau = o.years;
+  const double x = std::log(o.spot);
+  const double lnk = std::log(o.strike);
+  const double u_j = j == 1 ? 0.5 : -0.5;
+  const double b_j = j == 1 ? m.kappa - m.rho * m.xi : m.kappa;
+  const double a = m.kappa * m.theta;
+  const cplx i(0.0, 1.0);
+
+  auto integrand = [&](double phi) {
+    const cplx ip = i * phi;
+    const cplx d = std::sqrt((m.rho * m.xi * ip - b_j) * (m.rho * m.xi * ip - b_j) -
+                             m.xi * m.xi * (2.0 * u_j * ip - phi * phi));
+    const cplx gnum = b_j - m.rho * m.xi * ip - d;
+    const cplx gden = b_j - m.rho * m.xi * ip + d;
+    const cplx c = gnum / gden;  // 1/g of Heston's original paper
+    const cplx edt = std::exp(-d * tau);
+    const cplx big_c = (o.rate - o.dividend) * ip * tau +
+                       (a / (m.xi * m.xi)) *
+                           (gnum * tau - 2.0 * std::log((1.0 - c * edt) / (1.0 - c)));
+    const cplx big_d = (gnum / (m.xi * m.xi)) * (1.0 - edt) / (1.0 - c * edt);
+    const cplx f = std::exp(big_c + big_d * m.v0 + ip * x);
+    return std::real(std::exp(-ip * lnk) * f / ip);
+  };
+
+  // The integrand decays like exp(-const * phi); 200 covers double range
+  // for ordinary parameters. Composite 32-point Gauss-Legendre, denser
+  // panels near zero where the oscillation is strongest.
+  static const core::GaussLegendre rule(32);
+  const double integral = rule.integrate_panels(integrand, 1e-10, 10.0, 8) +
+                          rule.integrate_panels(integrand, 10.0, 200.0, 12);
+  return 0.5 + integral / 3.14159265358979323846;
+}
+
+}  // namespace
+
+AnalyticPrice price_analytic(const core::OptionSpec& opt, const HestonParams& model) {
+  if (opt.years <= 0) throw std::invalid_argument("heston: years must be positive");
+  if (model.xi <= 0) {
+    // Deterministic-variance limit: integrated variance is available in
+    // closed form; price with Black-Scholes at the average vol.
+    const double kt = model.kappa * opt.years;
+    const double avg_var =
+        model.kappa < 1e-12
+            ? model.v0
+            : model.theta + (model.v0 - model.theta) * (1.0 - std::exp(-kt)) / kt;
+    const core::BsPrice bs = core::black_scholes(opt.spot, opt.strike, opt.years, opt.rate,
+                                                 std::sqrt(avg_var), opt.dividend);
+    return {bs.call, bs.put};
+  }
+  const double p1 = heston_pj(1, opt, model);
+  const double p2 = heston_pj(2, opt, model);
+  const double df = std::exp(-opt.rate * opt.years);
+  const double qf = std::exp(-opt.dividend * opt.years);
+  AnalyticPrice out;
+  out.call = opt.spot * qf * p1 - opt.strike * df * p2;
+  out.put = out.call - opt.spot * qf + opt.strike * df;  // parity
+  return out;
+}
+
+}  // namespace finbench::kernels::heston

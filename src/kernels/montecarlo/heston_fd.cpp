@@ -1,0 +1,280 @@
+// Douglas ADI finite-difference solver for the Heston PDE (European).
+//
+//   V_tau = 1/2 v S^2 V_SS + rho xi v S V_Sv + 1/2 xi^2 v V_vv
+//         + (r - q) S V_S + kappa (theta - v) V_v - r V
+//
+// Splitting: A0 = the mixed derivative (explicit only), A1 = all S-direction
+// terms - r/2 V, A2 = all v-direction terms - r/2 V. One Douglas step:
+//
+//   Y0 = U + dt (A0 + A1 + A2) U            (explicit predictor)
+//   (I - 1/2 dt A1) Y1 = Y0 - 1/2 dt A1 U   (implicit S correction)
+//   (I - 1/2 dt A2) Y2 = Y1 - 1/2 dt A2 U   (implicit v correction)
+//
+// Grids are uniform; the v = 0 boundary uses the degenerate PDE with a
+// one-sided first derivative, v = vmax and S = Smax use Dirichlet
+// asymptotics, S = 0 is absorbed.
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "finbench/arch/aligned.hpp"
+#include "finbench/kernels/heston.hpp"
+
+namespace finbench::kernels::heston {
+
+namespace {
+
+// Tridiagonal solve (Thomas) for (I - w T) x = rhs where T rows are given
+// by (lo, di, up) — scratch arrays provided by the caller.
+void solve_identity_minus(const double* lo, const double* di, const double* up, double w,
+                          double* rhs, int n, double* cp, double* dp) {
+  // Row i of (I - w T): (-w lo[i], 1 - w di[i], -w up[i]).
+  double denom = 1.0 - w * di[0];
+  cp[0] = (-w * up[0]) / denom;
+  dp[0] = rhs[0] / denom;
+  for (int i = 1; i < n; ++i) {
+    const double a = -w * lo[i];
+    denom = (1.0 - w * di[i]) - a * cp[i - 1];
+    cp[i] = (-w * up[i]) / denom;
+    dp[i] = (rhs[i] - a * dp[i - 1]) / denom;
+  }
+  rhs[n - 1] = dp[n - 1];
+  for (int i = n - 2; i >= 0; --i) rhs[i] = dp[i] - cp[i] * rhs[i + 1];
+}
+
+}  // namespace
+
+namespace {
+
+struct SolvedGrid {
+  arch::AlignedVector<double> u;
+  double ds = 0, dv = 0;
+  int m1 = 0, m2 = 0;
+};
+
+SolvedGrid solve_grid(const core::OptionSpec& opt, const HestonParams& model,
+                      const FdParams& fd) {
+  const bool american = opt.style == core::ExerciseStyle::kAmerican;
+  if (opt.years <= 0) throw std::invalid_argument("heston fd: years must be positive");
+  if (fd.num_s < 5 || fd.num_v < 4 || fd.num_steps < 1) {
+    throw std::invalid_argument("heston fd: grid too small");
+  }
+  const int m1 = fd.num_s;   // S-nodes, j = 0..m1-1
+  const int m2 = fd.num_v;   // v-nodes, k = 0..m2-1
+  const double s_max = fd.s_max_mult * std::max(opt.spot, opt.strike);
+  const double v_max = std::max(fd.v_max, 4.0 * std::max(model.theta, model.v0));
+  const double ds = s_max / (m1 - 1);
+  const double dv = v_max / (m2 - 1);
+  const double dt = opt.years / fd.num_steps;
+  const bool call = opt.type == core::OptionType::kCall;
+  const double r = opt.rate, q = opt.dividend;
+
+  auto idx = [m1](int j, int k) { return static_cast<std::size_t>(k) * m1 + j; };
+
+  // Terminal payoff.
+  arch::AlignedVector<double> u(static_cast<std::size_t>(m1) * m2);
+  for (int k = 0; k < m2; ++k) {
+    for (int j = 0; j < m1; ++j) {
+      const double s = j * ds;
+      u[idx(j, k)] = std::max(call ? s - opt.strike : opt.strike - s, 0.0);
+    }
+  }
+
+  // Directional operator coefficients (constant in time).
+  // A1 along S at (j, k): 1/2 v s^2 V_SS + (r-q) s V_S - r/2 V.
+  arch::AlignedVector<double> a1_lo(static_cast<std::size_t>(m1) * m2, 0.0);
+  arch::AlignedVector<double> a1_di(a1_lo.size(), 0.0);
+  arch::AlignedVector<double> a1_up(a1_lo.size(), 0.0);
+  // A2 along v at (j, k): 1/2 xi^2 v V_vv + kappa (theta - v) V_v - r/2 V.
+  arch::AlignedVector<double> a2_lo(a1_lo.size(), 0.0);
+  arch::AlignedVector<double> a2_di(a1_lo.size(), 0.0);
+  arch::AlignedVector<double> a2_up(a1_lo.size(), 0.0);
+
+  for (int k = 0; k < m2; ++k) {
+    const double v = k * dv;
+    for (int j = 1; j < m1 - 1; ++j) {
+      const double s = j * ds;
+      const double diff = 0.5 * v * s * s / (ds * ds);
+      const double conv = 0.5 * (r - q) * s / ds;
+      a1_lo[idx(j, k)] = diff - conv;
+      a1_di[idx(j, k)] = -2.0 * diff - 0.5 * r;
+      a1_up[idx(j, k)] = diff + conv;
+    }
+  }
+  for (int j = 0; j < m1; ++j) {
+    for (int k = 1; k < m2 - 1; ++k) {
+      const double v = k * dv;
+      const double diff = 0.5 * model.xi * model.xi * v / (dv * dv);
+      const double conv = 0.5 * model.kappa * (model.theta - v) / dv;
+      a2_lo[idx(j, k)] = diff - conv;
+      a2_di[idx(j, k)] = -2.0 * diff - 0.5 * r;
+      a2_up[idx(j, k)] = diff + conv;
+    }
+    // v = 0 boundary: no diffusion; kappa theta V_v with a one-sided
+    // (upwind) difference, half the discounting.
+    const double drift0 = model.kappa * model.theta / dv;
+    a2_di[idx(j, 0)] = -drift0 - 0.5 * r;
+    a2_up[idx(j, 0)] = drift0;
+  }
+
+  // Scratch for the tridiagonal sweeps and intermediate fields.
+  arch::AlignedVector<double> y0(u.size()), y1(u.size());
+  arch::AlignedVector<double> row(std::max(m1, m2)), cp(std::max(m1, m2)),
+      dp(std::max(m1, m2));
+  arch::AlignedVector<double> lo_t(std::max(m1, m2)), di_t(std::max(m1, m2)),
+      up_t(std::max(m1, m2));
+
+  const double cross_c = model.rho * model.xi / (4.0 * ds * dv);
+
+  for (int step = 1; step <= fd.num_steps; ++step) {
+    const double tau = step * dt;
+
+    // ---- Explicit predictor: Y0 = U + dt (A0 + A1 + A2) U.
+    for (int k = 0; k < m2; ++k) {
+      for (int j = 0; j < m1; ++j) {
+        const std::size_t c = idx(j, k);
+        double acc = 0.0;
+        // A1 row (interior j only; boundary rows are Dirichlet).
+        if (j > 0 && j < m1 - 1) {
+          acc += a1_lo[c] * u[c - 1] + a1_di[c] * u[c] + a1_up[c] * u[c + 1];
+        }
+        // A2 row.
+        if (k > 0 && k < m2 - 1) {
+          acc += a2_lo[c] * u[c - m1] + a2_di[c] * u[c] + a2_up[c] * u[c + m1];
+        } else if (k == 0) {
+          acc += a2_di[c] * u[c] + a2_up[c] * u[c + m1];
+        }
+        // A0 mixed derivative (interior in both directions).
+        if (j > 0 && j < m1 - 1 && k > 0 && k < m2 - 1) {
+          const double v = k * dv;
+          const double s = j * ds;
+          acc += cross_c * v * s *
+                 (u[c + 1 + m1] - u[c - 1 + m1] - u[c + 1 - m1] + u[c - 1 - m1]);
+        }
+        y0[c] = u[c] + dt * acc;
+      }
+    }
+
+    // ---- Implicit S-direction: (I - dt/2 A1) Y1 = Y0 - dt/2 A1 U.
+    for (int k = 0; k < m2; ++k) {
+      for (int j = 1; j < m1 - 1; ++j) {
+        const std::size_t c = idx(j, k);
+        const double a1u = a1_lo[c] * u[c - 1] + a1_di[c] * u[c] + a1_up[c] * u[c + 1];
+        row[j] = y0[c] - 0.5 * dt * a1u;
+        lo_t[j] = a1_lo[c];
+        di_t[j] = a1_di[c];
+        up_t[j] = a1_up[c];
+      }
+      // Dirichlet boundaries in S folded into the rhs.
+      const double v_at_smax =
+          call ? s_max * std::exp(-q * tau) - opt.strike * std::exp(-r * tau) : 0.0;
+      const double v_at_s0 = call ? 0.0 : opt.strike * std::exp(-r * tau);
+      row[1] += 0.5 * dt * lo_t[1] * v_at_s0;
+      row[m1 - 2] += 0.5 * dt * up_t[m1 - 2] * v_at_smax;
+      lo_t[1] = 0.0;
+      up_t[m1 - 2] = 0.0;
+      solve_identity_minus(lo_t.data() + 1, di_t.data() + 1, up_t.data() + 1, 0.5 * dt,
+                           row.data() + 1, m1 - 2, cp.data(), dp.data());
+      for (int j = 1; j < m1 - 1; ++j) y1[idx(j, k)] = row[j];
+      y1[idx(0, k)] = v_at_s0;
+      y1[idx(m1 - 1, k)] = v_at_smax;
+    }
+
+    // ---- Implicit v-direction: (I - dt/2 A2) U' = Y1 - dt/2 A2 U.
+    for (int j = 0; j < m1; ++j) {
+      // v = vmax boundary: Dirichlet asymptotic V ~ forward intrinsic.
+      const double s = j * ds;
+      const double v_at_vmax = call ? s * std::exp(-q * tau)
+                                    : std::max(opt.strike * std::exp(-r * tau) -
+                                                   s * std::exp(-q * tau),
+                                               0.0);
+      for (int k = 0; k < m2 - 1; ++k) {
+        const std::size_t c = idx(j, k);
+        double a2u;
+        if (k == 0) {
+          a2u = a2_di[c] * u[c] + a2_up[c] * u[c + m1];
+          lo_t[k] = 0.0;
+        } else {
+          a2u = a2_lo[c] * u[c - m1] + a2_di[c] * u[c] + a2_up[c] * u[c + m1];
+          lo_t[k] = a2_lo[c];
+        }
+        row[k] = y1[c] - 0.5 * dt * a2u;
+        di_t[k] = a2_di[c];
+        up_t[k] = a2_up[c];
+      }
+      row[m2 - 2] += 0.5 * dt * up_t[m2 - 2] * v_at_vmax;
+      up_t[m2 - 2] = 0.0;
+      solve_identity_minus(lo_t.data(), di_t.data(), up_t.data(), 0.5 * dt, row.data(),
+                           m2 - 1, cp.data(), dp.data());
+      for (int k = 0; k < m2 - 1; ++k) u[idx(j, k)] = row[k];
+      u[idx(j, m2 - 1)] = v_at_vmax;
+    }
+    // Re-impose the S boundaries on the final field.
+    for (int k = 0; k < m2; ++k) {
+      u[idx(0, k)] = call ? 0.0 : opt.strike * std::exp(-r * tau);
+      u[idx(m1 - 1, k)] =
+          call ? s_max * std::exp(-q * tau) - opt.strike * std::exp(-r * tau) : 0.0;
+    }
+    if (american) {
+      // Explicit projection onto the early-exercise obstacle.
+      for (int k = 0; k < m2; ++k) {
+        for (int j = 0; j < m1; ++j) {
+          const double s = j * ds;
+          const double intrinsic =
+              std::max(call ? s - opt.strike : opt.strike - s, 0.0);
+          u[idx(j, k)] = std::max(u[idx(j, k)], intrinsic);
+        }
+      }
+    }
+  }
+
+  SolvedGrid out;
+  out.u = std::move(u);
+  out.ds = ds;
+  out.dv = dv;
+  out.m1 = m1;
+  out.m2 = m2;
+  return out;
+}
+
+// Bilinear interpolation of any per-node quantity at (spot, v0).
+template <class F>
+double interp_at(const SolvedGrid& g, double spot, double v0, F&& node_value) {
+  const double js =
+      std::min(std::max(spot / g.ds, 0.0), static_cast<double>(g.m1 - 2));
+  const double kv = std::min(std::max(v0 / g.dv, 0.0), static_cast<double>(g.m2 - 2));
+  const int j0 = static_cast<int>(js), k0 = static_cast<int>(kv);
+  const double fj = js - j0, fk = kv - k0;
+  return (1 - fj) * (1 - fk) * node_value(j0, k0) + fj * (1 - fk) * node_value(j0 + 1, k0) +
+         (1 - fj) * fk * node_value(j0, k0 + 1) + fj * fk * node_value(j0 + 1, k0 + 1);
+}
+
+}  // namespace
+
+double price_fd(const core::OptionSpec& opt, const HestonParams& model, const FdParams& fd) {
+  const SolvedGrid g = solve_grid(opt, model, fd);
+  auto at = [&](int j, int k) { return g.u[static_cast<std::size_t>(k) * g.m1 + j]; };
+  return interp_at(g, opt.spot, model.v0, at);
+}
+
+FdGreeks price_fd_greeks(const core::OptionSpec& opt, const HestonParams& model,
+                         const FdParams& fd) {
+  const SolvedGrid g = solve_grid(opt, model, fd);
+  auto at = [&](int j, int k) { return g.u[static_cast<std::size_t>(k) * g.m1 + j]; };
+  auto clampj = [&](int j) { return std::min(std::max(j, 1), g.m1 - 2); };
+  FdGreeks out;
+  out.price = interp_at(g, opt.spot, model.v0, at);
+  // Central differences in S, interpolated in v.
+  out.delta = interp_at(g, opt.spot, model.v0, [&](int j, int k) {
+    const int jc = clampj(j);
+    return (at(jc + 1, k) - at(jc - 1, k)) / (2.0 * g.ds);
+  });
+  out.gamma = interp_at(g, opt.spot, model.v0, [&](int j, int k) {
+    const int jc = clampj(j);
+    return (at(jc + 1, k) - 2.0 * at(jc, k) + at(jc - 1, k)) / (g.ds * g.ds);
+  });
+  return out;
+}
+
+}  // namespace finbench::kernels::heston

@@ -1,0 +1,150 @@
+#include "finbench/kernels/lsmc.hpp"
+
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+#include "finbench/arch/aligned.hpp"
+#include "finbench/rng/normal.hpp"
+#include "finbench/vecmath/array_math.hpp"
+
+namespace finbench::kernels::lsmc {
+
+namespace {
+
+constexpr int kMaxBasis = 6;  // 1, x, ..., x^5
+
+// Solve the (k x k) normal equations G beta = rhs in place via Cholesky,
+// with a tiny ridge for near-singular designs (few ITM paths).
+void solve_normal_equations(std::array<std::array<double, kMaxBasis>, kMaxBasis>& g,
+                            std::array<double, kMaxBasis>& rhs, int k) {
+  const double ridge = 1e-10 * (g[0][0] > 0 ? g[0][0] : 1.0);
+  for (int i = 0; i < k; ++i) g[i][i] += ridge;
+  // Cholesky: g = L L^T.
+  for (int i = 0; i < k; ++i) {
+    for (int j = 0; j <= i; ++j) {
+      double sum = g[i][j];
+      for (int p = 0; p < j; ++p) sum -= g[i][p] * g[j][p];
+      if (i == j) {
+        g[i][i] = std::sqrt(std::max(sum, 1e-300));
+      } else {
+        g[i][j] = sum / g[j][j];
+      }
+    }
+  }
+  // Forward/backward substitution into rhs (becomes beta).
+  for (int i = 0; i < k; ++i) {
+    for (int p = 0; p < i; ++p) rhs[i] -= g[i][p] * rhs[p];
+    rhs[i] /= g[i][i];
+  }
+  for (int i = k - 1; i >= 0; --i) {
+    for (int p = i + 1; p < k; ++p) rhs[i] -= g[p][i] * rhs[p];
+    rhs[i] /= g[i][i];
+  }
+}
+
+}  // namespace
+
+LsmcResult price_american(const core::OptionSpec& opt, const LsmcParams& params) {
+  if (params.basis_degree < 1 || params.basis_degree + 1 > kMaxBasis) {
+    throw std::invalid_argument("lsmc: basis_degree must be in [1, 5]");
+  }
+  if (opt.vol <= 0 || opt.years <= 0) {
+    throw std::invalid_argument("lsmc: vol and years must be positive");
+  }
+  const std::size_t npath = params.num_paths;
+  const int nstep = params.num_steps;
+  const int nbasis = params.basis_degree + 1;
+  const double dt = opt.years / nstep;
+  const double drift = (opt.rate - opt.dividend - 0.5 * opt.vol * opt.vol) * dt;
+  const double sig_dt = opt.vol * std::sqrt(dt);
+  const double df = std::exp(-opt.rate * dt);
+  const bool call = opt.type == core::OptionType::kCall;
+  const double inv_k = 1.0 / opt.strike;
+
+  auto payoff = [&](double s) {
+    return std::max(call ? s - opt.strike : opt.strike - s, 0.0);
+  };
+
+  // Forward simulation: spots[t-1] holds S at exercise date t (1..nstep),
+  // time-major so each date's regression reads one contiguous block.
+  arch::AlignedVector<double> spots(static_cast<std::size_t>(nstep) * npath);
+  {
+    arch::AlignedVector<double> z(npath);
+    arch::AlignedVector<double> log_s(npath, std::log(opt.spot));
+    rng::NormalStream stream(params.seed);
+    for (int t = 0; t < nstep; ++t) {
+      stream.fill(z);
+      double* row = spots.data() + static_cast<std::size_t>(t) * npath;
+#pragma omp simd
+      for (std::size_t p = 0; p < npath; ++p) {
+        log_s[p] += drift + sig_dt * z[p];
+        row[p] = log_s[p];
+      }
+      vecmath::exp({row, npath}, {row, npath});
+    }
+  }
+
+  // Backward induction. value[p] = option value at the *current* date.
+  arch::AlignedVector<double> value(npath);
+  {
+    const double* terminal = spots.data() + static_cast<std::size_t>(nstep - 1) * npath;
+    for (std::size_t p = 0; p < npath; ++p) value[p] = payoff(terminal[p]);
+  }
+
+  for (int t = nstep - 1; t >= 1; --t) {
+    const double* s_row = spots.data() + static_cast<std::size_t>(t - 1) * npath;
+    // Discount the downstream value to date t.
+    for (std::size_t p = 0; p < npath; ++p) value[p] *= df;
+
+    // Regress continuation on {1, x, x^2, ...}, x = S/K, ITM paths only.
+    std::array<std::array<double, kMaxBasis>, kMaxBasis> gram{};
+    std::array<double, kMaxBasis> rhs{};
+    std::size_t n_itm = 0;
+    for (std::size_t p = 0; p < npath; ++p) {
+      const double ex = payoff(s_row[p]);
+      if (ex <= 0.0) continue;
+      ++n_itm;
+      double basis[kMaxBasis];
+      basis[0] = 1.0;
+      const double x = s_row[p] * inv_k;
+      for (int b = 1; b < nbasis; ++b) basis[b] = basis[b - 1] * x;
+      for (int i = 0; i < nbasis; ++i) {
+        for (int j = 0; j <= i; ++j) gram[i][j] += basis[i] * basis[j];
+        rhs[i] += basis[i] * value[p];
+      }
+    }
+    if (n_itm < static_cast<std::size_t>(2 * nbasis)) continue;  // nothing to exercise
+    for (int i = 0; i < nbasis; ++i) {
+      for (int j = i + 1; j < nbasis; ++j) gram[i][j] = gram[j][i];
+    }
+    solve_normal_equations(gram, rhs, nbasis);
+
+    // Exercise where immediate payoff beats predicted continuation.
+    for (std::size_t p = 0; p < npath; ++p) {
+      const double ex = payoff(s_row[p]);
+      if (ex <= 0.0) continue;
+      const double x = s_row[p] * inv_k;
+      double cont = rhs[nbasis - 1];
+      for (int b = nbasis - 2; b >= 0; --b) cont = cont * x + rhs[b];
+      if (ex > cont) value[p] = ex;
+    }
+  }
+
+  // Discount date-1 values to today and aggregate.
+  double sum = 0.0, sum2 = 0.0;
+  for (std::size_t p = 0; p < npath; ++p) {
+    const double v = df * value[p];
+    sum += v;
+    sum2 += v * v;
+  }
+  const double n = static_cast<double>(npath);
+  LsmcResult out;
+  out.price = sum / n;
+  // An American option is worth at least its immediate payoff.
+  out.price = std::max(out.price, payoff(opt.spot));
+  out.std_error = std::sqrt(std::max(sum2 / n - (sum / n) * (sum / n), 0.0) / n);
+  return out;
+}
+
+}  // namespace finbench::kernels::lsmc

@@ -1,0 +1,92 @@
+#include "finbench/kernels/lookback.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "finbench/arch/aligned.hpp"
+#include "finbench/rng/normal.hpp"
+#include "finbench/rng/philox.hpp"
+
+namespace finbench::kernels::lookback {
+
+namespace {
+
+double cnd(double x) { return 0.5 * std::erfc(-x * 0.70710678118654752440); }
+
+void validate(double years, double vol) {
+  if (years <= 0 || vol <= 0) {
+    throw std::invalid_argument("lookback: years and vol must be positive");
+  }
+}
+
+}  // namespace
+
+double floating_call_closed_form(double spot, double years, double rate, double dividend,
+                                 double vol) {
+  validate(years, vol);
+  const double b = rate - dividend;  // cost of carry
+  if (std::fabs(b) < 1e-10) {
+    throw std::invalid_argument("lookback closed form: needs rate != dividend (b != 0)");
+  }
+  // Goldman–Sosin–Gatto with running minimum m = spot at inception
+  // (ln(S/m) = 0, so the (S/m) powers collapse to 1):
+  //   c = S e^{-qT} N(a1) - S e^{-rT} N(a2)
+  //       + S e^{-rT} (sigma^2 / 2b) [ N(-a1 + (2b/sigma) sqrt(T))
+  //                                    - e^{bT} N(-a1) ]
+  const double sig_rt = vol * std::sqrt(years);
+  const double a1 = (b + 0.5 * vol * vol) * years / sig_rt;
+  const double a2 = a1 - sig_rt;
+  const double df = std::exp(-rate * years);
+  const double qf = std::exp(-dividend * years);
+  const double ratio = vol * vol / (2.0 * b);
+  return spot * qf * cnd(a1) - spot * df * cnd(a2) +
+         spot * df * ratio *
+             (cnd(-a1 + 2.0 * b * std::sqrt(years) / vol) - std::exp(b * years) * cnd(-a1));
+}
+
+mc::McResult price_floating_call_mc(double spot, double years, double rate, double dividend,
+                                    double vol, const McParams& params) {
+  validate(years, vol);
+  const int nstep = params.num_steps;
+  const double dt = years / nstep;
+  const double drift = (rate - dividend - 0.5 * vol * vol) * dt;
+  const double sig_dt = vol * std::sqrt(dt);
+  const double two_s2dt = 2.0 * vol * vol * dt;
+  const double df = std::exp(-rate * years);
+
+  rng::NormalStream normals(params.seed, 0);
+  rng::Philox4x32 uniforms(params.seed, 1);
+  arch::AlignedVector<double> z(nstep);
+
+  double sum = 0, sum2 = 0;
+  for (std::size_t p = 0; p < params.num_paths; ++p) {
+    normals.fill(z);
+    double x = std::log(spot);
+    double min_x = x;
+    for (int t = 0; t < nstep; ++t) {
+      const double x_next = x + drift + sig_dt * z[t];
+      if (params.bridge_minimum) {
+        // Exact conditional minimum of the bridge between x and x_next.
+        const double u = std::max(uniforms.next_u01(), 1e-300);
+        const double d = x_next - x;
+        const double m =
+            0.5 * (x + x_next - std::sqrt(d * d - two_s2dt * std::log(u)));
+        if (m < min_x) min_x = m;
+      } else if (x_next < min_x) {
+        min_x = x_next;  // discrete monitoring: endpoints only
+      }
+      x = x_next;
+    }
+    const double pay = std::exp(x) - std::exp(min_x);  // S_T - min S
+    sum += pay;
+    sum2 += pay * pay;
+  }
+  const double n = static_cast<double>(params.num_paths);
+  mc::McResult out;
+  const double mean = sum / n;
+  out.price = df * mean;
+  out.std_error = df * std::sqrt(std::max(sum2 / n - mean * mean, 0.0) / n);
+  return out;
+}
+
+}  // namespace finbench::kernels::lookback

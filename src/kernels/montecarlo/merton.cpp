@@ -1,0 +1,97 @@
+#include "finbench/kernels/merton.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "finbench/core/analytic.hpp"
+#include "finbench/rng/normal.hpp"
+#include "finbench/rng/philox.hpp"
+
+namespace finbench::kernels::merton {
+
+namespace {
+
+void validate(const core::OptionSpec& opt, const JumpParams& jumps) {
+  if (opt.years <= 0 || opt.vol < 0) {
+    throw std::invalid_argument("merton: years must be positive, vol non-negative");
+  }
+  if (jumps.intensity < 0 || jumps.jump_vol < 0) {
+    throw std::invalid_argument("merton: intensity and jump_vol must be non-negative");
+  }
+  if (opt.style != core::ExerciseStyle::kEuropean) {
+    throw std::invalid_argument("merton: European exercise only");
+  }
+}
+
+}  // namespace
+
+double price_series(const core::OptionSpec& opt, const JumpParams& jumps, int max_terms) {
+  validate(opt, jumps);
+  const double kbar = std::exp(jumps.jump_mean + 0.5 * jumps.jump_vol * jumps.jump_vol) - 1.0;
+  const double lambda_p = jumps.intensity * (1.0 + kbar);  // risk-adj. intensity
+  const double lt = lambda_p * opt.years;
+  const bool call = opt.type == core::OptionType::kCall;
+
+  double price = 0.0;
+  double weight = std::exp(-lt);  // Poisson P(N = 0)
+  for (int n = 0; n < max_terms; ++n) {
+    if (n > 0) weight *= lt / n;
+    // Conditional on n jumps: lognormal with adjusted vol and drift.
+    const double var_n =
+        opt.vol * opt.vol + n * jumps.jump_vol * jumps.jump_vol / opt.years;
+    const double r_n = opt.rate - jumps.intensity * kbar +
+                       n * (jumps.jump_mean + 0.5 * jumps.jump_vol * jumps.jump_vol) /
+                           opt.years;
+    const core::BsPrice bs = core::black_scholes(opt.spot, opt.strike, opt.years, r_n,
+                                                 std::sqrt(var_n), opt.dividend);
+    price += weight * (call ? bs.call : bs.put);
+    if (weight < 1e-18 && n > lt) break;  // past the Poisson mode, tail dead
+  }
+  return price;
+}
+
+mc::McResult price_mc(const core::OptionSpec& opt, const JumpParams& jumps,
+                      const SimParams& sim) {
+  validate(opt, jumps);
+  const double kbar = std::exp(jumps.jump_mean + 0.5 * jumps.jump_vol * jumps.jump_vol) - 1.0;
+  const double mu =
+      (opt.rate - opt.dividend - jumps.intensity * kbar - 0.5 * opt.vol * opt.vol) * opt.years;
+  const double sig_rt = opt.vol * std::sqrt(opt.years);
+  const double df = std::exp(-opt.rate * opt.years);
+  const double lt = jumps.intensity * opt.years;
+  const double p0 = std::exp(-lt);
+  const bool call = opt.type == core::OptionType::kCall;
+
+  rng::Philox4x32 gen(sim.seed, /*stream=*/0x4A);
+  rng::NormalStream normals(sim.seed, /*stream=*/0x4B);
+
+  double sum = 0, sum2 = 0;
+  std::vector<double> z(2);
+  for (std::size_t pth = 0; pth < sim.num_paths; ++pth) {
+    // Jump count: Knuth's product-of-uniforms Poisson sampler.
+    int n_jumps = 0;
+    double prod = gen.next_u01();
+    while (prod > p0) {
+      ++n_jumps;
+      prod *= gen.next_u01();
+    }
+    normals.fill({z.data(), 1});
+    double log_s = mu + sig_rt * z[0];
+    for (int j = 0; j < n_jumps; ++j) {
+      normals.fill({z.data() + 1, 1});
+      log_s += jumps.jump_mean + jumps.jump_vol * z[1];
+    }
+    const double st = opt.spot * std::exp(log_s);
+    const double pay = std::max(call ? st - opt.strike : opt.strike - st, 0.0);
+    sum += pay;
+    sum2 += pay * pay;
+  }
+  const double n = static_cast<double>(sim.num_paths);
+  mc::McResult out;
+  const double mean = sum / n;
+  out.price = df * mean;
+  out.std_error = df * std::sqrt(std::max(sum2 / n - mean * mean, 0.0) / n);
+  return out;
+}
+
+}  // namespace finbench::kernels::merton

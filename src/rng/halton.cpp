@@ -1,0 +1,69 @@
+#include "finbench/rng/halton.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "finbench/rng/splitmix64.hpp"
+
+namespace finbench::rng {
+
+namespace {
+
+std::vector<unsigned> first_primes(int n) {
+  std::vector<unsigned> primes;
+  primes.reserve(n);
+  for (unsigned candidate = 2; static_cast<int>(primes.size()) < n; ++candidate) {
+    bool is_prime = true;
+    for (unsigned p : primes) {
+      if (p * p > candidate) break;
+      if (candidate % p == 0) {
+        is_prime = false;
+        break;
+      }
+    }
+    if (is_prime) primes.push_back(candidate);
+  }
+  return primes;
+}
+
+}  // namespace
+
+double radical_inverse(std::uint64_t index, unsigned base) {
+  double result = 0.0;
+  double inv_base = 1.0 / base;
+  double factor = inv_base;
+  while (index > 0) {
+    result += static_cast<double>(index % base) * factor;
+    index /= base;
+    factor *= inv_base;
+  }
+  return result;
+}
+
+Halton::Halton(int dims, std::uint64_t rotation_seed) {
+  if (dims < 1) throw std::invalid_argument("Halton: dims must be >= 1");
+  bases_ = first_primes(dims);
+  rotation_.assign(dims, 0.0);
+  if (rotation_seed != 0) {
+    SplitMix64 sm(rotation_seed);
+    for (auto& r : rotation_) r = static_cast<double>(sm.next() >> 11) * 0x1.0p-53;
+  }
+}
+
+void Halton::next(std::span<double> out) {
+  assert(out.size() >= bases_.size());
+  for (std::size_t d = 0; d < bases_.size(); ++d) {
+    double u = radical_inverse(index_, bases_[d]) + rotation_[d];
+    if (u >= 1.0) u -= 1.0;  // Cranley–Patterson wraparound
+    out[d] = u;
+  }
+  ++index_;
+}
+
+void Halton::generate(std::span<double> out, std::size_t n) {
+  assert(out.size() >= n * bases_.size());
+  for (std::size_t p = 0; p < n; ++p) next(out.subspan(p * bases_.size(), bases_.size()));
+}
+
+}  // namespace finbench::rng

@@ -1,0 +1,129 @@
+#include "finbench/rng/normal.hpp"
+
+#include <array>
+#include <cmath>
+
+#include "finbench/vecmath/array_math.hpp"
+#include "finbench/vecmath/vecmath.hpp"
+
+namespace finbench::rng {
+
+namespace {
+
+constexpr std::size_t kChunk = 2048;  // uniforms buffered per pass (fits L1)
+
+void icdf_fill(Philox4x32& gen, std::span<double> out) {
+  std::size_t done = 0;
+  while (done < out.size()) {
+    const std::size_t n = std::min(kChunk, out.size() - done);
+    auto span = out.subspan(done, n);
+    generate_u01_open(gen, span);
+    vecmath::inverse_cnd(span, span);
+    done += n;
+  }
+}
+
+void box_muller_fill(Philox4x32& gen, std::span<double> out) {
+  alignas(64) std::array<double, kChunk> u1;
+  alignas(64) std::array<double, kChunk> u2;
+  alignas(64) std::array<double, kChunk> s;
+  alignas(64) std::array<double, kChunk> c;
+  std::size_t done = 0;
+  while (done < out.size()) {
+    const std::size_t pairs = std::min(kChunk, (out.size() - done + 1) / 2);
+    generate_u01_open(gen, std::span(u1.data(), pairs));
+    generate_u01_open(gen, std::span(u2.data(), pairs));
+    // r = sqrt(-2 ln u1), theta = 2 pi u2; z0 = r cos, z1 = r sin.
+    vecmath::log(std::span<const double>(u1.data(), pairs), std::span(u1.data(), pairs));
+    for (std::size_t i = 0; i < pairs; ++i) {
+      u1[i] = std::sqrt(-2.0 * u1[i]);
+      u2[i] *= 6.283185307179586477;
+    }
+    vecmath::sincos(std::span<const double>(u2.data(), pairs), std::span(s.data(), pairs),
+                    std::span(c.data(), pairs));
+    const std::size_t n = std::min(out.size() - done, 2 * pairs);
+    for (std::size_t i = 0; i < n; ++i) {
+      out[done + i] = (i & 1) ? u1[i / 2] * s[i / 2] : u1[i / 2] * c[i / 2];
+    }
+    done += n;
+  }
+}
+
+// --- Marsaglia–Tsang ziggurat (128 layers) --------------------------------
+
+struct ZigguratTables {
+  std::array<double, 129> x;   // layer abscissae
+  std::array<double, 128> r;   // x[i+1]/x[i] acceptance ratios
+  std::array<double, 129> f;   // density at x[i]
+
+  ZigguratTables() {
+    constexpr double kR = 3.442619855899;          // rightmost abscissa
+    constexpr double kV = 9.91256303526217e-3;     // area per layer
+    auto density = [](double t) { return std::exp(-0.5 * t * t); };
+    x[128] = kV / density(kR);
+    x[127] = kR;
+    f[128] = density(x[128]);
+    f[127] = density(kR);
+    for (int i = 126; i >= 1; --i) {
+      x[i] = std::sqrt(-2.0 * std::log(kV / x[i + 1] + density(x[i + 1])));
+      f[i] = density(x[i]);
+    }
+    x[0] = 0.0;
+    f[0] = 1.0;
+    for (int i = 0; i < 128; ++i) r[i] = x[i] / x[i + 1];
+  }
+};
+
+const ZigguratTables& ziggurat() {
+  static const ZigguratTables tables;
+  return tables;
+}
+
+double ziggurat_one(Philox4x32& gen) {
+  const auto& z = ziggurat();
+  constexpr double kR = 3.442619855899;
+  for (;;) {
+    const std::uint64_t bits = gen.next_u64();
+    const int i = static_cast<int>(bits & 127);          // layer
+    const double sign = (bits & 128) ? -1.0 : 1.0;
+    // 53-bit uniform in [0,1).
+    const double u = static_cast<double>(bits >> 11) * 0x1.0p-53;
+    const double t = u * z.x[i + 1];
+    if (u < z.r[i]) return sign * t;  // inside the sub-rectangle: accept
+    if (i == 127) {
+      // Tail (Marsaglia 1964): x = sqrt(r^2 - 2 ln u1) with acceptance.
+      for (;;) {
+        const double u1 = std::max(gen.next_u01(), 0x1.0p-53);
+        const double u2 = gen.next_u01();
+        const double xx = std::sqrt(kR * kR - 2.0 * std::log(u1));
+        if (u2 * xx < kR) return sign * xx;
+      }
+    }
+    // Wedge: accept with probability proportional to the density gap.
+    const double u2 = gen.next_u01();
+    if (z.f[i + 1] + u2 * (z.f[i] - z.f[i + 1]) < std::exp(-0.5 * t * t)) {
+      return sign * t;
+    }
+  }
+}
+
+}  // namespace
+
+void generate_u01_open(Philox4x32& gen, std::span<double> out) {
+  gen.generate_u01(out);
+  // Shift [0,1) to (0,1): the 53-bit grid plus half a step keeps the mean
+  // exactly 1/2 and keeps every value strictly inside the interval.
+  for (auto& v : out) v += 0x1.0p-54;
+}
+
+void generate_normal(Philox4x32& gen, std::span<double> out, NormalMethod method) {
+  switch (method) {
+    case NormalMethod::kIcdf: icdf_fill(gen, out); return;
+    case NormalMethod::kBoxMuller: box_muller_fill(gen, out); return;
+    case NormalMethod::kZiggurat:
+      for (auto& v : out) v = ziggurat_one(gen);
+      return;
+  }
+}
+
+}  // namespace finbench::rng

@@ -1,0 +1,160 @@
+#include "finbench/rng/philox.hpp"
+
+#include <immintrin.h>
+
+namespace finbench::rng {
+
+namespace {
+
+#if defined(FINBENCH_HAVE_AVX512)
+constexpr int kLanes = 16;  // counter blocks processed side by side
+#else
+constexpr int kLanes = 8;
+#endif
+
+#if defined(FINBENCH_HAVE_AVX512)
+
+// 32x32 -> 32:32 multiply of every lane against a constant. AVX-512's
+// vpmuludq covers even lanes; odd lanes are shifted down and re-blended.
+struct MulHiLo512 {
+  __m512i hi, lo;
+};
+inline MulHiLo512 mulhilo(__m512i a, std::uint32_t m) {
+  const __m512i mv = _mm512_set1_epi64(m);
+  const __m512i even = _mm512_mul_epu32(a, mv);
+  const __m512i odd = _mm512_mul_epu32(_mm512_srli_epi64(a, 32), mv);
+  const __mmask16 odd_mask = 0xaaaa;
+  MulHiLo512 r;
+  r.lo = _mm512_mask_blend_epi32(odd_mask, even, _mm512_slli_epi64(odd, 32));
+  r.hi = _mm512_mask_blend_epi32(odd_mask, _mm512_srli_epi64(even, 32), odd);
+  return r;
+}
+
+inline void philox_rounds_simd(__m512i& c0, __m512i& c1, __m512i& c2, __m512i& c3,
+                               std::uint32_t k0, std::uint32_t k1) {
+  for (int r = 0; r < Philox4x32::kRounds; ++r) {
+    const MulHiLo512 m0 = mulhilo(c0, 0xD2511F53u);
+    const MulHiLo512 m1 = mulhilo(c2, 0xCD9E8D57u);
+    const __m512i n0 = _mm512_xor_si512(_mm512_xor_si512(m1.hi, c1), _mm512_set1_epi32(static_cast<int>(k0)));
+    const __m512i n2 = _mm512_xor_si512(_mm512_xor_si512(m0.hi, c3), _mm512_set1_epi32(static_cast<int>(k1)));
+    c0 = n0;
+    c1 = m1.lo;
+    c2 = n2;
+    c3 = m0.lo;
+    k0 += 0x9E3779B9u;
+    k1 += 0xBB67AE85u;
+  }
+}
+
+#else
+
+struct MulHiLo256 {
+  __m256i hi, lo;
+};
+inline MulHiLo256 mulhilo(__m256i a, std::uint32_t m) {
+  const __m256i mv = _mm256_set1_epi64x(m);
+  const __m256i even = _mm256_mul_epu32(a, mv);
+  const __m256i odd = _mm256_mul_epu32(_mm256_srli_epi64(a, 32), mv);
+  MulHiLo256 r;
+  r.lo = _mm256_blend_epi32(even, _mm256_slli_epi64(odd, 32), 0xaa);
+  r.hi = _mm256_blend_epi32(_mm256_srli_epi64(even, 32), odd, 0xaa);
+  return r;
+}
+
+inline void philox_rounds_simd(__m256i& c0, __m256i& c1, __m256i& c2, __m256i& c3,
+                               std::uint32_t k0, std::uint32_t k1) {
+  for (int r = 0; r < Philox4x32::kRounds; ++r) {
+    const MulHiLo256 m0 = mulhilo(c0, 0xD2511F53u);
+    const MulHiLo256 m1 = mulhilo(c2, 0xCD9E8D57u);
+    const __m256i n0 = _mm256_xor_si256(_mm256_xor_si256(m1.hi, c1),
+                                        _mm256_set1_epi32(static_cast<int>(k0)));
+    const __m256i n2 = _mm256_xor_si256(_mm256_xor_si256(m0.hi, c3),
+                                        _mm256_set1_epi32(static_cast<int>(k1)));
+    c0 = n0;
+    c1 = m1.lo;
+    c2 = n2;
+    c3 = m0.lo;
+    k0 += 0x9E3779B9u;
+    k1 += 0xBB67AE85u;
+  }
+}
+
+#endif
+
+}  // namespace
+
+void Philox4x32::generate(std::span<std::uint32_t> out) {
+  std::size_t i = 0;
+  const std::size_t n = out.size();
+
+  // Drain any words buffered by next_u32() so mixed usage stays sequential.
+  while (have_ > 0 && i < n) out[i++] = next_u32();
+
+  // SIMD main loop: kLanes consecutive counter blocks per iteration. The
+  // fast path requires counter[0] not to wrap within the batch (it wraps
+  // once per 2^32 blocks; the scalar tail handles that boundary).
+  while (i + 4 * kLanes <= n) {
+    if (counter_[0] > 0xffffffffu - kLanes) {
+      for (int w = 0; w < 4 * kLanes; ++w) out[i++] = next_u32();
+      continue;
+    }
+    alignas(64) std::uint32_t c0a[kLanes], c1a[kLanes], c2a[kLanes], c3a[kLanes];
+    for (int l = 0; l < kLanes; ++l) {
+      c0a[l] = counter_[0] + static_cast<std::uint32_t>(l);
+      c1a[l] = counter_[1];
+      c2a[l] = counter_[2];
+      c3a[l] = counter_[3];
+    }
+    counter_[0] += kLanes;  // no wrap by the guard above
+
+#if defined(FINBENCH_HAVE_AVX512)
+    __m512i c0 = _mm512_load_si512(c0a), c1 = _mm512_load_si512(c1a);
+    __m512i c2 = _mm512_load_si512(c2a), c3 = _mm512_load_si512(c3a);
+    philox_rounds_simd(c0, c1, c2, c3, key_[0], key_[1]);
+    _mm512_store_si512(c0a, c0);
+    _mm512_store_si512(c1a, c1);
+    _mm512_store_si512(c2a, c2);
+    _mm512_store_si512(c3a, c3);
+#else
+    __m256i c0 = _mm256_load_si256(reinterpret_cast<const __m256i*>(c0a));
+    __m256i c1 = _mm256_load_si256(reinterpret_cast<const __m256i*>(c1a));
+    __m256i c2 = _mm256_load_si256(reinterpret_cast<const __m256i*>(c2a));
+    __m256i c3 = _mm256_load_si256(reinterpret_cast<const __m256i*>(c3a));
+    philox_rounds_simd(c0, c1, c2, c3, key_[0], key_[1]);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(c0a), c0);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(c1a), c1);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(c2a), c2);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(c3a), c3);
+#endif
+
+    // De-interleave lane-major results back to block-sequential order.
+    for (int l = 0; l < kLanes; ++l) {
+      out[i++] = c0a[l];
+      out[i++] = c1a[l];
+      out[i++] = c2a[l];
+      out[i++] = c3a[l];
+    }
+  }
+
+  // Tail.
+  while (i < n) out[i++] = next_u32();
+}
+
+void Philox4x32::generate_u01(std::span<double> out) {
+  std::size_t i = 0;
+  const std::size_t n = out.size();
+  while (i + 2 * kLanes <= n) {
+    std::uint32_t words[4 * kLanes];
+    generate(std::span<std::uint32_t>(words, 4 * kLanes));
+#pragma omp simd
+    for (int l = 0; l < 2 * kLanes; ++l) {
+      const std::uint64_t bits =
+          (static_cast<std::uint64_t>(words[2 * l + 1]) << 32) | words[2 * l];
+      out[i + l] = static_cast<double>(bits >> 11) * 0x1.0p-53;
+    }
+    i += 2 * kLanes;
+  }
+  while (i < n) out[i++] = next_u01();
+}
+
+}  // namespace finbench::rng

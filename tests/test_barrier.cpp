@@ -1,0 +1,136 @@
+// Tests for barrier-option pricing: the Reiner–Rubinstein closed form
+// against known limits, and the Brownian-bridge crossing correction
+// against both the closed form and the (biased) discrete estimator.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "finbench/core/analytic.hpp"
+#include "finbench/kernels/barrier.hpp"
+
+namespace {
+
+using namespace finbench;
+using namespace finbench::kernels;
+
+core::OptionSpec call(double s = 100, double k = 100, double t = 1, double r = 0.05,
+                      double v = 0.25) {
+  return {s, k, t, r, v, core::OptionType::kCall, core::ExerciseStyle::kEuropean};
+}
+
+TEST(BarrierClosedForm, FarBarrierRecoversVanilla) {
+  // A barrier far below never knocks: price -> vanilla call.
+  const double vanilla = core::black_scholes(100, 100, 1, 0.05, 0.25).call;
+  const double dob = barrier::down_and_out_call(100, 100, 1.0, 1, 0.05, 0.25);
+  EXPECT_NEAR(dob, vanilla, 1e-9);
+}
+
+TEST(BarrierClosedForm, AtSpotBarrierIsWorthless) {
+  EXPECT_NEAR(barrier::down_and_out_call(100, 100, 100.0 + 1e-9, 1, 0.05, 0.25), 0.0, 1e-12);
+}
+
+TEST(BarrierClosedForm, MonotoneInBarrier) {
+  // Higher barrier -> more knock-out risk -> lower price.
+  double prev = 1e9;
+  for (double h : {50.0, 70.0, 85.0, 95.0, 99.0}) {
+    const double p = barrier::down_and_out_call(100, 100, h, 1, 0.05, 0.25);
+    EXPECT_LT(p, prev) << h;
+    EXPECT_GT(p, 0.0);
+    prev = p;
+  }
+}
+
+TEST(BarrierClosedForm, BoundedByVanilla) {
+  const double vanilla = core::black_scholes(100, 110, 2, 0.04, 0.3).call;
+  for (double h : {60.0, 80.0, 95.0}) {
+    const double p = barrier::down_and_out_call(100, 110, h, 2, 0.04, 0.3);
+    EXPECT_LE(p, vanilla + 1e-12);
+  }
+}
+
+TEST(BarrierClosedForm, GuardsDomain) {
+  EXPECT_THROW(barrier::down_and_out_call(100, 90, 95, 1, 0.05, 0.2), std::invalid_argument);
+  EXPECT_THROW(barrier::down_and_out_call(100, 100, 90, 1, 0.05, 0.0), std::invalid_argument);
+  EXPECT_EQ(barrier::down_and_out_call(80, 100, 90, 1, 0.05, 0.2), 0.0);  // born dead
+}
+
+TEST(BarrierMc, BridgeCorrectionMatchesClosedForm) {
+  barrier::BarrierSpec spec;
+  spec.option = call(100, 100, 1, 0.05, 0.25);
+  spec.barrier = 85.0;
+  barrier::McParams p;
+  p.num_paths = 1 << 17;
+  p.num_steps = 16;  // deliberately coarse: the correction does the work
+  const auto mc = barrier::price_mc(spec, p);
+  const double exact = barrier::down_and_out_call(100, 100, 85, 1, 0.05, 0.25);
+  EXPECT_NEAR(mc.price, exact, 4.5 * mc.std_error + 1e-3) << "exact " << exact;
+}
+
+TEST(BarrierMc, DiscreteMonitoringIsBiasedHigh) {
+  barrier::BarrierSpec spec;
+  spec.option = call(100, 100, 1, 0.05, 0.25);
+  spec.barrier = 90.0;
+  barrier::McParams corrected;
+  corrected.num_paths = 1 << 16;
+  corrected.num_steps = 8;
+  barrier::McParams discrete = corrected;
+  discrete.bridge_correction = false;
+  const double exact = barrier::down_and_out_call(100, 100, 90, 1, 0.05, 0.25);
+  const auto with_bb = barrier::price_mc(spec, corrected);
+  const auto without = barrier::price_mc(spec, discrete);
+  // Missing crossings makes the knock-out look safer -> overpriced.
+  EXPECT_GT(without.price, exact + 3 * without.std_error);
+  EXPECT_NEAR(with_bb.price, exact, 4.5 * with_bb.std_error + 1e-3);
+  EXPECT_GT(without.price, with_bb.price);
+}
+
+TEST(BarrierMc, CorrectionConvergesFromCoarseSteps) {
+  // 4 steps with correction should already be close; 64 without still off.
+  barrier::BarrierSpec spec;
+  spec.option = call(100, 105, 0.5, 0.03, 0.3);
+  spec.barrier = 88.0;
+  const double exact = barrier::down_and_out_call(100, 105, 88, 0.5, 0.03, 0.3);
+  barrier::McParams coarse;
+  coarse.num_paths = 1 << 17;
+  coarse.num_steps = 4;
+  const auto mc = barrier::price_mc(spec, coarse);
+  EXPECT_NEAR(mc.price, exact, 4.5 * mc.std_error + 2e-3);
+}
+
+TEST(BarrierMc, UpAndOutPut) {
+  // No closed form implemented for this type: check structural properties.
+  barrier::BarrierSpec spec;
+  spec.option = call(100, 100, 1, 0.05, 0.25);
+  spec.option.type = core::OptionType::kPut;
+  spec.type = barrier::BarrierType::kUpAndOut;
+  spec.barrier = 120.0;
+  barrier::McParams p;
+  p.num_paths = 1 << 15;
+  const auto mc = barrier::price_mc(spec, p);
+  const double vanilla = core::black_scholes(100, 100, 1, 0.05, 0.25).put;
+  EXPECT_GT(mc.price, 0.0);
+  EXPECT_LT(mc.price, vanilla);  // knock-out cannot exceed vanilla
+  // Born dead when the spot starts beyond the barrier.
+  spec.barrier = 99.0;
+  EXPECT_EQ(barrier::price_mc(spec, p).price, 0.0);
+}
+
+TEST(BarrierMc, Reproducible) {
+  barrier::BarrierSpec spec;
+  spec.option = call();
+  spec.barrier = 85;
+  barrier::McParams p;
+  p.num_paths = 10000;
+  p.seed = 5;
+  EXPECT_EQ(barrier::price_mc(spec, p).price, barrier::price_mc(spec, p).price);
+}
+
+TEST(BarrierMc, RejectsAmericanExercise) {
+  barrier::BarrierSpec spec;
+  spec.option = call();
+  spec.option.style = core::ExerciseStyle::kAmerican;
+  EXPECT_THROW(barrier::price_mc(spec, {}), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,138 @@
+// Tests for Bermudan lattice pricing and the American-put exercise
+// boundary extracted from the Crank–Nicolson solver, plus the Philox
+// mixed-usage regression.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "finbench/core/analytic.hpp"
+#include "finbench/kernels/binomial.hpp"
+#include "finbench/kernels/cranknicolson.hpp"
+#include "finbench/kernels/lattice.hpp"
+#include "finbench/rng/philox.hpp"
+
+namespace {
+
+using namespace finbench;
+using namespace finbench::kernels;
+
+core::OptionSpec put(double s = 100, double k = 100, double t = 1, double r = 0.06,
+                     double v = 0.25) {
+  return {s, k, t, r, v, core::OptionType::kPut, core::ExerciseStyle::kEuropean};
+}
+
+// --- Bermudan -------------------------------------------------------------------
+
+TEST(Bermudan, OneDateIsEuropean) {
+  const core::OptionSpec o = put();
+  const double bermudan = lattice::price_bermudan(o, 512, 1);
+  const double euro = binomial::price_one_reference(o, 512);
+  EXPECT_NEAR(bermudan, euro, 1e-12);
+}
+
+TEST(Bermudan, AllDatesIsAmerican) {
+  core::OptionSpec am = put();
+  am.style = core::ExerciseStyle::kAmerican;
+  const double bermudan = lattice::price_bermudan(am, 512, 512);
+  const double american = binomial::price_one_reference(am, 512);
+  EXPECT_NEAR(bermudan, american, 1e-12);
+}
+
+TEST(Bermudan, MonotoneInExerciseDates) {
+  // More exercise rights can never make the option cheaper.
+  const core::OptionSpec o = put(95, 100, 1.5, 0.08, 0.3);
+  double prev = 0.0;
+  for (int dates : {1, 2, 4, 12, 52, 256}) {
+    const double v = lattice::price_bermudan(o, 512, dates);
+    EXPECT_GE(v, prev - 1e-12) << dates;
+    prev = v;
+  }
+  // And it interpolates European..American.
+  core::OptionSpec am = o;
+  am.style = core::ExerciseStyle::kAmerican;
+  EXPECT_LE(prev, binomial::price_one_reference(am, 512) + 1e-9);
+}
+
+TEST(Bermudan, QuarterlyPutSitsStrictlyBetween) {
+  const core::OptionSpec o = put(90, 100, 2.0, 0.08, 0.25);
+  const double euro = binomial::price_one_reference(o, 800);
+  core::OptionSpec am = o;
+  am.style = core::ExerciseStyle::kAmerican;
+  const double american = binomial::price_one_reference(am, 800);
+  const double quarterly = lattice::price_bermudan(o, 800, 8);
+  EXPECT_GT(quarterly, euro + 1e-4);
+  EXPECT_LT(quarterly, american - 1e-4);
+}
+
+TEST(Bermudan, RejectsBadDateCounts) {
+  const core::OptionSpec o = put();
+  EXPECT_THROW(lattice::price_bermudan(o, 100, 0), std::invalid_argument);
+  EXPECT_THROW(lattice::price_bermudan(o, 100, 101), std::invalid_argument);
+}
+
+// --- Exercise boundary ------------------------------------------------------------
+
+TEST(ExerciseBoundary, RisesTowardStrikeNearExpiry) {
+  core::OptionSpec o = put();
+  o.style = core::ExerciseStyle::kAmerican;
+  cn::GridSpec g;
+  g.num_prices = 513;
+  g.num_steps = 200;
+  const auto boundary = cn::exercise_boundary(o, g);
+  ASSERT_EQ(boundary.size(), 200u);
+  // boundary[k] is at time-to-expiry (k+1) dtau: largest near expiry.
+  EXPECT_GT(boundary.front(), 0.9 * o.strike);  // S*(0+) -> K for r > 0
+  EXPECT_LT(boundary.back(), boundary.front());
+  // Non-increasing in time-to-expiry (one grid cell of slack).
+  const double slack = 2.0 * o.strike * (std::log(boundary[0] / boundary[1]) != 0
+                                             ? std::fabs(std::log(boundary[0] / boundary[1]))
+                                             : 0.02);
+  for (std::size_t k = 1; k < boundary.size(); ++k) {
+    EXPECT_LE(boundary[k], boundary[k - 1] + slack) << k;
+  }
+  // Bounded by the strike and positive.
+  for (double b : boundary) {
+    EXPECT_GT(b, 0.0);
+    EXPECT_LE(b, o.strike * (1 + 1e-9));
+  }
+}
+
+TEST(ExerciseBoundary, DeeperRatesExerciseEarlier) {
+  // Higher r makes waiting costlier: the boundary moves up (exercise more).
+  cn::GridSpec g;
+  g.num_prices = 257;
+  g.num_steps = 100;
+  core::OptionSpec lo = put(100, 100, 1.0, 0.02, 0.25);
+  lo.style = core::ExerciseStyle::kAmerican;
+  core::OptionSpec hi = lo;
+  hi.rate = 0.10;
+  const auto b_lo = cn::exercise_boundary(lo, g);
+  const auto b_hi = cn::exercise_boundary(hi, g);
+  EXPECT_GT(b_hi.back(), b_lo.back());
+}
+
+TEST(ExerciseBoundary, RequiresAmericanPut) {
+  core::OptionSpec o = put();
+  cn::GridSpec g;
+  EXPECT_THROW(cn::exercise_boundary(o, g), std::invalid_argument);  // European
+  o.style = core::ExerciseStyle::kAmerican;
+  o.type = core::OptionType::kCall;
+  EXPECT_THROW(cn::exercise_boundary(o, g), std::invalid_argument);  // call
+}
+
+// --- Philox mixed-usage regression --------------------------------------------------
+
+TEST(PhiloxMixedUse, GenerateDrainsBufferedWords) {
+  finbench::rng::Philox4x32 a(7, 7), b(7, 7);
+  // Consume one word via next_u32 (buffers three more), then bulk-generate:
+  // the stream must stay identical to pure next_u32 consumption.
+  std::vector<std::uint32_t> bulk(101);
+  (void)a.next_u32();
+  a.generate(bulk);
+  (void)b.next_u32();
+  for (std::size_t i = 0; i < bulk.size(); ++i) ASSERT_EQ(bulk[i], b.next_u32()) << i;
+}
+
+}  // namespace

@@ -1,0 +1,183 @@
+// Tests for the Black–Scholes kernel (Fig. 4): every optimization level
+// must agree with the scalar reference and with the analytic golden
+// implementation, for batch sizes that exercise SIMD tails, at every width.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "finbench/core/analytic.hpp"
+#include "finbench/core/workload.hpp"
+#include "finbench/kernels/blackscholes.hpp"
+
+namespace {
+
+using namespace finbench;
+using namespace finbench::kernels;
+
+constexpr std::size_t kSizes[] = {1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 100, 1001};
+
+core::BsBatchAos priced_reference(std::size_t n, std::uint64_t seed = 1) {
+  core::BsBatchAos batch = core::make_bs_workload_aos(n, seed);
+  bs::price_reference(batch);
+  return batch;
+}
+
+TEST(BlackScholesKernel, ReferenceMatchesAnalytic) {
+  const auto batch = priced_reference(500);
+  for (const auto& o : batch.options) {
+    const core::BsPrice p =
+        core::black_scholes(o.spot, o.strike, o.years, batch.rate, batch.vol);
+    EXPECT_NEAR(o.call, p.call, 1e-9 * std::max(1.0, p.call));
+    EXPECT_NEAR(o.put, p.put, 1e-9 * std::max(1.0, p.put));
+  }
+}
+
+TEST(BlackScholesKernel, BasicMatchesReference) {
+  for (std::size_t n : kSizes) {
+    const auto ref = priced_reference(n);
+    auto batch = core::make_bs_workload_aos(n, 1);
+    bs::price_basic(batch);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(batch.options[i].call, ref.options[i].call, 1e-12) << n << ":" << i;
+      EXPECT_NEAR(batch.options[i].put, ref.options[i].put, 1e-12);
+    }
+  }
+}
+
+class BsWidthTest : public ::testing::TestWithParam<bs::Width> {};
+INSTANTIATE_TEST_SUITE_P(Widths, BsWidthTest,
+                         ::testing::Values(bs::Width::kScalar, bs::Width::kAvx2,
+                                           bs::Width::kAvx512, bs::Width::kAuto));
+
+TEST_P(BsWidthTest, IntermediateMatchesReference) {
+  for (std::size_t n : kSizes) {
+    const auto ref = priced_reference(n);
+    auto soa = core::make_bs_workload_soa(n, 1);
+    bs::price_intermediate(soa, GetParam());
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(soa.call[i], ref.options[i].call, 1e-9 * std::max(1.0, ref.options[i].call))
+          << "n=" << n << " i=" << i;
+      EXPECT_NEAR(soa.put[i], ref.options[i].put, 1e-9 * std::max(1.0, ref.options[i].put));
+    }
+  }
+}
+
+TEST_P(BsWidthTest, AdvancedVmlMatchesReference) {
+  for (std::size_t n : kSizes) {
+    const auto ref = priced_reference(n);
+    auto soa = core::make_bs_workload_soa(n, 1);
+    bs::price_advanced_vml(soa, GetParam());
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(soa.call[i], ref.options[i].call, 1e-9 * std::max(1.0, ref.options[i].call))
+          << "n=" << n << " i=" << i;
+      EXPECT_NEAR(soa.put[i], ref.options[i].put, 1e-9 * std::max(1.0, ref.options[i].put));
+    }
+  }
+}
+
+TEST_P(BsWidthTest, PutCallParityInOutputs) {
+  auto soa = core::make_bs_workload_soa(333, 7);
+  bs::price_intermediate(soa, GetParam());
+  for (std::size_t i = 0; i < soa.size(); ++i) {
+    const double rhs = soa.spot[i] - soa.strike[i] * std::exp(-soa.rate * soa.years[i]);
+    EXPECT_NEAR(soa.call[i] - soa.put[i], rhs, 1e-9 * std::max(1.0, std::fabs(rhs)));
+  }
+}
+
+TEST(BlackScholesKernel, EmptyBatchIsFine) {
+  core::BsBatchAos aos;
+  bs::price_reference(aos);
+  bs::price_basic(aos);
+  core::BsBatchSoa soa;
+  bs::price_intermediate(soa);
+  bs::price_advanced_vml(soa);
+  SUCCEED();
+}
+
+TEST(BlackScholesKernel, ExtremeParameterRanges) {
+  // Short-dated, long-dated, deep ITM/OTM — all variants must agree.
+  core::WorkloadParams p;
+  p.spot_min = 1.0;
+  p.spot_max = 500.0;
+  p.strike_min = 1.0;
+  p.strike_max = 500.0;
+  p.years_min = 0.01;
+  p.years_max = 10.0;
+  auto aos = core::make_bs_workload_aos(512, 3, p);
+  bs::price_reference(aos);
+  auto soa = core::make_bs_workload_soa(512, 3, p);
+  bs::price_intermediate(soa);
+  for (std::size_t i = 0; i < soa.size(); ++i) {
+    EXPECT_NEAR(soa.call[i], aos.options[i].call,
+                1e-8 * std::max(1.0, aos.options[i].call));
+  }
+}
+
+TEST(BlackScholesKernel, OutputsAreNonNegative) {
+  auto soa = core::make_bs_workload_soa(1000, 13);
+  bs::price_advanced_vml(soa);
+  for (std::size_t i = 0; i < soa.size(); ++i) {
+    EXPECT_GE(soa.call[i], -1e-12);
+    EXPECT_GE(soa.put[i], -1e-12);
+  }
+}
+
+TEST_P(BsWidthTest, BatchImpliedVolRoundtrips) {
+  for (std::size_t n : {1UL, 7UL, 8UL, 9UL, 130UL}) {
+    auto soa = core::make_bs_workload_soa(n, 19);
+    soa.vol = 0.31;
+    bs::price_intermediate(soa);
+    std::vector<double> vols(n);
+    bs::implied_vol_intermediate(soa, soa.call, vols, GetParam());
+    for (std::size_t i = 0; i < n; ++i) {
+      // Deep ITM/OTM quotes have tiny vega: accept either an accurate vol
+      // or an accurate reprice.
+      core::OptionSpec o{soa.spot[i], soa.strike[i], soa.years[i], soa.rate, vols[i],
+                         core::OptionType::kCall, core::ExerciseStyle::kEuropean};
+      ASSERT_GT(vols[i], 0.0) << i;
+      EXPECT_NEAR(core::black_scholes_price(o), soa.call[i],
+                  1e-9 * std::max(1.0, soa.call[i]))
+          << "n=" << n << " i=" << i;
+      const double vega = core::black_scholes_greeks(o).vega;
+      if (vega > 1.0) {
+        EXPECT_NEAR(vols[i], 0.31, 1e-6) << i;
+      }
+    }
+  }
+}
+
+TEST(BlackScholesKernel, BatchImpliedVolFlagsArbitrageViolations) {
+  auto soa = core::make_bs_workload_soa(16, 20);
+  bs::price_intermediate(soa);
+  std::vector<double> prices(soa.call.begin(), soa.call.end());
+  prices[3] = soa.spot[3] + 1.0;   // above the upper bound
+  prices[7] = -0.5;                // negative
+  std::vector<double> vols(16);
+  bs::implied_vol_intermediate(soa, prices, vols);
+  EXPECT_LT(vols[3], 0.0);
+  EXPECT_LT(vols[7], 0.0);
+  EXPECT_GT(vols[0], 0.0);
+}
+
+TEST(BlackScholesKernel, WidthsProduceConsistentResults) {
+  // Scalar/4/8-wide paths run the same generic code; only compiler FMA
+  // contraction in the scalar instantiation may differ (a few ulp).
+  auto s1 = core::make_bs_workload_soa(64, 21);
+  auto s4 = core::make_bs_workload_soa(64, 21);
+  bs::price_intermediate(s1, bs::Width::kScalar);
+  bs::price_intermediate(s4, bs::Width::kAvx2);
+  for (std::size_t i = 0; i < s1.size(); ++i) {
+    EXPECT_NEAR(s1.call[i], s4.call[i], 1e-12 * std::max(1.0, s1.call[i])) << i;
+    EXPECT_NEAR(s1.put[i], s4.put[i], 1e-12 * std::max(1.0, s1.put[i])) << i;
+  }
+#if defined(FINBENCH_HAVE_AVX512)
+  // The two intrinsic paths contain no compiler-contracted arithmetic at
+  // all, so 4-wide and 8-wide must agree bitwise.
+  auto s8 = core::make_bs_workload_soa(64, 21);
+  bs::price_intermediate(s8, bs::Width::kAvx512);
+  for (std::size_t i = 0; i < s1.size(); ++i) EXPECT_EQ(s4.call[i], s8.call[i]) << i;
+#endif
+}
+
+}  // namespace

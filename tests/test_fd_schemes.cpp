@@ -1,0 +1,184 @@
+// Tests for the generalized theta finite-difference scheme (stability and
+// convergence orders), lattice greeks, and a cross-method agreement matrix
+// for American puts.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "finbench/core/analytic.hpp"
+#include "finbench/kernels/binomial.hpp"
+#include "finbench/kernels/cranknicolson.hpp"
+#include "finbench/kernels/lattice.hpp"
+
+namespace {
+
+using namespace finbench;
+using namespace finbench::kernels;
+
+core::OptionSpec euro_put(double s = 100, double k = 100, double t = 1, double r = 0.05,
+                          double v = 0.2) {
+  return {s, k, t, r, v, core::OptionType::kPut, core::ExerciseStyle::kEuropean};
+}
+
+// --- Theta scheme -----------------------------------------------------------------
+
+TEST(ThetaScheme, AllThreeSchemesConvergeToBlackScholes) {
+  const core::OptionSpec o = euro_put();
+  const double exact = core::black_scholes_price(o);
+  cn::GridSpec g;
+  g.num_prices = 257;
+  g.num_steps = 4000;  // explicit needs small steps (alpha <= 1/2)
+  ASSERT_LE(cn::mesh_ratio(o, g), 0.5) << "grid must satisfy the explicit stability bound";
+  for (double theta : {0.0, 0.5, 1.0}) {
+    EXPECT_NEAR(cn::price_european_theta(o, g, theta), exact, 5e-3) << theta;
+  }
+}
+
+TEST(ThetaScheme, ExplicitBlowsUpPastTheStabilityBound) {
+  const core::OptionSpec o = euro_put();
+  cn::GridSpec g;
+  g.num_prices = 257;
+  g.num_steps = 100;  // alpha >> 1/2
+  ASSERT_GT(cn::mesh_ratio(o, g), 0.5);
+  const double explicit_px = cn::price_european_theta(o, g, 0.0);
+  // The instability manifests as a wildly wrong (or non-finite) price.
+  const double exact = core::black_scholes_price(o);
+  EXPECT_TRUE(!std::isfinite(explicit_px) || std::fabs(explicit_px - exact) > 1.0)
+      << explicit_px;
+  // The implicit and CN schemes are unconditionally stable on this grid.
+  EXPECT_NEAR(cn::price_european_theta(o, g, 1.0), exact, 2e-2);
+  EXPECT_NEAR(cn::price_european_theta(o, g, 0.5), exact, 2e-2);
+}
+
+TEST(ThetaScheme, CrankNicolsonIsSecondOrderInTime) {
+  const core::OptionSpec o = euro_put(100, 105, 1.0, 0.04, 0.3);
+  const double exact = core::black_scholes_price(o);
+  cn::GridSpec fine_space;
+  fine_space.num_prices = 2049;  // space error negligible
+  auto err_at = [&](double theta, int steps) {
+    cn::GridSpec g = fine_space;
+    g.num_steps = steps;
+    return std::fabs(cn::price_european_theta(o, g, theta) - exact);
+  };
+  // Implicit: halving dtau halves the error. CN: quarters it.
+  const double imp_ratio = err_at(1.0, 25) / err_at(1.0, 50);
+  EXPECT_NEAR(imp_ratio, 2.0, 0.7);
+  EXPECT_LT(err_at(0.5, 50), err_at(1.0, 50) / 3.0);
+}
+
+TEST(ThetaScheme, MatchesThomasAtHalf) {
+  const core::OptionSpec o = euro_put(95, 100, 2.0, 0.03, 0.25);
+  cn::GridSpec g;
+  g.num_prices = 257;
+  g.num_steps = 200;
+  EXPECT_NEAR(cn::price_european_theta(o, g, 0.5), cn::price_european_thomas(o, g), 1e-10);
+}
+
+TEST(ThetaScheme, RannacherStartupStaysAccurate) {
+  // Rannacher damping must not degrade the vanilla price materially (its
+  // benefit shows up in greeks/digitals; here we pin non-regression).
+  const core::OptionSpec o = euro_put(100, 100, 1.0, 0.05, 0.25);
+  const double exact = core::black_scholes_price(o);
+  cn::GridSpec g;
+  g.num_prices = 513;
+  g.num_steps = 100;
+  const double plain = cn::price_european_theta(o, g, 0.5, false);
+  const double rann = cn::price_european_theta(o, g, 0.5, true);
+  EXPECT_NEAR(rann, exact, 5e-3);
+  EXPECT_NEAR(rann, plain, 5e-3);
+}
+
+TEST(ThetaScheme, RannacherDampsKinkOscillationInGamma) {
+  // Finite-difference gamma from three CN solves: the kink oscillation
+  // that plain CN leaves behind shows up as gamma error; Rannacher damps
+  // it. Use few time steps so the oscillation survives in the plain run.
+  const double exact_gamma =
+      core::black_scholes_greeks(euro_put(100, 100, 0.25, 0.05, 0.2)).gamma;
+  cn::GridSpec g;
+  g.num_prices = 1025;
+  g.num_steps = 6;  // aggressive: alpha is huge, CN rings
+  auto gamma_of = [&](bool rann) {
+    const double h = 0.5;
+    auto px = [&](double s) {
+      return cn::price_european_theta(euro_put(s, 100, 0.25, 0.05, 0.2), g, 0.5, rann);
+    };
+    return (px(100 + h) - 2 * px(100) + px(100 - h)) / (h * h);
+  };
+  const double err_plain = std::fabs(gamma_of(false) - exact_gamma);
+  const double err_rann = std::fabs(gamma_of(true) - exact_gamma);
+  EXPECT_LT(err_rann, err_plain);
+}
+
+TEST(ThetaScheme, RejectsOutOfRangeTheta) {
+  cn::GridSpec g;
+  EXPECT_THROW(cn::price_european_theta(euro_put(), g, -0.1), std::invalid_argument);
+  EXPECT_THROW(cn::price_european_theta(euro_put(), g, 1.1), std::invalid_argument);
+}
+
+// --- Lattice greeks ------------------------------------------------------------------
+
+TEST(LatticeGreeks, MatchAnalyticForEuropean) {
+  for (auto type : {core::OptionType::kCall, core::OptionType::kPut}) {
+    core::OptionSpec o = euro_put(100, 105, 1.0, 0.05, 0.25);
+    o.type = type;
+    const auto g = lattice::greeks_crr(o, 2000);
+    const auto exact = core::black_scholes_greeks(o);
+    EXPECT_NEAR(g.price, core::black_scholes_price(o), 5e-3);
+    EXPECT_NEAR(g.delta, exact.delta, 5e-3) << static_cast<int>(type);
+    EXPECT_NEAR(g.gamma, exact.gamma, 2e-3);
+    EXPECT_NEAR(g.theta, exact.theta, 5e-2);
+  }
+}
+
+TEST(LatticeGreeks, AmericanPutDeltaSteeperThanEuropean) {
+  core::OptionSpec eu = euro_put(90, 100, 1.0, 0.07, 0.25);
+  core::OptionSpec am = eu;
+  am.style = core::ExerciseStyle::kAmerican;
+  const auto ge = lattice::greeks_crr(eu, 1000);
+  const auto ga = lattice::greeks_crr(am, 1000);
+  // Early exercise pins the ITM branch to intrinsic: |delta| grows.
+  EXPECT_LT(ga.delta, ge.delta);
+  EXPECT_GE(ga.price, ge.price);
+}
+
+TEST(LatticeGreeks, DividendYieldFlowsThrough) {
+  core::OptionSpec o = euro_put();
+  o.type = core::OptionType::kCall;
+  o.dividend = 0.04;
+  const auto g = lattice::greeks_crr(o, 1500);
+  const auto exact = core::black_scholes_greeks(o);
+  EXPECT_NEAR(g.delta, exact.delta, 5e-3);
+}
+
+// --- Cross-method American-put agreement matrix ----------------------------------------
+
+class AmericanMatrixTest
+    : public ::testing::TestWithParam<std::tuple<double, double, double>> {};
+
+INSTANTIATE_TEST_SUITE_P(Sweep, AmericanMatrixTest,
+                         ::testing::Combine(::testing::Values(85.0, 100.0, 115.0),  // spot
+                                            ::testing::Values(0.15, 0.35),          // vol
+                                            ::testing::Values(0.5, 2.0)));          // years
+
+TEST_P(AmericanMatrixTest, FiveMethodsAgree) {
+  const auto [spot, vol, years] = GetParam();
+  core::OptionSpec o{spot, 100, years, 0.05, vol, core::OptionType::kPut,
+                     core::ExerciseStyle::kAmerican};
+  const double crr = binomial::price_one_reference(o, 2048);
+  const double lr = lattice::price_leisen_reimer(o, 501);
+  const double tri = lattice::price_trinomial(o, 1000);
+  const double bbsr = lattice::price_bbsr(o, 256);
+  cn::GridSpec g;
+  g.num_prices = 513;
+  g.num_steps = 300;
+  const double bsz = cn::price_american_brennan_schwartz(o, g).price;
+  const double tol = 8e-3 * crr + 2e-3;
+  EXPECT_NEAR(lr, crr, tol);
+  EXPECT_NEAR(tri, crr, tol);
+  EXPECT_NEAR(bbsr, crr, tol);
+  EXPECT_NEAR(bsz, crr, 1.5 * tol);  // PDE grid error on top
+}
+
+}  // namespace

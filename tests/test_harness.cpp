@@ -1,0 +1,116 @@
+// Tests for the benchmark-harness reporting utilities.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "finbench/arch/machine_model.hpp"
+#include "finbench/harness/report.hpp"
+
+namespace {
+
+using namespace finbench::harness;
+
+TEST(Eng, FormatsMagnitudes) {
+  EXPECT_NE(eng(1.5e9).find("G"), std::string::npos);
+  EXPECT_NE(eng(2.5e6).find("M"), std::string::npos);
+  EXPECT_NE(eng(3.5e3).find("K"), std::string::npos);
+  EXPECT_EQ(eng(999.0).find("K"), std::string::npos);
+}
+
+TEST(Eng, ValuesSurviveRoundtrip) {
+  const std::string s = eng(1.234e6);
+  EXPECT_NE(s.find("1.234"), std::string::npos);
+}
+
+TEST(RatioWithin, Basics) {
+  EXPECT_TRUE(ratio_within(100.0, 100.0, 0.5, 2.0));
+  EXPECT_TRUE(ratio_within(199.0, 100.0, 0.5, 2.0));
+  EXPECT_FALSE(ratio_within(201.0, 100.0, 0.5, 2.0));
+  EXPECT_FALSE(ratio_within(49.0, 100.0, 0.5, 2.0));
+  EXPECT_FALSE(ratio_within(1.0, 0.0, 0.5, 2.0));  // no expectation -> fail
+}
+
+TEST(Report, CountsFailedChecks) {
+  Report r("Test exhibit", "items/s");
+  r.add_check("always passes", true);
+  r.add_check("always fails", false, "because");
+  r.add_check("passes too", true);
+  EXPECT_EQ(r.failed_checks(), 1);
+}
+
+TEST(Report, PrintReturnsFailureCount) {
+  Report r("Exhibit", "u/s");
+  r.add_row({"variant A", 1e6, 2e6, 4e6, 1.5e6, 3e6});
+  r.add_row({"variant B", 2e6, 0.0, 0.0, std::nullopt, std::nullopt});
+  r.add_note("a note");
+  r.add_check("fails", false);
+  EXPECT_EQ(r.print(), 1);
+}
+
+TEST(Report, CsvAppendsRows) {
+  const std::string path = "/tmp/finbench_test_report.csv";
+  std::remove(path.c_str());
+  Report r("CSV exhibit", "u/s");
+  r.add_row({"v1", 1.0, 2.0, 3.0, 4.0, 5.0});
+  r.add_row({"v2", 10.0, 20.0, 30.0, std::nullopt, std::nullopt});
+  r.write_csv(path);
+  std::ifstream f(path);
+  std::string line;
+  int lines = 0;
+  while (std::getline(f, line)) {
+    ++lines;
+    EXPECT_NE(line.find("CSV exhibit"), std::string::npos);
+  }
+  EXPECT_EQ(lines, 2);
+  std::remove(path.c_str());
+}
+
+TEST(Projector, IdentityTargetReturnsMeasurement) {
+  const auto m = finbench::arch::snb_ep();
+  const Projector p(m, m);
+  EXPECT_NEAR(p.project(123.0e6, 100.0, 8.0, 4), 123.0e6, 1e-3);
+}
+
+TEST(Projector, ScalesWithComputeRoofRatio) {
+  // Compute-bound kernel at full width: projection scales with peak flops.
+  const auto snb = finbench::arch::snb_ep();
+  const auto knc = finbench::arch::knc();
+  const Projector p(snb, knc);
+  const double measured = 1.0e6;  // items/s on "host" = SNB model
+  const double flops = 1.0e5;     // strongly compute bound
+  // SNB 4-wide vs KNC measured-at... width 4 on both: KNC's 4-lane roof is
+  // half its 8-lane peak.
+  const double projected = p.project(measured, flops, 0.0, 4);
+  EXPECT_NEAR(projected / measured, (knc.dp_gflops / 2) / snb.dp_gflops, 1e-9);
+}
+
+TEST(Projector, BandwidthBoundIgnoresWidth) {
+  const auto snb = finbench::arch::snb_ep();
+  const auto knc = finbench::arch::knc();
+  const Projector p(snb, knc);
+  // 1 flop over 1 KB: pure bandwidth. Projection = BW ratio, any width.
+  const double r1 = p.project(1e6, 1.0, 1024.0, 1);
+  const double r8 = p.project(1e6, 1.0, 1024.0, 8);
+  EXPECT_NEAR(r1 / 1e6, knc.bw_gbs / snb.bw_gbs, 1e-9);
+  EXPECT_NEAR(r1, r8, 1e-3);
+}
+
+TEST(Projector, WidthClampedToMachineLanes) {
+  const auto snb = finbench::arch::snb_ep();  // 4 DP lanes
+  // Asking for width 8 on a 4-lane machine uses the full roof, not 2x it.
+  const double w8 = Projector::width_adjusted_roofline(snb, 100.0, 0.0, 8);
+  const double w4 = Projector::width_adjusted_roofline(snb, 100.0, 0.0, 4);
+  EXPECT_EQ(w8, w4);
+}
+
+TEST(Projector, EfficiencyIsFractionOfRoof) {
+  const auto snb = finbench::arch::snb_ep();
+  const Projector p(snb, snb);
+  const double roof = Projector::width_adjusted_roofline(snb, 200.0, 40.0, 4);
+  EXPECT_NEAR(p.efficiency(roof / 2, 200.0, 40.0, 4), 0.5, 1e-12);
+}
+
+}  // namespace

@@ -1,0 +1,377 @@
+// Tests for the Heston stochastic-volatility Monte Carlo engine and the
+// Brennan–Schwartz direct American solver.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "finbench/core/analytic.hpp"
+#include "finbench/kernels/binomial.hpp"
+#include "finbench/kernels/cranknicolson.hpp"
+#include "finbench/kernels/heston.hpp"
+
+namespace {
+
+using namespace finbench;
+using namespace finbench::kernels;
+
+core::OptionSpec base_opt(double s = 100, double k = 100, double t = 1, double r = 0.05) {
+  return {s, k, t, r, 0.2, core::OptionType::kCall, core::ExerciseStyle::kEuropean};
+}
+
+TEST(Heston, DegeneratesToBlackScholes) {
+  // xi -> 0 with v0 = theta: variance is constant, so Heston = BS(sqrt(v0)).
+  heston::HestonParams m;
+  m.kappa = 1.0;
+  m.theta = 0.09;
+  m.v0 = 0.09;
+  m.xi = 0.0;
+  m.rho = 0.0;
+  heston::SimParams sim;
+  sim.num_paths = 1 << 17;
+  sim.num_steps = 64;
+  const auto r = heston::price_european(base_opt(), m, sim);
+  const core::BsPrice bs = core::black_scholes(100, 100, 1, 0.05, 0.3);
+  EXPECT_NEAR(r.call.price, bs.call, 4.5 * r.call.std_error + 0.02);
+  EXPECT_NEAR(r.put.price, bs.put, 4.5 * r.put.std_error + 0.02);
+}
+
+TEST(Heston, PutCallParityHolds) {
+  // Same paths price both: parity must hold within MC/discretization noise.
+  heston::HestonParams m;  // defaults: kappa 2, theta .04, xi .3, rho -.7
+  heston::SimParams sim;
+  sim.num_paths = 1 << 17;
+  const auto r = heston::price_european(base_opt(100, 110, 1.5, 0.03), m, sim);
+  const double lhs = r.call.price - r.put.price;
+  const double rhs = 100.0 - 110.0 * std::exp(-0.03 * 1.5);
+  EXPECT_NEAR(lhs, rhs, 3 * (r.call.std_error + r.put.std_error) + 0.05);
+}
+
+TEST(Heston, PriceIncreasesWithInitialVariance) {
+  heston::SimParams sim;
+  sim.num_paths = 1 << 15;
+  sim.seed = 3;
+  double prev = 0.0;
+  for (double v0 : {0.01, 0.04, 0.09, 0.16}) {
+    heston::HestonParams m;
+    m.v0 = v0;
+    m.theta = v0;
+    const auto r = heston::price_european(base_opt(), m, sim);
+    EXPECT_GT(r.call.price, prev);
+    prev = r.call.price;
+  }
+}
+
+TEST(Heston, NegativeRhoSkewsPutsRicher) {
+  // With rho < 0, downside moves come with high variance: OTM puts gain
+  // value relative to the symmetric model, OTM calls lose.
+  heston::SimParams sim;
+  sim.num_paths = 1 << 16;
+  sim.seed = 7;
+  heston::HestonParams sym;
+  sym.rho = 0.0;
+  heston::HestonParams skew;
+  skew.rho = -0.8;
+  const auto otm_put_sym = heston::price_european(base_opt(100, 80, 1, 0.0), sym, sim);
+  const auto otm_put_skew = heston::price_european(base_opt(100, 80, 1, 0.0), skew, sim);
+  EXPECT_GT(otm_put_skew.put.price,
+            otm_put_sym.put.price - 2 * (otm_put_skew.put.std_error + otm_put_sym.put.std_error));
+}
+
+TEST(Heston, Reproducible) {
+  heston::SimParams sim;
+  sim.num_paths = 10000;
+  sim.seed = 11;
+  const auto a = heston::price_european(base_opt(), {}, sim);
+  const auto b = heston::price_european(base_opt(), {}, sim);
+  EXPECT_EQ(a.call.price, b.call.price);
+}
+
+TEST(Heston, RejectsBadParams) {
+  heston::HestonParams m;
+  m.rho = -1.5;
+  EXPECT_THROW(heston::price_european(base_opt(), m), std::invalid_argument);
+  m.rho = 0.0;
+  m.v0 = -0.1;
+  EXPECT_THROW(heston::price_european(base_opt(), m), std::invalid_argument);
+}
+
+// --- Semi-analytic characteristic-function pricer ---------------------------------
+
+TEST(HestonAnalytic, MatchesMonteCarlo) {
+  heston::HestonParams m;  // kappa 2, theta .04, xi .3, rho -.7, v0 .04
+  heston::SimParams sim;
+  sim.num_paths = 1 << 18;
+  sim.num_steps = 128;
+  for (double strike : {85.0, 100.0, 115.0}) {
+    core::OptionSpec o = base_opt(100, strike, 1.0, 0.05);
+    const auto an = heston::price_analytic(o, m);
+    const auto mc = heston::price_european(o, m, sim);
+    // MC carries Euler discretization bias ~O(dt) on top of sampling noise.
+    EXPECT_NEAR(mc.call.price, an.call, 4.5 * mc.call.std_error + 0.03) << strike;
+    EXPECT_NEAR(mc.put.price, an.put, 4.5 * mc.put.std_error + 0.03) << strike;
+  }
+}
+
+TEST(HestonAnalytic, SmallXiLimitIsAverageVarianceBlackScholes) {
+  heston::HestonParams m;
+  m.kappa = 1.5;
+  m.theta = 0.09;
+  m.v0 = 0.04;
+  m.rho = 0.0;
+  m.xi = 1e-4;  // through the CF integral
+  const core::OptionSpec o = base_opt();
+  const auto cf = heston::price_analytic(o, m);
+  m.xi = 0.0;  // closed-form limit branch
+  const auto lim = heston::price_analytic(o, m);
+  EXPECT_NEAR(cf.call, lim.call, 2e-4);
+}
+
+TEST(HestonAnalytic, ParityByConstruction) {
+  heston::HestonParams m;
+  core::OptionSpec o = base_opt(100, 110, 1.5, 0.03);
+  o.dividend = 0.02;
+  const auto p = heston::price_analytic(o, m);
+  const double rhs = 100 * std::exp(-0.02 * 1.5) - 110 * std::exp(-0.03 * 1.5);
+  EXPECT_NEAR(p.call - p.put, rhs, 1e-10);
+}
+
+TEST(HestonAnalytic, PricesWithinArbitrageBounds) {
+  heston::HestonParams m;
+  m.xi = 0.6;
+  m.rho = -0.8;
+  for (double strike : {50.0, 100.0, 200.0}) {
+    const auto p = heston::price_analytic(base_opt(100, strike, 2.0, 0.04), m);
+    const double df = std::exp(-0.04 * 2.0);
+    EXPECT_GE(p.call, std::max(100.0 - strike * df, 0.0) - 1e-8) << strike;
+    EXPECT_LE(p.call, 100.0 + 1e-8);
+    EXPECT_GE(p.put, std::max(strike * df - 100.0, 0.0) - 1e-8);
+    EXPECT_LE(p.put, strike * df + 1e-8);
+  }
+}
+
+TEST(HestonAnalytic, NegativeRhoSkewsTheSmile) {
+  heston::HestonParams m;
+  m.rho = -0.7;
+  m.xi = 0.5;
+  auto iv_at = [&](double k) {
+    core::OptionSpec o = base_opt(100, k, 1.0, 0.02);
+    const double px = heston::price_analytic(o, m).call;
+    core::OptionSpec probe = o;
+    return core::implied_volatility(probe, px);
+  };
+  EXPECT_GT(iv_at(75), iv_at(100) + 0.005);
+  EXPECT_GT(iv_at(100), iv_at(130));
+}
+
+// --- 2-D ADI finite differences -----------------------------------------------------
+
+TEST(HestonFd, MatchesAnalyticAcrossStrikes) {
+  heston::HestonParams m;  // kappa 2, theta .04, xi .3, rho -.7
+  heston::FdParams fd;
+  fd.num_s = 201;
+  fd.num_v = 101;
+  fd.num_steps = 100;
+  for (double k : {85.0, 100.0, 115.0}) {
+    const core::OptionSpec o = base_opt(100, k, 1.0, 0.05);
+    const double an = heston::price_analytic(o, m).call;
+    EXPECT_NEAR(heston::price_fd(o, m, fd), an, 0.02 + 2e-3 * an) << k;
+  }
+}
+
+TEST(HestonFd, PutSideMatchesAnalytic) {
+  heston::HestonParams m;
+  m.rho = -0.5;
+  core::OptionSpec o = base_opt(100, 110, 1.0, 0.04);
+  o.type = core::OptionType::kPut;
+  heston::FdParams fd;
+  fd.num_s = 201;
+  fd.num_v = 101;
+  fd.num_steps = 100;
+  EXPECT_NEAR(heston::price_fd(o, m, fd), heston::price_analytic(o, m).put, 0.04);
+}
+
+TEST(HestonFd, RefinementConverges) {
+  heston::HestonParams m;
+  const core::OptionSpec o = base_opt(100, 100, 0.5, 0.03);
+  const double exact = heston::price_analytic(o, m).call;
+  heston::FdParams coarse;
+  coarse.num_s = 81;
+  coarse.num_v = 41;
+  coarse.num_steps = 30;
+  heston::FdParams fine;
+  fine.num_s = 321;
+  fine.num_v = 161;
+  fine.num_steps = 120;
+  const double e_coarse = std::fabs(heston::price_fd(o, m, coarse) - exact);
+  const double e_fine = std::fabs(heston::price_fd(o, m, fine) - exact);
+  EXPECT_LT(e_fine, e_coarse);
+  EXPECT_LT(e_fine, 0.02);
+}
+
+TEST(HestonFd, PositiveRhoAndDividendsHandled) {
+  heston::HestonParams m;
+  m.rho = 0.4;
+  core::OptionSpec o = base_opt(100, 95, 1.5, 0.03);
+  o.dividend = 0.02;
+  heston::FdParams fd;
+  fd.num_s = 161;
+  fd.num_v = 81;
+  fd.num_steps = 80;
+  EXPECT_NEAR(heston::price_fd(o, m, fd), heston::price_analytic(o, m).call, 0.06);
+}
+
+TEST(HestonFd, GridGreeksMatchFiniteDifferenceOfAnalytic) {
+  heston::HestonParams m;
+  const core::OptionSpec o = base_opt(100, 100, 1.0, 0.05);
+  heston::FdParams fd;
+  fd.num_s = 201;
+  fd.num_v = 101;
+  fd.num_steps = 100;
+  const auto g = heston::price_fd_greeks(o, m, fd);
+  // Reference: bump-and-reprice through the characteristic function.
+  const double h = 0.5;
+  auto px = [&](double s) {
+    core::OptionSpec b = o;
+    b.spot = s;
+    return heston::price_analytic(b, m).call;
+  };
+  const double delta_ref = (px(100 + h) - px(100 - h)) / (2 * h);
+  const double gamma_ref = (px(100 + h) - 2 * px(100) + px(100 - h)) / (h * h);
+  EXPECT_NEAR(g.delta, delta_ref, 5e-3);
+  EXPECT_NEAR(g.gamma, gamma_ref, 2e-3);
+  EXPECT_NEAR(g.price, px(100), 0.02);
+}
+
+TEST(HestonFd, AmericanGreeksAreSane) {
+  heston::HestonParams m;
+  core::OptionSpec o = base_opt(95, 100, 1.0, 0.06);
+  o.type = core::OptionType::kPut;
+  o.style = core::ExerciseStyle::kAmerican;
+  heston::FdParams fd;
+  fd.num_s = 201;
+  fd.num_v = 101;
+  fd.num_steps = 100;
+  const auto g = heston::price_fd_greeks(o, m, fd);
+  EXPECT_LT(g.delta, 0.0);   // put delta negative
+  EXPECT_GT(g.delta, -1.0);
+  EXPECT_GE(g.gamma, 0.0);   // convex value function
+}
+
+TEST(HestonFd, RejectsTinyGrids) {
+  heston::FdParams tiny;
+  tiny.num_s = 3;
+  EXPECT_THROW(heston::price_fd(base_opt(), {}, tiny), std::invalid_argument);
+}
+
+TEST(HestonFd, AmericanPutProjectionMatchesLsmc) {
+  heston::HestonParams m;
+  core::OptionSpec o = base_opt(95, 100, 1.0, 0.06);
+  o.type = core::OptionType::kPut;
+  o.style = core::ExerciseStyle::kAmerican;
+  heston::FdParams fd;
+  fd.num_s = 201;
+  fd.num_v = 101;
+  fd.num_steps = 200;
+  const double pde = heston::price_fd(o, m, fd);
+  heston::SimParams sim;
+  sim.num_paths = 1 << 16;
+  sim.num_steps = 50;
+  const auto lsmc = heston::price_american_lsmc(o, m, sim);
+  // Two independent American methods (projection PDE vs LSMC low-bias):
+  // ~1.5% agreement expected.
+  EXPECT_NEAR(pde, lsmc.price, 0.02 * pde + 3 * lsmc.std_error);
+  // And above the European analytic floor + intrinsic.
+  core::OptionSpec eu = o;
+  eu.style = core::ExerciseStyle::kEuropean;
+  EXPECT_GE(pde, heston::price_analytic(eu, m).put - 1e-3);
+  EXPECT_GE(pde, 5.0 - 1e-9);
+}
+
+// --- American exercise under Heston ----------------------------------------------
+
+TEST(HestonAmerican, DominatesEuropeanAnalytic) {
+  heston::HestonParams m;
+  core::OptionSpec o = base_opt(95, 100, 1.0, 0.06);
+  o.type = core::OptionType::kPut;
+  o.style = core::ExerciseStyle::kAmerican;
+  heston::SimParams sim;
+  sim.num_paths = 1 << 16;
+  sim.num_steps = 50;
+  const auto am = heston::price_american_lsmc(o, m, sim);
+  core::OptionSpec eu = o;
+  eu.style = core::ExerciseStyle::kEuropean;
+  const double euro = heston::price_analytic(eu, m).put;
+  EXPECT_GT(am.price, euro - 3 * am.std_error);
+  EXPECT_GE(am.price, 5.0 - 1e-9);  // intrinsic
+}
+
+TEST(HestonAmerican, SmallXiLimitMatchesConstantVolLattice) {
+  heston::HestonParams m;
+  m.xi = 1e-4;
+  m.v0 = 0.04;
+  m.theta = 0.04;
+  m.rho = 0.0;
+  core::OptionSpec o = base_opt(100, 100, 1.0, 0.05);
+  o.type = core::OptionType::kPut;
+  o.style = core::ExerciseStyle::kAmerican;
+  heston::SimParams sim;
+  sim.num_paths = 1 << 17;
+  sim.num_steps = 50;
+  const auto am = heston::price_american_lsmc(o, m, sim);
+  core::OptionSpec bs_world = o;
+  bs_world.vol = 0.2;  // sqrt(v0)
+  const double lattice = binomial::price_one_reference(bs_world, 2048);
+  EXPECT_NEAR(am.price, lattice, 0.02 * lattice + 3 * am.std_error);
+}
+
+TEST(HestonAmerican, Reproducible) {
+  heston::SimParams sim;
+  sim.num_paths = 8192;
+  sim.num_steps = 25;
+  sim.seed = 4;
+  core::OptionSpec o = base_opt();
+  o.type = core::OptionType::kPut;
+  o.style = core::ExerciseStyle::kAmerican;
+  EXPECT_EQ(heston::price_american_lsmc(o, {}, sim).price,
+            heston::price_american_lsmc(o, {}, sim).price);
+}
+
+// --- Brennan–Schwartz ----------------------------------------------------------
+
+TEST(BrennanSchwartz, MatchesPsorAmericanPut) {
+  core::OptionSpec o{100, 100, 1.0, 0.05, 0.2, core::OptionType::kPut,
+                     core::ExerciseStyle::kAmerican};
+  cn::GridSpec g;
+  g.num_prices = 257;
+  g.num_steps = 200;
+  const auto direct = cn::price_american_brennan_schwartz(o, g);
+  const auto psor = cn::price_reference(o, g);
+  // Both solve the same LCP; agreement to PSOR's convergence tolerance.
+  EXPECT_NEAR(direct.price, psor.price, 1e-4 * psor.price);
+  // One direct solve per step versus many PSOR iterations.
+  EXPECT_EQ(direct.total_iterations, g.num_steps);
+  EXPECT_GT(psor.total_iterations, 2L * g.num_steps);
+}
+
+TEST(BrennanSchwartz, MatchesBinomialAcrossMoneyness) {
+  cn::GridSpec g;
+  g.num_prices = 513;
+  g.num_steps = 400;
+  for (double spot : {85.0, 100.0, 115.0}) {
+    core::OptionSpec o{spot, 100, 1.0, 0.06, 0.3, core::OptionType::kPut,
+                       core::ExerciseStyle::kAmerican};
+    const double direct = cn::price_american_brennan_schwartz(o, g).price;
+    const double lattice = binomial::price_one_reference(o, 4096);
+    EXPECT_NEAR(direct, lattice, 6e-3 * lattice) << spot;
+  }
+}
+
+TEST(BrennanSchwartz, RejectsCalls) {
+  core::OptionSpec o{100, 100, 1.0, 0.05, 0.2, core::OptionType::kCall,
+                     core::ExerciseStyle::kAmerican};
+  cn::GridSpec g;
+  EXPECT_THROW(cn::price_american_brennan_schwartz(o, g), std::invalid_argument);
+}
+
+}  // namespace

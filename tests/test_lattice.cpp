@@ -1,0 +1,129 @@
+// Tests for the lattice-method extensions: Leisen–Reimer binomial and the
+// trinomial tree, validated against analytic Black–Scholes (European), the
+// CRR kernel (American), and each other.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "finbench/core/analytic.hpp"
+#include "finbench/core/workload.hpp"
+#include "finbench/kernels/binomial.hpp"
+#include "finbench/kernels/lattice.hpp"
+
+namespace {
+
+using namespace finbench;
+using namespace finbench::kernels;
+
+core::OptionSpec euro(double s, double k, double t, double r, double v,
+                      core::OptionType type = core::OptionType::kPut) {
+  return {s, k, t, r, v, type, core::ExerciseStyle::kEuropean};
+}
+
+TEST(LeisenReimer, ConvergesFasterThanCrr) {
+  const core::OptionSpec o = euro(100, 110, 1.0, 0.05, 0.25);
+  const double exact = core::black_scholes_price(o);
+  // LR at 101 steps should beat CRR at 1024 steps.
+  const double lr_err = std::fabs(lattice::price_leisen_reimer(o, 101) - exact);
+  const double crr_err = std::fabs(binomial::price_one_reference(o, 1024) - exact);
+  EXPECT_LT(lr_err, crr_err);
+  EXPECT_LT(lr_err, 1e-4);
+}
+
+TEST(LeisenReimer, QuadraticConvergence) {
+  const core::OptionSpec o = euro(95, 100, 0.5, 0.03, 0.3, core::OptionType::kCall);
+  const double exact = core::black_scholes_price(o);
+  const double e1 = std::fabs(lattice::price_leisen_reimer(o, 51) - exact);
+  const double e2 = std::fabs(lattice::price_leisen_reimer(o, 201) - exact);
+  // 4x the steps -> ~16x smaller error for O(1/N^2); allow slack.
+  EXPECT_LT(e2, e1 / 6.0);
+}
+
+TEST(LeisenReimer, EvenStepsRoundUp) {
+  const core::OptionSpec o = euro(100, 100, 1.0, 0.05, 0.2);
+  EXPECT_EQ(lattice::price_leisen_reimer(o, 100), lattice::price_leisen_reimer(o, 101));
+}
+
+TEST(LeisenReimer, RandomWorkloadMatchesAnalytic) {
+  const auto opts = core::make_option_workload(100, 31);
+  for (const auto& o : opts) {
+    const double exact = core::black_scholes_price(o);
+    EXPECT_NEAR(lattice::price_leisen_reimer(o, 201), exact,
+                2e-4 * std::max(1.0, exact))
+        << "S=" << o.spot << " K=" << o.strike;
+  }
+}
+
+TEST(LeisenReimer, AmericanPutMatchesCrr) {
+  core::OptionSpec o = euro(100, 100, 1.0, 0.05, 0.2);
+  o.style = core::ExerciseStyle::kAmerican;
+  const double lr = lattice::price_leisen_reimer(o, 501);
+  const double crr = binomial::price_one_reference(o, 4096);
+  EXPECT_NEAR(lr, crr, 2e-3 * crr);
+}
+
+TEST(Trinomial, ConvergesToBlackScholes) {
+  const core::OptionSpec o = euro(100, 105, 1.5, 0.04, 0.3);
+  const double exact = core::black_scholes_price(o);
+  // Like CRR, the error oscillates as the strike's position relative to
+  // the nodes shifts with N — assert the shrinking envelope.
+  EXPECT_NEAR(lattice::price_trinomial(o, 64), exact, 5e-2);
+  EXPECT_NEAR(lattice::price_trinomial(o, 256), exact, 5e-3);
+  EXPECT_NEAR(lattice::price_trinomial(o, 1024), exact, 2.5e-3);
+  EXPECT_NEAR(lattice::price_trinomial(o, 4096), exact, 1e-3);
+}
+
+TEST(Trinomial, RandomWorkloadMatchesAnalytic) {
+  const auto opts = core::make_option_workload(50, 32);
+  for (const auto& o : opts) {
+    const double exact = core::black_scholes_price(o);
+    EXPECT_NEAR(lattice::price_trinomial(o, 1000), exact, 2e-3 * std::max(1.0, exact));
+  }
+}
+
+TEST(Trinomial, AmericanPutDominatesEuropean) {
+  core::OptionSpec am = euro(90, 100, 2.0, 0.07, 0.25);
+  am.style = core::ExerciseStyle::kAmerican;
+  core::OptionSpec eu = am;
+  eu.style = core::ExerciseStyle::kEuropean;
+  const double pam = lattice::price_trinomial(am, 500);
+  EXPECT_GT(pam, core::black_scholes_price(eu));
+  EXPECT_GE(pam, 10.0 - 1e-9);  // >= intrinsic
+}
+
+TEST(Trinomial, AmericanMatchesCrrAndLr) {
+  core::OptionSpec o = euro(100, 110, 1.0, 0.06, 0.3);
+  o.style = core::ExerciseStyle::kAmerican;
+  const double tri = lattice::price_trinomial(o, 1000);
+  const double crr = binomial::price_one_reference(o, 2048);
+  const double lr = lattice::price_leisen_reimer(o, 501);
+  EXPECT_NEAR(tri, crr, 3e-3 * crr);
+  EXPECT_NEAR(tri, lr, 3e-3 * lr);
+}
+
+TEST(Trinomial, ProbabilitiesGuarded) {
+  // Huge drift relative to vol with few steps -> negative probability.
+  core::OptionSpec o = euro(100, 100, 10.0, 0.9, 0.05);
+  EXPECT_THROW(lattice::price_trinomial(o, 4), std::invalid_argument);
+}
+
+TEST(LatticeBatch, MatchesSingleSolves) {
+  const auto opts = core::make_option_workload(9, 33);
+  std::vector<double> lr(opts.size()), tri(opts.size());
+  lattice::price_leisen_reimer_batch(opts, 101, lr);
+  lattice::price_trinomial_batch(opts, 200, tri);
+  for (std::size_t i = 0; i < opts.size(); ++i) {
+    EXPECT_EQ(lr[i], lattice::price_leisen_reimer(opts[i], 101));
+    EXPECT_EQ(tri[i], lattice::price_trinomial(opts[i], 200));
+  }
+}
+
+TEST(Lattice, DegenerateInputsThrow) {
+  core::OptionSpec o = euro(100, 100, 1.0, 0.05, 0.0);
+  EXPECT_THROW(lattice::price_leisen_reimer(o, 101), std::invalid_argument);
+  EXPECT_THROW(lattice::price_trinomial(o, 101), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,85 @@
+// Tests for floating-strike lookback options: the Goldman–Sosin–Gatto
+// closed form against the exact bridge-minimum Monte Carlo (mutually
+// validating), and the discrete-monitoring bias the bridge removes.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "finbench/core/analytic.hpp"
+#include "finbench/kernels/lookback.hpp"
+
+namespace {
+
+using namespace finbench::kernels;
+
+TEST(Lookback, BridgeMcMatchesClosedFormAtCoarseSteps) {
+  const double exact = lookback::floating_call_closed_form(100, 1.0, 0.05, 0.0, 0.25);
+  lookback::McParams p;
+  p.num_paths = 1 << 17;
+  p.num_steps = 8;  // deliberately coarse: the bridge minimum does the work
+  const auto mc = lookback::price_floating_call_mc(100, 1.0, 0.05, 0.0, 0.25, p);
+  EXPECT_NEAR(mc.price, exact, 4.5 * mc.std_error + 0.02);
+}
+
+TEST(Lookback, DiscreteMonitoringIsBiasedLow) {
+  const double exact = lookback::floating_call_closed_form(100, 1.0, 0.05, 0.0, 0.25);
+  lookback::McParams p;
+  p.num_paths = 1 << 16;
+  p.num_steps = 16;
+  p.bridge_minimum = false;
+  const auto mc = lookback::price_floating_call_mc(100, 1.0, 0.05, 0.0, 0.25, p);
+  // Endpoints-only monitoring misses the true minimum: price too low.
+  EXPECT_LT(mc.price, exact - 5 * mc.std_error);
+  // And densifying the discrete monitoring converges toward continuous.
+  p.num_steps = 1024;
+  const auto dense = lookback::price_floating_call_mc(100, 1.0, 0.05, 0.0, 0.25, p);
+  EXPECT_GT(dense.price, mc.price);
+  EXPECT_LT(dense.price, exact);
+}
+
+TEST(Lookback, WorthMoreThanAtmVanillaCall) {
+  // A lookback call's effective strike (the minimum) is at most the spot:
+  // strictly more valuable than the ATM vanilla.
+  const double lb = lookback::floating_call_closed_form(100, 1.0, 0.05, 0.0, 0.25);
+  const double vanilla = finbench::core::black_scholes(100, 100, 1.0, 0.05, 0.25).call;
+  EXPECT_GT(lb, vanilla);
+  EXPECT_LT(lb, 2.5 * vanilla);  // and not absurdly so
+}
+
+TEST(Lookback, MonotoneInVol) {
+  double prev = 0.0;
+  for (double vol : {0.1, 0.2, 0.3, 0.5}) {
+    const double v = lookback::floating_call_closed_form(100, 1.0, 0.05, 0.0, vol);
+    EXPECT_GT(v, prev);
+    prev = v;
+  }
+}
+
+TEST(Lookback, DividendYieldSupportedInMc) {
+  lookback::McParams p;
+  p.num_paths = 1 << 16;
+  p.num_steps = 16;
+  const double exact = lookback::floating_call_closed_form(100, 1.0, 0.06, 0.02, 0.3);
+  const auto mc = lookback::price_floating_call_mc(100, 1.0, 0.06, 0.02, 0.3, p);
+  EXPECT_NEAR(mc.price, exact, 4.5 * mc.std_error + 0.03);
+}
+
+TEST(Lookback, GuardsDomain) {
+  EXPECT_THROW(lookback::floating_call_closed_form(100, 1.0, 0.05, 0.05, 0.2),
+               std::invalid_argument);  // b = 0
+  EXPECT_THROW(lookback::floating_call_closed_form(100, 0.0, 0.05, 0.0, 0.2),
+               std::invalid_argument);
+  EXPECT_THROW(lookback::price_floating_call_mc(100, 1.0, 0.05, 0.0, 0.0, {}),
+               std::invalid_argument);
+}
+
+TEST(Lookback, Reproducible) {
+  lookback::McParams p;
+  p.num_paths = 8192;
+  p.seed = 3;
+  EXPECT_EQ(lookback::price_floating_call_mc(100, 1, 0.05, 0, 0.25, p).price,
+            lookback::price_floating_call_mc(100, 1, 0.05, 0, 0.25, p).price);
+}
+
+}  // namespace

@@ -1,0 +1,122 @@
+// Tests for Longstaff–Schwartz American Monte Carlo: agreement with the
+// binomial lattice (the gold standard for American vanillas), dominance
+// properties, and estimator behavior.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "finbench/core/analytic.hpp"
+#include "finbench/kernels/binomial.hpp"
+#include "finbench/kernels/lsmc.hpp"
+
+namespace {
+
+using namespace finbench;
+using namespace finbench::kernels;
+
+core::OptionSpec am_put(double s, double k, double t, double r, double v) {
+  return {s, k, t, r, v, core::OptionType::kPut, core::ExerciseStyle::kAmerican};
+}
+
+TEST(Lsmc, AmericanPutMatchesBinomial) {
+  const core::OptionSpec o = am_put(100, 100, 1.0, 0.05, 0.2);
+  lsmc::LsmcParams params;
+  params.num_paths = 1 << 17;
+  params.num_steps = 50;
+  const auto r = lsmc::price_american(o, params);
+  const double lattice = binomial::price_one_reference(o, 4096);
+  // LSMC carries exercise-policy suboptimality (low bias) + MC noise +
+  // date-discretization bias: ~1% agreement is the standard expectation.
+  EXPECT_NEAR(r.price, lattice, 0.015 * lattice);
+}
+
+class LsmcMoneynessTest : public ::testing::TestWithParam<double> {};
+INSTANTIATE_TEST_SUITE_P(Spots, LsmcMoneynessTest, ::testing::Values(80.0, 90.0, 100.0, 115.0));
+
+TEST_P(LsmcMoneynessTest, TracksLatticeAcrossMoneyness) {
+  const core::OptionSpec o = am_put(GetParam(), 100, 1.0, 0.06, 0.3);
+  lsmc::LsmcParams params;
+  params.num_paths = 1 << 16;
+  params.num_steps = 50;
+  params.seed = 3;
+  const auto r = lsmc::price_american(o, params);
+  const double lattice = binomial::price_one_reference(o, 2048);
+  EXPECT_NEAR(r.price, lattice, 0.02 * lattice + 3 * r.std_error);
+}
+
+TEST(Lsmc, DominatesEuropeanAndIntrinsic) {
+  const core::OptionSpec o = am_put(95, 100, 1.5, 0.07, 0.25);
+  const auto r = lsmc::price_american(o);
+  core::OptionSpec eu = o;
+  eu.style = core::ExerciseStyle::kEuropean;
+  // Early exercise adds value (modulo the estimator's low bias).
+  EXPECT_GT(r.price, core::black_scholes_price(eu) * 0.995);
+  EXPECT_GE(r.price, 5.0 - 1e-9);  // intrinsic
+}
+
+TEST(Lsmc, AmericanCallEqualsEuropeanCall) {
+  // No dividends: early exercise of a call is never optimal.
+  core::OptionSpec o{100, 95, 1.0, 0.05, 0.2, core::OptionType::kCall,
+                     core::ExerciseStyle::kAmerican};
+  lsmc::LsmcParams params;
+  params.num_paths = 1 << 16;
+  const auto r = lsmc::price_american(o, params);
+  core::OptionSpec eu = o;
+  eu.style = core::ExerciseStyle::kEuropean;
+  const double exact = core::black_scholes_price(eu);
+  EXPECT_NEAR(r.price, exact, 0.01 * exact + 3 * r.std_error);
+}
+
+TEST(Lsmc, Reproducible) {
+  const core::OptionSpec o = am_put(100, 100, 1.0, 0.05, 0.2);
+  lsmc::LsmcParams p;
+  p.num_paths = 10000;
+  p.seed = 9;
+  EXPECT_EQ(lsmc::price_american(o, p).price, lsmc::price_american(o, p).price);
+  p.seed = 10;
+  EXPECT_NE(lsmc::price_american(o, p).price,
+            lsmc::price_american(o, {10000, 50, 3, 9}).price);
+}
+
+TEST(Lsmc, BasisDegreeStability) {
+  // The price should be stable (within noise) across basis degrees 2..5.
+  const core::OptionSpec o = am_put(100, 100, 1.0, 0.05, 0.25);
+  lsmc::LsmcParams p;
+  p.num_paths = 1 << 16;
+  p.seed = 4;
+  double prev = 0.0;
+  for (int deg : {2, 3, 4, 5}) {
+    p.basis_degree = deg;
+    const auto r = lsmc::price_american(o, p);
+    if (prev != 0.0) {
+      EXPECT_NEAR(r.price, prev, 0.01 * prev);
+    }
+    prev = r.price;
+  }
+}
+
+TEST(Lsmc, RejectsBadParams) {
+  const core::OptionSpec o = am_put(100, 100, 1.0, 0.05, 0.2);
+  lsmc::LsmcParams p;
+  p.basis_degree = 0;
+  EXPECT_THROW(lsmc::price_american(o, p), std::invalid_argument);
+  p.basis_degree = 9;
+  EXPECT_THROW(lsmc::price_american(o, p), std::invalid_argument);
+  core::OptionSpec bad = o;
+  bad.vol = 0.0;
+  EXPECT_THROW(lsmc::price_american(bad, {}), std::invalid_argument);
+}
+
+TEST(Lsmc, StdErrorShrinksWithPaths) {
+  const core::OptionSpec o = am_put(100, 100, 1.0, 0.05, 0.2);
+  lsmc::LsmcParams small;
+  small.num_paths = 1 << 12;
+  lsmc::LsmcParams large;
+  large.num_paths = 1 << 16;
+  const double se_small = lsmc::price_american(o, small).std_error;
+  const double se_large = lsmc::price_american(o, large).std_error;
+  EXPECT_NEAR(se_small / se_large, 4.0, 1.0);  // 16x paths -> ~4x smaller
+}
+
+}  // namespace

@@ -1,0 +1,109 @@
+// Tests for pathwise/likelihood-ratio Monte Carlo greeks and the
+// Geske–Johnson Richardson approximation of American prices.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "finbench/core/analytic.hpp"
+#include "finbench/core/workload.hpp"
+#include "finbench/kernels/binomial.hpp"
+#include "finbench/kernels/lattice.hpp"
+#include "finbench/kernels/montecarlo.hpp"
+
+namespace {
+
+using namespace finbench;
+using namespace finbench::kernels;
+
+TEST(McGreeks, PathwiseDeltaVegaMatchAnalytic) {
+  const auto opts = core::make_option_workload(8, 81);
+  std::vector<mc::McGreeks> res(opts.size());
+  mc::greeks_pathwise(opts, 1 << 17, 5, res);
+  for (std::size_t i = 0; i < opts.size(); ++i) {
+    const auto exact = core::black_scholes_greeks(opts[i]);
+    EXPECT_NEAR(res[i].delta, exact.delta, 4.5 * res[i].delta_se + 1e-4) << i;
+    EXPECT_NEAR(res[i].vega, exact.vega, 4.5 * res[i].vega_se + 1e-3) << i;
+    // The price estimate comes along for free and must agree too.
+    EXPECT_NEAR(res[i].price, core::black_scholes_price(opts[i]),
+                0.02 * std::max(1.0, res[i].price))
+        << i;
+  }
+}
+
+TEST(McGreeks, PutSideSignsAreRight) {
+  core::OptionSpec o{100, 105, 1.0, 0.05, 0.25, core::OptionType::kPut,
+                     core::ExerciseStyle::kEuropean};
+  std::vector<mc::McGreeks> res(1);
+  mc::greeks_pathwise(std::span(&o, 1), 1 << 17, 7, res);
+  const auto exact = core::black_scholes_greeks(o);
+  EXPECT_LT(res[0].delta, 0.0);
+  EXPECT_GT(res[0].vega, 0.0);
+  EXPECT_NEAR(res[0].delta, exact.delta, 4.5 * res[0].delta_se + 1e-4);
+  EXPECT_NEAR(res[0].vega, exact.vega, 4.5 * res[0].vega_se + 1e-3);
+}
+
+TEST(McGreeks, LikelihoodRatioGammaConverges) {
+  // LR gamma is noisier: wide CI, many paths.
+  core::OptionSpec o{100, 100, 1.0, 0.05, 0.2, core::OptionType::kCall,
+                     core::ExerciseStyle::kEuropean};
+  std::vector<mc::McGreeks> res(1);
+  mc::greeks_pathwise(std::span(&o, 1), 1 << 19, 11, res);
+  const auto exact = core::black_scholes_greeks(o);
+  EXPECT_NEAR(res[0].gamma, exact.gamma, 0.15 * exact.gamma);
+}
+
+TEST(McGreeks, DividendYieldFlowsThrough) {
+  core::OptionSpec o{100, 95, 1.5, 0.04, 0.3, core::OptionType::kCall,
+                     core::ExerciseStyle::kEuropean};
+  o.dividend = 0.03;
+  std::vector<mc::McGreeks> res(1);
+  mc::greeks_pathwise(std::span(&o, 1), 1 << 17, 13, res);
+  const auto exact = core::black_scholes_greeks(o);
+  EXPECT_NEAR(res[0].delta, exact.delta, 4.5 * res[0].delta_se + 1e-4);
+  EXPECT_NEAR(res[0].vega, exact.vega, 4.5 * res[0].vega_se + 2e-3);
+}
+
+TEST(McGreeks, Reproducible) {
+  const auto opts = core::make_option_workload(2, 82);
+  std::vector<mc::McGreeks> a(2), b(2);
+  mc::greeks_pathwise(opts, 4096, 3, a);
+  mc::greeks_pathwise(opts, 4096, 3, b);
+  EXPECT_EQ(a[0].delta, b[0].delta);
+  EXPECT_EQ(a[1].vega, b[1].vega);
+}
+
+// --- Geske–Johnson ---------------------------------------------------------------
+
+TEST(GeskeJohnson, ApproximatesAmericanPut) {
+  core::OptionSpec o{100, 100, 1.0, 0.06, 0.25, core::OptionType::kPut,
+                     core::ExerciseStyle::kAmerican};
+  const double gj = lattice::price_geske_johnson(o, 1200);
+  const double dense = binomial::price_one_reference(o, 4096);
+  // GJ with three dates lands within a fraction of a percent typically.
+  EXPECT_NEAR(gj, dense, 0.01 * dense);
+}
+
+TEST(GeskeJohnson, BracketedSensibly) {
+  core::OptionSpec o{90, 100, 1.5, 0.08, 0.3, core::OptionType::kPut,
+                     core::ExerciseStyle::kAmerican};
+  const double gj = lattice::price_geske_johnson(o, 1200);
+  core::OptionSpec eu = o;
+  eu.style = core::ExerciseStyle::kEuropean;
+  const double euro = core::black_scholes_price(eu);
+  const double dense = binomial::price_one_reference(o, 4096);
+  EXPECT_GT(gj, euro);           // extrapolates above the 1-date price
+  EXPECT_NEAR(gj, dense, 0.015 * dense);
+}
+
+TEST(GeskeJohnson, EuropeanCallUnchanged) {
+  // No early-exercise value: all Bermudans equal the European, and the
+  // extrapolation returns it unchanged.
+  core::OptionSpec o{100, 95, 1.0, 0.05, 0.2, core::OptionType::kCall,
+                     core::ExerciseStyle::kAmerican};
+  const double gj = lattice::price_geske_johnson(o, 1200);
+  EXPECT_NEAR(gj, binomial::price_one_reference(o, 1200), 1e-9);
+}
+
+}  // namespace

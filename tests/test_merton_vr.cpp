@@ -1,0 +1,153 @@
+// Tests for the Merton jump-diffusion model (series closed form vs exact
+// Monte Carlo) and the variance-reduced European Monte Carlo estimator.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "finbench/core/analytic.hpp"
+#include "finbench/core/workload.hpp"
+#include "finbench/kernels/merton.hpp"
+#include "finbench/kernels/montecarlo.hpp"
+
+namespace {
+
+using namespace finbench;
+using namespace finbench::kernels;
+
+core::OptionSpec call_opt(double s = 100, double k = 100, double t = 1, double r = 0.05,
+                          double v = 0.2) {
+  return {s, k, t, r, v, core::OptionType::kCall, core::ExerciseStyle::kEuropean};
+}
+
+// --- Merton -----------------------------------------------------------------------
+
+TEST(Merton, ZeroIntensityIsBlackScholes) {
+  merton::JumpParams j;
+  j.intensity = 0.0;
+  const core::OptionSpec o = call_opt();
+  EXPECT_NEAR(merton::price_series(o, j), core::black_scholes_price(o), 1e-12);
+}
+
+TEST(Merton, SeriesMatchesMonteCarlo) {
+  merton::JumpParams j;  // lambda 0.5, mean -0.1, vol 0.25
+  for (auto type : {core::OptionType::kCall, core::OptionType::kPut}) {
+    core::OptionSpec o = call_opt(100, 105, 1.0, 0.05, 0.2);
+    o.type = type;
+    const double exact = merton::price_series(o, j);
+    merton::SimParams sim;
+    sim.num_paths = 1 << 17;
+    const auto mc = merton::price_mc(o, j, sim);
+    EXPECT_NEAR(mc.price, exact, 4.5 * mc.std_error) << static_cast<int>(type);
+  }
+}
+
+TEST(Merton, JumpsRaiseOptionPrices) {
+  // Extra (priced) jump risk adds convexity value on both sides.
+  const core::OptionSpec o = call_opt();
+  merton::JumpParams j;
+  j.intensity = 1.0;
+  EXPECT_GT(merton::price_series(o, j), core::black_scholes_price(o) + 0.1);
+}
+
+TEST(Merton, CrashRiskCreatesSkew) {
+  // Negative jump mean: OTM put implied vol above ATM implied vol.
+  merton::JumpParams j;
+  j.intensity = 1.0;
+  j.jump_mean = -0.2;
+  j.jump_vol = 0.2;
+  auto iv_at = [&](double k) {
+    core::OptionSpec o = call_opt(100, k, 1.0, 0.02, 0.15);
+    const double px = merton::price_series(o, j);
+    return core::implied_volatility(o, px);
+  };
+  EXPECT_GT(iv_at(75), iv_at(100) + 0.01);
+}
+
+TEST(Merton, ParityHoldsInSeries) {
+  merton::JumpParams j;
+  core::OptionSpec c = call_opt(100, 95, 1.5, 0.04, 0.25);
+  core::OptionSpec p = c;
+  p.type = core::OptionType::kPut;
+  const double lhs = merton::price_series(c, j) - merton::price_series(p, j);
+  const double rhs = 100.0 - 95.0 * std::exp(-0.04 * 1.5);
+  EXPECT_NEAR(lhs, rhs, 1e-9);
+}
+
+TEST(Merton, SeriesConvergedByDefaultTerms) {
+  const core::OptionSpec o = call_opt();
+  merton::JumpParams j;
+  j.intensity = 2.0;
+  EXPECT_NEAR(merton::price_series(o, j, 60), merton::price_series(o, j, 200), 1e-12);
+}
+
+TEST(Merton, RejectsAmericanAndBadParams) {
+  core::OptionSpec o = call_opt();
+  o.style = core::ExerciseStyle::kAmerican;
+  EXPECT_THROW(merton::price_series(o, {}), std::invalid_argument);
+  merton::JumpParams j;
+  j.intensity = -1.0;
+  EXPECT_THROW(merton::price_series(call_opt(), j), std::invalid_argument);
+}
+
+// --- Variance reduction ---------------------------------------------------------------
+
+TEST(VarianceReduction, MatchesAnalyticWithinCi) {
+  const auto opts = core::make_option_workload(10, 51);
+  std::vector<mc::McResult> res(opts.size());
+  mc::price_variance_reduced(opts, 1 << 16, 3, res);
+  for (std::size_t i = 0; i < opts.size(); ++i) {
+    EXPECT_NEAR(res[i].price, core::black_scholes_price(opts[i]),
+                4.5 * res[i].std_error + 1e-10)
+        << i;
+  }
+}
+
+TEST(VarianceReduction, AntitheticShrinksError) {
+  core::OptionSpec o = call_opt();
+  std::vector<mc::McResult> plain(1), anti(1);
+  const std::size_t npath = 1 << 16;
+  mc::price_optimized_computed(std::span(&o, 1), npath, 5, plain);
+  mc::price_variance_reduced(std::span(&o, 1), npath, 5, anti, /*antithetic=*/true,
+                             /*control_variate=*/false);
+  EXPECT_LT(anti[0].std_error, plain[0].std_error);
+}
+
+TEST(VarianceReduction, ControlVariateShrinksErrorFurther) {
+  core::OptionSpec o = call_opt(100, 90, 1.0, 0.05, 0.25);  // ITM: high corr with S_T
+  std::vector<mc::McResult> anti(1), both(1);
+  const std::size_t npath = 1 << 16;
+  mc::price_variance_reduced(std::span(&o, 1), npath, 5, anti, true, false);
+  mc::price_variance_reduced(std::span(&o, 1), npath, 5, both, true, true);
+  EXPECT_LT(both[0].std_error, anti[0].std_error);
+  // Reported errors must still be honest: estimate within 5 claimed SEs.
+  EXPECT_NEAR(both[0].price, core::black_scholes_price(o), 5 * both[0].std_error + 1e-3);
+}
+
+TEST(VarianceReduction, DeepItmControlIsNearExact) {
+  // Deep ITM call payoff ~ S_T - K: the control removes almost everything.
+  core::OptionSpec o = call_opt(100, 40, 1.0, 0.05, 0.2);
+  std::vector<mc::McResult> res(1);
+  mc::price_variance_reduced(std::span(&o, 1), 1 << 15, 7, res);
+  EXPECT_NEAR(res[0].price, core::black_scholes_price(o), 1e-2);
+  EXPECT_LT(res[0].std_error, 5e-3);
+}
+
+TEST(VarianceReduction, OddPathCountsHandled) {
+  core::OptionSpec o = call_opt();
+  std::vector<mc::McResult> res(1);
+  mc::price_variance_reduced(std::span(&o, 1), 10001, 9, res);
+  EXPECT_NEAR(res[0].price, core::black_scholes_price(o), 5 * res[0].std_error);
+}
+
+TEST(VarianceReduction, Reproducible) {
+  const auto opts = core::make_option_workload(2, 52);
+  std::vector<mc::McResult> a(2), b(2);
+  mc::price_variance_reduced(opts, 4096, 11, a);
+  mc::price_variance_reduced(opts, 4096, 11, b);
+  EXPECT_EQ(a[0].price, b[0].price);
+  EXPECT_EQ(a[1].price, b[1].price);
+}
+
+}  // namespace

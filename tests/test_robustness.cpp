@@ -1,0 +1,168 @@
+// Robustness fuzzing: every pricer fed wide randomized parameter ranges
+// (tiny and huge vols, short and long expiries, deep moneyness, negative
+// rates) must produce finite, bound-respecting prices or throw a
+// documented std::invalid_argument — never NaN, never a silent garbage
+// value.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <algorithm>
+#include <random>
+#include <vector>
+
+#include "finbench/core/analytic.hpp"
+#include "finbench/kernels/binomial.hpp"
+#include "finbench/kernels/cranknicolson.hpp"
+#include "finbench/kernels/lattice.hpp"
+#include "finbench/kernels/montecarlo.hpp"
+
+namespace {
+
+using namespace finbench;
+using namespace finbench::kernels;
+
+// Wide but sane parameter soup (positive vol/expiry; rates may be negative).
+std::vector<core::OptionSpec> fuzz_options(int n, unsigned seed) {
+  std::mt19937 gen(seed);
+  std::uniform_real_distribution<double> spot(0.5, 5000.0);
+  std::uniform_real_distribution<double> moneyness(0.1, 10.0);
+  std::uniform_real_distribution<double> years(0.01, 30.0);
+  std::uniform_real_distribution<double> rate(-0.05, 0.20);
+  std::uniform_real_distribution<double> vol(0.01, 2.0);
+  std::uniform_real_distribution<double> div(0.0, 0.10);
+  std::bernoulli_distribution flag(0.5);
+  std::vector<core::OptionSpec> out;
+  out.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    core::OptionSpec o;
+    o.spot = spot(gen);
+    o.strike = o.spot * moneyness(gen);
+    o.years = years(gen);
+    o.rate = rate(gen);
+    o.vol = vol(gen);
+    o.dividend = div(gen);
+    o.type = flag(gen) ? core::OptionType::kCall : core::OptionType::kPut;
+    o.style = core::ExerciseStyle::kEuropean;
+    out.push_back(o);
+  }
+  return out;
+}
+
+void expect_sane_european(const core::OptionSpec& o, double price, const char* what) {
+  ASSERT_TRUE(std::isfinite(price)) << what;
+  const double df = std::exp(-o.rate * o.years);
+  const double qf = std::exp(-o.dividend * o.years);
+  const bool call = o.type == core::OptionType::kCall;
+  const double lower =
+      call ? std::max(o.spot * qf - o.strike * df, 0.0) : std::max(o.strike * df - o.spot * qf, 0.0);
+  const double upper = call ? o.spot * qf : o.strike * df;
+  // Lattice/PDE discretization can sag slightly below the hard bound.
+  const double slack = 5e-3 * std::max(1.0, upper);
+  EXPECT_GE(price, lower - slack) << what << " S=" << o.spot << " K=" << o.strike
+                                  << " T=" << o.years << " r=" << o.rate << " v=" << o.vol;
+  EXPECT_LE(price, upper + slack) << what;
+}
+
+TEST(Robustness, AnalyticBlackScholesOverFuzzSoup) {
+  for (const auto& o : fuzz_options(3000, 1)) {
+    expect_sane_european(o, core::black_scholes_price(o), "bs");
+    const auto g = core::black_scholes_greeks(o);
+    EXPECT_TRUE(std::isfinite(g.delta) && std::isfinite(g.gamma) && std::isfinite(g.vega) &&
+                std::isfinite(g.theta) && std::isfinite(g.rho));
+  }
+}
+
+TEST(Robustness, LatticesOverFuzzSoup) {
+  for (auto o : fuzz_options(150, 2)) {
+    // Lattices at a few hundred steps are only converged for moderate
+    // total volatility; vol*sqrt(T) ~ 11 (30y at 200% vol) needs millions
+    // of steps. Bound the soup to the methods' practical envelope.
+    o.vol = std::min(o.vol, 0.8);
+    o.years = std::min(o.years, 5.0);
+    try {
+      expect_sane_european(o, binomial::price_one_reference(o, 256), "crr");
+      expect_sane_european(o, lattice::price_leisen_reimer(o, 101), "lr");
+      expect_sane_european(o, lattice::price_trinomial(o, 256), "tri");
+      expect_sane_european(o, lattice::price_bbs(o, 128), "bbs");
+    } catch (const std::invalid_argument&) {
+      // Documented rejection (e.g. probability outside [0,1]) is fine.
+    }
+  }
+}
+
+TEST(Robustness, PdeSolversOverFuzzSoup) {
+  cn::GridSpec g;
+  g.num_prices = 129;
+  g.num_steps = 60;
+  for (auto o : fuzz_options(60, 3)) {
+    o.vol = std::min(o.vol, 0.8);     // same practical envelope as the
+    o.years = std::min(o.years, 5.0); // lattice soup: coarse grids cannot
+                                      // resolve sigma*sqrt(T) >> 1
+    // A 129-node grid also cannot center deep 10x moneyness; keep the
+    // strike within the resolvable band.
+    o.strike = std::clamp(o.strike, 0.33 * o.spot, 3.0 * o.spot);
+    try {
+      expect_sane_european(o, cn::price_european_thomas(o, g), "thomas");
+    } catch (const std::invalid_argument&) {
+    }
+  }
+}
+
+TEST(Robustness, AmericanSolversNeverBelowIntrinsicOrEuropean) {
+  for (auto o : fuzz_options(80, 4)) {
+    o.style = core::ExerciseStyle::kAmerican;
+    o.vol = std::min(o.vol, 0.8);
+    o.years = std::min(o.years, 5.0);
+    const double intrinsic = o.type == core::OptionType::kCall
+                                 ? std::max(o.spot - o.strike, 0.0)
+                                 : std::max(o.strike - o.spot, 0.0);
+    core::OptionSpec eu = o;
+    eu.style = core::ExerciseStyle::kEuropean;
+    try {
+      // Same lattice for both styles: discretization error cancels, so the
+      // dominance is exact up to rounding.
+      const double am = binomial::price_one_reference(o, 256);
+      const double euro = binomial::price_one_reference(eu, 256);
+      ASSERT_TRUE(std::isfinite(am));
+      EXPECT_GE(am, intrinsic - 1e-9);
+      EXPECT_GE(am, euro - 1e-9 * std::max(1.0, euro));
+    } catch (const std::invalid_argument&) {
+    }
+  }
+}
+
+TEST(Robustness, McEstimatorFiniteOverFuzzSoup) {
+  const auto opts = fuzz_options(40, 5);
+  std::vector<mc::McResult> res(opts.size());
+  mc::price_optimized_computed(opts, 2048, 9, res);
+  for (std::size_t i = 0; i < opts.size(); ++i) {
+    ASSERT_TRUE(std::isfinite(res[i].price)) << i;
+    ASSERT_TRUE(std::isfinite(res[i].std_error)) << i;
+    EXPECT_GE(res[i].price, -1e-9);
+  }
+}
+
+TEST(Robustness, ImpliedVolNeverNansOnFuzzedQuotes) {
+  // Feed arbitrary (possibly arbitrage-violating) quotes: the solver must
+  // return either a positive vol or the documented -1, never NaN.
+  std::mt19937 gen(6);
+  std::uniform_real_distribution<double> quote(-10.0, 500.0);
+  for (auto o : fuzz_options(2000, 7)) {
+    o.type = core::OptionType::kCall;
+    const double iv = core::implied_volatility(o, quote(gen));
+    ASSERT_FALSE(std::isnan(iv));
+    EXPECT_TRUE(iv > 0.0 || iv == -1.0 || iv >= 1e-6);
+  }
+}
+
+TEST(Robustness, TinyAndHugeVolLimits) {
+  // vol -> 0 and vol -> huge behave like the known limits.
+  core::OptionSpec o{100, 100, 1.0, 0.05, 1e-8, core::OptionType::kCall,
+                     core::ExerciseStyle::kEuropean};
+  EXPECT_NEAR(core::black_scholes_price(o), 100 - 100 * std::exp(-0.05), 1e-6);
+  o.vol = 50.0;  // absurd vol: call -> spot
+  EXPECT_NEAR(core::black_scholes_price(o), 100.0, 0.5);
+}
+
+}  // namespace

@@ -1,0 +1,174 @@
+// Tests for term structures (piecewise-constant rate/vol) and the
+// portfolio risk engine.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "finbench/core/analytic.hpp"
+#include "finbench/core/term_structure.hpp"
+#include "finbench/rng/normal.hpp"
+#include "finbench/kernels/risk.hpp"
+
+namespace {
+
+using namespace finbench;
+using namespace finbench::core;
+
+// --- PiecewiseConstant -------------------------------------------------------------
+
+TEST(PiecewiseConstant, ValueAndIntegrals) {
+  const std::vector<double> t = {0.0, 1.0, 2.0};
+  const std::vector<double> v = {0.02, 0.04, 0.06};
+  PiecewiseConstant pc(t, v);
+  EXPECT_DOUBLE_EQ(pc.value(0.0), 0.02);
+  EXPECT_DOUBLE_EQ(pc.value(0.99), 0.02);
+  EXPECT_DOUBLE_EQ(pc.value(1.0), 0.04);
+  EXPECT_DOUBLE_EQ(pc.value(5.0), 0.06);  // flat extension
+  EXPECT_DOUBLE_EQ(pc.integral(0.5), 0.01);
+  EXPECT_DOUBLE_EQ(pc.integral(1.5), 0.02 + 0.02);
+  EXPECT_DOUBLE_EQ(pc.integral(3.0), 0.02 + 0.04 + 0.06);
+  EXPECT_NEAR(pc.integral_squared(1.5), 0.02 * 0.02 + 0.5 * 0.04 * 0.04, 1e-15);
+}
+
+TEST(PiecewiseConstant, FlatStructureIsConstant) {
+  const std::vector<double> t = {0.0};
+  const std::vector<double> v = {0.05};
+  PiecewiseConstant pc(t, v);
+  EXPECT_DOUBLE_EQ(pc.value(10.0), 0.05);
+  EXPECT_DOUBLE_EQ(pc.integral(2.0), 0.10);
+}
+
+TEST(PiecewiseConstant, RejectsMalformedKnots) {
+  const std::vector<double> bad_start = {0.5, 1.0};
+  const std::vector<double> v2 = {0.1, 0.2};
+  EXPECT_THROW(PiecewiseConstant(bad_start, v2), std::invalid_argument);
+  const std::vector<double> non_inc = {0.0, 1.0, 1.0};
+  const std::vector<double> v3 = {0.1, 0.2, 0.3};
+  EXPECT_THROW(PiecewiseConstant(non_inc, v3), std::invalid_argument);
+  EXPECT_THROW(PiecewiseConstant(std::vector<double>{0.0}, v2), std::invalid_argument);
+}
+
+TEST(TermStructure, FlatCurvesReproduceConstantBlackScholes) {
+  TermStructures ts{PiecewiseConstant(std::vector<double>{0.0}, std::vector<double>{0.05}),
+                    PiecewiseConstant(std::vector<double>{0.0}, std::vector<double>{0.2})};
+  OptionSpec o{100, 105, 1.5, 0.0, 0.0, OptionType::kCall, ExerciseStyle::kEuropean};
+  const BsPrice p = black_scholes_term(o, ts);
+  const BsPrice ref = black_scholes(100, 105, 1.5, 0.05, 0.2);
+  EXPECT_DOUBLE_EQ(p.call, ref.call);
+  EXPECT_DOUBLE_EQ(p.put, ref.put);
+}
+
+TEST(TermStructure, EquivalentConstantsAreTheAverages) {
+  // r: 2% for 1y then 6% for 1y -> 4% average over 2y.
+  // vol: 10% for 1y then sqrt((0.01+0.09)/2) over 2y.
+  TermStructures ts{
+      PiecewiseConstant(std::vector<double>{0.0, 1.0}, std::vector<double>{0.02, 0.06}),
+      PiecewiseConstant(std::vector<double>{0.0, 1.0}, std::vector<double>{0.10, 0.30})};
+  const auto eq = equivalent_constants(ts, 2.0);
+  EXPECT_NEAR(eq.rate, 0.04, 1e-15);
+  EXPECT_NEAR(eq.vol, std::sqrt((0.01 + 0.09) / 2.0), 1e-15);
+}
+
+TEST(TermStructure, MatchesMonteCarloWithTimeDependentSimulation) {
+  // Simulate with the actual time-dependent vol/rate path by splitting the
+  // horizon at the knot; the term-structure price must match within CI.
+  TermStructures ts{
+      PiecewiseConstant(std::vector<double>{0.0, 0.5}, std::vector<double>{0.01, 0.07}),
+      PiecewiseConstant(std::vector<double>{0.0, 0.5}, std::vector<double>{0.15, 0.35})};
+  OptionSpec shape{100, 100, 1.0, 0.0, 0.0, OptionType::kCall, ExerciseStyle::kEuropean};
+  const double exact = black_scholes_term(shape, ts).call;
+
+  // Two-segment exact simulation: lognormal increments per segment.
+  rng::NormalStream stream(11);
+  constexpr std::size_t kN = 1 << 17;
+  std::vector<double> z(2 * kN);
+  stream.fill(z);
+  double sum = 0;
+  for (std::size_t p = 0; p < kN; ++p) {
+    double log_s = std::log(100.0);
+    log_s += (0.01 - 0.5 * 0.15 * 0.15) * 0.5 + 0.15 * std::sqrt(0.5) * z[2 * p];
+    log_s += (0.07 - 0.5 * 0.35 * 0.35) * 0.5 + 0.35 * std::sqrt(0.5) * z[2 * p + 1];
+    sum += std::max(std::exp(log_s) - 100.0, 0.0);
+  }
+  const double df = std::exp(-(0.01 * 0.5 + 0.07 * 0.5));
+  const double mc = df * sum / kN;
+  EXPECT_NEAR(mc, exact, 0.15);  // ~5 sigma of this sample size
+}
+
+// --- Risk engine ----------------------------------------------------------------------
+
+std::vector<kernels::risk::Position> small_book() {
+  using namespace kernels;
+  std::vector<risk::Position> book;
+  book.push_back({{100, 95, 0.5, 0.03, 0.25, OptionType::kCall, ExerciseStyle::kEuropean},
+                  +100});
+  book.push_back({{100, 105, 1.0, 0.03, 0.25, OptionType::kPut, ExerciseStyle::kEuropean},
+                  -50});
+  book.push_back({{100, 100, 2.0, 0.03, 0.30, OptionType::kCall, ExerciseStyle::kEuropean},
+                  +25});
+  return book;
+}
+
+TEST(RiskEngine, AggregateIsSumOfPositions) {
+  const auto book = small_book();
+  const auto agg = kernels::risk::aggregate(book);
+  double want_value = 0, want_delta = 0;
+  for (const auto& p : book) {
+    want_value += p.quantity * black_scholes_price(p.option);
+    want_delta += p.quantity * black_scholes_greeks(p.option).delta;
+  }
+  EXPECT_NEAR(agg.value, want_value, 1e-10);
+  EXPECT_NEAR(agg.delta, want_delta, 1e-12);
+}
+
+TEST(RiskEngine, SpotLadderConsistentWithGreeks) {
+  const auto book = small_book();
+  const auto agg = kernels::risk::aggregate(book);
+  const std::vector<double> shifts = {0.99, 1.0, 1.01};
+  const auto pnl = kernels::risk::spot_ladder(book, shifts);
+  EXPECT_NEAR(pnl[1], 0.0, 1e-12);  // no shift, no P&L
+  // Small-move P&L ~ delta * dS + 1/2 gamma dS^2.
+  const double ds = 1.0;  // 1% of S=100
+  const double taylor_up = agg.delta * ds + 0.5 * agg.gamma * ds * ds;
+  const double taylor_dn = -agg.delta * ds + 0.5 * agg.gamma * ds * ds;
+  EXPECT_NEAR(pnl[2], taylor_up, 0.02 * std::fabs(taylor_up) + 0.05);
+  EXPECT_NEAR(pnl[0], taylor_dn, 0.02 * std::fabs(taylor_dn) + 0.05);
+}
+
+TEST(RiskEngine, VolLadderConsistentWithVega) {
+  const auto book = small_book();
+  const auto agg = kernels::risk::aggregate(book);
+  const std::vector<double> shifts = {-0.01, 0.0, 0.01};
+  const auto pnl = kernels::risk::vol_ladder(book, shifts);
+  EXPECT_NEAR(pnl[1], 0.0, 1e-12);
+  EXPECT_NEAR(pnl[2], agg.vega * 0.01, 0.05 * std::fabs(agg.vega * 0.01) + 1e-3);
+  EXPECT_NEAR(pnl[0], -agg.vega * 0.01, 0.05 * std::fabs(agg.vega * 0.01) + 1e-3);
+}
+
+TEST(RiskEngine, HedgedBookIsFlat) {
+  // Long a call, short its delta in... emulate with call minus put at the
+  // same strike (synthetic forward has gamma 0, vega 0).
+  using namespace kernels;
+  std::vector<risk::Position> book;
+  OptionSpec call{100, 100, 1.0, 0.05, 0.2, OptionType::kCall, ExerciseStyle::kEuropean};
+  OptionSpec put = call;
+  put.type = OptionType::kPut;
+  book.push_back({call, +1});
+  book.push_back({put, -1});
+  const auto agg = risk::aggregate(book);
+  EXPECT_NEAR(agg.gamma, 0.0, 1e-12);
+  EXPECT_NEAR(agg.vega, 0.0, 1e-10);
+  EXPECT_NEAR(agg.delta, 1.0, 1e-12);  // synthetic forward
+}
+
+TEST(RiskEngine, RejectsAmericanPositions) {
+  using namespace kernels;
+  std::vector<risk::Position> book;
+  OptionSpec am{100, 100, 1.0, 0.05, 0.2, OptionType::kPut, ExerciseStyle::kAmerican};
+  book.push_back({am, 1});
+  EXPECT_THROW(risk::aggregate(book), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_binomial_tile.dir/ablation_binomial_tile.cpp.o"
+  "CMakeFiles/ablation_binomial_tile.dir/ablation_binomial_tile.cpp.o.d"
+  "ablation_binomial_tile"
+  "ablation_binomial_tile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_binomial_tile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_gsor_block.dir/ablation_gsor_block.cpp.o"
+  "CMakeFiles/ablation_gsor_block.dir/ablation_gsor_block.cpp.o.d"
+  "ablation_gsor_block"
+  "ablation_gsor_block.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_gsor_block.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

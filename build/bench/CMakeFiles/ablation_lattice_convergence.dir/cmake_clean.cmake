@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_lattice_convergence.dir/ablation_lattice_convergence.cpp.o"
+  "CMakeFiles/ablation_lattice_convergence.dir/ablation_lattice_convergence.cpp.o.d"
+  "ablation_lattice_convergence"
+  "ablation_lattice_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_lattice_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_normal_methods.dir/ablation_normal_methods.cpp.o"
+  "CMakeFiles/ablation_normal_methods.dir/ablation_normal_methods.cpp.o.d"
+  "ablation_normal_methods"
+  "ablation_normal_methods.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_normal_methods.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

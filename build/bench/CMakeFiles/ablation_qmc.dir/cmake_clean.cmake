@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_qmc.dir/ablation_qmc.cpp.o"
+  "CMakeFiles/ablation_qmc.dir/ablation_qmc.cpp.o.d"
+  "ablation_qmc"
+  "ablation_qmc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_qmc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

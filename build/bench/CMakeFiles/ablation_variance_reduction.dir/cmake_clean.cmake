@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_variance_reduction.dir/ablation_variance_reduction.cpp.o"
+  "CMakeFiles/ablation_variance_reduction.dir/ablation_variance_reduction.cpp.o.d"
+  "ablation_variance_reduction"
+  "ablation_variance_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_variance_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_blackscholes.dir/fig4_blackscholes.cpp.o"
+  "CMakeFiles/fig4_blackscholes.dir/fig4_blackscholes.cpp.o.d"
+  "fig4_blackscholes"
+  "fig4_blackscholes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_blackscholes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

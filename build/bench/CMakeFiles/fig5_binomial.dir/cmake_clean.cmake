@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_binomial.dir/fig5_binomial.cpp.o"
+  "CMakeFiles/fig5_binomial.dir/fig5_binomial.cpp.o.d"
+  "fig5_binomial"
+  "fig5_binomial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_binomial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

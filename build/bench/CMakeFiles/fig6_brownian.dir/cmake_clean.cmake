@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_brownian.dir/fig6_brownian.cpp.o"
+  "CMakeFiles/fig6_brownian.dir/fig6_brownian.cpp.o.d"
+  "fig6_brownian"
+  "fig6_brownian.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_brownian.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_cranknicolson.dir/fig8_cranknicolson.cpp.o"
+  "CMakeFiles/fig8_cranknicolson.dir/fig8_cranknicolson.cpp.o.d"
+  "fig8_cranknicolson"
+  "fig8_cranknicolson.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_cranknicolson.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

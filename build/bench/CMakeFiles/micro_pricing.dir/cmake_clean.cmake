@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_pricing.dir/micro_pricing.cpp.o"
+  "CMakeFiles/micro_pricing.dir/micro_pricing.cpp.o.d"
+  "micro_pricing"
+  "micro_pricing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_pricing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_rng.dir/micro_rng.cpp.o"
+  "CMakeFiles/micro_rng.dir/micro_rng.cpp.o.d"
+  "micro_rng"
+  "micro_rng.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_rng.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

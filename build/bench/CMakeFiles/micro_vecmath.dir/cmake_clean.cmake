@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_vecmath.dir/micro_vecmath.cpp.o"
+  "CMakeFiles/micro_vecmath.dir/micro_vecmath.cpp.o.d"
+  "micro_vecmath"
+  "micro_vecmath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_vecmath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ninja_gap_summary.dir/ninja_gap_summary.cpp.o"
+  "CMakeFiles/ninja_gap_summary.dir/ninja_gap_summary.cpp.o.d"
+  "ninja_gap_summary"
+  "ninja_gap_summary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ninja_gap_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab1_sysconfig.dir/tab1_sysconfig.cpp.o"
+  "CMakeFiles/tab1_sysconfig.dir/tab1_sysconfig.cpp.o.d"
+  "tab1_sysconfig"
+  "tab1_sysconfig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab1_sysconfig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab2_montecarlo.dir/tab2_montecarlo.cpp.o"
+  "CMakeFiles/tab2_montecarlo.dir/tab2_montecarlo.cpp.o.d"
+  "tab2_montecarlo"
+  "tab2_montecarlo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab2_montecarlo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/american_pricer.dir/american_pricer.cpp.o"
+  "CMakeFiles/american_pricer.dir/american_pricer.cpp.o.d"
+  "american_pricer"
+  "american_pricer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/american_pricer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

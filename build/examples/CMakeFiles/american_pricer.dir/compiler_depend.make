@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for american_pricer.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delta_hedging.dir/delta_hedging.cpp.o"
+  "CMakeFiles/delta_hedging.dir/delta_hedging.cpp.o.d"
+  "delta_hedging"
+  "delta_hedging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delta_hedging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

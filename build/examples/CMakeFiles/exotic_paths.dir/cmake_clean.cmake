@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exotic_paths.dir/exotic_paths.cpp.o"
+  "CMakeFiles/exotic_paths.dir/exotic_paths.cpp.o.d"
+  "exotic_paths"
+  "exotic_paths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exotic_paths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

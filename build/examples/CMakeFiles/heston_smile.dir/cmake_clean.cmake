@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heston_smile.dir/heston_smile.cpp.o"
+  "CMakeFiles/heston_smile.dir/heston_smile.cpp.o.d"
+  "heston_smile"
+  "heston_smile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heston_smile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

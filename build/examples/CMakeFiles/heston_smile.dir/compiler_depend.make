@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for heston_smile.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for heston_smile.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/implied_vol_surface.cpp" "examples/CMakeFiles/implied_vol_surface.dir/implied_vol_surface.cpp.o" "gcc" "examples/CMakeFiles/implied_vol_surface.dir/implied_vol_surface.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kernels/CMakeFiles/finbench_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/finbench_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/finbench_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/vecmath/CMakeFiles/finbench_vecmath.dir/DependInfo.cmake"
+  "/root/repo/build/src/harness/CMakeFiles/finbench_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/finbench_arch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

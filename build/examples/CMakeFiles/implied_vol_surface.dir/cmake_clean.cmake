@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/implied_vol_surface.dir/implied_vol_surface.cpp.o"
+  "CMakeFiles/implied_vol_surface.dir/implied_vol_surface.cpp.o.d"
+  "implied_vol_surface"
+  "implied_vol_surface.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/implied_vol_surface.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

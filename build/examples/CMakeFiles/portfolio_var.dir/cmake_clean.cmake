@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/portfolio_var.dir/portfolio_var.cpp.o"
+  "CMakeFiles/portfolio_var.dir/portfolio_var.cpp.o.d"
+  "portfolio_var"
+  "portfolio_var.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/portfolio_var.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

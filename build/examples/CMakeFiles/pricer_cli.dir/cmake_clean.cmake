@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pricer_cli.dir/pricer_cli.cpp.o"
+  "CMakeFiles/pricer_cli.dir/pricer_cli.cpp.o.d"
+  "pricer_cli"
+  "pricer_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pricer_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rainbow_basket.dir/rainbow_basket.cpp.o"
+  "CMakeFiles/rainbow_basket.dir/rainbow_basket.cpp.o.d"
+  "rainbow_basket"
+  "rainbow_basket.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rainbow_basket.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_american_pricer "/root/repo/build/examples/american_pricer")
+set_tests_properties(example_american_pricer PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_portfolio_var "/root/repo/build/examples/portfolio_var")
+set_tests_properties(example_portfolio_var PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_implied_vol_surface "/root/repo/build/examples/implied_vol_surface")
+set_tests_properties(example_implied_vol_surface PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_exotic_paths "/root/repo/build/examples/exotic_paths")
+set_tests_properties(example_exotic_paths PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_heston_smile "/root/repo/build/examples/heston_smile")
+set_tests_properties(example_heston_smile PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_rainbow_basket "/root/repo/build/examples/rainbow_basket")
+set_tests_properties(example_rainbow_basket PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_delta_hedging "/root/repo/build/examples/delta_hedging")
+set_tests_properties(example_delta_hedging PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_pricer_cli "/root/repo/build/examples/pricer_cli" "--method" "all")
+set_tests_properties(example_pricer_cli PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_pricer_cli_american "/root/repo/build/examples/pricer_cli" "--method" "all" "--style" "american" "--type" "put" "--steps" "512")
+set_tests_properties(example_pricer_cli_american PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")

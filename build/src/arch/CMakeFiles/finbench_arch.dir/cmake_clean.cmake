@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/finbench_arch.dir/machine_model.cpp.o"
+  "CMakeFiles/finbench_arch.dir/machine_model.cpp.o.d"
+  "CMakeFiles/finbench_arch.dir/topology.cpp.o"
+  "CMakeFiles/finbench_arch.dir/topology.cpp.o.d"
+  "libfinbench_arch.a"
+  "libfinbench_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/finbench_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/analytic.cpp" "src/core/CMakeFiles/finbench_core.dir/analytic.cpp.o" "gcc" "src/core/CMakeFiles/finbench_core.dir/analytic.cpp.o.d"
+  "/root/repo/src/core/io.cpp" "src/core/CMakeFiles/finbench_core.dir/io.cpp.o" "gcc" "src/core/CMakeFiles/finbench_core.dir/io.cpp.o.d"
+  "/root/repo/src/core/linalg.cpp" "src/core/CMakeFiles/finbench_core.dir/linalg.cpp.o" "gcc" "src/core/CMakeFiles/finbench_core.dir/linalg.cpp.o.d"
+  "/root/repo/src/core/quadrature.cpp" "src/core/CMakeFiles/finbench_core.dir/quadrature.cpp.o" "gcc" "src/core/CMakeFiles/finbench_core.dir/quadrature.cpp.o.d"
+  "/root/repo/src/core/term_structure.cpp" "src/core/CMakeFiles/finbench_core.dir/term_structure.cpp.o" "gcc" "src/core/CMakeFiles/finbench_core.dir/term_structure.cpp.o.d"
+  "/root/repo/src/core/vol_surface.cpp" "src/core/CMakeFiles/finbench_core.dir/vol_surface.cpp.o" "gcc" "src/core/CMakeFiles/finbench_core.dir/vol_surface.cpp.o.d"
+  "/root/repo/src/core/workload.cpp" "src/core/CMakeFiles/finbench_core.dir/workload.cpp.o" "gcc" "src/core/CMakeFiles/finbench_core.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/arch/CMakeFiles/finbench_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/finbench_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/vecmath/CMakeFiles/finbench_vecmath.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/finbench_core.dir/analytic.cpp.o"
+  "CMakeFiles/finbench_core.dir/analytic.cpp.o.d"
+  "CMakeFiles/finbench_core.dir/io.cpp.o"
+  "CMakeFiles/finbench_core.dir/io.cpp.o.d"
+  "CMakeFiles/finbench_core.dir/linalg.cpp.o"
+  "CMakeFiles/finbench_core.dir/linalg.cpp.o.d"
+  "CMakeFiles/finbench_core.dir/quadrature.cpp.o"
+  "CMakeFiles/finbench_core.dir/quadrature.cpp.o.d"
+  "CMakeFiles/finbench_core.dir/term_structure.cpp.o"
+  "CMakeFiles/finbench_core.dir/term_structure.cpp.o.d"
+  "CMakeFiles/finbench_core.dir/vol_surface.cpp.o"
+  "CMakeFiles/finbench_core.dir/vol_surface.cpp.o.d"
+  "CMakeFiles/finbench_core.dir/workload.cpp.o"
+  "CMakeFiles/finbench_core.dir/workload.cpp.o.d"
+  "libfinbench_core.a"
+  "libfinbench_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/finbench_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfinbench_core.a"
+)

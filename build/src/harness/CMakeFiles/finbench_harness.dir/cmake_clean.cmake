@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/finbench_harness.dir/report.cpp.o"
+  "CMakeFiles/finbench_harness.dir/report.cpp.o.d"
+  "libfinbench_harness.a"
+  "libfinbench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/finbench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

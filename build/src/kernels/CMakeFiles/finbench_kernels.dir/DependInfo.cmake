@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/binomial/binomial.cpp" "src/kernels/CMakeFiles/finbench_kernels.dir/binomial/binomial.cpp.o" "gcc" "src/kernels/CMakeFiles/finbench_kernels.dir/binomial/binomial.cpp.o.d"
+  "/root/repo/src/kernels/binomial/lattice_ext.cpp" "src/kernels/CMakeFiles/finbench_kernels.dir/binomial/lattice_ext.cpp.o" "gcc" "src/kernels/CMakeFiles/finbench_kernels.dir/binomial/lattice_ext.cpp.o.d"
+  "/root/repo/src/kernels/blackscholes/blackscholes.cpp" "src/kernels/CMakeFiles/finbench_kernels.dir/blackscholes/blackscholes.cpp.o" "gcc" "src/kernels/CMakeFiles/finbench_kernels.dir/blackscholes/blackscholes.cpp.o.d"
+  "/root/repo/src/kernels/blackscholes/risk.cpp" "src/kernels/CMakeFiles/finbench_kernels.dir/blackscholes/risk.cpp.o" "gcc" "src/kernels/CMakeFiles/finbench_kernels.dir/blackscholes/risk.cpp.o.d"
+  "/root/repo/src/kernels/brownian/brownian.cpp" "src/kernels/CMakeFiles/finbench_kernels.dir/brownian/brownian.cpp.o" "gcc" "src/kernels/CMakeFiles/finbench_kernels.dir/brownian/brownian.cpp.o.d"
+  "/root/repo/src/kernels/cranknicolson/cranknicolson.cpp" "src/kernels/CMakeFiles/finbench_kernels.dir/cranknicolson/cranknicolson.cpp.o" "gcc" "src/kernels/CMakeFiles/finbench_kernels.dir/cranknicolson/cranknicolson.cpp.o.d"
+  "/root/repo/src/kernels/montecarlo/asian.cpp" "src/kernels/CMakeFiles/finbench_kernels.dir/montecarlo/asian.cpp.o" "gcc" "src/kernels/CMakeFiles/finbench_kernels.dir/montecarlo/asian.cpp.o.d"
+  "/root/repo/src/kernels/montecarlo/barrier.cpp" "src/kernels/CMakeFiles/finbench_kernels.dir/montecarlo/barrier.cpp.o" "gcc" "src/kernels/CMakeFiles/finbench_kernels.dir/montecarlo/barrier.cpp.o.d"
+  "/root/repo/src/kernels/montecarlo/heston.cpp" "src/kernels/CMakeFiles/finbench_kernels.dir/montecarlo/heston.cpp.o" "gcc" "src/kernels/CMakeFiles/finbench_kernels.dir/montecarlo/heston.cpp.o.d"
+  "/root/repo/src/kernels/montecarlo/heston_fd.cpp" "src/kernels/CMakeFiles/finbench_kernels.dir/montecarlo/heston_fd.cpp.o" "gcc" "src/kernels/CMakeFiles/finbench_kernels.dir/montecarlo/heston_fd.cpp.o.d"
+  "/root/repo/src/kernels/montecarlo/longstaff_schwartz.cpp" "src/kernels/CMakeFiles/finbench_kernels.dir/montecarlo/longstaff_schwartz.cpp.o" "gcc" "src/kernels/CMakeFiles/finbench_kernels.dir/montecarlo/longstaff_schwartz.cpp.o.d"
+  "/root/repo/src/kernels/montecarlo/lookback.cpp" "src/kernels/CMakeFiles/finbench_kernels.dir/montecarlo/lookback.cpp.o" "gcc" "src/kernels/CMakeFiles/finbench_kernels.dir/montecarlo/lookback.cpp.o.d"
+  "/root/repo/src/kernels/montecarlo/merton.cpp" "src/kernels/CMakeFiles/finbench_kernels.dir/montecarlo/merton.cpp.o" "gcc" "src/kernels/CMakeFiles/finbench_kernels.dir/montecarlo/merton.cpp.o.d"
+  "/root/repo/src/kernels/montecarlo/montecarlo.cpp" "src/kernels/CMakeFiles/finbench_kernels.dir/montecarlo/montecarlo.cpp.o" "gcc" "src/kernels/CMakeFiles/finbench_kernels.dir/montecarlo/montecarlo.cpp.o.d"
+  "/root/repo/src/kernels/montecarlo/multiasset.cpp" "src/kernels/CMakeFiles/finbench_kernels.dir/montecarlo/multiasset.cpp.o" "gcc" "src/kernels/CMakeFiles/finbench_kernels.dir/montecarlo/multiasset.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/finbench_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/vecmath/CMakeFiles/finbench_vecmath.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/finbench_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/finbench_arch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/finbench_kernels.dir/binomial/binomial.cpp.o"
+  "CMakeFiles/finbench_kernels.dir/binomial/binomial.cpp.o.d"
+  "CMakeFiles/finbench_kernels.dir/binomial/lattice_ext.cpp.o"
+  "CMakeFiles/finbench_kernels.dir/binomial/lattice_ext.cpp.o.d"
+  "CMakeFiles/finbench_kernels.dir/blackscholes/blackscholes.cpp.o"
+  "CMakeFiles/finbench_kernels.dir/blackscholes/blackscholes.cpp.o.d"
+  "CMakeFiles/finbench_kernels.dir/blackscholes/risk.cpp.o"
+  "CMakeFiles/finbench_kernels.dir/blackscholes/risk.cpp.o.d"
+  "CMakeFiles/finbench_kernels.dir/brownian/brownian.cpp.o"
+  "CMakeFiles/finbench_kernels.dir/brownian/brownian.cpp.o.d"
+  "CMakeFiles/finbench_kernels.dir/cranknicolson/cranknicolson.cpp.o"
+  "CMakeFiles/finbench_kernels.dir/cranknicolson/cranknicolson.cpp.o.d"
+  "CMakeFiles/finbench_kernels.dir/montecarlo/asian.cpp.o"
+  "CMakeFiles/finbench_kernels.dir/montecarlo/asian.cpp.o.d"
+  "CMakeFiles/finbench_kernels.dir/montecarlo/barrier.cpp.o"
+  "CMakeFiles/finbench_kernels.dir/montecarlo/barrier.cpp.o.d"
+  "CMakeFiles/finbench_kernels.dir/montecarlo/heston.cpp.o"
+  "CMakeFiles/finbench_kernels.dir/montecarlo/heston.cpp.o.d"
+  "CMakeFiles/finbench_kernels.dir/montecarlo/heston_fd.cpp.o"
+  "CMakeFiles/finbench_kernels.dir/montecarlo/heston_fd.cpp.o.d"
+  "CMakeFiles/finbench_kernels.dir/montecarlo/longstaff_schwartz.cpp.o"
+  "CMakeFiles/finbench_kernels.dir/montecarlo/longstaff_schwartz.cpp.o.d"
+  "CMakeFiles/finbench_kernels.dir/montecarlo/lookback.cpp.o"
+  "CMakeFiles/finbench_kernels.dir/montecarlo/lookback.cpp.o.d"
+  "CMakeFiles/finbench_kernels.dir/montecarlo/merton.cpp.o"
+  "CMakeFiles/finbench_kernels.dir/montecarlo/merton.cpp.o.d"
+  "CMakeFiles/finbench_kernels.dir/montecarlo/montecarlo.cpp.o"
+  "CMakeFiles/finbench_kernels.dir/montecarlo/montecarlo.cpp.o.d"
+  "CMakeFiles/finbench_kernels.dir/montecarlo/multiasset.cpp.o"
+  "CMakeFiles/finbench_kernels.dir/montecarlo/multiasset.cpp.o.d"
+  "libfinbench_kernels.a"
+  "libfinbench_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/finbench_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rng/halton.cpp" "src/rng/CMakeFiles/finbench_rng.dir/halton.cpp.o" "gcc" "src/rng/CMakeFiles/finbench_rng.dir/halton.cpp.o.d"
+  "/root/repo/src/rng/mt19937.cpp" "src/rng/CMakeFiles/finbench_rng.dir/mt19937.cpp.o" "gcc" "src/rng/CMakeFiles/finbench_rng.dir/mt19937.cpp.o.d"
+  "/root/repo/src/rng/normal.cpp" "src/rng/CMakeFiles/finbench_rng.dir/normal.cpp.o" "gcc" "src/rng/CMakeFiles/finbench_rng.dir/normal.cpp.o.d"
+  "/root/repo/src/rng/philox.cpp" "src/rng/CMakeFiles/finbench_rng.dir/philox.cpp.o" "gcc" "src/rng/CMakeFiles/finbench_rng.dir/philox.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vecmath/CMakeFiles/finbench_vecmath.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

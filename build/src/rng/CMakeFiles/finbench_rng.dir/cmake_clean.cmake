@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/finbench_rng.dir/halton.cpp.o"
+  "CMakeFiles/finbench_rng.dir/halton.cpp.o.d"
+  "CMakeFiles/finbench_rng.dir/mt19937.cpp.o"
+  "CMakeFiles/finbench_rng.dir/mt19937.cpp.o.d"
+  "CMakeFiles/finbench_rng.dir/normal.cpp.o"
+  "CMakeFiles/finbench_rng.dir/normal.cpp.o.d"
+  "CMakeFiles/finbench_rng.dir/philox.cpp.o"
+  "CMakeFiles/finbench_rng.dir/philox.cpp.o.d"
+  "libfinbench_rng.a"
+  "libfinbench_rng.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/finbench_rng.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/finbench_vecmath.dir/array_math.cpp.o"
+  "CMakeFiles/finbench_vecmath.dir/array_math.cpp.o.d"
+  "libfinbench_vecmath.a"
+  "libfinbench_vecmath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/finbench_vecmath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

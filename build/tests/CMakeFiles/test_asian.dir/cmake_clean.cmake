@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_asian.dir/test_asian.cpp.o"
+  "CMakeFiles/test_asian.dir/test_asian.cpp.o.d"
+  "test_asian"
+  "test_asian.pdb"
+  "test_asian[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_asian.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bermudan_boundary.dir/test_bermudan_boundary.cpp.o"
+  "CMakeFiles/test_bermudan_boundary.dir/test_bermudan_boundary.cpp.o.d"
+  "test_bermudan_boundary"
+  "test_bermudan_boundary.pdb"
+  "test_bermudan_boundary[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bermudan_boundary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

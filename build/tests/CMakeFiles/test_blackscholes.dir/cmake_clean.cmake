@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_blackscholes.dir/test_blackscholes.cpp.o"
+  "CMakeFiles/test_blackscholes.dir/test_blackscholes.cpp.o.d"
+  "test_blackscholes"
+  "test_blackscholes.pdb"
+  "test_blackscholes[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_blackscholes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

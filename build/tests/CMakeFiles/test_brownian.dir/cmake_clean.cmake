@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_brownian.dir/test_brownian.cpp.o"
+  "CMakeFiles/test_brownian.dir/test_brownian.cpp.o.d"
+  "test_brownian"
+  "test_brownian.pdb"
+  "test_brownian[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_brownian.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_brownian.
+# This may be replaced when dependencies are built.

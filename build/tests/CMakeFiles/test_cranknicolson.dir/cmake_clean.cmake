@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cranknicolson.dir/test_cranknicolson.cpp.o"
+  "CMakeFiles/test_cranknicolson.dir/test_cranknicolson.cpp.o.d"
+  "test_cranknicolson"
+  "test_cranknicolson.pdb"
+  "test_cranknicolson[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cranknicolson.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

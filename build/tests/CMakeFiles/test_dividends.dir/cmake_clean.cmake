@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dividends.dir/test_dividends.cpp.o"
+  "CMakeFiles/test_dividends.dir/test_dividends.cpp.o.d"
+  "test_dividends"
+  "test_dividends.pdb"
+  "test_dividends[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dividends.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fd_schemes.dir/test_fd_schemes.cpp.o"
+  "CMakeFiles/test_fd_schemes.dir/test_fd_schemes.cpp.o.d"
+  "test_fd_schemes"
+  "test_fd_schemes.pdb"
+  "test_fd_schemes[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fd_schemes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_greeks_kernel.dir/test_greeks_kernel.cpp.o"
+  "CMakeFiles/test_greeks_kernel.dir/test_greeks_kernel.cpp.o.d"
+  "test_greeks_kernel"
+  "test_greeks_kernel.pdb"
+  "test_greeks_kernel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_greeks_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_heston.dir/test_heston.cpp.o"
+  "CMakeFiles/test_heston.dir/test_heston.cpp.o.d"
+  "test_heston"
+  "test_heston.pdb"
+  "test_heston[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_heston.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

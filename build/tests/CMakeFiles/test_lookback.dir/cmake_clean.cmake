@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lookback.dir/test_lookback.cpp.o"
+  "CMakeFiles/test_lookback.dir/test_lookback.cpp.o.d"
+  "test_lookback"
+  "test_lookback.pdb"
+  "test_lookback[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lookback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

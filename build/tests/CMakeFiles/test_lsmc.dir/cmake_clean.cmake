@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lsmc.dir/test_lsmc.cpp.o"
+  "CMakeFiles/test_lsmc.dir/test_lsmc.cpp.o.d"
+  "test_lsmc"
+  "test_lsmc.pdb"
+  "test_lsmc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lsmc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mc_greeks.dir/test_mc_greeks.cpp.o"
+  "CMakeFiles/test_mc_greeks.dir/test_mc_greeks.cpp.o.d"
+  "test_mc_greeks"
+  "test_mc_greeks.pdb"
+  "test_mc_greeks[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mc_greeks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

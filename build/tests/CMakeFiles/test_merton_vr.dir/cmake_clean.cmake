@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_merton_vr.dir/test_merton_vr.cpp.o"
+  "CMakeFiles/test_merton_vr.dir/test_merton_vr.cpp.o.d"
+  "test_merton_vr"
+  "test_merton_vr.pdb"
+  "test_merton_vr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_merton_vr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multiasset.dir/test_multiasset.cpp.o"
+  "CMakeFiles/test_multiasset.dir/test_multiasset.cpp.o.d"
+  "test_multiasset"
+  "test_multiasset.pdb"
+  "test_multiasset[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multiasset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

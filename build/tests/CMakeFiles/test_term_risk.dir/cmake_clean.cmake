@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_term_risk.dir/test_term_risk.cpp.o"
+  "CMakeFiles/test_term_risk.dir/test_term_risk.cpp.o.d"
+  "test_term_risk"
+  "test_term_risk.pdb"
+  "test_term_risk[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_term_risk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

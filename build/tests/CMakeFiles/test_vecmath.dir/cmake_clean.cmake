@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vecmath.dir/test_vecmath.cpp.o"
+  "CMakeFiles/test_vecmath.dir/test_vecmath.cpp.o.d"
+  "test_vecmath"
+  "test_vecmath.pdb"
+  "test_vecmath[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vecmath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

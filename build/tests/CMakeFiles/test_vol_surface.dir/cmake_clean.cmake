@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vol_surface.dir/test_vol_surface.cpp.o"
+  "CMakeFiles/test_vol_surface.dir/test_vol_surface.cpp.o.d"
+  "test_vol_surface"
+  "test_vol_surface.pdb"
+  "test_vol_surface[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vol_surface.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

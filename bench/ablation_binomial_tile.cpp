@@ -26,10 +26,10 @@ int main(int argc, char** argv) {
   std::printf("===============================================================\n");
   std::printf("  %-28s %14s %14s\n", "variant", "4-wide opt/s", "8-wide opt/s");
 
-  const double untiled4 = bench::items_per_sec(nopt, opts.reps, [&] {
+  const double untiled4 = bench::items_per_sec("binomial_tile.untiled4", nopt, opts.reps, [&] {
     binomial::price_intermediate(workload, steps, out, binomial::Width::kAvx2);
   });
-  const double untiled8 = bench::items_per_sec(nopt, opts.reps, [&] {
+  const double untiled8 = bench::items_per_sec("binomial_tile.untiled8", nopt, opts.reps, [&] {
     binomial::price_intermediate(workload, steps, out, binomial::Width::kAuto);
   });
   std::printf("  %-28s %14.0f %14.0f\n", "untiled (TS=1 equivalent)", untiled4, untiled8);
@@ -37,10 +37,10 @@ int main(int argc, char** argv) {
   double best8 = 0;
   int best_ts = 0;
   for (int ts : {4, 8, 16, 32, 64}) {
-    const double r4 = bench::items_per_sec(nopt, opts.reps, [&] {
+    const double r4 = bench::items_per_sec("binomial_tile.r4", nopt, opts.reps, [&] {
       binomial::price_advanced_tile(workload, steps, out, ts, binomial::Width::kAvx2);
     });
-    const double r8 = bench::items_per_sec(nopt, opts.reps, [&] {
+    const double r8 = bench::items_per_sec("binomial_tile.r8", nopt, opts.reps, [&] {
       binomial::price_advanced_tile(workload, steps, out, ts, binomial::Width::kAuto);
     });
     std::printf("  tile depth TS=%-14d %14.0f %14.0f\n", ts, r4, r8);

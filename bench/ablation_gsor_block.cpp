@@ -31,26 +31,26 @@ int main(int argc, char** argv) {
 
   const auto every = cn::price_reference(o, grid);
   const double base_rate =
-      bench::items_per_sec(1, opts.reps, [&] { (void)cn::price_reference(o, grid); });
+      bench::items_per_sec("gsor.base_rate", 1, opts.reps, [&] { (void)cn::price_reference(o, grid); });
   std::printf("  %-26s %14ld %14.6f %16.2f\n", "scalar, check every iter", every.total_iterations,
               every.price, base_rate);
 
   for (int block : {2, 4, 8, 16}) {
     const auto r = cn::price_reference_blocked(o, grid, block);
-    const double rate = bench::items_per_sec(
+    const double rate = bench::items_per_sec("gsor.rate", 
         1, opts.reps, [&] { (void)cn::price_reference_blocked(o, grid, block); });
     std::printf("  scalar, check every %-6d %14ld %14.6f %16.2f\n", block, r.total_iterations,
                 r.price, rate);
   }
 
   const auto wf = cn::price_wavefront_split(o, grid, cn::Width::kAvx2);
-  const double wf_rate = bench::items_per_sec(
+  const double wf_rate = bench::items_per_sec("gsor.wf_rate", 
       1, opts.reps, [&] { (void)cn::price_wavefront_split(o, grid, cn::Width::kAvx2); });
   std::printf("  %-26s %14ld %14.6f %16.2f\n", "wavefront split 4w", wf.total_iterations,
               wf.price, wf_rate);
 #if defined(FINBENCH_HAVE_AVX512)
   const auto wf8 = cn::price_wavefront_split(o, grid, cn::Width::kAvx512);
-  const double wf8_rate = bench::items_per_sec(
+  const double wf8_rate = bench::items_per_sec("gsor.wf8_rate", 
       1, opts.reps, [&] { (void)cn::price_wavefront_split(o, grid, cn::Width::kAvx512); });
   std::printf("  %-26s %14ld %14.6f %16.2f\n", "wavefront split 8w", wf8.total_iterations,
               wf8.price, wf8_rate);
@@ -61,10 +61,10 @@ int main(int argc, char** argv) {
   {
     core::OptionSpec o2 = o;
     o2.spot = 110.0;
-    const double pair_rate = bench::items_per_sec(2, opts.reps, [&] {
+    const double pair_rate = bench::items_per_sec("gsor.pair_rate", 2, opts.reps, [&] {
       (void)cn::price_wavefront_split_pair(o, o2, grid, cn::Width::kAvx2);
     });
-    const double single_rate = bench::items_per_sec(2, opts.reps, [&] {
+    const double single_rate = bench::items_per_sec("gsor.single_rate", 2, opts.reps, [&] {
       (void)cn::price_wavefront_split(o, grid, cn::Width::kAvx2);
       (void)cn::price_wavefront_split(o2, grid, cn::Width::kAvx2);
     });

@@ -17,7 +17,6 @@ using namespace finbench::kernels;
 
 int main(int argc, char** argv) {
   const auto opts = bench::Options::parse(argc, argv);
-  (void)opts;
   const core::OptionSpec o{100, 103, 1.0, 0.05, 0.25, core::OptionType::kPut,
                            core::ExerciseStyle::kEuropean};
   const double exact = core::black_scholes_price(o);
@@ -50,7 +49,19 @@ int main(int argc, char** argv) {
 
   const double crr_1024 = std::fabs(binomial::price_one_reference(o, 1024) - exact);
   const double lr_129 = std::fabs(lattice::price_leisen_reimer(o, 129) - exact);
-  std::printf("\n  [%s] LR at 129 steps beats CRR at 1024 steps\n",
-              lr_129 < crr_1024 ? "PASS" : "FAIL");
+  const bool lr_wins = lr_129 < crr_1024;
+  std::printf("\n  [%s] LR at 129 steps beats CRR at 1024 steps\n", lr_wins ? "PASS" : "FAIL");
+
+  harness::Report report("Ablation: lattice convergence, European put", "abs error");
+  report.add_note("host column = |price - analytic|");
+  harness::Row crr_row, lr_row;
+  crr_row.label = "CRR, 1024 steps";
+  crr_row.host_items_per_sec = crr_1024;
+  lr_row.label = "Leisen-Reimer, 129 steps";
+  lr_row.host_items_per_sec = lr_129;
+  report.add_row(crr_row);
+  report.add_row(lr_row);
+  report.add_check("LR at 129 steps beats CRR at 1024 steps", lr_wins);
+  bench::finish_quiet(report, opts);
   return 0;
 }

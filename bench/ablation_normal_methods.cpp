@@ -30,7 +30,7 @@ int main(int argc, char** argv) {
   for (const Entry e : {Entry{"ICDF (vectorized inverse cnd)", NormalMethod::kIcdf},
                         Entry{"Box-Muller (vectorized sincos)", NormalMethod::kBoxMuller},
                         Entry{"Ziggurat (scalar rejection)", NormalMethod::kZiggurat}}) {
-    const double rate = bench::items_per_sec(n, opts.reps, [&] {
+    const double rate = bench::items_per_sec("normal.rate", n, opts.reps, [&] {
       NormalStream s(1, 0, e.method);
       s.fill(buf);
     });
@@ -40,7 +40,7 @@ int main(int argc, char** argv) {
   }
 
   // Uniform baseline for reference (the transform-free cost floor).
-  const double uni = bench::items_per_sec(n, opts.reps, [&] {
+  const double uni = bench::items_per_sec("normal.uni", n, opts.reps, [&] {
     Philox4x32 g(1, 0);
     g.generate_u01(buf);
   });

@@ -20,13 +20,13 @@ int main(int argc, char** argv) {
   auto dp = core::make_bs_workload_soa(nopt, 1);
   auto sp = core::to_single(dp);
 
-  const double r4 = bench::items_per_sec(
+  const double r4 = bench::items_per_sec("precision.r4", 
       nopt, opts.reps, [&] { bs::price_intermediate(dp, bs::Width::kAvx2); });
-  const double r8 = bench::items_per_sec(
+  const double r8 = bench::items_per_sec("precision.r8", 
       nopt, opts.reps, [&] { bs::price_intermediate(dp, bs::Width::kAuto); });
-  const double r8f = bench::items_per_sec(
+  const double r8f = bench::items_per_sec("precision.r8f", 
       nopt, opts.reps, [&] { bs::price_intermediate_sp(sp, bs::WidthF::kAvx2); });
-  const double r16f = bench::items_per_sec(
+  const double r16f = bench::items_per_sec("precision.r16f", 
       nopt, opts.reps, [&] { bs::price_intermediate_sp(sp, bs::WidthF::kAuto); });
 
   // Accuracy of the SP result against the DP one. Tiny premiums make raw

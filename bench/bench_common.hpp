@@ -4,12 +4,16 @@
 //   --quick        smaller problem sizes (CI-friendly; default)
 //   --full         paper-scale problem sizes
 //   --reps N       repetitions per measurement (default 3, best-of)
+//   --threads N    OpenMP thread count (default: runtime's choice)
 //   --csv PATH     append rows to a CSV file
+//   --trace PATH   write a Chrome trace_event JSON of per-thread spans
+//   --json PATH    write the structured run report (finbench.run_report/v1)
 //
 // and prints a Report (see finbench/harness/report.hpp): measured host
 // throughput per optimization level and width, SNB-EP/KNC projections via
 // the measured-efficiency x Table-I roofline substitution, the paper's
 // numbers where the text states them, and PASS/FAIL shape checks.
+// See docs/observability.md for the telemetry outputs.
 
 #pragma once
 
@@ -19,39 +23,86 @@
 #include <cstring>
 #include <string>
 
+#include <omp.h>
+
 #include "finbench/arch/machine_model.hpp"
+#include "finbench/arch/parallel.hpp"
 #include "finbench/arch/timing.hpp"
 #include "finbench/harness/report.hpp"
+#include "finbench/obs/metrics.hpp"
+#include "finbench/obs/perf_counters.hpp"
+#include "finbench/obs/run_report.hpp"
+#include "finbench/obs/trace.hpp"
 
 namespace finbench::bench {
 
 struct Options {
   bool full = false;
   int reps = 3;
+  int threads = 0;  // 0 = leave the OpenMP default alone
   std::string csv;
+  std::string trace;
+  std::string json;
+  std::string binary;  // argv[0] basename, recorded in the run report
 
   static Options parse(int argc, char** argv) {
     Options o;
+    if (argc > 0) {
+      const char* slash = std::strrchr(argv[0], '/');
+      o.binary = slash ? slash + 1 : argv[0];
+    }
     for (int i = 1; i < argc; ++i) {
       if (!std::strcmp(argv[i], "--full")) o.full = true;
       else if (!std::strcmp(argv[i], "--quick")) o.full = false;
       else if (!std::strcmp(argv[i], "--reps") && i + 1 < argc) o.reps = std::atoi(argv[++i]);
+      else if (!std::strcmp(argv[i], "--threads") && i + 1 < argc)
+        o.threads = std::atoi(argv[++i]);
       else if (!std::strcmp(argv[i], "--csv") && i + 1 < argc) o.csv = argv[++i];
+      else if (!std::strcmp(argv[i], "--trace") && i + 1 < argc) o.trace = argv[++i];
+      else if (!std::strcmp(argv[i], "--json") && i + 1 < argc) o.json = argv[++i];
       else if (!std::strcmp(argv[i], "--help")) {
-        std::printf("usage: %s [--quick|--full] [--reps N] [--csv PATH]\n", argv[0]);
+        std::printf(
+            "usage: %s [--quick|--full] [--reps N] [--threads N] [--csv PATH]\n"
+            "          [--trace PATH] [--json PATH]\n",
+            argv[0]);
         std::exit(0);
       }
+    }
+    if (o.threads > 0) omp_set_num_threads(o.threads);
+    if (!o.trace.empty()) obs::trace::enable();
+    if (!o.trace.empty() || !o.json.empty()) {
+      obs::enable_parallel_timing();
+      // Open the counters before the OpenMP pool exists so inherited
+      // per-thread counts cover the workers (no-op where the syscall is
+      // forbidden — containers, hardened kernels).
+      obs::perf_init();
     }
     return o;
   }
 };
 
 // Measure items/second: best-of-reps wall time of fn() processing `items`.
+// `label` names the measurement in the trace (one span per repetition),
+// the perf-counter region table, and the run report's `measurements`
+// array; repetition mean/stddev ride along so finish() can flag noisy
+// runs.
+template <class F>
+double items_per_sec(const char* label, std::size_t items, int reps, F&& fn) {
+  fn();  // warm-up (page-in, code, caches)
+  const arch::RepStats st = [&] {
+    obs::PerfRegion perf(label);
+    return arch::measure(reps, [&] {
+      FINBENCH_SPAN(label);
+      fn();
+    });
+  }();
+  obs::record_measurement({label, items, st.reps, st.best, st.mean, st.stddev});
+  return static_cast<double>(items) / st.best;
+}
+
 template <class F>
 double items_per_sec(std::size_t items, int reps, F&& fn) {
-  fn();  // warm-up (page-in, code, caches)
-  const double secs = arch::best_of(reps, fn);
-  return static_cast<double>(items) / secs;
+  return items_per_sec("measure", items, reps, static_cast<F&&>(fn));
 }
 
 // The DESIGN.md §1 projection: scale the host-measured throughput of a
@@ -94,17 +145,61 @@ struct Projector {
     r.knc_projected = project(knc, knc_basis, flops, bytes, knc_width);
     r.paper_snb = paper_snb;
     r.paper_knc = paper_knc;
+    r.width = snb_width;
+    r.flops_per_item = flops;
+    r.bytes_per_item = bytes;
+    r.host_efficiency =
+        harness::Projector(host, host).efficiency(host_measured, flops, bytes, snb_width);
     return r;
   }
 };
 
-inline void finish(harness::Report& report, const Options& opts) {
-  const int failed = report.print();
+// Telemetry epilogue shared by finish()/finish_quiet(): effective thread
+// count into the report and JSON, noisy-measurement notes, then the
+// requested exports.
+inline void finish_exports(harness::Report& report, const Options& opts, bool print_table) {
+  const int threads = arch::num_threads();
+  report.add_note("threads = " + std::to_string(threads) +
+                  (opts.threads > 0 ? " (set via --threads)" : " (OpenMP default)"));
+  for (const auto& m : obs::measurement_snapshot()) {
+    if (m.noisy()) {
+      char buf[160];
+      std::snprintf(buf, sizeof buf,
+                    "noisy measurement '%s': stddev/mean = %.0f%% over %d reps "
+                    "(best-of still reported)",
+                    m.label.c_str(), 100.0 * m.rel_stddev(), m.reps);
+      report.add_note(buf);
+    }
+  }
+  const int failed = print_table ? report.print() : report.failed_checks();
   if (!opts.csv.empty()) report.write_csv(opts.csv);
+  if (!opts.json.empty()) {
+    obs::RunContext ctx;
+    ctx.binary = opts.binary;
+    ctx.full = opts.full;
+    ctx.reps = opts.reps;
+    ctx.threads = threads;
+    if (!obs::write_run_report(opts.json, report, ctx)) {
+      std::fprintf(stderr, "warning: could not write run report to %s\n", opts.json.c_str());
+    }
+  }
+  if (!opts.trace.empty() && !obs::trace::write_chrome_trace(opts.trace)) {
+    std::fprintf(stderr, "warning: could not write trace to %s\n", opts.trace.c_str());
+  }
   // Shape-check failures are reported but do not fail the binary: on a
   // 1-core container the absolute numbers are far from a 2012 dual-socket
   // server, and the checks are advisory diagnostics.
   (void)failed;
+}
+
+inline void finish(harness::Report& report, const Options& opts) {
+  finish_exports(report, opts, /*print_table=*/true);
+}
+
+// For binaries with bespoke stdout (tab1_sysconfig, ninja_gap_summary):
+// all the exports, none of the table printing.
+inline void finish_quiet(harness::Report& report, const Options& opts) {
+  finish_exports(report, opts, /*print_table=*/false);
 }
 
 }  // namespace finbench::bench

@@ -30,15 +30,15 @@ int main(int argc, char** argv) {
   const double flops = bs::kFlopsPerOption, bytes = bs::kBytesPerOption;
 
   const double ref =
-      bench::items_per_sec(nopt, opts.reps, [&] { bs::price_reference(aos); });
-  const double basic = bench::items_per_sec(nopt, opts.reps, [&] { bs::price_basic(aos); });
-  const double inter4 = bench::items_per_sec(
+      bench::items_per_sec("bs.ref", nopt, opts.reps, [&] { bs::price_reference(aos); });
+  const double basic = bench::items_per_sec("bs.basic", nopt, opts.reps, [&] { bs::price_basic(aos); });
+  const double inter4 = bench::items_per_sec("bs.inter4", 
       nopt, opts.reps, [&] { bs::price_intermediate(soa, bs::Width::kAvx2); });
-  const double inter8 = bench::items_per_sec(
+  const double inter8 = bench::items_per_sec("bs.inter8", 
       nopt, opts.reps, [&] { bs::price_intermediate(soa, bs::Width::kAuto); });
-  const double vml4 = bench::items_per_sec(
+  const double vml4 = bench::items_per_sec("bs.vml4", 
       nopt, opts.reps, [&] { bs::price_advanced_vml(soa, bs::Width::kAvx2); });
-  const double vml8 = bench::items_per_sec(
+  const double vml8 = bench::items_per_sec("bs.vml8", 
       nopt, opts.reps, [&] { bs::price_advanced_vml(soa, bs::Width::kAuto); });
 
   report.add_row(proj.make_row("Reference (scalar, AOS)", ref, flops, bytes, 1, 1));
@@ -52,7 +52,7 @@ int main(int argc, char** argv) {
 
   // Single-precision extension: double the lanes (Table I's SP peak rows).
   auto sp = core::to_single(soa);
-  const double sp16 = bench::items_per_sec(
+  const double sp16 = bench::items_per_sec("bs.sp16", 
       nopt, opts.reps, [&] { bs::price_intermediate_sp(sp, bs::WidthF::kAuto); });
   {
     harness::Row row;

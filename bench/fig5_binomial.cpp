@@ -31,23 +31,23 @@ int main(int argc, char** argv) {
     report.add_note("nopt = " + std::to_string(nopt) + "; 3N(N+1)/2 flops per option");
     const double flops = binomial::flops_per_option(steps);
 
-    const double ref = bench::items_per_sec(
+    const double ref = bench::items_per_sec("binomial.ref", 
         nopt, opts.reps, [&] { binomial::price_reference(workload, steps, out); });
-    const double basic = bench::items_per_sec(
+    const double basic = bench::items_per_sec("binomial.basic", 
         nopt, opts.reps, [&] { binomial::price_basic(workload, steps, out); });
-    const double inter4 = bench::items_per_sec(nopt, opts.reps, [&] {
+    const double inter4 = bench::items_per_sec("binomial.inter4", nopt, opts.reps, [&] {
       binomial::price_intermediate(workload, steps, out, binomial::Width::kAvx2);
     });
-    const double inter8 = bench::items_per_sec(nopt, opts.reps, [&] {
+    const double inter8 = bench::items_per_sec("binomial.inter8", nopt, opts.reps, [&] {
       binomial::price_intermediate(workload, steps, out, binomial::Width::kAuto);
     });
-    const double adv4 = bench::items_per_sec(nopt, opts.reps, [&] {
+    const double adv4 = bench::items_per_sec("binomial.adv4", nopt, opts.reps, [&] {
       binomial::price_advanced(workload, steps, out, binomial::Width::kAvx2);
     });
-    const double adv8 = bench::items_per_sec(nopt, opts.reps, [&] {
+    const double adv8 = bench::items_per_sec("binomial.adv8", nopt, opts.reps, [&] {
       binomial::price_advanced(workload, steps, out, binomial::Width::kAuto);
     });
-    const double unroll8 = bench::items_per_sec(nopt, opts.reps, [&] {
+    const double unroll8 = bench::items_per_sec("binomial.unroll8", nopt, opts.reps, [&] {
       binomial::price_advanced_unrolled(workload, steps, out, binomial::Width::kAuto);
     });
 

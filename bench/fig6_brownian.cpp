@@ -61,16 +61,16 @@ int main(int argc, char** argv) {
   for (std::size_t i = 0; i < z_chunk.size(); ++i) z_chunk[i] = z8[i];
   arch::AlignedVector<double> out_chunk(chunk * np);
 
-  const double basic = bench::items_per_sec(
+  const double basic = bench::items_per_sec("brownian.basic", 
       nsim, opts.reps, [&] { brownian::construct_basic(sched, z, nsim, paths); });
-  const double inter4 = bench::items_per_sec(nsim, opts.reps, [&] {
+  const double inter4 = bench::items_per_sec("brownian.inter4", nsim, opts.reps, [&] {
     brownian::construct_intermediate(sched, z4, nsim, paths, brownian::Width::kAvx2);
   });
-  const double inter8 = bench::items_per_sec(nsim, opts.reps, [&] {
+  const double inter8 = bench::items_per_sec("brownian.inter8", nsim, opts.reps, [&] {
     brownian::construct_intermediate(sched, z8, nsim, paths, brownian::Width::kAuto);
   });
   // Interleaved-RNG effect: normals always hit in cache; paths to DRAM.
-  const double cached_z = bench::items_per_sec(nsim, opts.reps, [&] {
+  const double cached_z = bench::items_per_sec("brownian.cached_z", nsim, opts.reps, [&] {
     for (std::size_t base = 0; base + chunk <= nsim; base += chunk) {
       brownian::construct_intermediate(sched, z_chunk, chunk,
                                        {paths.data() + base * np, chunk * np});
@@ -79,7 +79,7 @@ int main(int argc, char** argv) {
   // Cache-to-cache: normals and paths both stay in cache; only the reduced
   // per-path average leaves.
   arch::AlignedVector<double> acc(chunk);
-  const double fused = bench::items_per_sec(nsim, opts.reps, [&] {
+  const double fused = bench::items_per_sec("brownian.fused", nsim, opts.reps, [&] {
     for (std::size_t base = 0; base + chunk <= nsim; base += chunk) {
       brownian::construct_intermediate(sched, z_chunk, chunk, out_chunk);
       for (std::size_t s = 0; s < chunk; ++s) acc[s] = 0.0;
@@ -93,10 +93,10 @@ int main(int argc, char** argv) {
     }
   });
   // End-to-end variants with RNG included (supplementary).
-  const double e2e_interleaved = bench::items_per_sec(nsim, opts.reps, [&] {
+  const double e2e_interleaved = bench::items_per_sec("brownian.e2e_interleaved", nsim, opts.reps, [&] {
     brownian::construct_advanced_interleaved(sched, 1, nsim, paths);
   });
-  const double e2e_fused = bench::items_per_sec(nsim, opts.reps, [&] {
+  const double e2e_fused = bench::items_per_sec("brownian.e2e_fused", nsim, opts.reps, [&] {
     brownian::construct_advanced_fused(sched, 1, nsim, avg);
   });
 

@@ -46,25 +46,25 @@ int main(int argc, char** argv) {
 
   const double scale = opts.full ? 1.0 : 1000.0 / 250.0;  // step-count normalization
 
-  const double ref = bench::items_per_sec(nopt, opts.reps, [&] {
+  const double ref = bench::items_per_sec("cn.ref", nopt, opts.reps, [&] {
     cn::price_batch(workload, grid, cn::Variant::kReference, out);
   });
-  const double wf4 = bench::items_per_sec(nopt, opts.reps, [&] {
+  const double wf4 = bench::items_per_sec("cn.wf4", nopt, opts.reps, [&] {
     cn::price_batch(workload, grid, cn::Variant::kWavefront, out, cn::Width::kAvx2);
   });
-  const double wf8 = bench::items_per_sec(nopt, opts.reps, [&] {
+  const double wf8 = bench::items_per_sec("cn.wf8", nopt, opts.reps, [&] {
     cn::price_batch(workload, grid, cn::Variant::kWavefront, out, cn::Width::kAuto);
   });
-  const double split4 = bench::items_per_sec(nopt, opts.reps, [&] {
+  const double split4 = bench::items_per_sec("cn.split4", nopt, opts.reps, [&] {
     cn::price_batch(workload, grid, cn::Variant::kWavefrontSplit, out, cn::Width::kAvx2);
   });
-  const double split8 = bench::items_per_sec(nopt, opts.reps, [&] {
+  const double split8 = bench::items_per_sec("cn.split8", nopt, opts.reps, [&] {
     cn::price_batch(workload, grid, cn::Variant::kWavefrontSplit, out, cn::Width::kAuto);
   });
-  const double paired4 = bench::items_per_sec(nopt, opts.reps, [&] {
+  const double paired4 = bench::items_per_sec("cn.paired4", nopt, opts.reps, [&] {
     cn::price_batch(workload, grid, cn::Variant::kWavefrontSplitPaired, out, cn::Width::kAvx2);
   });
-  const double paired8 = bench::items_per_sec(nopt, opts.reps, [&] {
+  const double paired8 = bench::items_per_sec("cn.paired8", nopt, opts.reps, [&] {
     cn::price_batch(workload, grid, cn::Variant::kWavefrontSplitPaired, out, cn::Width::kAuto);
   });
 

@@ -4,6 +4,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "micro_common.hpp"
+
 #include "finbench/core/analytic.hpp"
 #include "finbench/core/workload.hpp"
 #include "finbench/kernels/binomial.hpp"
@@ -103,4 +105,4 @@ BENCHMARK(BM_HestonAnalytic);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+FINBENCH_MICRO_MAIN()

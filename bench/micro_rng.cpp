@@ -4,6 +4,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "micro_common.hpp"
+
 #include "finbench/arch/aligned.hpp"
 #include "finbench/rng/mt19937.hpp"
 #include "finbench/rng/normal.hpp"
@@ -77,4 +79,4 @@ BENCHMARK(BM_Normal)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+FINBENCH_MICRO_MAIN()

@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "micro_common.hpp"
+
 #include "finbench/arch/aligned.hpp"
 #include "finbench/simd/vec.hpp"
 
@@ -88,4 +90,4 @@ BENCHMARK(BM_LoadGatherStride5<8>);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+FINBENCH_MICRO_MAIN()

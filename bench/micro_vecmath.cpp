@@ -3,6 +3,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "micro_common.hpp"
+
 #include <cmath>
 #include <random>
 
@@ -150,4 +152,4 @@ BENCHMARK(BM_CndF)->Arg(1)->Arg(8)->Arg(16);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+FINBENCH_MICRO_MAIN()

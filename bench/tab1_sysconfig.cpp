@@ -21,7 +21,6 @@ void print_machine(const arch::MachineModel& m) {
 
 int main(int argc, char** argv) {
   const auto opts = bench::Options::parse(argc, argv);
-  (void)opts;
 
   std::printf("================================================================================\n");
   std::printf("Table I: system configuration (sockets x cores x SMT)\n");
@@ -40,5 +39,20 @@ int main(int argc, char** argv) {
   const double bw_ratio = arch::knc().bw_gbs / arch::snb_ep().bw_gbs;
   std::printf("\n  KNC/SNB-EP peak DP compute ratio: %.2fx (paper: ~3.2x)\n", peak_ratio);
   std::printf("  KNC/SNB-EP STREAM bandwidth ratio: %.2fx (paper: ~2x)\n", bw_ratio);
+
+  // Telemetry exports: the run report's `host` object carries the detected
+  // topology; the modeled machines ride along as notes.
+  harness::Report report("Table I: system configuration", "n/a");
+  for (const auto& m : {arch::snb_ep(), arch::knc(), arch::host()}) {
+    char buf[160];
+    std::snprintf(buf, sizeof buf, "%s: %dx%dx%d, %.2f GHz, %.1f DP GF/s, %.1f GB/s",
+                  m.name.c_str(), m.sockets, m.cores, m.smt, m.ghz, m.dp_gflops, m.bw_gbs);
+    report.add_note(buf);
+  }
+  report.add_check("KNC/SNB peak ratio matches Table I (~3.2x)",
+                   harness::ratio_within(peak_ratio, 3.2, 0.8, 1.25));
+  report.add_check("KNC/SNB bandwidth ratio matches Table I (~2x)",
+                   harness::ratio_within(bw_ratio, 2.0, 0.8, 1.25));
+  bench::finish_quiet(report, opts);
   return 0;
 }

@@ -41,21 +41,21 @@ int main(int argc, char** argv) {
   const double flops_path = mc::kFlopsPerPath;
   const double scale = opts.full ? 1.0 : (256.0 / 64.0);  // path-count normalization
 
-  const double opt_stream = bench::items_per_sec(nopt, opts.reps, [&] {
+  const double opt_stream = bench::items_per_sec("mc.opt_stream", nopt, opts.reps, [&] {
     mc::price_optimized_stream(workload, z, npath, res);
   });
-  const double opt_comp = bench::items_per_sec(nopt, opts.reps, [&] {
+  const double opt_comp = bench::items_per_sec("mc.opt_comp", nopt, opts.reps, [&] {
     mc::price_optimized_computed(workload, npath, 7, res);
   });
 
   // RNG rates: numbers per second.
   const std::size_t nrng = opts.full ? (1u << 24) : (1u << 22);
   arch::AlignedVector<double> buf(nrng);
-  const double normal_rate = bench::items_per_sec(nrng, opts.reps, [&] {
+  const double normal_rate = bench::items_per_sec("mc.normal_rate", nrng, opts.reps, [&] {
     rng::NormalStream s(3);
     s.fill(buf);
   });
-  const double uniform_rate = bench::items_per_sec(nrng, opts.reps, [&] {
+  const double uniform_rate = bench::items_per_sec("mc.uniform_rate", nrng, opts.reps, [&] {
     rng::Philox4x32 g(3, 0);
     g.generate_u01(buf);
   });

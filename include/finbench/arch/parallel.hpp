@@ -3,12 +3,23 @@
 // Thin OpenMP wrappers. The paper's thread-level parallelism is always
 // "#pragma omp parallel for over options / paths"; these helpers keep that
 // idiom in one place and make the thread count queryable and overridable.
+//
+// When obs::parallel_timing_enabled() (bench binaries: --trace/--json),
+// each worker's wall time inside the loop is measured with the implicit
+// end-of-loop barrier excluded (`nowait`), so per-thread load imbalance is
+// visible in the metrics registry ("parallel.<site>.imbalance") and each
+// worker contributes a span to the trace. The untimed fast path is the
+// original pragma, guarded by one relaxed atomic load per call.
 
 #pragma once
 
 #include <cstddef>
 
 #include <omp.h>
+
+#include "finbench/arch/timing.hpp"
+#include "finbench/obs/metrics.hpp"
+#include "finbench/obs/trace.hpp"
 
 namespace finbench::arch {
 
@@ -25,8 +36,26 @@ inline int num_threads() {
 // Static-schedule parallel loop over [0, n).
 template <class F>
 void parallel_for(std::ptrdiff_t n, F&& fn) {
+  if (!obs::parallel_timing_enabled()) {
 #pragma omp parallel for schedule(static)
-  for (std::ptrdiff_t i = 0; i < n; ++i) fn(i);
+    for (std::ptrdiff_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  double tmin = 1e300, tmax = 0.0, tsum = 0.0;
+  int nthreads = 0;
+#pragma omp parallel reduction(min : tmin) reduction(max : tmax) reduction(+ : tsum, nthreads)
+  {
+    FINBENCH_SPAN("parallel_for");
+    WallTimer t;
+#pragma omp for schedule(static) nowait
+    for (std::ptrdiff_t i = 0; i < n; ++i) fn(i);
+    const double s = t.seconds();
+    tmin = s;
+    tmax = s;
+    tsum = s;
+    nthreads = 1;
+  }
+  obs::record_parallel_region("for", nthreads, tmin, tmax, tsum);
 }
 
 // Parallel loop in fixed-size blocks: fn(begin, end) per block. Used when
@@ -34,12 +63,31 @@ void parallel_for(std::ptrdiff_t n, F&& fn) {
 template <class F>
 void parallel_for_blocked(std::ptrdiff_t n, std::ptrdiff_t block, F&& fn) {
   const std::ptrdiff_t nblocks = (n + block - 1) / block;
-#pragma omp parallel for schedule(static)
-  for (std::ptrdiff_t b = 0; b < nblocks; ++b) {
+  auto body = [&](std::ptrdiff_t b) {
     const std::ptrdiff_t begin = b * block;
     const std::ptrdiff_t end = begin + block < n ? begin + block : n;
     fn(begin, end);
+  };
+  if (!obs::parallel_timing_enabled()) {
+#pragma omp parallel for schedule(static)
+    for (std::ptrdiff_t b = 0; b < nblocks; ++b) body(b);
+    return;
   }
+  double tmin = 1e300, tmax = 0.0, tsum = 0.0;
+  int nthreads = 0;
+#pragma omp parallel reduction(min : tmin) reduction(max : tmax) reduction(+ : tsum, nthreads)
+  {
+    FINBENCH_SPAN("parallel_for_blocked");
+    WallTimer t;
+#pragma omp for schedule(static) nowait
+    for (std::ptrdiff_t b = 0; b < nblocks; ++b) body(b);
+    const double s = t.seconds();
+    tmin = s;
+    tmax = s;
+    tsum = s;
+    nthreads = 1;
+  }
+  obs::record_parallel_region("for_blocked", nthreads, tmin, tmax, tsum);
 }
 
 }  // namespace finbench::arch

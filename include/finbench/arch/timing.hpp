@@ -7,6 +7,7 @@
 #pragma once
 
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <utility>
 
@@ -25,17 +26,46 @@ class WallTimer {
   clock::time_point start_;
 };
 
-// Run `fn` `reps` times; return the minimum wall-clock seconds per run.
+// Per-run wall-clock statistics over R repetitions. The headline number
+// stays best-of (the paper's convention — least-disturbed run), but mean
+// and stddev travel alongside so the harness can flag noisy measurements
+// (rel_stddev() > 10%) instead of silently reporting an unstable best.
+struct RepStats {
+  double best = 0.0;    // minimum seconds per run
+  double mean = 0.0;
+  double stddev = 0.0;  // sample stddev (n-1); 0 when reps < 2
+  int reps = 0;
+
+  double rel_stddev() const { return mean > 0.0 ? stddev / mean : 0.0; }
+};
+
+// Run `fn` `reps` times; return best/mean/stddev wall-clock seconds.
 template <class F>
-double best_of(int reps, F&& fn) {
-  double best = 1e300;
-  for (int r = 0; r < reps; ++r) {
+RepStats measure(int reps, F&& fn) {
+  RepStats st;
+  st.reps = reps < 1 ? 1 : reps;
+  double sum = 0.0, sumsq = 0.0, best = 1e300;
+  for (int r = 0; r < st.reps; ++r) {
     WallTimer t;
     fn();
     const double s = t.seconds();
     if (s < best) best = s;
+    sum += s;
+    sumsq += s * s;
   }
-  return best;
+  st.best = best;
+  st.mean = sum / st.reps;
+  if (st.reps > 1) {
+    const double var = (sumsq - sum * sum / st.reps) / (st.reps - 1);
+    st.stddev = var > 0.0 ? std::sqrt(var) : 0.0;
+  }
+  return st;
+}
+
+// Run `fn` `reps` times; return the minimum wall-clock seconds per run.
+template <class F>
+double best_of(int reps, F&& fn) {
+  return measure(reps, static_cast<F&&>(fn)).best;
 }
 
 // Defeat dead-code elimination of a computed value.

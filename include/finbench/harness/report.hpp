@@ -26,6 +26,12 @@ struct Row {
   double knc_projected = 0.0;
   std::optional<double> paper_snb;    // paper-reported values
   std::optional<double> paper_knc;
+  // Cost-model metadata (0 = unknown): filled by bench::Projector::make_row
+  // and carried into the JSON run report (finbench/obs/run_report.hpp).
+  int width = 0;                      // SIMD lanes the measured path used
+  double flops_per_item = 0.0;
+  double bytes_per_item = 0.0;
+  double host_efficiency = 0.0;       // measured / width-adjusted host roofline
 };
 
 class Report {
@@ -33,6 +39,12 @@ class Report {
   Report(std::string exhibit, std::string units) : exhibit_(std::move(exhibit)), units_(std::move(units)) {}
 
   void add_row(Row row) { rows_.push_back(std::move(row)); }
+
+  struct Check {
+    std::string name;
+    bool passed;
+    std::string detail;
+  };
 
   // Shape checks: named boolean assertions about the result structure
   // ("advanced beats basic", "KNC/SNB ratio within 2x of paper's", ...).
@@ -49,12 +61,14 @@ class Report {
 
   int failed_checks() const;
 
+  // Read accessors for exporters (CSV, the obs JSON run report).
+  const std::string& exhibit() const { return exhibit_; }
+  const std::string& units() const { return units_; }
+  const std::vector<Row>& rows() const { return rows_; }
+  const std::vector<std::string>& notes() const { return notes_; }
+  const std::vector<Check>& checks() const { return checks_; }
+
  private:
-  struct Check {
-    std::string name;
-    bool passed;
-    std::string detail;
-  };
   std::string exhibit_;
   std::string units_;
   std::vector<std::string> notes_;

@@ -1,0 +1,106 @@
+// finbench/obs/json.hpp
+//
+// Minimal JSON support for the observability layer: a streaming writer
+// (escaping, comma management, stable number formatting) used by the trace
+// exporter and the run report, plus a small recursive-descent parser used
+// to validate emitted documents in tests and tools. Neither aims to be a
+// general-purpose JSON library; they exist so the repo has zero external
+// dependencies for telemetry.
+
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace finbench::obs::json {
+
+// Streaming writer. Usage:
+//
+//   Writer w(out);
+//   w.begin_object();
+//   w.kv("schema", "finbench.run_report/v1");
+//   w.key("rows"); w.begin_array(); ... w.end_array();
+//   w.end_object();
+//
+// Non-finite doubles are emitted as null (JSON has no NaN/Inf).
+class Writer {
+ public:
+  explicit Writer(std::ostream& out) : out_(out) {}
+
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  void key(std::string_view k);
+
+  void value(std::string_view v);
+  void value(const char* v) { value(std::string_view(v)); }
+  void value(double v);
+  void value(std::uint64_t v);
+  void value(std::int64_t v);
+  void value(int v) { value(static_cast<std::int64_t>(v)); }
+  void value(bool v);
+  void null();
+
+  template <class T>
+  void kv(std::string_view k, T&& v) {
+    key(k);
+    value(std::forward<T>(v));
+  }
+  void kv_null(std::string_view k) {
+    key(k);
+    null();
+  }
+
+ private:
+  void separator();
+
+  std::ostream& out_;
+  // One entry per open container: true once the first element was written.
+  std::vector<bool> has_elem_;
+  bool pending_key_ = false;
+};
+
+// Escape `s` into a JSON string literal (no surrounding quotes).
+std::string escape(std::string_view s);
+
+// ---------------------------------------------------------------------------
+// Parser (validation-grade: full JSON grammar, values held in a tree).
+// ---------------------------------------------------------------------------
+
+struct Value {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<Value> array;
+  std::vector<std::pair<std::string, Value>> object;
+
+  bool is_null() const { return type == Type::kNull; }
+  bool is_object() const { return type == Type::kObject; }
+  bool is_array() const { return type == Type::kArray; }
+  bool is_number() const { return type == Type::kNumber; }
+  bool is_string() const { return type == Type::kString; }
+  bool is_bool() const { return type == Type::kBool; }
+
+  // Object member lookup; nullptr when absent or not an object.
+  const Value* find(std::string_view key) const;
+  // find() that throws std::runtime_error naming the missing key.
+  const Value& at(std::string_view key) const;
+};
+
+// Parse a complete JSON document. Throws std::runtime_error with a byte
+// offset on malformed input or trailing garbage.
+Value parse(std::string_view text);
+
+// Convenience: read a whole file and parse it.
+Value parse_file(const std::string& path);
+
+}  // namespace finbench::obs::json

@@ -1,0 +1,11 @@
+// finbench/obs/obs.hpp — umbrella header for the observability layer:
+// scoped-span tracing, the metrics registry, hardware perf counters, and
+// the structured JSON run report. See docs/observability.md.
+
+#pragma once
+
+#include "finbench/obs/json.hpp"
+#include "finbench/obs/metrics.hpp"
+#include "finbench/obs/perf_counters.hpp"
+#include "finbench/obs/run_report.hpp"
+#include "finbench/obs/trace.hpp"

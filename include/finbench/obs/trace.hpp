@@ -1,0 +1,94 @@
+// finbench/obs/trace.hpp
+//
+// Scoped-span tracing with per-thread ring buffers and Chrome trace_event
+// export. Designed so an *instrumented but disabled* hot loop pays one
+// relaxed atomic load and a predictable branch per span site:
+//
+//   void solve_step() {
+//     FINBENCH_SPAN("cn.psor");      // ~free when tracing is off
+//     ...
+//   }
+//
+// When enabled (bench binaries: --trace PATH), each thread records
+// fixed-size span records into its own ring buffer — no locks, no
+// allocation on the hot path after the first span per thread — and
+// trace::write_chrome_trace() renders everything as Chrome's
+// `trace_event` JSON (load in chrome://tracing or https://ui.perfetto.dev).
+//
+// Span names are truncated to kMaxNameLen-1 bytes and copied into the
+// record, so dynamically-built labels are safe.
+
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <string>
+
+namespace finbench::obs::trace {
+
+inline constexpr std::size_t kMaxNameLen = 48;
+
+struct SpanRecord {
+  char name[kMaxNameLen];
+  double start_us;  // microseconds since process trace epoch
+  double end_us;
+};
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+// Record a finished span on the calling thread's ring buffer.
+void record(const char* name, double start_us, double end_us);
+}  // namespace detail
+
+// Microseconds since the trace epoch (steady clock; epoch is fixed at the
+// first use of the tracer in the process).
+double now_us();
+
+// Globally enable/disable span recording. Cheap to toggle; spans opened
+// while disabled are dropped even if tracing is re-enabled before they
+// close.
+void enable(bool on = true);
+inline bool enabled() { return detail::g_enabled.load(std::memory_order_relaxed); }
+
+// Per-thread ring capacity in spans (default 1 << 14). Takes effect for
+// buffers created after the call; call before enabling tracing.
+void set_ring_capacity(std::size_t spans);
+
+// Total spans recorded / overwritten-by-wraparound across all threads.
+std::size_t recorded_spans();
+std::size_t dropped_spans();
+
+// Drop all recorded spans (buffers stay registered to their threads).
+void clear();
+
+// Write everything recorded so far as Chrome trace_event JSON. Returns
+// false (and leaves no partial file behind a best-effort unlink) when the
+// file cannot be opened.
+bool write_chrome_trace(const std::string& path, const std::string& process_name = "finbench");
+
+// RAII span. Prefer the FINBENCH_SPAN macro.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name) {
+    if (!enabled()) return;
+    name_ = name;
+    start_us_ = now_us();
+  }
+  ~ScopedSpan() {
+    if (name_) detail::record(name_, start_us_, now_us());
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  double start_us_ = 0.0;
+};
+
+}  // namespace finbench::obs::trace
+
+#define FINBENCH_SPAN_CONCAT2(a, b) a##b
+#define FINBENCH_SPAN_CONCAT(a, b) FINBENCH_SPAN_CONCAT2(a, b)
+// Opens a span covering the rest of the enclosing scope.
+#define FINBENCH_SPAN(name) \
+  ::finbench::obs::trace::ScopedSpan FINBENCH_SPAN_CONCAT(finbench_span_, __LINE__)(name)

@@ -5,6 +5,8 @@
 #include <stdexcept>
 
 #include "finbench/arch/aligned.hpp"
+#include "finbench/obs/metrics.hpp"
+#include "finbench/obs/trace.hpp"
 #include "finbench/simd/vec.hpp"
 
 namespace finbench::kernels::binomial {
@@ -76,6 +78,8 @@ double price_one_reference(const core::OptionSpec& opt, int steps) {
 }
 
 void price_reference(std::span<const core::OptionSpec> opts, int steps, std::span<double> out) {
+  static obs::Counter& priced = obs::counter("binomial.options_priced");
+  priced.add(opts.size());
   assert(out.size() >= opts.size());
   for (std::size_t o = 0; o < opts.size(); ++o) out[o] = price_one_reference(opts[o], steps);
 }
@@ -83,10 +87,13 @@ void price_reference(std::span<const core::OptionSpec> opts, int steps, std::spa
 // --- Basic: pragmas only ----------------------------------------------------
 
 void price_basic(std::span<const core::OptionSpec> opts, int steps, std::span<double> out) {
+  static obs::Counter& priced = obs::counter("binomial.options_priced");
+  priced.add(opts.size());
   assert(out.size() >= opts.size());
   const std::ptrdiff_t n = static_cast<std::ptrdiff_t>(opts.size());
 #pragma omp parallel
   {
+    FINBENCH_SPAN("binomial.thread");
     arch::AlignedVector<double> call(steps + 1);
 #pragma omp for schedule(static)
     for (std::ptrdiff_t o = 0; o < n; ++o) {

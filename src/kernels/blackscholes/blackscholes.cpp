@@ -7,6 +7,8 @@
 
 #include "finbench/arch/aligned.hpp"
 #include "finbench/core/analytic.hpp"
+#include "finbench/obs/metrics.hpp"
+#include "finbench/obs/trace.hpp"
 #include "finbench/vecmath/vecmath.hpp"
 #include "finbench/vecmath/vecmathf.hpp"
 
@@ -21,6 +23,8 @@ inline double cnd_scalar(double x) { return 0.5 * std::erfc(-x * 0.7071067811865
 // --- Reference: Lis. 1, scalar, AOS --------------------------------------
 
 void price_reference(core::BsBatchAos& batch) {
+  static obs::Counter& priced = obs::counter("bs.options_priced");
+  priced.add(batch.size());
   if (batch.dividend != 0.0) {
     throw std::invalid_argument(
         "this variant reproduces the paper's dividend-free kernel; "
@@ -45,6 +49,8 @@ void price_reference(core::BsBatchAos& batch) {
 // --- Basic: compiler pragmas on the AOS loop ------------------------------
 
 void price_basic(core::BsBatchAos& batch) {
+  static obs::Counter& priced = obs::counter("bs.options_priced");
+  priced.add(batch.size());
   if (batch.dividend != 0.0) {
     throw std::invalid_argument(
         "this variant reproduces the paper's dividend-free kernel; "
@@ -135,6 +141,8 @@ void price_soa_dispatch_q(core::BsBatchSoa& batch) {
 }  // namespace
 
 void price_intermediate(core::BsBatchSoa& batch, Width w) {
+  static obs::Counter& priced = obs::counter("bs.options_priced");
+  priced.add(batch.size());
   switch (w) {
     case Width::kScalar: price_soa_dispatch_q<1>(batch); return;
     case Width::kAvx2: price_soa_dispatch_q<4>(batch); return;

@@ -6,6 +6,8 @@
 #include <stdexcept>
 
 #include "finbench/arch/aligned.hpp"
+#include "finbench/obs/metrics.hpp"
+#include "finbench/obs/trace.hpp"
 #include "finbench/simd/vec.hpp"
 #include "finbench/vecmath/array_math.hpp"
 #include "finbench/vecmath/vecmath.hpp"
@@ -160,10 +162,17 @@ SolveResult run_time_loop(const Transform& t, const GridSpec& grid, StepSolver&&
   long prev_loops = std::numeric_limits<long>::max();
   for (int n = 1; n <= t.n; ++n) {
     const double tau = n * t.dtau;
-    explicit_half(t, u.data(), b.data());
-    filler.fill(t, tau, g.data());
-    u[0] = g[0];
-    u[t.m - 1] = g[t.m - 1];
+    {
+      FINBENCH_SPAN("cn.explicit_half");
+      explicit_half(t, u.data(), b.data());
+    }
+    {
+      FINBENCH_SPAN("cn.obstacle_boundary");
+      filler.fill(t, tau, g.data());
+      u[0] = g[0];
+      u[t.m - 1] = g[t.m - 1];
+    }
+    FINBENCH_SPAN("cn.solve");
     const long loops = solve_step(u.data(), b.data(), g.data(), omega);
     result.total_iterations += loops;
     // Relaxation adaptation in the spirit of Lis. 6: when the iteration
@@ -594,8 +603,11 @@ SolveResult price_wavefront_split_width(const core::OptionSpec& opt, const GridS
   long prev_loops = std::numeric_limits<long>::max();
 
   for (int n = 1; n <= t.n; ++n) {
-    prepare_split_step(sa, t, filler, gbuf, n);
-
+    {
+      FINBENCH_SPAN("cn.prepare_step");
+      prepare_split_step(sa, t, filler, gbuf, n);
+    }
+    FINBENCH_SPAN("cn.wavefront_solve");
     long loops = 0;
     double err;
     do {
@@ -841,10 +853,13 @@ void price_batch(std::span<const core::OptionSpec> opts, const GridSpec& grid, V
                  std::span<double> out, Width w) {
   assert(out.size() >= opts.size());
   const std::ptrdiff_t n = static_cast<std::ptrdiff_t>(opts.size());
+  static obs::Counter& priced = obs::counter("cn.options_priced");
+  priced.add(static_cast<std::uint64_t>(n));
   if (v == Variant::kWavefrontSplitPaired) {
     const std::ptrdiff_t pairs = n / 2;
 #pragma omp parallel for schedule(dynamic, 1)
     for (std::ptrdiff_t i = 0; i < pairs; ++i) {
+      FINBENCH_SPAN("cn.option_pair");
       const auto [ra, rb] =
           price_wavefront_split_pair(opts[2 * i], opts[2 * i + 1], grid, w);
       out[2 * i] = ra.price;
@@ -855,6 +870,7 @@ void price_batch(std::span<const core::OptionSpec> opts, const GridSpec& grid, V
   }
 #pragma omp parallel for schedule(dynamic, 1)
   for (std::ptrdiff_t i = 0; i < n; ++i) {
+    FINBENCH_SPAN("cn.option");
     switch (v) {
       case Variant::kReference: out[i] = price_reference(opts[i], grid).price; break;
       case Variant::kWavefront: out[i] = price_wavefront(opts[i], grid, w).price; break;

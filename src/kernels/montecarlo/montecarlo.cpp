@@ -4,11 +4,24 @@
 #include <cmath>
 
 #include "finbench/arch/aligned.hpp"
+#include "finbench/obs/metrics.hpp"
+#include "finbench/obs/trace.hpp"
 #include "finbench/rng/normal.hpp"
 #include "finbench/simd/vec.hpp"
 #include "finbench/vecmath/vecmath.hpp"
 
 namespace finbench::kernels::mc {
+
+namespace detail {
+
+// Domain telemetry: total simulated paths across every MC entry point
+// (options x paths per call). One relaxed atomic add per batch.
+inline void count_paths(std::size_t paths) {
+  static obs::Counter& c = obs::counter("mc.paths");
+  c.add(paths);
+}
+
+}  // namespace detail
 
 namespace {
 
@@ -43,6 +56,7 @@ McResult finalize(const PathParams& p, double v0, double v1, std::size_t npath) 
 void price_reference_stream(std::span<const core::OptionSpec> opts, std::span<const double> z,
                             std::size_t npath, std::span<McResult> out) {
   assert(z.size() >= npath && out.size() >= opts.size());
+  detail::count_paths(opts.size() * npath);
   for (std::size_t o = 0; o < opts.size(); ++o) {
     const PathParams p = path_params(opts[o]);
     double v0 = 0.0, v1 = 0.0;
@@ -62,8 +76,10 @@ void price_basic_stream(std::span<const core::OptionSpec> opts, std::span<const 
                         std::size_t npath, std::span<McResult> out) {
   assert(z.size() >= npath && out.size() >= opts.size());
   const std::ptrdiff_t nopt = static_cast<std::ptrdiff_t>(opts.size());
+  detail::count_paths(opts.size() * npath);
 #pragma omp parallel for schedule(dynamic, 1)
   for (std::ptrdiff_t o = 0; o < nopt; ++o) {
+    FINBENCH_SPAN("mc.option");
     const PathParams p = path_params(opts[o]);
     const double spot = opts[o].spot, strike = opts[o].strike;
     double v0 = 0.0, v1 = 0.0;
@@ -120,6 +136,7 @@ void optimized_stream_width(std::span<const core::OptionSpec> opts, std::span<co
   const std::ptrdiff_t nopt = static_cast<std::ptrdiff_t>(opts.size());
 #pragma omp parallel for schedule(dynamic, 1)
   for (std::ptrdiff_t o = 0; o < nopt; ++o) {
+    FINBENCH_SPAN("mc.option");
     out[o] = integrate_paths<W>(opts[o], z.data(), npath);
   }
 }
@@ -136,6 +153,7 @@ void optimized_computed_width(std::span<const core::OptionSpec> opts, std::size_
     arch::AlignedVector<double> zbuf(kRngChunk);
 #pragma omp for schedule(dynamic, 1)
     for (std::ptrdiff_t o = 0; o < nopt; ++o) {
+      FINBENCH_SPAN("mc.option");
       const core::OptionSpec& opt = opts[o];
       const PathParams p = path_params(opt);
       const V spot(opt.spot), strike(opt.strike), vrt(p.v_rt_t), mu(p.mu_t), sign(p.sign);
@@ -172,6 +190,7 @@ void optimized_computed_width(std::span<const core::OptionSpec> opts, std::size_
 void price_optimized_stream(std::span<const core::OptionSpec> opts, std::span<const double> z,
                             std::size_t npath, std::span<McResult> out, Width w) {
   assert(z.size() >= npath && out.size() >= opts.size());
+  detail::count_paths(opts.size() * npath);
   switch (w) {
     case Width::kScalar: optimized_stream_width<1>(opts, z, npath, out); return;
     case Width::kAvx2: optimized_stream_width<4>(opts, z, npath, out); return;
@@ -188,6 +207,7 @@ void price_optimized_stream(std::span<const core::OptionSpec> opts, std::span<co
 void price_reference_computed(std::span<const core::OptionSpec> opts, std::size_t npath,
                               std::uint64_t seed, std::span<McResult> out) {
   assert(out.size() >= opts.size());
+  detail::count_paths(opts.size() * npath);
   arch::AlignedVector<double> zbuf(kRngChunk);
   for (std::size_t o = 0; o < opts.size(); ++o) {
     const PathParams p = path_params(opts[o]);
@@ -212,6 +232,7 @@ void price_reference_computed(std::span<const core::OptionSpec> opts, std::size_
 void price_optimized_computed(std::span<const core::OptionSpec> opts, std::size_t npath,
                               std::uint64_t seed, std::span<McResult> out, Width w) {
   assert(out.size() >= opts.size());
+  detail::count_paths(opts.size() * npath);
   switch (w) {
     case Width::kScalar: optimized_computed_width<1>(opts, npath, seed, out); return;
     case Width::kAvx2: optimized_computed_width<4>(opts, npath, seed, out); return;
@@ -231,6 +252,7 @@ void price_variance_reduced(std::span<const core::OptionSpec> opts, std::size_t 
                             std::uint64_t seed, std::span<McResult> out, bool antithetic,
                             bool control_variate) {
   assert(out.size() >= opts.size());
+  detail::count_paths(opts.size() * npath);
   const std::ptrdiff_t nopt = static_cast<std::ptrdiff_t>(opts.size());
 #pragma omp parallel
   {

@@ -1,0 +1,346 @@
+#include "finbench/obs/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace finbench::obs::json {
+
+// --- Writer ------------------------------------------------------------------
+
+std::string escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void Writer::separator() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // "key": already emitted the comma
+  }
+  if (!has_elem_.empty()) {
+    if (has_elem_.back()) out_ << ',';
+    has_elem_.back() = true;
+  }
+}
+
+void Writer::begin_object() {
+  separator();
+  out_ << '{';
+  has_elem_.push_back(false);
+}
+
+void Writer::end_object() {
+  has_elem_.pop_back();
+  out_ << '}';
+}
+
+void Writer::begin_array() {
+  separator();
+  out_ << '[';
+  has_elem_.push_back(false);
+}
+
+void Writer::end_array() {
+  has_elem_.pop_back();
+  out_ << ']';
+}
+
+void Writer::key(std::string_view k) {
+  separator();
+  out_ << '"' << escape(k) << "\":";
+  pending_key_ = true;
+}
+
+void Writer::value(std::string_view v) {
+  separator();
+  out_ << '"' << escape(v) << '"';
+}
+
+void Writer::value(double v) {
+  separator();
+  if (!std::isfinite(v)) {
+    out_ << "null";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out_ << buf;
+}
+
+void Writer::value(std::uint64_t v) {
+  separator();
+  out_ << v;
+}
+
+void Writer::value(std::int64_t v) {
+  separator();
+  out_ << v;
+}
+
+void Writer::value(bool v) {
+  separator();
+  out_ << (v ? "true" : "false");
+}
+
+void Writer::null() {
+  separator();
+  out_ << "null";
+}
+
+// --- Value -------------------------------------------------------------------
+
+const Value* Value::find(std::string_view key) const {
+  if (type != Type::kObject) return nullptr;
+  for (const auto& [k, v] : object) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const Value& Value::at(std::string_view key) const {
+  const Value* v = find(key);
+  if (!v) throw std::runtime_error("json: missing key '" + std::string(key) + "'");
+  return *v;
+}
+
+// --- Parser ------------------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Value parse_document() {
+    Value v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw std::runtime_error("json parse error at byte " + std::to_string(pos_) + ": " + msg);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) == lit) {
+      pos_ += lit.size();
+      return true;
+    }
+    return false;
+  }
+
+  Value parse_value() {
+    skip_ws();
+    const char c = peek();
+    switch (c) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': {
+        Value v;
+        v.type = Value::Type::kString;
+        v.string = parse_string();
+        return v;
+      }
+      case 't':
+        if (consume_literal("true")) {
+          Value v;
+          v.type = Value::Type::kBool;
+          v.boolean = true;
+          return v;
+        }
+        fail("bad literal");
+      case 'f':
+        if (consume_literal("false")) {
+          Value v;
+          v.type = Value::Type::kBool;
+          v.boolean = false;
+          return v;
+        }
+        fail("bad literal");
+      case 'n':
+        if (consume_literal("null")) return Value{};
+        fail("bad literal");
+      default: return parse_number();
+    }
+  }
+
+  Value parse_object() {
+    expect('{');
+    Value v;
+    v.type = Value::Type::kObject;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      v.object.emplace_back(std::move(key), parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  Value parse_array() {
+    expect('[');
+    Value v;
+    v.type = Value::Type::kArray;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      v.array.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      c = text_[pos_++];
+      switch (c) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("bad \\u escape");
+          unsigned cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            cp <<= 4;
+            if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') cp |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') cp |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad \\u escape");
+          }
+          // UTF-8 encode (surrogate pairs are passed through individually;
+          // good enough for validation of our own ASCII output).
+          if (cp < 0x80) {
+            out += static_cast<char>(cp);
+          } else if (cp < 0x800) {
+            out += static_cast<char>(0xC0 | (cp >> 6));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (cp >> 12));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+          }
+          break;
+        }
+        default: fail("bad escape");
+      }
+    }
+  }
+
+  Value parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
+            text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a value");
+    Value v;
+    v.type = Value::Type::kNumber;
+    try {
+      v.number = std::stod(std::string(text_.substr(start, pos_ - start)));
+    } catch (const std::exception&) {
+      fail("bad number");
+    }
+    return v;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Value parse(std::string_view text) { return Parser(text).parse_document(); }
+
+Value parse_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("json: cannot open " + path);
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return parse(ss.str());
+}
+
+}  // namespace finbench::obs::json

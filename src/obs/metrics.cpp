@@ -1,0 +1,149 @@
+#include "finbench/obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace finbench::obs {
+
+// --- Stat --------------------------------------------------------------------
+
+namespace {
+
+class SpinGuard {
+ public:
+  explicit SpinGuard(std::atomic_flag& f) : f_(f) {
+    while (f_.test_and_set(std::memory_order_acquire)) {
+    }
+  }
+  ~SpinGuard() { f_.clear(std::memory_order_release); }
+
+ private:
+  std::atomic_flag& f_;
+};
+
+}  // namespace
+
+void Stat::record(double x) {
+  SpinGuard g(lock_);
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  sumsq_ += x * x;
+}
+
+Stat::Summary Stat::summary() const {
+  SpinGuard g(lock_);
+  Summary s;
+  s.count = n_;
+  s.sum = sum_;
+  s.min = min_;
+  s.max = max_;
+  if (n_ > 0) {
+    s.mean = sum_ / static_cast<double>(n_);
+    const double var = sumsq_ / static_cast<double>(n_) - s.mean * s.mean;
+    s.stddev = var > 0.0 ? std::sqrt(var) : 0.0;
+  }
+  return s;
+}
+
+void Stat::reset() {
+  SpinGuard g(lock_);
+  n_ = 0;
+  sum_ = sumsq_ = min_ = max_ = 0.0;
+}
+
+// --- Registry ----------------------------------------------------------------
+
+namespace {
+
+struct Registry {
+  std::mutex mu;
+  // node-based maps: references remain valid across inserts.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges;
+  std::map<std::string, std::unique_ptr<Stat>, std::less<>> stats;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry;  // leaked: usable during static teardown
+  return *r;
+}
+
+template <class Map, class T>
+T& lookup(Map& map, std::mutex& mu, std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu);
+  auto it = map.find(name);
+  if (it == map.end()) {
+    it = map.emplace(std::string(name), std::make_unique<T>()).first;
+  }
+  return *it->second;
+}
+
+}  // namespace
+
+Counter& counter(std::string_view name) {
+  Registry& r = registry();
+  return lookup<decltype(r.counters), Counter>(r.counters, r.mu, name);
+}
+
+Gauge& gauge(std::string_view name) {
+  Registry& r = registry();
+  return lookup<decltype(r.gauges), Gauge>(r.gauges, r.mu, name);
+}
+
+Stat& stat(std::string_view name) {
+  Registry& r = registry();
+  return lookup<decltype(r.stats), Stat>(r.stats, r.mu, name);
+}
+
+MetricsSnapshot snapshot_metrics() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  MetricsSnapshot s;
+  for (const auto& [name, c] : r.counters) s.counters.emplace_back(name, c->value());
+  for (const auto& [name, g] : r.gauges) s.gauges.emplace_back(name, g->value());
+  for (const auto& [name, st] : r.stats) s.stats.emplace_back(name, st->summary());
+  return s;
+}
+
+void reset_metrics() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (auto& [name, c] : r.counters) c->reset();
+  for (auto& [name, g] : r.gauges) g->set(0.0);
+  for (auto& [name, st] : r.stats) st->reset();
+}
+
+// --- Parallel hooks ----------------------------------------------------------
+
+namespace detail {
+std::atomic<bool> g_parallel_timing{false};
+}
+
+void enable_parallel_timing(bool on) {
+  detail::g_parallel_timing.store(on, std::memory_order_relaxed);
+}
+
+void record_parallel_region(const char* site, int nthreads, double min_sec, double max_sec,
+                            double sum_sec) {
+  if (nthreads <= 0) return;
+  const std::string prefix = std::string("parallel.") + site;
+  counter(prefix + ".regions").add(1);
+  Stat& seconds = stat(prefix + ".thread_seconds");
+  // min/max/sum are exact; feed the distribution endpoints plus the mean so
+  // the summary's min/max are faithful without a per-thread record() call.
+  seconds.record(min_sec);
+  if (nthreads > 1) seconds.record(max_sec);
+  const double mean = sum_sec / nthreads;
+  if (mean > 0.0) stat(prefix + ".imbalance").record(max_sec / mean);
+}
+
+}  // namespace finbench::obs

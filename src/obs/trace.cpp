@@ -1,0 +1,179 @@
+#include "finbench/obs/trace.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "finbench/obs/json.hpp"
+
+namespace finbench::obs::trace {
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+}
+
+namespace {
+
+using clock = std::chrono::steady_clock;
+
+clock::time_point epoch() {
+  static const clock::time_point t0 = clock::now();
+  return t0;
+}
+
+struct ThreadBuffer {
+  explicit ThreadBuffer(int tid, std::size_t capacity) : tid(tid), ring(capacity) {}
+
+  int tid;
+  std::vector<SpanRecord> ring;
+  // Total spans ever pushed; ring holds the last min(total, capacity).
+  // Written by the owning thread, read under the registry lock at export
+  // time (bench flow: record, then export after the measured region).
+  std::atomic<std::size_t> total{0};
+};
+
+struct Registry {
+  std::mutex mu;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers;
+  std::size_t ring_capacity = std::size_t{1} << 14;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry;  // leaked: threads may outlive main
+  return *r;
+}
+
+thread_local ThreadBuffer* tls_buffer = nullptr;
+
+ThreadBuffer& local_buffer() {
+  if (!tls_buffer) {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    const int tid = static_cast<int>(r.buffers.size());
+    r.buffers.push_back(std::make_unique<ThreadBuffer>(tid, r.ring_capacity));
+    tls_buffer = r.buffers.back().get();
+  }
+  return *tls_buffer;
+}
+
+}  // namespace
+
+double now_us() {
+  return std::chrono::duration<double, std::micro>(clock::now() - epoch()).count();
+}
+
+void enable(bool on) {
+  if (on) (void)epoch();  // pin the epoch before the first span
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+void set_ring_capacity(std::size_t spans) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.ring_capacity = spans < 16 ? 16 : spans;
+}
+
+void detail::record(const char* name, double start_us, double end_us) {
+  ThreadBuffer& buf = local_buffer();
+  const std::size_t n = buf.total.load(std::memory_order_relaxed);
+  SpanRecord& rec = buf.ring[n % buf.ring.size()];
+  std::strncpy(rec.name, name, kMaxNameLen - 1);
+  rec.name[kMaxNameLen - 1] = '\0';
+  rec.start_us = start_us;
+  rec.end_us = end_us;
+  buf.total.store(n + 1, std::memory_order_release);
+}
+
+std::size_t recorded_spans() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::size_t n = 0;
+  for (const auto& b : r.buffers) {
+    const std::size_t total = b->total.load(std::memory_order_acquire);
+    n += total < b->ring.size() ? total : b->ring.size();
+  }
+  return n;
+}
+
+std::size_t dropped_spans() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::size_t n = 0;
+  for (const auto& b : r.buffers) {
+    const std::size_t total = b->total.load(std::memory_order_acquire);
+    if (total > b->ring.size()) n += total - b->ring.size();
+  }
+  return n;
+}
+
+void clear() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (auto& b : r.buffers) b->total.store(0, std::memory_order_release);
+}
+
+bool write_chrome_trace(const std::string& path, const std::string& process_name) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) return false;
+
+  json::Writer w(f);
+  w.begin_object();
+  w.kv("displayTimeUnit", "ms");
+  w.key("traceEvents");
+  w.begin_array();
+
+  // Process-name metadata event.
+  w.begin_object();
+  w.kv("name", "process_name");
+  w.kv("ph", "M");
+  w.kv("pid", 1);
+  w.kv("tid", 0);
+  w.key("args");
+  w.begin_object();
+  w.kv("name", process_name);
+  w.end_object();
+  w.end_object();
+
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (const auto& b : r.buffers) {
+    w.begin_object();
+    w.kv("name", "thread_name");
+    w.kv("ph", "M");
+    w.kv("pid", 1);
+    w.kv("tid", b->tid);
+    w.key("args");
+    w.begin_object();
+    w.kv("name", "finbench thread " + std::to_string(b->tid));
+    w.end_object();
+    w.end_object();
+
+    const std::size_t total = b->total.load(std::memory_order_acquire);
+    const std::size_t cap = b->ring.size();
+    const std::size_t kept = total < cap ? total : cap;
+    const std::size_t first = total < cap ? 0 : total % cap;
+    for (std::size_t i = 0; i < kept; ++i) {
+      const SpanRecord& rec = b->ring[(first + i) % cap];
+      w.begin_object();
+      w.kv("name", std::string_view(rec.name));
+      w.kv("cat", "finbench");
+      w.kv("ph", "X");
+      w.kv("pid", 1);
+      w.kv("tid", b->tid);
+      w.kv("ts", rec.start_us);
+      w.kv("dur", rec.end_us - rec.start_us);
+      w.end_object();
+    }
+  }
+
+  w.end_array();
+  w.end_object();
+  f << '\n';
+  return static_cast<bool>(f);
+}
+
+}  // namespace finbench::obs::trace

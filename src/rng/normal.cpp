@@ -3,6 +3,7 @@
 #include <array>
 #include <cmath>
 
+#include "finbench/obs/metrics.hpp"
 #include "finbench/vecmath/array_math.hpp"
 #include "finbench/vecmath/vecmath.hpp"
 
@@ -117,6 +118,10 @@ void generate_u01_open(Philox4x32& gen, std::span<double> out) {
 }
 
 void generate_normal(Philox4x32& gen, std::span<double> out, NormalMethod method) {
+  // Domain telemetry: one relaxed atomic add per fill (typically a 4K
+  // chunk), not per draw.
+  static obs::Counter& draws = obs::counter("rng.normals");
+  draws.add(out.size());
   switch (method) {
     case NormalMethod::kIcdf: icdf_fill(gen, out); return;
     case NormalMethod::kBoxMuller: box_muller_fill(gen, out); return;

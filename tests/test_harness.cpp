@@ -8,6 +8,8 @@
 
 #include "finbench/arch/machine_model.hpp"
 #include "finbench/harness/report.hpp"
+#include "finbench/obs/json.hpp"
+#include "finbench/obs/run_report.hpp"
 
 namespace {
 
@@ -111,6 +113,68 @@ TEST(Projector, EfficiencyIsFractionOfRoof) {
   const Projector p(snb, snb);
   const double roof = Projector::width_adjusted_roofline(snb, 200.0, 40.0, 4);
   EXPECT_NEAR(p.efficiency(roof / 2, 200.0, 40.0, 4), 0.5, 1e-12);
+}
+
+TEST(RunReport, SchemaRoundTrips) {
+  namespace obs = finbench::obs;
+  Report r("Round-trip exhibit", "options/s");
+  r.add_note("a context note");
+  Row row;
+  row.label = "advanced 4w";
+  row.host_items_per_sec = 1.5e6;
+  row.snb_projected = 2.5e6;
+  row.knc_projected = 5.0e6;
+  row.paper_snb = 2.0e6;
+  row.width = 4;
+  row.flops_per_item = 200.0;
+  row.bytes_per_item = 40.0;
+  row.host_efficiency = 0.75;
+  r.add_row(row);
+  r.add_check("a passing check", true);
+  r.add_check("a failing check", false, "why it failed");
+
+  obs::RunContext ctx;
+  ctx.binary = "test_harness";
+  ctx.full = true;
+  ctx.reps = 7;
+  ctx.threads = 3;
+
+  const std::string path = "/tmp/finbench_test_run_report.json";
+  ASSERT_TRUE(obs::write_run_report(path, r, ctx));
+  const auto doc = obs::json::parse_file(path);
+  std::remove(path.c_str());
+
+  EXPECT_EQ(doc.at("schema").string, "finbench.run_report/v1");
+  EXPECT_EQ(doc.at("exhibit").string, "Round-trip exhibit");
+  EXPECT_EQ(doc.at("units").string, "options/s");
+  EXPECT_EQ(doc.at("binary").string, "test_harness");
+  EXPECT_TRUE(doc.at("full").boolean);
+  EXPECT_EQ(doc.at("reps").number, 7.0);
+  EXPECT_EQ(doc.at("threads").number, 3.0);
+
+  const auto& host = doc.at("host");
+  EXPECT_TRUE(host.at("logical_cpus").is_number());
+  EXPECT_TRUE(host.at("dp_gflops_peak").is_number());
+
+  ASSERT_EQ(doc.at("rows").array.size(), 1u);
+  const auto& jrow = doc.at("rows").array[0];
+  EXPECT_EQ(jrow.at("label").string, "advanced 4w");
+  EXPECT_EQ(jrow.at("host_items_per_sec").number, 1.5e6);
+  EXPECT_EQ(jrow.at("paper_snb").number, 2.0e6);
+  EXPECT_TRUE(jrow.at("paper_knc").is_null());
+  EXPECT_EQ(jrow.at("width").number, 4.0);
+  EXPECT_EQ(jrow.at("roofline_efficiency").number, 0.75);
+
+  ASSERT_EQ(doc.at("checks").array.size(), 2u);
+  EXPECT_TRUE(doc.at("checks").array[0].at("passed").boolean);
+  EXPECT_FALSE(doc.at("checks").array[1].at("passed").boolean);
+
+  ASSERT_EQ(doc.at("notes").array.size(), 1u);
+  EXPECT_EQ(doc.at("notes").array[0].string, "a context note");
+
+  EXPECT_TRUE(doc.at("perf").at("available").is_bool());
+  EXPECT_TRUE(doc.at("metrics").at("counters").is_object());
+  EXPECT_TRUE(doc.at("measurements").is_array());
 }
 
 }  // namespace

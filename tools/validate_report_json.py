@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Validate finbench telemetry outputs.
+
+Usage:
+    validate_report_json.py --report run.json [--trace trace.json]
+
+Checks that a `--json` run report conforms to the finbench.run_report/v1
+schema (docs/observability.md) and, optionally, that a `--trace` file is a
+loadable Chrome trace_event document with well-formed complete events.
+Exits non-zero with a message on the first violation; CI runs this after a
+smoke bench invocation.
+"""
+
+import argparse
+import json
+import sys
+
+REPORT_REQUIRED = {
+    "schema": str,
+    "exhibit": str,
+    "units": str,
+    "binary": str,
+    "git_sha": str,
+    "full": bool,
+    "reps": int,
+    "threads": int,
+    "host": dict,
+    "notes": list,
+    "rows": list,
+    "checks": list,
+    "measurements": list,
+    "metrics": dict,
+    "perf": dict,
+    "trace": dict,
+}
+
+HOST_REQUIRED = ["brand", "logical_cpus", "ghz", "cache_bytes", "dp_gflops_peak",
+                 "stream_gbs", "simd_dp_lanes"]
+
+ROW_REQUIRED = ["label", "host_items_per_sec", "snb_projected", "knc_projected",
+                "paper_snb", "paper_knc", "width", "flops_per_item",
+                "bytes_per_item", "roofline_efficiency"]
+
+
+def fail(msg):
+    print(f"validate_report_json: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def validate_report(path):
+    with open(path) as f:
+        doc = json.load(f)
+
+    for key, typ in REPORT_REQUIRED.items():
+        if key not in doc:
+            fail(f"{path}: missing top-level key '{key}'")
+        if typ is int:
+            if not isinstance(doc[key], (int, float)):
+                fail(f"{path}: '{key}' should be a number, got {type(doc[key]).__name__}")
+        elif not isinstance(doc[key], typ):
+            fail(f"{path}: '{key}' should be {typ.__name__}, got {type(doc[key]).__name__}")
+
+    if doc["schema"] != "finbench.run_report/v1":
+        fail(f"{path}: unexpected schema '{doc['schema']}'")
+
+    for key in HOST_REQUIRED:
+        if key not in doc["host"]:
+            fail(f"{path}: host missing '{key}'")
+
+    for i, row in enumerate(doc["rows"]):
+        for key in ROW_REQUIRED:
+            if key not in row:
+                fail(f"{path}: rows[{i}] missing '{key}'")
+
+    for i, check in enumerate(doc["checks"]):
+        for key in ("name", "passed", "detail"):
+            if key not in check:
+                fail(f"{path}: checks[{i}] missing '{key}'")
+        if not isinstance(check["passed"], bool):
+            fail(f"{path}: checks[{i}].passed should be bool")
+
+    for section in ("counters", "gauges", "stats"):
+        if section not in doc["metrics"]:
+            fail(f"{path}: metrics missing '{section}'")
+
+    if "available" not in doc["perf"]:
+        fail(f"{path}: perf missing 'available'")
+    if not doc["perf"]["available"] and "reason" not in doc["perf"]:
+        fail(f"{path}: perf unavailable but no 'reason'")
+
+    for i, m in enumerate(doc["measurements"]):
+        for key in ("label", "items", "reps", "best_sec", "mean_sec", "stddev_sec"):
+            if key not in m:
+                fail(f"{path}: measurements[{i}] missing '{key}'")
+        if m["best_sec"] <= 0:
+            fail(f"{path}: measurements[{i}] has non-positive best_sec")
+
+    print(f"validate_report_json: OK: {path} "
+          f"({len(doc['rows'])} rows, {len(doc['measurements'])} measurements, "
+          f"perf={'on' if doc['perf']['available'] else 'off'})")
+    return doc
+
+
+def validate_trace(path):
+    with open(path) as f:
+        doc = json.load(f)
+
+    if "traceEvents" not in doc or not isinstance(doc["traceEvents"], list):
+        fail(f"{path}: no traceEvents array")
+
+    complete = 0
+    tids = set()
+    for i, ev in enumerate(doc["traceEvents"]):
+        if "ph" not in ev:
+            fail(f"{path}: traceEvents[{i}] missing 'ph'")
+        if ev["ph"] == "X":
+            for key in ("name", "ts", "dur", "pid", "tid"):
+                if key not in ev:
+                    fail(f"{path}: traceEvents[{i}] missing '{key}'")
+            if ev["dur"] < 0:
+                fail(f"{path}: traceEvents[{i}] has negative duration")
+            complete += 1
+            tids.add(ev["tid"])
+
+    if complete == 0:
+        fail(f"{path}: no complete ('X') span events — was tracing enabled?")
+
+    print(f"validate_report_json: OK: {path} "
+          f"({complete} spans across {len(tids)} thread(s))")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--report", help="run report JSON (--json output)")
+    ap.add_argument("--trace", help="Chrome trace JSON (--trace output)")
+    args = ap.parse_args()
+    if not args.report and not args.trace:
+        ap.error("nothing to validate: pass --report and/or --trace")
+    if args.report:
+        validate_report(args.report)
+    if args.trace:
+        validate_trace(args.trace)
+
+
+if __name__ == "__main__":
+    main()

@@ -28,6 +28,7 @@
 #include "finbench/arch/machine_model.hpp"
 #include "finbench/arch/parallel.hpp"
 #include "finbench/arch/timing.hpp"
+#include "finbench/engine/registry.hpp"
 #include "finbench/harness/report.hpp"
 #include "finbench/obs/metrics.hpp"
 #include "finbench/obs/perf_counters.hpp"
@@ -68,7 +69,9 @@ struct Options {
         std::exit(0);
       }
     }
-    if (o.threads > 0) omp_set_num_threads(o.threads);
+    // Through arch so the cached num_threads() value stays coherent with
+    // the override (finish_exports and the engine pool both read it).
+    arch::set_num_threads(o.threads);
     if (!o.trace.empty()) obs::trace::enable();
     if (!o.trace.empty() || !o.json.empty()) {
       obs::enable_parallel_timing();
@@ -103,6 +106,22 @@ double items_per_sec(const char* label, std::size_t items, int reps, F&& fn) {
 template <class F>
 double items_per_sec(std::size_t items, int reps, F&& fn) {
   return items_per_sec("measure", items, reps, static_cast<F&&>(fn));
+}
+
+// Registry-driven dispatch for the exhibit binaries: measure a variant's
+// native batch entry point (the same kernel call the pre-registry code
+// made, resolved by id) under the items_per_sec timing protocol. The
+// request's scratch cache is built during the warm-up call, so stream-RNG
+// inputs stay outside the timed region exactly as before.
+inline double measure_variant(const char* label, const engine::PricingRequest& req,
+                              std::size_t items, int reps) {
+  const engine::VariantInfo* v = engine::Registry::instance().find(req.kernel_id);
+  if (!v) {
+    std::fprintf(stderr, "unknown registry variant '%s'\n", req.kernel_id.c_str());
+    std::abort();
+  }
+  engine::PricingResult res;
+  return items_per_sec(label, items, reps, [&] { v->run_batch(req, res); });
 }
 
 // The DESIGN.md §1 projection: scale the host-measured throughput of a

@@ -29,17 +29,23 @@ int main(int argc, char** argv) {
   auto soa = core::make_bs_workload_soa(nopt, 1);
   const double flops = bs::kFlopsPerOption, bytes = bs::kBytesPerOption;
 
-  const double ref =
-      bench::items_per_sec("bs.ref", nopt, opts.reps, [&] { bs::price_reference(aos); });
-  const double basic = bench::items_per_sec("bs.basic", nopt, opts.reps, [&] { bs::price_basic(aos); });
-  const double inter4 = bench::items_per_sec("bs.inter4", 
-      nopt, opts.reps, [&] { bs::price_intermediate(soa, bs::Width::kAvx2); });
-  const double inter8 = bench::items_per_sec("bs.inter8", 
-      nopt, opts.reps, [&] { bs::price_intermediate(soa, bs::Width::kAuto); });
-  const double vml4 = bench::items_per_sec("bs.vml4", 
-      nopt, opts.reps, [&] { bs::price_advanced_vml(soa, bs::Width::kAvx2); });
-  const double vml8 = bench::items_per_sec("bs.vml8", 
-      nopt, opts.reps, [&] { bs::price_advanced_vml(soa, bs::Width::kAuto); });
+  // Registry-dispatched: one request per layout, variant selected by id.
+  engine::PricingRequest req_aos, req_soa;
+  req_aos.bs_aos = &aos;
+  req_soa.bs_soa = &soa;
+
+  req_aos.kernel_id = "bs.reference.scalar";
+  const double ref = bench::measure_variant("bs.ref", req_aos, nopt, opts.reps);
+  req_aos.kernel_id = "bs.basic.auto";
+  const double basic = bench::measure_variant("bs.basic", req_aos, nopt, opts.reps);
+  req_soa.kernel_id = "bs.intermediate.avx2";
+  const double inter4 = bench::measure_variant("bs.inter4", req_soa, nopt, opts.reps);
+  req_soa.kernel_id = "bs.intermediate.auto";
+  const double inter8 = bench::measure_variant("bs.inter8", req_soa, nopt, opts.reps);
+  req_soa.kernel_id = "bs.advanced_vml.avx2";
+  const double vml4 = bench::measure_variant("bs.vml4", req_soa, nopt, opts.reps);
+  req_soa.kernel_id = "bs.advanced_vml.auto";
+  const double vml8 = bench::measure_variant("bs.vml8", req_soa, nopt, opts.reps);
 
   report.add_row(proj.make_row("Reference (scalar, AOS)", ref, flops, bytes, 1, 1));
   report.add_row(proj.make_row("Basic (pragma simd/omp, AOS)", basic, flops, bytes, 4, 8));
@@ -52,8 +58,10 @@ int main(int argc, char** argv) {
 
   // Single-precision extension: double the lanes (Table I's SP peak rows).
   auto sp = core::to_single(soa);
-  const double sp16 = bench::items_per_sec("bs.sp16", 
-      nopt, opts.reps, [&] { bs::price_intermediate_sp(sp, bs::WidthF::kAuto); });
+  engine::PricingRequest req_sp;
+  req_sp.bs_sp = &sp;
+  req_sp.kernel_id = "bs.intermediate_sp.auto";
+  const double sp16 = bench::measure_variant("bs.sp16", req_sp, nopt, opts.reps);
   {
     harness::Row row;
     row.label = "SP intermediate (16w, half the bytes)";

@@ -23,7 +23,6 @@ int main(int argc, char** argv) {
 
   bench::Projector proj;
   const auto workload = core::make_option_workload(nopt, 2);
-  std::vector<double> out(nopt);
 
   for (int steps : {1024, 2048}) {
     harness::Report report(
@@ -31,25 +30,22 @@ int main(int argc, char** argv) {
     report.add_note("nopt = " + std::to_string(nopt) + "; 3N(N+1)/2 flops per option");
     const double flops = binomial::flops_per_option(steps);
 
-    const double ref = bench::items_per_sec("binomial.ref", 
-        nopt, opts.reps, [&] { binomial::price_reference(workload, steps, out); });
-    const double basic = bench::items_per_sec("binomial.basic", 
-        nopt, opts.reps, [&] { binomial::price_basic(workload, steps, out); });
-    const double inter4 = bench::items_per_sec("binomial.inter4", nopt, opts.reps, [&] {
-      binomial::price_intermediate(workload, steps, out, binomial::Width::kAvx2);
-    });
-    const double inter8 = bench::items_per_sec("binomial.inter8", nopt, opts.reps, [&] {
-      binomial::price_intermediate(workload, steps, out, binomial::Width::kAuto);
-    });
-    const double adv4 = bench::items_per_sec("binomial.adv4", nopt, opts.reps, [&] {
-      binomial::price_advanced(workload, steps, out, binomial::Width::kAvx2);
-    });
-    const double adv8 = bench::items_per_sec("binomial.adv8", nopt, opts.reps, [&] {
-      binomial::price_advanced(workload, steps, out, binomial::Width::kAuto);
-    });
-    const double unroll8 = bench::items_per_sec("binomial.unroll8", nopt, opts.reps, [&] {
-      binomial::price_advanced_unrolled(workload, steps, out, binomial::Width::kAuto);
-    });
+    // Registry-dispatched: same request, variant swapped by id per row.
+    engine::PricingRequest req;
+    req.specs = workload;
+    req.steps = steps;
+    auto measure = [&](const char* label, const char* id) {
+      req.kernel_id = id;
+      return bench::measure_variant(label, req, nopt, opts.reps);
+    };
+
+    const double ref = measure("binomial.ref", "binomial.reference.scalar");
+    const double basic = measure("binomial.basic", "binomial.basic.auto");
+    const double inter4 = measure("binomial.inter4", "binomial.intermediate.avx2");
+    const double inter8 = measure("binomial.inter8", "binomial.intermediate.auto");
+    const double adv4 = measure("binomial.adv4", "binomial.advanced.avx2");
+    const double adv8 = measure("binomial.adv8", "binomial.advanced.auto");
+    const double unroll8 = measure("binomial.unroll8", "binomial.advanced_unrolled.auto");
 
     report.add_row(proj.make_row("Reference (scalar)", ref, flops, 0, 1, 1));
     report.add_row(proj.make_row("Basic (inner-loop autovec + omp)", basic, flops, 0, 4, 8));

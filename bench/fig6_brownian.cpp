@@ -44,7 +44,6 @@ int main(int argc, char** argv) {
   arch::AlignedVector<double> z(nsim * zn);
   rng::NormalStream stream(1);
   stream.fill(z);
-  const auto z4 = brownian::lane_block_normals(z, nsim, zn, 4);
   const auto z8 = brownian::lane_block_normals(z, nsim, zn, maxw);
 
   std::vector<double> paths(nsim * np);
@@ -61,14 +60,21 @@ int main(int argc, char** argv) {
   for (std::size_t i = 0; i < z_chunk.size(); ++i) z_chunk[i] = z8[i];
   arch::AlignedVector<double> out_chunk(chunk * np);
 
-  const double basic = bench::items_per_sec("brownian.basic", 
-      nsim, opts.reps, [&] { brownian::construct_basic(sched, z, nsim, paths); });
-  const double inter4 = bench::items_per_sec("brownian.inter4", nsim, opts.reps, [&] {
-    brownian::construct_intermediate(sched, z4, nsim, paths, brownian::Width::kAvx2);
-  });
-  const double inter8 = bench::items_per_sec("brownian.inter8", nsim, opts.reps, [&] {
-    brownian::construct_intermediate(sched, z8, nsim, paths, brownian::Width::kAuto);
-  });
+  // Registry-dispatched rows: the adapters own the z streams (same seed, so
+  // identical normals); the bespoke cache-chunked rows below keep their
+  // hand-rolled loops.
+  engine::PricingRequest req;
+  req.npaths = nsim;
+  req.bridge_depth = depth;
+  req.seed = 1;
+  auto measure = [&](const char* label, const char* id) {
+    req.kernel_id = id;
+    return bench::measure_variant(label, req, nsim, opts.reps);
+  };
+
+  const double basic = measure("brownian.basic", "brownian.basic.scalar");
+  const double inter4 = measure("brownian.inter4", "brownian.intermediate.avx2");
+  const double inter8 = measure("brownian.inter8", "brownian.intermediate.auto");
   // Interleaved-RNG effect: normals always hit in cache; paths to DRAM.
   const double cached_z = bench::items_per_sec("brownian.cached_z", nsim, opts.reps, [&] {
     for (std::size_t base = 0; base + chunk <= nsim; base += chunk) {
@@ -93,12 +99,9 @@ int main(int argc, char** argv) {
     }
   });
   // End-to-end variants with RNG included (supplementary).
-  const double e2e_interleaved = bench::items_per_sec("brownian.e2e_interleaved", nsim, opts.reps, [&] {
-    brownian::construct_advanced_interleaved(sched, 1, nsim, paths);
-  });
-  const double e2e_fused = bench::items_per_sec("brownian.e2e_fused", nsim, opts.reps, [&] {
-    brownian::construct_advanced_fused(sched, 1, nsim, avg);
-  });
+  const double e2e_interleaved =
+      measure("brownian.e2e_interleaved", "brownian.advanced_interleaved.auto");
+  const double e2e_fused = measure("brownian.e2e_fused", "brownian.advanced_fused.auto");
 
   report.add_row(proj.make_row("Basic (scalar per path, omp)", basic, flops, bytes_stream, 1, 1));
   report.add_row(

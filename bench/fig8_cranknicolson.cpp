@@ -35,7 +35,6 @@ int main(int argc, char** argv) {
   params.vol_min = 0.2;  // keep PSOR iteration counts comparable across options
   params.vol_max = 0.4;
   const auto workload = core::make_option_workload(nopt, 5, params);
-  std::vector<double> out(nopt);
 
   // Estimate flops/option from the measured iteration count of one solve.
   const auto probe = cn::price_reference(workload[0], grid);
@@ -46,27 +45,24 @@ int main(int argc, char** argv) {
 
   const double scale = opts.full ? 1.0 : 1000.0 / 250.0;  // step-count normalization
 
-  const double ref = bench::items_per_sec("cn.ref", nopt, opts.reps, [&] {
-    cn::price_batch(workload, grid, cn::Variant::kReference, out);
-  });
-  const double wf4 = bench::items_per_sec("cn.wf4", nopt, opts.reps, [&] {
-    cn::price_batch(workload, grid, cn::Variant::kWavefront, out, cn::Width::kAvx2);
-  });
-  const double wf8 = bench::items_per_sec("cn.wf8", nopt, opts.reps, [&] {
-    cn::price_batch(workload, grid, cn::Variant::kWavefront, out, cn::Width::kAuto);
-  });
-  const double split4 = bench::items_per_sec("cn.split4", nopt, opts.reps, [&] {
-    cn::price_batch(workload, grid, cn::Variant::kWavefrontSplit, out, cn::Width::kAvx2);
-  });
-  const double split8 = bench::items_per_sec("cn.split8", nopt, opts.reps, [&] {
-    cn::price_batch(workload, grid, cn::Variant::kWavefrontSplit, out, cn::Width::kAuto);
-  });
-  const double paired4 = bench::items_per_sec("cn.paired4", nopt, opts.reps, [&] {
-    cn::price_batch(workload, grid, cn::Variant::kWavefrontSplitPaired, out, cn::Width::kAvx2);
-  });
-  const double paired8 = bench::items_per_sec("cn.paired8", nopt, opts.reps, [&] {
-    cn::price_batch(workload, grid, cn::Variant::kWavefrontSplitPaired, out, cn::Width::kAuto);
-  });
+  // Registry-dispatched: the request mirrors the grid (cn_num_prices x
+  // steps); each row selects its wavefront variant by id.
+  engine::PricingRequest req;
+  req.specs = workload;
+  req.cn_num_prices = grid.num_prices;
+  req.steps = grid.num_steps;
+  auto measure = [&](const char* label, const char* id) {
+    req.kernel_id = id;
+    return bench::measure_variant(label, req, nopt, opts.reps);
+  };
+
+  const double ref = measure("cn.ref", "cn.reference.scalar");
+  const double wf4 = measure("cn.wf4", "cn.wavefront.avx2");
+  const double wf8 = measure("cn.wf8", "cn.wavefront.auto");
+  const double split4 = measure("cn.split4", "cn.wavefront_split.avx2");
+  const double split8 = measure("cn.split8", "cn.wavefront_split.auto");
+  const double paired4 = measure("cn.paired4", "cn.wavefront_split_paired.avx2");
+  const double paired8 = measure("cn.paired8", "cn.wavefront_split_paired.auto");
 
   report.add_row(proj.make_row("Reference (scalar GSOR, 1000-step equiv)", ref / scale, flops,
                                0, 1, 1, 2100.0, 2800.0));

@@ -9,6 +9,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstdint>
+#include <ctime>
 #include <utility>
 
 namespace finbench::arch {
@@ -24,6 +25,32 @@ class WallTimer {
  private:
   using clock = std::chrono::steady_clock;
   clock::time_point start_;
+};
+
+// Per-thread CPU time. Unlike wall time, this is immune to core
+// oversubscription (N runnable threads on one core all accrue wall time
+// but split CPU time), so it is the right basis for the engine thread
+// pool's load-imbalance metric. Falls back to wall time where
+// CLOCK_THREAD_CPUTIME_ID is unavailable.
+class ThreadCpuTimer {
+ public:
+  ThreadCpuTimer() : start_(now()) {}
+  void reset() { start_ = now(); }
+  double seconds() const { return now() - start_; }
+
+ private:
+  static double now() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+    timespec ts;
+    if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0) {
+      return static_cast<double>(ts.tv_sec) + 1e-9 * static_cast<double>(ts.tv_nsec);
+    }
+#endif
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+  double start_;
 };
 
 // Per-run wall-clock statistics over R repetitions. The headline number

@@ -1,0 +1,42 @@
+// finbench/engine/engine.hpp
+//
+// The batched pricing engine: looks the requested variant up in the
+// registry, validates the workload against the variant's required layout,
+// partitions specs-layout portfolios into cost-model-weighted chunks, and
+// executes them on a persistent thread pool with dynamic chunk
+// self-scheduling (PricingRequest::schedule selects dynamic/static).
+// Variants without a run_range adapter (Black–Scholes batches, Brownian
+// path construction, whole-batch MC stream variants) fall through to the
+// kernel's native batch entry point.
+//
+// Execution is reported through finbench::obs: chunk spans on the trace,
+// "engine.requests" / "engine.items" counters, and — when parallel timing
+// is enabled — per-participant CPU-time imbalance under
+// "parallel.engine.<schedule>.*".
+
+#pragma once
+
+#include "finbench/engine/registry.hpp"
+#include "finbench/engine/request.hpp"
+#include "finbench/engine/thread_pool.hpp"
+
+namespace finbench::engine {
+
+class Engine {
+ public:
+  // pool == nullptr: use ThreadPool::shared().
+  explicit Engine(ThreadPool* pool = nullptr);
+
+  // Price one request. Never throws for workload/registry errors — they
+  // come back as result.ok == false with a message; kernel exceptions
+  // propagate.
+  PricingResult price(const PricingRequest& req) const;
+
+  // Process-wide engine over ThreadPool::shared().
+  static Engine& shared();
+
+ private:
+  ThreadPool* pool_;
+};
+
+}  // namespace finbench::engine

@@ -1,0 +1,82 @@
+// finbench/engine/request.hpp
+//
+// The uniform request/result vocabulary of the pricing engine: one
+// PricingRequest describes a workload (a portfolio of OptionSpecs, a
+// Black–Scholes batch, or a path-construction job), the accuracy knobs the
+// kernels consume, and how the engine may schedule the work; one
+// PricingResult carries the per-item outputs and timing. Every kernel
+// variant in the registry (finbench/engine/registry.hpp) prices through
+// this interface.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "finbench/arch/parallel.hpp"
+#include "finbench/core/option.hpp"
+
+namespace finbench::engine {
+
+// Per-request derived data the adapters cache across repetitions (normal
+// streams, lane-blocked layouts, path buffers). Created lazily on first
+// use; defined in src/engine/. A request object must not be priced from
+// two threads at once (the engine itself parallelizes *inside* one
+// request).
+struct Scratch;
+
+struct PricingRequest {
+  // Registry id of the variant to run, e.g. "bs.intermediate.avx2".
+  std::string kernel_id;
+
+  // --- Workload: exactly one of these forms, matching the variant's
+  // required Layout (the engine rejects mismatches). -----------------------
+  std::span<const core::OptionSpec> specs{};  // lattice / PDE / MC kernels
+  core::BsBatchAos* bs_aos = nullptr;         // Black–Scholes AOS variants
+  core::BsBatchSoa* bs_soa = nullptr;         // Black–Scholes SOA variants
+  core::BsBatchSoaF* bs_sp = nullptr;         // single-precision BS variant
+  std::size_t npaths = 0;                     // Brownian-bridge construction
+
+  // --- Accuracy knobs ------------------------------------------------------
+  int steps = 1024;          // binomial lattice depth / CN time steps
+  int steps_per_year = 0;    // > 0: per-option binomial depth = T * this
+                             // (heterogeneous batches; scalar execution)
+  std::size_t npath = 16384; // Monte Carlo paths per option
+  int bridge_depth = 6;      // Brownian bridge depth (2^D steps)
+  int cn_num_prices = 257;   // CN spatial grid points
+  std::uint64_t seed = 42;   // RNG seed (deterministic workloads)
+
+  // --- Scheduling (engine execution only; direct run_batch dispatch keeps
+  // each kernel's native OpenMP structure) ----------------------------------
+  arch::Schedule schedule = arch::Schedule::kDynamic;
+  int chunks_per_thread = 8;  // dynamic chunk granularity target
+
+  // Adapter-owned cache; reused across repeated pricings of this request.
+  mutable std::shared_ptr<Scratch> scratch;
+};
+
+struct PricingResult {
+  bool ok = false;
+  std::string error;       // empty on success
+  std::string kernel_id;
+
+  std::size_t items = 0;   // options priced / paths constructed
+  double seconds = 0.0;    // wall time inside the engine (0 for run_batch
+                           // dispatched directly by benchmarks)
+
+  // Per-item outputs. Black–Scholes variants write prices into the
+  // request's batch arrays instead (copying millions of outputs would
+  // distort the bandwidth-bound kernel), leaving `values` empty.
+  std::vector<double> values;
+  std::vector<double> std_errors;  // Monte Carlo variants only
+
+  double items_per_sec() const {
+    return seconds > 0.0 ? static_cast<double>(items) / seconds : 0.0;
+  }
+};
+
+}  // namespace finbench::engine

@@ -1,0 +1,93 @@
+// finbench/engine/thread_pool.hpp
+//
+// A persistent worker pool with dynamic chunk self-scheduling: chunks are
+// claimed through an atomic ticket counter, so a participant that finishes
+// cheap chunks early keeps pulling work — the load-balancing behavior the
+// per-call "#pragma omp parallel for schedule(static)" idiom lacks on
+// heterogeneous option batches. A static mode (participant p owns chunks
+// p, p+P, p+2P, ...) is kept for apples-to-apples imbalance comparisons.
+//
+// The calling thread participates as participant 0, so a pool of size P
+// uses P-1 dedicated workers. Workers pin their OpenMP ICV to one thread
+// (and run() temporarily pins the caller's), so kernels with internal
+// "#pragma omp parallel" regions execute their chunk serially instead of
+// oversubscribing the machine with nested teams.
+//
+// Per-participant *CPU* time (not wall time) is recorded through
+// obs::record_parallel_region under "parallel.<site>.*" when
+// obs::parallel_timing_enabled(): CPU time attributes load imbalance
+// correctly even when the pool is oversubscribed onto fewer cores.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "finbench/arch/parallel.hpp"
+
+namespace finbench::engine {
+
+class ThreadPool {
+ public:
+  // threads <= 0: size to arch::num_threads(). A pool of size 1 runs
+  // everything inline on the caller.
+  explicit ThreadPool(int threads = 0);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Participants per run (dedicated workers + the calling thread).
+  int size() const { return static_cast<int>(workers_.size()) + 1; }
+
+  // Execute fn(c) for every chunk c in [0, nchunks); blocks until all
+  // chunks completed. kDynamic claims chunks via the ticket counter;
+  // kStatic assigns chunk c to participant c % P. The first exception is
+  // rethrown here (remaining chunks are skipped under kDynamic, visited
+  // but not executed under kStatic). Concurrent run() calls from
+  // different threads serialize; run() from inside fn executes the nested
+  // loop inline on the calling participant.
+  void run(std::ptrdiff_t nchunks, const std::function<void(std::ptrdiff_t)>& fn,
+           arch::Schedule sched = arch::Schedule::kDynamic, const char* site = "pool");
+
+  // Process-wide pool sized to arch::num_threads() at first use.
+  static ThreadPool& shared();
+
+ private:
+  void worker_main(int participant);
+  void participate(int participant);
+  void execute_chunk(std::ptrdiff_t c);
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;                    // guards gen_, run_live_, stop_
+  std::condition_variable cv_work_;  // new generation / stop
+  std::condition_variable cv_done_;  // chunk completed / worker left run
+  std::uint64_t gen_ = 0;
+  bool run_live_ = false;
+  bool stop_ = false;
+
+  std::mutex submit_mu_;  // serializes external run() calls
+
+  // State of the active run (valid while run_live_).
+  const std::function<void(std::ptrdiff_t)>* fn_ = nullptr;
+  std::ptrdiff_t nchunks_ = 0;
+  arch::Schedule sched_ = arch::Schedule::kDynamic;
+  std::atomic<std::ptrdiff_t> ticket_{0};
+  std::atomic<std::ptrdiff_t> completed_{0};
+  std::atomic<int> active_workers_{0};
+  std::atomic<bool> failed_{false};
+  std::exception_ptr error_;  // guarded by err_mu_
+  std::mutex err_mu_;
+
+  // Per-participant CPU-time accumulation for the imbalance metric.
+  std::mutex stat_mu_;
+  double cpu_min_ = 0.0, cpu_max_ = 0.0, cpu_sum_ = 0.0;
+  int cpu_count_ = 0;
+};
+
+}  // namespace finbench::engine

@@ -54,11 +54,16 @@ void price_optimized_stream(std::span<const core::OptionSpec> opts, std::span<co
                             std::size_t npath, std::span<McResult> out, Width w = Width::kAuto);
 
 // --- computed-RNG flavor: a fresh Philox substream per option --------------
+// Option o draws from NormalStream(seed, stream_base + o), so a caller
+// pricing a sub-range [b, e) of a larger portfolio passes stream_base = b
+// and reproduces the whole-batch numbers exactly (the engine's chunked
+// execution relies on this).
 void price_reference_computed(std::span<const core::OptionSpec> opts, std::size_t npath,
-                              std::uint64_t seed, std::span<McResult> out);
+                              std::uint64_t seed, std::span<McResult> out,
+                              std::uint64_t stream_base = 0);
 void price_optimized_computed(std::span<const core::OptionSpec> opts, std::size_t npath,
                               std::uint64_t seed, std::span<McResult> out,
-                              Width w = Width::kAuto);
+                              Width w = Width::kAuto, std::uint64_t stream_base = 0);
 
 // --- Variance reduction (extension; Glasserman ch. 4) -----------------------
 // Antithetic pairs (+Z, -Z) halve the variance of monotone payoffs; the
@@ -68,7 +73,8 @@ void price_optimized_computed(std::span<const core::OptionSpec> opts, std::size_
 // npath/2 draws). std_error reflects the reduced estimator.
 void price_variance_reduced(std::span<const core::OptionSpec> opts, std::size_t npath,
                             std::uint64_t seed, std::span<McResult> out,
-                            bool antithetic = true, bool control_variate = true);
+                            bool antithetic = true, bool control_variate = true,
+                            std::uint64_t stream_base = 0);
 
 // --- Pathwise greeks (extension; Glasserman ch. 7) ---------------------------
 // Unbiased delta and vega estimators from the same terminal draws as the

@@ -1,0 +1,148 @@
+#include "finbench/engine/engine.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "finbench/arch/timing.hpp"
+#include "finbench/obs/metrics.hpp"
+#include "finbench/obs/trace.hpp"
+#include "variants.hpp"
+
+namespace finbench::engine {
+
+namespace {
+
+// Workload size under the variant's layout; 0 with an error message when
+// the request carries the wrong form.
+std::size_t workload_items(const VariantInfo& v, const PricingRequest& req, std::string& err) {
+  switch (v.layout) {
+    case Layout::kSpecs:
+      if (req.specs.empty()) err = "variant '" + v.id + "' needs a specs workload";
+      return req.specs.size();
+    case Layout::kBsAos:
+      if (!req.bs_aos || req.bs_aos->size() == 0) err = "variant '" + v.id + "' needs bs_aos";
+      return req.bs_aos ? req.bs_aos->size() : 0;
+    case Layout::kBsSoa:
+      if (!req.bs_soa || req.bs_soa->size() == 0) err = "variant '" + v.id + "' needs bs_soa";
+      return req.bs_soa ? req.bs_soa->size() : 0;
+    case Layout::kBsSoaF:
+      if (!req.bs_sp || req.bs_sp->size() == 0) err = "variant '" + v.id + "' needs bs_sp";
+      return req.bs_sp ? req.bs_sp->size() : 0;
+    case Layout::kPaths:
+      if (req.npaths == 0) err = "variant '" + v.id + "' needs npaths > 0";
+      return req.npaths;
+  }
+  err = "unknown layout";
+  return 0;
+}
+
+// SIMD-across-options kernels group lanes by position within the span they
+// are handed: an interior chunk boundary that is not a multiple of the
+// vector width would regroup lanes and perturb results in the last ulp.
+// Keeping boundaries 8-aligned (a multiple of every width we ship) makes
+// chunked execution bitwise identical to the whole-batch call.
+constexpr std::size_t kChunkAlign = 8;
+
+// Contiguous chunk boundaries over [0, n): cost-model-weighted for dynamic
+// scheduling (each chunk carries ~total/K weight, so expensive long-dated
+// options don't all land in one chunk), plain equal-count stripes for
+// static (the classic partition the imbalance experiment compares against).
+// Interior boundaries are kChunkAlign-aligned; duplicates are dropped, so
+// every chunk is non-empty.
+std::vector<std::size_t> make_bounds(const VariantInfo& v, const PricingRequest& req,
+                                     std::size_t n, int nparts) {
+  std::vector<std::size_t> bounds{0};
+  std::size_t k = static_cast<std::size_t>(nparts);
+  if (k > n) k = n;
+  auto push_aligned = [&](std::size_t b) {
+    b -= b % kChunkAlign;
+    if (b > bounds.back() && b < n) bounds.push_back(b);
+  };
+  if (v.item_cost && req.schedule == arch::Schedule::kDynamic && !req.specs.empty()) {
+    std::vector<double> cost(n);
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      cost[i] = v.item_cost(req.specs[i], req);
+      total += cost[i];
+    }
+    const double per_chunk = total / static_cast<double>(k);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      acc += cost[i];
+      if (acc >= per_chunk && bounds.size() < k) {
+        push_aligned(i + 1);
+        acc = 0.0;
+      }
+    }
+  } else {
+    for (std::size_t c = 1; c < k; ++c) push_aligned(c * n / k);
+  }
+  bounds.push_back(n);
+  return bounds;
+}
+
+}  // namespace
+
+Engine::Engine(ThreadPool* pool) : pool_(pool ? pool : &ThreadPool::shared()) {}
+
+Engine& Engine::shared() {
+  static Engine e;
+  return e;
+}
+
+PricingResult Engine::price(const PricingRequest& req) const {
+  PricingResult res;
+  res.kernel_id = req.kernel_id;
+  const VariantInfo* v = Registry::instance().find(req.kernel_id);
+  if (!v) {
+    res.error = "unknown kernel id '" + req.kernel_id + "' (see pricectl --list)";
+    return res;
+  }
+  std::string err;
+  const std::size_t n = workload_items(*v, req, err);
+  if (!err.empty()) {
+    res.error = err;
+    return res;
+  }
+
+  obs::counter("engine.requests").add(1);
+  FINBENCH_SPAN("engine.price");
+  arch::WallTimer t;
+
+  // Whole-batch fallback: no range adapter, or nothing to chunk over.
+  if (!v->run_range || v->layout != Layout::kSpecs || n < 2) {
+    v->run_batch(req, res);
+    res.seconds = t.seconds();
+    obs::counter("engine.items").add(res.items);
+    return res;
+  }
+
+  res.values.assign(n, 0.0);
+  if (v->has_std_error) res.std_errors.assign(n, 0.0);
+  if (v->prepare) v->prepare(req);
+
+  const int P = pool_->size();
+  const int nparts = req.schedule == arch::Schedule::kDynamic
+                         ? P * std::max(1, req.chunks_per_thread)
+                         : P;
+  const std::vector<std::size_t> bounds = make_bounds(*v, req, n, nparts);
+  const char* site =
+      req.schedule == arch::Schedule::kDynamic ? "engine.dynamic" : "engine.static";
+
+  pool_->run(
+      static_cast<std::ptrdiff_t>(bounds.size()) - 1,
+      [&](std::ptrdiff_t c) {
+        FINBENCH_SPAN("engine.chunk");
+        v->run_range(req, bounds[static_cast<std::size_t>(c)],
+                     bounds[static_cast<std::size_t>(c) + 1], res);
+      },
+      req.schedule, site);
+
+  res.items = n;
+  res.ok = true;
+  res.seconds = t.seconds();
+  obs::counter("engine.items").add(n);
+  return res;
+}
+
+}  // namespace finbench::engine

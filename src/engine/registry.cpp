@@ -1,0 +1,71 @@
+#include "finbench/engine/registry.hpp"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+
+#include "variants.hpp"
+
+namespace finbench::engine {
+
+Scratch& scratch_of(const PricingRequest& req) {
+  if (!req.scratch) req.scratch = std::make_shared<Scratch>();
+  return *req.scratch;
+}
+
+struct Registry::Impl {
+  mutable std::mutex mu;
+  // map keeps ids() sorted and the VariantInfo addresses stable.
+  std::map<std::string, VariantInfo, std::less<>> variants;
+};
+
+Registry::Registry() : impl_(new Impl) {
+  register_blackscholes(*this);
+  register_binomial(*this);
+  register_montecarlo(*this);
+  register_brownian(*this);
+  register_cranknicolson(*this);
+}
+
+Registry& Registry::instance() {
+  static Registry r;
+  return r;
+}
+
+void Registry::add(VariantInfo v) {
+  if (v.id.empty()) throw std::invalid_argument("registry: empty variant id");
+  if (!v.run_batch) throw std::invalid_argument("registry: variant '" + v.id + "' has no run_batch");
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto [it, inserted] = impl_->variants.emplace(v.id, std::move(v));
+  if (!inserted) throw std::invalid_argument("registry: duplicate variant id '" + it->first + "'");
+}
+
+const VariantInfo* Registry::find(std::string_view id) const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto it = impl_->variants.find(id);
+  return it == impl_->variants.end() ? nullptr : &it->second;
+}
+
+std::vector<const VariantInfo*> Registry::all() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  std::vector<const VariantInfo*> out;
+  out.reserve(impl_->variants.size());
+  for (const auto& [id, v] : impl_->variants) out.push_back(&v);
+  return out;
+}
+
+std::vector<std::string> Registry::ids() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  std::vector<std::string> out;
+  out.reserve(impl_->variants.size());
+  for (const auto& [id, v] : impl_->variants) out.push_back(id);
+  return out;
+}
+
+std::size_t Registry::size() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->variants.size();
+}
+
+}  // namespace finbench::engine

@@ -1,0 +1,159 @@
+#include "finbench/engine/thread_pool.hpp"
+
+#include <omp.h>
+
+#include "finbench/arch/timing.hpp"
+#include "finbench/obs/metrics.hpp"
+#include "finbench/obs/trace.hpp"
+
+namespace finbench::engine {
+
+namespace {
+// Set while this thread is executing chunks of a pool run; a nested run()
+// from inside a chunk executes inline instead of deadlocking on submit_mu_.
+thread_local bool t_in_pool_run = false;
+}  // namespace
+
+ThreadPool::ThreadPool(int threads) {
+  int n = threads > 0 ? threads : arch::num_threads();
+  if (n < 1) n = 1;
+  workers_.reserve(static_cast<std::size_t>(n - 1));
+  for (int p = 1; p < n; ++p) {
+    workers_.emplace_back([this, p] { worker_main(p); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void ThreadPool::execute_chunk(std::ptrdiff_t c) {
+  // After a failure the remaining chunks are skipped but still counted, so
+  // completion bookkeeping stays exact and run() can rethrow promptly.
+  if (!failed_.load(std::memory_order_relaxed)) {
+    try {
+      (*fn_)(c);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(err_mu_);
+      if (!error_) error_ = std::current_exception();
+      failed_.store(true, std::memory_order_relaxed);
+    }
+  }
+  completed_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+void ThreadPool::participate(int participant) {
+  const bool timing = obs::parallel_timing_enabled();
+  arch::ThreadCpuTimer cpu;
+  t_in_pool_run = true;
+  if (sched_ == arch::Schedule::kDynamic) {
+    std::ptrdiff_t c;
+    while ((c = ticket_.fetch_add(1, std::memory_order_relaxed)) < nchunks_) {
+      execute_chunk(c);
+    }
+  } else {
+    const int P = size();
+    for (std::ptrdiff_t c = participant; c < nchunks_; c += P) {
+      execute_chunk(c);
+    }
+  }
+  t_in_pool_run = false;
+  if (timing) {
+    const double s = cpu.seconds();
+    std::lock_guard<std::mutex> lock(stat_mu_);
+    if (cpu_count_ == 0 || s < cpu_min_) cpu_min_ = s;
+    if (cpu_count_ == 0 || s > cpu_max_) cpu_max_ = s;
+    cpu_sum_ += s;
+    ++cpu_count_;
+  }
+}
+
+void ThreadPool::worker_main(int participant) {
+  // Each pool worker is an OpenMP "initial thread": without this, a kernel
+  // chunk containing "#pragma omp parallel" would spawn a full team per
+  // worker and oversubscribe the machine quadratically. One-thread teams
+  // keep kernel-internal regions serial inside the pool.
+  omp_set_num_threads(1);
+  std::uint64_t seen = 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    cv_work_.wait(lock, [&] { return stop_ || (run_live_ && gen_ != seen); });
+    if (stop_) return;
+    seen = gen_;
+    ++active_workers_;
+    lock.unlock();
+    participate(participant);
+    lock.lock();
+    --active_workers_;
+    cv_done_.notify_all();
+  }
+}
+
+void ThreadPool::run(std::ptrdiff_t nchunks, const std::function<void(std::ptrdiff_t)>& fn,
+                     arch::Schedule sched, const char* site) {
+  if (nchunks <= 0) return;
+  if (t_in_pool_run || workers_.empty()) {
+    // Nested submission or single-participant pool: inline, serially.
+    for (std::ptrdiff_t c = 0; c < nchunks; ++c) fn(c);
+    return;
+  }
+
+  std::lock_guard<std::mutex> submit(submit_mu_);
+  fn_ = &fn;
+  nchunks_ = nchunks;
+  sched_ = sched;
+  ticket_.store(0, std::memory_order_relaxed);
+  completed_.store(0, std::memory_order_relaxed);
+  failed_.store(false, std::memory_order_relaxed);
+  error_ = nullptr;
+  cpu_min_ = cpu_max_ = cpu_sum_ = 0.0;
+  cpu_count_ = 0;
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++gen_;
+    run_live_ = true;
+  }
+  cv_work_.notify_all();
+
+  // The caller participates too — with its own OpenMP ICV pinned to one
+  // thread for the duration, so kernel-internal parallel regions stay
+  // serial per chunk (restored before returning).
+  const int caller_omp = omp_get_max_threads();
+  omp_set_num_threads(1);
+  {
+    FINBENCH_SPAN(site);
+    participate(0);
+  }
+  omp_set_num_threads(caller_omp);
+
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_done_.wait(lock, [&] {
+      return completed_.load(std::memory_order_acquire) == nchunks_ && active_workers_ == 0;
+    });
+    run_live_ = false;
+  }
+
+  if (obs::parallel_timing_enabled() && cpu_count_ > 0) {
+    obs::record_parallel_region(site, cpu_count_, cpu_min_, cpu_max_, cpu_sum_);
+  }
+
+  if (error_) {
+    std::exception_ptr e = error_;
+    error_ = nullptr;
+    std::rethrow_exception(e);
+  }
+}
+
+}  // namespace finbench::engine

@@ -1,0 +1,46 @@
+// Internal to src/engine: the Scratch cache definition and the per-family
+// registration functions the Registry constructor calls. Not installed.
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "finbench/arch/aligned.hpp"
+#include "finbench/engine/registry.hpp"
+#include "finbench/engine/request.hpp"
+#include "finbench/kernels/brownian.hpp"
+#include "finbench/kernels/montecarlo.hpp"
+
+namespace finbench::engine {
+
+// Request-lifetime derived data, built on the first pricing of a request
+// and reused across repetitions (benchmark loops re-price the same request
+// many times; regenerating normal streams inside the timed region would
+// distort the stream-RNG kernels, whose whole point is that the normals
+// are already in memory).
+struct Scratch {
+  // Monte Carlo stream flavor: one shared normal array of npath draws.
+  arch::AlignedVector<double> z;
+
+  // Monte Carlo whole-batch result buffer (reused across repetitions).
+  std::vector<kernels::mc::McResult> mc;
+
+  // Brownian bridge: schedule, per-path normals, and the lane-blocked
+  // reordering for the SIMD variants (one width per request).
+  std::unique_ptr<kernels::brownian::BridgeSchedule> sched;
+  arch::AlignedVector<double> bb_z;
+  arch::AlignedVector<double> bb_z_blocked;
+  int bb_blocked_width = 0;
+};
+
+// Ensure req.scratch exists; returns it.
+Scratch& scratch_of(const PricingRequest& req);
+
+void register_blackscholes(Registry& r);
+void register_binomial(Registry& r);
+void register_montecarlo(Registry& r);
+void register_brownian(Registry& r);
+void register_cranknicolson(Registry& r);
+
+}  // namespace finbench::engine

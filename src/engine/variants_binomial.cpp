@@ -1,0 +1,157 @@
+// Registry adapters for the binomial-lattice kernel family (paper Fig. 5).
+//
+// The lattice cost model makes this the engine's showcase for cost-model-
+// weighted chunking: one option costs ~3 s (s+1)/2 flops with s the lattice
+// depth, and with PricingRequest::steps_per_year > 0 the depth scales with
+// expiry — a 3-year option costs two orders of magnitude more than a
+// 1-month one, exactly the skew dynamic self-scheduling absorbs.
+
+#include <algorithm>
+#include <span>
+
+#include "finbench/kernels/binomial.hpp"
+#include "variants.hpp"
+
+namespace finbench::engine {
+
+namespace {
+
+using core::OptLevel;
+using kernels::binomial::Width;
+
+// Effective lattice depth for one option under this request.
+int steps_for(const core::OptionSpec& o, const PricingRequest& req) {
+  if (req.steps_per_year <= 0) return req.steps;
+  const int s = static_cast<int>(o.years * req.steps_per_year);
+  return std::max(16, s);
+}
+
+double flops(const PricingRequest& req) {
+  return kernels::binomial::flops_per_option(req.steps);
+}
+double bytes(const PricingRequest&) { return 0.0; }  // compute-bound
+
+double item_cost(const core::OptionSpec& o, const PricingRequest& req) {
+  const double s = steps_for(o, req);
+  return s * (s + 1);
+}
+
+using BatchFn = void (*)(std::span<const core::OptionSpec>, int, std::span<double>, Width);
+
+// Uniform-depth kernels take (opts, steps, out, width); wrap the two
+// width-less entry points into that shape.
+void reference_w(std::span<const core::OptionSpec> o, int s, std::span<double> out, Width) {
+  kernels::binomial::price_reference(o, s, out);
+}
+void basic_w(std::span<const core::OptionSpec> o, int s, std::span<double> out, Width) {
+  kernels::binomial::price_basic(o, s, out);
+}
+
+template <BatchFn K, Width W>
+void run_range(const PricingRequest& req, std::size_t begin, std::size_t end,
+               PricingResult& res) {
+  std::span<double> out{res.values.data() + begin, end - begin};
+  if (req.steps_per_year > 0) {
+    // Heterogeneous depths: the lattice is priced per option (SIMD variants
+    // accept single-option spans via their scalar tail path).
+    for (std::size_t o = begin; o < end; ++o) {
+      K(req.specs.subspan(o, 1), steps_for(req.specs[o], req),
+        {res.values.data() + o, 1}, W);
+    }
+    return;
+  }
+  K(req.specs.subspan(begin, end - begin), req.steps, out, W);
+}
+
+template <BatchFn K, Width W>
+void run_batch(const PricingRequest& req, PricingResult& res) {
+  const std::size_t n = req.specs.size();
+  if (res.values.size() != n) res.values.assign(n, 0.0);
+  res.items = n;
+  res.ok = true;
+  if (req.steps_per_year > 0) {
+    run_range<K, W>(req, 0, n, res);
+    return;
+  }
+  K(req.specs, req.steps, res.values, W);
+}
+
+VariantInfo base(const char* id, OptLevel level, int width, const char* desc) {
+  VariantInfo v;
+  v.id = id;
+  v.kernel = "binomial";
+  v.level = level;
+  v.width = width;
+  v.layout = Layout::kSpecs;
+  v.exhibit = "Fig. 5";
+  v.description = desc;
+  v.reference_id = "binomial.reference.scalar";
+  v.tolerance = 1e-8;
+  v.flops_per_item = flops;
+  v.bytes_per_item = bytes;
+  v.item_cost = item_cost;
+  return v;
+}
+
+template <BatchFn K, Width W>
+void wire(VariantInfo& v) {
+  v.run_batch = run_batch<K, W>;
+  v.run_range = run_range<K, W>;
+}
+
+}  // namespace
+
+void register_binomial(Registry& r) {
+  {
+    VariantInfo v = base("binomial.reference.scalar", OptLevel::kReference, 1,
+                         "per-option scalar CRR reduction (Lis. 2)");
+    v.reference_id = "";
+    wire<reference_w, Width::kScalar>(v);
+    r.add(std::move(v));
+  }
+  {
+    VariantInfo v = base("binomial.basic.auto", OptLevel::kBasic, 0,
+                         "inner-loop autovectorization + OpenMP across options");
+    v.tolerance = 1e-12;
+    // price_basic's backward induction carries no early-exercise max —
+    // the omp-simd inner loop is pure continuation value.
+    v.european_only = true;
+    wire<basic_w, Width::kAuto>(v);
+    r.add(std::move(v));
+  }
+  {
+    VariantInfo v = base("binomial.intermediate.avx2", OptLevel::kIntermediate, 4,
+                         "4-wide SIMD across options, one option per lane");
+    wire<kernels::binomial::price_intermediate, Width::kAvx2>(v);
+    r.add(std::move(v));
+  }
+  {
+    VariantInfo v = base("binomial.intermediate.auto", OptLevel::kIntermediate, 0,
+                         "widest SIMD across options, one option per lane");
+    wire<kernels::binomial::price_intermediate, Width::kAuto>(v);
+    r.add(std::move(v));
+  }
+  {
+    VariantInfo v = base("binomial.advanced.avx2", OptLevel::kAdvanced, 4,
+                         "register tiling (Lis. 3), 4-wide");
+    v.european_only = true;
+    wire<kernels::binomial::price_advanced, Width::kAvx2>(v);
+    r.add(std::move(v));
+  }
+  {
+    VariantInfo v = base("binomial.advanced.auto", OptLevel::kAdvanced, 0,
+                         "register tiling (Lis. 3), widest");
+    v.european_only = true;
+    wire<kernels::binomial::price_advanced, Width::kAuto>(v);
+    r.add(std::move(v));
+  }
+  {
+    VariantInfo v = base("binomial.advanced_unrolled.auto", OptLevel::kAdvanced, 0,
+                         "register tiling + manual tile-loop unrolling");
+    v.european_only = true;
+    wire<kernels::binomial::price_advanced_unrolled, Width::kAuto>(v);
+    r.add(std::move(v));
+  }
+}
+
+}  // namespace finbench::engine

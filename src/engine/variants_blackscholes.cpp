@@ -1,0 +1,122 @@
+// Registry adapters for the Black–Scholes kernel family (paper Fig. 4).
+//
+// These variants consume whole BsBatch* workloads and write prices into
+// the request's batch arrays (PricingResult::values stays empty: the
+// kernel is bandwidth-bound, and copying millions of outputs would distort
+// exactly what Fig. 4 measures). They are whole-batch only — the kernels'
+// internal "#pragma omp parallel for" over the batch IS the experiment.
+
+#include "finbench/kernels/blackscholes.hpp"
+#include "variants.hpp"
+
+namespace finbench::engine {
+
+namespace {
+
+using core::OptLevel;
+using kernels::bs::Width;
+using kernels::bs::WidthF;
+
+double flops(const PricingRequest&) { return kernels::bs::kFlopsPerOption; }
+double bytes(const PricingRequest&) { return kernels::bs::kBytesPerOption; }
+double bytes_sp(const PricingRequest&) { return kernels::bs::kBytesPerOption / 2; }
+
+template <void (*K)(core::BsBatchAos&)>
+void run_aos(const PricingRequest& req, PricingResult& res) {
+  K(*req.bs_aos);
+  res.items = req.bs_aos->size();
+  res.ok = true;
+}
+
+template <Width W>
+void run_intermediate(const PricingRequest& req, PricingResult& res) {
+  kernels::bs::price_intermediate(*req.bs_soa, W);
+  res.items = req.bs_soa->size();
+  res.ok = true;
+}
+
+template <Width W>
+void run_advanced_vml(const PricingRequest& req, PricingResult& res) {
+  kernels::bs::price_advanced_vml(*req.bs_soa, W);
+  res.items = req.bs_soa->size();
+  res.ok = true;
+}
+
+void run_intermediate_sp(const PricingRequest& req, PricingResult& res) {
+  kernels::bs::price_intermediate_sp(*req.bs_sp, WidthF::kAuto);
+  res.items = req.bs_sp->size();
+  res.ok = true;
+}
+
+VariantInfo base(const char* id, OptLevel level, int width, Layout layout, const char* desc) {
+  VariantInfo v;
+  v.id = id;
+  v.kernel = "bs";
+  v.level = level;
+  v.width = width;
+  v.layout = layout;
+  v.exhibit = "Fig. 4";
+  v.description = desc;
+  v.reference_id = "bs.reference.scalar";
+  v.flops_per_item = flops;
+  v.bytes_per_item = bytes;
+  v.european_only = true;  // closed form: European by construction
+  return v;
+}
+
+}  // namespace
+
+void register_blackscholes(Registry& r) {
+  {
+    VariantInfo v = base("bs.reference.scalar", OptLevel::kReference, 1, Layout::kBsAos,
+                         "scalar AOS loop, cnd via libm erfc (Lis. 1)");
+    v.reference_id = "";
+    v.run_batch = run_aos<kernels::bs::price_reference>;
+    r.add(std::move(v));
+  }
+  {
+    VariantInfo v = base("bs.basic.auto", OptLevel::kBasic, 0, Layout::kBsAos,
+                         "AOS loop under pragma omp parallel for simd");
+    v.tolerance = 1e-12;
+    v.run_batch = run_aos<kernels::bs::price_basic>;
+    r.add(std::move(v));
+  }
+  {
+    VariantInfo v = base("bs.intermediate.avx2", OptLevel::kIntermediate, 4, Layout::kBsSoa,
+                         "SOA + 4-wide SIMD across options, erf substitution, put via parity");
+    v.tolerance = 1e-9;
+    v.run_batch = run_intermediate<Width::kAvx2>;
+    r.add(std::move(v));
+  }
+  {
+    VariantInfo v = base("bs.intermediate.auto", OptLevel::kIntermediate, 0, Layout::kBsSoa,
+                         "SOA + widest SIMD across options, erf substitution, put via parity");
+    v.tolerance = 1e-9;
+    v.run_batch = run_intermediate<Width::kAuto>;
+    r.add(std::move(v));
+  }
+  {
+    VariantInfo v = base("bs.advanced_vml.avx2", OptLevel::kAdvanced, 4, Layout::kBsSoa,
+                         "SOA + VML-style whole-array transcendental passes, 4-wide");
+    v.tolerance = 1e-8;
+    v.run_batch = run_advanced_vml<Width::kAvx2>;
+    r.add(std::move(v));
+  }
+  {
+    VariantInfo v = base("bs.advanced_vml.auto", OptLevel::kAdvanced, 0, Layout::kBsSoa,
+                         "SOA + VML-style whole-array transcendental passes, widest");
+    v.tolerance = 1e-8;
+    v.run_batch = run_advanced_vml<Width::kAuto>;
+    r.add(std::move(v));
+  }
+  {
+    VariantInfo v = base("bs.intermediate_sp.auto", OptLevel::kIntermediate, 0, Layout::kBsSoaF,
+                         "single-precision SOA SIMD (twice the lanes, half the bytes)");
+    v.tolerance = 1e-3;  // SP arithmetic vs the DP reference
+    v.bytes_per_item = bytes_sp;
+    v.run_batch = run_intermediate_sp;
+    r.add(std::move(v));
+  }
+}
+
+}  // namespace finbench::engine

@@ -1,0 +1,222 @@
+// Registry adapters for the Monte Carlo kernel family (paper Table II).
+//
+// Stream-flavor variants share one pre-generated normal array across every
+// option (built once into the request's Scratch, so repeated pricings of
+// the same request time only the integration, as Table II does). Computed-
+// flavor variants draw a fresh Philox substream per option; run_range
+// passes stream_base = begin so chunked execution consumes exactly the
+// same substreams as the whole batch.
+
+#include <vector>
+
+#include "finbench/kernels/montecarlo.hpp"
+#include "finbench/rng/normal.hpp"
+#include "variants.hpp"
+
+namespace finbench::engine {
+
+namespace {
+
+using core::OptLevel;
+using kernels::mc::McResult;
+using kernels::mc::Width;
+
+double flops(const PricingRequest& req) {
+  return kernels::mc::kFlopsPerPath * static_cast<double>(req.npath);
+}
+double bytes_stream(const PricingRequest& req) {
+  return 8.0 * static_cast<double>(req.npath);  // the normal array re-read per option
+}
+double bytes_computed(const PricingRequest&) { return 0.0; }
+
+// Paths per option are constant across the batch, so cost is uniform and
+// item_cost stays null (equal-count chunks are already balanced).
+
+const arch::AlignedVector<double>& stream_normals(const PricingRequest& req) {
+  Scratch& s = scratch_of(req);
+  if (s.z.size() < req.npath) {
+    s.z.resize(req.npath);
+    rng::NormalStream stream(req.seed);
+    stream.fill({s.z.data(), s.z.size()});
+  }
+  return s.z;
+}
+
+void prepare_stream(const PricingRequest& req) { stream_normals(req); }
+
+void store(const std::vector<McResult>& mc, std::size_t begin, PricingResult& res) {
+  for (std::size_t i = 0; i < mc.size(); ++i) {
+    res.values[begin + i] = mc[i].price;
+    if (!res.std_errors.empty()) res.std_errors[begin + i] = mc[i].std_error;
+  }
+}
+
+using StreamFn = void (*)(std::span<const core::OptionSpec>, std::span<const double>,
+                          std::size_t, std::span<McResult>, Width);
+
+void reference_stream_w(std::span<const core::OptionSpec> o, std::span<const double> z,
+                        std::size_t n, std::span<McResult> out, Width) {
+  kernels::mc::price_reference_stream(o, z, n, out);
+}
+void basic_stream_w(std::span<const core::OptionSpec> o, std::span<const double> z,
+                    std::size_t n, std::span<McResult> out, Width) {
+  kernels::mc::price_basic_stream(o, z, n, out);
+}
+
+template <StreamFn K, Width W>
+void stream_range(const PricingRequest& req, std::size_t begin, std::size_t end,
+                  PricingResult& res) {
+  const auto& z = stream_normals(req);
+  std::vector<McResult> mc(end - begin);
+  K(req.specs.subspan(begin, end - begin), z, req.npath, mc, W);
+  store(mc, begin, res);
+}
+
+template <StreamFn K, Width W>
+void stream_batch(const PricingRequest& req, PricingResult& res) {
+  const auto& z = stream_normals(req);
+  const std::size_t n = req.specs.size();
+  std::vector<McResult>& mc = scratch_of(req).mc;
+  if (mc.size() != n) mc.assign(n, {});
+  K(req.specs, z, req.npath, mc, W);
+  if (res.values.size() != n) res.values.assign(n, 0.0);
+  if (res.std_errors.size() != n) res.std_errors.assign(n, 0.0);
+  store(mc, 0, res);
+  res.items = n;
+  res.ok = true;
+}
+
+using ComputedFn = void (*)(std::span<const core::OptionSpec>, std::size_t, std::uint64_t,
+                            std::span<McResult>, Width, std::uint64_t);
+
+void reference_computed_w(std::span<const core::OptionSpec> o, std::size_t n, std::uint64_t seed,
+                          std::span<McResult> out, Width, std::uint64_t base) {
+  kernels::mc::price_reference_computed(o, n, seed, out, base);
+}
+void variance_reduced_w(std::span<const core::OptionSpec> o, std::size_t n, std::uint64_t seed,
+                        std::span<McResult> out, Width, std::uint64_t base) {
+  kernels::mc::price_variance_reduced(o, n, seed, out, /*antithetic=*/true,
+                                      /*control_variate=*/true, base);
+}
+
+template <ComputedFn K, Width W>
+void computed_range(const PricingRequest& req, std::size_t begin, std::size_t end,
+                    PricingResult& res) {
+  std::vector<McResult> mc(end - begin);
+  K(req.specs.subspan(begin, end - begin), req.npath, req.seed, mc, W, begin);
+  store(mc, begin, res);
+}
+
+template <ComputedFn K, Width W>
+void computed_batch(const PricingRequest& req, PricingResult& res) {
+  const std::size_t n = req.specs.size();
+  std::vector<McResult>& mc = scratch_of(req).mc;
+  if (mc.size() != n) mc.assign(n, {});
+  K(req.specs, req.npath, req.seed, mc, W, 0);
+  if (res.values.size() != n) res.values.assign(n, 0.0);
+  if (res.std_errors.size() != n) res.std_errors.assign(n, 0.0);
+  store(mc, 0, res);
+  res.items = n;
+  res.ok = true;
+}
+
+VariantInfo base(const char* id, OptLevel level, int width, const char* desc) {
+  VariantInfo v;
+  v.id = id;
+  v.kernel = "mc";
+  v.level = level;
+  v.width = width;
+  v.layout = Layout::kSpecs;
+  v.exhibit = "Table II";
+  v.description = desc;
+  v.tolerance = 1e-9;
+  v.flops_per_item = flops;
+  v.has_std_error = true;
+  v.european_only = true;  // terminal-value MC: European payoffs only
+  return v;
+}
+
+}  // namespace
+
+void register_montecarlo(Registry& r) {
+  {
+    VariantInfo v = base("mc.reference_stream.scalar", OptLevel::kReference, 1,
+                         "scalar path integration over streamed normals (Lis. 5)");
+    v.reference_id = "";
+    v.bytes_per_item = bytes_stream;
+    v.prepare = prepare_stream;
+    v.run_batch = stream_batch<reference_stream_w, Width::kScalar>;
+    v.run_range = stream_range<reference_stream_w, Width::kScalar>;
+    r.add(std::move(v));
+  }
+  {
+    VariantInfo v = base("mc.basic_stream.auto", OptLevel::kBasic, 0,
+                         "omp across options + simd-reduction path loop, streamed normals");
+    v.reference_id = "mc.reference_stream.scalar";
+    v.bytes_per_item = bytes_stream;
+    v.prepare = prepare_stream;
+    v.run_batch = stream_batch<basic_stream_w, Width::kAuto>;
+    v.run_range = stream_range<basic_stream_w, Width::kAuto>;
+    r.add(std::move(v));
+  }
+  {
+    VariantInfo v = base("mc.optimized_stream.avx2", OptLevel::kIntermediate, 4,
+                         "explicit 4-wide SIMD over paths, streamed normals");
+    v.reference_id = "mc.reference_stream.scalar";
+    v.bytes_per_item = bytes_stream;
+    v.prepare = prepare_stream;
+    v.run_batch = stream_batch<kernels::mc::price_optimized_stream, Width::kAvx2>;
+    v.run_range = stream_range<kernels::mc::price_optimized_stream, Width::kAvx2>;
+    r.add(std::move(v));
+  }
+  {
+    VariantInfo v = base("mc.optimized_stream.auto", OptLevel::kIntermediate, 0,
+                         "explicit widest SIMD over paths, streamed normals");
+    v.reference_id = "mc.reference_stream.scalar";
+    v.bytes_per_item = bytes_stream;
+    v.prepare = prepare_stream;
+    v.run_batch = stream_batch<kernels::mc::price_optimized_stream, Width::kAuto>;
+    v.run_range = stream_range<kernels::mc::price_optimized_stream, Width::kAuto>;
+    r.add(std::move(v));
+  }
+  {
+    VariantInfo v = base("mc.reference_computed.scalar", OptLevel::kReference, 1,
+                         "scalar integration, fresh Philox substream per option");
+    v.reference_id = "";
+    v.bytes_per_item = bytes_computed;
+    v.run_batch = computed_batch<reference_computed_w, Width::kScalar>;
+    v.run_range = computed_range<reference_computed_w, Width::kScalar>;
+    r.add(std::move(v));
+  }
+  {
+    VariantInfo v = base("mc.optimized_computed.avx2", OptLevel::kIntermediate, 4,
+                         "4-wide SIMD, chunked Philox/ICDF interleaved with integration");
+    v.reference_id = "mc.reference_computed.scalar";
+    v.bytes_per_item = bytes_computed;
+    v.run_batch = computed_batch<kernels::mc::price_optimized_computed, Width::kAvx2>;
+    v.run_range = computed_range<kernels::mc::price_optimized_computed, Width::kAvx2>;
+    r.add(std::move(v));
+  }
+  {
+    VariantInfo v = base("mc.optimized_computed.auto", OptLevel::kIntermediate, 0,
+                         "widest SIMD, chunked Philox/ICDF interleaved with integration");
+    v.reference_id = "mc.reference_computed.scalar";
+    v.bytes_per_item = bytes_computed;
+    v.run_batch = computed_batch<kernels::mc::price_optimized_computed, Width::kAuto>;
+    v.run_range = computed_range<kernels::mc::price_optimized_computed, Width::kAuto>;
+    r.add(std::move(v));
+  }
+  {
+    VariantInfo v = base("mc.variance_reduced.auto", OptLevel::kAdvanced, 0,
+                         "antithetic pairs + terminal-stock control variate");
+    v.reference_id = "mc.reference_computed.scalar";
+    v.statistical = true;  // different estimator: agrees within error bands
+    v.tolerance = 0.05;
+    v.bytes_per_item = bytes_computed;
+    v.run_batch = computed_batch<variance_reduced_w, Width::kAuto>;
+    v.run_range = computed_range<variance_reduced_w, Width::kAuto>;
+    r.add(std::move(v));
+  }
+}
+
+}  // namespace finbench::engine

@@ -145,7 +145,8 @@ constexpr std::size_t kRngChunk = 4096;  // normals per cache-resident chunk
 
 template <int W>
 void optimized_computed_width(std::span<const core::OptionSpec> opts, std::size_t npath,
-                              std::uint64_t seed, std::span<McResult> out) {
+                              std::uint64_t seed, std::span<McResult> out,
+                              std::uint64_t stream_base) {
   using V = simd::Vec<double, W>;
   const std::ptrdiff_t nopt = static_cast<std::ptrdiff_t>(opts.size());
 #pragma omp parallel
@@ -157,7 +158,7 @@ void optimized_computed_width(std::span<const core::OptionSpec> opts, std::size_
       const core::OptionSpec& opt = opts[o];
       const PathParams p = path_params(opt);
       const V spot(opt.spot), strike(opt.strike), vrt(p.v_rt_t), mu(p.mu_t), sign(p.sign);
-      rng::NormalStream stream(seed, static_cast<std::uint64_t>(o));
+      rng::NormalStream stream(seed, stream_base + static_cast<std::uint64_t>(o));
       V v0v(0.0), v1v(0.0);
       double v0 = 0.0, v1 = 0.0;
       std::size_t done = 0;
@@ -205,13 +206,14 @@ void price_optimized_stream(std::span<const core::OptionSpec> opts, std::span<co
 }
 
 void price_reference_computed(std::span<const core::OptionSpec> opts, std::size_t npath,
-                              std::uint64_t seed, std::span<McResult> out) {
+                              std::uint64_t seed, std::span<McResult> out,
+                              std::uint64_t stream_base) {
   assert(out.size() >= opts.size());
   detail::count_paths(opts.size() * npath);
   arch::AlignedVector<double> zbuf(kRngChunk);
   for (std::size_t o = 0; o < opts.size(); ++o) {
     const PathParams p = path_params(opts[o]);
-    rng::NormalStream stream(seed, o);
+    rng::NormalStream stream(seed, stream_base + o);
     double v0 = 0.0, v1 = 0.0;
     std::size_t done = 0;
     while (done < npath) {
@@ -230,18 +232,19 @@ void price_reference_computed(std::span<const core::OptionSpec> opts, std::size_
 }
 
 void price_optimized_computed(std::span<const core::OptionSpec> opts, std::size_t npath,
-                              std::uint64_t seed, std::span<McResult> out, Width w) {
+                              std::uint64_t seed, std::span<McResult> out, Width w,
+                              std::uint64_t stream_base) {
   assert(out.size() >= opts.size());
   detail::count_paths(opts.size() * npath);
   switch (w) {
-    case Width::kScalar: optimized_computed_width<1>(opts, npath, seed, out); return;
-    case Width::kAvx2: optimized_computed_width<4>(opts, npath, seed, out); return;
+    case Width::kScalar: optimized_computed_width<1>(opts, npath, seed, out, stream_base); return;
+    case Width::kAvx2: optimized_computed_width<4>(opts, npath, seed, out, stream_base); return;
 #if defined(FINBENCH_HAVE_AVX512)
     case Width::kAvx512:
-    case Width::kAuto: optimized_computed_width<8>(opts, npath, seed, out); return;
+    case Width::kAuto: optimized_computed_width<8>(opts, npath, seed, out, stream_base); return;
 #else
     case Width::kAvx512:
-    case Width::kAuto: optimized_computed_width<4>(opts, npath, seed, out); return;
+    case Width::kAuto: optimized_computed_width<4>(opts, npath, seed, out, stream_base); return;
 #endif
   }
 }
@@ -250,7 +253,7 @@ void price_optimized_computed(std::span<const core::OptionSpec> opts, std::size_
 
 void price_variance_reduced(std::span<const core::OptionSpec> opts, std::size_t npath,
                             std::uint64_t seed, std::span<McResult> out, bool antithetic,
-                            bool control_variate) {
+                            bool control_variate, std::uint64_t stream_base) {
   assert(out.size() >= opts.size());
   detail::count_paths(opts.size() * npath);
   const std::ptrdiff_t nopt = static_cast<std::ptrdiff_t>(opts.size());
@@ -261,7 +264,7 @@ void price_variance_reduced(std::span<const core::OptionSpec> opts, std::size_t 
     for (std::ptrdiff_t o = 0; o < nopt; ++o) {
       const core::OptionSpec& opt = opts[o];
       const PathParams p = path_params(opt);
-      rng::NormalStream stream(seed, static_cast<std::uint64_t>(o));
+      rng::NormalStream stream(seed, stream_base + static_cast<std::uint64_t>(o));
 
       // One observation per draw: the (pair-averaged, when antithetic)
       // payoff and control. Pair averaging bakes the negative within-pair

@@ -1,0 +1,198 @@
+// pricectl — the single CLI entry point to the finbench kernel registry
+// and pricing engine.
+//
+//   pricectl --list                      enumerate every registered variant
+//   pricectl --validate [--nopt N]       self-validate variants vs references
+//   pricectl --kernel ID --nopt N        price a workload through variant ID
+//            [--schedule dynamic|static] [--steps N] [--npath N]
+//            [--prices N] [--depth N] [--seed N] [--spy N]
+//            [--reps N] [--threads N] [--json PATH] [--csv PATH] [--trace PATH]
+//
+// --kernel runs kSpecs workloads through the batched engine (persistent
+// thread pool, cost-model-weighted chunks, --schedule selects dynamic
+// self-scheduling or static stripes) and batch-layout workloads through
+// the kernel's native entry point. --spy N prices a mixed-expiry lattice
+// portfolio at N steps/year of expiry — the heterogeneous workload whose
+// imbalance the dynamic schedule exists to absorb. The run report (--json)
+// follows finbench.run_report/v1, identical to the fig/tab binaries.
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "finbench/core/workload.hpp"
+#include "finbench/engine/engine.hpp"
+#include "finbench/engine/registry.hpp"
+#include "finbench/engine/validate.hpp"
+#include "finbench/vecmath/array_math.hpp"
+
+using namespace finbench;
+
+namespace {
+
+int run_list() {
+  const auto all = engine::Registry::instance().all();
+  std::printf("%-32s %-13s %-6s %-9s %-9s %s\n", "id", "level", "width", "layout", "exhibit",
+              "description");
+  for (const engine::VariantInfo* v : all) {
+    std::printf("%-32s %-13s %-6d %-9s %-9s %s\n", v->id.c_str(),
+                std::string(core::to_string(v->level)).c_str(), v->width,
+                std::string(engine::to_string(v->layout)).c_str(), v->exhibit.c_str(),
+                v->description.c_str());
+  }
+  std::fprintf(stderr, "%zu variants\n", all.size());
+  return 0;
+}
+
+int run_validate(std::size_t nopt) {
+  int failed = 0;
+  for (const auto& rep : engine::validate_all(nopt)) {
+    if (rep.skipped) {
+      std::printf("SKIP  %-32s (reference anchor)\n", rep.id.c_str());
+    } else if (rep.ok) {
+      std::printf("PASS  %-32s vs %-28s max_rel=%.3g\n", rep.id.c_str(),
+                  rep.reference_id.c_str(), rep.max_rel_err);
+    } else {
+      std::printf("FAIL  %-32s vs %-28s %s\n", rep.id.c_str(), rep.reference_id.c_str(),
+                  rep.detail.c_str());
+      ++failed;
+    }
+  }
+  return failed == 0 ? 0 : 1;
+}
+
+void print_parallel_stats() {
+  for (const auto& [name, s] : obs::snapshot_metrics().stats) {
+    if (name.rfind("parallel.", 0) == 0 && name.find(".imbalance") != std::string::npos &&
+        s.count > 0) {
+      std::printf("%-36s mean=%.3f max=%.3f (n=%" PRIu64 ")\n", name.c_str(), s.mean, s.max,
+                  s.count);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opts = bench::Options::parse(argc, argv);
+
+  bool list = false, validate = false;
+  std::string kernel_id;
+  std::size_t nopt = 0;
+  engine::PricingRequest req;
+  int spy = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&](std::size_t fallback) -> std::size_t {
+      return i + 1 < argc ? std::strtoull(argv[++i], nullptr, 10) : fallback;
+    };
+    if (!std::strcmp(argv[i], "--list")) list = true;
+    else if (!std::strcmp(argv[i], "--validate")) validate = true;
+    else if (!std::strcmp(argv[i], "--kernel") && i + 1 < argc) kernel_id = argv[++i];
+    else if (!std::strcmp(argv[i], "--nopt")) nopt = next(0);
+    else if (!std::strcmp(argv[i], "--steps")) req.steps = static_cast<int>(next(req.steps));
+    else if (!std::strcmp(argv[i], "--npath")) req.npath = next(req.npath);
+    else if (!std::strcmp(argv[i], "--prices"))
+      req.cn_num_prices = static_cast<int>(next(req.cn_num_prices));
+    else if (!std::strcmp(argv[i], "--depth"))
+      req.bridge_depth = static_cast<int>(next(req.bridge_depth));
+    else if (!std::strcmp(argv[i], "--seed")) req.seed = next(req.seed);
+    else if (!std::strcmp(argv[i], "--spy")) spy = static_cast<int>(next(0));
+    else if (!std::strcmp(argv[i], "--schedule") && i + 1 < argc) {
+      req.schedule = !std::strcmp(argv[++i], "static") ? arch::Schedule::kStatic
+                                                       : arch::Schedule::kDynamic;
+    }
+  }
+
+  if (list) return run_list();
+  if (validate) return run_validate(nopt ? nopt : 64);
+  if (kernel_id.empty()) {
+    std::fprintf(stderr,
+                 "usage: pricectl --list | --validate | --kernel ID --nopt N [--json PATH]\n"
+                 "               [--schedule dynamic|static] [--steps N] [--npath N]\n"
+                 "               [--prices N] [--depth N] [--seed N] [--spy N] [--reps N]\n"
+                 "               [--threads N] [--csv PATH] [--trace PATH]\n");
+    return 2;
+  }
+
+  const engine::VariantInfo* v = engine::Registry::instance().find(kernel_id);
+  if (!v) {
+    std::fprintf(stderr, "pricectl: unknown kernel id '%s' (see --list)\n", kernel_id.c_str());
+    return 2;
+  }
+  req.kernel_id = kernel_id;
+  if (spy > 0) req.steps_per_year = spy;
+
+  // Workload by layout, sized for an interactive run unless --nopt given.
+  core::BsBatchAos aos;
+  core::BsBatchSoa soa;
+  core::BsBatchSoaF sp;
+  std::vector<core::OptionSpec> specs;
+  std::size_t items = nopt;
+  switch (v->layout) {
+    case engine::Layout::kBsAos:
+      aos = core::make_bs_workload_aos(items = items ? items : (1u << 18), req.seed);
+      req.bs_aos = &aos;
+      break;
+    case engine::Layout::kBsSoa:
+      soa = core::make_bs_workload_soa(items = items ? items : (1u << 18), req.seed);
+      req.bs_soa = &soa;
+      break;
+    case engine::Layout::kBsSoaF:
+      sp = core::to_single(core::make_bs_workload_soa(items = items ? items : (1u << 18), req.seed));
+      req.bs_sp = &sp;
+      break;
+    case engine::Layout::kSpecs: {
+      core::SingleOptionWorkloadParams p;
+      if (v->european_only) p.style = core::ExerciseStyle::kEuropean;
+      if (v->kernel == "cn") {
+        p.style = core::ExerciseStyle::kAmerican;
+        p.vol_min = 0.2;
+        p.vol_max = 0.4;
+      }
+      specs = core::make_option_workload(items = items ? items : 64, req.seed, p);
+      if (spy > 0) {
+        // Maturity-sorted book (how portfolios usually arrive): with
+        // steps-per-year lattices the per-option cost ramps quadratically
+        // across the batch, so static contiguous stripes are maximally
+        // skewed — the case the dynamic schedule exists to absorb.
+        std::sort(specs.begin(), specs.end(),
+                  [](const core::OptionSpec& a, const core::OptionSpec& b) {
+                    return a.years < b.years;
+                  });
+      }
+      req.specs = specs;
+      break;
+    }
+    case engine::Layout::kPaths:
+      req.npaths = items = items ? items : (1u << 16);
+      break;
+  }
+
+  engine::Engine& eng = engine::Engine::shared();
+  engine::PricingResult last;
+  const double rate = bench::items_per_sec(kernel_id.c_str(), items, opts.reps, [&] {
+    last = eng.price(req);
+    if (!last.ok && !last.error.empty()) throw std::runtime_error(last.error);
+  });
+
+  harness::Report report("pricectl: " + kernel_id, "items/s");
+  report.add_note("layout = " + std::string(engine::to_string(v->layout)) +
+                  ", items = " + std::to_string(items) + ", exhibit = " + v->exhibit);
+  report.add_note("schedule = " + std::string(req.schedule == arch::Schedule::kDynamic
+                                                  ? "dynamic (ticket self-scheduling)"
+                                                  : "static (equal-count stripes)"));
+  bench::Projector proj;
+  const double flops = v->flops_per_item ? v->flops_per_item(req) : 0.0;
+  const double bytes = v->bytes_per_item ? v->bytes_per_item(req) : 0.0;
+  const int w = v->width == 0 ? vecmath::max_width() : v->width;
+  report.add_row(proj.make_row(v->description, rate, flops, bytes, w, w));
+  bench::finish(report, opts);
+  print_parallel_stats();
+  return 0;
+}

@@ -46,6 +46,13 @@ struct Options {
   std::string json;
   std::string binary;  // argv[0] basename, recorded in the run report
 
+  // Run-report layout provenance: binaries that negotiate or convert
+  // portfolio layouts record what they settled on here; the defaults mean
+  // "each measurement ran in its variant's native layout, nothing was
+  // converted".
+  std::string layout = "native";
+  double convert_seconds = 0.0;
+
   static Options parse(int argc, char** argv) {
     Options o;
     if (argc > 0) {
@@ -121,7 +128,8 @@ inline double measure_variant(const char* label, const engine::PricingRequest& r
     std::abort();
   }
   engine::PricingResult res;
-  return items_per_sec(label, items, reps, [&] { v->run_batch(req, res); });
+  return items_per_sec(label, items, reps,
+                       [&] { v->run_batch(req, req.portfolio, res); });
 }
 
 // The DESIGN.md §1 projection: scale the host-measured throughput of a
@@ -198,6 +206,8 @@ inline void finish_exports(harness::Report& report, const Options& opts, bool pr
     ctx.full = opts.full;
     ctx.reps = opts.reps;
     ctx.threads = threads;
+    ctx.layout = opts.layout;
+    ctx.convert_seconds = opts.convert_seconds;
     if (!obs::write_run_report(opts.json, report, ctx)) {
       std::fprintf(stderr, "warning: could not write run report to %s\n", opts.json.c_str());
     }

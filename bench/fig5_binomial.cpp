@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "finbench/core/portfolio.hpp"
 #include "finbench/core/workload.hpp"
 #include "finbench/kernels/binomial.hpp"
 
@@ -32,7 +33,7 @@ int main(int argc, char** argv) {
 
     // Registry-dispatched: same request, variant swapped by id per row.
     engine::PricingRequest req;
-    req.specs = workload;
+    req.portfolio = core::view_of(std::span<const core::OptionSpec>(workload));
     req.steps = steps;
     auto measure = [&](const char* label, const char* id) {
       req.kernel_id = id;

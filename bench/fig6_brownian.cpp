@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "finbench/core/portfolio.hpp"
 #include "finbench/kernels/brownian.hpp"
 #include "finbench/rng/normal.hpp"
 
@@ -64,7 +65,7 @@ int main(int argc, char** argv) {
   // identical normals); the bespoke cache-chunked rows below keep their
   // hand-rolled loops.
   engine::PricingRequest req;
-  req.npaths = nsim;
+  req.portfolio = core::paths_view(nsim);
   req.bridge_depth = depth;
   req.seed = 1;
   auto measure = [&](const char* label, const char* id) {

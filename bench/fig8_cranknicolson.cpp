@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "finbench/core/portfolio.hpp"
 #include "finbench/core/workload.hpp"
 #include "finbench/kernels/cranknicolson.hpp"
 
@@ -48,7 +49,7 @@ int main(int argc, char** argv) {
   // Registry-dispatched: the request mirrors the grid (cn_num_prices x
   // steps); each row selects its wavefront variant by id.
   engine::PricingRequest req;
-  req.specs = workload;
+  req.portfolio = core::view_of(std::span<const core::OptionSpec>(workload));
   req.cn_num_prices = grid.num_prices;
   req.steps = grid.num_steps;
   auto measure = [&](const char* label, const char* id) {

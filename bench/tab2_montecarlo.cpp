@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "finbench/core/portfolio.hpp"
 #include "finbench/core/workload.hpp"
 #include "finbench/kernels/montecarlo.hpp"
 #include "finbench/rng/normal.hpp"
@@ -40,7 +41,7 @@ int main(int argc, char** argv) {
   // array into the request's scratch (seed 1, as before) during warm-up, so
   // the timed region covers only the integration — Table II's protocol.
   engine::PricingRequest req;
-  req.specs = workload;
+  req.portfolio = core::view_of(std::span<const core::OptionSpec>(workload));
   req.npath = npath;
 
   req.kernel_id = "mc.optimized_stream.auto";

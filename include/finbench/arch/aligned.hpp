@@ -27,13 +27,18 @@ struct AlignedAllocator {
   AlignedAllocator() = default;
   template <class U> AlignedAllocator(const AlignedAllocator<U, Align>&) {}
 
+  // Routed through aligned operator new (not std::aligned_alloc) so that
+  // allocation-counting tests which override the global operator new — the
+  // zero-steady-state-allocation proof in tests/test_engine_alloc.cpp —
+  // observe AlignedVector traffic too.
   T* allocate(std::size_t n) {
     if (n == 0) return nullptr;
-    void* p = std::aligned_alloc(Align, round_up(n * sizeof(T)));
-    if (!p) throw std::bad_alloc();
+    void* p = ::operator new(round_up(n * sizeof(T)), std::align_val_t{Align});
     return static_cast<T*>(p);
   }
-  void deallocate(T* p, std::size_t) noexcept { std::free(p); }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t{Align});
+  }
 
   template <class U> bool operator==(const AlignedAllocator<U, Align>&) const { return true; }
 

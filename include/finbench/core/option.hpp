@@ -1,10 +1,17 @@
 // finbench/core/option.hpp
 //
-// Core option vocabulary shared by every kernel: single-option specs, and
-// the two batch layouts whose contrast drives the paper's Black–Scholes
-// experiment (Fig. 4) — array-of-structures (the "reference data" layout,
-// which costs a gather per SIMD access) versus structure-of-arrays (the
-// SIMD-friendly layout the advanced optimization converts to).
+// Core option vocabulary shared by every kernel: single-option specs, the
+// Black–Scholes batch layouts whose contrast drives the paper's Fig. 4
+// experiment (AOS — the "reference data" layout costing a gather per SIMD
+// access — versus SOA — the SIMD-friendly layout the advanced optimization
+// converts to), and the non-owning *views* the kernels actually consume.
+//
+// Kernels take views (BsAosView / BsSoaView / BsSoaFView ...), never the
+// owning containers: a view is two-pointer-per-field cheap, so the same
+// kernel prices a heap-backed BsBatchSoa, an arena-backed converted
+// portfolio (finbench/core/portfolio.hpp), or a caller's own arrays. The
+// owning BsBatch* types remain as the convenient generator output and
+// convert to views implicitly.
 
 #pragma once
 
@@ -34,7 +41,7 @@ struct OptionSpec {
                             // risk-neutral drift becomes r - q)
 };
 
-// --- Black–Scholes batch layouts (shared r, sigma, as in Lis. 1) ----------
+// --- Black–Scholes batch record (shared r, sigma, as in Lis. 1) -----------
 
 // AOS: one record per option, outputs interleaved with inputs. This is the
 // paper's reference layout; SIMD access requires gathering fields spread
@@ -47,6 +54,81 @@ struct BsOptionAos {
   double put;   // output
 };
 
+// --- Non-owning views (what kernels take) ----------------------------------
+
+struct BsAosView {
+  std::span<BsOptionAos> options{};
+  double rate = 0.05;
+  double vol = 0.2;
+  double dividend = 0.0;
+
+  std::size_t size() const { return options.size(); }
+};
+
+struct BsSoaView {
+  std::span<double> spot{}, strike{}, years{};
+  std::span<double> call{}, put{};  // outputs
+  double rate = 0.05;
+  double vol = 0.2;
+  double dividend = 0.0;
+
+  std::size_t size() const { return spot.size(); }
+};
+
+// Read-only SOA view for consumers that don't write prices (greeks,
+// implied vol). Implicitly constructible from the mutable view.
+struct BsSoaCView {
+  std::span<const double> spot{}, strike{}, years{};
+  double rate = 0.05;
+  double vol = 0.2;
+  double dividend = 0.0;
+
+  BsSoaCView() = default;
+  BsSoaCView(std::span<const double> s, std::span<const double> k, std::span<const double> t,
+             double r, double v, double q)
+      : spot(s), strike(k), years(t), rate(r), vol(v), dividend(q) {}
+  BsSoaCView(const BsSoaView& v)  // NOLINT(google-explicit-constructor)
+      : spot(v.spot), strike(v.strike), years(v.years),
+        rate(v.rate), vol(v.vol), dividend(v.dividend) {}
+
+  std::size_t size() const { return spot.size(); }
+};
+
+struct BsSoaFView {
+  std::span<float> spot{}, strike{}, years{};
+  std::span<float> call{}, put{};  // outputs
+  float rate = 0.05f;
+  float vol = 0.2f;
+
+  std::size_t size() const { return spot.size(); }
+};
+
+// Lane-blocked AoSoA: options grouped into blocks of `block` lanes, each
+// block storing its fields as contiguous `block`-vectors —
+//   [spot×B | strike×B | years×B | call×B | put×B] per block
+// so a register tile touches one cache-line run per field. Trailing lanes
+// of the last block (n..ceil) are padded with the block's last option.
+struct BsBlockedView {
+  std::span<double> data{};  // ceil(n/block) * 5 * block doubles
+  std::size_t n = 0;         // logical option count
+  int block = 8;
+  double rate = 0.05;
+  double vol = 0.2;
+  double dividend = 0.0;
+
+  std::size_t size() const { return n; }
+  std::size_t num_blocks() const {
+    const std::size_t b = static_cast<std::size_t>(block);
+    return b ? (n + b - 1) / b : 0;
+  }
+  // Field f (0=spot, 1=strike, 2=years, 3=call, 4=put) of block `blk`.
+  double* field(std::size_t blk, int f) const {
+    return data.data() + (blk * 5 + static_cast<std::size_t>(f)) * static_cast<std::size_t>(block);
+  }
+};
+
+// --- Owning batch containers ------------------------------------------------
+
 struct BsBatchAos {
   arch::AlignedVector<BsOptionAos> options;
   double rate = 0.05;
@@ -54,6 +136,9 @@ struct BsBatchAos {
   double dividend = 0.0;  // shared continuous yield (extension; 0 = paper setup)
 
   std::size_t size() const { return options.size(); }
+
+  BsAosView view() { return {{options.data(), options.size()}, rate, vol, dividend}; }
+  operator BsAosView() { return view(); }  // NOLINT(google-explicit-constructor)
 };
 
 // SOA: one contiguous array per field — unit-stride SIMD loads and
@@ -76,9 +161,27 @@ struct BsBatchSoa {
     call.resize(n);
     put.resize(n);
   }
+
+  BsSoaView view() {
+    return {{spot.data(), spot.size()},   {strike.data(), strike.size()},
+            {years.data(), years.size()}, {call.data(), call.size()},
+            {put.data(), put.size()},     rate,
+            vol,                          dividend};
+  }
+  BsSoaCView cview() const {
+    return {{spot.data(), spot.size()},
+            {strike.data(), strike.size()},
+            {years.data(), years.size()},
+            rate,
+            vol,
+            dividend};
+  }
+  operator BsSoaView() { return view(); }         // NOLINT(google-explicit-constructor)
+  operator BsSoaCView() const { return cview(); }  // NOLINT(google-explicit-constructor)
 };
 
 // Layout conversions (the "advanced" optimization's data restructuring).
+// finbench/core/portfolio.hpp has the arena-backed, cost-reporting form.
 BsBatchSoa to_soa(const BsBatchAos& aos);
 BsBatchAos to_aos(const BsBatchSoa& soa);
 
@@ -101,6 +204,14 @@ struct BsBatchSoaF {
     call.resize(n);
     put.resize(n);
   }
+
+  BsSoaFView view() {
+    return {{spot.data(), spot.size()},   {strike.data(), strike.size()},
+            {years.data(), years.size()}, {call.data(), call.size()},
+            {put.data(), put.size()},     rate,
+            vol};
+  }
+  operator BsSoaFView() { return view(); }  // NOLINT(google-explicit-constructor)
 };
 
 // Narrowing conversion for SP experiments.

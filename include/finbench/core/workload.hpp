@@ -24,6 +24,13 @@ struct WorkloadParams {
 };
 
 // Batch workloads for the Black–Scholes kernel (shared r, sigma).
+//
+// Coupling guarantee: there is exactly ONE generator — the AOS-ordered
+// Philox draw. make_bs_workload_soa(n, seed) is defined as
+// to_soa(make_bs_workload_aos(n, seed)) and is therefore bitwise-equal to
+// it field-for-field (asserted in tests/test_portfolio.cpp), as is every
+// layout produced by core::Portfolio::bs(n, layout, seed). Layout choice
+// never changes the workload.
 BsBatchAos make_bs_workload_aos(std::size_t n, std::uint64_t seed = 0,
                                 const WorkloadParams& p = {});
 BsBatchSoa make_bs_workload_soa(std::size_t n, std::uint64_t seed = 0,

@@ -1,18 +1,31 @@
 // finbench/engine/engine.hpp
 //
 // The batched pricing engine: looks the requested variant up in the
-// registry, validates the workload against the variant's required layout,
+// registry, *negotiates* the workload layout against the variant's
+// required layout (a convertible mismatch — e.g. an AOS portfolio priced
+// by an SOA variant — is converted once through the request's arena,
+// cached across repetitions, and its one-time cost reported in
+// PricingResult::convert_seconds/convert_bytes; outputs are copied back
+// into the caller's portfolio after every run, inside the timed region),
 // partitions specs-layout portfolios into cost-model-weighted chunks, and
 // executes them on a persistent thread pool with dynamic chunk
 // self-scheduling (PricingRequest::schedule selects dynamic/static).
 // Variants without a run_range adapter (Black–Scholes batches, Brownian
-// path construction, whole-batch MC stream variants) fall through to the
-// kernel's native batch entry point.
+// path construction) fall through to the kernel's native batch entry
+// point.
+//
+// Steady state is allocation-free: re-pricing the same request through
+// the two-argument price() overload performs zero heap allocations per
+// repetition — conversion buffers live in the request arena, chunk bounds
+// and result buffers are cached in the request Scratch, and the chunk
+// closure fits std::function's small-buffer optimization
+// (tests/test_engine_alloc.cpp proves this with a counting operator new).
 //
 // Execution is reported through finbench::obs: chunk spans on the trace,
-// "engine.requests" / "engine.items" counters, and — when parallel timing
-// is enabled — per-participant CPU-time imbalance under
-// "parallel.engine.<schedule>.*".
+// "engine.requests" / "engine.items" / "engine.layout_converts" /
+// "engine.convert.bytes" counters, the "engine.convert.seconds" stat, and
+// — when parallel timing is enabled — per-participant CPU-time imbalance
+// under "parallel.engine.<schedule>.*".
 
 #pragma once
 
@@ -31,6 +44,11 @@ class Engine {
   // come back as result.ok == false with a message; kernel exceptions
   // propagate.
   PricingResult price(const PricingRequest& req) const;
+
+  // Re-entrant form: prices into an existing result, reusing its buffers.
+  // Repeat loops (benchmarks, servers) use this overload — after the first
+  // call, re-pricing the same request is heap-allocation-free.
+  void price(const PricingRequest& req, PricingResult& res) const;
 
   // Process-wide engine over ThreadPool::shared().
   static Engine& shared();

@@ -25,23 +25,16 @@
 
 #include "finbench/core/option.hpp"
 #include "finbench/core/optlevel.hpp"
+#include "finbench/core/portfolio.hpp"
 #include "finbench/engine/request.hpp"
 
 namespace finbench::engine {
 
-// Workload form a variant consumes (see the PricingRequest fields).
-enum class Layout { kSpecs, kBsAos, kBsSoa, kBsSoaF, kPaths };
-
-constexpr std::string_view to_string(Layout l) {
-  switch (l) {
-    case Layout::kSpecs: return "specs";
-    case Layout::kBsAos: return "bs_aos";
-    case Layout::kBsSoa: return "bs_soa";
-    case Layout::kBsSoaF: return "bs_soa_f";
-    case Layout::kPaths: return "paths";
-  }
-  return "?";
-}
+// Workload form a variant consumes — the core layout tag. A request whose
+// portfolio carries a different (but core::convertible) layout is
+// negotiated by the engine rather than rejected.
+using Layout = core::Layout;
+using core::to_string;
 
 struct VariantInfo {
   std::string id;            // "binomial.advanced.avx2"
@@ -72,20 +65,29 @@ struct VariantInfo {
   double (*item_cost)(const core::OptionSpec&, const PricingRequest&) = nullptr;
 
   // Build the request's Scratch cache (pre-generated normal streams,
-  // lane-blocked layouts). Called once before any run_range chunk executes;
-  // run_batch prepares internally. Null = nothing to prepare.
-  void (*prepare)(const PricingRequest&) = nullptr;
+  // lane-blocked layouts, pre-sized result buffers). Called once before
+  // any run_range chunk executes; run_batch prepares internally. Null =
+  // nothing to prepare.
+  //
+  // Every adapter hook receives the workload view to execute — this is the
+  // request's own portfolio for a layout match, or the engine's negotiated
+  // (arena-backed, converted) view on a mismatch. Adapters must read the
+  // workload from the view, never from req.portfolio.
+  void (*prepare)(const PricingRequest&, const core::PortfolioView&) = nullptr;
 
   // Execute the whole workload through the kernel's native batch entry
   // point (kernel-internal OpenMP) — what the fig/tab benchmarks dispatch.
-  void (*run_batch)(const PricingRequest&, PricingResult&) = nullptr;
+  void (*run_batch)(const PricingRequest&, const core::PortfolioView&,
+                    PricingResult&) = nullptr;
 
   // Execute items [begin, end) of a kSpecs workload, writing
   // values[begin..end) (and std_errors for MC). Must be safe to call
   // concurrently for disjoint ranges; null = whole-batch only (the engine
-  // then falls back to run_batch).
-  void (*run_range)(const PricingRequest&, std::size_t begin, std::size_t end,
-                    PricingResult&) = nullptr;
+  // then falls back to run_batch). Must not allocate: chunks run in the
+  // engine's zero-steady-state-allocation loop (buffers come from prepare
+  // / the request Scratch).
+  void (*run_range)(const PricingRequest&, const core::PortfolioView&, std::size_t begin,
+                    std::size_t end, PricingResult&) = nullptr;
 
   bool has_std_error = false;  // fills PricingResult::std_errors
 };

@@ -1,10 +1,10 @@
 // finbench/engine/request.hpp
 //
 // The uniform request/result vocabulary of the pricing engine: one
-// PricingRequest describes a workload (a portfolio of OptionSpecs, a
-// Black–Scholes batch, or a path-construction job), the accuracy knobs the
-// kernels consume, and how the engine may schedule the work; one
-// PricingResult carries the per-item outputs and timing. Every kernel
+// PricingRequest describes a workload — a single layout-tagged
+// core::PortfolioView — plus the accuracy knobs the kernels consume and
+// how the engine may schedule the work; one PricingResult carries the
+// per-item outputs, timing, and the layout-negotiation cost. Every kernel
 // variant in the registry (finbench/engine/registry.hpp) prices through
 // this interface.
 
@@ -13,33 +13,32 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <span>
 #include <string>
 #include <vector>
 
 #include "finbench/arch/parallel.hpp"
-#include "finbench/core/option.hpp"
+#include "finbench/core/portfolio.hpp"
 
 namespace finbench::engine {
 
 // Per-request derived data the adapters cache across repetitions (normal
-// streams, lane-blocked layouts, path buffers). Created lazily on first
-// use; defined in src/engine/. A request object must not be priced from
-// two threads at once (the engine itself parallelizes *inside* one
-// request).
+// streams, lane-blocked layouts, result buffers, the layout-negotiation
+// arena). Created lazily on first use; defined in src/engine/. A request
+// object must not be priced from two threads at once (the engine itself
+// parallelizes *inside* one request).
 struct Scratch;
 
 struct PricingRequest {
   // Registry id of the variant to run, e.g. "bs.intermediate.avx2".
   std::string kernel_id;
 
-  // --- Workload: exactly one of these forms, matching the variant's
-  // required Layout (the engine rejects mismatches). -----------------------
-  std::span<const core::OptionSpec> specs{};  // lattice / PDE / MC kernels
-  core::BsBatchAos* bs_aos = nullptr;         // Black–Scholes AOS variants
-  core::BsBatchSoa* bs_soa = nullptr;         // Black–Scholes SOA variants
-  core::BsBatchSoaF* bs_sp = nullptr;         // single-precision BS variant
-  std::size_t npaths = 0;                     // Brownian-bridge construction
+  // --- Workload: one layout-tagged view (core::view_of / core::Portfolio).
+  // When the view's layout differs from the variant's required layout and
+  // the pair is core::convertible, the engine negotiates: it converts once
+  // into the request's arena, reuses the converted buffer across repeated
+  // pricings, copies outputs back after each run, and reports the one-time
+  // conversion cost in the result. ---------------------------------------
+  core::PortfolioView portfolio{};
 
   // --- Accuracy knobs ------------------------------------------------------
   int steps = 1024;          // binomial lattice depth / CN time steps
@@ -65,11 +64,22 @@ struct PricingResult {
   std::string kernel_id;
 
   std::size_t items = 0;   // options priced / paths constructed
-  double seconds = 0.0;    // wall time inside the engine (0 for run_batch
+  double seconds = 0.0;    // wall time inside the engine, including the
+                           // per-repetition output writeback after a
+                           // negotiated-layout run (0 for run_batch
                            // dispatched directly by benchmarks)
 
+  // Layout negotiation: the layout the kernel actually executed on, and
+  // the one-time cost of converting the request's portfolio into it
+  // (0 / 0 when the request already matched). The conversion is cached in
+  // the request Scratch, so repeated pricings report the same one-time
+  // cost rather than paying it again.
+  core::Layout layout = core::Layout::kSpecs;
+  double convert_seconds = 0.0;
+  std::size_t convert_bytes = 0;
+
   // Per-item outputs. Black–Scholes variants write prices into the
-  // request's batch arrays instead (copying millions of outputs would
+  // request's portfolio arrays instead (copying millions of outputs would
   // distort the bandwidth-bound kernel), leaving `values` empty.
   std::vector<double> values;
   std::vector<double> std_errors;  // Monte Carlo variants only

@@ -34,16 +34,21 @@ using vecmath::Width;
 inline constexpr double kFlopsPerOption = 200.0;
 inline constexpr double kBytesPerOption = 40.0;  // 24 in + 16 out
 
-void price_reference(core::BsBatchAos& batch);
-void price_basic(core::BsBatchAos& batch);
-void price_intermediate(core::BsBatchSoa& batch, Width w = Width::kAuto);
-void price_advanced_vml(core::BsBatchSoa& batch, Width w = Width::kAuto);
+// All pricing entry points take non-owning views (pass-by-value: a view
+// is a handful of span headers). The owning BsBatch* containers convert
+// implicitly, so `price_intermediate(my_batch)` still reads naturally —
+// but the same kernels now also price arena-backed converted portfolios
+// (core::Portfolio / core::convert) with zero copies.
+void price_reference(core::BsAosView batch);
+void price_basic(core::BsAosView batch);
+void price_intermediate(core::BsSoaView batch, Width w = Width::kAuto);
+void price_advanced_vml(core::BsSoaView batch, Width w = Width::kAuto);
 
 // Single-precision variant of the intermediate kernel: one option per
 // float lane (8 on AVX2, 16 on AVX-512). Accuracy ~1e-6 relative — the
 // precision/lane-count trade Table I's SP peak rows quantify.
 using WidthF = vecmath::WidthF;
-void price_intermediate_sp(core::BsBatchSoaF& batch, WidthF w = WidthF::kAuto);
+void price_intermediate_sp(core::BsSoaFView batch, WidthF w = WidthF::kAuto);
 
 // --- Batch greeks (extension): the full sensitivity set, SIMD across
 // options. Call and put greeks come from one d1/d2 evaluation per option
@@ -69,7 +74,7 @@ struct GreeksBatchSoa {
   }
 };
 
-void greeks_intermediate(const core::BsBatchSoa& batch, GreeksBatchSoa& out,
+void greeks_intermediate(core::BsSoaCView batch, GreeksBatchSoa& out,
                          Width w = Width::kAuto);
 
 // --- Batch implied volatility (extension): the model-calibration inner
@@ -77,7 +82,7 @@ void greeks_intermediate(const core::BsBatchSoa& batch, GreeksBatchSoa& out,
 // every lane iterating until its own convergence; quotes outside the
 // arbitrage-free band come back as -1. batch.vol is ignored; batch.call /
 // batch.put are not touched.
-void implied_vol_intermediate(const core::BsBatchSoa& batch,
+void implied_vol_intermediate(core::BsSoaCView batch,
                               std::span<const double> call_prices, std::span<double> vols_out,
                               Width w = Width::kAuto);
 

@@ -44,6 +44,13 @@ struct RunContext {
   bool full = false;
   int reps = 0;
   int threads = 0;     // effective OpenMP thread count
+
+  // Portfolio-layout provenance: the layout the workload was presented in
+  // ("aos", "soa", ... or "native" when every measurement used its
+  // variant's native layout) and the one-time layout-conversion cost the
+  // engine's negotiation paid, in seconds (0 when nothing was converted).
+  std::string layout = "native";
+  double convert_seconds = 0.0;
 };
 
 // Best-effort repository HEAD SHA: walks up from the current directory to

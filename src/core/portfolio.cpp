@@ -1,0 +1,370 @@
+// Portfolio / Arena / layout-conversion implementation.
+//
+// Conversion pairs: any ordered pair of the Black–Scholes layouts
+// (kBsAos, kBsSoa, kBsSoaF, kBsBlocked). The AOS<->SOA pairs — the ones
+// the engine negotiates and fig4 measures — get dedicated loops; the rest
+// go through a generic per-lane path. kSpecs and kPaths only admit the
+// identity.
+
+#include "finbench/core/portfolio.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+#include "finbench/arch/timing.hpp"
+
+namespace finbench::core {
+
+// --- Arena ------------------------------------------------------------------
+
+namespace {
+
+constexpr std::size_t round_to_line(std::size_t bytes) {
+  return (bytes + arch::kCacheLineBytes - 1) / arch::kCacheLineBytes * arch::kCacheLineBytes;
+}
+
+}  // namespace
+
+void* Arena::allocate(std::size_t bytes) {
+  const std::size_t need = round_to_line(bytes);
+  // Monotonic bump: skip blocks without room (their tail is wasted until
+  // reset); grow only when no committed block fits.
+  while (current_ < blocks_.size() && offset_ + need > blocks_[current_].size) {
+    ++current_;
+    offset_ = 0;
+  }
+  if (current_ >= blocks_.size()) grow(need);
+  std::byte* p = blocks_[current_].mem.get() + offset_;
+  offset_ += need;
+  in_use_ += need;
+  return p;
+}
+
+void Arena::reset() {
+  current_ = 0;
+  offset_ = 0;
+  in_use_ = 0;
+}
+
+Arena::Block& Arena::grow(std::size_t at_least) {
+  // Each new block is at least as large as everything committed so far,
+  // keeping the block count logarithmic in total demand.
+  constexpr std::size_t kMinBlockBytes = std::size_t{64} * 1024;
+  const std::size_t size = std::max({round_to_line(at_least), reserved_, kMinBlockBytes});
+  Block b;
+  b.mem.reset(static_cast<std::byte*>(
+      ::operator new(size, std::align_val_t{arch::kCacheLineBytes})));
+  b.size = size;
+  blocks_.push_back(std::move(b));
+  current_ = blocks_.size() - 1;
+  offset_ = 0;
+  reserved_ += size;
+  return blocks_.back();
+}
+
+// --- Conversion -------------------------------------------------------------
+
+namespace {
+
+bool is_bs(Layout l) {
+  return l == Layout::kBsAos || l == Layout::kBsSoa || l == Layout::kBsSoaF ||
+         l == Layout::kBsBlocked;
+}
+
+struct BsScalars {
+  double rate, vol, dividend;
+};
+
+BsScalars scalars_of(const PortfolioView& v) {
+  switch (v.layout) {
+    case Layout::kBsAos: return {v.aos.rate, v.aos.vol, v.aos.dividend};
+    case Layout::kBsSoa: return {v.soa.rate, v.soa.vol, v.soa.dividend};
+    case Layout::kBsSoaF:
+      return {static_cast<double>(v.sp.rate), static_cast<double>(v.sp.vol), 0.0};
+    case Layout::kBsBlocked: return {v.blocked.rate, v.blocked.vol, v.blocked.dividend};
+    default: break;
+  }
+  throw std::invalid_argument("scalars_of: not a Black-Scholes layout");
+}
+
+struct BsLane {
+  double spot, strike, years, call, put;
+};
+
+BsLane lane_of(const PortfolioView& v, std::size_t i) {
+  switch (v.layout) {
+    case Layout::kBsAos: {
+      const BsOptionAos& o = v.aos.options[i];
+      return {o.spot, o.strike, o.years, o.call, o.put};
+    }
+    case Layout::kBsSoa:
+      return {v.soa.spot[i], v.soa.strike[i], v.soa.years[i], v.soa.call[i], v.soa.put[i]};
+    case Layout::kBsSoaF:
+      return {static_cast<double>(v.sp.spot[i]), static_cast<double>(v.sp.strike[i]),
+              static_cast<double>(v.sp.years[i]), static_cast<double>(v.sp.call[i]),
+              static_cast<double>(v.sp.put[i])};
+    case Layout::kBsBlocked: {
+      const BsBlockedView& b = v.blocked;
+      const std::size_t w = static_cast<std::size_t>(b.block);
+      const std::size_t blk = i / w, ln = i % w;
+      return {b.field(blk, 0)[ln], b.field(blk, 1)[ln], b.field(blk, 2)[ln],
+              b.field(blk, 3)[ln], b.field(blk, 4)[ln]};
+    }
+    default: break;
+  }
+  throw std::invalid_argument("lane_of: not a Black-Scholes layout");
+}
+
+void store_lane(const PortfolioView& v, std::size_t i, const BsLane& l) {
+  switch (v.layout) {
+    case Layout::kBsAos:
+      v.aos.options[i] = {l.spot, l.strike, l.years, l.call, l.put};
+      return;
+    case Layout::kBsSoa:
+      v.soa.spot[i] = l.spot;
+      v.soa.strike[i] = l.strike;
+      v.soa.years[i] = l.years;
+      v.soa.call[i] = l.call;
+      v.soa.put[i] = l.put;
+      return;
+    case Layout::kBsSoaF:
+      v.sp.spot[i] = static_cast<float>(l.spot);
+      v.sp.strike[i] = static_cast<float>(l.strike);
+      v.sp.years[i] = static_cast<float>(l.years);
+      v.sp.call[i] = static_cast<float>(l.call);
+      v.sp.put[i] = static_cast<float>(l.put);
+      return;
+    case Layout::kBsBlocked: {
+      const BsBlockedView& b = v.blocked;
+      const std::size_t w = static_cast<std::size_t>(b.block);
+      const std::size_t blk = i / w, ln = i % w;
+      b.field(blk, 0)[ln] = l.spot;
+      b.field(blk, 1)[ln] = l.strike;
+      b.field(blk, 2)[ln] = l.years;
+      b.field(blk, 3)[ln] = l.call;
+      b.field(blk, 4)[ln] = l.put;
+      return;
+    }
+    default: break;
+  }
+  throw std::invalid_argument("store_lane: not a Black-Scholes layout");
+}
+
+// Carve an empty target-layout view of n options from the arena. Returns
+// the view plus the bytes it occupies.
+PortfolioView carve(Layout target, std::size_t n, const BsScalars& s, Arena& a,
+                    std::size_t* bytes) {
+  PortfolioView v;
+  v.layout = target;
+  switch (target) {
+    case Layout::kBsAos: {
+      auto opts = a.make_span<BsOptionAos>(n);
+      v.aos = {opts, s.rate, s.vol, s.dividend};
+      *bytes = opts.size_bytes();
+      return v;
+    }
+    case Layout::kBsSoa: {
+      auto spot = a.make_span<double>(n), strike = a.make_span<double>(n),
+           years = a.make_span<double>(n), call = a.make_span<double>(n),
+           put = a.make_span<double>(n);
+      v.soa = {spot, strike, years, call, put, s.rate, s.vol, s.dividend};
+      *bytes = 5 * spot.size_bytes();
+      return v;
+    }
+    case Layout::kBsSoaF: {
+      auto spot = a.make_span<float>(n), strike = a.make_span<float>(n),
+           years = a.make_span<float>(n), call = a.make_span<float>(n),
+           put = a.make_span<float>(n);
+      v.sp = {spot,  strike, years, call, put, static_cast<float>(s.rate),
+              static_cast<float>(s.vol)};
+      *bytes = 5 * spot.size_bytes();
+      return v;
+    }
+    case Layout::kBsBlocked: {
+      BsBlockedView b;
+      b.n = n;
+      const std::size_t w = static_cast<std::size_t>(b.block);
+      const std::size_t nb = n ? (n + w - 1) / w : 0;
+      b.data = a.make_span<double>(nb * 5 * w);
+      b.rate = s.rate;
+      b.vol = s.vol;
+      b.dividend = s.dividend;
+      v.blocked = b;
+      *bytes = b.data.size_bytes();
+      return v;
+    }
+    default: break;
+  }
+  throw std::invalid_argument("carve: not a Black-Scholes layout");
+}
+
+void fill(const PortfolioView& src, const PortfolioView& dst) {
+  const std::size_t n = src.size();
+  if (src.layout == Layout::kBsAos && dst.layout == Layout::kBsSoa) {
+    const BsOptionAos* o = src.aos.options.data();
+    const BsSoaView& t = dst.soa;
+    for (std::size_t i = 0; i < n; ++i) {
+      t.spot[i] = o[i].spot;
+      t.strike[i] = o[i].strike;
+      t.years[i] = o[i].years;
+      t.call[i] = o[i].call;
+      t.put[i] = o[i].put;
+    }
+    return;
+  }
+  if (src.layout == Layout::kBsSoa && dst.layout == Layout::kBsAos) {
+    const BsSoaView& f = src.soa;
+    BsOptionAos* o = dst.aos.options.data();
+    for (std::size_t i = 0; i < n; ++i) {
+      o[i] = {f.spot[i], f.strike[i], f.years[i], f.call[i], f.put[i]};
+    }
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) store_lane(dst, i, lane_of(src, i));
+  // Lane-blocked targets pad the trailing lanes of the last block by
+  // replicating the final option, so block kernels never read garbage.
+  if (dst.layout == Layout::kBsBlocked && n > 0) {
+    const std::size_t w = static_cast<std::size_t>(dst.blocked.block);
+    const std::size_t ceil_n = dst.blocked.num_blocks() * w;
+    const BsLane last = lane_of(src, n - 1);
+    for (std::size_t i = n; i < ceil_n; ++i) store_lane(dst, i, last);
+  }
+}
+
+// Deep copy of a view into arena storage (same layout). Used for identity
+// "conversions" that must not alias, and Portfolio's owning constructors.
+PortfolioView clone_into(const PortfolioView& src, Arena& a, std::size_t* bytes) {
+  if (src.layout == Layout::kSpecs) {
+    auto dst = a.make_span<OptionSpec>(src.specs.size());
+    std::copy(src.specs.begin(), src.specs.end(), dst.begin());
+    *bytes = dst.size_bytes();
+    PortfolioView v = view_of(std::span<const OptionSpec>(dst));
+    return v;
+  }
+  if (src.layout == Layout::kPaths) {
+    *bytes = 0;
+    return src;
+  }
+  std::size_t sz = 0;
+  PortfolioView dst = carve(src.layout, src.size(), scalars_of(src), a, &sz);
+  if (src.layout == Layout::kBsBlocked) {
+    dst.blocked.block = src.blocked.block;  // preserve width before copy
+    std::copy(src.blocked.data.begin(), src.blocked.data.end(), dst.blocked.data.begin());
+  } else {
+    fill(src, dst);
+  }
+  *bytes = sz;
+  return dst;
+}
+
+}  // namespace
+
+bool convertible(Layout src, Layout target) {
+  if (src == target) return true;
+  return is_bs(src) && is_bs(target);
+}
+
+PortfolioView convert(const PortfolioView& src, Layout target, Arena& a,
+                      ConvertStats* stats) {
+  if (src.layout == target) {
+    if (stats) *stats = {};
+    return src;
+  }
+  if (!convertible(src.layout, target)) {
+    throw std::invalid_argument(std::string("convert: ") + std::string(to_string(src.layout)) +
+                                " -> " + std::string(to_string(target)) +
+                                " is not a supported layout conversion");
+  }
+  arch::WallTimer t;
+  std::size_t bytes = 0;
+  PortfolioView dst = carve(target, src.size(), scalars_of(src), a, &bytes);
+  fill(src, dst);
+  if (stats) *stats = {t.seconds(), bytes};
+  return dst;
+}
+
+std::size_t copy_outputs(const PortfolioView& from, const PortfolioView& to) {
+  if (!is_bs(from.layout) || !is_bs(to.layout)) {
+    throw std::invalid_argument("copy_outputs: both views must be Black-Scholes layouts");
+  }
+  if (from.size() != to.size()) {
+    throw std::invalid_argument("copy_outputs: size mismatch");
+  }
+  const std::size_t n = to.size();
+  if (from.layout == Layout::kBsSoa && to.layout == Layout::kBsAos) {
+    BsOptionAos* o = to.aos.options.data();
+    for (std::size_t i = 0; i < n; ++i) {
+      o[i].call = from.soa.call[i];
+      o[i].put = from.soa.put[i];
+    }
+  } else if (from.layout == Layout::kBsAos && to.layout == Layout::kBsSoa) {
+    const BsOptionAos* o = from.aos.options.data();
+    for (std::size_t i = 0; i < n; ++i) {
+      to.soa.call[i] = o[i].call;
+      to.soa.put[i] = o[i].put;
+    }
+  } else {
+    for (std::size_t i = 0; i < n; ++i) {
+      BsLane l = lane_of(to, i);
+      const BsLane f = lane_of(from, i);
+      l.call = f.call;
+      l.put = f.put;
+      store_lane(to, i, l);
+    }
+  }
+  const std::size_t elem = to.layout == Layout::kBsSoaF ? sizeof(float) : sizeof(double);
+  return n * 2 * elem;
+}
+
+// --- Portfolio --------------------------------------------------------------
+
+Portfolio Portfolio::bs(std::size_t n, Layout layout, std::uint64_t seed,
+                        const WorkloadParams& p) {
+  if (!is_bs(layout)) {
+    throw std::invalid_argument("Portfolio::bs: layout must be a Black-Scholes layout");
+  }
+  // Every layout derives from the one AOS-ordered Philox draw, so the
+  // same (n, seed) yields bitwise-identical option data in any layout.
+  BsBatchAos gen = make_bs_workload_aos(n, seed, p);
+  Portfolio out;
+  PortfolioView src = view_of(gen);
+  std::size_t bytes = 0;
+  out.view_ = layout == Layout::kBsAos ? clone_into(src, out.arena_, &bytes)
+                                       : convert(src, layout, out.arena_, nullptr);
+  return out;
+}
+
+Portfolio Portfolio::specs(std::size_t n, std::uint64_t seed,
+                           const SingleOptionWorkloadParams& p) {
+  std::vector<OptionSpec> gen = make_option_workload(n, seed, p);
+  return specs(std::span<const OptionSpec>(gen));
+}
+
+Portfolio Portfolio::specs(std::span<const OptionSpec> copy_from) {
+  Portfolio out;
+  std::size_t bytes = 0;
+  out.view_ = clone_into(view_of(copy_from), out.arena_, &bytes);
+  return out;
+}
+
+Portfolio Portfolio::paths(std::size_t n) {
+  Portfolio out;
+  out.view_ = paths_view(n);
+  return out;
+}
+
+Portfolio Portfolio::converted(Layout target, ConvertStats* stats) const {
+  Portfolio out;
+  if (target == view_.layout) {
+    arch::WallTimer t;
+    std::size_t bytes = 0;
+    out.view_ = clone_into(view_, out.arena_, &bytes);
+    if (stats) *stats = {t.seconds(), bytes};
+    return out;
+  }
+  out.view_ = convert(view_, target, out.arena_, stats);
+  return out;
+}
+
+}  // namespace finbench::core

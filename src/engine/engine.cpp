@@ -1,6 +1,7 @@
 #include "finbench/engine/engine.hpp"
 
 #include <algorithm>
+#include <string>
 #include <vector>
 
 #include "finbench/arch/timing.hpp"
@@ -12,28 +13,19 @@ namespace finbench::engine {
 
 namespace {
 
-// Workload size under the variant's layout; 0 with an error message when
-// the request carries the wrong form.
-std::size_t workload_items(const VariantInfo& v, const PricingRequest& req, std::string& err) {
+// Identity of the workload's data for the negotiation cache: if the
+// request later points at different arrays (or a different size), the
+// cached converted view must be rebuilt.
+const void* workload_key(const core::PortfolioView& v) {
   switch (v.layout) {
-    case Layout::kSpecs:
-      if (req.specs.empty()) err = "variant '" + v.id + "' needs a specs workload";
-      return req.specs.size();
-    case Layout::kBsAos:
-      if (!req.bs_aos || req.bs_aos->size() == 0) err = "variant '" + v.id + "' needs bs_aos";
-      return req.bs_aos ? req.bs_aos->size() : 0;
-    case Layout::kBsSoa:
-      if (!req.bs_soa || req.bs_soa->size() == 0) err = "variant '" + v.id + "' needs bs_soa";
-      return req.bs_soa ? req.bs_soa->size() : 0;
-    case Layout::kBsSoaF:
-      if (!req.bs_sp || req.bs_sp->size() == 0) err = "variant '" + v.id + "' needs bs_sp";
-      return req.bs_sp ? req.bs_sp->size() : 0;
-    case Layout::kPaths:
-      if (req.npaths == 0) err = "variant '" + v.id + "' needs npaths > 0";
-      return req.npaths;
+    case Layout::kSpecs: return v.specs.data();
+    case Layout::kBsAos: return v.aos.options.data();
+    case Layout::kBsSoa: return v.soa.spot.data();
+    case Layout::kBsSoaF: return v.sp.spot.data();
+    case Layout::kBsBlocked: return v.blocked.data.data();
+    case Layout::kPaths: return nullptr;
   }
-  err = "unknown layout";
-  return 0;
+  return nullptr;
 }
 
 // SIMD-across-options kernels group lanes by position within the span they
@@ -48,21 +40,32 @@ constexpr std::size_t kChunkAlign = 8;
 // options don't all land in one chunk), plain equal-count stripes for
 // static (the classic partition the imbalance experiment compares against).
 // Interior boundaries are kChunkAlign-aligned; duplicates are dropped, so
-// every chunk is non-empty.
-std::vector<std::size_t> make_bounds(const VariantInfo& v, const PricingRequest& req,
-                                     std::size_t n, int nparts) {
-  std::vector<std::size_t> bounds{0};
+// every chunk is non-empty. The result is cached in the request Scratch —
+// steady-state repetitions reuse it without touching the heap.
+const std::vector<std::size_t>& chunk_bounds(const VariantInfo& v, const PricingRequest& req,
+                                             const core::PortfolioView& view, std::size_t n,
+                                             int nparts) {
+  Scratch& s = scratch_of(req);
+  const int sched = static_cast<int>(req.schedule);
+  if (s.bounds_n == n && s.bounds_nparts == nparts && s.bounds_sched == sched &&
+      !s.bounds.empty()) {
+    return s.bounds;
+  }
+  std::vector<std::size_t>& bounds = s.bounds;
+  bounds.clear();
+  bounds.push_back(0);
   std::size_t k = static_cast<std::size_t>(nparts);
   if (k > n) k = n;
   auto push_aligned = [&](std::size_t b) {
     b -= b % kChunkAlign;
     if (b > bounds.back() && b < n) bounds.push_back(b);
   };
-  if (v.item_cost && req.schedule == arch::Schedule::kDynamic && !req.specs.empty()) {
-    std::vector<double> cost(n);
+  if (v.item_cost && req.schedule == arch::Schedule::kDynamic && !view.specs.empty()) {
+    std::vector<double>& cost = s.item_cost;
+    cost.resize(n);
     double total = 0.0;
     for (std::size_t i = 0; i < n; ++i) {
-      cost[i] = v.item_cost(req.specs[i], req);
+      cost[i] = v.item_cost(view.specs[i], req);
       total += cost[i];
     }
     const double per_chunk = total / static_cast<double>(k);
@@ -78,6 +81,9 @@ std::vector<std::size_t> make_bounds(const VariantInfo& v, const PricingRequest&
     for (std::size_t c = 1; c < k; ++c) push_aligned(c * n / k);
   }
   bounds.push_back(n);
+  s.bounds_n = n;
+  s.bounds_nparts = nparts;
+  s.bounds_sched = sched;
   return bounds;
 }
 
@@ -92,57 +98,126 @@ Engine& Engine::shared() {
 
 PricingResult Engine::price(const PricingRequest& req) const {
   PricingResult res;
-  res.kernel_id = req.kernel_id;
+  price(req, res);
+  return res;
+}
+
+void Engine::price(const PricingRequest& req, PricingResult& res) const {
+  res.ok = false;
+  res.error.clear();
+  res.kernel_id = req.kernel_id;  // same id on a reused result: no realloc
+  res.items = 0;
+  res.seconds = 0.0;
+  res.convert_seconds = 0.0;
+  res.convert_bytes = 0;
+  res.values.clear();
+  res.std_errors.clear();
+
   const VariantInfo* v = Registry::instance().find(req.kernel_id);
   if (!v) {
     res.error = "unknown kernel id '" + req.kernel_id + "' (see pricectl --list)";
-    return res;
+    return;
   }
-  std::string err;
-  const std::size_t n = workload_items(*v, req, err);
-  if (!err.empty()) {
-    res.error = err;
-    return res;
+  res.layout = v->layout;
+  const std::size_t n = req.portfolio.size();
+  if (n == 0) {
+    res.error = "variant '" + v->id + "' got an empty workload (layout " +
+                std::string(to_string(req.portfolio.layout)) + ")";
+    return;
   }
 
-  obs::counter("engine.requests").add(1);
+  // --- Layout negotiation --------------------------------------------------
+  // A convertible mismatch is converted once into the request's arena and
+  // cached; repetitions reuse the converted view and only pay the output
+  // writeback. The one-time conversion cost travels on every result so a
+  // single-shot caller still sees what negotiation cost them.
+  const core::PortfolioView* view = &req.portfolio;
+  bool negotiated = false;
+  if (req.portfolio.layout != v->layout) {
+    if (!core::convertible(req.portfolio.layout, v->layout)) {
+      res.error = "variant '" + v->id + "' needs a " + std::string(to_string(v->layout)) +
+                  " workload; the request carries " +
+                  std::string(to_string(req.portfolio.layout)) + " (not convertible)";
+      return;
+    }
+    Scratch& s = scratch_of(req);
+    const void* key = workload_key(req.portfolio);
+    if (!s.has_negotiated || s.negotiated_src != key || s.negotiated_n != n ||
+        s.negotiated_from != req.portfolio.layout || s.negotiated_to != v->layout) {
+      s.arena.reset();
+      s.negotiated = core::convert(req.portfolio, v->layout, s.arena, &s.convert_stats);
+      s.has_negotiated = true;
+      s.negotiated_src = key;
+      s.negotiated_n = n;
+      s.negotiated_from = req.portfolio.layout;
+      s.negotiated_to = v->layout;
+      static obs::Counter& converts = obs::counter("engine.layout_converts");
+      static obs::Counter& cbytes = obs::counter("engine.convert.bytes");
+      static obs::Stat& csecs = obs::stat("engine.convert.seconds");
+      converts.add(1);
+      cbytes.add(s.convert_stats.bytes);
+      csecs.record(s.convert_stats.seconds);
+    }
+    view = &s.negotiated;
+    negotiated = true;
+    res.convert_seconds = s.convert_stats.seconds;
+    res.convert_bytes = s.convert_stats.bytes;
+  }
+
+  static obs::Counter& c_requests = obs::counter("engine.requests");
+  static obs::Counter& c_items = obs::counter("engine.items");
+  c_requests.add(1);
   FINBENCH_SPAN("engine.price");
   arch::WallTimer t;
 
   // Whole-batch fallback: no range adapter, or nothing to chunk over.
+  // Negotiated Black–Scholes runs land here (BS variants are whole-batch);
+  // their outputs are written into the converted arrays, so each run ends
+  // with a writeback into the caller's portfolio — inside the timer, so
+  // res.seconds stays honest about what the caller's layout really costs.
   if (!v->run_range || v->layout != Layout::kSpecs || n < 2) {
-    v->run_batch(req, res);
+    v->run_batch(req, *view, res);
+    if (negotiated) core::copy_outputs(*view, req.portfolio);
     res.seconds = t.seconds();
-    obs::counter("engine.items").add(res.items);
-    return res;
+    c_items.add(res.items);
+    return;
   }
 
   res.values.assign(n, 0.0);
   if (v->has_std_error) res.std_errors.assign(n, 0.0);
-  if (v->prepare) v->prepare(req);
+  if (v->prepare) v->prepare(req, *view);
 
   const int P = pool_->size();
   const int nparts = req.schedule == arch::Schedule::kDynamic
                          ? P * std::max(1, req.chunks_per_thread)
                          : P;
-  const std::vector<std::size_t> bounds = make_bounds(*v, req, n, nparts);
+  const std::vector<std::size_t>& bounds = chunk_bounds(*v, req, *view, n, nparts);
   const char* site =
       req.schedule == arch::Schedule::kDynamic ? "engine.dynamic" : "engine.static";
 
+  // One-pointer capture: the closure fits std::function's small-buffer
+  // optimization, so submitting the run allocates nothing.
+  struct ChunkCtx {
+    const VariantInfo* v;
+    const PricingRequest* req;
+    const core::PortfolioView* view;
+    const std::size_t* bounds;
+    PricingResult* res;
+  };
+  ChunkCtx ctx{v, &req, view, bounds.data(), &res};
   pool_->run(
       static_cast<std::ptrdiff_t>(bounds.size()) - 1,
-      [&](std::ptrdiff_t c) {
+      [&ctx](std::ptrdiff_t c) {
         FINBENCH_SPAN("engine.chunk");
-        v->run_range(req, bounds[static_cast<std::size_t>(c)],
-                     bounds[static_cast<std::size_t>(c) + 1], res);
+        ctx.v->run_range(*ctx.req, *ctx.view, ctx.bounds[static_cast<std::size_t>(c)],
+                         ctx.bounds[static_cast<std::size_t>(c) + 1], *ctx.res);
       },
       req.schedule, site);
 
   res.items = n;
   res.ok = true;
   res.seconds = t.seconds();
-  obs::counter("engine.items").add(n);
-  return res;
+  c_items.add(n);
 }
 
 }  // namespace finbench::engine

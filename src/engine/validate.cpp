@@ -63,35 +63,30 @@ Outputs run_bs(const VariantInfo& v, std::size_t n) {
   PricingRequest req = knobs_for(v);
   PricingResult res;
   Outputs out;
-  core::BsBatchAos aos;
-  core::BsBatchSoa soa;
-  core::BsBatchSoaF sp;
+  // One portfolio constructor covers every BS layout — all derive from the
+  // same AOS-ordered generator draw, so a variant and its reference see
+  // bitwise-identical inputs regardless of their native layouts.
+  core::Portfolio pf = core::Portfolio::bs(n, v.layout, kSeed);
+  req.portfolio = pf.view();
+  v.run_batch(req, req.portfolio, res);
+  const core::PortfolioView& view = pf.view();
   switch (v.layout) {
     case Layout::kBsAos:
-      aos = core::make_bs_workload_aos(n, kSeed);
-      req.bs_aos = &aos;
-      v.run_batch(req, res);
-      for (const auto& o : aos.options) {
+      for (const auto& o : view.aos.options) {
         out.values.push_back(o.call);
         out.values.push_back(o.put);
       }
       break;
     case Layout::kBsSoa:
-      soa = core::make_bs_workload_soa(n, kSeed);
-      req.bs_soa = &soa;
-      v.run_batch(req, res);
-      for (std::size_t i = 0; i < soa.size(); ++i) {
-        out.values.push_back(soa.call[i]);
-        out.values.push_back(soa.put[i]);
+      for (std::size_t i = 0; i < view.soa.size(); ++i) {
+        out.values.push_back(view.soa.call[i]);
+        out.values.push_back(view.soa.put[i]);
       }
       break;
     case Layout::kBsSoaF:
-      sp = core::to_single(core::make_bs_workload_soa(n, kSeed));
-      req.bs_sp = &sp;
-      v.run_batch(req, res);
-      for (std::size_t i = 0; i < sp.size(); ++i) {
-        out.values.push_back(sp.call[i]);
-        out.values.push_back(sp.put[i]);
+      for (std::size_t i = 0; i < view.sp.size(); ++i) {
+        out.values.push_back(view.sp.call[i]);
+        out.values.push_back(view.sp.put[i]);
       }
       break;
     default:
@@ -110,13 +105,14 @@ Outputs run_one(const VariantInfo& v, const VariantInfo& subject, std::size_t n)
   req.kernel_id = v.id;
   PricingResult res;
   if (v.layout == Layout::kPaths) {
-    req.npaths = subject.statistical ? 8192 : std::max<std::size_t>(n, 256);
-    v.run_batch(req, res);
+    req.portfolio =
+        core::paths_view(subject.statistical ? 8192 : std::max<std::size_t>(n, 256));
+    v.run_batch(req, req.portfolio, res);
     return {std::move(res.values), std::move(res.std_errors)};
   }
   const auto specs = specs_for(subject, n);
-  req.specs = specs;
-  v.run_batch(req, res);
+  req.portfolio = core::view_of(std::span<const core::OptionSpec>(specs));
+  v.run_batch(req, req.portfolio, res);
   return {std::move(res.values), std::move(res.std_errors)};
 }
 

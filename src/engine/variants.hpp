@@ -3,10 +3,12 @@
 
 #pragma once
 
+#include <cstddef>
 #include <memory>
 #include <vector>
 
 #include "finbench/arch/aligned.hpp"
+#include "finbench/core/portfolio.hpp"
 #include "finbench/engine/registry.hpp"
 #include "finbench/engine/request.hpp"
 #include "finbench/kernels/brownian.hpp"
@@ -18,12 +20,16 @@ namespace finbench::engine {
 // and reused across repetitions (benchmark loops re-price the same request
 // many times; regenerating normal streams inside the timed region would
 // distort the stream-RNG kernels, whose whole point is that the normals
-// are already in memory).
+// are already in memory). Everything here exists so that a steady-state
+// repetition of the same request performs zero heap allocations
+// (tests/test_engine_alloc.cpp).
 struct Scratch {
   // Monte Carlo stream flavor: one shared normal array of npath draws.
   arch::AlignedVector<double> z;
 
-  // Monte Carlo whole-batch result buffer (reused across repetitions).
+  // Monte Carlo result buffer: whole-batch runs use it directly; chunked
+  // runs write disjoint [begin, end) slices of it (pre-sized by the
+  // variant's prepare hook so no chunk ever allocates).
   std::vector<kernels::mc::McResult> mc;
 
   // Brownian bridge: schedule, per-path normals, and the lane-blocked
@@ -32,6 +38,29 @@ struct Scratch {
   arch::AlignedVector<double> bb_z;
   arch::AlignedVector<double> bb_z_blocked;
   int bb_blocked_width = 0;
+
+  // --- Layout negotiation (engine-owned) -----------------------------------
+  // When the request's portfolio layout differs from the variant's, the
+  // engine converts once into this arena and caches the converted view;
+  // repeated pricings reuse it and only copy outputs back. The key records
+  // what the cached view was built from so a changed request invalidates it.
+  core::Arena arena;
+  core::PortfolioView negotiated{};
+  bool has_negotiated = false;
+  const void* negotiated_src = nullptr;  // source data pointer
+  std::size_t negotiated_n = 0;
+  core::Layout negotiated_from = core::Layout::kSpecs;
+  core::Layout negotiated_to = core::Layout::kSpecs;
+  core::ConvertStats convert_stats{};  // one-time cost of the cached conversion
+
+  // --- Chunk-partition cache (engine-owned) --------------------------------
+  // make_bounds output + per-item cost buffer, rebuilt only when the
+  // (n, nparts, schedule) key changes.
+  std::vector<std::size_t> bounds;
+  std::vector<double> item_cost;
+  std::size_t bounds_n = 0;
+  int bounds_nparts = -1;
+  int bounds_sched = -1;
 };
 
 // Ensure req.scratch exists; returns it.

@@ -48,32 +48,33 @@ void basic_w(std::span<const core::OptionSpec> o, int s, std::span<double> out, 
 }
 
 template <BatchFn K, Width W>
-void run_range(const PricingRequest& req, std::size_t begin, std::size_t end,
-               PricingResult& res) {
+void run_range(const PricingRequest& req, const core::PortfolioView& view, std::size_t begin,
+               std::size_t end, PricingResult& res) {
   std::span<double> out{res.values.data() + begin, end - begin};
   if (req.steps_per_year > 0) {
     // Heterogeneous depths: the lattice is priced per option (SIMD variants
     // accept single-option spans via their scalar tail path).
     for (std::size_t o = begin; o < end; ++o) {
-      K(req.specs.subspan(o, 1), steps_for(req.specs[o], req),
+      K(view.specs.subspan(o, 1), steps_for(view.specs[o], req),
         {res.values.data() + o, 1}, W);
     }
     return;
   }
-  K(req.specs.subspan(begin, end - begin), req.steps, out, W);
+  K(view.specs.subspan(begin, end - begin), req.steps, out, W);
 }
 
 template <BatchFn K, Width W>
-void run_batch(const PricingRequest& req, PricingResult& res) {
-  const std::size_t n = req.specs.size();
+void run_batch(const PricingRequest& req, const core::PortfolioView& view,
+               PricingResult& res) {
+  const std::size_t n = view.specs.size();
   if (res.values.size() != n) res.values.assign(n, 0.0);
   res.items = n;
   res.ok = true;
   if (req.steps_per_year > 0) {
-    run_range<K, W>(req, 0, n, res);
+    run_range<K, W>(req, view, 0, n, res);
     return;
   }
-  K(req.specs, req.steps, res.values, W);
+  K(view.specs, req.steps, res.values, W);
 }
 
 VariantInfo base(const char* id, OptLevel level, int width, const char* desc) {

@@ -1,10 +1,12 @@
 // Registry adapters for the Black–Scholes kernel family (paper Fig. 4).
 //
-// These variants consume whole BsBatch* workloads and write prices into
-// the request's batch arrays (PricingResult::values stays empty: the
-// kernel is bandwidth-bound, and copying millions of outputs would distort
-// exactly what Fig. 4 measures). They are whole-batch only — the kernels'
-// internal "#pragma omp parallel for" over the batch IS the experiment.
+// These variants consume a whole Black–Scholes portfolio view and write
+// prices into its arrays (PricingResult::values stays empty: the kernel is
+// bandwidth-bound, and copying millions of outputs would distort exactly
+// what Fig. 4 measures). They are whole-batch only — the kernels' internal
+// "#pragma omp parallel for" over the batch IS the experiment. A request
+// in the "wrong" BS layout is not an error: the engine negotiates it into
+// the view these adapters receive.
 
 #include "finbench/kernels/blackscholes.hpp"
 #include "variants.hpp"
@@ -21,30 +23,33 @@ double flops(const PricingRequest&) { return kernels::bs::kFlopsPerOption; }
 double bytes(const PricingRequest&) { return kernels::bs::kBytesPerOption; }
 double bytes_sp(const PricingRequest&) { return kernels::bs::kBytesPerOption / 2; }
 
-template <void (*K)(core::BsBatchAos&)>
-void run_aos(const PricingRequest& req, PricingResult& res) {
-  K(*req.bs_aos);
-  res.items = req.bs_aos->size();
+template <void (*K)(core::BsAosView)>
+void run_aos(const PricingRequest&, const core::PortfolioView& view, PricingResult& res) {
+  K(view.aos);
+  res.items = view.aos.size();
   res.ok = true;
 }
 
 template <Width W>
-void run_intermediate(const PricingRequest& req, PricingResult& res) {
-  kernels::bs::price_intermediate(*req.bs_soa, W);
-  res.items = req.bs_soa->size();
+void run_intermediate(const PricingRequest&, const core::PortfolioView& view,
+                      PricingResult& res) {
+  kernels::bs::price_intermediate(view.soa, W);
+  res.items = view.soa.size();
   res.ok = true;
 }
 
 template <Width W>
-void run_advanced_vml(const PricingRequest& req, PricingResult& res) {
-  kernels::bs::price_advanced_vml(*req.bs_soa, W);
-  res.items = req.bs_soa->size();
+void run_advanced_vml(const PricingRequest&, const core::PortfolioView& view,
+                      PricingResult& res) {
+  kernels::bs::price_advanced_vml(view.soa, W);
+  res.items = view.soa.size();
   res.ok = true;
 }
 
-void run_intermediate_sp(const PricingRequest& req, PricingResult& res) {
-  kernels::bs::price_intermediate_sp(*req.bs_sp, WidthF::kAuto);
-  res.items = req.bs_sp->size();
+void run_intermediate_sp(const PricingRequest&, const core::PortfolioView& view,
+                         PricingResult& res) {
+  kernels::bs::price_intermediate_sp(view.sp, WidthF::kAuto);
+  res.items = view.sp.size();
   res.ok = true;
 }
 

@@ -32,7 +32,7 @@ double bytes_interleaved(const PricingRequest& req) {
 }
 double bytes_fused(const PricingRequest&) { return 8.0; }
 
-Scratch& prepared(const PricingRequest& req, int blocked_width) {
+Scratch& prepared(const PricingRequest& req, const core::PortfolioView& view, int blocked_width) {
   Scratch& s = scratch_of(req);
   if (!s.sched || s.sched->depth() != req.bridge_depth) {
     s.sched = std::make_unique<BridgeSchedule>(BridgeSchedule::uniform(req.bridge_depth, 1.0));
@@ -40,7 +40,7 @@ Scratch& prepared(const PricingRequest& req, int blocked_width) {
     s.bb_z_blocked.clear();
     s.bb_blocked_width = 0;
   }
-  const std::size_t need = req.npaths * s.sched->normals_per_path();
+  const std::size_t need = view.npaths * s.sched->normals_per_path();
   if (s.bb_z.size() < need) {
     s.bb_z.resize(need);
     rng::NormalStream stream(req.seed);
@@ -50,7 +50,7 @@ Scratch& prepared(const PricingRequest& req, int blocked_width) {
   }
   if (blocked_width > 1 && s.bb_blocked_width != blocked_width) {
     s.bb_z_blocked = kernels::brownian::lane_block_normals(
-        s.bb_z, req.npaths, s.sched->normals_per_path(), blocked_width);
+        s.bb_z, view.npaths, s.sched->normals_per_path(), blocked_width);
     s.bb_blocked_width = blocked_width;
   }
   return s;
@@ -60,45 +60,51 @@ int lanes(Width w) {
   return w == Width::kAuto ? vecmath::max_width() : static_cast<int>(w);
 }
 
-void prep_out(const PricingRequest& req, const Scratch& s, PricingResult& res) {
-  const std::size_t need = req.npaths * s.sched->num_points();
+void prep_out(const core::PortfolioView& view, const Scratch& s, PricingResult& res) {
+  const std::size_t need = view.npaths * s.sched->num_points();
   if (res.values.size() != need) res.values.assign(need, 0.0);
-  res.items = req.npaths;
+  res.items = view.npaths;
   res.ok = true;
 }
 
-void run_reference(const PricingRequest& req, PricingResult& res) {
-  Scratch& s = prepared(req, 1);
-  prep_out(req, s, res);
-  kernels::brownian::construct_reference(*s.sched, s.bb_z, req.npaths, res.values);
+void run_reference(const PricingRequest& req, const core::PortfolioView& view,
+                   PricingResult& res) {
+  Scratch& s = prepared(req, view, 1);
+  prep_out(view, s, res);
+  kernels::brownian::construct_reference(*s.sched, s.bb_z, view.npaths, res.values);
 }
 
-void run_basic(const PricingRequest& req, PricingResult& res) {
-  Scratch& s = prepared(req, 1);
-  prep_out(req, s, res);
-  kernels::brownian::construct_basic(*s.sched, s.bb_z, req.npaths, res.values);
+void run_basic(const PricingRequest& req, const core::PortfolioView& view,
+               PricingResult& res) {
+  Scratch& s = prepared(req, view, 1);
+  prep_out(view, s, res);
+  kernels::brownian::construct_basic(*s.sched, s.bb_z, view.npaths, res.values);
 }
 
 template <Width W>
-void run_intermediate(const PricingRequest& req, PricingResult& res) {
-  Scratch& s = prepared(req, lanes(W));
-  prep_out(req, s, res);
-  kernels::brownian::construct_intermediate(*s.sched, s.bb_z_blocked, req.npaths, res.values, W);
+void run_intermediate(const PricingRequest& req, const core::PortfolioView& view,
+                      PricingResult& res) {
+  Scratch& s = prepared(req, view, lanes(W));
+  prep_out(view, s, res);
+  kernels::brownian::construct_intermediate(*s.sched, s.bb_z_blocked, view.npaths, res.values,
+                                            W);
 }
 
-void run_interleaved(const PricingRequest& req, PricingResult& res) {
-  Scratch& s = prepared(req, 1);
-  prep_out(req, s, res);
-  kernels::brownian::construct_advanced_interleaved(*s.sched, req.seed, req.npaths, res.values,
-                                                    Width::kAuto);
+void run_interleaved(const PricingRequest& req, const core::PortfolioView& view,
+                     PricingResult& res) {
+  Scratch& s = prepared(req, view, 1);
+  prep_out(view, s, res);
+  kernels::brownian::construct_advanced_interleaved(*s.sched, req.seed, view.npaths,
+                                                    res.values, Width::kAuto);
 }
 
-void run_fused(const PricingRequest& req, PricingResult& res) {
-  Scratch& s = prepared(req, 1);
-  if (res.values.size() != req.npaths) res.values.assign(req.npaths, 0.0);
-  res.items = req.npaths;
+void run_fused(const PricingRequest& req, const core::PortfolioView& view,
+               PricingResult& res) {
+  Scratch& s = prepared(req, view, 1);
+  if (res.values.size() != view.npaths) res.values.assign(view.npaths, 0.0);
+  res.items = view.npaths;
   res.ok = true;
-  kernels::brownian::construct_advanced_fused(*s.sched, req.seed, req.npaths, res.values,
+  kernels::brownian::construct_advanced_fused(*s.sched, req.seed, view.npaths, res.values,
                                               Width::kAuto);
 }
 

@@ -37,19 +37,20 @@ double item_cost(const core::OptionSpec& o, const PricingRequest&) {
 }
 
 template <Variant V, Width W>
-void run_range(const PricingRequest& req, std::size_t begin, std::size_t end,
-               PricingResult& res) {
-  kernels::cn::price_batch(req.specs.subspan(begin, end - begin), grid_of(req), V,
+void run_range(const PricingRequest& req, const core::PortfolioView& view, std::size_t begin,
+               std::size_t end, PricingResult& res) {
+  kernels::cn::price_batch(view.specs.subspan(begin, end - begin), grid_of(req), V,
                            {res.values.data() + begin, end - begin}, W);
 }
 
 template <Variant V, Width W>
-void run_batch(const PricingRequest& req, PricingResult& res) {
-  const std::size_t n = req.specs.size();
+void run_batch(const PricingRequest& req, const core::PortfolioView& view,
+               PricingResult& res) {
+  const std::size_t n = view.specs.size();
   if (res.values.size() != n) res.values.assign(n, 0.0);
   res.items = n;
   res.ok = true;
-  kernels::cn::price_batch(req.specs, grid_of(req), V, res.values, W);
+  kernels::cn::price_batch(view.specs, grid_of(req), V, res.values, W);
 }
 
 VariantInfo base(const char* id, OptLevel level, int width, const char* desc) {

@@ -6,7 +6,13 @@
 // flavor variants draw a fresh Philox substream per option; run_range
 // passes stream_base = begin so chunked execution consumes exactly the
 // same substreams as the whole batch.
+//
+// Chunked execution writes per-option results into disjoint slices of the
+// Scratch-resident result buffer, pre-sized by the prepare hook — a chunk
+// never allocates, which the engine's zero-steady-state-allocation
+// guarantee depends on.
 
+#include <span>
 #include <vector>
 
 #include "finbench/kernels/montecarlo.hpp"
@@ -42,9 +48,24 @@ const arch::AlignedVector<double>& stream_normals(const PricingRequest& req) {
   return s.z;
 }
 
-void prepare_stream(const PricingRequest& req) { stream_normals(req); }
+// Size the chunk result buffer once, before any chunk runs (chunks write
+// disjoint slices concurrently, so they must never resize it themselves).
+std::vector<McResult>& result_buffer(const PricingRequest& req, std::size_t n) {
+  std::vector<McResult>& mc = scratch_of(req).mc;
+  if (mc.size() < n) mc.resize(n);
+  return mc;
+}
 
-void store(const std::vector<McResult>& mc, std::size_t begin, PricingResult& res) {
+void prepare_stream(const PricingRequest& req, const core::PortfolioView& view) {
+  stream_normals(req);
+  result_buffer(req, view.specs.size());
+}
+
+void prepare_computed(const PricingRequest& req, const core::PortfolioView& view) {
+  result_buffer(req, view.specs.size());
+}
+
+void store(std::span<const McResult> mc, std::size_t begin, PricingResult& res) {
   for (std::size_t i = 0; i < mc.size(); ++i) {
     res.values[begin + i] = mc[i].price;
     if (!res.std_errors.empty()) res.std_errors[begin + i] = mc[i].std_error;
@@ -64,24 +85,24 @@ void basic_stream_w(std::span<const core::OptionSpec> o, std::span<const double>
 }
 
 template <StreamFn K, Width W>
-void stream_range(const PricingRequest& req, std::size_t begin, std::size_t end,
-                  PricingResult& res) {
-  const auto& z = stream_normals(req);
-  std::vector<McResult> mc(end - begin);
-  K(req.specs.subspan(begin, end - begin), z, req.npath, mc, W);
+void stream_range(const PricingRequest& req, const core::PortfolioView& view,
+                  std::size_t begin, std::size_t end, PricingResult& res) {
+  Scratch& s = *req.scratch;  // built by prepare_stream
+  std::span<McResult> mc{s.mc.data() + begin, end - begin};
+  K(view.specs.subspan(begin, end - begin), s.z, req.npath, mc, W);
   store(mc, begin, res);
 }
 
 template <StreamFn K, Width W>
-void stream_batch(const PricingRequest& req, PricingResult& res) {
+void stream_batch(const PricingRequest& req, const core::PortfolioView& view,
+                  PricingResult& res) {
   const auto& z = stream_normals(req);
-  const std::size_t n = req.specs.size();
-  std::vector<McResult>& mc = scratch_of(req).mc;
-  if (mc.size() != n) mc.assign(n, {});
-  K(req.specs, z, req.npath, mc, W);
+  const std::size_t n = view.specs.size();
+  std::vector<McResult>& mc = result_buffer(req, n);
+  K(view.specs, z, req.npath, std::span<McResult>{mc.data(), n}, W);
   if (res.values.size() != n) res.values.assign(n, 0.0);
   if (res.std_errors.size() != n) res.std_errors.assign(n, 0.0);
-  store(mc, 0, res);
+  store({mc.data(), n}, 0, res);
   res.items = n;
   res.ok = true;
 }
@@ -100,22 +121,23 @@ void variance_reduced_w(std::span<const core::OptionSpec> o, std::size_t n, std:
 }
 
 template <ComputedFn K, Width W>
-void computed_range(const PricingRequest& req, std::size_t begin, std::size_t end,
-                    PricingResult& res) {
-  std::vector<McResult> mc(end - begin);
-  K(req.specs.subspan(begin, end - begin), req.npath, req.seed, mc, W, begin);
+void computed_range(const PricingRequest& req, const core::PortfolioView& view,
+                    std::size_t begin, std::size_t end, PricingResult& res) {
+  Scratch& s = *req.scratch;  // built by prepare_computed
+  std::span<McResult> mc{s.mc.data() + begin, end - begin};
+  K(view.specs.subspan(begin, end - begin), req.npath, req.seed, mc, W, begin);
   store(mc, begin, res);
 }
 
 template <ComputedFn K, Width W>
-void computed_batch(const PricingRequest& req, PricingResult& res) {
-  const std::size_t n = req.specs.size();
-  std::vector<McResult>& mc = scratch_of(req).mc;
-  if (mc.size() != n) mc.assign(n, {});
-  K(req.specs, req.npath, req.seed, mc, W, 0);
+void computed_batch(const PricingRequest& req, const core::PortfolioView& view,
+                    PricingResult& res) {
+  const std::size_t n = view.specs.size();
+  std::vector<McResult>& mc = result_buffer(req, n);
+  K(view.specs, req.npath, req.seed, std::span<McResult>{mc.data(), n}, W, 0);
   if (res.values.size() != n) res.values.assign(n, 0.0);
   if (res.std_errors.size() != n) res.std_errors.assign(n, 0.0);
-  store(mc, 0, res);
+  store({mc.data(), n}, 0, res);
   res.items = n;
   res.ok = true;
 }
@@ -184,6 +206,7 @@ void register_montecarlo(Registry& r) {
                          "scalar integration, fresh Philox substream per option");
     v.reference_id = "";
     v.bytes_per_item = bytes_computed;
+    v.prepare = prepare_computed;
     v.run_batch = computed_batch<reference_computed_w, Width::kScalar>;
     v.run_range = computed_range<reference_computed_w, Width::kScalar>;
     r.add(std::move(v));
@@ -193,6 +216,7 @@ void register_montecarlo(Registry& r) {
                          "4-wide SIMD, chunked Philox/ICDF interleaved with integration");
     v.reference_id = "mc.reference_computed.scalar";
     v.bytes_per_item = bytes_computed;
+    v.prepare = prepare_computed;
     v.run_batch = computed_batch<kernels::mc::price_optimized_computed, Width::kAvx2>;
     v.run_range = computed_range<kernels::mc::price_optimized_computed, Width::kAvx2>;
     r.add(std::move(v));
@@ -202,6 +226,7 @@ void register_montecarlo(Registry& r) {
                          "widest SIMD, chunked Philox/ICDF interleaved with integration");
     v.reference_id = "mc.reference_computed.scalar";
     v.bytes_per_item = bytes_computed;
+    v.prepare = prepare_computed;
     v.run_batch = computed_batch<kernels::mc::price_optimized_computed, Width::kAuto>;
     v.run_range = computed_range<kernels::mc::price_optimized_computed, Width::kAuto>;
     r.add(std::move(v));
@@ -213,6 +238,7 @@ void register_montecarlo(Registry& r) {
     v.statistical = true;  // different estimator: agrees within error bands
     v.tolerance = 0.05;
     v.bytes_per_item = bytes_computed;
+    v.prepare = prepare_computed;
     v.run_batch = computed_batch<variance_reduced_w, Width::kAuto>;
     v.run_range = computed_range<variance_reduced_w, Width::kAuto>;
     r.add(std::move(v));

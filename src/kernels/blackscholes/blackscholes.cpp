@@ -22,7 +22,7 @@ inline double cnd_scalar(double x) { return 0.5 * std::erfc(-x * 0.7071067811865
 
 // --- Reference: Lis. 1, scalar, AOS --------------------------------------
 
-void price_reference(core::BsBatchAos& batch) {
+void price_reference(core::BsAosView batch) {
   static obs::Counter& priced = obs::counter("bs.options_priced");
   priced.add(batch.size());
   if (batch.dividend != 0.0) {
@@ -48,7 +48,7 @@ void price_reference(core::BsBatchAos& batch) {
 
 // --- Basic: compiler pragmas on the AOS loop ------------------------------
 
-void price_basic(core::BsBatchAos& batch) {
+void price_basic(core::BsAosView batch) {
   static obs::Counter& priced = obs::counter("bs.options_priced");
   priced.add(batch.size());
   if (batch.dividend != 0.0) {
@@ -83,7 +83,7 @@ namespace {
 // One option per SIMD lane; cnd via erf (cheaper, same accuracy — the
 // paper's SVML substitution) and the put derived from call/put parity.
 template <int W, bool HasDividend>
-void price_soa_width(core::BsBatchSoa& batch) {
+void price_soa_width(const core::BsSoaView& batch) {
   using V = simd::Vec<double, W>;
   const V r(batch.rate);
   const V q(batch.dividend);
@@ -133,14 +133,14 @@ void price_soa_width(core::BsBatchSoa& batch) {
 }
 
 template <int W>
-void price_soa_dispatch_q(core::BsBatchSoa& batch) {
+void price_soa_dispatch_q(const core::BsSoaView& batch) {
   if (batch.dividend != 0.0) price_soa_width<W, true>(batch);
   else price_soa_width<W, false>(batch);
 }
 
 }  // namespace
 
-void price_intermediate(core::BsBatchSoa& batch, Width w) {
+void price_intermediate(core::BsSoaView batch, Width w) {
   static obs::Counter& priced = obs::counter("bs.options_priced");
   priced.add(batch.size());
   switch (w) {
@@ -158,7 +158,7 @@ void price_intermediate(core::BsBatchSoa& batch, Width w) {
 
 // --- Advanced: VML-style whole-array passes --------------------------------
 
-void price_advanced_vml(core::BsBatchSoa& batch, Width w) {
+void price_advanced_vml(core::BsSoaView batch, Width w) {
   if (batch.dividend != 0.0) {
     throw std::invalid_argument(
         "this variant reproduces the paper's dividend-free kernel; "
@@ -212,7 +212,7 @@ void price_advanced_vml(core::BsBatchSoa& batch, Width w) {
 namespace {
 
 template <int W>
-void greeks_width(const core::BsBatchSoa& batch, GreeksBatchSoa& out) {
+void greeks_width(const core::BsSoaCView& batch, GreeksBatchSoa& out) {
   using V = simd::Vec<double, W>;
   const V r(batch.rate);
   const V q(batch.dividend);
@@ -279,7 +279,7 @@ void greeks_width(const core::BsBatchSoa& batch, GreeksBatchSoa& out) {
 
 }  // namespace
 
-void greeks_intermediate(const core::BsBatchSoa& batch, GreeksBatchSoa& out, Width w) {
+void greeks_intermediate(core::BsSoaCView batch, GreeksBatchSoa& out, Width w) {
   out.resize(batch.size());
   switch (w) {
     case Width::kScalar: greeks_width<1>(batch, out); return;
@@ -299,7 +299,7 @@ void greeks_intermediate(const core::BsBatchSoa& batch, GreeksBatchSoa& out, Wid
 namespace {
 
 template <int W>
-void implied_vol_width(const core::BsBatchSoa& batch, std::span<const double> prices,
+void implied_vol_width(const core::BsSoaCView& batch, std::span<const double> prices,
                        std::span<double> out) {
   using V = simd::Vec<double, W>;
   using M = typename V::mask_type;
@@ -364,7 +364,7 @@ void implied_vol_width(const core::BsBatchSoa& batch, std::span<const double> pr
 
 }  // namespace
 
-void implied_vol_intermediate(const core::BsBatchSoa& batch,
+void implied_vol_intermediate(core::BsSoaCView batch,
                               std::span<const double> call_prices, std::span<double> vols_out,
                               Width w) {
   assert(call_prices.size() >= batch.size() && vols_out.size() >= batch.size());
@@ -386,7 +386,7 @@ void implied_vol_intermediate(const core::BsBatchSoa& batch,
 namespace {
 
 template <int W>
-void price_sp_width(core::BsBatchSoaF& batch) {
+void price_sp_width(const core::BsSoaFView& batch) {
   using V = simd::Vec<float, W>;
   const V r(batch.rate);
   const V sig(batch.vol);
@@ -433,7 +433,7 @@ void price_sp_width(core::BsBatchSoaF& batch) {
 
 }  // namespace
 
-void price_intermediate_sp(core::BsBatchSoaF& batch, WidthF w) {
+void price_intermediate_sp(core::BsSoaFView batch, WidthF w) {
   switch (w) {
     case WidthF::kScalar: price_sp_width<1>(batch); return;
     case WidthF::kAvx2: price_sp_width<8>(batch); return;

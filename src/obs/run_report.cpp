@@ -252,6 +252,8 @@ bool write_run_report(const std::string& path, const harness::Report& report,
   w.kv("full", ctx.full);
   w.kv("reps", ctx.reps);
   w.kv("threads", ctx.threads > 0 ? ctx.threads : arch::num_threads());
+  w.kv("layout", ctx.layout);
+  w.kv("convert_seconds", ctx.convert_seconds);
 
   w.key("host");
   write_host(w);

@@ -11,6 +11,7 @@
 
 #include <gtest/gtest.h>
 
+#include "finbench/core/portfolio.hpp"
 #include "finbench/core/workload.hpp"
 #include "finbench/engine/engine.hpp"
 #include "finbench/engine/registry.hpp"
@@ -112,7 +113,7 @@ TEST(Engine, ChunkedExecutionMatchesWholeBatch) {
     const auto workload = lattice_workload(33, 11, c.american);
     PricingRequest req;
     req.kernel_id = c.id;
-    req.specs = workload;
+    req.portfolio = core::view_of(std::span<const core::OptionSpec>(workload));
     req.steps = 128;
     req.npath = 4096;
     req.cn_num_prices = 65;
@@ -121,7 +122,7 @@ TEST(Engine, ChunkedExecutionMatchesWholeBatch) {
     const engine::VariantInfo* v = Registry::instance().find(c.id);
     ASSERT_NE(v, nullptr);
     PricingResult whole;
-    v->run_batch(req, whole);
+    v->run_batch(req, req.portfolio, whole);
     ASSERT_TRUE(whole.ok);
 
     for (auto sched : {arch::Schedule::kDynamic, arch::Schedule::kStatic}) {
@@ -140,7 +141,7 @@ TEST(Engine, HeterogeneousStepsPerYearPricesEachExpiryAtItsOwnDepth) {
   const auto workload = lattice_workload(9, 3);
   PricingRequest req;
   req.kernel_id = "binomial.reference.scalar";
-  req.specs = workload;
+  req.portfolio = core::view_of(std::span<const core::OptionSpec>(workload));
   req.steps_per_year = 64;
   const PricingResult res = Engine::shared().price(req);
   ASSERT_TRUE(res.ok) << res.error;
@@ -166,7 +167,7 @@ TEST(Engine, BatchLayoutFallsThroughToNativeKernel) {
   auto soa = core::make_bs_workload_soa(512, 21);
   PricingRequest req;
   req.kernel_id = "bs.intermediate.auto";
-  req.bs_soa = &soa;
+  req.portfolio = core::view_of(soa);
   const PricingResult res = Engine::shared().price(req);
   ASSERT_TRUE(res.ok) << res.error;
   EXPECT_EQ(res.items, 512u);
@@ -181,7 +182,7 @@ TEST(Engine, RepeatedPricingOfOneRequestIsDeterministic) {
   const auto workload = lattice_workload(8, 17);
   PricingRequest req;
   req.kernel_id = "mc.optimized_computed.auto";
-  req.specs = workload;
+  req.portfolio = core::view_of(std::span<const core::OptionSpec>(workload));
   req.npath = 4096;
   const PricingResult a = Engine::shared().price(req);
   const PricingResult b = Engine::shared().price(req);  // scratch reused
@@ -203,7 +204,7 @@ TEST(Engine, DynamicScheduleReducesImbalanceOnSortedMixedExpiryPortfolio) {
   Engine eng(&pool);
   PricingRequest req;
   req.kernel_id = "binomial.intermediate.auto";
-  req.specs = workload;
+  req.portfolio = core::view_of(std::span<const core::OptionSpec>(workload));
   // Deep enough that one pricing spans several OS scheduling quanta — on a
   // single-core host a too-short run lets whichever thread holds the CPU
   // drain the ticket counter alone, which says nothing about the schedule.

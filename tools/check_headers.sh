@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Header self-containment check: every public header under
+# include/finbench/ must compile standalone (its own includes are
+# sufficient) under -Wall -Wextra -Werror. Catches headers that silently
+# lean on whatever their usual includer happened to pull in first.
+#
+# Usage: tools/check_headers.sh [compiler]   (default: c++)
+
+set -u
+cd "$(dirname "$0")/.."
+
+cxx="${1:-c++}"
+std="-std=c++20"
+flags="-Wall -Wextra -Werror -fsyntax-only -fopenmp"
+inc="-Iinclude"
+
+failed=0
+count=0
+for hdr in $(find include/finbench -name '*.hpp' | sort); do
+  count=$((count + 1))
+  # A translation unit consisting of nothing but the header.
+  if ! echo "#include \"${hdr#include/}\"" |
+      $cxx $std $flags $inc -x c++ - -o /dev/null 2>/tmp/check_headers_err; then
+    echo "FAIL  $hdr"
+    sed 's/^/      /' /tmp/check_headers_err
+    failed=$((failed + 1))
+  fi
+done
+
+if [ "$failed" -ne 0 ]; then
+  echo "check_headers: $failed of $count headers are not self-contained"
+  exit 1
+fi
+echo "check_headers: OK ($count headers self-contained under -Wall -Wextra -Werror)"

@@ -4,14 +4,19 @@
 //   pricectl --list                      enumerate every registered variant
 //   pricectl --validate [--nopt N]       self-validate variants vs references
 //   pricectl --kernel ID --nopt N        price a workload through variant ID
-//            [--schedule dynamic|static] [--steps N] [--npath N]
-//            [--prices N] [--depth N] [--seed N] [--spy N]
-//            [--reps N] [--threads N] [--json PATH] [--csv PATH] [--trace PATH]
+//            [--layout aos|soa|auto] [--schedule dynamic|static]
+//            [--steps N] [--npath N] [--prices N] [--depth N] [--seed N]
+//            [--spy N] [--reps N] [--threads N] [--json PATH] [--csv PATH]
+//            [--trace PATH]
 //
 // --kernel runs kSpecs workloads through the batched engine (persistent
 // thread pool, cost-model-weighted chunks, --schedule selects dynamic
 // self-scheduling or static stripes) and batch-layout workloads through
-// the kernel's native entry point. --spy N prices a mixed-expiry lattice
+// the kernel's native entry point. --layout forces the Black–Scholes
+// request layout: `auto` (default) builds the variant's native layout,
+// `aos`/`soa` build that layout regardless and let the engine negotiate —
+// the one-time conversion cost is printed and lands in the run report's
+// `layout`/`convert_seconds` fields. --spy N prices a mixed-expiry lattice
 // portfolio at N steps/year of expiry — the heterogeneous workload whose
 // imbalance the dynamic schedule exists to absorb. The run report (--json)
 // follows finbench.run_report/v1, identical to the fig/tab binaries.
@@ -25,6 +30,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "finbench/core/portfolio.hpp"
 #include "finbench/core/workload.hpp"
 #include "finbench/engine/engine.hpp"
 #include "finbench/engine/registry.hpp"
@@ -79,10 +85,11 @@ void print_parallel_stats() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const auto opts = bench::Options::parse(argc, argv);
+  auto opts = bench::Options::parse(argc, argv);
 
   bool list = false, validate = false;
   std::string kernel_id;
+  std::string layout_flag = "auto";
   std::size_t nopt = 0;
   engine::PricingRequest req;
   int spy = 0;
@@ -103,7 +110,13 @@ int main(int argc, char** argv) {
       req.bridge_depth = static_cast<int>(next(req.bridge_depth));
     else if (!std::strcmp(argv[i], "--seed")) req.seed = next(req.seed);
     else if (!std::strcmp(argv[i], "--spy")) spy = static_cast<int>(next(0));
-    else if (!std::strcmp(argv[i], "--schedule") && i + 1 < argc) {
+    else if (!std::strcmp(argv[i], "--layout") && i + 1 < argc) {
+      layout_flag = argv[++i];
+      if (layout_flag != "aos" && layout_flag != "soa" && layout_flag != "auto") {
+        std::fprintf(stderr, "pricectl: --layout takes aos, soa, or auto\n");
+        return 2;
+      }
+    } else if (!std::strcmp(argv[i], "--schedule") && i + 1 < argc) {
       req.schedule = !std::strcmp(argv[++i], "static") ? arch::Schedule::kStatic
                                                        : arch::Schedule::kDynamic;
     }
@@ -114,9 +127,10 @@ int main(int argc, char** argv) {
   if (kernel_id.empty()) {
     std::fprintf(stderr,
                  "usage: pricectl --list | --validate | --kernel ID --nopt N [--json PATH]\n"
-                 "               [--schedule dynamic|static] [--steps N] [--npath N]\n"
-                 "               [--prices N] [--depth N] [--seed N] [--spy N] [--reps N]\n"
-                 "               [--threads N] [--csv PATH] [--trace PATH]\n");
+                 "               [--layout aos|soa|auto] [--schedule dynamic|static]\n"
+                 "               [--steps N] [--npath N] [--prices N] [--depth N]\n"
+                 "               [--seed N] [--spy N] [--reps N] [--threads N]\n"
+                 "               [--csv PATH] [--trace PATH]\n");
     return 2;
   }
 
@@ -129,23 +143,19 @@ int main(int argc, char** argv) {
   if (spy > 0) req.steps_per_year = spy;
 
   // Workload by layout, sized for an interactive run unless --nopt given.
-  core::BsBatchAos aos;
-  core::BsBatchSoa soa;
-  core::BsBatchSoaF sp;
-  std::vector<core::OptionSpec> specs;
+  // One owning Portfolio covers every case; the request just carries its
+  // view. --layout overrides the BS layout (the engine negotiates any
+  // mismatch and reports the one-time conversion cost).
+  core::Portfolio pf;
   std::size_t items = nopt;
+  engine::Layout req_layout = v->layout;
   switch (v->layout) {
     case engine::Layout::kBsAos:
-      aos = core::make_bs_workload_aos(items = items ? items : (1u << 18), req.seed);
-      req.bs_aos = &aos;
-      break;
     case engine::Layout::kBsSoa:
-      soa = core::make_bs_workload_soa(items = items ? items : (1u << 18), req.seed);
-      req.bs_soa = &soa;
-      break;
     case engine::Layout::kBsSoaF:
-      sp = core::to_single(core::make_bs_workload_soa(items = items ? items : (1u << 18), req.seed));
-      req.bs_sp = &sp;
+      if (layout_flag == "aos") req_layout = engine::Layout::kBsAos;
+      else if (layout_flag == "soa") req_layout = engine::Layout::kBsSoa;
+      pf = core::Portfolio::bs(items = items ? items : (1u << 18), req_layout, req.seed);
       break;
     case engine::Layout::kSpecs: {
       core::SingleOptionWorkloadParams p;
@@ -155,7 +165,7 @@ int main(int argc, char** argv) {
         p.vol_min = 0.2;
         p.vol_max = 0.4;
       }
-      specs = core::make_option_workload(items = items ? items : 64, req.seed, p);
+      auto specs = core::make_option_workload(items = items ? items : 64, req.seed, p);
       if (spy > 0) {
         // Maturity-sorted book (how portfolios usually arrive): with
         // steps-per-year lattices the per-option cost ramps quadratically
@@ -166,13 +176,18 @@ int main(int argc, char** argv) {
                     return a.years < b.years;
                   });
       }
-      req.specs = specs;
+      pf = core::Portfolio::specs(std::span<const core::OptionSpec>(specs));
       break;
     }
     case engine::Layout::kPaths:
-      req.npaths = items = items ? items : (1u << 16);
+      pf = core::Portfolio::paths(items = items ? items : (1u << 16));
       break;
+    default:
+      std::fprintf(stderr, "pricectl: no workload builder for layout '%s'\n",
+                   std::string(engine::to_string(v->layout)).c_str());
+      return 2;
   }
+  req.portfolio = pf.view();
 
   engine::Engine& eng = engine::Engine::shared();
   engine::PricingResult last;
@@ -181,9 +196,26 @@ int main(int argc, char** argv) {
     if (!last.ok && !last.error.empty()) throw std::runtime_error(last.error);
   });
 
+  // Layout provenance: what the request carried, what the variant needed,
+  // and what the negotiation cost (one-time; the converted buffer is
+  // cached in the request's scratch across repetitions).
+  opts.layout = std::string(engine::to_string(req_layout));
+  opts.convert_seconds = last.convert_seconds;
+  if (last.convert_bytes > 0) {
+    std::printf("layout negotiation: %s -> %s, one-time conversion %.3g ms (%zu bytes)\n",
+                std::string(engine::to_string(req_layout)).c_str(),
+                std::string(engine::to_string(v->layout)).c_str(),
+                1e3 * last.convert_seconds, last.convert_bytes);
+  }
+
   harness::Report report("pricectl: " + kernel_id, "items/s");
-  report.add_note("layout = " + std::string(engine::to_string(v->layout)) +
-                  ", items = " + std::to_string(items) + ", exhibit = " + v->exhibit);
+  report.add_note("layout = " + opts.layout + " (variant native: " +
+                  std::string(engine::to_string(v->layout)) +
+                  "), items = " + std::to_string(items) + ", exhibit = " + v->exhibit);
+  if (last.convert_bytes > 0) {
+    report.add_note("negotiated conversion = " + harness::eng(last.convert_seconds) +
+                    " s one-time, " + std::to_string(last.convert_bytes) + " bytes");
+  }
   report.add_note("schedule = " + std::string(req.schedule == arch::Schedule::kDynamic
                                                   ? "dynamic (ticket self-scheduling)"
                                                   : "static (equal-count stripes)"));

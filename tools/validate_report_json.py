@@ -24,6 +24,8 @@ REPORT_REQUIRED = {
     "full": bool,
     "reps": int,
     "threads": int,
+    "layout": str,
+    "convert_seconds": float,
     "host": dict,
     "notes": list,
     "rows": list,
@@ -54,7 +56,7 @@ def validate_report(path):
     for key, typ in REPORT_REQUIRED.items():
         if key not in doc:
             fail(f"{path}: missing top-level key '{key}'")
-        if typ is int:
+        if typ in (int, float):
             if not isinstance(doc[key], (int, float)):
                 fail(f"{path}: '{key}' should be a number, got {type(doc[key]).__name__}")
         elif not isinstance(doc[key], typ):

@@ -34,6 +34,7 @@
 #include "finbench/obs/perf_counters.hpp"
 #include "finbench/obs/run_report.hpp"
 #include "finbench/obs/trace.hpp"
+#include "finbench/robust/denormal.hpp"
 
 namespace finbench::bench {
 
@@ -208,6 +209,7 @@ inline void finish_exports(harness::Report& report, const Options& opts, bool pr
     ctx.threads = threads;
     ctx.layout = opts.layout;
     ctx.convert_seconds = opts.convert_seconds;
+    ctx.denormal_mode = std::string(robust::denormal_mode_string());
     if (!obs::write_run_report(opts.json, report, ctx)) {
       std::fprintf(stderr, "warning: could not write run report to %s\n", opts.json.c_str());
     }

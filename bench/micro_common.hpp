@@ -24,6 +24,7 @@
 #include "finbench/obs/perf_counters.hpp"
 #include "finbench/obs/run_report.hpp"
 #include "finbench/obs/trace.hpp"
+#include "finbench/robust/denormal.hpp"
 
 namespace finbench::bench {
 
@@ -65,6 +66,7 @@ inline void micro_obs_finish(const MicroObs& o) {
     obs::RunContext ctx;
     ctx.binary = o.binary;
     ctx.threads = arch::num_threads();
+    ctx.denormal_mode = std::string(robust::denormal_mode_string());
     if (!obs::write_run_report(o.json, report, ctx)) {
       std::fprintf(stderr, "warning: could not write run report to %s\n", o.json.c_str());
     }

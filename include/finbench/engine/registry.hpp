@@ -54,6 +54,14 @@ struct VariantInfo {
   double tolerance = 1e-9;
   bool statistical = false;
 
+  // Graceful degradation: when a chunk of this variant fails its output
+  // guard (or throws), the engine re-prices the chunk through this
+  // variant instead (finbench/robust, docs/robustness.md). "" means
+  // fall back to reference_id; the chain is followed until a variant
+  // succeeds or the family reference itself fails. Each link must share
+  // the variant's layout family.
+  std::string fallback_id;
+
   bool european_only = false;  // variant cannot price American exercise
 
   // Cost model per item under this request (roofline metadata).

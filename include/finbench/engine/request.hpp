@@ -14,10 +14,16 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "finbench/arch/parallel.hpp"
 #include "finbench/core/portfolio.hpp"
+#include "finbench/robust/deadline.hpp"
+#include "finbench/robust/fault.hpp"
+#include "finbench/robust/guards.hpp"
+#include "finbench/robust/sanitize.hpp"
+#include "finbench/robust/status.hpp"
 
 namespace finbench::engine {
 
@@ -54,14 +60,69 @@ struct PricingRequest {
   arch::Schedule schedule = arch::Schedule::kDynamic;
   int chunks_per_thread = 8;  // dynamic chunk granularity target
 
+  // --- Robustness (finbench/robust; docs/robustness.md) --------------------
+  // Input sanitization policy. The default masks faulty options out
+  // (their outputs come back as quiet NaN with a per-option fault mask)
+  // instead of letting one poisoned record take down the batch; kOff is
+  // the raw-benchmark mode with the exact pre-robustness behavior.
+  robust::SanitizePolicy sanitize = robust::SanitizePolicy::kSkip;
+
+  // Post-kernel output guardrails; failing chunks are re-priced through
+  // the variant's fallback chain when `fallback` is set.
+  robust::GuardPolicy guard{};
+  bool fallback = true;
+
+  // Cooperative deadline, polled at chunk boundaries: > 0 arms a
+  // per-request deadline of that many seconds; `cancel` (optional,
+  // caller-owned, must outlive the call) lets a client revoke the request
+  // from another thread. Either trigger yields partial results with
+  // per-chunk status rather than an abort.
+  double deadline_seconds = 0.0;
+  const robust::CancelToken* cancel = nullptr;
+
+  // Deterministic engine-side fault injection (tests, CI smoke runs):
+  // corrupt outputs, throw in chunks, slow chunks down. Input poisoning
+  // (FaultPlan::poison) is applied by whoever owns the workload — see
+  // robust::inject_input_faults. Never active during fallback repricing.
+  robust::FaultPlan faults{};
+
   // Adapter-owned cache; reused across repeated pricings of this request.
   mutable std::shared_ptr<Scratch> scratch;
 };
 
+// Per-chunk outcome of one engine execution (PricingResult::chunk_status).
+// kNotRun chunks were never started — after a deadline expiry or a
+// non-recoverable failure they are what distinguishes "missing" from
+// "wrong".
+enum class ChunkStatus : std::uint8_t {
+  kNotRun = 0,
+  kOk = 1,        // priced by the requested variant, guard clean
+  kDegraded = 2,  // quarantined and re-priced through the fallback chain
+  kFailed = 3,    // failed and no fallback link could repair it
+  kDeadline = 4,  // skipped because the deadline/cancel token expired
+};
+
+constexpr std::string_view to_string(ChunkStatus s) {
+  switch (s) {
+    case ChunkStatus::kNotRun: return "not_run";
+    case ChunkStatus::kOk: return "ok";
+    case ChunkStatus::kDegraded: return "degraded";
+    case ChunkStatus::kFailed: return "failed";
+    case ChunkStatus::kDeadline: return "deadline";
+  }
+  return "?";
+}
+
 struct PricingResult {
+  // Legacy success flag and message, kept in lockstep with `status`:
+  // ok == status.ok() (true for kOk *and* kDegraded) and error ==
+  // status.to_string() when not clean. New code should read `status`.
   bool ok = false;
   std::string error;       // empty on success
   std::string kernel_id;
+
+  // Structured outcome of the robust pricing path (finbench/robust).
+  robust::Status status{};
 
   std::size_t items = 0;   // options priced / paths constructed
   double seconds = 0.0;    // wall time inside the engine, including the
@@ -83,6 +144,25 @@ struct PricingResult {
   // distort the bandwidth-bound kernel), leaving `values` empty.
   std::vector<double> values;
   std::vector<double> std_errors;  // Monte Carlo variants only
+
+  // --- Robustness detail (empty / zero on a clean, un-degraded run) --------
+  // Sanitizer verdict per option (robust::OptionFault bits); empty when
+  // every input was clean. An option with kFaultSkipped set has quiet NaN
+  // outputs by design.
+  std::vector<std::uint8_t> option_faults;
+
+  // Outcome per engine chunk, aligned with the run's chunk partition;
+  // empty for whole-batch (single-chunk) execution, where `status` alone
+  // tells the story. Partial results after a deadline: kDeadline/kNotRun
+  // chunks hold unpriced items.
+  std::vector<std::uint8_t> chunk_status;  // ChunkStatus values
+
+  std::size_t options_clamped = 0;   // sanitizer repaired in place / in copy
+  std::size_t options_skipped = 0;   // sanitizer masked out (NaN outputs)
+  std::size_t options_repaired = 0;  // guard repaired via scalar reference
+  std::size_t chunks_degraded = 0;   // re-priced through the fallback chain
+  std::size_t chunks_failed = 0;     // unrecoverable
+  std::size_t chunks_deadline = 0;   // skipped at deadline/cancellation
 
   double items_per_sec() const {
     return seconds > 0.0 ? static_cast<double>(items) / seconds : 0.0;

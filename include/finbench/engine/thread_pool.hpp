@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "finbench/arch/parallel.hpp"
+#include "finbench/robust/deadline.hpp"
 
 namespace finbench::engine {
 
@@ -48,11 +49,25 @@ class ThreadPool {
   // chunks completed. kDynamic claims chunks via the ticket counter;
   // kStatic assigns chunk c to participant c % P. The first exception is
   // rethrown here (remaining chunks are skipped under kDynamic, visited
-  // but not executed under kStatic). Concurrent run() calls from
-  // different threads serialize; run() from inside fn executes the nested
-  // loop inline on the calling participant.
+  // but not executed under kStatic); further exceptions from other
+  // participants are counted under the "pool.exceptions.suppressed"
+  // counter and noted in the rethrown message. When `cancel` is non-null
+  // it is polled at every chunk boundary: once expired, remaining chunks
+  // complete as not-run (fn is never called for them), so a run under a
+  // deadline returns within one chunk's wall time per participant — the
+  // caller (the engine) knows which chunks ran from its own per-chunk
+  // bookkeeping. Concurrent run() calls from different threads serialize;
+  // run() from inside fn executes the nested loop inline on the calling
+  // participant.
+  //
+  // Every participant — dedicated workers at startup, the caller for the
+  // scope of its participation — computes under the pool's denormal
+  // policy (FTZ+DAZ, robust::install_denormal_ftz), so results never
+  // depend on which participant claimed a chunk. The caller's FP state is
+  // restored before run() returns.
   void run(std::ptrdiff_t nchunks, const std::function<void(std::ptrdiff_t)>& fn,
-           arch::Schedule sched = arch::Schedule::kDynamic, const char* site = "pool");
+           arch::Schedule sched = arch::Schedule::kDynamic, const char* site = "pool",
+           const robust::CancelToken* cancel = nullptr);
 
   // Process-wide pool sized to arch::num_threads() at first use.
   static ThreadPool& shared();
@@ -81,6 +96,8 @@ class ThreadPool {
   std::atomic<std::ptrdiff_t> completed_{0};
   std::atomic<int> active_workers_{0};
   std::atomic<bool> failed_{false};
+  std::atomic<int> suppressed_{0};  // secondary exceptions after the first
+  const robust::CancelToken* cancel_ = nullptr;
   std::exception_ptr error_;  // guarded by err_mu_
   std::mutex err_mu_;
 

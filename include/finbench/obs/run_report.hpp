@@ -51,6 +51,11 @@ struct RunContext {
   // engine's negotiation paid, in seconds (0 when nothing was converted).
   std::string layout = "native";
   double convert_seconds = 0.0;
+
+  // Denormal policy the thread pool installs on its participants
+  // (robust::denormal_mode_string(): "ftz+daz" or "ieee"). Threaded
+  // through the context because obs does not link against robust.
+  std::string denormal_mode = "ieee";
 };
 
 // Best-effort repository HEAD SHA: walks up from the current directory to

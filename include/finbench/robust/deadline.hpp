@@ -1,0 +1,74 @@
+// finbench/robust/deadline.hpp
+//
+// Cooperative per-request deadlines and cancellation. A CancelToken is a
+// cheap poll-only object: the engine arms one per request (from
+// PricingRequest::deadline_seconds and/or the caller's own token) and the
+// thread pool polls it at every chunk boundary — an expired token makes
+// the remaining chunks complete as "not run" instead of executing, so a
+// runaway request returns partial results with per-chunk status in at most
+// one chunk's worth of extra time per participant. Nothing is ever
+// interrupted mid-kernel: cancellation is cooperative by design (kernels
+// stay simple, and a chunk is the engine's unit of accounting anyway).
+
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace finbench::robust {
+
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  // Explicit cancellation (e.g. a client hung up). Thread-safe.
+  void cancel() noexcept { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const noexcept { return cancelled_.load(std::memory_order_relaxed); }
+
+  // Arm a deadline `seconds` from now (steady clock). seconds <= 0 clears.
+  void set_deadline_after(double seconds) noexcept {
+    if (seconds <= 0.0) {
+      deadline_ns_.store(0, std::memory_order_relaxed);
+      return;
+    }
+    const auto now = std::chrono::steady_clock::now().time_since_epoch();
+    const std::int64_t ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(now).count() +
+        static_cast<std::int64_t>(seconds * 1e9);
+    deadline_ns_.store(ns, std::memory_order_relaxed);
+  }
+
+  // Chain to a caller-owned token: this token also reports expired when
+  // the parent does. Set before the run starts; not thread-safe to change
+  // while polled.
+  void set_parent(const CancelToken* parent) noexcept { parent_ = parent; }
+
+  // The poll the pool makes at chunk boundaries: cancelled, past deadline,
+  // or parent expired. A handful of relaxed loads and (when a deadline is
+  // armed) one steady_clock read — cheap enough for per-chunk use.
+  bool expired() const noexcept {
+    if (cancelled_.load(std::memory_order_relaxed)) return true;
+    const std::int64_t d = deadline_ns_.load(std::memory_order_relaxed);
+    if (d != 0) {
+      const auto now = std::chrono::steady_clock::now().time_since_epoch();
+      if (std::chrono::duration_cast<std::chrono::nanoseconds>(now).count() >= d) return true;
+    }
+    return parent_ != nullptr && parent_->expired();
+  }
+
+  // Re-arm for the next request (keeps the parent link).
+  void reset() noexcept {
+    cancelled_.store(false, std::memory_order_relaxed);
+    deadline_ns_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  std::atomic<std::int64_t> deadline_ns_{0};  // 0 = no deadline
+  const CancelToken* parent_ = nullptr;
+};
+
+}  // namespace finbench::robust

@@ -1,0 +1,81 @@
+// finbench/robust/fault.hpp
+//
+// Deterministic, seed-keyed fault injection. Every guard / fallback /
+// deadline path in the engine is exercisable on demand, in tests and in
+// CI, instead of waiting for production to produce the failure:
+//
+//   poison    input poisoning — selected options get a NaN/Inf/negative
+//             field (applied to the *workload* by the harness that owns
+//             it: pricectl --inject, tests)
+//   corrupt   forced non-finite kernel outputs — selected outputs are
+//             overwritten with NaN/Inf after the kernel ran, before the
+//             guard pass (engine-side)
+//   throw     injected kernel exceptions — selected chunks throw
+//             InjectedKernelFault from inside the chunk body (engine-side)
+//   slow      artificially slow chunks — selected chunks sleep before
+//             executing, the deterministic way to exercise deadlines
+//             (engine-side)
+//
+// Decisions are pure functions of (seed, site, index) via splitmix64, so
+// a plan reproduces exactly across runs, thread counts, and schedules.
+// Plans parse from a compact spec string (pricectl --inject):
+//
+//   "seed=7,poison=0.01,corrupt=0.002,throw=0.1,slow=0.05,slow_ms=30"
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "finbench/core/portfolio.hpp"
+#include "finbench/robust/status.hpp"
+
+namespace finbench::robust {
+
+// The exception injected kernels throw; distinct so tests and logs can
+// tell injected faults from real ones.
+class InjectedKernelFault : public std::runtime_error {
+ public:
+  explicit InjectedKernelFault(const std::string& what) : std::runtime_error(what) {}
+};
+
+struct FaultPlan {
+  std::uint64_t seed = 1;
+  double poison = 0.0;    // fraction of options whose inputs get poisoned
+  double corrupt = 0.0;   // fraction of outputs forced non-finite
+  double throw_rate = 0.0;  // fraction of chunks that throw
+  double slow = 0.0;        // fraction of chunks that sleep
+  double slow_ms = 20.0;    // sleep per slow chunk
+
+  bool any() const {
+    return poison > 0.0 || corrupt > 0.0 || throw_rate > 0.0 || slow > 0.0;
+  }
+  // Engine-side injection only (poisoning is workload-side).
+  bool any_engine_side() const { return corrupt > 0.0 || throw_rate > 0.0 || slow > 0.0; }
+
+  // Deterministic decision: does fault `site` hit `index` at `rate`?
+  // site disambiguates the streams (0 = poison, 1 = corrupt, 2 = throw,
+  // 3 = slow) so e.g. poisoned options and corrupted outputs differ.
+  bool hits(std::uint32_t site, std::uint64_t index, double rate) const;
+
+  // Spec-string round trip. parse accepts the format above (unknown keys
+  // and malformed numbers are errors, not silent zeros).
+  static Expected<FaultPlan> parse(std::string_view spec);
+  std::string to_spec() const;
+};
+
+// Poison the inputs of a workload view in place per plan.poison: the hit
+// options rotate through NaN spot, +Inf strike, negative expiry, NaN vol
+// (specs layouts), denormal spot. Mutates BS-layout and specs spans alike
+// — callers own the workload (pricectl builds its own portfolio; tests
+// poison copies). Returns the number of poisoned options and bumps
+// "robust.inject.poisoned". kSpecs requires a *mutable* span, so this
+// overload takes the spec array directly.
+std::size_t inject_input_faults(std::span<core::OptionSpec> specs, const FaultPlan& plan);
+std::size_t inject_input_faults(const core::PortfolioView& bs_view, const FaultPlan& plan);
+
+}  // namespace finbench::robust

@@ -1,0 +1,16 @@
+// finbench/robust/robust.hpp — umbrella header for the robustness layer.
+//
+// finbench::robust is the input-guard / fault-tolerance subsystem of the
+// pricing engine: a Status error taxonomy, a workload sanitizer, output
+// guardrails with fallback repricing, cooperative deadlines, a
+// deterministic fault-injection harness, and the pool's denormal policy.
+// docs/robustness.md is the narrative contract.
+
+#pragma once
+
+#include "finbench/robust/deadline.hpp"
+#include "finbench/robust/denormal.hpp"
+#include "finbench/robust/fault.hpp"
+#include "finbench/robust/guards.hpp"
+#include "finbench/robust/sanitize.hpp"
+#include "finbench/robust/status.hpp"

@@ -1,0 +1,142 @@
+// finbench/robust/status.hpp
+//
+// The error taxonomy of the robust pricing path: a Status carries a coarse
+// machine-readable code plus a human-readable message, and Expected<T>
+// carries either a value or the Status explaining its absence. The engine
+// reports workload, registry, layout, deadline, and kernel problems as
+// Status codes on the PricingResult instead of throwing — a malformed
+// request degrades one pricing, never the process.
+//
+// Code semantics (docs/robustness.md has the full contract):
+//
+//   kOk                clean run, full results
+//   kDegraded          full results, but something had to bend: options
+//                      were clamped/skipped by the sanitizer, or a chunk
+//                      was quarantined and re-priced through the fallback
+//                      chain — per-option / per-chunk detail rides on the
+//                      result
+//   kInvalidArgument   the request itself is malformed (empty workload,
+//                      non-convertible layout)
+//   kInvalidInput      the workload data failed sanitization under the
+//                      kReject policy (per-option mask says which/why)
+//   kNotFound          unknown kernel id
+//   kDeadlineExceeded  the deadline/cancel token expired mid-run: partial
+//                      results, per-chunk status says what completed
+//   kKernelError       a kernel failed (threw, or produced guarded-out
+//                      garbage) and the fallback chain could not repair it
+//
+// ok() is true for kOk and kDegraded: both deliver a usable full result.
+
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace finbench::robust {
+
+enum class StatusCode {
+  kOk = 0,
+  kDegraded,
+  kInvalidArgument,
+  kInvalidInput,
+  kNotFound,
+  kDeadlineExceeded,
+  kKernelError,
+};
+
+constexpr std::string_view to_string(StatusCode c) {
+  switch (c) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kDegraded: return "degraded";
+    case StatusCode::kInvalidArgument: return "invalid_argument";
+    case StatusCode::kInvalidInput: return "invalid_input";
+    case StatusCode::kNotFound: return "not_found";
+    case StatusCode::kDeadlineExceeded: return "deadline_exceeded";
+    case StatusCode::kKernelError: return "kernel_error";
+  }
+  return "?";
+}
+
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message) : code_(code), message_(std::move(message)) {}
+
+  // A default-constructed Status is kOk with no message.
+  static Status degraded(std::string msg) { return {StatusCode::kDegraded, std::move(msg)}; }
+  static Status invalid_argument(std::string msg) {
+    return {StatusCode::kInvalidArgument, std::move(msg)};
+  }
+  static Status invalid_input(std::string msg) {
+    return {StatusCode::kInvalidInput, std::move(msg)};
+  }
+  static Status not_found(std::string msg) { return {StatusCode::kNotFound, std::move(msg)}; }
+  static Status deadline_exceeded(std::string msg) {
+    return {StatusCode::kDeadlineExceeded, std::move(msg)};
+  }
+  static Status kernel_error(std::string msg) {
+    return {StatusCode::kKernelError, std::move(msg)};
+  }
+
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // Usable full result (possibly via degradation). Partial or absent
+  // results — every other code — are not ok.
+  bool ok() const { return code_ == StatusCode::kOk || code_ == StatusCode::kDegraded; }
+  bool degraded() const { return code_ == StatusCode::kDegraded; }
+
+  // Reuse-friendly reset: clears without releasing message capacity, so a
+  // steady-state re-priced result performs no heap traffic.
+  void reset() {
+    code_ = StatusCode::kOk;
+    message_.clear();
+  }
+  void set(StatusCode code, std::string_view message) {
+    code_ = code;
+    message_.assign(message);
+  }
+
+  std::string to_string() const {
+    std::string s{robust::to_string(code_)};
+    if (!message_.empty()) {
+      s += ": ";
+      s += message_;
+    }
+    return s;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+// Expected<T>: a value or the Status explaining why there is none. Small
+// and deliberately boring — no exceptions, no heap beyond what T needs.
+template <class T>
+class Expected {
+ public:
+  Expected(T value) : value_(std::move(value)), has_value_(true) {}  // NOLINT
+  Expected(Status status) : status_(std::move(status)) {}            // NOLINT
+
+  bool has_value() const { return has_value_; }
+  explicit operator bool() const { return has_value_; }
+
+  const T& value() const { return value_; }
+  T& value() { return value_; }
+  const T& operator*() const { return value_; }
+  const T* operator->() const { return &value_; }
+
+  // Status of a failed Expected; Status::ok() when a value is present.
+  const Status& status() const { return status_; }
+
+  T value_or(T fallback) const { return has_value_ ? value_ : std::move(fallback); }
+
+ private:
+  T value_{};
+  Status status_{};
+  bool has_value_ = false;
+};
+
+}  // namespace finbench::robust

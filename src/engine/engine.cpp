@@ -1,17 +1,26 @@
 #include "finbench/engine/engine.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "finbench/arch/timing.hpp"
+#include "finbench/core/analytic.hpp"
 #include "finbench/obs/metrics.hpp"
 #include "finbench/obs/trace.hpp"
+#include "finbench/robust/guards.hpp"
 #include "variants.hpp"
 
 namespace finbench::engine {
 
 namespace {
+
+constexpr double kQuietNan = std::numeric_limits<double>::quiet_NaN();
 
 // Identity of the workload's data for the negotiation cache: if the
 // request later points at different arrays (or a different size), the
@@ -87,6 +96,110 @@ const std::vector<std::size_t>& chunk_bounds(const VariantInfo& v, const Pricing
   return bounds;
 }
 
+// --- Robustness helpers -----------------------------------------------------
+
+// Next link of a variant's fallback chain: explicit fallback_id first,
+// else the self-validation reference, else end-of-chain.
+const VariantInfo* fallback_of(const VariantInfo& v) {
+  const std::string& id = !v.fallback_id.empty() ? v.fallback_id : v.reference_id;
+  if (id.empty() || id == v.id) return nullptr;
+  return Registry::instance().find(id);
+}
+
+bool range_has_american(std::span<const core::OptionSpec> specs, std::size_t begin,
+                        std::size_t end) {
+  for (std::size_t i = begin; i < end; ++i) {
+    if (specs[i].style == core::ExerciseStyle::kAmerican) return true;
+  }
+  return false;
+}
+
+// Engine-side output corruption (FaultPlan::corrupt): forces quiet NaN
+// into selected values so the guard/fallback path is exercisable on
+// demand. Index stream 1; per-option decisions, independent of chunking.
+std::size_t inject_corrupt_values(std::span<double> values, std::size_t base,
+                                  const robust::FaultPlan& plan) {
+  std::size_t hit = 0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (plan.hits(1, base + i, plan.corrupt)) {
+      values[i] = kQuietNan;
+      ++hit;
+    }
+  }
+  if (hit != 0) obs::counter("robust.inject.corrupted").add(hit);
+  return hit;
+}
+
+std::size_t inject_corrupt_bs(const core::PortfolioView& view, const robust::FaultPlan& plan) {
+  std::size_t hit = 0;
+  const std::size_t n = view.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (plan.hits(1, i, plan.corrupt)) {
+      const robust::BsElem e = robust::bs_elem(view, i);
+      robust::bs_store_outputs(view, i, kQuietNan, e.put);
+      ++hit;
+    }
+  }
+  if (hit != 0) obs::counter("robust.inject.corrupted").add(hit);
+  return hit;
+}
+
+// Engine-side chunk faults (streams 2 and 3). The injected throw fires
+// *before* the kernel runs — the most adversarial ordering, since the
+// chunk's outputs are left untouched for the fallback chain to fill.
+void inject_chunk_faults(const robust::FaultPlan& plan, std::ptrdiff_t chunk) {
+  const auto c = static_cast<std::uint64_t>(chunk);
+  if (plan.slow > 0.0 && plan.hits(3, c, plan.slow)) {
+    obs::counter("robust.inject.slow").add(1);
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(plan.slow_ms));
+  }
+  if (plan.throw_rate > 0.0 && plan.hits(2, c, plan.throw_rate)) {
+    obs::counter("robust.inject.thrown").add(1);
+    throw robust::InjectedKernelFault("injected kernel fault in chunk " +
+                                      std::to_string(chunk));
+  }
+}
+
+// Re-price all options of a BS batch view with the scalar closed form —
+// the terminal repair when a BS whole-batch kernel throws and no batch
+// fallback variant shares its layout.
+void repair_bs_all(const core::PortfolioView& view) {
+  const std::size_t n = view.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const robust::BsElem e = robust::bs_elem(view, i);
+    const core::BsPrice p =
+        core::black_scholes(e.spot, e.strike, e.years, e.rate, e.vol, e.dividend);
+    robust::bs_store_outputs(view, i, p.call, p.put);
+  }
+  obs::counter("robust.guard.repaired").add(n);
+}
+
+// Force quiet NaN into the outputs of sanitizer-skipped options, so the
+// placeholder prices the kernel computed for them never escape.
+void mask_skipped_outputs(const std::vector<std::uint8_t>& mask, std::vector<double>& values,
+                          std::vector<double>& std_errors, const core::PortfolioView& bs_view) {
+  for (std::size_t i = 0; i < mask.size(); ++i) {
+    if ((mask[i] & robust::kFaultSkipped) == 0) continue;
+    if (i < values.size()) values[i] = kQuietNan;
+    if (i < std_errors.size()) std_errors[i] = kQuietNan;
+    if (robust::is_bs_layout(bs_view) && i < bs_view.size()) {
+      robust::bs_store_outputs(bs_view, i, kQuietNan, kQuietNan);
+    }
+  }
+}
+
+// Mutable-string state of one execution that only exceptional paths touch.
+struct RunErrors {
+  std::mutex mu;
+  std::string first;  // first failure message (chunk exception / guard)
+
+  void record(const char* what) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (first.empty()) first = what;
+  }
+};
+
 }  // namespace
 
 Engine::Engine(ThreadPool* pool) : pool_(pool ? pool : &ThreadPool::shared()) {}
@@ -105,6 +218,7 @@ PricingResult Engine::price(const PricingRequest& req) const {
 void Engine::price(const PricingRequest& req, PricingResult& res) const {
   res.ok = false;
   res.error.clear();
+  res.status.reset();
   res.kernel_id = req.kernel_id;  // same id on a reused result: no realloc
   res.items = 0;
   res.seconds = 0.0;
@@ -112,44 +226,99 @@ void Engine::price(const PricingRequest& req, PricingResult& res) const {
   res.convert_bytes = 0;
   res.values.clear();
   res.std_errors.clear();
+  res.option_faults.clear();
+  res.chunk_status.clear();
+  res.options_clamped = res.options_skipped = res.options_repaired = 0;
+  res.chunks_degraded = res.chunks_failed = res.chunks_deadline = 0;
+
+  // Mirrors the structured status into the legacy ok/error pair and
+  // returns; every exit below goes through this.
+  auto finish = [&res](robust::Status status) {
+    res.status = std::move(status);
+    res.ok = res.status.ok();
+    if (res.status.code() != robust::StatusCode::kOk) res.error = res.status.to_string();
+  };
 
   const VariantInfo* v = Registry::instance().find(req.kernel_id);
   if (!v) {
-    res.error = "unknown kernel id '" + req.kernel_id + "' (see pricectl --list)";
+    finish(robust::Status::not_found("unknown kernel id '" + req.kernel_id +
+                                     "' (see pricectl --list)"));
     return;
   }
   res.layout = v->layout;
   const std::size_t n = req.portfolio.size();
   if (n == 0) {
-    res.error = "variant '" + v->id + "' got an empty workload (layout " +
-                std::string(to_string(req.portfolio.layout)) + ")";
+    finish(robust::Status::invalid_argument(
+        "variant '" + v->id + "' got an empty workload (layout " +
+        std::string(to_string(req.portfolio.layout)) + ")"));
     return;
   }
+
+  // The engine's working view: same arrays as the caller's, but a local
+  // object, so the sanitizer may repair shared BS scalars and the specs
+  // span may be re-pointed at the sanitized copy without touching req.
+  core::PortfolioView working = req.portfolio;
+  Scratch& s = scratch_of(req);
+
+  // --- Input sanitization --------------------------------------------------
+  robust::SanitizeReport& san = s.sanitize_report;
+  san.reset();
+  if (req.sanitize != robust::SanitizePolicy::kOff) {
+    robust::sanitize(working, req.sanitize, san);
+    if (!san.clean()) {
+      if (req.sanitize == robust::SanitizePolicy::kReject) {
+        res.option_faults = san.mask;
+        finish(robust::Status::invalid_input(
+            "workload rejected: " + std::to_string(san.faulty) + " of " + std::to_string(n) +
+            " option(s) failed sanitization (see PricingResult::option_faults)"));
+        return;
+      }
+      if (working.layout == Layout::kSpecs) {
+        // The caller's specs are immutable through the view: price a
+        // policy-applied copy instead (kept in Scratch; the buffer is
+        // reused across repetitions of this request).
+        s.sanitized_specs.resize(n);
+        robust::sanitize_specs(working.specs, s.sanitized_specs, req.sanitize, san);
+        working.specs = {s.sanitized_specs.data(), n};
+      }
+      res.option_faults = san.mask;
+      res.options_clamped = san.clamped;
+      res.options_skipped = san.skipped;
+    }
+  }
+
+  // --- Deadline / cancellation ---------------------------------------------
+  robust::CancelToken& token = s.token;
+  token.reset();
+  token.set_parent(req.cancel);
+  if (req.deadline_seconds > 0.0) token.set_deadline_after(req.deadline_seconds);
+  const bool has_deadline = req.deadline_seconds > 0.0 || req.cancel != nullptr;
+  const robust::CancelToken* cancel = has_deadline ? &token : nullptr;
 
   // --- Layout negotiation --------------------------------------------------
   // A convertible mismatch is converted once into the request's arena and
   // cached; repetitions reuse the converted view and only pay the output
   // writeback. The one-time conversion cost travels on every result so a
   // single-shot caller still sees what negotiation cost them.
-  const core::PortfolioView* view = &req.portfolio;
+  const core::PortfolioView* view = &working;
   bool negotiated = false;
-  if (req.portfolio.layout != v->layout) {
-    if (!core::convertible(req.portfolio.layout, v->layout)) {
-      res.error = "variant '" + v->id + "' needs a " + std::string(to_string(v->layout)) +
-                  " workload; the request carries " +
-                  std::string(to_string(req.portfolio.layout)) + " (not convertible)";
+  if (working.layout != v->layout) {
+    if (!core::convertible(working.layout, v->layout)) {
+      finish(robust::Status::invalid_argument(
+          "variant '" + v->id + "' needs a " + std::string(to_string(v->layout)) +
+          " workload; the request carries " + std::string(to_string(working.layout)) +
+          " (not convertible)"));
       return;
     }
-    Scratch& s = scratch_of(req);
-    const void* key = workload_key(req.portfolio);
+    const void* key = workload_key(working);
     if (!s.has_negotiated || s.negotiated_src != key || s.negotiated_n != n ||
-        s.negotiated_from != req.portfolio.layout || s.negotiated_to != v->layout) {
+        s.negotiated_from != working.layout || s.negotiated_to != v->layout) {
       s.arena.reset();
-      s.negotiated = core::convert(req.portfolio, v->layout, s.arena, &s.convert_stats);
+      s.negotiated = core::convert(working, v->layout, s.arena, &s.convert_stats);
       s.has_negotiated = true;
       s.negotiated_src = key;
       s.negotiated_n = n;
-      s.negotiated_from = req.portfolio.layout;
+      s.negotiated_from = working.layout;
       s.negotiated_to = v->layout;
       static obs::Counter& converts = obs::counter("engine.layout_converts");
       static obs::Counter& cbytes = obs::counter("engine.convert.bytes");
@@ -170,54 +339,289 @@ void Engine::price(const PricingRequest& req, PricingResult& res) const {
   FINBENCH_SPAN("engine.price");
   arch::WallTimer t;
 
-  // Whole-batch fallback: no range adapter, or nothing to chunk over.
-  // Negotiated Black–Scholes runs land here (BS variants are whole-batch);
-  // their outputs are written into the converted arrays, so each run ends
-  // with a writeback into the caller's portfolio — inside the timer, so
-  // res.seconds stays honest about what the caller's layout really costs.
-  if (!v->run_range || v->layout != Layout::kSpecs || n < 2) {
-    v->run_batch(req, *view, res);
-    if (negotiated) core::copy_outputs(*view, req.portfolio);
+  // Final bookkeeping shared by both execution shapes: NaN out the
+  // sanitizer-skipped outputs, aggregate a Status from what happened.
+  auto aggregate = [&](RunErrors& errors, std::size_t priced_items) {
+    if (!res.option_faults.empty()) {
+      mask_skipped_outputs(res.option_faults, res.values, res.std_errors,
+                           negotiated ? req.portfolio : working);
+    }
+    res.items = priced_items;
     res.seconds = t.seconds();
-    c_items.add(res.items);
+    c_items.add(priced_items);
+    if (res.chunks_failed > 0) {
+      finish(robust::Status::kernel_error(
+          std::to_string(res.chunks_failed) + " chunk(s) unrecoverable (" + errors.first +
+          "); " + std::to_string(priced_items) + " of " + std::to_string(n) +
+          " option(s) priced"));
+      return;
+    }
+    if (res.chunks_deadline > 0) {
+      obs::counter("robust.deadline.expired").add(1);
+      finish(robust::Status::deadline_exceeded(
+          "deadline expired: " + std::to_string(priced_items) + " of " + std::to_string(n) +
+          " option(s) priced (" + std::to_string(res.chunks_deadline) +
+          " chunk(s) skipped; see PricingResult::chunk_status)"));
+      return;
+    }
+    if (res.chunks_degraded > 0 || res.options_clamped > 0 || res.options_skipped > 0 ||
+        res.options_repaired > 0) {
+      finish(robust::Status::degraded(
+          "degraded: " + std::to_string(res.options_clamped) + " clamped, " +
+          std::to_string(res.options_skipped) + " skipped, " +
+          std::to_string(res.options_repaired) + " repaired option(s), " +
+          std::to_string(res.chunks_degraded) + " fallback chunk(s)"));
+      return;
+    }
+    finish(robust::Status{});
+  };
+
+  // --- Whole-batch execution -----------------------------------------------
+  // No range adapter, or nothing to chunk over. Negotiated Black–Scholes
+  // runs land here (BS variants are whole-batch); their outputs are
+  // written into the converted arrays, so each run ends with a writeback
+  // into the caller's portfolio — inside the timer, so res.seconds stays
+  // honest about what the caller's layout really costs. The whole batch
+  // is one unit of failure/fallback accounting; the cooperative deadline
+  // is only checked before the kernel runs.
+  if (!v->run_range || v->layout != Layout::kSpecs || n < 2) {
+    RunErrors errors;
+    if (cancel != nullptr && cancel->expired()) {
+      res.chunks_deadline = 1;
+      aggregate(errors, 0);
+      return;
+    }
+    bool priced = false;
+    try {
+      if (req.faults.any_engine_side()) inject_chunk_faults(req.faults, 0);
+      v->run_batch(req, *view, res);
+      priced = true;
+    } catch (const std::exception& e) {
+      errors.record(e.what());
+    } catch (...) {
+      errors.record("non-std exception from kernel");
+    }
+    if (priced && req.faults.corrupt > 0.0) {
+      if (robust::is_bs_layout(*view)) {
+        inject_corrupt_bs(*view, req.faults);
+      } else {
+        inject_corrupt_values(res.values, 0, req.faults);
+      }
+    }
+    if (!priced && req.fallback) {
+      // Walk the fallback chain through same-layout batch variants; for a
+      // BS batch an exhausted chain still has the scalar closed form as
+      // the terminal repair.
+      for (const VariantInfo* fb = fallback_of(*v); fb != nullptr && !priced;
+           fb = fallback_of(*fb)) {
+        if (fb->layout != view->layout || fb->run_batch == nullptr) break;
+        if (fb->european_only && view->layout == Layout::kSpecs &&
+            range_has_american(view->specs, 0, n)) {
+          continue;
+        }
+        PricingRequest sub = req;
+        sub.kernel_id = fb->id;
+        sub.faults = {};  // never inject into the repair path
+        sub.scratch.reset();
+        try {
+          fb->run_batch(sub, *view, res);
+          priced = true;
+          res.chunks_degraded = 1;
+          obs::counter("robust.fallback.chunks").add(1);
+        } catch (...) {
+          // keep walking the chain
+        }
+      }
+      if (!priced && robust::is_bs_layout(*view)) {
+        repair_bs_all(*view);
+        res.options_repaired += n;
+        res.chunks_degraded = 1;
+        obs::counter("robust.fallback.chunks").add(1);
+        priced = true;
+      }
+    }
+    if (!priced) {
+      res.chunks_failed = 1;
+      obs::counter("robust.fallback.exhausted").add(1);
+      res.seconds = t.seconds();
+      aggregate(errors, 0);
+      return;
+    }
+    // Output guardrails. BS batches repair violating options in place
+    // with the scalar closed form; values-producing batches that fail the
+    // guard re-price through the chain above on the next failure class
+    // (statistical estimators get finiteness-only checks).
+    if (req.guard.mode != robust::GuardMode::kOff) {
+      if (robust::is_bs_layout(*view)) {
+        const std::size_t repaired =
+            robust::guard_and_repair_bs(*view, req.guard, res.option_faults);
+        res.options_repaired += repaired;
+      } else if (!res.values.empty() && view->layout == Layout::kSpecs) {
+        std::size_t first = 0;
+        const std::size_t bad =
+            robust::guard_specs_range(view->specs, res.values, req.guard, v->statistical,
+                                      res.option_faults, 0, &first);
+        if (bad > 0) {
+          // Terminal repair for a deterministic specs value: there is no
+          // cheaper honest number than the family reference; re-pricing
+          // per option through run_batch is the chunked path's job. Here
+          // the violating values are disclosed as failures.
+          errors.record("output guard failed");
+          res.chunks_failed = 1;
+        }
+      }
+    }
+    if (negotiated) core::copy_outputs(*view, req.portfolio);
+    aggregate(errors, res.chunks_failed == 0 ? (res.items != 0 ? res.items : n) : 0);
     return;
   }
 
+  // --- Chunked execution ---------------------------------------------------
   res.values.assign(n, 0.0);
   if (v->has_std_error) res.std_errors.assign(n, 0.0);
-  if (v->prepare) v->prepare(req, *view);
+  if (v->prepare) {
+    try {
+      v->prepare(req, *view);
+    } catch (const std::exception& e) {
+      finish(robust::Status::kernel_error("variant '" + v->id + "' prepare failed: " + e.what()));
+      return;
+    }
+  }
 
   const int P = pool_->size();
   const int nparts = req.schedule == arch::Schedule::kDynamic
                          ? P * std::max(1, req.chunks_per_thread)
                          : P;
   const std::vector<std::size_t>& bounds = chunk_bounds(*v, req, *view, n, nparts);
+  const std::size_t nchunks = bounds.size() - 1;
+  res.chunk_status.assign(nchunks, static_cast<std::uint8_t>(ChunkStatus::kNotRun));
   const char* site =
       req.schedule == arch::Schedule::kDynamic ? "engine.dynamic" : "engine.static";
 
+  RunErrors errors;
+  const bool inject = req.faults.any_engine_side();
+  const bool guard_on = req.guard.mode != robust::GuardMode::kOff;
+
   // One-pointer capture: the closure fits std::function's small-buffer
-  // optimization, so submitting the run allocates nothing.
+  // optimization, so submitting the run allocates nothing. Kernel
+  // exceptions are contained per chunk — the chunk is marked kFailed for
+  // the fallback pass below and the pool never sees a failure, so the
+  // remaining chunks still execute.
   struct ChunkCtx {
     const VariantInfo* v;
     const PricingRequest* req;
     const core::PortfolioView* view;
     const std::size_t* bounds;
     PricingResult* res;
+    RunErrors* errors;
+    bool inject;
+    bool guard_on;
   };
-  ChunkCtx ctx{v, &req, view, bounds.data(), &res};
+  ChunkCtx ctx{v, &req, view, bounds.data(), &res, &errors, inject, guard_on};
   pool_->run(
-      static_cast<std::ptrdiff_t>(bounds.size()) - 1,
+      static_cast<std::ptrdiff_t>(nchunks),
       [&ctx](std::ptrdiff_t c) {
         FINBENCH_SPAN("engine.chunk");
-        ctx.v->run_range(*ctx.req, *ctx.view, ctx.bounds[static_cast<std::size_t>(c)],
-                         ctx.bounds[static_cast<std::size_t>(c) + 1], *ctx.res);
+        const std::size_t begin = ctx.bounds[static_cast<std::size_t>(c)];
+        const std::size_t end = ctx.bounds[static_cast<std::size_t>(c) + 1];
+        std::uint8_t& slot = ctx.res->chunk_status[static_cast<std::size_t>(c)];
+        try {
+          if (ctx.inject) inject_chunk_faults(ctx.req->faults, c);
+          ctx.v->run_range(*ctx.req, *ctx.view, begin, end, *ctx.res);
+          if (ctx.req->faults.corrupt > 0.0) {
+            inject_corrupt_values({ctx.res->values.data() + begin, end - begin}, begin,
+                                  ctx.req->faults);
+          }
+          if (ctx.guard_on &&
+              robust::guard_specs_range(
+                  ctx.view->specs.subspan(begin, end - begin),
+                  {ctx.res->values.data() + begin, end - begin}, ctx.req->guard,
+                  ctx.v->statistical, ctx.res->option_faults, begin) > 0) {
+            ctx.errors->record("output guard failed");
+            slot = static_cast<std::uint8_t>(ChunkStatus::kFailed);
+          } else {
+            slot = static_cast<std::uint8_t>(ChunkStatus::kOk);
+          }
+        } catch (const std::exception& e) {
+          ctx.errors->record(e.what());
+          slot = static_cast<std::uint8_t>(ChunkStatus::kFailed);
+        } catch (...) {
+          ctx.errors->record("non-std exception from kernel");
+          slot = static_cast<std::uint8_t>(ChunkStatus::kFailed);
+        }
       },
-      req.schedule, site);
+      req.schedule, site, cancel);
 
-  res.items = n;
-  res.ok = true;
-  res.seconds = t.seconds();
-  c_items.add(n);
+  // --- Quarantine & fallback pass (serial, exceptional) --------------------
+  // Failed chunks re-price through the fallback chain's batch entry point
+  // on a sub-workload view; the repaired values are guarded again before
+  // they are accepted. Runs on the caller thread; a degraded repetition
+  // may allocate — only clean steady-state repetitions are guaranteed
+  // allocation-free.
+  std::size_t priced_items = 0;
+  const bool expired = cancel != nullptr && cancel->expired();
+  for (std::size_t c = 0; c < nchunks; ++c) {
+    auto status = static_cast<ChunkStatus>(res.chunk_status[c]);
+    const std::size_t begin = bounds[c], end = bounds[c + 1];
+    if (status == ChunkStatus::kNotRun) {
+      res.chunk_status[c] = static_cast<std::uint8_t>(expired ? ChunkStatus::kDeadline
+                                                              : ChunkStatus::kNotRun);
+      ++res.chunks_deadline;
+      std::fill(res.values.begin() + static_cast<std::ptrdiff_t>(begin),
+                res.values.begin() + static_cast<std::ptrdiff_t>(end), kQuietNan);
+      obs::counter("robust.deadline.chunks_skipped").add(1);
+      continue;
+    }
+    if (status == ChunkStatus::kFailed && req.fallback) {
+      bool repaired = false;
+      for (const VariantInfo* fb = fallback_of(*v); fb != nullptr && !repaired;
+           fb = fallback_of(*fb)) {
+        if (fb->layout != Layout::kSpecs || fb->run_batch == nullptr) break;
+        if (fb->european_only && range_has_american(view->specs, begin, end)) continue;
+        PricingRequest sub = req;
+        sub.kernel_id = fb->id;
+        sub.faults = {};  // never inject into the repair path
+        sub.portfolio = core::view_of(view->specs.subspan(begin, end - begin));
+        sub.scratch.reset();
+        PricingResult subres;
+        try {
+          fb->run_batch(sub, sub.portfolio, subres);
+        } catch (...) {
+          continue;  // next link
+        }
+        if (subres.values.size() != end - begin) continue;
+        if (robust::guard_specs_range(view->specs.subspan(begin, end - begin), subres.values,
+                                      req.guard, fb->statistical, res.option_faults,
+                                      begin) > 0) {
+          continue;
+        }
+        std::copy(subres.values.begin(), subres.values.end(),
+                  res.values.begin() + static_cast<std::ptrdiff_t>(begin));
+        if (!res.std_errors.empty() && subres.std_errors.size() == end - begin) {
+          std::copy(subres.std_errors.begin(), subres.std_errors.end(),
+                    res.std_errors.begin() + static_cast<std::ptrdiff_t>(begin));
+        }
+        repaired = true;
+      }
+      if (repaired) {
+        status = ChunkStatus::kDegraded;
+        res.chunk_status[c] = static_cast<std::uint8_t>(status);
+        ++res.chunks_degraded;
+        obs::counter("robust.fallback.chunks").add(1);
+      } else {
+        obs::counter("robust.fallback.exhausted").add(1);
+      }
+    }
+    if (status == ChunkStatus::kOk || status == ChunkStatus::kDegraded) {
+      priced_items += end - begin;
+    } else {
+      ++res.chunks_failed;
+      std::fill(res.values.begin() + static_cast<std::ptrdiff_t>(begin),
+                res.values.begin() + static_cast<std::ptrdiff_t>(end), kQuietNan);
+    }
+  }
+
+  aggregate(errors, priced_items);
 }
 
 }  // namespace finbench::engine

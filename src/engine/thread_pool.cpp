@@ -2,9 +2,13 @@
 
 #include <omp.h>
 
+#include <stdexcept>
+#include <string>
+
 #include "finbench/arch/timing.hpp"
 #include "finbench/obs/metrics.hpp"
 #include "finbench/obs/trace.hpp"
+#include "finbench/robust/denormal.hpp"
 
 namespace finbench::engine {
 
@@ -38,14 +42,24 @@ ThreadPool& ThreadPool::shared() {
 }
 
 void ThreadPool::execute_chunk(std::ptrdiff_t c) {
-  // After a failure the remaining chunks are skipped but still counted, so
-  // completion bookkeeping stays exact and run() can rethrow promptly.
-  if (!failed_.load(std::memory_order_relaxed)) {
+  // After a failure (or once the request's cancel token expires) the
+  // remaining chunks are skipped but still counted, so completion
+  // bookkeeping stays exact and run() can return promptly.
+  if (!failed_.load(std::memory_order_relaxed) && !(cancel_ != nullptr && cancel_->expired())) {
     try {
       (*fn_)(c);
     } catch (...) {
       std::lock_guard<std::mutex> lock(err_mu_);
-      if (!error_) error_ = std::current_exception();
+      if (!error_) {
+        error_ = std::current_exception();
+      } else {
+        // A second participant failed while the first exception was in
+        // flight. Only one can be rethrown; the rest are counted, not
+        // lost silently.
+        suppressed_.fetch_add(1, std::memory_order_relaxed);
+        static obs::Counter& suppressed = obs::counter("pool.exceptions.suppressed");
+        suppressed.add(1);
+      }
       failed_.store(true, std::memory_order_relaxed);
     }
   }
@@ -84,6 +98,11 @@ void ThreadPool::worker_main(int participant) {
   // worker and oversubscribe the machine quadratically. One-thread teams
   // keep kernel-internal regions serial inside the pool.
   omp_set_num_threads(1);
+  // One denormal policy for every participant: FTZ+DAZ, so a chunk's
+  // result (and its latency, on denormal-producing inputs) never depends
+  // on which thread claimed it. The caller gets the same policy scoped
+  // around its participation in run().
+  robust::install_denormal_ftz();
   std::uint64_t seen = 0;
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
@@ -100,11 +119,24 @@ void ThreadPool::worker_main(int participant) {
 }
 
 void ThreadPool::run(std::ptrdiff_t nchunks, const std::function<void(std::ptrdiff_t)>& fn,
-                     arch::Schedule sched, const char* site) {
+                     arch::Schedule sched, const char* site, const robust::CancelToken* cancel) {
   if (nchunks <= 0) return;
   if (t_in_pool_run || workers_.empty()) {
-    // Nested submission or single-participant pool: inline, serially.
-    for (std::ptrdiff_t c = 0; c < nchunks; ++c) fn(c);
+    // Nested submission or single-participant pool: inline, serially,
+    // under the pool's denormal policy (restored on exit) and honoring
+    // the cancel token between chunks.
+    const std::uint32_t fp = robust::save_fp_state();
+    robust::install_denormal_ftz();
+    for (std::ptrdiff_t c = 0; c < nchunks; ++c) {
+      if (cancel != nullptr && cancel->expired()) break;
+      try {
+        fn(c);
+      } catch (...) {
+        robust::restore_fp_state(fp);
+        throw;
+      }
+    }
+    robust::restore_fp_state(fp);
     return;
   }
 
@@ -112,9 +144,11 @@ void ThreadPool::run(std::ptrdiff_t nchunks, const std::function<void(std::ptrdi
   fn_ = &fn;
   nchunks_ = nchunks;
   sched_ = sched;
+  cancel_ = cancel;
   ticket_.store(0, std::memory_order_relaxed);
   completed_.store(0, std::memory_order_relaxed);
   failed_.store(false, std::memory_order_relaxed);
+  suppressed_.store(0, std::memory_order_relaxed);
   error_ = nullptr;
   cpu_min_ = cpu_max_ = cpu_sum_ = 0.0;
   cpu_count_ = 0;
@@ -127,14 +161,19 @@ void ThreadPool::run(std::ptrdiff_t nchunks, const std::function<void(std::ptrdi
   cv_work_.notify_all();
 
   // The caller participates too — with its own OpenMP ICV pinned to one
-  // thread for the duration, so kernel-internal parallel regions stay
-  // serial per chunk (restored before returning).
+  // thread and the pool's denormal policy installed for the duration, so
+  // kernel-internal parallel regions stay serial per chunk and the
+  // caller's chunks compute under the same FP state as the workers'
+  // (both restored before returning).
   const int caller_omp = omp_get_max_threads();
+  const std::uint32_t caller_fp = robust::save_fp_state();
   omp_set_num_threads(1);
+  robust::install_denormal_ftz();
   {
     FINBENCH_SPAN(site);
     participate(0);
   }
+  robust::restore_fp_state(caller_fp);
   omp_set_num_threads(caller_omp);
 
   {
@@ -149,10 +188,24 @@ void ThreadPool::run(std::ptrdiff_t nchunks, const std::function<void(std::ptrdi
     obs::record_parallel_region(site, cpu_count_, cpu_min_, cpu_max_, cpu_sum_);
   }
 
+  cancel_ = nullptr;
+
   if (error_) {
     std::exception_ptr e = error_;
     error_ = nullptr;
-    std::rethrow_exception(e);
+    const int suppressed = suppressed_.load(std::memory_order_relaxed);
+    if (suppressed == 0) std::rethrow_exception(e);
+    // Annotate the first exception with how many others it shadowed. The
+    // wrapped type is std::runtime_error (still a std::exception), which
+    // is the strongest guarantee the original heterogeneous set allowed.
+    try {
+      std::rethrow_exception(e);
+    } catch (const std::exception& ex) {
+      throw std::runtime_error(std::string(ex.what()) + " [" + std::to_string(suppressed) +
+                               " secondary worker exception(s) suppressed]");
+    } catch (...) {
+      throw;  // non-std exception: nothing to annotate, rethrow as-is
+    }
   }
 }
 

@@ -61,6 +61,17 @@ struct Scratch {
   std::size_t bounds_n = 0;
   int bounds_nparts = -1;
   int bounds_sched = -1;
+
+  // --- Robustness (engine-owned; finbench/robust) --------------------------
+  // Sanitizer verdict of the last pricing (reset() keeps mask capacity)
+  // and, for kSpecs workloads with faults, the policy-applied copy the
+  // kernels actually price (the caller's specs are immutable through the
+  // view, and e.g. binomial's per-option step count would hit UB casting
+  // a NaN expiry). The request's cancel token lives here so repeated
+  // pricings re-arm it without touching the heap.
+  robust::SanitizeReport sanitize_report;
+  std::vector<core::OptionSpec> sanitized_specs;
+  robust::CancelToken token;
 };
 
 // Ensure req.scratch exists; returns it.

@@ -136,6 +136,8 @@ void register_binomial(Registry& r) {
     VariantInfo v = base("binomial.advanced.avx2", OptLevel::kAdvanced, 4,
                          "register tiling (Lis. 3), 4-wide");
     v.european_only = true;
+    // Fallback chain: advanced -> intermediate -> reference.
+    v.fallback_id = "binomial.intermediate.avx2";
     wire<kernels::binomial::price_advanced, Width::kAvx2>(v);
     r.add(std::move(v));
   }
@@ -143,6 +145,7 @@ void register_binomial(Registry& r) {
     VariantInfo v = base("binomial.advanced.auto", OptLevel::kAdvanced, 0,
                          "register tiling (Lis. 3), widest");
     v.european_only = true;
+    v.fallback_id = "binomial.intermediate.auto";
     wire<kernels::binomial::price_advanced, Width::kAuto>(v);
     r.add(std::move(v));
   }
@@ -150,6 +153,7 @@ void register_binomial(Registry& r) {
     VariantInfo v = base("binomial.advanced_unrolled.auto", OptLevel::kAdvanced, 0,
                          "register tiling + manual tile-loop unrolling");
     v.european_only = true;
+    v.fallback_id = "binomial.advanced.auto";  // -> intermediate -> reference
     wire<kernels::binomial::price_advanced_unrolled, Width::kAuto>(v);
     r.add(std::move(v));
   }

@@ -104,6 +104,10 @@ void register_blackscholes(Registry& r) {
     VariantInfo v = base("bs.advanced_vml.avx2", OptLevel::kAdvanced, 4, Layout::kBsSoa,
                          "SOA + VML-style whole-array transcendental passes, 4-wide");
     v.tolerance = 1e-8;
+    // Graceful degradation: a failed VML batch re-prices through the
+    // plain intermediate SOA kernel; the scalar closed form is the
+    // engine's terminal repair for any BS layout (docs/robustness.md).
+    v.fallback_id = "bs.intermediate.avx2";
     v.run_batch = run_advanced_vml<Width::kAvx2>;
     r.add(std::move(v));
   }
@@ -111,6 +115,7 @@ void register_blackscholes(Registry& r) {
     VariantInfo v = base("bs.advanced_vml.auto", OptLevel::kAdvanced, 0, Layout::kBsSoa,
                          "SOA + VML-style whole-array transcendental passes, widest");
     v.tolerance = 1e-8;
+    v.fallback_id = "bs.intermediate.auto";
     v.run_batch = run_advanced_vml<Width::kAuto>;
     r.add(std::move(v));
   }

@@ -155,6 +155,8 @@ void register_brownian(Registry& r) {
   {
     VariantInfo v = base("brownian.advanced_interleaved.auto", OptLevel::kAdvanced, 0,
                          "normals generated on the fly in cache-resident chunks");
+    // Fallback chain: advanced_* -> intermediate -> reference.
+    v.fallback_id = "brownian.intermediate.auto";
     v.statistical = true;  // draws its own normals
     v.tolerance = 0.08;    // |mean| band at >= 4096 validation paths
     v.bytes_per_item = bytes_interleaved;
@@ -164,6 +166,7 @@ void register_brownian(Registry& r) {
   {
     VariantInfo v = base("brownian.advanced_fused.auto", OptLevel::kAdvanced, 0,
                          "cache-to-cache: path consumed (averaged) without touching DRAM");
+    v.fallback_id = "brownian.intermediate.auto";
     v.statistical = true;
     v.tolerance = 0.08;
     v.bytes_per_item = bytes_fused;

@@ -104,24 +104,29 @@ void register_cranknicolson(Registry& r) {
   {
     VariantInfo v = base("cn.wavefront_split.avx2", OptLevel::kAdvanced, 4,
                          "parity-split storage: unit-stride wavefront accesses, 4-wide");
+    // Fallback chain: split(_paired) -> wavefront -> reference.
+    v.fallback_id = "cn.wavefront.avx2";
     wire<Variant::kWavefrontSplit, Width::kAvx2>(v);
     r.add(std::move(v));
   }
   {
     VariantInfo v = base("cn.wavefront_split.auto", OptLevel::kAdvanced, 0,
                          "parity-split storage: unit-stride wavefront accesses, widest");
+    v.fallback_id = "cn.wavefront.auto";
     wire<Variant::kWavefrontSplit, Width::kAuto>(v);
     r.add(std::move(v));
   }
   {
     VariantInfo v = base("cn.wavefront_split_paired.avx2", OptLevel::kAdvanced, 4,
                          "parity split + two solves interleaved for ILP, 4-wide");
+    v.fallback_id = "cn.wavefront_split.avx2";  // -> wavefront -> reference
     wire<Variant::kWavefrontSplitPaired, Width::kAvx2>(v);
     r.add(std::move(v));
   }
   {
     VariantInfo v = base("cn.wavefront_split_paired.auto", OptLevel::kAdvanced, 0,
                          "parity split + two solves interleaved for ILP, widest");
+    v.fallback_id = "cn.wavefront_split.auto";  // -> wavefront -> reference
     wire<Variant::kWavefrontSplitPaired, Width::kAuto>(v);
     r.add(std::move(v));
   }

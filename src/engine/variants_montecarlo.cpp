@@ -235,6 +235,8 @@ void register_montecarlo(Registry& r) {
     VariantInfo v = base("mc.variance_reduced.auto", OptLevel::kAdvanced, 0,
                          "antithetic pairs + terminal-stock control variate");
     v.reference_id = "mc.reference_computed.scalar";
+    // Fallback chain: variance_reduced -> optimized_computed -> reference.
+    v.fallback_id = "mc.optimized_computed.auto";
     v.statistical = true;  // different estimator: agrees within error bands
     v.tolerance = 0.05;
     v.bytes_per_item = bytes_computed;

@@ -4,6 +4,7 @@
 #include <fstream>
 #include <mutex>
 #include <sstream>
+#include <string_view>
 
 #include "finbench/arch/machine_model.hpp"
 #include "finbench/arch/parallel.hpp"
@@ -210,6 +211,39 @@ void write_metrics(json::Writer& w) {
   w.end_object();
 }
 
+// The robustness story of the run: the denormal policy the pool executed
+// under, plus every robust.* counter the sanitizer / guards / fallback /
+// deadline / fault-injection machinery bumped. The keys are fixed — a
+// clean run reports explicit zeros, so report consumers can diff runs
+// without probing for key presence (tools/validate_report_json.py
+// requires the object).
+void write_robust(json::Writer& w, const std::string& denormal_mode) {
+  static constexpr const char* kCounters[] = {
+      "robust.sanitize.scanned",  "robust.sanitize.faulty",
+      "robust.sanitize.clamped",  "robust.sanitize.skipped",
+      "robust.guard.violations",  "robust.guard.repaired",
+      "robust.inject.poisoned",   "robust.inject.corrupted",
+      "robust.inject.thrown",     "robust.inject.slow",
+      "robust.fallback.chunks",   "robust.fallback.exhausted",
+      "robust.deadline.expired",  "robust.deadline.chunks_skipped",
+      "pool.exceptions.suppressed",
+  };
+  const MetricsSnapshot snap = snapshot_metrics();
+  const auto counter_of = [&snap](std::string_view name) -> std::uint64_t {
+    for (const auto& [n, v] : snap.counters) {
+      if (n == name) return v;
+    }
+    return 0;
+  };
+  w.begin_object();
+  w.kv("denormal_mode", denormal_mode);
+  w.key("counters");
+  w.begin_object();
+  for (const char* name : kCounters) w.kv(name, counter_of(name));
+  w.end_object();
+  w.end_object();
+}
+
 void write_perf(json::Writer& w) {
   w.begin_object();
   const bool avail = perf_available();
@@ -274,6 +308,9 @@ bool write_run_report(const std::string& path, const harness::Report& report,
 
   w.key("metrics");
   write_metrics(w);
+
+  w.key("robust");
+  write_robust(w, ctx.denormal_mode);
 
   w.key("perf");
   write_perf(w);

@@ -138,6 +138,7 @@ TEST(RunReport, SchemaRoundTrips) {
   ctx.full = true;
   ctx.reps = 7;
   ctx.threads = 3;
+  ctx.denormal_mode = "ftz+daz";
 
   const std::string path = "/tmp/finbench_test_run_report.json";
   ASSERT_TRUE(obs::write_run_report(path, r, ctx));
@@ -175,6 +176,24 @@ TEST(RunReport, SchemaRoundTrips) {
   EXPECT_TRUE(doc.at("perf").at("available").is_bool());
   EXPECT_TRUE(doc.at("metrics").at("counters").is_object());
   EXPECT_TRUE(doc.at("measurements").is_array());
+
+  // The robust object rides on every report with a fixed counter schema:
+  // the denormal policy threaded through the context, and every robust.*
+  // counter present with an explicit (possibly zero) value.
+  const auto& robust = doc.at("robust");
+  EXPECT_EQ(robust.at("denormal_mode").string, "ftz+daz");
+  const auto& counters = robust.at("counters");
+  ASSERT_TRUE(counters.is_object());
+  for (const char* key :
+       {"robust.sanitize.scanned", "robust.sanitize.faulty", "robust.sanitize.clamped",
+        "robust.sanitize.skipped", "robust.guard.violations", "robust.guard.repaired",
+        "robust.inject.poisoned", "robust.inject.corrupted", "robust.inject.thrown",
+        "robust.inject.slow", "robust.fallback.chunks", "robust.fallback.exhausted",
+        "robust.deadline.expired", "robust.deadline.chunks_skipped",
+        "pool.exceptions.suppressed"}) {
+    EXPECT_TRUE(counters.at(key).is_number()) << key;
+    EXPECT_GE(counters.at(key).number, 0.0) << key;
+  }
 }
 
 }  // namespace

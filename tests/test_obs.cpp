@@ -105,6 +105,61 @@ TEST(JsonParser, RejectsMalformedDocuments) {
   EXPECT_THROW(obs::json::parse("{\"a\":1} trailing"), std::runtime_error);
   EXPECT_THROW(obs::json::parse("\"unterminated"), std::runtime_error);
   EXPECT_THROW(obs::json::parse(""), std::runtime_error);
+  // Raw non-finite tokens are not JSON — the writer emits null for them,
+  // and the parser must refuse a document that snuck them in some other
+  // way rather than quietly producing garbage numbers.
+  EXPECT_THROW(obs::json::parse("{\"x\": nan}"), std::runtime_error);
+  EXPECT_THROW(obs::json::parse("{\"x\": Infinity}"), std::runtime_error);
+  EXPECT_THROW(obs::json::parse("[tru]"), std::runtime_error);
+  EXPECT_THROW(obs::json::parse("{\"a\": 1,}"), std::runtime_error);
+  EXPECT_THROW(obs::json::parse("{1: 2}"), std::runtime_error);
+  EXPECT_THROW(obs::json::parse("[1, 2}"), std::runtime_error);
+}
+
+TEST(JsonParser, ErrorsCarryTheByteOffset) {
+  // The diagnostic must localize the fault so a multi-megabyte run report
+  // is debuggable: "at byte N" with N pointing into the bad token.
+  try {
+    obs::json::parse("{\"ok\": 1, \"bad\": @}");
+    FAIL() << "parse accepted garbage";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("json parse error at byte 17"), std::string::npos) << what;
+  }
+  try {
+    obs::json::parse("[1, 2, 3]   x");
+    FAIL() << "parse accepted trailing garbage";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("at byte 12"), std::string::npos) << e.what();
+  }
+}
+
+TEST(JsonParser, WriterNonFiniteNullsSurviveNestedRoundTrip) {
+  // The shape the run report actually produces: non-finite measurements
+  // nested inside objects inside arrays. The document must stay loadable
+  // and the poisoned slots must read back as null, not as numbers.
+  std::ostringstream out;
+  obs::json::Writer w(out);
+  w.begin_object();
+  w.key("rows");
+  w.begin_array();
+  w.begin_object();
+  w.kv("value", std::numeric_limits<double>::quiet_NaN());
+  w.kv("label", std::string("nan row"));
+  w.end_object();
+  w.begin_object();
+  w.kv("value", -std::numeric_limits<double>::infinity());
+  w.kv("label", std::string("inf row"));
+  w.end_object();
+  w.end_array();
+  w.end_object();
+
+  const auto doc = obs::json::parse(out.str());
+  const auto& rows = doc.at("rows").array;
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_TRUE(rows[0].at("value").is_null());
+  EXPECT_TRUE(rows[1].at("value").is_null());
+  EXPECT_EQ(rows[1].at("label").string, "inf row");
 }
 
 // --- Tracing --------------------------------------------------------------

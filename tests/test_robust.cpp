@@ -1,0 +1,588 @@
+// Tests for finbench::robust and its integration into the pricing engine:
+// the Status taxonomy, the workload sanitizer (policies, per-option fault
+// masks, in-place BS repair, shared-parameter faults), output guardrails
+// and scalar repair, the deterministic fault-injection plans, cooperative
+// deadlines/cancellation, and the engine-level contracts — poisoned inputs
+// degrade one pricing instead of taking the batch down, quarantined chunks
+// re-price through the fallback chain, and expired deadlines yield partial
+// results with per-chunk status.
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "finbench/core/analytic.hpp"
+#include "finbench/core/portfolio.hpp"
+#include "finbench/core/workload.hpp"
+#include "finbench/engine/engine.hpp"
+#include "finbench/engine/registry.hpp"
+#include "finbench/obs/metrics.hpp"
+#include "finbench/robust/robust.hpp"
+
+using namespace finbench;
+using engine::Engine;
+using engine::ChunkStatus;
+using engine::PricingRequest;
+using engine::PricingResult;
+using engine::Registry;
+using robust::FaultPlan;
+using robust::GuardMode;
+using robust::SanitizePolicy;
+using robust::Status;
+using robust::StatusCode;
+
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+std::vector<core::OptionSpec> european_workload(std::size_t n, std::uint64_t seed) {
+  core::SingleOptionWorkloadParams p;
+  p.style = core::ExerciseStyle::kEuropean;
+  return core::make_option_workload(n, seed, p);
+}
+
+std::uint64_t counter_value(const char* name) {
+  for (const auto& [n, v] : obs::snapshot_metrics().counters) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+}  // namespace
+
+// --- Status / Expected ------------------------------------------------------
+
+TEST(Status, DefaultIsOkAndDegradedIsStillOk) {
+  Status s;
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_TRUE(s.ok());
+  EXPECT_FALSE(s.degraded());
+  EXPECT_EQ(s.to_string(), "ok");
+
+  const Status d = Status::degraded("bent but usable");
+  EXPECT_TRUE(d.ok());
+  EXPECT_TRUE(d.degraded());
+  EXPECT_EQ(d.to_string(), "degraded: bent but usable");
+
+  for (const Status& bad :
+       {Status::invalid_argument("a"), Status::invalid_input("b"), Status::not_found("c"),
+        Status::deadline_exceeded("d"), Status::kernel_error("e")}) {
+    EXPECT_FALSE(bad.ok()) << bad.to_string();
+  }
+}
+
+TEST(Status, ResetAndSetReuseTheMessageStorage) {
+  Status s = Status::kernel_error("boom");
+  s.reset();
+  EXPECT_TRUE(s.ok());
+  EXPECT_TRUE(s.message().empty());
+  s.set(StatusCode::kDeadlineExceeded, "too slow");
+  EXPECT_EQ(s.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(s.message(), "too slow");
+}
+
+TEST(Expected, CarriesAValueOrTheExplainingStatus) {
+  robust::Expected<int> good(7);
+  ASSERT_TRUE(good.has_value());
+  EXPECT_EQ(good.value(), 7);
+  EXPECT_TRUE(good.status().ok());
+
+  robust::Expected<int> bad(Status::invalid_argument("nope"));
+  EXPECT_FALSE(bad);
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(bad.value_or(42), 42);
+}
+
+// --- Sanitizer --------------------------------------------------------------
+
+TEST(Sanitize, ClassifyFlagsEachFaultClass) {
+  core::OptionSpec clean;
+  EXPECT_EQ(robust::classify(clean), robust::kFaultNone);
+
+  core::OptionSpec o = clean;
+  o.spot = kNan;
+  EXPECT_TRUE(robust::classify(o) & robust::kFaultNonFinite);
+  o = clean;
+  o.strike = kInf;
+  EXPECT_TRUE(robust::classify(o) & robust::kFaultNonFinite);
+  o = clean;
+  o.vol = -0.3;
+  EXPECT_TRUE(robust::classify(o) & robust::kFaultDomain);
+  o = clean;
+  o.years = 0.0;
+  EXPECT_TRUE(robust::classify(o) & robust::kFaultDomain);
+  o = clean;
+  o.rate = 3.5;  // |r| > 100%
+  EXPECT_TRUE(robust::classify(o) & robust::kFaultDomain);
+  o = clean;
+  o.spot = 1e17;  // absurd magnitude
+  EXPECT_TRUE(robust::classify(o) & robust::kFaultMagnitude);
+  o = clean;
+  o.spot = 5e-324;  // denormal
+  EXPECT_TRUE(robust::classify(o) & robust::kFaultMagnitude);
+}
+
+TEST(Sanitize, SpecsCopyAppliesClampAndSkipPolicies) {
+  std::vector<core::OptionSpec> src(4);
+  src[1].vol = -0.4;   // finite domain fault: clampable
+  src[2].spot = kNan;  // non-finite: never clampable
+  std::vector<core::OptionSpec> dst(src.size());
+
+  robust::SanitizeReport rep;
+  robust::sanitize_specs(src, dst, SanitizePolicy::kClamp, rep);
+  EXPECT_EQ(rep.scanned, 4u);
+  EXPECT_EQ(rep.faulty, 2u);
+  EXPECT_EQ(rep.clamped, 1u);
+  EXPECT_EQ(rep.skipped, 1u);  // the NaN demotes to skip even under clamp
+  ASSERT_EQ(rep.mask.size(), 4u);
+  EXPECT_EQ(rep.mask[0], robust::kFaultNone);
+  EXPECT_TRUE(rep.mask[1] & robust::kFaultClamped);
+  EXPECT_TRUE(rep.mask[2] & robust::kFaultSkipped);
+  EXPECT_GT(dst[1].vol, 0.0);                  // repaired into the envelope
+  EXPECT_TRUE(std::isfinite(dst[2].spot));     // placeholder, not NaN
+  EXPECT_EQ(dst[0].spot, src[0].spot);         // clean options copy through
+
+  robust::sanitize_specs(src, dst, SanitizePolicy::kSkip, rep);
+  EXPECT_EQ(rep.skipped, 2u);
+  EXPECT_EQ(rep.clamped, 0u);
+  EXPECT_TRUE(rep.mask[1] & robust::kFaultSkipped);
+}
+
+TEST(Sanitize, BsBatchIsRepairedInPlaceThroughTheMutableView) {
+  auto soa = core::make_bs_workload_soa(16, 3);
+  soa.spot[2] = kNan;
+  soa.years[5] = -2.0;
+  core::PortfolioView view = core::view_of(soa);
+
+  robust::SanitizeReport rep;
+  robust::sanitize(view, SanitizePolicy::kSkip, rep);
+  EXPECT_EQ(rep.scanned, 16u);
+  EXPECT_EQ(rep.faulty, 2u);
+  EXPECT_EQ(rep.skipped, 2u);
+  ASSERT_EQ(rep.mask.size(), 16u);
+  EXPECT_TRUE(rep.mask[2] & robust::kFaultSkipped);
+  EXPECT_TRUE(rep.mask[5] & robust::kFaultSkipped);
+  // The spans are mutable by design: the placeholder lands in the arrays,
+  // so the kernel never sees the poison.
+  EXPECT_TRUE(std::isfinite(soa.spot[2]));
+  EXPECT_GT(soa.years[5], 0.0);
+}
+
+TEST(Sanitize, NonFiniteSharedVolSkipsTheWholeBsBatch) {
+  auto soa = core::make_bs_workload_soa(8, 4);
+  soa.vol = kNan;  // batch-shared parameter: poisons every option
+  core::PortfolioView view = core::view_of(soa);
+
+  robust::SanitizeReport rep;
+  robust::sanitize(view, SanitizePolicy::kSkip, rep);
+  EXPECT_EQ(rep.faulty, 8u);
+  EXPECT_EQ(rep.skipped, 8u);
+  EXPECT_TRUE(std::isfinite(view.soa.vol));  // placeholder so the kernel runs
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_TRUE(rep.mask[i] & robust::kFaultSkipped) << i;
+  }
+}
+
+TEST(Sanitize, FiniteSharedRateClampsWithoutSkipping) {
+  auto soa = core::make_bs_workload_soa(8, 4);
+  soa.rate = 2.5;  // finite but outside |r| <= 1
+  core::PortfolioView view = core::view_of(soa);
+
+  robust::SanitizeReport rep;
+  robust::sanitize(view, SanitizePolicy::kClamp, rep);
+  EXPECT_EQ(rep.faulty, 8u);
+  EXPECT_EQ(rep.clamped, 8u);
+  EXPECT_EQ(rep.skipped, 0u);
+  EXPECT_LE(std::abs(view.soa.rate), 1.0);
+}
+
+// --- Guards -----------------------------------------------------------------
+
+TEST(Guards, FiniteModeCatchesNanAndExemptsMaskedOptions) {
+  const auto specs = european_workload(4, 11);
+  std::vector<double> values{1.0, kNan, 2.0, kNan};
+  std::vector<std::uint8_t> mask{0, 0, 0, robust::kFaultSkipped};
+
+  robust::GuardPolicy policy;  // kFinite
+  std::size_t first = 99;
+  const std::size_t bad = robust::guard_specs_range(
+      std::span<const core::OptionSpec>(specs), values, policy, /*statistical=*/false, mask, 0,
+      &first);
+  EXPECT_EQ(bad, 1u);   // values[3] is a deliberate masked-out NaN
+  EXPECT_EQ(first, 1u);
+}
+
+TEST(Guards, FullModeEnforcesNoArbitrageBoundsForDeterministicPricers) {
+  std::vector<core::OptionSpec> specs(1);  // ATM call, S=K=100, T=1
+  std::vector<double> values{250.0};       // call > S e^{-qT}: impossible
+  robust::GuardPolicy policy;
+  policy.mode = GuardMode::kFull;
+
+  EXPECT_EQ(robust::guard_specs_range(std::span<const core::OptionSpec>(specs), values, policy,
+                                      /*statistical=*/false, {}, 0),
+            1u);
+  // The same value passes for a statistical estimator (bounds off) and
+  // under finiteness-only mode.
+  EXPECT_EQ(robust::guard_specs_range(std::span<const core::OptionSpec>(specs), values, policy,
+                                      /*statistical=*/true, {}, 0),
+            0u);
+  policy.mode = GuardMode::kFinite;
+  EXPECT_EQ(robust::guard_specs_range(std::span<const core::OptionSpec>(specs), values, policy,
+                                      /*statistical=*/false, {}, 0),
+            0u);
+  // A sane price passes kFull.
+  values[0] = core::black_scholes(100.0, 100.0, 1.0, 0.05, 0.2, 0.0).call;
+  policy.mode = GuardMode::kFull;
+  EXPECT_EQ(robust::guard_specs_range(std::span<const core::OptionSpec>(specs), values, policy,
+                                      /*statistical=*/false, {}, 0),
+            0u);
+}
+
+TEST(Guards, BsRepairReplacesViolatingOutputsWithTheClosedForm) {
+  auto soa = core::make_bs_workload_soa(8, 7);
+  core::PortfolioView view = core::view_of(soa);
+  // Pretend the kernel produced garbage for two options.
+  soa.call[1] = kNan;
+  soa.put[6] = -kInf;
+
+  robust::GuardPolicy policy;  // kFinite
+  const std::size_t repaired = robust::guard_and_repair_bs(view, policy, {});
+  EXPECT_EQ(repaired, 2u);
+  const core::BsPrice want1 = core::black_scholes(soa.spot[1], soa.strike[1], soa.years[1],
+                                                  soa.rate, soa.vol, soa.dividend);
+  EXPECT_DOUBLE_EQ(soa.call[1], want1.call);
+  EXPECT_TRUE(std::isfinite(soa.put[6]));
+}
+
+// --- Fault plans ------------------------------------------------------------
+
+TEST(FaultPlan, DecisionsAreDeterministicAndSiteSeparated) {
+  FaultPlan plan;
+  plan.seed = 42;
+  // Same (site, index, rate) always agrees with itself.
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(plan.hits(1, i, 0.3), plan.hits(1, i, 0.3)) << i;
+  }
+  // Different sites draw from different streams: the hit sets must differ
+  // somewhere over a reasonable index range.
+  bool differs = false;
+  for (std::uint64_t i = 0; i < 256 && !differs; ++i) {
+    differs = plan.hits(1, i, 0.3) != plan.hits(2, i, 0.3);
+  }
+  EXPECT_TRUE(differs);
+  // Rate 0 never hits, rate 1 always hits.
+  for (std::uint64_t i = 0; i < 32; ++i) {
+    EXPECT_FALSE(plan.hits(0, i, 0.0));
+    EXPECT_TRUE(plan.hits(0, i, 1.0));
+  }
+}
+
+TEST(FaultPlan, SpecStringRoundTripsAndRejectsGarbage) {
+  const auto plan = FaultPlan::parse("seed=7,poison=0.01,corrupt=0.002,throw=0.1,slow=0.05,slow_ms=30");
+  ASSERT_TRUE(plan.has_value()) << plan.status().to_string();
+  EXPECT_EQ(plan->seed, 7u);
+  EXPECT_DOUBLE_EQ(plan->poison, 0.01);
+  EXPECT_DOUBLE_EQ(plan->corrupt, 0.002);
+  EXPECT_DOUBLE_EQ(plan->throw_rate, 0.1);
+  EXPECT_DOUBLE_EQ(plan->slow, 0.05);
+  EXPECT_DOUBLE_EQ(plan->slow_ms, 30.0);
+  EXPECT_TRUE(plan->any());
+  EXPECT_TRUE(plan->any_engine_side());
+
+  const auto again = FaultPlan::parse(plan->to_spec());
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(again->to_spec(), plan->to_spec());
+
+  for (const char* bad : {"frobnicate=1", "poison", "poison=abc", "poison=0.1,,corrupt=0.2"}) {
+    const auto rej = FaultPlan::parse(bad);
+    EXPECT_FALSE(rej.has_value()) << bad;
+    EXPECT_EQ(rej.status().code(), StatusCode::kInvalidArgument) << bad;
+  }
+}
+
+TEST(FaultPlan, InputPoisoningIsDeterministicAndCounted) {
+  FaultPlan plan;
+  plan.seed = 5;
+  plan.poison = 0.25;
+  auto a = european_workload(64, 2);
+  auto b = a;
+  const std::size_t na = robust::inject_input_faults(std::span<core::OptionSpec>(a), plan);
+  const std::size_t nb = robust::inject_input_faults(std::span<core::OptionSpec>(b), plan);
+  EXPECT_EQ(na, nb);
+  EXPECT_GT(na, 0u);
+  std::size_t faulty = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(robust::classify(a[i]), robust::classify(b[i])) << i;
+    if (robust::classify(a[i]) != robust::kFaultNone) ++faulty;
+  }
+  EXPECT_EQ(faulty, na);
+}
+
+// --- CancelToken ------------------------------------------------------------
+
+TEST(CancelToken, CancellationAndDeadlinesExpireTheToken) {
+  robust::CancelToken t;
+  EXPECT_FALSE(t.expired());
+  t.cancel();
+  EXPECT_TRUE(t.expired());
+  t.reset();
+  EXPECT_FALSE(t.expired());
+
+  t.set_deadline_after(-1.0);  // <= 0 clears
+  EXPECT_FALSE(t.expired());
+  t.set_deadline_after(1e-9);
+  // A nanosecond deadline is in the past by the time we poll.
+  EXPECT_TRUE(t.expired());
+  t.reset();
+  EXPECT_FALSE(t.expired());
+}
+
+TEST(CancelToken, ParentExpiryPropagates) {
+  robust::CancelToken parent, child;
+  child.set_parent(&parent);
+  EXPECT_FALSE(child.expired());
+  parent.cancel();
+  EXPECT_TRUE(child.expired());
+  child.reset();  // reset keeps the parent link
+  EXPECT_TRUE(child.expired());
+}
+
+// --- Engine integration -----------------------------------------------------
+
+TEST(EngineRobust, CleanRunIsOkWithNoRobustnessResidue) {
+  const auto workload = european_workload(24, 13);
+  PricingRequest req;
+  req.kernel_id = "binomial.intermediate.auto";
+  req.portfolio = core::view_of(std::span<const core::OptionSpec>(workload));
+  req.steps = 64;
+  const PricingResult res = Engine::shared().price(req);
+  ASSERT_TRUE(res.ok) << res.error;
+  EXPECT_EQ(res.status.code(), StatusCode::kOk);
+  EXPECT_TRUE(res.option_faults.empty());
+  EXPECT_EQ(res.options_skipped, 0u);
+  EXPECT_EQ(res.chunks_degraded, 0u);
+  for (std::uint8_t s : res.chunk_status) {
+    EXPECT_EQ(static_cast<ChunkStatus>(s), ChunkStatus::kOk);
+  }
+}
+
+TEST(EngineRobust, SkipPolicyMasksPoisonedOptionsAndPricesTheRest) {
+  auto workload = european_workload(24, 13);
+  workload[3].vol = kNan;
+  workload[7].years = -1.0;
+
+  PricingRequest req;
+  req.kernel_id = "binomial.intermediate.auto";
+  req.portfolio = core::view_of(std::span<const core::OptionSpec>(workload));
+  req.steps = 64;  // default sanitize = kSkip
+  const PricingResult res = Engine::shared().price(req);
+
+  ASSERT_TRUE(res.ok) << res.error;
+  EXPECT_EQ(res.status.code(), StatusCode::kDegraded);
+  EXPECT_EQ(res.options_skipped, 2u);
+  ASSERT_EQ(res.option_faults.size(), 24u);
+  EXPECT_TRUE(res.option_faults[3] & robust::kFaultSkipped);
+  EXPECT_TRUE(res.option_faults[7] & robust::kFaultSkipped);
+  ASSERT_EQ(res.values.size(), 24u);
+  EXPECT_TRUE(std::isnan(res.values[3]));
+  EXPECT_TRUE(std::isnan(res.values[7]));
+
+  // Every healthy option prices exactly as it would in a clean batch.
+  auto clean = european_workload(24, 13);
+  PricingRequest cleanreq = req;
+  cleanreq.portfolio = core::view_of(std::span<const core::OptionSpec>(clean));
+  cleanreq.scratch.reset();
+  const PricingResult want = Engine::shared().price(cleanreq);
+  ASSERT_TRUE(want.ok);
+  for (std::size_t i = 0; i < 24; ++i) {
+    if (i == 3 || i == 7) continue;
+    EXPECT_EQ(res.values[i], want.values[i]) << i;
+  }
+}
+
+TEST(EngineRobust, RejectPolicyFailsTheRequestWithTheFaultMask) {
+  auto workload = european_workload(8, 13);
+  workload[5].spot = kInf;
+
+  PricingRequest req;
+  req.kernel_id = "binomial.intermediate.auto";
+  req.portfolio = core::view_of(std::span<const core::OptionSpec>(workload));
+  req.sanitize = SanitizePolicy::kReject;
+  const PricingResult res = Engine::shared().price(req);
+
+  EXPECT_FALSE(res.ok);
+  EXPECT_EQ(res.status.code(), StatusCode::kInvalidInput);
+  ASSERT_EQ(res.option_faults.size(), 8u);
+  EXPECT_TRUE(res.option_faults[5] & robust::kFaultNonFinite);
+  EXPECT_TRUE(res.values.empty());  // nothing was priced
+}
+
+TEST(EngineRobust, OffPolicyReproducesTheRawBenchmarkBehavior) {
+  auto workload = european_workload(16, 13);
+  workload[2].vol = kNan;
+
+  PricingRequest req;
+  req.kernel_id = "binomial.reference.scalar";
+  req.portfolio = core::view_of(std::span<const core::OptionSpec>(workload));
+  req.sanitize = SanitizePolicy::kOff;
+  req.guard.mode = GuardMode::kOff;
+  req.fallback = false;
+  req.steps = 32;
+  const PricingResult res = Engine::shared().price(req);
+  // Garbage in, garbage out — but the engine itself never fails.
+  ASSERT_TRUE(res.ok) << res.error;
+  EXPECT_EQ(res.status.code(), StatusCode::kOk);
+  EXPECT_TRUE(std::isnan(res.values[2]));
+}
+
+TEST(EngineRobust, CorruptedBsOutputsAreRepairedByTheGuard) {
+  core::Portfolio pf = core::Portfolio::bs(256, engine::Layout::kBsSoa, 5);
+  PricingRequest req;
+  req.kernel_id = "bs.intermediate.auto";
+  req.portfolio = pf.view();
+  req.faults.seed = 9;
+  req.faults.corrupt = 0.05;
+  const PricingResult res = Engine::shared().price(req);
+
+  ASSERT_TRUE(res.ok) << res.error;
+  EXPECT_EQ(res.status.code(), StatusCode::kDegraded);
+  EXPECT_GT(res.options_repaired, 0u);
+  const core::PortfolioView& view = pf.view();
+  for (std::size_t i = 0; i < view.soa.size(); ++i) {
+    EXPECT_TRUE(std::isfinite(view.soa.call[i])) << i;
+    EXPECT_TRUE(std::isfinite(view.soa.put[i])) << i;
+  }
+}
+
+TEST(EngineRobust, InjectedChunkThrowsFallBackToTheChain) {
+  engine::ThreadPool pool(2);
+  Engine eng(&pool);
+
+  const auto workload = european_workload(64, 17);
+  PricingRequest req;
+  req.kernel_id = "binomial.advanced.auto";  // chain: -> intermediate -> reference
+  req.portfolio = core::view_of(std::span<const core::OptionSpec>(workload));
+  req.steps = 64;
+  req.chunks_per_thread = 4;
+  req.faults.seed = 3;
+  req.faults.throw_rate = 1.0;  // every chunk throws before its kernel runs
+  const PricingResult res = eng.price(req);
+
+  ASSERT_TRUE(res.ok) << res.error;
+  EXPECT_EQ(res.status.code(), StatusCode::kDegraded);
+  EXPECT_EQ(res.chunks_failed, 0u);
+  EXPECT_GT(res.chunks_degraded, 0u);
+  EXPECT_EQ(res.chunks_degraded, res.chunk_status.size());
+  for (std::uint8_t s : res.chunk_status) {
+    EXPECT_EQ(static_cast<ChunkStatus>(s), ChunkStatus::kDegraded);
+  }
+
+  // The fallback chain starts at the registered fallback variant, so the
+  // repaired values are exactly binomial.intermediate.auto's.
+  PricingRequest want_req = req;
+  want_req.kernel_id = "binomial.intermediate.auto";
+  want_req.faults = {};
+  want_req.scratch.reset();
+  const PricingResult want = eng.price(want_req);
+  ASSERT_TRUE(want.ok);
+  ASSERT_EQ(res.values.size(), want.values.size());
+  for (std::size_t i = 0; i < res.values.size(); ++i) {
+    EXPECT_EQ(res.values[i], want.values[i]) << i;
+  }
+}
+
+TEST(EngineRobust, FallbackDisabledSurfacesTheKernelError) {
+  const auto workload = european_workload(32, 17);
+  PricingRequest req;
+  req.kernel_id = "binomial.advanced.auto";
+  req.portfolio = core::view_of(std::span<const core::OptionSpec>(workload));
+  req.steps = 64;
+  req.fallback = false;
+  req.faults.throw_rate = 1.0;
+  const PricingResult res = Engine::shared().price(req);
+
+  EXPECT_FALSE(res.ok);
+  EXPECT_EQ(res.status.code(), StatusCode::kKernelError);
+  EXPECT_NE(res.status.message().find("injected kernel fault"), std::string::npos)
+      << res.status.message();
+  EXPECT_GT(res.chunks_failed, 0u);
+  for (double v : res.values) EXPECT_TRUE(std::isnan(v));
+}
+
+TEST(EngineRobust, DeadlineYieldsPartialResultsWithPerChunkStatus) {
+  engine::ThreadPool pool(2);
+  Engine eng(&pool);
+
+  const auto workload = european_workload(64, 19);
+  PricingRequest req;
+  req.kernel_id = "binomial.intermediate.auto";
+  req.portfolio = core::view_of(std::span<const core::OptionSpec>(workload));
+  req.steps = 64;
+  req.chunks_per_thread = 8;  // many cheap chunks
+  req.faults.seed = 1;
+  req.faults.slow = 1.0;  // every chunk sleeps...
+  req.faults.slow_ms = 50.0;
+  req.deadline_seconds = 0.005;  // ...and the deadline expires during the first
+
+  const PricingResult res = eng.price(req);
+  EXPECT_FALSE(res.ok);
+  EXPECT_EQ(res.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_GT(res.chunks_deadline, 0u);
+  EXPECT_LT(res.items, workload.size());
+
+  std::size_t ran = 0, skipped = 0;
+  ASSERT_FALSE(res.chunk_status.empty());
+  for (std::uint8_t s : res.chunk_status) {
+    const auto st = static_cast<ChunkStatus>(s);
+    if (st == ChunkStatus::kOk) ++ran;
+    if (st == ChunkStatus::kDeadline) ++skipped;
+  }
+  EXPECT_GE(ran, 1u);  // each participant finishes the chunk it had claimed
+  EXPECT_GE(skipped, 1u);
+  // Unpriced ranges hold quiet NaN, priced ranges hold finite values.
+  std::size_t finite = 0, nan = 0;
+  for (double v : res.values) (std::isfinite(v) ? finite : nan)++;
+  EXPECT_EQ(finite, res.items);
+  EXPECT_EQ(nan, workload.size() - res.items);
+}
+
+TEST(EngineRobust, PreCancelledTokenPricesNothing) {
+  engine::ThreadPool pool(2);
+  Engine eng(&pool);
+
+  const auto workload = european_workload(32, 23);
+  robust::CancelToken token;
+  token.cancel();
+  PricingRequest req;
+  req.kernel_id = "binomial.intermediate.auto";
+  req.portfolio = core::view_of(std::span<const core::OptionSpec>(workload));
+  req.steps = 32;
+  req.cancel = &token;
+  const PricingResult res = eng.price(req);
+
+  EXPECT_FALSE(res.ok);
+  EXPECT_EQ(res.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(res.items, 0u);
+  for (double v : res.values) EXPECT_TRUE(std::isnan(v));
+}
+
+TEST(EngineRobust, InjectionEventsLandInTheObsCounters) {
+  const std::uint64_t thrown0 = counter_value("robust.inject.thrown");
+  const std::uint64_t fallback0 = counter_value("robust.fallback.chunks");
+
+  const auto workload = european_workload(32, 29);
+  PricingRequest req;
+  req.kernel_id = "binomial.advanced.auto";
+  req.portfolio = core::view_of(std::span<const core::OptionSpec>(workload));
+  req.steps = 32;
+  req.faults.throw_rate = 1.0;
+  ASSERT_TRUE(Engine::shared().price(req).ok);
+
+  EXPECT_GT(counter_value("robust.inject.thrown"), thrown0);
+  EXPECT_GT(counter_value("robust.fallback.chunks"), fallback0);
+}

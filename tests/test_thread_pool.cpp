@@ -4,7 +4,9 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -13,6 +15,7 @@
 #include "finbench/arch/timing.hpp"
 #include "finbench/engine/thread_pool.hpp"
 #include "finbench/obs/metrics.hpp"
+#include "finbench/robust/deadline.hpp"
 
 using namespace finbench;
 using engine::ThreadPool;
@@ -138,4 +141,77 @@ TEST(ThreadPool, DynamicBeatsStaticOnSkewedChunks) {
   if (stat < 1.5) GTEST_SKIP() << "static skew did not manifest (imbalance " << stat << ")";
   EXPECT_LT(dyn, stat) << "dynamic=" << dyn << " static=" << stat;
   obs::enable_parallel_timing(false);
+}
+
+namespace {
+
+std::uint64_t suppressed_counter() {
+  for (const auto& [name, v] : obs::snapshot_metrics().counters) {
+    if (name == "pool.exceptions.suppressed") return v;
+  }
+  return 0;
+}
+
+}  // namespace
+
+TEST(ThreadPool, SecondaryExceptionsAreCountedAndNoted) {
+  ThreadPool pool(4);
+  const std::uint64_t before = suppressed_counter();
+
+  // A spin barrier holds every participant inside its chunk until all four
+  // chunks have started, so all four throw: one propagates, the other
+  // three must be suppressed — but visibly, in the counter and the
+  // rethrown message, never silently.
+  std::atomic<int> arrived{0};
+  try {
+    pool.run(4, [&](std::ptrdiff_t) {
+      arrived.fetch_add(1);
+      while (arrived.load() < 4) std::this_thread::yield();
+      throw std::runtime_error("chunk fault");
+    });
+    FAIL() << "run did not throw";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("chunk fault"), std::string::npos) << what;
+    EXPECT_NE(what.find("3 secondary worker exception(s) suppressed"), std::string::npos)
+        << what;
+  }
+  EXPECT_EQ(suppressed_counter(), before + 3);
+
+  // A lone exception keeps the plain message: nothing was suppressed.
+  try {
+    pool.run(8, [](std::ptrdiff_t c) {
+      if (c == 3) throw std::runtime_error("solo fault");
+    });
+    FAIL() << "run did not throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "solo fault");
+  }
+}
+
+TEST(ThreadPool, CancelTokenStopsRemainingChunks) {
+  ThreadPool pool(2);
+  robust::CancelToken token;
+  std::atomic<int> ran{0};
+  // The token trips inside the first chunk; the poll at every chunk
+  // boundary means each participant runs at most the chunk it already
+  // claimed, so the run returns (no throw) having skipped nearly all of
+  // the 1000 chunks.
+  pool.run(1000, [&](std::ptrdiff_t) {
+    ran.fetch_add(1);
+    token.cancel();
+  }, arch::Schedule::kDynamic, "pool", &token);
+  EXPECT_GE(ran.load(), 1);
+  EXPECT_LE(ran.load(), pool.size());
+
+  // The token is sticky: a fresh run with the same expired token runs
+  // nothing until reset().
+  pool.run(10, [&](std::ptrdiff_t) { ran.fetch_add(1000); },
+           arch::Schedule::kDynamic, "pool", &token);
+  EXPECT_LE(ran.load(), pool.size());
+  token.reset();
+  std::atomic<int> after{0};
+  pool.run(10, [&](std::ptrdiff_t) { after.fetch_add(1); },
+           arch::Schedule::kDynamic, "pool", &token);
+  EXPECT_EQ(after.load(), 10);
 }

@@ -7,7 +7,8 @@
 //            [--layout aos|soa|auto] [--schedule dynamic|static]
 //            [--steps N] [--npath N] [--prices N] [--depth N] [--seed N]
 //            [--spy N] [--reps N] [--threads N] [--json PATH] [--csv PATH]
-//            [--trace PATH]
+//            [--trace PATH] [--sanitize off|reject|clamp|skip]
+//            [--guard off|finite|full] [--deadline-ms N] [--inject SPEC]
 //
 // --kernel runs kSpecs workloads through the batched engine (persistent
 // thread pool, cost-model-weighted chunks, --schedule selects dynamic
@@ -20,6 +21,15 @@
 // portfolio at N steps/year of expiry — the heterogeneous workload whose
 // imbalance the dynamic schedule exists to absorb. The run report (--json)
 // follows finbench.run_report/v1, identical to the fig/tab binaries.
+//
+// Robustness controls (docs/robustness.md): --sanitize picks the input
+// policy, --guard the output guardrail mode, --deadline-ms arms a
+// cooperative per-request deadline. --inject takes a robust::FaultPlan
+// spec ("seed=7,poison=0.01,corrupt=0.002,throw=0.1,slow=0.05,slow_ms=30");
+// input poisoning is applied to the workload pricectl builds, the other
+// fault classes run inside the engine. A degraded-but-complete run (one
+// that survived injection through sanitize/guard/fallback) exits 0 and
+// reports the degradation in the `robust` notes and obs counters.
 
 #include <algorithm>
 #include <cinttypes>
@@ -35,6 +45,7 @@
 #include "finbench/engine/engine.hpp"
 #include "finbench/engine/registry.hpp"
 #include "finbench/engine/validate.hpp"
+#include "finbench/robust/robust.hpp"
 #include "finbench/vecmath/array_math.hpp"
 
 using namespace finbench;
@@ -90,6 +101,7 @@ int main(int argc, char** argv) {
   bool list = false, validate = false;
   std::string kernel_id;
   std::string layout_flag = "auto";
+  std::string inject_spec;
   std::size_t nopt = 0;
   engine::PricingRequest req;
   int spy = 0;
@@ -119,7 +131,39 @@ int main(int argc, char** argv) {
     } else if (!std::strcmp(argv[i], "--schedule") && i + 1 < argc) {
       req.schedule = !std::strcmp(argv[++i], "static") ? arch::Schedule::kStatic
                                                        : arch::Schedule::kDynamic;
+    } else if (!std::strcmp(argv[i], "--sanitize") && i + 1 < argc) {
+      const std::string s = argv[++i];
+      if (s == "off") req.sanitize = robust::SanitizePolicy::kOff;
+      else if (s == "reject") req.sanitize = robust::SanitizePolicy::kReject;
+      else if (s == "clamp") req.sanitize = robust::SanitizePolicy::kClamp;
+      else if (s == "skip") req.sanitize = robust::SanitizePolicy::kSkip;
+      else {
+        std::fprintf(stderr, "pricectl: --sanitize takes off, reject, clamp, or skip\n");
+        return 2;
+      }
+    } else if (!std::strcmp(argv[i], "--guard") && i + 1 < argc) {
+      const std::string g = argv[++i];
+      if (g == "off") req.guard.mode = robust::GuardMode::kOff;
+      else if (g == "finite") req.guard.mode = robust::GuardMode::kFinite;
+      else if (g == "full") req.guard.mode = robust::GuardMode::kFull;
+      else {
+        std::fprintf(stderr, "pricectl: --guard takes off, finite, or full\n");
+        return 2;
+      }
+    } else if (!std::strcmp(argv[i], "--deadline-ms")) {
+      req.deadline_seconds = static_cast<double>(next(0)) * 1e-3;
+    } else if (!std::strcmp(argv[i], "--inject") && i + 1 < argc) {
+      inject_spec = argv[++i];
     }
+  }
+
+  if (!inject_spec.empty()) {
+    auto plan = robust::FaultPlan::parse(inject_spec);
+    if (!plan) {
+      std::fprintf(stderr, "pricectl: --inject: %s\n", plan.status().to_string().c_str());
+      return 2;
+    }
+    req.faults = *plan;
   }
 
   if (list) return run_list();
@@ -130,7 +174,9 @@ int main(int argc, char** argv) {
                  "               [--layout aos|soa|auto] [--schedule dynamic|static]\n"
                  "               [--steps N] [--npath N] [--prices N] [--depth N]\n"
                  "               [--seed N] [--spy N] [--reps N] [--threads N]\n"
-                 "               [--csv PATH] [--trace PATH]\n");
+                 "               [--csv PATH] [--trace PATH]\n"
+                 "               [--sanitize off|reject|clamp|skip] [--guard off|finite|full]\n"
+                 "               [--deadline-ms N] [--inject SPEC]\n");
     return 2;
   }
 
@@ -148,6 +194,7 @@ int main(int argc, char** argv) {
   // mismatch and reports the one-time conversion cost).
   core::Portfolio pf;
   std::size_t items = nopt;
+  std::size_t poisoned = 0;
   engine::Layout req_layout = v->layout;
   switch (v->layout) {
     case engine::Layout::kBsAos:
@@ -156,6 +203,10 @@ int main(int argc, char** argv) {
       if (layout_flag == "aos") req_layout = engine::Layout::kBsAos;
       else if (layout_flag == "soa") req_layout = engine::Layout::kBsSoa;
       pf = core::Portfolio::bs(items = items ? items : (1u << 18), req_layout, req.seed);
+      // Poison the owned workload, not the engine's working copy — the
+      // engine only ever repairs faults, it never manufactures them on
+      // the caller's data.
+      if (req.faults.poison > 0.0) poisoned = robust::inject_input_faults(pf.view(), req.faults);
       break;
     case engine::Layout::kSpecs: {
       core::SingleOptionWorkloadParams p;
@@ -166,6 +217,10 @@ int main(int argc, char** argv) {
         p.vol_max = 0.4;
       }
       auto specs = core::make_option_workload(items = items ? items : 64, req.seed, p);
+      if (req.faults.poison > 0.0) {
+        poisoned =
+            robust::inject_input_faults(std::span<core::OptionSpec>(specs), req.faults);
+      }
       if (spy > 0) {
         // Maturity-sorted book (how portfolios usually arrive): with
         // steps-per-year lattices the per-option cost ramps quadratically
@@ -193,7 +248,12 @@ int main(int argc, char** argv) {
   engine::PricingResult last;
   const double rate = bench::items_per_sec(kernel_id.c_str(), items, opts.reps, [&] {
     last = eng.price(req);
-    if (!last.ok && !last.error.empty()) throw std::runtime_error(last.error);
+    // Degraded and deadline-partial results are designed outcomes of the
+    // robustness controls, not benchmark failures; only a result the
+    // engine could not deliver at all aborts the run.
+    if (!last.status.ok() && last.status.code() != robust::StatusCode::kDeadlineExceeded) {
+      throw std::runtime_error(last.status.to_string());
+    }
   });
 
   // Layout provenance: what the request carried, what the variant needed,
@@ -219,6 +279,30 @@ int main(int argc, char** argv) {
   report.add_note("schedule = " + std::string(req.schedule == arch::Schedule::kDynamic
                                                   ? "dynamic (ticket self-scheduling)"
                                                   : "static (equal-count stripes)"));
+  // Robustness provenance: what policies ran and what they had to do.
+  // The run report's `robust` object carries the obs counters; these notes
+  // are the human-readable summary of the same run.
+  report.add_note("robust: status = " + std::string(robust::to_string(last.status.code())) +
+                  ", sanitize = " + std::string(robust::to_string(req.sanitize)) +
+                  ", guard = " + std::string(robust::to_string(req.guard.mode)));
+  if (req.faults.any()) {
+    report.add_note("robust: inject = " + req.faults.to_spec() +
+                    ", poisoned = " + std::to_string(poisoned));
+  }
+  if (last.status.code() != robust::StatusCode::kOk) {
+    std::printf("robust: %s\n", last.status.to_string().c_str());
+    std::printf(
+        "robust: clamped=%zu skipped=%zu repaired=%zu chunks(degraded=%zu failed=%zu "
+        "deadline=%zu)\n",
+        last.options_clamped, last.options_skipped, last.options_repaired,
+        last.chunks_degraded, last.chunks_failed, last.chunks_deadline);
+    report.add_note("robust: clamped = " + std::to_string(last.options_clamped) +
+                    ", skipped = " + std::to_string(last.options_skipped) +
+                    ", repaired = " + std::to_string(last.options_repaired) +
+                    ", chunks degraded = " + std::to_string(last.chunks_degraded) +
+                    ", failed = " + std::to_string(last.chunks_failed) +
+                    ", deadline = " + std::to_string(last.chunks_deadline));
+  }
   bench::Projector proj;
   const double flops = v->flops_per_item ? v->flops_per_item(req) : 0.0;
   const double bytes = v->bytes_per_item ? v->bytes_per_item(req) : 0.0;

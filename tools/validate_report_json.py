@@ -32,6 +32,7 @@ REPORT_REQUIRED = {
     "checks": list,
     "measurements": list,
     "metrics": dict,
+    "robust": dict,
     "perf": dict,
     "trace": dict,
 }
@@ -42,6 +43,19 @@ HOST_REQUIRED = ["brand", "logical_cpus", "ghz", "cache_bytes", "dp_gflops_peak"
 ROW_REQUIRED = ["label", "host_items_per_sec", "snb_projected", "knc_projected",
                 "paper_snb", "paper_knc", "width", "flops_per_item",
                 "bytes_per_item", "roofline_efficiency"]
+
+# The robust object has a fixed counter schema: a clean run reports
+# explicit zeros rather than omitting keys (docs/robustness.md).
+ROBUST_COUNTERS = [
+    "robust.sanitize.scanned", "robust.sanitize.faulty",
+    "robust.sanitize.clamped", "robust.sanitize.skipped",
+    "robust.guard.violations", "robust.guard.repaired",
+    "robust.inject.poisoned", "robust.inject.corrupted",
+    "robust.inject.thrown", "robust.inject.slow",
+    "robust.fallback.chunks", "robust.fallback.exhausted",
+    "robust.deadline.expired", "robust.deadline.chunks_skipped",
+    "pool.exceptions.suppressed",
+]
 
 
 def fail(msg):
@@ -84,6 +98,18 @@ def validate_report(path):
     for section in ("counters", "gauges", "stats"):
         if section not in doc["metrics"]:
             fail(f"{path}: metrics missing '{section}'")
+
+    robust = doc["robust"]
+    if robust.get("denormal_mode") not in ("ftz+daz", "ieee"):
+        fail(f"{path}: robust.denormal_mode should be 'ftz+daz' or 'ieee', "
+             f"got {robust.get('denormal_mode')!r}")
+    if "counters" not in robust:
+        fail(f"{path}: robust missing 'counters'")
+    for key in ROBUST_COUNTERS:
+        if key not in robust["counters"]:
+            fail(f"{path}: robust.counters missing '{key}'")
+        if not isinstance(robust["counters"][key], int) or robust["counters"][key] < 0:
+            fail(f"{path}: robust.counters['{key}'] should be a non-negative integer")
 
     if "available" not in doc["perf"]:
         fail(f"{path}: perf missing 'available'")

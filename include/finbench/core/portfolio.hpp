@@ -17,7 +17,8 @@
 //   kBsSoa      Black–Scholes structure-of-arrays (unit-stride SIMD)
 //   kBsSoaF     single-precision SOA (twice the lanes, half the bytes)
 //   kBsBlocked  lane-blocked AoSoA: W-option blocks, each field a W-vector
-//               (register-tile friendly; no kernel consumes it yet)
+//               (native layout of the blackscholes.blocked.* register-tiled
+//               kernels)
 //   kPaths      a path-construction job (a count, no per-item data)
 //
 // Lifetime rules: a PortfolioView never owns memory. Views obtained from

@@ -29,6 +29,10 @@
 #include "finbench/core/option.hpp"
 #include "finbench/vecmath/array_math.hpp"
 
+namespace finbench::core {
+class ScratchPool;  // finbench/core/scratch_pool.hpp
+}
+
 namespace finbench::kernels::binomial {
 
 using vecmath::Width;
@@ -38,22 +42,39 @@ inline double flops_per_option(int steps) {
   return 3.0 * steps * (steps + 1) / 2.0;
 }
 
-// Price a single option (any style); the building block of `reference`.
-double price_one_reference(const core::OptionSpec& opt, int steps);
+// Per-worker lattice scratch each variant needs at width W (the widest
+// shipped W is 8): engines size their scratch pool with this so repeated
+// pricings never touch the heap.
+inline std::size_t lattice_doubles(int steps, int width = 8) {
+  return static_cast<std::size_t>(steps + 1) * static_cast<std::size_t>(width);
+}
 
-void price_reference(std::span<const core::OptionSpec> opts, int steps, std::span<double> out);
-void price_basic(std::span<const core::OptionSpec> opts, int steps, std::span<double> out);
+// Price a single option (any style); the building block of `reference`.
+// The span overload reduces through caller-provided lattice storage of at
+// least steps+1 doubles (no allocation); the plain overload allocates.
+double price_one_reference(const core::OptionSpec& opt, int steps);
+double price_one_reference(const core::OptionSpec& opt, int steps, std::span<double> lattice);
+
+// Every batch variant leases its per-worker lattice from `scratch` when a
+// pool with room is supplied; a null (or exhausted) pool falls back to a
+// local aligned allocation, preserving standalone use.
+void price_reference(std::span<const core::OptionSpec> opts, int steps, std::span<double> out,
+                     core::ScratchPool* scratch = nullptr);
+void price_basic(std::span<const core::OptionSpec> opts, int steps, std::span<double> out,
+                 core::ScratchPool* scratch = nullptr);
 void price_intermediate(std::span<const core::OptionSpec> opts, int steps, std::span<double> out,
-                        Width w = Width::kAuto);
+                        Width w = Width::kAuto, core::ScratchPool* scratch = nullptr);
 // European only (the tile carries no per-node early-exercise information).
 void price_advanced(std::span<const core::OptionSpec> opts, int steps, std::span<double> out,
-                    Width w = Width::kAuto);
+                    Width w = Width::kAuto, core::ScratchPool* scratch = nullptr);
 void price_advanced_unrolled(std::span<const core::OptionSpec> opts, int steps,
-                             std::span<double> out, Width w = Width::kAuto);
+                             std::span<double> out, Width w = Width::kAuto,
+                             core::ScratchPool* scratch = nullptr);
 
 // Ablation entry: register tiling with an explicit tile depth (one of
 // 4, 8, 16, 32, 64; other values throw). The default variants use 16.
 void price_advanced_tile(std::span<const core::OptionSpec> opts, int steps,
-                         std::span<double> out, int tile_size, Width w = Width::kAuto);
+                         std::span<double> out, int tile_size, Width w = Width::kAuto,
+                         core::ScratchPool* scratch = nullptr);
 
 }  // namespace finbench::kernels::binomial

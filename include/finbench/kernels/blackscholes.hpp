@@ -17,6 +17,9 @@
 //                  passes through temporaries. Matches the paper's
 //                  "Advanced (Using VML)" bar; its larger cache footprint
 //                  is the reason SVML-style fusion can win (Sec. IV-A3)
+//   blocked      — AoSoA lane-blocks + register tiling: one block per
+//                  register tile, ×2 unrolled, streaming stores — the
+//                  paper's full "Advanced" data-path recipe (Sec. IV-A3)
 //
 // All SIMD variants take a Width so the 4-wide (SNB-EP-class) and 8-wide
 // (KNC-class) paths can be measured separately.
@@ -25,6 +28,10 @@
 
 #include "finbench/core/option.hpp"
 #include "finbench/vecmath/array_math.hpp"
+
+namespace finbench::core {
+class ScratchPool;  // finbench/core/scratch_pool.hpp
+}
 
 namespace finbench::kernels::bs {
 
@@ -42,13 +49,35 @@ inline constexpr double kBytesPerOption = 40.0;  // 24 in + 16 out
 void price_reference(core::BsAosView batch);
 void price_basic(core::BsAosView batch);
 void price_intermediate(core::BsSoaView batch, Width w = Width::kAuto);
-void price_advanced_vml(core::BsSoaView batch, Width w = Width::kAuto);
+
+// The VML variant's chunk temporaries (d1/d2/xexp/qlog) come from the
+// caller's scratch pool when one is supplied (one slot of 4 x kVmlChunk
+// doubles per concurrent worker); a null pool falls back to per-call
+// aligned allocation, preserving standalone use.
+inline constexpr std::size_t kVmlChunk = 4096;
+void price_advanced_vml(core::BsSoaView batch, Width w = Width::kAuto,
+                        core::ScratchPool* scratch = nullptr);
+
+// Register-tiled pricing straight off the blocked AoSoA layout: one
+// lane-block sub-run per register tile, ×2 unrolled, streaming stores, no
+// gathers. The `_sp` flavor computes in single precision over the same
+// double storage (f64->f32 conversion stays in register), doubling the
+// lanes per tile at ~1e-7 absolute accuracy.
+void price_blocked(core::BsBlockedView batch, Width w = Width::kAuto);
+
+// Fused AOS -> blocked -> AOS pipeline: transposes one lane-block at a
+// time into a stack-resident tile (L1-hot), prices it in register, and
+// writes call/put straight back into the AOS records. This is the honest
+// "incl. conversion" form of the blocked kernel — the layout change
+// composes with the tiling instead of costing a separate DRAM pass.
+void price_blocked_from_aos(core::BsAosView batch, Width w = Width::kAuto);
 
 // Single-precision variant of the intermediate kernel: one option per
 // float lane (8 on AVX2, 16 on AVX-512). Accuracy ~1e-6 relative — the
 // precision/lane-count trade Table I's SP peak rows quantify.
 using WidthF = vecmath::WidthF;
 void price_intermediate_sp(core::BsSoaFView batch, WidthF w = WidthF::kAuto);
+void price_blocked_sp(core::BsBlockedView batch, WidthF w = WidthF::kAuto);
 
 // --- Batch greeks (extension): the full sensitivity set, SIMD across
 // options. Call and put greeks come from one d1/d2 evaluation per option

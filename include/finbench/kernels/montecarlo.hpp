@@ -33,9 +33,19 @@
 #include "finbench/core/option.hpp"
 #include "finbench/vecmath/array_math.hpp"
 
+namespace finbench::core {
+class ScratchPool;  // finbench/core/scratch_pool.hpp
+}
+
 namespace finbench::kernels::mc {
 
 using vecmath::Width;
+
+// Normals per cache-resident RNG chunk in the computed flavors — also the
+// per-worker scratch slot size engines pre-carve so steady-state pricing
+// never allocates (the kernels lease from `scratch` when provided and
+// fall back to a local aligned buffer otherwise).
+inline constexpr std::size_t kRngChunk = 4096;
 
 struct McResult {
   double price = 0.0;      // discounted mean payoff
@@ -60,10 +70,12 @@ void price_optimized_stream(std::span<const core::OptionSpec> opts, std::span<co
 // execution relies on this).
 void price_reference_computed(std::span<const core::OptionSpec> opts, std::size_t npath,
                               std::uint64_t seed, std::span<McResult> out,
-                              std::uint64_t stream_base = 0);
+                              std::uint64_t stream_base = 0,
+                              core::ScratchPool* scratch = nullptr);
 void price_optimized_computed(std::span<const core::OptionSpec> opts, std::size_t npath,
                               std::uint64_t seed, std::span<McResult> out,
-                              Width w = Width::kAuto, std::uint64_t stream_base = 0);
+                              Width w = Width::kAuto, std::uint64_t stream_base = 0,
+                              core::ScratchPool* scratch = nullptr);
 
 // --- Variance reduction (extension; Glasserman ch. 4) -----------------------
 // Antithetic pairs (+Z, -Z) halve the variance of monotone payoffs; the
@@ -74,7 +86,8 @@ void price_optimized_computed(std::span<const core::OptionSpec> opts, std::size_
 void price_variance_reduced(std::span<const core::OptionSpec> opts, std::size_t npath,
                             std::uint64_t seed, std::span<McResult> out,
                             bool antithetic = true, bool control_variate = true,
-                            std::uint64_t stream_base = 0);
+                            std::uint64_t stream_base = 0,
+                            core::ScratchPool* scratch = nullptr);
 
 // --- Pathwise greeks (extension; Glasserman ch. 7) ---------------------------
 // Unbiased delta and vega estimators from the same terminal draws as the

@@ -221,6 +221,47 @@ void fill(const PortfolioView& src, const PortfolioView& dst) {
     }
     return;
   }
+  if (src.layout == Layout::kBsAos && dst.layout == Layout::kBsBlocked && n > 0) {
+    // Block-local transpose with the tail padded inline (clamping to the
+    // last option) — the conversion the "incl. AOS->blocked" Fig. 4 rows
+    // pay, so it must not go through the per-lane switch dispatch.
+    const BsOptionAos* o = src.aos.options.data();
+    const BsBlockedView& b = dst.blocked;
+    const std::size_t w = static_cast<std::size_t>(b.block);
+    const std::size_t nfull = n / w;  // blocks with no padded lanes
+    for (std::size_t blk = 0; blk < nfull; ++blk) {
+      double* spot = b.field(blk, 0);
+      double* strike = b.field(blk, 1);
+      double* years = b.field(blk, 2);
+      double* call = b.field(blk, 3);
+      double* put = b.field(blk, 4);
+      const BsOptionAos* x = o + blk * w;
+      for (std::size_t ln = 0; ln < w; ++ln) {
+        spot[ln] = x[ln].spot;
+        strike[ln] = x[ln].strike;
+        years[ln] = x[ln].years;
+        call[ln] = x[ln].call;
+        put[ln] = x[ln].put;
+      }
+    }
+    for (std::size_t blk = nfull; blk < b.num_blocks(); ++blk) {
+      double* spot = b.field(blk, 0);
+      double* strike = b.field(blk, 1);
+      double* years = b.field(blk, 2);
+      double* call = b.field(blk, 3);
+      double* put = b.field(blk, 4);
+      const std::size_t base = blk * w;
+      for (std::size_t ln = 0; ln < w; ++ln) {
+        const BsOptionAos& x = o[std::min(base + ln, n - 1)];
+        spot[ln] = x.spot;
+        strike[ln] = x.strike;
+        years[ln] = x.years;
+        call[ln] = x.call;
+        put[ln] = x.put;
+      }
+    }
+    return;
+  }
   for (std::size_t i = 0; i < n; ++i) store_lane(dst, i, lane_of(src, i));
   // Lane-blocked targets pad the trailing lanes of the last block by
   // replicating the final option, so block kernels never read garbage.
@@ -303,6 +344,44 @@ std::size_t copy_outputs(const PortfolioView& from, const PortfolioView& to) {
     for (std::size_t i = 0; i < n; ++i) {
       to.soa.call[i] = o[i].call;
       to.soa.put[i] = o[i].put;
+    }
+  } else if (from.layout == Layout::kBsBlocked &&
+             (to.layout == Layout::kBsAos || to.layout == Layout::kBsSoa)) {
+    // Blocked writeback stays block-contiguous: one call/put run per block
+    // (the steady-state cost of pricing an AOS portfolio on a blocked
+    // variant, so it matters as much as the kernel's own stores).
+    const BsBlockedView& b = from.blocked;
+    const std::size_t w = static_cast<std::size_t>(b.block);
+    for (std::size_t blk = 0; blk < b.num_blocks(); ++blk) {
+      const double* call = b.field(blk, 3);
+      const double* put = b.field(blk, 4);
+      const std::size_t base = blk * w;
+      const std::size_t lanes = std::min(w, n - base);
+      if (to.layout == Layout::kBsAos) {
+        BsOptionAos* o = to.aos.options.data() + base;
+        for (std::size_t ln = 0; ln < lanes; ++ln) {
+          o[ln].call = call[ln];
+          o[ln].put = put[ln];
+        }
+      } else {
+        for (std::size_t ln = 0; ln < lanes; ++ln) {
+          to.soa.call[base + ln] = call[ln];
+          to.soa.put[base + ln] = put[ln];
+        }
+      }
+    }
+  } else if (from.layout == Layout::kBsSoaF && to.layout == Layout::kBsAos) {
+    // f32 -> f64 writeback (the single-precision rows priced from an AOS
+    // portfolio): widen per output, contiguous reads.
+    BsOptionAos* o = to.aos.options.data();
+    for (std::size_t i = 0; i < n; ++i) {
+      o[i].call = static_cast<double>(from.sp.call[i]);
+      o[i].put = static_cast<double>(from.sp.put[i]);
+    }
+  } else if (from.layout == Layout::kBsSoaF && to.layout == Layout::kBsSoa) {
+    for (std::size_t i = 0; i < n; ++i) {
+      to.soa.call[i] = static_cast<double>(from.sp.call[i]);
+      to.soa.put[i] = static_cast<double>(from.sp.put[i]);
     }
   } else {
     for (std::size_t i = 0; i < n; ++i) {

@@ -5,6 +5,7 @@
 #include <mutex>
 #include <stdexcept>
 
+#include "finbench/arch/parallel.hpp"
 #include "variants.hpp"
 
 namespace finbench::engine {
@@ -12,6 +13,10 @@ namespace finbench::engine {
 Scratch& scratch_of(const PricingRequest& req) {
   if (!req.scratch) req.scratch = std::make_shared<Scratch>();
   return *req.scratch;
+}
+
+int scratch_slots() {
+  return std::min(64, std::max(arch::num_threads(), 16));
 }
 
 struct Registry::Impl {

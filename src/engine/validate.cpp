@@ -89,6 +89,16 @@ Outputs run_bs(const VariantInfo& v, std::size_t n) {
         out.values.push_back(view.sp.put[i]);
       }
       break;
+    case Layout::kBsBlocked: {
+      const core::BsBlockedView& b = view.blocked;
+      for (std::size_t i = 0; i < b.size(); ++i) {
+        const std::size_t blk = i / static_cast<std::size_t>(b.block);
+        const std::size_t ln = i % static_cast<std::size_t>(b.block);
+        out.values.push_back(b.field(blk, 3)[ln]);  // call
+        out.values.push_back(b.field(blk, 4)[ln]);  // put
+      }
+      break;
+    }
     default:
       throw std::logic_error("run_bs: not a bs layout");
   }
@@ -98,7 +108,8 @@ Outputs run_bs(const VariantInfo& v, std::size_t n) {
 // Run `v` on the canonical workload for comparison subject `subject` (the
 // non-reference variant, which decides workload restrictions).
 Outputs run_one(const VariantInfo& v, const VariantInfo& subject, std::size_t n) {
-  if (v.layout == Layout::kBsAos || v.layout == Layout::kBsSoa || v.layout == Layout::kBsSoaF) {
+  if (v.layout == Layout::kBsAos || v.layout == Layout::kBsSoa || v.layout == Layout::kBsSoaF ||
+      v.layout == Layout::kBsBlocked) {
     return run_bs(v, n);
   }
   PricingRequest req = knobs_for(subject);

@@ -9,6 +9,7 @@
 
 #include "finbench/arch/aligned.hpp"
 #include "finbench/core/portfolio.hpp"
+#include "finbench/core/scratch_pool.hpp"
 #include "finbench/engine/registry.hpp"
 #include "finbench/engine/request.hpp"
 #include "finbench/kernels/brownian.hpp"
@@ -62,6 +63,21 @@ struct Scratch {
   int bounds_nparts = -1;
   int bounds_sched = -1;
 
+  // --- Kernel scratch pools (engine-owned) ---------------------------------
+  // Per-worker kernel temporaries — binomial lattices, Monte Carlo normal
+  // chunks, the VML variant's d1/d2/xexp/qlog arrays — lease slots from
+  // these pools instead of allocating, so steady-state repetitions of a
+  // request never touch the heap. Carved from kernel_arena, which is
+  // deliberately separate from the negotiation `arena` above: renegotiation
+  // resets that arena, while pool slices must stay valid for the request's
+  // lifetime. reserve() is idempotent, so both the prepare hooks (chunked
+  // path) and the run_batch adapters (whole-batch path, bench harness) can
+  // size them.
+  core::Arena kernel_arena;
+  core::ScratchPool lattice_pool;  // binomial: (steps+1) x lane-width doubles
+  core::ScratchPool rng_pool;      // mc computed: kRngChunk doubles
+  core::ScratchPool vml_pool;      // bs advanced_vml: 4 x kVmlChunk doubles
+
   // --- Robustness (engine-owned; finbench/robust) --------------------------
   // Sanitizer verdict of the last pricing (reset() keeps mask capacity)
   // and, for kSpecs workloads with faults, the policy-applied copy the
@@ -76,6 +92,13 @@ struct Scratch {
 
 // Ensure req.scratch exists; returns it.
 Scratch& scratch_of(const PricingRequest& req);
+
+// Slot count for the kernel scratch pools: covers both execution modes —
+// the kernel's own OpenMP team (arch::num_threads() workers with dense
+// thread ids) and the engine pool's run_range workers (which pin the OMP
+// ICV to 1, so every worker leases concurrently from the same pool). The
+// floor of 16 keeps an externally supplied ThreadPool safe on small hosts.
+int scratch_slots();
 
 void register_blackscholes(Registry& r);
 void register_binomial(Registry& r);

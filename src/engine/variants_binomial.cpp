@@ -36,36 +36,60 @@ double item_cost(const core::OptionSpec& o, const PricingRequest& req) {
   return s * (s + 1);
 }
 
-using BatchFn = void (*)(std::span<const core::OptionSpec>, int, std::span<double>, Width);
+using BatchFn = void (*)(std::span<const core::OptionSpec>, int, std::span<double>, Width,
+                         core::ScratchPool*);
 
-// Uniform-depth kernels take (opts, steps, out, width); wrap the two
-// width-less entry points into that shape.
-void reference_w(std::span<const core::OptionSpec> o, int s, std::span<double> out, Width) {
-  kernels::binomial::price_reference(o, s, out);
+// Uniform-depth kernels take (opts, steps, out, width, scratch); wrap the
+// two width-less entry points into that shape.
+void reference_w(std::span<const core::OptionSpec> o, int s, std::span<double> out, Width,
+                 core::ScratchPool* scratch) {
+  kernels::binomial::price_reference(o, s, out, scratch);
 }
-void basic_w(std::span<const core::OptionSpec> o, int s, std::span<double> out, Width) {
-  kernels::binomial::price_basic(o, s, out);
+void basic_w(std::span<const core::OptionSpec> o, int s, std::span<double> out, Width,
+             core::ScratchPool* scratch) {
+  kernels::binomial::price_basic(o, s, out, scratch);
+}
+
+// Deepest lattice any option of this request needs — the scratch pool's
+// slot size (heterogeneous depths size for the worst option).
+int max_steps(const PricingRequest& req, const core::PortfolioView& view) {
+  if (req.steps_per_year <= 0) return req.steps;
+  int m = 16;
+  for (const core::OptionSpec& o : view.specs) m = std::max(m, steps_for(o, req));
+  return m;
+}
+
+// Carve the per-worker lattice slots once per request; reserve() is
+// idempotent so the chunked path (via the prepare hook) and the whole-batch
+// path (lazily, below) share this. Steady-state repetitions never allocate.
+void reserve_lattice(const PricingRequest& req, const core::PortfolioView& view) {
+  Scratch& s = scratch_of(req);
+  s.lattice_pool.reserve(s.kernel_arena,
+                         kernels::binomial::lattice_doubles(max_steps(req, view)),
+                         scratch_slots());
 }
 
 template <BatchFn K, Width W>
 void run_range(const PricingRequest& req, const core::PortfolioView& view, std::size_t begin,
                std::size_t end, PricingResult& res) {
+  core::ScratchPool* pool = &scratch_of(req).lattice_pool;
   std::span<double> out{res.values.data() + begin, end - begin};
   if (req.steps_per_year > 0) {
     // Heterogeneous depths: the lattice is priced per option (SIMD variants
     // accept single-option spans via their scalar tail path).
     for (std::size_t o = begin; o < end; ++o) {
       K(view.specs.subspan(o, 1), steps_for(view.specs[o], req),
-        {res.values.data() + o, 1}, W);
+        {res.values.data() + o, 1}, W, pool);
     }
     return;
   }
-  K(view.specs.subspan(begin, end - begin), req.steps, out, W);
+  K(view.specs.subspan(begin, end - begin), req.steps, out, W, pool);
 }
 
 template <BatchFn K, Width W>
 void run_batch(const PricingRequest& req, const core::PortfolioView& view,
                PricingResult& res) {
+  reserve_lattice(req, view);
   const std::size_t n = view.specs.size();
   if (res.values.size() != n) res.values.assign(n, 0.0);
   res.items = n;
@@ -74,7 +98,7 @@ void run_batch(const PricingRequest& req, const core::PortfolioView& view,
     run_range<K, W>(req, view, 0, n, res);
     return;
   }
-  K(view.specs, req.steps, res.values, W);
+  K(view.specs, req.steps, res.values, W, &scratch_of(req).lattice_pool);
 }
 
 VariantInfo base(const char* id, OptLevel level, int width, const char* desc) {
@@ -96,6 +120,7 @@ VariantInfo base(const char* id, OptLevel level, int width, const char* desc) {
 
 template <BatchFn K, Width W>
 void wire(VariantInfo& v) {
+  v.prepare = reserve_lattice;
   v.run_batch = run_batch<K, W>;
   v.run_range = run_range<K, W>;
 }

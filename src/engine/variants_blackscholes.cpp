@@ -39,9 +39,14 @@ void run_intermediate(const PricingRequest&, const core::PortfolioView& view,
 }
 
 template <Width W>
-void run_advanced_vml(const PricingRequest&, const core::PortfolioView& view,
+void run_advanced_vml(const PricingRequest& req, const core::PortfolioView& view,
                       PricingResult& res) {
-  kernels::bs::price_advanced_vml(view.soa, W);
+  // The chunk temporaries (d1/d2/xexp/qlog) lease from the request's vml
+  // pool; reserve() is an idempotent no-op after the first pricing, so
+  // steady-state repetitions never allocate.
+  Scratch& s = scratch_of(req);
+  s.vml_pool.reserve(s.kernel_arena, 4 * kernels::bs::kVmlChunk, scratch_slots());
+  kernels::bs::price_advanced_vml(view.soa, W, &s.vml_pool);
   res.items = view.soa.size();
   res.ok = true;
 }
@@ -50,6 +55,21 @@ void run_intermediate_sp(const PricingRequest&, const core::PortfolioView& view,
                          PricingResult& res) {
   kernels::bs::price_intermediate_sp(view.sp, WidthF::kAuto);
   res.items = view.sp.size();
+  res.ok = true;
+}
+
+template <Width W>
+void run_blocked(const PricingRequest&, const core::PortfolioView& view, PricingResult& res) {
+  kernels::bs::price_blocked(view.blocked, W);
+  res.items = view.blocked.size();
+  res.ok = true;
+}
+
+template <WidthF W>
+void run_blocked_sp(const PricingRequest&, const core::PortfolioView& view,
+                    PricingResult& res) {
+  kernels::bs::price_blocked_sp(view.blocked, W);
+  res.items = view.blocked.size();
   res.ok = true;
 }
 
@@ -125,6 +145,44 @@ void register_blackscholes(Registry& r) {
     v.tolerance = 1e-3;  // SP arithmetic vs the DP reference
     v.bytes_per_item = bytes_sp;
     v.run_batch = run_intermediate_sp;
+    r.add(std::move(v));
+  }
+  // --- Register-tiled blocked (AoSoA) family ------------------------------
+  // One lane-block sub-run per register tile straight off the blocked
+  // layout: no gathers, streaming stores, x2 unroll. The 8-wide DP and
+  // 16-wide SP entries need AVX-512 at runtime; their fallback chain steps
+  // down to the 4-/8-wide flavors on narrower hosts without leaving the
+  // blocked layout (fallbacks must share the layout).
+  {
+    VariantInfo v = base("blackscholes.blocked.4", OptLevel::kAdvanced, 4, Layout::kBsBlocked,
+                         "AoSoA register tiles, 4-wide DP, streaming stores");
+    v.tolerance = 1e-9;
+    v.run_batch = run_blocked<Width::kAvx2>;
+    r.add(std::move(v));
+  }
+  {
+    VariantInfo v = base("blackscholes.blocked.8", OptLevel::kAdvanced, 8, Layout::kBsBlocked,
+                         "AoSoA register tiles, 8-wide DP (AVX-512), streaming stores");
+    v.tolerance = 1e-9;
+    v.fallback_id = "blackscholes.blocked.4";
+    v.run_batch = run_blocked<Width::kAuto>;
+    r.add(std::move(v));
+  }
+  {
+    VariantInfo v = base("blackscholes.blocked.8f", OptLevel::kAdvanced, 8, Layout::kBsBlocked,
+                         "AoSoA register tiles, 8-wide SP compute in register");
+    v.tolerance = 1e-3;  // SP arithmetic vs the DP reference
+    v.bytes_per_item = bytes;  // storage stays f64: full 40 B/option move
+    v.run_batch = run_blocked_sp<WidthF::kAvx2>;
+    r.add(std::move(v));
+  }
+  {
+    VariantInfo v = base("blackscholes.blocked.16f", OptLevel::kAdvanced, 16, Layout::kBsBlocked,
+                         "AoSoA register tiles, 16-wide SP (AVX-512) compute in register");
+    v.tolerance = 1e-3;
+    v.bytes_per_item = bytes;
+    v.fallback_id = "blackscholes.blocked.8f";
+    v.run_batch = run_blocked_sp<WidthF::kAuto>;
     r.add(std::move(v));
   }
 }

@@ -61,8 +61,17 @@ void prepare_stream(const PricingRequest& req, const core::PortfolioView& view) 
   result_buffer(req, view.specs.size());
 }
 
+// Computed-flavor kernels lease their per-worker normal chunks from the
+// request's rng pool; carving it here (and lazily in computed_batch) keeps
+// steady-state repetitions allocation-free. reserve() is idempotent.
+void reserve_rng(const PricingRequest& req) {
+  Scratch& s = scratch_of(req);
+  s.rng_pool.reserve(s.kernel_arena, kernels::mc::kRngChunk, scratch_slots());
+}
+
 void prepare_computed(const PricingRequest& req, const core::PortfolioView& view) {
   result_buffer(req, view.specs.size());
+  reserve_rng(req);
 }
 
 void store(std::span<const McResult> mc, std::size_t begin, PricingResult& res) {
@@ -108,16 +117,23 @@ void stream_batch(const PricingRequest& req, const core::PortfolioView& view,
 }
 
 using ComputedFn = void (*)(std::span<const core::OptionSpec>, std::size_t, std::uint64_t,
-                            std::span<McResult>, Width, std::uint64_t);
+                            std::span<McResult>, Width, std::uint64_t, core::ScratchPool*);
 
 void reference_computed_w(std::span<const core::OptionSpec> o, std::size_t n, std::uint64_t seed,
-                          std::span<McResult> out, Width, std::uint64_t base) {
-  kernels::mc::price_reference_computed(o, n, seed, out, base);
+                          std::span<McResult> out, Width, std::uint64_t base,
+                          core::ScratchPool* scratch) {
+  kernels::mc::price_reference_computed(o, n, seed, out, base, scratch);
+}
+void optimized_computed_w(std::span<const core::OptionSpec> o, std::size_t n, std::uint64_t seed,
+                          std::span<McResult> out, Width w, std::uint64_t base,
+                          core::ScratchPool* scratch) {
+  kernels::mc::price_optimized_computed(o, n, seed, out, w, base, scratch);
 }
 void variance_reduced_w(std::span<const core::OptionSpec> o, std::size_t n, std::uint64_t seed,
-                        std::span<McResult> out, Width, std::uint64_t base) {
+                        std::span<McResult> out, Width, std::uint64_t base,
+                        core::ScratchPool* scratch) {
   kernels::mc::price_variance_reduced(o, n, seed, out, /*antithetic=*/true,
-                                      /*control_variate=*/true, base);
+                                      /*control_variate=*/true, base, scratch);
 }
 
 template <ComputedFn K, Width W>
@@ -125,16 +141,18 @@ void computed_range(const PricingRequest& req, const core::PortfolioView& view,
                     std::size_t begin, std::size_t end, PricingResult& res) {
   Scratch& s = *req.scratch;  // built by prepare_computed
   std::span<McResult> mc{s.mc.data() + begin, end - begin};
-  K(view.specs.subspan(begin, end - begin), req.npath, req.seed, mc, W, begin);
+  K(view.specs.subspan(begin, end - begin), req.npath, req.seed, mc, W, begin, &s.rng_pool);
   store(mc, begin, res);
 }
 
 template <ComputedFn K, Width W>
 void computed_batch(const PricingRequest& req, const core::PortfolioView& view,
                     PricingResult& res) {
+  reserve_rng(req);
   const std::size_t n = view.specs.size();
   std::vector<McResult>& mc = result_buffer(req, n);
-  K(view.specs, req.npath, req.seed, std::span<McResult>{mc.data(), n}, W, 0);
+  K(view.specs, req.npath, req.seed, std::span<McResult>{mc.data(), n}, W, 0,
+    &scratch_of(req).rng_pool);
   if (res.values.size() != n) res.values.assign(n, 0.0);
   if (res.std_errors.size() != n) res.std_errors.assign(n, 0.0);
   store({mc.data(), n}, 0, res);
@@ -217,8 +235,8 @@ void register_montecarlo(Registry& r) {
     v.reference_id = "mc.reference_computed.scalar";
     v.bytes_per_item = bytes_computed;
     v.prepare = prepare_computed;
-    v.run_batch = computed_batch<kernels::mc::price_optimized_computed, Width::kAvx2>;
-    v.run_range = computed_range<kernels::mc::price_optimized_computed, Width::kAvx2>;
+    v.run_batch = computed_batch<optimized_computed_w, Width::kAvx2>;
+    v.run_range = computed_range<optimized_computed_w, Width::kAvx2>;
     r.add(std::move(v));
   }
   {
@@ -227,8 +245,8 @@ void register_montecarlo(Registry& r) {
     v.reference_id = "mc.reference_computed.scalar";
     v.bytes_per_item = bytes_computed;
     v.prepare = prepare_computed;
-    v.run_batch = computed_batch<kernels::mc::price_optimized_computed, Width::kAuto>;
-    v.run_range = computed_range<kernels::mc::price_optimized_computed, Width::kAuto>;
+    v.run_batch = computed_batch<optimized_computed_w, Width::kAuto>;
+    v.run_range = computed_range<optimized_computed_w, Width::kAuto>;
     r.add(std::move(v));
   }
   {

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "finbench/arch/aligned.hpp"
+#include "finbench/core/scratch_pool.hpp"
 #include "finbench/obs/metrics.hpp"
 #include "finbench/obs/trace.hpp"
 #include "finbench/simd/vec.hpp"
@@ -42,13 +43,39 @@ double payoff(const core::OptionSpec& o, double s) {
                                            : std::max(o.strike - s, 0.0);
 }
 
+// Per-worker lattice storage: lease from the engine's scratch pool when it
+// has a slice big enough, otherwise fall back to a local aligned
+// allocation. The fallback keeps standalone kernel calls (tests, benches,
+// exhausted pools) correct; the lease keeps engine steady state heap-free.
+struct LatticeBuf {
+  core::ScratchPool::Lease lease;
+  arch::AlignedVector<double> local;
+  double* data = nullptr;
+
+  LatticeBuf(core::ScratchPool* pool, std::size_t doubles) {
+    if (pool != nullptr) lease = pool->claim(doubles);
+    if (lease) {
+      data = lease.data();
+    } else {
+      local.resize(doubles);
+      data = local.data();
+    }
+  }
+};
+
 }  // namespace
 
 // --- Reference (Lis. 2) ----------------------------------------------------
 
 double price_one_reference(const core::OptionSpec& opt, int steps) {
+  arch::AlignedVector<double> lattice(static_cast<std::size_t>(steps) + 1);
+  return price_one_reference(opt, steps, {lattice.data(), lattice.size()});
+}
+
+double price_one_reference(const core::OptionSpec& opt, int steps, std::span<double> lattice) {
+  assert(lattice.size() >= static_cast<std::size_t>(steps) + 1);
   const CrrParams p = crr(opt, steps);
-  arch::AlignedVector<double> call(steps + 1);
+  double* call = lattice.data();
 
   // Leaves: S * u^j * d^(N-j), j = 0..N (j counts up-moves).
   double s = opt.spot * std::pow(p.down, steps);
@@ -77,16 +104,22 @@ double price_one_reference(const core::OptionSpec& opt, int steps) {
   return call[0];
 }
 
-void price_reference(std::span<const core::OptionSpec> opts, int steps, std::span<double> out) {
+void price_reference(std::span<const core::OptionSpec> opts, int steps, std::span<double> out,
+                     core::ScratchPool* scratch) {
   static obs::Counter& priced = obs::counter("binomial.options_priced");
   priced.add(opts.size());
   assert(out.size() >= opts.size());
-  for (std::size_t o = 0; o < opts.size(); ++o) out[o] = price_one_reference(opts[o], steps);
+  LatticeBuf buf(scratch, static_cast<std::size_t>(steps) + 1);
+  const std::span<double> lattice{buf.data, static_cast<std::size_t>(steps) + 1};
+  for (std::size_t o = 0; o < opts.size(); ++o) {
+    out[o] = price_one_reference(opts[o], steps, lattice);
+  }
 }
 
 // --- Basic: pragmas only ----------------------------------------------------
 
-void price_basic(std::span<const core::OptionSpec> opts, int steps, std::span<double> out) {
+void price_basic(std::span<const core::OptionSpec> opts, int steps, std::span<double> out,
+                 core::ScratchPool* scratch) {
   static obs::Counter& priced = obs::counter("binomial.options_priced");
   priced.add(opts.size());
   assert(out.size() >= opts.size());
@@ -94,7 +127,8 @@ void price_basic(std::span<const core::OptionSpec> opts, int steps, std::span<do
 #pragma omp parallel
   {
     FINBENCH_SPAN("binomial.thread");
-    arch::AlignedVector<double> call(steps + 1);
+    LatticeBuf buf(scratch, static_cast<std::size_t>(steps) + 1);
+    double* const call = buf.data;
 #pragma omp for schedule(static)
     for (std::ptrdiff_t o = 0; o < n; ++o) {
       const core::OptionSpec& opt = opts[o];
@@ -106,7 +140,7 @@ void price_basic(std::span<const core::OptionSpec> opts, int steps, std::span<do
         s *= ratio;
       }
       const double pu = p.pu_by_df, pd = p.pd_by_df;
-      double* c = call.data();
+      double* c = call;
       for (int i = steps; i > 0; --i) {
         // Inner-loop autovectorization — c[j+1] is the unaligned load the
         // paper notes; this is all the "basic" level is allowed to do.
@@ -205,33 +239,41 @@ void reduce_american(std::span<const core::OptionSpec> opts, std::size_t base, d
 }
 
 template <int W>
-void price_simd(std::span<const core::OptionSpec> opts, int steps, std::span<double> out) {
+void price_simd(std::span<const core::OptionSpec> opts, int steps, std::span<double> out,
+                core::ScratchPool* scratch) {
   using V = simd::Vec<double, W>;
   const std::size_t n = opts.size();
   const std::size_t groups = n / W;
 
 #pragma omp parallel
   {
-    arch::AlignedVector<double> call(static_cast<std::size_t>(steps + 1) * W);
+    LatticeBuf buf(scratch, static_cast<std::size_t>(steps + 1) * W);
+    double* const call = buf.data;
 #pragma omp for schedule(static)
     for (std::ptrdiff_t g = 0; g < static_cast<std::ptrdiff_t>(groups); ++g) {
       const std::size_t base = static_cast<std::size_t>(g) * W;
       LaneBatch<W> lanes;
-      lanes.init_leaves(opts, base, steps, call.data());
+      lanes.init_leaves(opts, base, steps, call);
       bool any_american = false;
       for (int l = 0; l < W; ++l) {
         any_american |= opts[base + l].style == core::ExerciseStyle::kAmerican;
       }
       if (any_american) {
-        reduce_american<W>(opts, base, call.data(), steps, lanes.pu, lanes.pd);
+        reduce_american<W>(opts, base, call, steps, lanes.pu, lanes.pd);
       } else {
-        reduce_european<W>(call.data(), steps, lanes.pu, lanes.pd);
+        reduce_european<W>(call, steps, lanes.pu, lanes.pd);
       }
-      V::load(call.data()).storeu(out.data() + base);
+      V::load(call).storeu(out.data() + base);
     }
   }
-  // Tail options: scalar reference.
-  for (std::size_t o = groups * W; o < n; ++o) out[o] = price_one_reference(opts[o], steps);
+  // Tail options: scalar reference through the same leased lattice.
+  if (groups * W < n) {
+    LatticeBuf tail(scratch, static_cast<std::size_t>(steps) + 1);
+    const std::span<double> lattice{tail.data, static_cast<std::size_t>(steps) + 1};
+    for (std::size_t o = groups * W; o < n; ++o) {
+      out[o] = price_one_reference(opts[o], steps, lattice);
+    }
+  }
 }
 
 // --- Register tiling (Lis. 3) -----------------------------------------------
@@ -278,29 +320,37 @@ void tile_pass(double* call, int m, simd::Vec<double, W> pu, simd::Vec<double, W
 }
 
 template <int W, int TS, bool Unroll>
-void price_tiled(std::span<const core::OptionSpec> opts, int steps, std::span<double> out) {
+void price_tiled(std::span<const core::OptionSpec> opts, int steps, std::span<double> out,
+                 core::ScratchPool* scratch) {
   using V = simd::Vec<double, W>;
   const std::size_t n = opts.size();
   const std::size_t groups = n / W;
 
 #pragma omp parallel
   {
-    arch::AlignedVector<double> call(static_cast<std::size_t>(steps + 1) * W);
+    LatticeBuf buf(scratch, static_cast<std::size_t>(steps + 1) * W);
+    double* const call = buf.data;
 #pragma omp for schedule(static)
     for (std::ptrdiff_t g = 0; g < static_cast<std::ptrdiff_t>(groups); ++g) {
       const std::size_t base = static_cast<std::size_t>(g) * W;
       LaneBatch<W> lanes;
-      lanes.init_leaves(opts, base, steps, call.data());
+      lanes.init_leaves(opts, base, steps, call);
 
       int m = steps;
-      for (; m >= TS; m -= TS) tile_pass<W, TS, Unroll>(call.data(), m, lanes.pu, lanes.pd);
+      for (; m >= TS; m -= TS) tile_pass<W, TS, Unroll>(call, m, lanes.pu, lanes.pd);
       // Remainder (< TS steps): plain in-place reduction.
-      reduce_european<W>(call.data(), m, lanes.pu, lanes.pd);
+      reduce_european<W>(call, m, lanes.pu, lanes.pd);
 
-      V::load(call.data()).storeu(out.data() + base);
+      V::load(call).storeu(out.data() + base);
     }
   }
-  for (std::size_t o = groups * W; o < n; ++o) out[o] = price_one_reference(opts[o], steps);
+  if (groups * W < n) {
+    LatticeBuf tail(scratch, static_cast<std::size_t>(steps) + 1);
+    const std::span<double> lattice{tail.data, static_cast<std::size_t>(steps) + 1};
+    for (std::size_t o = groups * W; o < n; ++o) {
+      out[o] = price_one_reference(opts[o], steps, lattice);
+    }
+  }
 }
 
 constexpr int kTileSize = 16;  // fits the zmm/ymm register file with room to spare
@@ -308,33 +358,33 @@ constexpr int kTileSize = 16;  // fits the zmm/ymm register file with room to sp
 }  // namespace
 
 void price_intermediate(std::span<const core::OptionSpec> opts, int steps, std::span<double> out,
-                        Width w) {
+                        Width w, core::ScratchPool* scratch) {
   assert(out.size() >= opts.size());
   switch (w) {
-    case Width::kScalar: price_simd<1>(opts, steps, out); return;
-    case Width::kAvx2: price_simd<4>(opts, steps, out); return;
+    case Width::kScalar: price_simd<1>(opts, steps, out, scratch); return;
+    case Width::kAvx2: price_simd<4>(opts, steps, out, scratch); return;
 #if defined(FINBENCH_HAVE_AVX512)
     case Width::kAvx512:
-    case Width::kAuto: price_simd<8>(opts, steps, out); return;
+    case Width::kAuto: price_simd<8>(opts, steps, out, scratch); return;
 #else
     case Width::kAvx512:
-    case Width::kAuto: price_simd<4>(opts, steps, out); return;
+    case Width::kAuto: price_simd<4>(opts, steps, out, scratch); return;
 #endif
   }
 }
 
 void price_advanced(std::span<const core::OptionSpec> opts, int steps, std::span<double> out,
-                    Width w) {
+                    Width w, core::ScratchPool* scratch) {
   assert(out.size() >= opts.size());
   switch (w) {
-    case Width::kScalar: price_tiled<1, kTileSize, false>(opts, steps, out); return;
-    case Width::kAvx2: price_tiled<4, kTileSize, false>(opts, steps, out); return;
+    case Width::kScalar: price_tiled<1, kTileSize, false>(opts, steps, out, scratch); return;
+    case Width::kAvx2: price_tiled<4, kTileSize, false>(opts, steps, out, scratch); return;
 #if defined(FINBENCH_HAVE_AVX512)
     case Width::kAvx512:
-    case Width::kAuto: price_tiled<8, kTileSize, false>(opts, steps, out); return;
+    case Width::kAuto: price_tiled<8, kTileSize, false>(opts, steps, out, scratch); return;
 #else
     case Width::kAvx512:
-    case Width::kAuto: price_tiled<4, kTileSize, false>(opts, steps, out); return;
+    case Width::kAuto: price_tiled<4, kTileSize, false>(opts, steps, out, scratch); return;
 #endif
   }
 }
@@ -343,16 +393,16 @@ namespace {
 
 template <int TS>
 void price_tiled_dispatch(std::span<const core::OptionSpec> opts, int steps,
-                          std::span<double> out, Width w) {
+                          std::span<double> out, Width w, core::ScratchPool* scratch) {
   switch (w) {
-    case Width::kScalar: price_tiled<1, TS, false>(opts, steps, out); return;
-    case Width::kAvx2: price_tiled<4, TS, false>(opts, steps, out); return;
+    case Width::kScalar: price_tiled<1, TS, false>(opts, steps, out, scratch); return;
+    case Width::kAvx2: price_tiled<4, TS, false>(opts, steps, out, scratch); return;
 #if defined(FINBENCH_HAVE_AVX512)
     case Width::kAvx512:
-    case Width::kAuto: price_tiled<8, TS, false>(opts, steps, out); return;
+    case Width::kAuto: price_tiled<8, TS, false>(opts, steps, out, scratch); return;
 #else
     case Width::kAvx512:
-    case Width::kAuto: price_tiled<4, TS, false>(opts, steps, out); return;
+    case Width::kAuto: price_tiled<4, TS, false>(opts, steps, out, scratch); return;
 #endif
   }
 }
@@ -360,30 +410,31 @@ void price_tiled_dispatch(std::span<const core::OptionSpec> opts, int steps,
 }  // namespace
 
 void price_advanced_tile(std::span<const core::OptionSpec> opts, int steps,
-                         std::span<double> out, int tile_size, Width w) {
+                         std::span<double> out, int tile_size, Width w,
+                         core::ScratchPool* scratch) {
   assert(out.size() >= opts.size());
   switch (tile_size) {
-    case 4: price_tiled_dispatch<4>(opts, steps, out, w); return;
-    case 8: price_tiled_dispatch<8>(opts, steps, out, w); return;
-    case 16: price_tiled_dispatch<16>(opts, steps, out, w); return;
-    case 32: price_tiled_dispatch<32>(opts, steps, out, w); return;
-    case 64: price_tiled_dispatch<64>(opts, steps, out, w); return;
+    case 4: price_tiled_dispatch<4>(opts, steps, out, w, scratch); return;
+    case 8: price_tiled_dispatch<8>(opts, steps, out, w, scratch); return;
+    case 16: price_tiled_dispatch<16>(opts, steps, out, w, scratch); return;
+    case 32: price_tiled_dispatch<32>(opts, steps, out, w, scratch); return;
+    case 64: price_tiled_dispatch<64>(opts, steps, out, w, scratch); return;
     default: throw std::invalid_argument("binomial: tile_size must be 4/8/16/32/64");
   }
 }
 
 void price_advanced_unrolled(std::span<const core::OptionSpec> opts, int steps,
-                             std::span<double> out, Width w) {
+                             std::span<double> out, Width w, core::ScratchPool* scratch) {
   assert(out.size() >= opts.size());
   switch (w) {
-    case Width::kScalar: price_tiled<1, kTileSize, true>(opts, steps, out); return;
-    case Width::kAvx2: price_tiled<4, kTileSize, true>(opts, steps, out); return;
+    case Width::kScalar: price_tiled<1, kTileSize, true>(opts, steps, out, scratch); return;
+    case Width::kAvx2: price_tiled<4, kTileSize, true>(opts, steps, out, scratch); return;
 #if defined(FINBENCH_HAVE_AVX512)
     case Width::kAvx512:
-    case Width::kAuto: price_tiled<8, kTileSize, true>(opts, steps, out); return;
+    case Width::kAuto: price_tiled<8, kTileSize, true>(opts, steps, out, scratch); return;
 #else
     case Width::kAvx512:
-    case Width::kAuto: price_tiled<4, kTileSize, true>(opts, steps, out); return;
+    case Width::kAuto: price_tiled<4, kTileSize, true>(opts, steps, out, scratch); return;
 #endif
   }
 }

@@ -7,6 +7,7 @@
 
 #include "finbench/arch/aligned.hpp"
 #include "finbench/core/analytic.hpp"
+#include "finbench/core/scratch_pool.hpp"
 #include "finbench/obs/metrics.hpp"
 #include "finbench/obs/trace.hpp"
 #include "finbench/vecmath/vecmath.hpp"
@@ -158,7 +159,7 @@ void price_intermediate(core::BsSoaView batch, Width w) {
 
 // --- Advanced: VML-style whole-array passes --------------------------------
 
-void price_advanced_vml(core::BsSoaView batch, Width w) {
+void price_advanced_vml(core::BsSoaView batch, Width w, core::ScratchPool* scratch) {
   if (batch.dividend != 0.0) {
     throw std::invalid_argument(
         "this variant reproduces the paper's dividend-free kernel; "
@@ -171,11 +172,21 @@ void price_advanced_vml(core::BsSoaView batch, Width w) {
 
   // Chunked so the temporaries stay in L2; each chunk makes VML-style
   // whole-array calls (log, exp, cnd) through aligned scratch buffers.
-  constexpr std::size_t kChunk = 4096;
+  // The buffers lease from the caller's pool when it has room (steady
+  // state: zero allocations); otherwise each worker allocates locally.
+  constexpr std::size_t kChunk = kVmlChunk;
 
 #pragma omp parallel
   {
-    arch::AlignedVector<double> d1(kChunk), d2(kChunk), xexp(kChunk), qlog(kChunk);
+    core::ScratchPool::Lease lease =
+        scratch != nullptr ? scratch->claim(4 * kChunk) : core::ScratchPool::Lease{};
+    arch::AlignedVector<double> local;
+    if (!lease) local.resize(4 * kChunk);
+    double* const buf = lease ? lease.data() : local.data();
+    double* const d1 = buf;
+    double* const d2 = buf + kChunk;
+    double* const xexp = buf + 2 * kChunk;
+    double* const qlog = buf + 3 * kChunk;
 #pragma omp for schedule(static)
     for (std::ptrdiff_t start = 0; start < static_cast<std::ptrdiff_t>(n);
          start += static_cast<std::ptrdiff_t>(kChunk)) {
@@ -188,16 +199,16 @@ void price_advanced_vml(core::BsSoaView batch, Width w) {
       double* put = batch.put.data() + start;
 
       for (std::size_t i = 0; i < c; ++i) qlog[i] = s[i] / k[i];
-      vecmath::log({qlog.data(), c}, {qlog.data(), c}, w);
+      vecmath::log({qlog, c}, {qlog, c}, w);
       for (std::size_t i = 0; i < c; ++i) {
         const double denom = 1.0 / (sig * std::sqrt(t[i]));
         d1[i] = (qlog[i] + (r + sig22) * t[i]) * denom;
         d2[i] = (qlog[i] + (r - sig22) * t[i]) * denom;
         xexp[i] = -r * t[i];
       }
-      vecmath::exp({xexp.data(), c}, {xexp.data(), c}, w);
-      vecmath::cnd({d1.data(), c}, {d1.data(), c}, w);
-      vecmath::cnd({d2.data(), c}, {d2.data(), c}, w);
+      vecmath::exp({xexp, c}, {xexp, c}, w);
+      vecmath::cnd({d1, c}, {d1, c}, w);
+      vecmath::cnd({d2, c}, {d2, c}, w);
       for (std::size_t i = 0; i < c; ++i) {
         const double disc_k = k[i] * xexp[i];
         call[i] = s[i] * d1[i] - disc_k * d2[i];

@@ -1,0 +1,453 @@
+// Register-tiled Black–Scholes over the blocked AoSoA layout (paper
+// Sec. IV-A3, Fig. 4 "Advanced"). Each lane-block stores its five fields
+// as contiguous `block`-lane runs, so a register tile is nothing but
+// aligned unit-stride loads — no gathers, unlike SIMD over AOS — and the
+// whole working set of a tile (5 x block doubles) sits on a handful of
+// cache lines. Tiles are processed in pairs (×2 unroll) so two
+// independent exp/log/erf dependency chains are in flight per worker,
+// hiding the polynomial latency, and outputs leave through streaming
+// stores: the batch is written once and never read back, so there is no
+// point pulling its lines into cache.
+//
+// The single-precision variants run the same tiles with twice the lanes:
+// inputs convert f64->f32 in register (cvtpd_ps), the transcendentals run
+// in SP, and results widen back on the streaming store — the storage
+// stays double, so the SP speedup is measured against identical bytes in
+// memory and the engine can negotiate/write back exactly as for DP.
+//
+// Lane-blocks are padded by replicating the final option (core::fill), so
+// full-width tiles are always safe; padded lanes are computed redundantly
+// and ignored by every reader.
+
+#include <cmath>
+#include <cstddef>
+
+#include <immintrin.h>
+
+#include "finbench/core/analytic.hpp"
+#include "finbench/kernels/blackscholes.hpp"
+#include "finbench/obs/metrics.hpp"
+#include "finbench/vecmath/vecmath.hpp"
+#include "finbench/vecmath/vecmathf.hpp"
+
+namespace finbench::kernels::bs {
+
+namespace {
+
+// --- Double precision ------------------------------------------------------
+
+// The per-tile constants, broadcast once per kernel invocation.
+template <int W>
+struct DpConsts {
+  using V = simd::Vec<double, W>;
+  V r, q, sig, sig22, half, one, inv_sqrt2;
+  DpConsts(double rate, double vol, double dividend)
+      : r(rate),
+        q(dividend),
+        sig(vol),
+        sig22(vol * vol / 2),
+        half(0.5),
+        one(1.0),
+        inv_sqrt2(0.70710678118654752440) {}
+};
+
+// One register tile over five field runs at base, base + fs, ..., base +
+// 4 fs (fs = the lane-block width). Stream=true writes outputs with
+// non-temporal stores (the in-memory blocked batch is written once and
+// never read back); the fused AOS path sets Stream=false because its tile
+// buffer lives on the stack and is read back immediately.
+template <int W, bool HasDividend, bool Stream>
+inline void dp_tile(const DpConsts<W>& k, double* base, std::size_t fs) {
+  using V = simd::Vec<double, W>;
+  const V S = V::load(base);
+  const V K = V::load(base + fs);
+  const V T = V::load(base + 2 * fs);
+  const V qlog = vecmath::log(S / K);
+  const V denom = k.one / (k.sig * sqrt(T));
+  V drift = k.r;
+  V sq = S;
+  if constexpr (HasDividend) {
+    drift = k.r - k.q;
+    sq = S * vecmath::exp(-k.q * T);
+  }
+  const V d1 = (qlog + (drift + k.sig22) * T) * denom;
+  const V d2 = (qlog + (drift - k.sig22) * T) * denom;
+  const V xexp = K * vecmath::exp(-k.r * T);
+  const V nd1 = fmadd(vecmath::erf(d1 * k.inv_sqrt2), k.half, k.half);
+  const V nd2 = fmadd(vecmath::erf(d2 * k.inv_sqrt2), k.half, k.half);
+  const V c = fmsub(sq, nd1, xexp * nd2);
+  const V put = c - sq + xexp;  // put via call/put parity
+  if constexpr (Stream) {
+    c.stream(base + 3 * fs);
+    put.stream(base + 4 * fs);
+  } else {
+    c.store(base + 3 * fs);
+    put.store(base + 4 * fs);
+  }
+}
+
+template <int W, bool HasDividend>
+void price_blocked_width(const core::BsBlockedView& batch) {
+  const DpConsts<W> k(batch.rate, batch.vol, batch.dividend);
+
+  const std::ptrdiff_t nblocks = static_cast<std::ptrdiff_t>(batch.num_blocks());
+  const std::size_t bw = static_cast<std::size_t>(batch.block);
+  double* const data = batch.data.data();
+
+  // When a tile covers a whole block, fs is the compile-time W and every
+  // address is base + constant — the same addressing the SOA kernel enjoys.
+  auto tile = [&](double* base, std::size_t fs) {
+    dp_tile<W, HasDividend, /*Stream=*/true>(k, base, fs);
+  };
+
+  // x2 unroll: when a tile covers a whole block, pair adjacent blocks;
+  // otherwise pair the sub-runs inside each block. Either way two
+  // independent transcendental chains are in flight and the indexing is
+  // pure pointer increments (no per-tile division).
+  if (static_cast<std::size_t>(W) == bw) {
+    const std::size_t stride = 5 * static_cast<std::size_t>(W);
+    const std::ptrdiff_t npairs = nblocks / 2;
+#pragma omp parallel for schedule(static)
+    for (std::ptrdiff_t p = 0; p < npairs; ++p) {
+      double* base = data + static_cast<std::size_t>(2 * p) * stride;
+      tile(base, W);
+      tile(base + stride, W);
+    }
+    if (nblocks % 2 != 0) {
+      tile(data + static_cast<std::size_t>(nblocks - 1) * stride, W);
+    }
+    return;
+  }
+  const std::size_t stride = 5 * bw;
+#pragma omp parallel for schedule(static)
+  for (std::ptrdiff_t b = 0; b < nblocks; ++b) {
+    double* const base = data + static_cast<std::size_t>(b) * stride;
+    std::size_t off = 0;
+    for (; off + 2 * W <= bw; off += 2 * W) {
+      tile(base + off, bw);
+      tile(base + off + W, bw);
+    }
+    for (; off < bw; off += W) tile(base + off, bw);
+  }
+}
+
+template <int W>
+void price_blocked_dispatch(const core::BsBlockedView& batch) {
+  // A register tile must cover whole lanes of a block; an exotic block
+  // size that W does not divide falls back to the scalar tiling, which
+  // divides everything.
+  if (batch.block % W != 0) {
+    if (batch.dividend != 0.0) price_blocked_width<1, true>(batch);
+    else price_blocked_width<1, false>(batch);
+    return;
+  }
+  if (batch.dividend != 0.0) price_blocked_width<W, true>(batch);
+  else price_blocked_width<W, false>(batch);
+}
+
+// --- Fused AOS -> blocked -> AOS pipeline ----------------------------------
+//
+// The separate convert / price / write-back passes each cross DRAM; the
+// point of the AoSoA layout is that conversion composes with tiling, so
+// this path does all three block-locally: transpose W options into a
+// stack-resident tile (L1-hot), price it in register, and copy the two
+// output lanes straight back into the caller's AOS records. The AOS array
+// is read once and its output fields written once — no blocked array ever
+// exists in DRAM.
+
+template <int W, bool HasDividend>
+void price_from_aos_width(const core::BsAosView& batch) {
+  const DpConsts<W> k(batch.rate, batch.vol, batch.dividend);
+  core::BsOptionAos* const o = batch.options.data();
+  const std::size_t n = batch.size();
+  const std::ptrdiff_t nfull = static_cast<std::ptrdiff_t>(n / W);
+
+  // Two blocks per iteration (same x2 unroll as the in-memory kernel):
+  // the second tile's transpose overlaps the first tile's transcendentals.
+  const std::ptrdiff_t npairs = nfull / 2;
+#pragma omp parallel for schedule(static)
+  for (std::ptrdiff_t p = 0; p < npairs; ++p) {
+    alignas(64) double buf[2][5 * W];
+    core::BsOptionAos* const x = o + static_cast<std::size_t>(2 * p) * W;
+    for (int half = 0; half < 2; ++half) {
+      core::BsOptionAos* const xi = x + half * W;
+      for (int ln = 0; ln < W; ++ln) {
+        buf[half][ln] = xi[ln].spot;
+        buf[half][W + ln] = xi[ln].strike;
+        buf[half][2 * W + ln] = xi[ln].years;
+      }
+    }
+    dp_tile<W, HasDividend, /*Stream=*/false>(k, buf[0], W);
+    dp_tile<W, HasDividend, /*Stream=*/false>(k, buf[1], W);
+    for (int half = 0; half < 2; ++half) {
+      core::BsOptionAos* const xi = x + half * W;
+      for (int ln = 0; ln < W; ++ln) {
+        xi[ln].call = buf[half][3 * W + ln];
+        xi[ln].put = buf[half][4 * W + ln];
+      }
+    }
+  }
+  // Odd full block, then the sub-W tail via the scalar closed form.
+  if (nfull % 2 != 0) {
+    alignas(64) double buf[5 * W];
+    core::BsOptionAos* const x = o + static_cast<std::size_t>(nfull - 1) * W;
+    for (int ln = 0; ln < W; ++ln) {
+      buf[ln] = x[ln].spot;
+      buf[W + ln] = x[ln].strike;
+      buf[2 * W + ln] = x[ln].years;
+    }
+    dp_tile<W, HasDividend, /*Stream=*/false>(k, buf, W);
+    for (int ln = 0; ln < W; ++ln) {
+      x[ln].call = buf[3 * W + ln];
+      x[ln].put = buf[4 * W + ln];
+    }
+  }
+  for (std::size_t i = static_cast<std::size_t>(nfull) * W; i < n; ++i) {
+    const core::BsPrice pr =
+        core::black_scholes(o[i].spot, o[i].strike, o[i].years, batch.rate, batch.vol,
+                            batch.dividend);
+    o[i].call = pr.call;
+    o[i].put = pr.put;
+  }
+}
+
+template <int W>
+void price_from_aos_dispatch(const core::BsAosView& batch) {
+  if (batch.dividend != 0.0) price_from_aos_width<W, true>(batch);
+  else price_from_aos_width<W, false>(batch);
+}
+
+// --- Single precision over the same blocked doubles ------------------------
+
+// One 8-lane field run: 8 doubles in, Vec<float, 8> out.
+inline simd::Vec<float, 8> load_f32_8(const double* p) {
+#if defined(FINBENCH_HAVE_AVX512)
+  return simd::Vec<float, 8>(_mm512_cvtpd_ps(_mm512_load_pd(p)));
+#else
+  const __m128 lo = _mm256_cvtpd_ps(_mm256_load_pd(p));
+  const __m128 hi = _mm256_cvtpd_ps(_mm256_load_pd(p + 4));
+  return simd::Vec<float, 8>(_mm256_set_m128(hi, lo));
+#endif
+}
+
+inline void stream_f64_8(double* p, simd::Vec<float, 8> x) {
+#if defined(FINBENCH_HAVE_AVX512)
+  _mm512_stream_pd(p, _mm512_cvtps_pd(x.v));
+#else
+  _mm256_stream_pd(p, _mm256_cvtps_pd(_mm256_castps256_ps128(x.v)));
+  _mm256_stream_pd(p + 4, _mm256_cvtps_pd(_mm256_extractf128_ps(x.v, 1)));
+#endif
+}
+
+#if defined(FINBENCH_HAVE_AVX512)
+// Two 8-lane field runs fused into one 16-float vector (and back).
+inline simd::Vec<float, 16> load_f32_16(const double* a, const double* b) {
+  const __m256 lo = _mm512_cvtpd_ps(_mm512_load_pd(a));
+  const __m256 hi = _mm512_cvtpd_ps(_mm512_load_pd(b));
+  return simd::Vec<float, 16>(_mm512_insertf32x8(_mm512_castps256_ps512(lo), hi, 1));
+}
+
+inline void stream_f64_16(double* a, double* b, simd::Vec<float, 16> x) {
+  _mm512_stream_pd(a, _mm512_cvtps_pd(_mm512_castps512_ps256(x.v)));
+  _mm512_stream_pd(b, _mm512_cvtps_pd(_mm512_extractf32x8_ps(x.v, 1)));
+}
+#endif
+
+template <class VF>
+struct SpOut {
+  VF call, put;
+};
+
+// The SP model shared by every width: same algebra as the DP tile, with
+// cnd via the SP erf polynomial (~1.5e-7 abs; Fig. 4's SP rows trade this
+// for twice the lanes).
+template <class VF>
+inline SpOut<VF> sp_tile(VF S, VF K, VF T, float rate, float vol, float div) {
+  const VF r(rate);
+  const VF sig22(vol * vol / 2);
+  const VF one(1.0f);
+  const VF qlog = vecmath::logf(S / K);
+  const VF denom = one / (VF(vol) * sqrt(T));
+  VF drift = r;
+  VF sq = S;
+  if (div != 0.0f) {
+    drift = VF(rate - div);
+    sq = S * vecmath::expf(VF(-div) * T);
+  }
+  const VF d1 = (qlog + (drift + sig22) * T) * denom;
+  const VF d2 = (qlog + (drift - sig22) * T) * denom;
+  const VF xexp = K * vecmath::expf(-r * T);
+  const VF c = sq * vecmath::cndf(d1) - xexp * vecmath::cndf(d2);
+  return {c, c - sq + xexp};
+}
+
+// Fallback for block sizes the 8-lane converters cannot tile: scalar SP
+// per lane (still the SP model, so tolerances match the vector paths).
+void price_blocked_sp_scalar(const core::BsBlockedView& batch) {
+  using V1 = simd::Vec<float, 1>;
+  const float rate = static_cast<float>(batch.rate);
+  const float vol = static_cast<float>(batch.vol);
+  const float div = static_cast<float>(batch.dividend);
+  const std::size_t b = static_cast<std::size_t>(batch.block);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const std::size_t blk = i / b;
+    const std::size_t ln = i % b;
+    const V1 s(static_cast<float>(batch.field(blk, 0)[ln]));
+    const V1 k(static_cast<float>(batch.field(blk, 1)[ln]));
+    const V1 t(static_cast<float>(batch.field(blk, 2)[ln]));
+    const SpOut<V1> o = sp_tile(s, k, t, rate, vol, div);
+    batch.field(blk, 3)[ln] = static_cast<double>(o.call.v);
+    batch.field(blk, 4)[ln] = static_cast<double>(o.put.v);
+  }
+}
+
+// 8 SP lanes per tile: one 8-lane sub-run of a block per register tile.
+void price_blocked_sp8(const core::BsBlockedView& batch) {
+  using VF = simd::Vec<float, 8>;
+  const float rate = static_cast<float>(batch.rate);
+  const float vol = static_cast<float>(batch.vol);
+  const float div = static_cast<float>(batch.dividend);
+
+  const std::ptrdiff_t nblocks = static_cast<std::ptrdiff_t>(batch.num_blocks());
+  const std::size_t bw = static_cast<std::size_t>(batch.block);
+
+  auto tile = [&](std::size_t blk, std::size_t off) {
+    const VF S = load_f32_8(batch.field(blk, 0) + off);
+    const VF K = load_f32_8(batch.field(blk, 1) + off);
+    const VF T = load_f32_8(batch.field(blk, 2) + off);
+    const SpOut<VF> o = sp_tile(S, K, T, rate, vol, div);
+    stream_f64_8(batch.field(blk, 3) + off, o.call);
+    stream_f64_8(batch.field(blk, 4) + off, o.put);
+  };
+
+  // Same pairing scheme as the DP tiles: adjacent blocks when a tile is a
+  // whole block, sub-runs within a block otherwise — increment-only indexing.
+  if (bw == 8) {
+    const std::ptrdiff_t npairs = nblocks / 2;
+#pragma omp parallel for schedule(static)
+    for (std::ptrdiff_t p = 0; p < npairs; ++p) {
+      tile(static_cast<std::size_t>(2 * p), 0);
+      tile(static_cast<std::size_t>(2 * p + 1), 0);
+    }
+    if (nblocks % 2 != 0) tile(static_cast<std::size_t>(nblocks - 1), 0);
+    return;
+  }
+#pragma omp parallel for schedule(static)
+  for (std::ptrdiff_t b = 0; b < nblocks; ++b) {
+    const std::size_t blk = static_cast<std::size_t>(b);
+    std::size_t off = 0;
+    for (; off + 16 <= bw; off += 16) {
+      tile(blk, off);
+      tile(blk, off + 8);
+    }
+    for (; off < bw; off += 8) tile(blk, off);
+  }
+}
+
+#if defined(FINBENCH_HAVE_AVX512)
+// 16 SP lanes per tile: two 8-lane sub-runs fused per register tile.
+void price_blocked_sp16(const core::BsBlockedView& batch) {
+  using VF = simd::Vec<float, 16>;
+  const float rate = static_cast<float>(batch.rate);
+  const float vol = static_cast<float>(batch.vol);
+  const float div = static_cast<float>(batch.dividend);
+
+  const std::ptrdiff_t nblocks = static_cast<std::ptrdiff_t>(batch.num_blocks());
+  const std::size_t bw = static_cast<std::size_t>(batch.block);
+
+  // A 16-float tile fuses two 8-double field runs (lo/hi halves).
+  auto tile16 = [&](std::size_t blk_lo, std::size_t off_lo, std::size_t blk_hi,
+                    std::size_t off_hi) {
+    const VF S = load_f32_16(batch.field(blk_lo, 0) + off_lo, batch.field(blk_hi, 0) + off_hi);
+    const VF K = load_f32_16(batch.field(blk_lo, 1) + off_lo, batch.field(blk_hi, 1) + off_hi);
+    const VF T = load_f32_16(batch.field(blk_lo, 2) + off_lo, batch.field(blk_hi, 2) + off_hi);
+    const SpOut<VF> o = sp_tile(S, K, T, rate, vol, div);
+    stream_f64_16(batch.field(blk_lo, 3) + off_lo, batch.field(blk_hi, 3) + off_hi, o.call);
+    stream_f64_16(batch.field(blk_lo, 4) + off_lo, batch.field(blk_hi, 4) + off_hi, o.put);
+  };
+  auto tile8 = [&](std::size_t blk, std::size_t off) {
+    using V8 = simd::Vec<float, 8>;
+    const V8 S = load_f32_8(batch.field(blk, 0) + off);
+    const V8 K = load_f32_8(batch.field(blk, 1) + off);
+    const V8 T = load_f32_8(batch.field(blk, 2) + off);
+    const SpOut<V8> o = sp_tile(S, K, T, rate, vol, div);
+    stream_f64_8(batch.field(blk, 3) + off, o.call);
+    stream_f64_8(batch.field(blk, 4) + off, o.put);
+  };
+
+  if (bw == 8) {
+    // A 16-lane tile spans two adjacent blocks; an odd trailing block
+    // finishes 8-wide.
+    const std::ptrdiff_t npairs = nblocks / 2;
+#pragma omp parallel for schedule(static)
+    for (std::ptrdiff_t p = 0; p < npairs; ++p) {
+      tile16(static_cast<std::size_t>(2 * p), 0, static_cast<std::size_t>(2 * p + 1), 0);
+    }
+    if (nblocks % 2 != 0) tile8(static_cast<std::size_t>(nblocks - 1), 0);
+    return;
+  }
+#pragma omp parallel for schedule(static)
+  for (std::ptrdiff_t b = 0; b < nblocks; ++b) {
+    const std::size_t blk = static_cast<std::size_t>(b);
+    std::size_t off = 0;
+    for (; off + 16 <= bw; off += 16) tile16(blk, off, blk, off + 8);
+    for (; off < bw; off += 8) tile8(blk, off);
+  }
+}
+#endif
+
+}  // namespace
+
+void price_blocked(core::BsBlockedView batch, Width w) {
+  static obs::Counter& priced = obs::counter("bs.options_priced");
+  priced.add(batch.size());
+  switch (w) {
+    case Width::kScalar: price_blocked_dispatch<1>(batch); return;
+    case Width::kAvx2: price_blocked_dispatch<4>(batch); return;
+#if defined(FINBENCH_HAVE_AVX512)
+    case Width::kAvx512:
+    case Width::kAuto: price_blocked_dispatch<8>(batch); return;
+#else
+    case Width::kAvx512:
+    case Width::kAuto: price_blocked_dispatch<4>(batch); return;
+#endif
+  }
+}
+
+void price_blocked_from_aos(core::BsAosView batch, Width w) {
+  static obs::Counter& priced = obs::counter("bs.options_priced");
+  priced.add(batch.size());
+  switch (w) {
+    case Width::kScalar: price_from_aos_dispatch<1>(batch); return;
+    case Width::kAvx2: price_from_aos_dispatch<4>(batch); return;
+#if defined(FINBENCH_HAVE_AVX512)
+    case Width::kAvx512:
+    case Width::kAuto: price_from_aos_dispatch<8>(batch); return;
+#else
+    case Width::kAvx512:
+    case Width::kAuto: price_from_aos_dispatch<4>(batch); return;
+#endif
+  }
+}
+
+void price_blocked_sp(core::BsBlockedView batch, WidthF w) {
+  static obs::Counter& priced = obs::counter("bs.options_priced");
+  priced.add(batch.size());
+  if (batch.block % 8 != 0) {
+    price_blocked_sp_scalar(batch);
+    return;
+  }
+  switch (w) {
+    case WidthF::kScalar: price_blocked_sp_scalar(batch); return;
+    case WidthF::kAvx2: price_blocked_sp8(batch); return;
+#if defined(FINBENCH_HAVE_AVX512)
+    case WidthF::kAvx512:
+    case WidthF::kAuto: price_blocked_sp16(batch); return;
+#else
+    case WidthF::kAvx512:
+    case WidthF::kAuto: price_blocked_sp8(batch); return;
+#endif
+  }
+}
+
+}  // namespace finbench::kernels::bs

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "finbench/arch/aligned.hpp"
+#include "finbench/core/scratch_pool.hpp"
 #include "finbench/obs/metrics.hpp"
 #include "finbench/obs/trace.hpp"
 #include "finbench/rng/normal.hpp"
@@ -141,17 +142,36 @@ void optimized_stream_width(std::span<const core::OptionSpec> opts, std::span<co
   }
 }
 
-constexpr std::size_t kRngChunk = 4096;  // normals per cache-resident chunk
+// Per-worker normal-chunk storage: lease from the engine's scratch pool
+// when it has room, local aligned allocation otherwise (standalone calls,
+// exhausted pools). kRngChunk lives in the header so engines can size
+// their pools.
+struct ZBuf {
+  core::ScratchPool::Lease lease;
+  arch::AlignedVector<double> local;
+  double* data = nullptr;
+
+  explicit ZBuf(core::ScratchPool* pool) {
+    if (pool != nullptr) lease = pool->claim(kRngChunk);
+    if (lease) {
+      data = lease.data();
+    } else {
+      local.resize(kRngChunk);
+      data = local.data();
+    }
+  }
+};
 
 template <int W>
 void optimized_computed_width(std::span<const core::OptionSpec> opts, std::size_t npath,
                               std::uint64_t seed, std::span<McResult> out,
-                              std::uint64_t stream_base) {
+                              std::uint64_t stream_base, core::ScratchPool* scratch) {
   using V = simd::Vec<double, W>;
   const std::ptrdiff_t nopt = static_cast<std::ptrdiff_t>(opts.size());
 #pragma omp parallel
   {
-    arch::AlignedVector<double> zbuf(kRngChunk);
+    ZBuf zb(scratch);
+    double* const zbuf = zb.data;
 #pragma omp for schedule(dynamic, 1)
     for (std::ptrdiff_t o = 0; o < nopt; ++o) {
       FINBENCH_SPAN("mc.option");
@@ -164,10 +184,10 @@ void optimized_computed_width(std::span<const core::OptionSpec> opts, std::size_
       std::size_t done = 0;
       while (done < npath) {
         const std::size_t chunk = std::min(kRngChunk, npath - done);
-        stream.fill({zbuf.data(), chunk});
+        stream.fill({zbuf, chunk});
         std::size_t i = 0;
         for (; i + W <= chunk; i += W) {
-          const V zv = V::load(zbuf.data() + i);
+          const V zv = V::load(zbuf + i);
           const V st = spot * vecmath::exp(fmadd(vrt, zv, mu));
           const V res = max(V(0.0), sign * (st - strike));
           v0v += res;
@@ -207,10 +227,11 @@ void price_optimized_stream(std::span<const core::OptionSpec> opts, std::span<co
 
 void price_reference_computed(std::span<const core::OptionSpec> opts, std::size_t npath,
                               std::uint64_t seed, std::span<McResult> out,
-                              std::uint64_t stream_base) {
+                              std::uint64_t stream_base, core::ScratchPool* scratch) {
   assert(out.size() >= opts.size());
   detail::count_paths(opts.size() * npath);
-  arch::AlignedVector<double> zbuf(kRngChunk);
+  ZBuf zb(scratch);
+  double* const zbuf = zb.data;
   for (std::size_t o = 0; o < opts.size(); ++o) {
     const PathParams p = path_params(opts[o]);
     rng::NormalStream stream(seed, stream_base + o);
@@ -218,7 +239,7 @@ void price_reference_computed(std::span<const core::OptionSpec> opts, std::size_
     std::size_t done = 0;
     while (done < npath) {
       const std::size_t chunk = std::min(kRngChunk, npath - done);
-      stream.fill({zbuf.data(), chunk});
+      stream.fill({zbuf, chunk});
       for (std::size_t i = 0; i < chunk; ++i) {
         const double st = opts[o].spot * std::exp(p.v_rt_t * zbuf[i] + p.mu_t);
         const double res = std::max(0.0, p.sign * (st - opts[o].strike));
@@ -233,18 +254,26 @@ void price_reference_computed(std::span<const core::OptionSpec> opts, std::size_
 
 void price_optimized_computed(std::span<const core::OptionSpec> opts, std::size_t npath,
                               std::uint64_t seed, std::span<McResult> out, Width w,
-                              std::uint64_t stream_base) {
+                              std::uint64_t stream_base, core::ScratchPool* scratch) {
   assert(out.size() >= opts.size());
   detail::count_paths(opts.size() * npath);
   switch (w) {
-    case Width::kScalar: optimized_computed_width<1>(opts, npath, seed, out, stream_base); return;
-    case Width::kAvx2: optimized_computed_width<4>(opts, npath, seed, out, stream_base); return;
+    case Width::kScalar:
+      optimized_computed_width<1>(opts, npath, seed, out, stream_base, scratch);
+      return;
+    case Width::kAvx2:
+      optimized_computed_width<4>(opts, npath, seed, out, stream_base, scratch);
+      return;
 #if defined(FINBENCH_HAVE_AVX512)
     case Width::kAvx512:
-    case Width::kAuto: optimized_computed_width<8>(opts, npath, seed, out, stream_base); return;
+    case Width::kAuto:
+      optimized_computed_width<8>(opts, npath, seed, out, stream_base, scratch);
+      return;
 #else
     case Width::kAvx512:
-    case Width::kAuto: optimized_computed_width<4>(opts, npath, seed, out, stream_base); return;
+    case Width::kAuto:
+      optimized_computed_width<4>(opts, npath, seed, out, stream_base, scratch);
+      return;
 #endif
   }
 }
@@ -253,13 +282,15 @@ void price_optimized_computed(std::span<const core::OptionSpec> opts, std::size_
 
 void price_variance_reduced(std::span<const core::OptionSpec> opts, std::size_t npath,
                             std::uint64_t seed, std::span<McResult> out, bool antithetic,
-                            bool control_variate, std::uint64_t stream_base) {
+                            bool control_variate, std::uint64_t stream_base,
+                            core::ScratchPool* scratch) {
   assert(out.size() >= opts.size());
   detail::count_paths(opts.size() * npath);
   const std::ptrdiff_t nopt = static_cast<std::ptrdiff_t>(opts.size());
 #pragma omp parallel
   {
-    arch::AlignedVector<double> zbuf(kRngChunk);
+    ZBuf zb(scratch);
+    double* const zbuf = zb.data;
 #pragma omp for schedule(dynamic, 1)
     for (std::ptrdiff_t o = 0; o < nopt; ++o) {
       const core::OptionSpec& opt = opts[o];
@@ -275,7 +306,7 @@ void price_variance_reduced(std::span<const core::OptionSpec> opts, std::size_t 
       std::size_t done = 0;
       while (done < draws) {
         const std::size_t chunk = std::min(kRngChunk, draws - done);
-        stream.fill({zbuf.data(), chunk});
+        stream.fill({zbuf, chunk});
         for (std::size_t i = 0; i < chunk; ++i) {
           const double st_plus = opt.spot * std::exp(p.v_rt_t * zbuf[i] + p.mu_t);
           double pay = std::max(0.0, p.sign * (st_plus - opt.strike));

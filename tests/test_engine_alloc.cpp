@@ -152,6 +152,66 @@ TEST(EngineAlloc, ChunkedMonteCarloAcrossThePoolIsAllocationFree) {
   }
 }
 
+// The arena-backed kernel scratch pools (PR5): lattice buffers for the
+// binomial family and per-worker RNG chunks for computed-path Monte
+// Carlo are carved from the request's kernel arena at negotiation time
+// and leased per chunk, so steady-state pricing performs zero heap
+// allocations even though each option prices over a (steps+1)-deep
+// lattice / kRngChunk-wide draw buffer.
+TEST(EngineAlloc, BinomialLatticeScratchIsPooledAfterWarmup) {
+  const auto workload = core::make_option_workload(48, 9);
+  PricingRequest req;
+  req.kernel_id = "binomial.advanced.auto";
+  req.portfolio = core::view_of(std::span<const core::OptionSpec>(workload));
+  req.steps = 256;
+  req.chunks_per_thread = 3;
+
+  engine::ThreadPool pool(4);
+  Engine eng(&pool);
+  for (auto sched : {arch::Schedule::kDynamic, arch::Schedule::kStatic}) {
+    req.schedule = sched;
+    PricingResult res;
+    eng.price(req, res);  // warm-up: lattice pool, chunk bounds
+    eng.price(req, res);  // second warm-up: result buffers at capacity
+    ASSERT_TRUE(res.ok) << res.error;
+
+    const std::size_t allocs = allocations_during([&] {
+      for (int rep = 0; rep < 10; ++rep) eng.price(req, res);
+    });
+    ASSERT_TRUE(res.ok) << res.error;
+    ASSERT_EQ(res.values.size(), workload.size());
+    EXPECT_EQ(allocs, 0u) << "steady-state binomial pricing allocated (schedule "
+                          << (sched == arch::Schedule::kDynamic ? "dynamic" : "static") << ")";
+  }
+}
+
+TEST(EngineAlloc, MonteCarloComputedRngScratchIsPooledAfterWarmup) {
+  const auto workload = core::make_option_workload(48, 13);
+  PricingRequest req;
+  req.kernel_id = "mc.optimized_computed.auto";
+  req.portfolio = core::view_of(std::span<const core::OptionSpec>(workload));
+  req.npath = 8192;
+  req.chunks_per_thread = 3;
+
+  engine::ThreadPool pool(4);
+  Engine eng(&pool);
+  for (auto sched : {arch::Schedule::kDynamic, arch::Schedule::kStatic}) {
+    req.schedule = sched;
+    PricingResult res;
+    eng.price(req, res);  // warm-up: rng pool, chunk bounds
+    eng.price(req, res);
+    ASSERT_TRUE(res.ok) << res.error;
+
+    const std::size_t allocs = allocations_during([&] {
+      for (int rep = 0; rep < 10; ++rep) eng.price(req, res);
+    });
+    ASSERT_TRUE(res.ok) << res.error;
+    ASSERT_EQ(res.values.size(), workload.size());
+    EXPECT_EQ(allocs, 0u) << "steady-state computed MC allocated (schedule "
+                          << (sched == arch::Schedule::kDynamic ? "dynamic" : "static") << ")";
+  }
+}
+
 TEST(EngineAlloc, SwitchingWorkloadsRebuildsThenSettles) {
   // A different workload invalidates the negotiation cache (new pointer,
   // new size): the next call may allocate (arena growth, buffer resize),

@@ -39,7 +39,7 @@ constexpr std::uint64_t kSeed = 9;
 
 bool is_bs(const VariantInfo& v) {
   return v.layout == Layout::kBsAos || v.layout == Layout::kBsSoa ||
-         v.layout == Layout::kBsSoaF;
+         v.layout == Layout::kBsSoaF || v.layout == Layout::kBsBlocked;
 }
 
 // Small accuracy knobs: the corpus sweeps every variant, so each pricing
@@ -135,6 +135,15 @@ void expect_bs_outputs_finite_or_masked(const core::PortfolioView& view,
         check(i, view.sp.call[i], view.sp.put[i]);
       }
       break;
+    case Layout::kBsBlocked: {
+      const core::BsBlockedView& b = view.blocked;
+      for (std::size_t i = 0; i < b.size(); ++i) {
+        const std::size_t blk = i / static_cast<std::size_t>(b.block);
+        const std::size_t ln = i % static_cast<std::size_t>(b.block);
+        check(i, b.field(blk, 3)[ln], b.field(blk, 4)[ln]);
+      }
+      break;
+    }
     default:
       FAIL() << id << ": not a BS layout";
   }

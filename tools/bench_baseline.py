@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Capture a benchmark baseline as schema-validated JSON.
+
+Usage:
+    bench_baseline.py [--binary build/bench/fig4_blackscholes]
+                      [--out BENCH_pr5.json] [--nopt N] [--reps R]
+                      [--assert-blocked]
+
+Runs the Fig. 4 exhibit with `--json`, validates the report against the
+finbench.run_report/v1 schema (via validate_report_json.py, same
+directory), and writes it to --out. With --assert-blocked it additionally
+enforces the PR5 perf gate: the "Blocked SIMD incl. AOS->blocked
+conversion" row must exist and its throughput must be at least 1.0x the
+"SOA SIMD incl. AOS<->SOA conversion" row's (a loose gate — the fused
+block-local conversion should win by much more; the 1.0x floor keeps the
+check robust on noisy shared CI hosts).
+
+Exits non-zero with a message on the first violation. CI runs this in the
+perf-smoke job; keep the captured baseline out of version control unless
+you mean to update the recorded numbers.
+"""
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+BLOCKED_ROW = "Blocked SIMD incl. AOS->blocked conversion"
+SOA_ROW = "SOA SIMD incl. AOS<->SOA conversion"
+
+
+def find_row(report, label):
+    for row in report.get("rows", []):
+        if row.get("label") == label:
+            return row
+    return None
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("--binary", default="build/bench/fig4_blackscholes",
+                    help="exhibit binary to run (default: %(default)s)")
+    ap.add_argument("--out", default="BENCH_pr5.json",
+                    help="where to write the captured report (default: %(default)s)")
+    ap.add_argument("--nopt", type=int, default=1000000,
+                    help="options per rep (default: %(default)s)")
+    ap.add_argument("--reps", type=int, default=8,
+                    help="repetitions per row (default: %(default)s)")
+    ap.add_argument("--assert-blocked", action="store_true",
+                    help="enforce the blocked-vs-SOA incl.-conversion gate")
+    args = ap.parse_args()
+
+    binary = Path(args.binary)
+    if not binary.exists():
+        sys.exit(f"bench_baseline: binary not found: {binary} (build first)")
+
+    out = Path(args.out)
+    cmd = [str(binary), "--nopt", str(args.nopt), "--reps", str(args.reps),
+           "--json", str(out)]
+    print("bench_baseline: running", " ".join(cmd), flush=True)
+    run = subprocess.run(cmd)
+    if run.returncode != 0:
+        sys.exit(f"bench_baseline: {binary.name} exited {run.returncode}")
+    if not out.exists():
+        sys.exit(f"bench_baseline: {binary.name} produced no {out}")
+
+    validator = Path(__file__).resolve().parent / "validate_report_json.py"
+    check = subprocess.run([sys.executable, str(validator), "--report", str(out)])
+    if check.returncode != 0:
+        sys.exit("bench_baseline: report failed schema validation")
+
+    report = json.loads(out.read_text())
+    print(f"bench_baseline: captured {len(report['rows'])} rows, "
+          f"{len(report['checks'])} checks -> {out}")
+
+    failed = [c for c in report.get("checks", []) if not c.get("passed", False)]
+    for c in failed:
+        print(f"bench_baseline: exhibit check FAILED: {c.get('label')}: "
+              f"{c.get('detail', '')}", file=sys.stderr)
+    if failed:
+        sys.exit(1)
+
+    if args.assert_blocked:
+        blocked = find_row(report, BLOCKED_ROW)
+        soa = find_row(report, SOA_ROW)
+        if blocked is None:
+            sys.exit(f"bench_baseline: missing row {BLOCKED_ROW!r}")
+        if soa is None:
+            sys.exit(f"bench_baseline: missing row {SOA_ROW!r}")
+        b, s = blocked["host_items_per_sec"], soa["host_items_per_sec"]
+        ratio = b / s if s > 0 else float("inf")
+        print(f"bench_baseline: blocked incl. conversion = {b / 1e6:.1f} M, "
+              f"SOA incl. conversion = {s / 1e6:.1f} M (ratio {ratio:.2f}x)")
+        if b < s:
+            sys.exit("bench_baseline: blocked incl. conversion row is slower than "
+                     "the SOA incl. conversion row (gate: >= 1.0x)")
+
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

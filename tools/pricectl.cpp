@@ -4,7 +4,7 @@
 //   pricectl --list                      enumerate every registered variant
 //   pricectl --validate [--nopt N]       self-validate variants vs references
 //   pricectl --kernel ID --nopt N        price a workload through variant ID
-//            [--layout aos|soa|auto] [--schedule dynamic|static]
+//            [--layout aos|soa|blocked|auto] [--schedule dynamic|static]
 //            [--steps N] [--npath N] [--prices N] [--depth N] [--seed N]
 //            [--spy N] [--reps N] [--threads N] [--json PATH] [--csv PATH]
 //            [--trace PATH] [--sanitize off|reject|clamp|skip]
@@ -15,7 +15,8 @@
 // self-scheduling or static stripes) and batch-layout workloads through
 // the kernel's native entry point. --layout forces the Black–Scholes
 // request layout: `auto` (default) builds the variant's native layout,
-// `aos`/`soa` build that layout regardless and let the engine negotiate —
+// `aos`/`soa`/`blocked` build that layout regardless and let the engine
+// negotiate —
 // the one-time conversion cost is printed and lands in the run report's
 // `layout`/`convert_seconds` fields. --spy N prices a mixed-expiry lattice
 // portfolio at N steps/year of expiry — the heterogeneous workload whose
@@ -124,8 +125,9 @@ int main(int argc, char** argv) {
     else if (!std::strcmp(argv[i], "--spy")) spy = static_cast<int>(next(0));
     else if (!std::strcmp(argv[i], "--layout") && i + 1 < argc) {
       layout_flag = argv[++i];
-      if (layout_flag != "aos" && layout_flag != "soa" && layout_flag != "auto") {
-        std::fprintf(stderr, "pricectl: --layout takes aos, soa, or auto\n");
+      if (layout_flag != "aos" && layout_flag != "soa" && layout_flag != "blocked" &&
+          layout_flag != "auto") {
+        std::fprintf(stderr, "pricectl: --layout takes aos, soa, blocked, or auto\n");
         return 2;
       }
     } else if (!std::strcmp(argv[i], "--schedule") && i + 1 < argc) {
@@ -171,7 +173,7 @@ int main(int argc, char** argv) {
   if (kernel_id.empty()) {
     std::fprintf(stderr,
                  "usage: pricectl --list | --validate | --kernel ID --nopt N [--json PATH]\n"
-                 "               [--layout aos|soa|auto] [--schedule dynamic|static]\n"
+                 "               [--layout aos|soa|blocked|auto] [--schedule dynamic|static]\n"
                  "               [--steps N] [--npath N] [--prices N] [--depth N]\n"
                  "               [--seed N] [--spy N] [--reps N] [--threads N]\n"
                  "               [--csv PATH] [--trace PATH]\n"
@@ -200,8 +202,10 @@ int main(int argc, char** argv) {
     case engine::Layout::kBsAos:
     case engine::Layout::kBsSoa:
     case engine::Layout::kBsSoaF:
+    case engine::Layout::kBsBlocked:
       if (layout_flag == "aos") req_layout = engine::Layout::kBsAos;
       else if (layout_flag == "soa") req_layout = engine::Layout::kBsSoa;
+      else if (layout_flag == "blocked") req_layout = engine::Layout::kBsBlocked;
       pf = core::Portfolio::bs(items = items ? items : (1u << 18), req_layout, req.seed);
       // Poison the owned workload, not the engine's working copy — the
       // engine only ever repairs faults, it never manufactures them on

@@ -7,7 +7,7 @@
 //   --threads N    OpenMP thread count (default: runtime's choice)
 //   --csv PATH     append rows to a CSV file
 //   --trace PATH   write a Chrome trace_event JSON of per-thread spans
-//   --json PATH    write the structured run report (finbench.run_report/v1)
+//   --json PATH    write the structured run report (finbench.run_report/v2)
 //
 // and prints a Report (see finbench/harness/report.hpp): measured host
 // throughput per optimization level and width, SNB-EP/KNC projections via
@@ -30,6 +30,7 @@
 #include "finbench/arch/timing.hpp"
 #include "finbench/engine/registry.hpp"
 #include "finbench/harness/report.hpp"
+#include "finbench/obs/histogram.hpp"
 #include "finbench/obs/metrics.hpp"
 #include "finbench/obs/perf_counters.hpp"
 #include "finbench/obs/run_report.hpp"
@@ -100,11 +101,20 @@ struct Options {
 template <class F>
 double items_per_sec(const char* label, std::size_t items, int reps, F&& fn) {
   fn();  // warm-up (page-in, code, caches)
+  // Per-repetition wall times land in a per-row latency histogram, so
+  // every measurement gets a tail-latency view (p50/p99 in the run
+  // report's `histograms` and the OpenMetrics scrape) alongside the
+  // best-of throughput. Resolved once per measurement; the per-rep cost
+  // is two clock reads and a relaxed-atomic record.
+  obs::Histogram& rep_hist =
+      obs::histogram("bench.rep.seconds", std::string("label=\"") + label + "\"");
   const arch::RepStats st = [&] {
     obs::PerfRegion perf(label);
     return arch::measure(reps, [&] {
       FINBENCH_SPAN(label);
+      arch::WallTimer rep_timer;
       fn();
+      rep_hist.record_seconds(rep_timer.seconds());
     });
   }();
   obs::record_measurement({label, items, st.reps, st.best, st.mean, st.stddev});

@@ -3,7 +3,7 @@
 // but additionally honor the finbench-wide flags:
 //
 //   --trace PATH   Chrome trace_event JSON of per-thread spans
-//   --json PATH    structured run report (finbench.run_report/v1)
+//   --json PATH    structured run report (finbench.run_report/v2)
 //
 // FINBENCH_MICRO_MAIN() replaces BENCHMARK_MAIN(): it strips the two
 // finbench flags before benchmark::Initialize (which rejects unknown

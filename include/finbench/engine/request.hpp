@@ -124,6 +124,11 @@ struct PricingResult {
   // Structured outcome of the robust pricing path (finbench/robust).
   robust::Status status{};
 
+  // Process-unique id of this engine execution, stamped into every
+  // flight-recorder record the run produced — the join key between a
+  // PricingResult and the `records` of a flight dump.
+  std::uint64_t request_id = 0;
+
   std::size_t items = 0;   // options priced / paths constructed
   double seconds = 0.0;    // wall time inside the engine, including the
                            // per-repetition output writeback after a

@@ -72,6 +72,11 @@ class ThreadPool {
   // Process-wide pool sized to arch::num_threads() at first use.
   static ThreadPool& shared();
 
+  // Participant index of the calling thread while it executes chunks of a
+  // run() (0 = the submitting caller, 1..P-1 = dedicated workers), -1
+  // outside any run. The engine stamps it into flight-recorder records.
+  static int current_participant();
+
  private:
   void worker_main(int participant);
   void participate(int participant);

@@ -1,0 +1,108 @@
+// finbench/obs/flight_recorder.hpp
+//
+// The per-chunk flight recorder: a bounded ring buffer of fixed-size
+// records — one per chunk the engine executes (or skips) — kept cheap
+// enough to run always-on. Each record carries the request id, the chunk's
+// item range, the variant id, the worker that ran it, start/end ticks on
+// the trace timebase, and the chunk's final robust status string.
+//
+// Writers claim a slot with one atomic ticket and fill it under a per-slot
+// seqlock: record() never blocks, never allocates, and concurrent writers
+// never corrupt each other's slots — a reader that races a writer skips
+// the torn slot instead of reading half a record. The ring holds the last
+// `capacity()` records; older ones are overwritten (a post-mortem wants
+// the chunks *around* the failure, not the whole history).
+//
+// Dumps: write_flight_dump() renders the ring as JSON (oldest to newest)
+// with an `unpriced_ranges` summary — the item ranges of the most recent
+// request's deadline-skipped / never-run chunks, the exact data a
+// deadline post-mortem needs. The engine triggers flight_auto_dump() on
+// kDeadlineExceeded, kKernelError, and quarantine (fallback re-pricing);
+// the first such event per process writes the dump (re-arm with
+// reset_flight_auto_dump()), so a long degraded run does not spend its
+// time re-serializing the same story. On demand: pricectl --flight-dump.
+
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace finbench::obs {
+
+struct FlightRecord {
+  std::uint64_t request_id = 0;
+  std::uint32_t chunk = 0;       // chunk index within the request
+  std::int32_t worker = -1;      // pool participant; -1 = not run on a worker
+  std::uint64_t begin = 0;       // item range [begin, end)
+  std::uint64_t end = 0;
+  double start_us = 0.0;         // trace::now_us() timebase; 0 when never run
+  double end_us = 0.0;
+  char kernel_id[48] = {};       // variant id, truncated
+  char status[12] = {};          // robust chunk outcome ("ok", "deadline", ...)
+
+  void set_kernel(const char* id);
+  void set_status(const char* s);
+};
+
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(std::size_t capacity = kDefaultCapacity);
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  static constexpr std::size_t kDefaultCapacity = 4096;
+  static constexpr std::size_t kMinCapacity = 16;
+
+  // Append one record. Lock-free: one relaxed ticket fetch_add plus a
+  // seqlocked payload copy into the claimed slot.
+  void record(const FlightRecord& r);
+
+  // Consistent copy of the ring, oldest record first. Slots torn by a
+  // concurrent writer (or overwritten mid-read) are skipped.
+  std::vector<FlightRecord> snapshot() const;
+
+  std::size_t capacity() const { return slots_.size(); }
+  std::uint64_t total_recorded() const { return head_.load(std::memory_order_relaxed); }
+
+  // Drop every record (tests). Not safe against concurrent writers.
+  void clear();
+
+ private:
+  struct Slot {
+    // Seqlock: 2t+1 while ticket t's payload is being written, 2t+2 once
+    // complete. A reader expecting ticket t accepts only 2t+2 before and
+    // after its copy.
+    std::atomic<std::uint64_t> seq{0};
+    FlightRecord rec;
+  };
+  std::vector<Slot> slots_;
+  std::atomic<std::uint64_t> head_{0};
+};
+
+// Process-wide recorder the engine records into. First use fixes the
+// capacity (set_flight_capacity before any recording to change it).
+FlightRecorder& flight_recorder();
+
+// Replace the process recorder with a fresh one of `capacity` slots
+// (tests). Existing records are discarded. Not safe against concurrent
+// writers; the previous recorder is leaked so stale references stay valid.
+void set_flight_capacity(std::size_t capacity);
+
+// Where automatic dumps land (default "finbench_flight.json" in the CWD).
+void set_flight_dump_path(std::string path);
+std::string flight_dump_path();
+
+// Write the process recorder as JSON to `path` with the given reason
+// string. Returns false when the file cannot be written.
+bool write_flight_dump(const std::string& path, const std::string& reason = "on_demand");
+
+// Post-mortem trigger: writes the dump to flight_dump_path() the first
+// time it fires in the process (returns whether this call wrote it).
+// Re-arm with reset_flight_auto_dump().
+bool flight_auto_dump(const char* reason);
+void reset_flight_auto_dump();
+
+}  // namespace finbench::obs

@@ -22,7 +22,7 @@ namespace finbench::obs::json {
 //
 //   Writer w(out);
 //   w.begin_object();
-//   w.kv("schema", "finbench.run_report/v1");
+//   w.kv("schema", "finbench.run_report/v2");
 //   w.key("rows"); w.begin_array(); ... w.end_array();
 //   w.end_object();
 //

@@ -1,11 +1,15 @@
 // finbench/obs/obs.hpp — umbrella header for the observability layer:
-// scoped-span tracing, the metrics registry, hardware perf counters, and
-// the structured JSON run report. See docs/observability.md.
+// scoped-span tracing, the metrics registry, latency histograms, the
+// per-chunk flight recorder, hardware perf counters, the structured JSON
+// run report, and the OpenMetrics exporter. See docs/observability.md.
 
 #pragma once
 
+#include "finbench/obs/flight_recorder.hpp"
+#include "finbench/obs/histogram.hpp"
 #include "finbench/obs/json.hpp"
 #include "finbench/obs/metrics.hpp"
+#include "finbench/obs/openmetrics.hpp"
 #include "finbench/obs/perf_counters.hpp"
 #include "finbench/obs/run_report.hpp"
 #include "finbench/obs/trace.hpp"

@@ -4,9 +4,11 @@
 // analysis needs to interpret one bench invocation without re-running it —
 // the harness::Report rows (with roofline efficiency), host topology and
 // machine model, effective thread count, git SHA, raw repetition
-// statistics per measurement, the metrics registry, and hardware-counter
-// samples per region. Schema "finbench.run_report/v1"; documented in
-// docs/observability.md and validated by tools/validate_report_json.py.
+// statistics per measurement, the metrics registry, every registered
+// latency histogram (count/sum, percentiles, sparse buckets), and
+// hardware-counter samples per region. Schema "finbench.run_report/v2";
+// documented in docs/observability.md and validated by
+// tools/validate_report_json.py.
 
 #pragma once
 

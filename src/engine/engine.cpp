@@ -9,8 +9,12 @@
 #include <thread>
 #include <vector>
 
+#include <atomic>
+
 #include "finbench/arch/timing.hpp"
 #include "finbench/core/analytic.hpp"
+#include "finbench/obs/flight_recorder.hpp"
+#include "finbench/obs/histogram.hpp"
 #include "finbench/obs/metrics.hpp"
 #include "finbench/obs/trace.hpp"
 #include "finbench/robust/guards.hpp"
@@ -189,6 +193,49 @@ void mask_skipped_outputs(const std::vector<std::uint8_t>& mask, std::vector<dou
   }
 }
 
+// Outcome counter per terminal status code, so a scrape can alert on
+// error-class rates without parsing messages. Static handles: the counter
+// registry is touched once per code, not once per request.
+void count_status(robust::StatusCode code) {
+  switch (code) {
+    case robust::StatusCode::kOk: {
+      static obs::Counter& c = obs::counter("engine.status.ok");
+      c.add(1);
+      return;
+    }
+    case robust::StatusCode::kDegraded: {
+      static obs::Counter& c = obs::counter("engine.status.degraded");
+      c.add(1);
+      return;
+    }
+    case robust::StatusCode::kInvalidArgument: {
+      static obs::Counter& c = obs::counter("engine.status.invalid_argument");
+      c.add(1);
+      return;
+    }
+    case robust::StatusCode::kInvalidInput: {
+      static obs::Counter& c = obs::counter("engine.status.invalid_input");
+      c.add(1);
+      return;
+    }
+    case robust::StatusCode::kNotFound: {
+      static obs::Counter& c = obs::counter("engine.status.not_found");
+      c.add(1);
+      return;
+    }
+    case robust::StatusCode::kDeadlineExceeded: {
+      static obs::Counter& c = obs::counter("engine.status.deadline_exceeded");
+      c.add(1);
+      return;
+    }
+    case robust::StatusCode::kKernelError: {
+      static obs::Counter& c = obs::counter("engine.status.kernel_error");
+      c.add(1);
+      return;
+    }
+  }
+}
+
 // Mutable-string state of one execution that only exceptional paths touch.
 struct RunErrors {
   std::mutex mu;
@@ -231,12 +278,19 @@ void Engine::price(const PricingRequest& req, PricingResult& res) const {
   res.options_clamped = res.options_skipped = res.options_repaired = 0;
   res.chunks_degraded = res.chunks_failed = res.chunks_deadline = 0;
 
+  // The flight recorder's join key: one id per engine execution,
+  // process-unique, stamped into every record this run produces.
+  static std::atomic<std::uint64_t> request_seq{0};
+  res.request_id = request_seq.fetch_add(1, std::memory_order_relaxed) + 1;
+
   // Mirrors the structured status into the legacy ok/error pair and
-  // returns; every exit below goes through this.
+  // returns; every exit below goes through this (and bumps the
+  // status-labeled outcome counter).
   auto finish = [&res](robust::Status status) {
     res.status = std::move(status);
     res.ok = res.status.ok();
     if (res.status.code() != robust::StatusCode::kOk) res.error = res.status.to_string();
+    count_status(res.status.code());
   };
 
   const VariantInfo* v = Registry::instance().find(req.kernel_id);
@@ -259,6 +313,22 @@ void Engine::price(const PricingRequest& req, PricingResult& res) const {
   // span may be re-pointed at the sanitized copy without touching req.
   core::PortfolioView working = req.portfolio;
   Scratch& s = scratch_of(req);
+
+  // Per-kernel latency instruments, resolved once per kernel id: the
+  // registry lookup builds label strings and takes a mutex, so repeated
+  // pricings of the same request must go through these cached handles
+  // (the steady-state path stays allocation-free).
+  if (s.hist_kernel_id != v->id) {
+    std::string labels = "kernel=\"";
+    labels += v->id;
+    labels += "\",layout=\"";
+    labels += to_string(v->layout);
+    labels += '"';
+    s.hist_request = &obs::histogram("engine.request.seconds", labels);
+    s.hist_chunk = &obs::histogram("engine.chunk.seconds", labels);
+    s.flight = &obs::flight_recorder();
+    s.hist_kernel_id = v->id;
+  }
 
   // --- Input sanitization --------------------------------------------------
   robust::SanitizeReport& san = s.sanitize_report;
@@ -348,8 +418,10 @@ void Engine::price(const PricingRequest& req, PricingResult& res) const {
     }
     res.items = priced_items;
     res.seconds = t.seconds();
+    s.hist_request->record_seconds(res.seconds);
     c_items.add(priced_items);
     if (res.chunks_failed > 0) {
+      obs::flight_auto_dump("kernel_error");
       finish(robust::Status::kernel_error(
           std::to_string(res.chunks_failed) + " chunk(s) unrecoverable (" + errors.first +
           "); " + std::to_string(priced_items) + " of " + std::to_string(n) +
@@ -358,6 +430,7 @@ void Engine::price(const PricingRequest& req, PricingResult& res) const {
     }
     if (res.chunks_deadline > 0) {
       obs::counter("robust.deadline.expired").add(1);
+      obs::flight_auto_dump("deadline_exceeded");
       finish(robust::Status::deadline_exceeded(
           "deadline expired: " + std::to_string(priced_items) + " of " + std::to_string(n) +
           " option(s) priced (" + std::to_string(res.chunks_deadline) +
@@ -366,6 +439,7 @@ void Engine::price(const PricingRequest& req, PricingResult& res) const {
     }
     if (res.chunks_degraded > 0 || res.options_clamped > 0 || res.options_skipped > 0 ||
         res.options_repaired > 0) {
+      if (res.chunks_degraded > 0) obs::flight_auto_dump("quarantine");
       finish(robust::Status::degraded(
           "degraded: " + std::to_string(res.options_clamped) + " clamped, " +
           std::to_string(res.options_skipped) + " skipped, " +
@@ -386,11 +460,28 @@ void Engine::price(const PricingRequest& req, PricingResult& res) const {
   // is only checked before the kernel runs.
   if (!v->run_range || v->layout != Layout::kSpecs || n < 2) {
     RunErrors errors;
+    // The whole batch is one chunk of flight-recorder accounting: one
+    // record covering [0, n), one sample in the per-chunk histogram.
+    auto record_flight = [&](const char* status, double start_us, double end_us) {
+      obs::FlightRecord fr;
+      fr.request_id = res.request_id;
+      fr.chunk = 0;
+      fr.worker = -1;
+      fr.begin = 0;
+      fr.end = n;
+      fr.start_us = start_us;
+      fr.end_us = end_us;
+      fr.set_kernel(v->id.c_str());
+      fr.set_status(status);
+      s.flight->record(fr);
+    };
     if (cancel != nullptr && cancel->expired()) {
       res.chunks_deadline = 1;
+      record_flight("deadline", 0.0, 0.0);
       aggregate(errors, 0);
       return;
     }
+    const double batch_start_us = obs::trace::now_us();
     bool priced = false;
     try {
       if (req.faults.any_engine_side()) inject_chunk_faults(req.faults, 0);
@@ -444,6 +535,7 @@ void Engine::price(const PricingRequest& req, PricingResult& res) const {
       res.chunks_failed = 1;
       obs::counter("robust.fallback.exhausted").add(1);
       res.seconds = t.seconds();
+      record_flight("failed", batch_start_us, obs::trace::now_us());
       aggregate(errors, 0);
       return;
     }
@@ -472,6 +564,12 @@ void Engine::price(const PricingRequest& req, PricingResult& res) const {
       }
     }
     if (negotiated) core::copy_outputs(*view, req.portfolio);
+    const double batch_end_us = obs::trace::now_us();
+    s.hist_chunk->record_seconds((batch_end_us - batch_start_us) * 1e-6);
+    record_flight(res.chunks_failed != 0     ? "failed"
+                  : res.chunks_degraded != 0 ? "degraded"
+                                             : "ok",
+                  batch_start_us, batch_end_us);
     aggregate(errors, res.chunks_failed == 0 ? (res.items != 0 ? res.items : n) : 0);
     return;
   }
@@ -514,10 +612,13 @@ void Engine::price(const PricingRequest& req, PricingResult& res) const {
     const std::size_t* bounds;
     PricingResult* res;
     RunErrors* errors;
+    obs::Histogram* hist_chunk;
+    obs::FlightRecorder* flight;
     bool inject;
     bool guard_on;
   };
-  ChunkCtx ctx{v, &req, view, bounds.data(), &res, &errors, inject, guard_on};
+  ChunkCtx ctx{v, &req, view, bounds.data(), &res, &errors, s.hist_chunk, s.flight, inject,
+               guard_on};
   pool_->run(
       static_cast<std::ptrdiff_t>(nchunks),
       [&ctx](std::ptrdiff_t c) {
@@ -525,6 +626,7 @@ void Engine::price(const PricingRequest& req, PricingResult& res) const {
         const std::size_t begin = ctx.bounds[static_cast<std::size_t>(c)];
         const std::size_t end = ctx.bounds[static_cast<std::size_t>(c) + 1];
         std::uint8_t& slot = ctx.res->chunk_status[static_cast<std::size_t>(c)];
+        const double start_us = obs::trace::now_us();
         try {
           if (ctx.inject) inject_chunk_faults(ctx.req->faults, c);
           ctx.v->run_range(*ctx.req, *ctx.view, begin, end, *ctx.res);
@@ -549,6 +651,19 @@ void Engine::price(const PricingRequest& req, PricingResult& res) const {
           ctx.errors->record("non-std exception from kernel");
           slot = static_cast<std::uint8_t>(ChunkStatus::kFailed);
         }
+        const double end_us = obs::trace::now_us();
+        ctx.hist_chunk->record_seconds((end_us - start_us) * 1e-6);
+        obs::FlightRecord fr;
+        fr.request_id = ctx.res->request_id;
+        fr.chunk = static_cast<std::uint32_t>(c);
+        fr.worker = ThreadPool::current_participant();
+        fr.begin = begin;
+        fr.end = end;
+        fr.start_us = start_us;
+        fr.end_us = end_us;
+        fr.set_kernel(ctx.v->id.c_str());
+        fr.set_status(slot == static_cast<std::uint8_t>(ChunkStatus::kOk) ? "ok" : "failed");
+        ctx.flight->record(fr);
       },
       req.schedule, site, cancel);
 
@@ -560,6 +675,21 @@ void Engine::price(const PricingRequest& req, PricingResult& res) const {
   // allocation-free.
   std::size_t priced_items = 0;
   const bool expired = cancel != nullptr && cancel->expired();
+  // Post-pass flight records for chunks the workers never touched (and for
+  // repaired ones below): worker -1, zero ticks — "never ran" looks
+  // different from "ran and failed" in the dump.
+  auto record_flight = [&](std::size_t c, std::size_t begin, std::size_t end,
+                           const char* status) {
+    obs::FlightRecord fr;
+    fr.request_id = res.request_id;
+    fr.chunk = static_cast<std::uint32_t>(c);
+    fr.worker = -1;
+    fr.begin = begin;
+    fr.end = end;
+    fr.set_kernel(v->id.c_str());
+    fr.set_status(status);
+    s.flight->record(fr);
+  };
   for (std::size_t c = 0; c < nchunks; ++c) {
     auto status = static_cast<ChunkStatus>(res.chunk_status[c]);
     const std::size_t begin = bounds[c], end = bounds[c + 1];
@@ -570,6 +700,7 @@ void Engine::price(const PricingRequest& req, PricingResult& res) const {
       std::fill(res.values.begin() + static_cast<std::ptrdiff_t>(begin),
                 res.values.begin() + static_cast<std::ptrdiff_t>(end), kQuietNan);
       obs::counter("robust.deadline.chunks_skipped").add(1);
+      record_flight(c, begin, end, expired ? "deadline" : "not_run");
       continue;
     }
     if (status == ChunkStatus::kFailed && req.fallback) {
@@ -608,6 +739,7 @@ void Engine::price(const PricingRequest& req, PricingResult& res) const {
         res.chunk_status[c] = static_cast<std::uint8_t>(status);
         ++res.chunks_degraded;
         obs::counter("robust.fallback.chunks").add(1);
+        record_flight(c, begin, end, "degraded");
       } else {
         obs::counter("robust.fallback.exhausted").add(1);
       }

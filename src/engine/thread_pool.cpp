@@ -16,7 +16,11 @@ namespace {
 // Set while this thread is executing chunks of a pool run; a nested run()
 // from inside a chunk executes inline instead of deadlocking on submit_mu_.
 thread_local bool t_in_pool_run = false;
+// Participant index of the active run on this thread; -1 outside a run.
+thread_local int t_pool_participant = -1;
 }  // namespace
+
+int ThreadPool::current_participant() { return t_pool_participant; }
 
 ThreadPool::ThreadPool(int threads) {
   int n = threads > 0 ? threads : arch::num_threads();
@@ -70,6 +74,7 @@ void ThreadPool::participate(int participant) {
   const bool timing = obs::parallel_timing_enabled();
   arch::ThreadCpuTimer cpu;
   t_in_pool_run = true;
+  t_pool_participant = participant;
   if (sched_ == arch::Schedule::kDynamic) {
     std::ptrdiff_t c;
     while ((c = ticket_.fetch_add(1, std::memory_order_relaxed)) < nchunks_) {
@@ -82,6 +87,7 @@ void ThreadPool::participate(int participant) {
     }
   }
   t_in_pool_run = false;
+  t_pool_participant = -1;
   if (timing) {
     const double s = cpu.seconds();
     std::lock_guard<std::mutex> lock(stat_mu_);
@@ -127,15 +133,21 @@ void ThreadPool::run(std::ptrdiff_t nchunks, const std::function<void(std::ptrdi
     // the cancel token between chunks.
     const std::uint32_t fp = robust::save_fp_state();
     robust::install_denormal_ftz();
+    // Nested submission keeps the outer run's participant id; a
+    // single-participant pool executes as participant 0.
+    const int prev_participant = t_pool_participant;
+    if (prev_participant < 0) t_pool_participant = 0;
     for (std::ptrdiff_t c = 0; c < nchunks; ++c) {
       if (cancel != nullptr && cancel->expired()) break;
       try {
         fn(c);
       } catch (...) {
+        t_pool_participant = prev_participant;
         robust::restore_fp_state(fp);
         throw;
       }
     }
+    t_pool_participant = prev_participant;
     robust::restore_fp_state(fp);
     return;
   }

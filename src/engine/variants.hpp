@@ -5,6 +5,7 @@
 
 #include <cstddef>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "finbench/arch/aligned.hpp"
@@ -14,6 +15,8 @@
 #include "finbench/engine/request.hpp"
 #include "finbench/kernels/brownian.hpp"
 #include "finbench/kernels/montecarlo.hpp"
+#include "finbench/obs/flight_recorder.hpp"
+#include "finbench/obs/histogram.hpp"
 
 namespace finbench::engine {
 
@@ -88,6 +91,17 @@ struct Scratch {
   robust::SanitizeReport sanitize_report;
   std::vector<core::OptionSpec> sanitized_specs;
   robust::CancelToken token;
+
+  // --- Observability (engine-owned; finbench/obs) --------------------------
+  // Labeled latency histograms and the flight-recorder handle, resolved
+  // once per kernel id: the registry lookup builds the label string
+  // (kernel + layout) and takes the registry mutex, so the hot path must
+  // not repeat it per repetition — a steady-state pricing records through
+  // these cached pointers without allocating.
+  obs::Histogram* hist_request = nullptr;  // engine.request.seconds{...}
+  obs::Histogram* hist_chunk = nullptr;    // engine.chunk.seconds{...}
+  obs::FlightRecorder* flight = nullptr;
+  std::string hist_kernel_id;  // kernel id the cached handles belong to
 };
 
 // Ensure req.scratch exists; returns it.

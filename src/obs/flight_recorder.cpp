@@ -1,0 +1,176 @@
+#include "finbench/obs/flight_recorder.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <mutex>
+
+#include "finbench/obs/json.hpp"
+
+namespace finbench::obs {
+
+namespace {
+
+void copy_truncated(char* dst, std::size_t cap, const char* src) {
+  if (src == nullptr) {
+    dst[0] = '\0';
+    return;
+  }
+  std::size_t i = 0;
+  for (; i + 1 < cap && src[i] != '\0'; ++i) dst[i] = src[i];
+  dst[i] = '\0';
+}
+
+}  // namespace
+
+void FlightRecord::set_kernel(const char* id) { copy_truncated(kernel_id, sizeof kernel_id, id); }
+void FlightRecord::set_status(const char* s) { copy_truncated(status, sizeof status, s); }
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : slots_(std::max(capacity, kMinCapacity)) {}
+
+void FlightRecorder::record(const FlightRecord& r) {
+  const std::uint64_t t = head_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[static_cast<std::size_t>(t % slots_.size())];
+  slot.seq.store(2 * t + 1, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+  slot.rec = r;
+  slot.seq.store(2 * t + 2, std::memory_order_release);
+}
+
+std::vector<FlightRecord> FlightRecorder::snapshot() const {
+  const std::uint64_t head = head_.load(std::memory_order_acquire);
+  const std::uint64_t cap = slots_.size();
+  const std::uint64_t first = head > cap ? head - cap : 0;
+  std::vector<FlightRecord> out;
+  out.reserve(static_cast<std::size_t>(head - first));
+  for (std::uint64_t t = first; t < head; ++t) {
+    const Slot& slot = slots_[static_cast<std::size_t>(t % cap)];
+    const std::uint64_t want = 2 * t + 2;
+    if (slot.seq.load(std::memory_order_acquire) != want) continue;  // torn or recycled
+    FlightRecord copy = slot.rec;
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (slot.seq.load(std::memory_order_relaxed) != want) continue;  // overwritten mid-copy
+    out.push_back(copy);
+  }
+  return out;
+}
+
+void FlightRecorder::clear() {
+  head_.store(0, std::memory_order_relaxed);
+  for (Slot& s : slots_) {
+    s.seq.store(0, std::memory_order_relaxed);
+    s.rec = FlightRecord{};
+  }
+}
+
+// --- Process-wide recorder and dump state ------------------------------------
+
+namespace {
+
+struct FlightState {
+  std::mutex mu;                 // guards recorder swap and dump path
+  FlightRecorder* recorder = new FlightRecorder;
+  std::string dump_path = "finbench_flight.json";
+  std::atomic<bool> dumped{false};
+};
+
+FlightState& state() {
+  static FlightState* s = new FlightState;  // leaked: usable at teardown
+  return *s;
+}
+
+}  // namespace
+
+FlightRecorder& flight_recorder() {
+  FlightState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  return *s.recorder;
+}
+
+void set_flight_capacity(std::size_t capacity) {
+  FlightState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.recorder = new FlightRecorder(capacity);  // old one leaked: references stay valid
+}
+
+void set_flight_dump_path(std::string path) {
+  FlightState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.dump_path = std::move(path);
+}
+
+std::string flight_dump_path() {
+  FlightState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.dump_path;
+}
+
+bool write_flight_dump(const std::string& path, const std::string& reason) {
+  const std::vector<FlightRecord> records = flight_recorder().snapshot();
+
+  // The unpriced-range summary: chunks of the most recent request that
+  // never ran ("deadline" / "not_run"), as [begin, end) item ranges — the
+  // first question a deadline post-mortem asks.
+  std::uint64_t last_request = 0;
+  for (const FlightRecord& r : records) last_request = std::max(last_request, r.request_id);
+  std::vector<const FlightRecord*> unpriced;
+  for (const FlightRecord& r : records) {
+    if (r.request_id != last_request) continue;
+    if (std::strcmp(r.status, "deadline") == 0 || std::strcmp(r.status, "not_run") == 0) {
+      unpriced.push_back(&r);
+    }
+  }
+
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) return false;
+  json::Writer w(f);
+  w.begin_object();
+  w.kv("schema", "finbench.flight_dump/v1");
+  w.kv("reason", reason);
+  w.kv("capacity", static_cast<std::uint64_t>(flight_recorder().capacity()));
+  w.kv("total_recorded", flight_recorder().total_recorded());
+  w.kv("last_request_id", last_request);
+
+  w.key("unpriced_ranges");
+  w.begin_array();
+  for (const FlightRecord* r : unpriced) {
+    w.begin_array();
+    w.value(r->begin);
+    w.value(r->end);
+    w.end_array();
+  }
+  w.end_array();
+
+  w.key("records");
+  w.begin_array();
+  for (const FlightRecord& r : records) {
+    w.begin_object();
+    w.kv("request_id", r.request_id);
+    w.kv("chunk", static_cast<std::uint64_t>(r.chunk));
+    w.kv("worker", r.worker);
+    w.kv("begin", r.begin);
+    w.kv("end", r.end);
+    w.kv("start_us", r.start_us);
+    w.kv("end_us", r.end_us);
+    w.kv("kernel", std::string_view(r.kernel_id));
+    w.kv("status", std::string_view(r.status));
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  f << '\n';
+  return static_cast<bool>(f);
+}
+
+bool flight_auto_dump(const char* reason) {
+  FlightState& s = state();
+  if (s.dumped.exchange(true, std::memory_order_acq_rel)) return false;
+  return write_flight_dump(flight_dump_path(), reason != nullptr ? reason : "auto");
+}
+
+void reset_flight_auto_dump() {
+  state().dumped.store(false, std::memory_order_release);
+}
+
+}  // namespace finbench::obs

@@ -1,0 +1,243 @@
+#include "finbench/obs/histogram.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <new>
+
+#include "finbench/obs/flight_recorder.hpp"
+#include "finbench/obs/metrics.hpp"
+#include "finbench/obs/run_report.hpp"
+
+namespace finbench::obs {
+
+// --- Bucket geometry ---------------------------------------------------------
+
+int Histogram::bucket_index(std::uint64_t ns) {
+  if (ns >= kMaxTrackableNs) ns = kMaxTrackableNs - 1;
+  if (ns < kSubBuckets) return static_cast<int>(ns);
+  const int e = std::bit_width(ns) - 1;  // floor(log2), >= kSubBits
+  const int shift = e - kSubBits;
+  const int mantissa = static_cast<int>((ns >> shift) & (kSubBuckets - 1));
+  return ((shift + 1) << kSubBits) + mantissa;
+}
+
+std::uint64_t Histogram::bucket_lower_ns(int index) {
+  if (index < kSubBuckets) return static_cast<std::uint64_t>(index);
+  const int shift = (index >> kSubBits) - 1;
+  const std::uint64_t mantissa = static_cast<std::uint64_t>(index & (kSubBuckets - 1));
+  return (static_cast<std::uint64_t>(kSubBuckets) + mantissa) << shift;
+}
+
+std::uint64_t Histogram::bucket_upper_ns(int index) {
+  return index + 1 >= kBuckets ? kMaxTrackableNs : bucket_lower_ns(index + 1);
+}
+
+// --- Shards ------------------------------------------------------------------
+
+// One shard per thread-id residue class: a record() touches only this
+// thread's shard, so threads hammering the same histogram never contend
+// on a cache line (beyond residue collisions past kShards threads).
+struct alignas(64) Histogram::Shard {
+  std::atomic<std::uint64_t> count{0};
+  std::atomic<std::uint64_t> sum_ns{0};
+  std::atomic<std::uint64_t> min_ns{~std::uint64_t{0}};
+  std::atomic<std::uint64_t> max_ns{0};
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets{};
+};
+
+namespace {
+
+unsigned shard_of_thread() {
+  static std::atomic<unsigned> next{0};
+  thread_local const unsigned id = next.fetch_add(1, std::memory_order_relaxed);
+  return id % static_cast<unsigned>(Histogram::kShards);
+}
+
+void atomic_min(std::atomic<std::uint64_t>& slot, std::uint64_t v) {
+  std::uint64_t cur = slot.load(std::memory_order_relaxed);
+  while (v < cur && !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<std::uint64_t>& slot, std::uint64_t v) {
+  std::uint64_t cur = slot.load(std::memory_order_relaxed);
+  while (v > cur && !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+Histogram::Histogram() : shards_(new Shard[kShards]) {}
+Histogram::~Histogram() { delete[] shards_; }
+
+void Histogram::record_ns(std::uint64_t ns) {
+  Shard& s = shards_[shard_of_thread()];
+  s.count.fetch_add(1, std::memory_order_relaxed);
+  s.sum_ns.fetch_add(ns, std::memory_order_relaxed);
+  s.buckets[static_cast<std::size_t>(bucket_index(ns))].fetch_add(1,
+                                                                  std::memory_order_relaxed);
+  atomic_min(s.min_ns, ns);
+  atomic_max(s.max_ns, ns);
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot out;
+  out.buckets.assign(kBuckets, 0);
+  std::uint64_t min_seen = ~std::uint64_t{0};
+  for (int i = 0; i < kShards; ++i) {
+    const Shard& s = shards_[i];
+    out.count += s.count.load(std::memory_order_relaxed);
+    out.sum_ns += s.sum_ns.load(std::memory_order_relaxed);
+    min_seen = std::min(min_seen, s.min_ns.load(std::memory_order_relaxed));
+    out.max_ns = std::max(out.max_ns, s.max_ns.load(std::memory_order_relaxed));
+    for (int b = 0; b < kBuckets; ++b) {
+      out.buckets[static_cast<std::size_t>(b)] +=
+          s.buckets[static_cast<std::size_t>(b)].load(std::memory_order_relaxed);
+    }
+  }
+  if (out.count == 0) {
+    out.buckets.clear();
+    out.max_ns = 0;
+  } else {
+    out.min_ns = min_seen;
+  }
+  return out;
+}
+
+void Histogram::reset() {
+  for (int i = 0; i < kShards; ++i) {
+    Shard& s = shards_[i];
+    s.count.store(0, std::memory_order_relaxed);
+    s.sum_ns.store(0, std::memory_order_relaxed);
+    s.min_ns.store(~std::uint64_t{0}, std::memory_order_relaxed);
+    s.max_ns.store(0, std::memory_order_relaxed);
+    for (auto& b : s.buckets) b.store(0, std::memory_order_relaxed);
+  }
+}
+
+// --- Snapshot queries --------------------------------------------------------
+
+double Histogram::Snapshot::quantile(double q) const {
+  if (count == 0 || buckets.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the q-th observation (1-based, ceil), walked through the
+  // cumulative bucket counts; answer from the bucket midpoint, clamped to
+  // the exact observed min/max so degenerate distributions answer exactly.
+  std::uint64_t rank = static_cast<std::uint64_t>(q * static_cast<double>(count));
+  if (rank < 1) rank = 1;
+  if (rank > count) rank = count;
+  std::uint64_t seen = 0;
+  for (int b = 0; b < Histogram::kBuckets; ++b) {
+    seen += buckets[static_cast<std::size_t>(b)];
+    if (seen >= rank) {
+      const double mid = 0.5 * (static_cast<double>(Histogram::bucket_lower_ns(b)) +
+                                static_cast<double>(Histogram::bucket_upper_ns(b)));
+      const double clamped =
+          std::clamp(mid, static_cast<double>(min_ns), static_cast<double>(max_ns));
+      return 1e-9 * clamped;
+    }
+  }
+  return 1e-9 * static_cast<double>(max_ns);
+}
+
+std::uint64_t Histogram::Snapshot::cumulative_le(double seconds) const {
+  if (count == 0 || buckets.empty()) return 0;
+  if (seconds < 0.0) return 0;
+  const double ns = seconds * 1e9;
+  std::uint64_t total = 0;
+  for (int b = 0; b < Histogram::kBuckets; ++b) {
+    if (static_cast<double>(Histogram::bucket_upper_ns(b)) > ns) break;
+    total += buckets[static_cast<std::size_t>(b)];
+  }
+  return total;
+}
+
+void Histogram::Snapshot::merge(const Snapshot& other) {
+  if (other.count == 0) return;
+  if (count == 0) {
+    *this = other;
+    return;
+  }
+  count += other.count;
+  sum_ns += other.sum_ns;
+  min_ns = std::min(min_ns, other.min_ns);
+  max_ns = std::max(max_ns, other.max_ns);
+  for (std::size_t b = 0; b < buckets.size() && b < other.buckets.size(); ++b) {
+    buckets[b] += other.buckets[b];
+  }
+}
+
+// --- Registry ----------------------------------------------------------------
+
+namespace {
+
+struct HistogramRegistry {
+  std::mutex mu;
+  // node-based map: references remain valid across inserts. Key is
+  // name or name{labels}; the split halves ride along for snapshots.
+  struct Entry {
+    std::string name;
+    std::string labels;
+    std::unique_ptr<Histogram> hist;
+  };
+  std::map<std::string, Entry, std::less<>> entries;
+};
+
+HistogramRegistry& registry() {
+  static HistogramRegistry* r = new HistogramRegistry;  // leaked: usable at teardown
+  return *r;
+}
+
+}  // namespace
+
+Histogram& histogram(std::string_view name, std::string_view labels) {
+  std::string key(name);
+  if (!labels.empty()) {
+    key += '{';
+    key += labels;
+    key += '}';
+  }
+  HistogramRegistry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.entries.find(key);
+  if (it == r.entries.end()) {
+    HistogramRegistry::Entry e;
+    e.name = std::string(name);
+    e.labels = std::string(labels);
+    e.hist = std::make_unique<Histogram>();
+    it = r.entries.emplace(std::move(key), std::move(e)).first;
+  }
+  return *it->second.hist;
+}
+
+Histogram& histogram(std::string_view name) { return histogram(name, {}); }
+
+std::vector<HistogramEntry> snapshot_histograms() {
+  HistogramRegistry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::vector<HistogramEntry> out;
+  out.reserve(r.entries.size());
+  for (const auto& [key, e] : r.entries) {
+    out.push_back({e.name, e.labels, e.hist->snapshot()});
+  }
+  return out;
+}
+
+void reset_histograms() {
+  HistogramRegistry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (auto& [key, e] : r.entries) e.hist->reset();
+}
+
+void reset_for_testing() {
+  reset_metrics();
+  reset_histograms();
+  reset_measurements();
+  flight_recorder().clear();
+  reset_flight_auto_dump();
+}
+
+}  // namespace finbench::obs

@@ -1,0 +1,115 @@
+#include "finbench/obs/openmetrics.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <vector>
+
+#include "finbench/obs/histogram.hpp"
+#include "finbench/obs/metrics.hpp"
+
+namespace finbench::obs {
+
+namespace {
+
+// The `le` ladder for exported histograms, in seconds. Fixed and coarse
+// on purpose: the full ~620-bucket log-linear resolution lives in the run
+// report and the percentile queries; a scrape endpoint wants a dozen
+// stable boundaries a dashboard can alert on.
+constexpr double kLeLadder[] = {1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1,
+                                0.25, 0.5,  1.0,  2.5,  10.0, 60.0};
+
+// OpenMetrics floats: shortest round-trip-ish representation without
+// locale surprises; integral values print without an exponent.
+std::string format_value(double v) {
+  if (!std::isfinite(v)) return v > 0 ? "+Inf" : (v < 0 ? "-Inf" : "NaN");
+  char buf[64];
+  if (v == static_cast<double>(static_cast<long long>(v)) && std::fabs(v) < 1e15) {
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.9g", v);
+  }
+  return buf;
+}
+
+std::string format_value(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+void type_line(std::ostream& out, const std::string& family, const char* type) {
+  out << "# TYPE " << family << ' ' << type << '\n';
+}
+
+}  // namespace
+
+std::string openmetrics_name(std::string_view name) {
+  std::string out = "finbench_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+void write_openmetrics(std::ostream& out) {
+  const MetricsSnapshot snap = snapshot_metrics();
+
+  for (const auto& [name, v] : snap.counters) {
+    const std::string family = openmetrics_name(name);
+    type_line(out, family, "counter");
+    out << family << "_total " << format_value(v) << '\n';
+  }
+
+  for (const auto& [name, v] : snap.gauges) {
+    const std::string family = openmetrics_name(name);
+    type_line(out, family, "gauge");
+    out << family << ' ' << format_value(v) << '\n';
+  }
+
+  for (const auto& [name, s] : snap.stats) {
+    const std::string family = openmetrics_name(name);
+    type_line(out, family, "summary");
+    out << family << "_count " << format_value(s.count) << '\n';
+    out << family << "_sum " << format_value(s.sum) << '\n';
+  }
+
+  // Histograms sharing a family name (one per label set) must emit under
+  // one TYPE line, so group by exported family first.
+  std::map<std::string, std::vector<const HistogramEntry*>> families;
+  const std::vector<HistogramEntry> hists = snapshot_histograms();
+  for (const HistogramEntry& h : hists) {
+    families[openmetrics_name(h.name)].push_back(&h);
+  }
+  for (const auto& [family, entries] : families) {
+    type_line(out, family, "histogram");
+    for (const HistogramEntry* h : entries) {
+      const std::string prefix = h->labels.empty() ? "" : h->labels + ",";
+      for (const double le : kLeLadder) {
+        out << family << "_bucket{" << prefix << "le=\"" << format_value(le) << "\"} "
+            << format_value(h->snap.cumulative_le(le)) << '\n';
+      }
+      out << family << "_bucket{" << prefix << "le=\"+Inf\"} " << format_value(h->snap.count)
+          << '\n';
+      const std::string labels = h->labels.empty() ? "" : "{" + h->labels + "}";
+      out << family << "_sum" << labels << ' ' << format_value(h->snap.sum_seconds()) << '\n';
+      out << family << "_count" << labels << ' ' << format_value(h->snap.count) << '\n';
+    }
+  }
+
+  out << "# EOF\n";
+}
+
+bool write_openmetrics_file(const std::string& path) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) return false;
+  write_openmetrics(f);
+  return static_cast<bool>(f);
+}
+
+}  // namespace finbench::obs

@@ -10,6 +10,7 @@
 #include "finbench/arch/parallel.hpp"
 #include "finbench/arch/topology.hpp"
 #include "finbench/harness/report.hpp"
+#include "finbench/obs/histogram.hpp"
 #include "finbench/obs/json.hpp"
 #include "finbench/obs/metrics.hpp"
 #include "finbench/obs/perf_counters.hpp"
@@ -211,6 +212,43 @@ void write_metrics(json::Writer& w) {
   w.end_object();
 }
 
+// Every registered latency histogram, keyed by its registry key
+// (name or name{labels}): exact count/sum plus the bucketed percentiles.
+// Buckets themselves are exported sparsely (index -> count) so a report
+// stays compact even though each histogram spans ~620 buckets.
+void write_histograms(json::Writer& w) {
+  w.begin_object();
+  for (const auto& h : snapshot_histograms()) {
+    w.key(h.key());
+    w.begin_object();
+    w.kv("name", h.name);
+    w.kv("labels", h.labels);
+    w.kv("count", h.snap.count);
+    w.kv("sum_sec", h.snap.sum_seconds());
+    w.kv("mean_sec", h.snap.mean_seconds());
+    w.kv("min_sec", 1e-9 * static_cast<double>(h.snap.min_ns));
+    w.kv("max_sec", 1e-9 * static_cast<double>(h.snap.max_ns));
+    w.kv("p50", h.snap.p50());
+    w.kv("p90", h.snap.p90());
+    w.kv("p99", h.snap.p99());
+    w.kv("p999", h.snap.p999());
+    w.key("buckets");
+    w.begin_object();
+    for (std::size_t b = 0; b < h.snap.buckets.size(); ++b) {
+      if (h.snap.buckets[b] == 0) continue;
+      w.key(std::to_string(b));
+      w.begin_object();
+      w.kv("le_sec", 1e-9 * static_cast<double>(
+                                Histogram::bucket_upper_ns(static_cast<int>(b))));
+      w.kv("count", h.snap.buckets[b]);
+      w.end_object();
+    }
+    w.end_object();
+    w.end_object();
+  }
+  w.end_object();
+}
+
 // The robustness story of the run: the denormal policy the pool executed
 // under, plus every robust.* counter the sanitizer / guards / fallback /
 // deadline / fault-injection machinery bumped. The keys are fixed — a
@@ -278,7 +316,7 @@ bool write_run_report(const std::string& path, const harness::Report& report,
 
   json::Writer w(f);
   w.begin_object();
-  w.kv("schema", "finbench.run_report/v1");
+  w.kv("schema", "finbench.run_report/v2");
   w.kv("exhibit", report.exhibit());
   w.kv("units", report.units());
   w.kv("binary", ctx.binary);
@@ -308,6 +346,9 @@ bool write_run_report(const std::string& path, const harness::Report& report,
 
   w.key("metrics");
   write_metrics(w);
+
+  w.key("histograms");
+  write_histograms(w);
 
   w.key("robust");
   write_robust(w, ctx.denormal_mode);

@@ -145,7 +145,7 @@ TEST(RunReport, SchemaRoundTrips) {
   const auto doc = obs::json::parse_file(path);
   std::remove(path.c_str());
 
-  EXPECT_EQ(doc.at("schema").string, "finbench.run_report/v1");
+  EXPECT_EQ(doc.at("schema").string, "finbench.run_report/v2");
   EXPECT_EQ(doc.at("exhibit").string, "Round-trip exhibit");
   EXPECT_EQ(doc.at("units").string, "options/s");
   EXPECT_EQ(doc.at("binary").string, "test_harness");

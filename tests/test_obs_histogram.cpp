@@ -1,0 +1,470 @@
+// Tests for the second observability layer (finbench/obs): log-bucketed
+// latency histograms (bucket geometry, percentile accuracy, shard merging,
+// concurrent recording), the per-chunk flight recorder (ring wraparound,
+// concurrent-writer safety, JSON dumps), the OpenMetrics exporter, and
+// obs::reset_for_testing().
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <random>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "finbench/harness/report.hpp"
+#include "finbench/obs/obs.hpp"
+
+namespace {
+
+using namespace finbench;
+using obs::Histogram;
+
+// Serialize tests that mutate the process-wide obs state.
+class ObsHistogramGlobals : public ::testing::Test {
+ protected:
+  void SetUp() override { obs::reset_for_testing(); }
+  void TearDown() override { obs::reset_for_testing(); }
+};
+
+// --- Bucket geometry ----------------------------------------------------------
+
+TEST(HistogramBuckets, LinearRegionIsExact) {
+  for (std::uint64_t ns = 0; ns < Histogram::kSubBuckets; ++ns) {
+    const int idx = Histogram::bucket_index(ns);
+    EXPECT_EQ(idx, static_cast<int>(ns));
+    EXPECT_EQ(Histogram::bucket_lower_ns(idx), ns);
+    EXPECT_EQ(Histogram::bucket_upper_ns(idx), ns + 1);
+  }
+}
+
+TEST(HistogramBuckets, BoundariesRoundTrip) {
+  // Every value maps into a bucket whose [lower, upper) range contains it,
+  // and bucket edges are monotone.
+  std::uint64_t prev_upper = 0;
+  for (int idx = 0; idx < Histogram::kBuckets; ++idx) {
+    const std::uint64_t lo = Histogram::bucket_lower_ns(idx);
+    const std::uint64_t hi = Histogram::bucket_upper_ns(idx);
+    ASSERT_LT(lo, hi) << "bucket " << idx;
+    if (idx > 0) {
+      ASSERT_EQ(lo, prev_upper) << "gap before bucket " << idx;
+    }
+    prev_upper = hi;
+    EXPECT_EQ(Histogram::bucket_index(lo), idx);
+    EXPECT_EQ(Histogram::bucket_index(hi - 1), idx);
+  }
+  EXPECT_EQ(prev_upper, Histogram::kMaxTrackableNs);
+}
+
+TEST(HistogramBuckets, PowersOfTwoLandOnBucketLowerEdge) {
+  for (int e = Histogram::kSubBits; e <= Histogram::kMaxExponent; ++e) {
+    const std::uint64_t v = std::uint64_t{1} << e;
+    const int idx = Histogram::bucket_index(v);
+    EXPECT_EQ(Histogram::bucket_lower_ns(idx), v) << "2^" << e;
+  }
+}
+
+TEST(HistogramBuckets, RelativeErrorBounded) {
+  // The log-linear scheme promises <= 2^-kSubBits relative quantization
+  // error across the tracked range.
+  std::mt19937_64 rng(7);
+  for (int trial = 0; trial < 20000; ++trial) {
+    const int e = static_cast<int>(rng() % (Histogram::kMaxExponent + 1));
+    const std::uint64_t v = (std::uint64_t{1} << e) | (rng() & ((std::uint64_t{1} << e) - 1));
+    const int idx = Histogram::bucket_index(v);
+    const double lo = static_cast<double>(Histogram::bucket_lower_ns(idx));
+    const double hi = static_cast<double>(Histogram::bucket_upper_ns(idx));
+    const double width = hi - lo;
+    if (v >= Histogram::kSubBuckets) {
+      EXPECT_LE(width / lo, 1.0 / Histogram::kSubBuckets + 1e-12)
+          << "v=" << v << " idx=" << idx;
+    }
+  }
+}
+
+TEST(HistogramBuckets, OverflowClampsToTopBucket) {
+  EXPECT_EQ(Histogram::bucket_index(Histogram::kMaxTrackableNs), Histogram::kBuckets - 1);
+  EXPECT_EQ(Histogram::bucket_index(~std::uint64_t{0}), Histogram::kBuckets - 1);
+}
+
+// --- Recording and percentile queries ----------------------------------------
+
+TEST(Histogram, EmptySnapshotAnswersZero) {
+  Histogram h;
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.p50(), 0.0);
+  EXPECT_EQ(s.p99(), 0.0);
+  EXPECT_EQ(s.mean_seconds(), 0.0);
+  EXPECT_EQ(s.cumulative_le(1.0), 0u);
+}
+
+TEST(Histogram, SingleValueDistributionAnswersExactly) {
+  Histogram h;
+  for (int i = 0; i < 1000; ++i) h.record_ns(5000);
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.count, 1000u);
+  EXPECT_EQ(s.sum_ns, 5'000'000u);
+  EXPECT_EQ(s.min_ns, 5000u);
+  EXPECT_EQ(s.max_ns, 5000u);
+  // Degenerate distributions answer exactly: the midpoint is clamped to
+  // the observed min/max.
+  EXPECT_DOUBLE_EQ(s.p50(), 5000e-9);
+  EXPECT_DOUBLE_EQ(s.p99(), 5000e-9);
+  EXPECT_DOUBLE_EQ(s.p999(), 5000e-9);
+}
+
+TEST(Histogram, UniformDistributionPercentilesWithinBucketError) {
+  // 100k uniform draws on [1us, 1ms): percentiles must come back within
+  // the bucketing's ~6.25% relative error of the analytic quantile.
+  Histogram h;
+  std::mt19937_64 rng(42);
+  const double lo = 1e3, hi = 1e6;  // ns
+  std::uniform_real_distribution<double> u(lo, hi);
+  for (int i = 0; i < 100000; ++i) h.record_ns(static_cast<std::uint64_t>(u(rng)));
+  const auto s = h.snapshot();
+  ASSERT_EQ(s.count, 100000u);
+  for (const double q : {0.5, 0.9, 0.99, 0.999}) {
+    const double expect_ns = lo + q * (hi - lo);
+    const double got_ns = s.quantile(q) * 1e9;
+    EXPECT_NEAR(got_ns, expect_ns, 0.08 * expect_ns) << "q=" << q;
+  }
+}
+
+TEST(Histogram, ExponentialP99TailWithinBucketError) {
+  Histogram h;
+  std::mt19937_64 rng(11);
+  std::exponential_distribution<double> ex(1.0 / 50e3);  // mean 50us in ns
+  for (int i = 0; i < 200000; ++i) h.record_ns(static_cast<std::uint64_t>(ex(rng)));
+  const auto s = h.snapshot();
+  const double expect_p99 = -std::log(0.01) * 50e3;  // analytic q99 of Exp
+  EXPECT_NEAR(s.quantile(0.99) * 1e9, expect_p99, 0.10 * expect_p99);
+  // Mean is exact (count/sum are not bucketed).
+  EXPECT_NEAR(s.mean_seconds() * 1e9, 50e3, 0.02 * 50e3);
+}
+
+TEST(Histogram, RecordSecondsRoundsToNanoseconds) {
+  Histogram h;
+  h.record_seconds(1.5e-6);
+  h.record_seconds(0.0);
+  h.record_seconds(-3.0);  // clamped to 0
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_EQ(s.max_ns, 1500u);
+  EXPECT_EQ(s.min_ns, 0u);
+}
+
+TEST(Histogram, CumulativeLeCountsWholeBuckets) {
+  Histogram h;
+  for (int i = 0; i < 10; ++i) h.record_ns(100);    // 100ns
+  for (int i = 0; i < 5; ++i) h.record_ns(100000);  // 100us
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.cumulative_le(1e-6), 10u);   // 1us: only the 100ns records
+  EXPECT_EQ(s.cumulative_le(1e-3), 15u);   // 1ms: everything
+  EXPECT_EQ(s.cumulative_le(0.0), 0u);
+  EXPECT_EQ(s.cumulative_le(-1.0), 0u);
+}
+
+TEST(Histogram, MergeOfPartsEqualsWhole) {
+  // Recording a stream into one histogram must agree with splitting the
+  // stream across several and merging the snapshots — the exact operation
+  // snapshot() itself performs across thread shards.
+  Histogram whole, part_a, part_b, part_c;
+  std::mt19937_64 rng(3);
+  for (int i = 0; i < 30000; ++i) {
+    const std::uint64_t v = rng() % 10'000'000;
+    whole.record_ns(v);
+    (i % 3 == 0 ? part_a : i % 3 == 1 ? part_b : part_c).record_ns(v);
+  }
+  auto merged = part_a.snapshot();
+  merged.merge(part_b.snapshot());
+  merged.merge(part_c.snapshot());
+  const auto expect = whole.snapshot();
+  EXPECT_EQ(merged.count, expect.count);
+  EXPECT_EQ(merged.sum_ns, expect.sum_ns);
+  EXPECT_EQ(merged.min_ns, expect.min_ns);
+  EXPECT_EQ(merged.max_ns, expect.max_ns);
+  ASSERT_EQ(merged.buckets.size(), expect.buckets.size());
+  for (std::size_t b = 0; b < merged.buckets.size(); ++b) {
+    ASSERT_EQ(merged.buckets[b], expect.buckets[b]) << "bucket " << b;
+  }
+  EXPECT_DOUBLE_EQ(merged.p50(), expect.p50());
+  EXPECT_DOUBLE_EQ(merged.p999(), expect.p999());
+}
+
+TEST(Histogram, MergeIntoEmptyCopies) {
+  Histogram h;
+  h.record_ns(77);
+  Histogram::Snapshot empty;
+  empty.merge(h.snapshot());
+  EXPECT_EQ(empty.count, 1u);
+  EXPECT_EQ(empty.min_ns, 77u);
+}
+
+TEST(Histogram, ConcurrentRecordersLoseNothing) {
+  Histogram h;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.record_ns(static_cast<std::uint64_t>(1000 + t));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.count, static_cast<std::uint64_t>(kThreads) * kPerThread);
+  std::uint64_t bucketed = 0;
+  for (const auto b : s.buckets) bucketed += b;
+  EXPECT_EQ(bucketed, s.count);
+  EXPECT_EQ(s.min_ns, 1000u);
+  EXPECT_EQ(s.max_ns, 1000u + kThreads - 1);
+}
+
+TEST(Histogram, ResetZeroesEveryShard) {
+  Histogram h;
+  for (int i = 0; i < 100; ++i) h.record_ns(42);
+  h.reset();
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.sum_ns, 0u);
+}
+
+// --- Registry -----------------------------------------------------------------
+
+TEST_F(ObsHistogramGlobals, RegistryReturnsStableReferencesAndSnapshotsLabels) {
+  obs::Histogram& a = obs::histogram("test.hist");
+  obs::Histogram& b = obs::histogram("test.hist", "kernel=\"x\"");
+  EXPECT_NE(&a, &b);
+  EXPECT_EQ(&a, &obs::histogram("test.hist"));
+  EXPECT_EQ(&b, &obs::histogram("test.hist", "kernel=\"x\""));
+  a.record_ns(10);
+  b.record_ns(20);
+  bool saw_plain = false, saw_labeled = false;
+  for (const auto& e : obs::snapshot_histograms()) {
+    if (e.key() == "test.hist") {
+      saw_plain = true;
+      EXPECT_EQ(e.snap.count, 1u);
+      EXPECT_TRUE(e.labels.empty());
+    }
+    if (e.key() == "test.hist{kernel=\"x\"}") {
+      saw_labeled = true;
+      EXPECT_EQ(e.name, "test.hist");
+      EXPECT_EQ(e.labels, "kernel=\"x\"");
+    }
+  }
+  EXPECT_TRUE(saw_plain);
+  EXPECT_TRUE(saw_labeled);
+}
+
+TEST_F(ObsHistogramGlobals, ResetForTestingClearsValuesButKeepsHandles) {
+  obs::Histogram& h = obs::histogram("test.reset.hist");
+  obs::Counter& c = obs::counter("test.reset.counter");
+  h.record_ns(123);
+  c.add(5);
+  obs::flight_recorder().record(obs::FlightRecord{});
+  obs::reset_for_testing();
+  EXPECT_EQ(h.snapshot().count, 0u);
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_TRUE(obs::flight_recorder().snapshot().empty());
+  // Handles survive the reset (library statics keep recording).
+  h.record_ns(7);
+  EXPECT_EQ(obs::histogram("test.reset.hist").snapshot().count, 1u);
+}
+
+// --- Flight recorder ----------------------------------------------------------
+
+obs::FlightRecord make_record(std::uint64_t req, std::uint32_t chunk, const char* status) {
+  obs::FlightRecord r;
+  r.request_id = req;
+  r.chunk = chunk;
+  r.begin = chunk * 100;
+  r.end = (chunk + 1) * 100;
+  r.set_kernel("test.kernel");
+  r.set_status(status);
+  return r;
+}
+
+TEST(FlightRecorder, KeepsInsertionOrderBelowCapacity) {
+  obs::FlightRecorder rec(64);
+  for (std::uint32_t c = 0; c < 10; ++c) rec.record(make_record(1, c, "ok"));
+  const auto snap = rec.snapshot();
+  ASSERT_EQ(snap.size(), 10u);
+  for (std::uint32_t c = 0; c < 10; ++c) {
+    EXPECT_EQ(snap[c].chunk, c);
+    EXPECT_STREQ(snap[c].status, "ok");
+    EXPECT_STREQ(snap[c].kernel_id, "test.kernel");
+  }
+  EXPECT_EQ(rec.total_recorded(), 10u);
+}
+
+TEST(FlightRecorder, WraparoundKeepsTheLastCapacityRecords) {
+  obs::FlightRecorder rec(16);
+  for (std::uint32_t c = 0; c < 100; ++c) rec.record(make_record(2, c, "ok"));
+  const auto snap = rec.snapshot();
+  ASSERT_EQ(snap.size(), 16u);
+  // Oldest first: records 84..99.
+  for (std::size_t i = 0; i < snap.size(); ++i) {
+    EXPECT_EQ(snap[i].chunk, 84u + i);
+  }
+  EXPECT_EQ(rec.total_recorded(), 100u);
+}
+
+TEST(FlightRecorder, TruncatesOverlongKernelAndStatus) {
+  obs::FlightRecord r;
+  const std::string long_id(200, 'k');
+  r.set_kernel(long_id.c_str());
+  r.set_status("a-status-string-way-over-twelve");
+  EXPECT_EQ(std::string(r.kernel_id).size(), sizeof r.kernel_id - 1);
+  EXPECT_EQ(std::string(r.status).size(), sizeof r.status - 1);
+}
+
+TEST(FlightRecorder, ConcurrentWritersNeverTearRecords) {
+  obs::FlightRecorder rec(256);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::atomic<bool> stop{false};
+  // Readers snapshot continuously while writers hammer the ring; every
+  // surfaced record must be internally consistent (the seqlock discards
+  // torn slots rather than surfacing mixed payloads).
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      for (const auto& r : rec.snapshot()) {
+        ASSERT_EQ(r.end, r.begin + 100) << "torn record surfaced";
+        ASSERT_EQ(r.request_id, r.chunk / 1000 + 1) << "torn record surfaced";
+      }
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&rec, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const auto chunk = static_cast<std::uint32_t>(t * kPerThread + i);
+        auto r = make_record(chunk / 1000 + 1, chunk, "ok");
+        rec.record(r);
+      }
+    });
+  }
+  for (auto& w : writers) w.join();
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+  EXPECT_EQ(rec.total_recorded(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(rec.snapshot().size(), 256u);
+}
+
+TEST_F(ObsHistogramGlobals, FlightDumpNamesUnpricedRangesOfLastRequest) {
+  obs::FlightRecorder& rec = obs::flight_recorder();
+  // An earlier healthy request, then a deadline-hit one.
+  for (std::uint32_t c = 0; c < 4; ++c) rec.record(make_record(1, c, "ok"));
+  rec.record(make_record(2, 0, "ok"));
+  rec.record(make_record(2, 1, "deadline"));
+  rec.record(make_record(2, 2, "not_run"));
+  const std::string path = ::testing::TempDir() + "flight_dump_test.json";
+  ASSERT_TRUE(obs::write_flight_dump(path, "unit_test"));
+  const auto doc = obs::json::parse_file(path);
+  EXPECT_EQ(doc.at("schema").string, "finbench.flight_dump/v1");
+  EXPECT_EQ(doc.at("reason").string, "unit_test");
+  EXPECT_EQ(static_cast<std::uint64_t>(doc.at("last_request_id").number), 2u);
+  const auto& unpriced = doc.at("unpriced_ranges").array;
+  ASSERT_EQ(unpriced.size(), 2u);  // request 2's deadline + not_run chunks only
+  EXPECT_EQ(unpriced[0].array[0].number, 100.0);
+  EXPECT_EQ(unpriced[0].array[1].number, 200.0);
+  EXPECT_EQ(unpriced[1].array[0].number, 200.0);
+  EXPECT_EQ(unpriced[1].array[1].number, 300.0);
+  EXPECT_EQ(doc.at("records").array.size(), 7u);
+  std::remove(path.c_str());
+}
+
+TEST_F(ObsHistogramGlobals, AutoDumpFiresOncePerProcessUntilRearmed) {
+  const std::string path = ::testing::TempDir() + "flight_auto_test.json";
+  obs::set_flight_dump_path(path);
+  obs::flight_recorder().record(make_record(9, 0, "failed"));
+  EXPECT_TRUE(obs::flight_auto_dump("kernel_error"));
+  EXPECT_FALSE(obs::flight_auto_dump("kernel_error"));  // latched
+  obs::reset_flight_auto_dump();
+  EXPECT_TRUE(obs::flight_auto_dump("kernel_error"));
+  obs::set_flight_dump_path("finbench_flight.json");
+  std::remove(path.c_str());
+}
+
+// --- OpenMetrics exporter -----------------------------------------------------
+
+TEST_F(ObsHistogramGlobals, OpenMetricsNameTransliterates) {
+  EXPECT_EQ(obs::openmetrics_name("engine.request.seconds"),
+            "finbench_engine_request_seconds");
+  EXPECT_EQ(obs::openmetrics_name("a-b c"), "finbench_a_b_c");
+}
+
+TEST_F(ObsHistogramGlobals, OpenMetricsOutputIsWellFormed) {
+  obs::counter("test.om.requests").add(3);
+  obs::gauge("test.om.temp").set(1.5);
+  obs::stat("test.om.stat").record(2.0);
+  obs::histogram("test.om.lat", "kernel=\"k1\"").record_ns(1000);
+  obs::histogram("test.om.lat", "kernel=\"k2\"").record_ns(2000);
+  std::ostringstream out;
+  obs::write_openmetrics(out);
+  const std::string text = out.str();
+
+  // Terminates with the mandatory EOF marker.
+  EXPECT_NE(text.find("# EOF\n"), std::string::npos);
+  EXPECT_EQ(text.rfind("# EOF\n"), text.size() - 6);
+  // Counter family: TYPE line + _total sample.
+  EXPECT_NE(text.find("# TYPE finbench_test_om_requests counter\n"), std::string::npos);
+  EXPECT_NE(text.find("finbench_test_om_requests_total 3\n"), std::string::npos);
+  // Gauge and summary.
+  EXPECT_NE(text.find("# TYPE finbench_test_om_temp gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE finbench_test_om_stat summary\n"), std::string::npos);
+  EXPECT_NE(text.find("finbench_test_om_stat_count 1\n"), std::string::npos);
+  // Histogram family: ONE TYPE line shared by both label sets, cumulative
+  // buckets ending at +Inf == count, plus _sum/_count per label set.
+  std::size_t type_lines = 0, pos = 0;
+  while ((pos = text.find("# TYPE finbench_test_om_lat histogram\n", pos)) !=
+         std::string::npos) {
+    ++type_lines;
+    ++pos;
+  }
+  EXPECT_EQ(type_lines, 1u);
+  EXPECT_NE(text.find("finbench_test_om_lat_bucket{kernel=\"k1\",le=\"+Inf\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("finbench_test_om_lat_bucket{kernel=\"k2\",le=\"+Inf\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("finbench_test_om_lat_count{kernel=\"k1\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("finbench_test_om_lat_sum{kernel=\"k2\"}"), std::string::npos);
+  // Cumulative monotonicity along the le ladder for k1.
+  std::uint64_t prev = 0;
+  pos = 0;
+  while ((pos = text.find("finbench_test_om_lat_bucket{kernel=\"k1\",le=", pos)) !=
+         std::string::npos) {
+    const std::size_t sp = text.find("} ", pos);
+    const std::uint64_t v = std::strtoull(text.c_str() + sp + 2, nullptr, 10);
+    EXPECT_GE(v, prev);
+    prev = v;
+    ++pos;
+  }
+  EXPECT_EQ(prev, 1u);
+}
+
+TEST_F(ObsHistogramGlobals, RunReportV2CarriesHistogramPercentiles) {
+  obs::Histogram& h = obs::histogram("test.report.lat", "kernel=\"rk\"");
+  for (int i = 0; i < 100; ++i) h.record_ns(10000 + i);
+  harness::Report report("test", "items/s");
+  const std::string path = ::testing::TempDir() + "report_v2_test.json";
+  ASSERT_TRUE(obs::write_run_report(path, report, {}));
+  const auto doc = obs::json::parse_file(path);
+  EXPECT_EQ(doc.at("schema").string, "finbench.run_report/v2");
+  const auto& hist = doc.at("histograms").at("test.report.lat{kernel=\"rk\"}");
+  EXPECT_EQ(static_cast<std::uint64_t>(hist.at("count").number), 100u);
+  EXPECT_GT(hist.at("p50").number, 0.0);
+  EXPECT_GE(hist.at("p99").number, hist.at("p50").number);
+  EXPECT_FALSE(hist.at("buckets").object.empty());
+  std::remove(path.c_str());
+}
+
+}  // namespace

@@ -9,8 +9,10 @@
 
 #include <cmath>
 #include <cstdint>
+#include <cstdio>
 #include <limits>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -20,6 +22,8 @@
 #include "finbench/core/workload.hpp"
 #include "finbench/engine/engine.hpp"
 #include "finbench/engine/registry.hpp"
+#include "finbench/obs/flight_recorder.hpp"
+#include "finbench/obs/json.hpp"
 #include "finbench/obs/metrics.hpp"
 #include "finbench/robust/robust.hpp"
 
@@ -549,6 +553,38 @@ TEST(EngineRobust, DeadlineYieldsPartialResultsWithPerChunkStatus) {
   for (double v : res.values) (std::isfinite(v) ? finite : nan)++;
   EXPECT_EQ(finite, res.items);
   EXPECT_EQ(nan, workload.size() - res.items);
+
+  // The flight recorder saw the whole story: one record per executed
+  // chunk, one per deadline-skipped chunk, all under this request's id —
+  // and an on-demand dump names the unpriced item ranges.
+  std::size_t flight_ok = 0, flight_deadline = 0;
+  for (const auto& r : obs::flight_recorder().snapshot()) {
+    if (r.request_id != res.request_id) continue;
+    if (std::string_view(r.status) == "ok") ++flight_ok;
+    if (std::string_view(r.status) == "deadline") ++flight_deadline;
+  }
+  EXPECT_EQ(flight_ok, ran);
+  EXPECT_EQ(flight_deadline, skipped);
+
+  const std::string dump_path = ::testing::TempDir() + "robust_flight_dump.json";
+  ASSERT_TRUE(obs::write_flight_dump(dump_path, "deadline_test"));
+  const auto doc = obs::json::parse_file(dump_path);
+  EXPECT_EQ(doc.at("schema").string, "finbench.flight_dump/v1");
+  EXPECT_EQ(static_cast<std::uint64_t>(doc.at("last_request_id").number), res.request_id);
+  const auto& unpriced = doc.at("unpriced_ranges").array;
+  ASSERT_EQ(unpriced.size(), skipped);
+  std::size_t unpriced_items = 0;
+  for (const auto& range : unpriced) {
+    ASSERT_EQ(range.array.size(), 2u);
+    const auto begin = static_cast<std::size_t>(range.array[0].number);
+    const auto end = static_cast<std::size_t>(range.array[1].number);
+    ASSERT_LT(begin, end);
+    unpriced_items += end - begin;
+    // Every item of a dumped unpriced range really is unpriced (NaN).
+    for (std::size_t i = begin; i < end; ++i) EXPECT_TRUE(std::isnan(res.values[i])) << i;
+  }
+  EXPECT_EQ(unpriced_items, workload.size() - res.items);
+  std::remove(dump_path.c_str());
 }
 
 TEST(EngineRobust, PreCancelledTokenPricesNothing) {

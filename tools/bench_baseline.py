@@ -7,13 +7,16 @@ Usage:
                       [--assert-blocked]
 
 Runs the Fig. 4 exhibit with `--json`, validates the report against the
-finbench.run_report/v1 schema (via validate_report_json.py, same
+finbench.run_report/v2 schema (via validate_report_json.py, same
 directory), and writes it to --out. With --assert-blocked it additionally
 enforces the PR5 perf gate: the "Blocked SIMD incl. AOS->blocked
 conversion" row must exist and its throughput must be at least 1.0x the
 "SOA SIMD incl. AOS<->SOA conversion" row's (a loose gate — the fused
 block-local conversion should win by much more; the 1.0x floor keeps the
-check robust on noisy shared CI hosts).
+check robust on noisy shared CI hosts). The v2 per-repetition latency
+histograms ride along in the captured report; the summary line prints the
+blocked row's p50/p99 so tail behaviour is recorded next to the best-of
+throughput.
 
 Exits non-zero with a message on the first violation. CI runs this in the
 perf-smoke job; keep the captured baseline out of version control unless
@@ -28,6 +31,9 @@ from pathlib import Path
 
 BLOCKED_ROW = "Blocked SIMD incl. AOS->blocked conversion"
 SOA_ROW = "SOA SIMD incl. AOS<->SOA conversion"
+# The per-repetition latency histogram behind the blocked row: bench labels
+# are the short measurement names, not the report row labels.
+BLOCKED_HIST = 'bench.rep.seconds{label="bs.blocked_conv"}'
 
 
 def find_row(report, label):
@@ -96,6 +102,13 @@ def main():
         if b < s:
             sys.exit("bench_baseline: blocked incl. conversion row is slower than "
                      "the SOA incl. conversion row (gate: >= 1.0x)")
+        hist = report.get("histograms", {}).get(BLOCKED_HIST)
+        if hist is None or hist.get("count", 0) < args.reps:
+            sys.exit(f"bench_baseline: report has no populated {BLOCKED_HIST!r} "
+                     "histogram (per-rep latency recording broken?)")
+        print(f"bench_baseline: blocked incl. conversion rep latency: "
+              f"p50 = {1e3 * hist['p50']:.2f} ms, p99 = {1e3 * hist['p99']:.2f} ms "
+              f"over {hist['count']} reps")
 
     return 0
 

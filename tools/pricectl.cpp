@@ -9,6 +9,7 @@
 //            [--spy N] [--reps N] [--threads N] [--json PATH] [--csv PATH]
 //            [--trace PATH] [--sanitize off|reject|clamp|skip]
 //            [--guard off|finite|full] [--deadline-ms N] [--inject SPEC]
+//            [--metrics PATH|-] [--watch MS] [--flight-dump PATH]
 //
 // --kernel runs kSpecs workloads through the batched engine (persistent
 // thread pool, cost-model-weighted chunks, --schedule selects dynamic
@@ -21,7 +22,7 @@
 // `layout`/`convert_seconds` fields. --spy N prices a mixed-expiry lattice
 // portfolio at N steps/year of expiry — the heterogeneous workload whose
 // imbalance the dynamic schedule exists to absorb. The run report (--json)
-// follows finbench.run_report/v1, identical to the fig/tab binaries.
+// follows finbench.run_report/v2, identical to the fig/tab binaries.
 //
 // Robustness controls (docs/robustness.md): --sanitize picks the input
 // policy, --guard the output guardrail mode, --deadline-ms arms a
@@ -31,16 +32,31 @@
 // fault classes run inside the engine. A degraded-but-complete run (one
 // that survived injection through sanitize/guard/fallback) exits 0 and
 // reports the degradation in the `robust` notes and obs counters.
+//
+// Observability (docs/observability.md): --metrics scrapes the whole
+// metrics + histogram registry as OpenMetrics text after the run ("-"
+// streams to stdout and suppresses the report table, so stdout is a pure
+// exposition); --watch MS prints a live latency view (request counts,
+// per-kernel p50/p90/p99) to stderr every MS milliseconds while the run
+// is in flight; --flight-dump writes the per-chunk flight recorder as
+// JSON after the run, and also redirects the engine's automatic
+// post-mortem dump (deadline / kernel error / quarantine) to that path.
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
+#include <iostream>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_common.hpp"
+#include "finbench/obs/flight_recorder.hpp"
+#include "finbench/obs/openmetrics.hpp"
 #include "finbench/core/portfolio.hpp"
 #include "finbench/core/workload.hpp"
 #include "finbench/engine/engine.hpp"
@@ -84,6 +100,26 @@ int run_validate(std::size_t nopt) {
   return failed == 0 ? 0 : 1;
 }
 
+// One line per live latency view: request/item counters plus the
+// per-kernel end-to-end percentiles. Written to stderr so it interleaves
+// with (rather than corrupts) the report table and --metrics on stdout.
+void print_live_metrics() {
+  std::uint64_t requests = 0, items = 0;
+  for (const auto& [name, v] : obs::snapshot_metrics().counters) {
+    if (name == "engine.requests") requests = v;
+    else if (name == "engine.items") items = v;
+  }
+  std::fprintf(stderr, "[watch] engine.requests=%" PRIu64 " engine.items=%" PRIu64 "\n",
+               requests, items);
+  for (const auto& h : obs::snapshot_histograms()) {
+    if (h.name != "engine.request.seconds" || h.snap.count == 0) continue;
+    std::fprintf(stderr,
+                 "[watch]   %s n=%" PRIu64 " p50=%.4gms p90=%.4gms p99=%.4gms max=%.4gms\n",
+                 h.key().c_str(), h.snap.count, 1e3 * h.snap.p50(), 1e3 * h.snap.p90(),
+                 1e3 * h.snap.p99(), 1e-6 * static_cast<double>(h.snap.max_ns));
+  }
+}
+
 void print_parallel_stats() {
   for (const auto& [name, s] : obs::snapshot_metrics().stats) {
     if (name.rfind("parallel.", 0) == 0 && name.find(".imbalance") != std::string::npos &&
@@ -103,6 +139,9 @@ int main(int argc, char** argv) {
   std::string kernel_id;
   std::string layout_flag = "auto";
   std::string inject_spec;
+  std::string metrics_path;
+  std::string flight_path;
+  int watch_ms = 0;
   std::size_t nopt = 0;
   engine::PricingRequest req;
   int spy = 0;
@@ -156,6 +195,12 @@ int main(int argc, char** argv) {
       req.deadline_seconds = static_cast<double>(next(0)) * 1e-3;
     } else if (!std::strcmp(argv[i], "--inject") && i + 1 < argc) {
       inject_spec = argv[++i];
+    } else if (!std::strcmp(argv[i], "--metrics") && i + 1 < argc) {
+      metrics_path = argv[++i];
+    } else if (!std::strcmp(argv[i], "--flight-dump") && i + 1 < argc) {
+      flight_path = argv[++i];
+    } else if (!std::strcmp(argv[i], "--watch")) {
+      watch_ms = static_cast<int>(next(0));
     }
   }
 
@@ -178,7 +223,8 @@ int main(int argc, char** argv) {
                  "               [--seed N] [--spy N] [--reps N] [--threads N]\n"
                  "               [--csv PATH] [--trace PATH]\n"
                  "               [--sanitize off|reject|clamp|skip] [--guard off|finite|full]\n"
-                 "               [--deadline-ms N] [--inject SPEC]\n");
+                 "               [--deadline-ms N] [--inject SPEC]\n"
+                 "               [--metrics PATH|-] [--watch MS] [--flight-dump PATH]\n");
     return 2;
   }
 
@@ -248,6 +294,24 @@ int main(int argc, char** argv) {
   }
   req.portfolio = pf.view();
 
+  // Route the engine's automatic post-mortem dump to the requested path
+  // before anything can trigger it.
+  if (!flight_path.empty()) obs::set_flight_dump_path(flight_path);
+
+  // Live view: a sampling thread prints the latency state every watch_ms
+  // until the measurement completes (plus one final sample), so a long
+  // run is observable while it is still in flight.
+  std::atomic<bool> watch_stop{false};
+  std::thread watcher;
+  if (watch_ms > 0) {
+    watcher = std::thread([watch_ms, &watch_stop] {
+      while (!watch_stop.load(std::memory_order_relaxed)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(watch_ms));
+        print_live_metrics();
+      }
+    });
+  }
+
   engine::Engine& eng = engine::Engine::shared();
   engine::PricingResult last;
   const double rate = bench::items_per_sec(kernel_id.c_str(), items, opts.reps, [&] {
@@ -259,6 +323,12 @@ int main(int argc, char** argv) {
       throw std::runtime_error(last.status.to_string());
     }
   });
+
+  if (watcher.joinable()) {
+    watch_stop.store(true, std::memory_order_relaxed);
+    watcher.join();
+    print_live_metrics();
+  }
 
   // Layout provenance: what the request carried, what the variant needed,
   // and what the negotiation cost (one-time; the converted buffer is
@@ -312,7 +382,31 @@ int main(int argc, char** argv) {
   const double bytes = v->bytes_per_item ? v->bytes_per_item(req) : 0.0;
   const int w = v->width == 0 ? vecmath::max_width() : v->width;
   report.add_row(proj.make_row(v->description, rate, flops, bytes, w, w));
-  bench::finish(report, opts);
-  print_parallel_stats();
+  // `--metrics -` claims stdout for the OpenMetrics exposition, so the
+  // report table and parallel stats are suppressed (the JSON/CSV/trace
+  // exports still run) — scrapers get a pure document they can pipe
+  // straight into a validator or a pushgateway.
+  if (metrics_path == "-") {
+    bench::finish_quiet(report, opts);
+  } else {
+    bench::finish(report, opts);
+    print_parallel_stats();
+  }
+
+  // One-shot OpenMetrics scrape of everything the run recorded.
+  if (!metrics_path.empty()) {
+    if (metrics_path == "-") {
+      obs::write_openmetrics(std::cout);
+    } else if (!obs::write_openmetrics_file(metrics_path)) {
+      std::fprintf(stderr, "warning: could not write OpenMetrics to %s\n", metrics_path.c_str());
+    }
+  }
+
+  // On-demand flight dump (the engine may already have auto-dumped to the
+  // same path on a deadline / kernel error; this rewrite includes every
+  // record up to now, so it is strictly fresher).
+  if (!flight_path.empty() && !obs::write_flight_dump(flight_path, "on_demand")) {
+    std::fprintf(stderr, "warning: could not write flight dump to %s\n", flight_path.c_str());
+  }
   return 0;
 }

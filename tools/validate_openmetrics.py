@@ -1,0 +1,190 @@
+#!/usr/bin/env python3
+"""Validate an OpenMetrics text scrape (`pricectl --metrics`).
+
+Usage:
+    validate_openmetrics.py metrics.txt [--require-metric NAME]
+
+Structural checks against the OpenMetrics text format as finbench emits it
+(docs/observability.md):
+
+  * every exposition line is `# TYPE`, `# EOF`, or a well-formed sample
+    `name{labels} value`
+  * the document ends with exactly one `# EOF` line and nothing after it
+  * every sample belongs to a family announced by a `# TYPE` line, and each
+    family is announced at most once
+  * counter samples use the `_total` suffix and are non-negative
+  * histogram families expose `_bucket` (with an `le` label), `_sum`, and
+    `_count` per label set; bucket counts are monotone non-decreasing in
+    `le`, finish with an `le="+Inf"` bucket, and the +Inf bucket equals
+    `_count`
+  * summary families expose `_sum` and `_count` per label set
+
+`--require-metric NAME` (repeatable) additionally demands a sample for
+NAME — CI uses it to prove the engine latency families made it into the
+scrape. Exits non-zero with a message on the first violation.
+"""
+
+import argparse
+import math
+import re
+import sys
+
+SAMPLE_RE = re.compile(
+    r'^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)'
+    r'(?:\{(?P<labels>.*)\})?'
+    r' (?P<value>\S+)(?: \S+)?$')
+LABEL_RE = re.compile(r'(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<val>(?:[^"\\]|\\.)*)"')
+
+
+def fail(msg):
+    print(f"validate_openmetrics: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def parse_value(text, where):
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    try:
+        return float(text)
+    except ValueError:
+        fail(f"{where}: unparseable sample value {text!r}")
+
+
+def parse_labels(raw, where):
+    """Return the label dict and the label string minus any `le` pair."""
+    labels = {}
+    consumed = 0
+    for m in LABEL_RE.finditer(raw):
+        labels[m.group("key")] = m.group("val")
+        consumed += len(m.group(0))
+    leftover = len(raw) - consumed - raw.count(",")
+    if leftover not in (0,):
+        fail(f"{where}: malformed label pairs in {{{raw}}}")
+    return labels
+
+
+def family_of(name):
+    """Strip the sample-name suffix down to the family name."""
+    for suffix in ("_bucket", "_sum", "_count", "_total"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def validate(path, required):
+    with open(path) as f:
+        lines = f.read().split("\n")
+    if lines and lines[-1] == "":
+        lines.pop()
+    if not lines:
+        fail(f"{path}: empty document")
+    if lines[-1] != "# EOF":
+        fail(f"{path}: document must end with '# EOF', got {lines[-1]!r}")
+    if lines.count("# EOF") != 1:
+        fail(f"{path}: '# EOF' must appear exactly once, at the end")
+
+    types = {}     # family -> metric type
+    samples = []   # (name, labels dict, value, line number)
+    for n, line in enumerate(lines[:-1], start=1):
+        where = f"{path}:{n}"
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4:
+                fail(f"{where}: malformed TYPE line {line!r}")
+            _, _, family, mtype = parts
+            if mtype not in ("counter", "gauge", "histogram", "summary",
+                             "unknown", "info", "stateset", "gaugehistogram"):
+                fail(f"{where}: unknown metric type {mtype!r}")
+            if family in types:
+                fail(f"{where}: family '{family}' announced twice")
+            types[family] = mtype
+            continue
+        if line.startswith("#"):
+            fail(f"{where}: unexpected comment/metadata line {line!r}")
+        m = SAMPLE_RE.match(line)
+        if not m:
+            fail(f"{where}: unparseable sample line {line!r}")
+        labels = parse_labels(m.group("labels") or "", where)
+        value = parse_value(m.group("value"), where)
+        samples.append((m.group("name"), labels, value, n))
+
+    if not samples:
+        fail(f"{path}: no samples")
+
+    # Group histogram/summary series per family and label set (minus `le`).
+    series = {}
+    for name, labels, value, n in samples:
+        family = family_of(name)
+        if family not in types:
+            fail(f"{path}:{n}: sample '{name}' has no '# TYPE {family}' line")
+        mtype = types[family]
+        where = f"{path}:{n}"
+        if mtype == "counter":
+            if not name.endswith("_total"):
+                fail(f"{where}: counter sample '{name}' must use the _total suffix")
+            if value < 0:
+                fail(f"{where}: counter '{name}' is negative")
+        elif mtype in ("histogram", "summary"):
+            key_labels = {k: v for k, v in labels.items() if k != "le"}
+            key = (family, tuple(sorted(key_labels.items())))
+            entry = series.setdefault(key, {"buckets": [], "sum": None,
+                                            "count": None, "type": mtype})
+            if name.endswith("_bucket"):
+                if mtype != "histogram":
+                    fail(f"{where}: _bucket sample in non-histogram family '{family}'")
+                if "le" not in labels:
+                    fail(f"{where}: histogram bucket without an 'le' label")
+                entry["buckets"].append((parse_value(labels["le"], where), value, n))
+            elif name.endswith("_sum"):
+                entry["sum"] = value
+            elif name.endswith("_count"):
+                entry["count"] = value
+            else:
+                fail(f"{where}: sample '{name}' not a _bucket/_sum/_count of '{family}'")
+
+    for (family, label_key), entry in series.items():
+        ident = f"{family}{{{', '.join('='.join(kv) for kv in label_key)}}}"
+        if entry["sum"] is None:
+            fail(f"{path}: {ident} missing _sum")
+        if entry["count"] is None:
+            fail(f"{path}: {ident} missing _count")
+        if entry["type"] != "histogram":
+            continue
+        buckets = entry["buckets"]
+        if not buckets:
+            fail(f"{path}: histogram {ident} has no _bucket samples")
+        les = [le for le, _, _ in buckets]
+        if les != sorted(les):
+            fail(f"{path}: histogram {ident} buckets not ordered by le")
+        if les[-1] != math.inf:
+            fail(f"{path}: histogram {ident} missing le=\"+Inf\" bucket")
+        counts = [c for _, c, _ in buckets]
+        if any(b > a for b, a in zip(counts, counts[1:])):
+            fail(f"{path}: histogram {ident} bucket counts not monotone")
+        if counts[-1] != entry["count"]:
+            fail(f"{path}: histogram {ident} +Inf bucket ({counts[-1]:g}) != "
+                 f"_count ({entry['count']:g})")
+
+    names = {name for name, _, _, _ in samples}
+    for req in required:
+        if req not in names:
+            fail(f"{path}: required metric '{req}' has no samples")
+
+    histograms = sum(1 for e in series.values() if e["type"] == "histogram")
+    print(f"validate_openmetrics: OK: {path} ({len(samples)} samples, "
+          f"{len(types)} families, {histograms} histogram series)")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("path", help="OpenMetrics text file (pricectl --metrics)")
+    ap.add_argument("--require-metric", action="append", default=[],
+                    metavar="NAME", help="demand a sample named NAME (repeatable)")
+    args = ap.parse_args()
+    validate(args.path, args.require_metric)
+
+
+if __name__ == "__main__":
+    main()

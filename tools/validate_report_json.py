@@ -3,12 +3,15 @@
 
 Usage:
     validate_report_json.py --report run.json [--trace trace.json]
+                            [--require-histogram PREFIX]
 
-Checks that a `--json` run report conforms to the finbench.run_report/v1
+Checks that a `--json` run report conforms to the finbench.run_report/v2
 schema (docs/observability.md) and, optionally, that a `--trace` file is a
 loadable Chrome trace_event document with well-formed complete events.
-Exits non-zero with a message on the first violation; CI runs this after a
-smoke bench invocation.
+`--require-histogram PREFIX` (repeatable) additionally demands at least one
+non-empty histogram whose name starts with PREFIX — CI uses it to prove the
+engine latency histograms actually recorded. Exits non-zero with a message
+on the first violation; CI runs this after a smoke bench invocation.
 """
 
 import argparse
@@ -32,6 +35,7 @@ REPORT_REQUIRED = {
     "checks": list,
     "measurements": list,
     "metrics": dict,
+    "histograms": dict,
     "robust": dict,
     "perf": dict,
     "trace": dict,
@@ -43,6 +47,11 @@ HOST_REQUIRED = ["brand", "logical_cpus", "ghz", "cache_bytes", "dp_gflops_peak"
 ROW_REQUIRED = ["label", "host_items_per_sec", "snb_projected", "knc_projected",
                 "paper_snb", "paper_knc", "width", "flops_per_item",
                 "bytes_per_item", "roofline_efficiency"]
+
+# Every entry in the v2 `histograms` object carries the full snapshot:
+# identity, moments, quantiles, and the sparse bucket map.
+HIST_REQUIRED = ["name", "labels", "count", "sum_sec", "mean_sec", "min_sec",
+                 "max_sec", "p50", "p90", "p99", "p999", "buckets"]
 
 # The robust object has a fixed counter schema: a clean run reports
 # explicit zeros rather than omitting keys (docs/robustness.md).
@@ -76,7 +85,7 @@ def validate_report(path):
         elif not isinstance(doc[key], typ):
             fail(f"{path}: '{key}' should be {typ.__name__}, got {type(doc[key]).__name__}")
 
-    if doc["schema"] != "finbench.run_report/v1":
+    if doc["schema"] != "finbench.run_report/v2":
         fail(f"{path}: unexpected schema '{doc['schema']}'")
 
     for key in HOST_REQUIRED:
@@ -98,6 +107,22 @@ def validate_report(path):
     for section in ("counters", "gauges", "stats"):
         if section not in doc["metrics"]:
             fail(f"{path}: metrics missing '{section}'")
+
+    for key, h in doc["histograms"].items():
+        for field in HIST_REQUIRED:
+            if field not in h:
+                fail(f"{path}: histograms['{key}'] missing '{field}'")
+        if not isinstance(h["count"], int) or h["count"] < 0:
+            fail(f"{path}: histograms['{key}'].count should be a non-negative integer")
+        if h["count"] > 0:
+            # Quantiles come off a log-bucketed histogram: monotone and
+            # inside the recorded [min, max] envelope (up to bucket width).
+            if not (h["p50"] <= h["p90"] <= h["p99"] <= h["p999"]):
+                fail(f"{path}: histograms['{key}'] quantiles not monotone")
+            bucket_total = sum(b["count"] for b in h["buckets"].values())
+            if bucket_total != h["count"]:
+                fail(f"{path}: histograms['{key}'] bucket counts sum to "
+                     f"{bucket_total}, expected count={h['count']}")
 
     robust = doc["robust"]
     if robust.get("denormal_mode") not in ("ftz+daz", "ieee"):
@@ -125,8 +150,19 @@ def validate_report(path):
 
     print(f"validate_report_json: OK: {path} "
           f"({len(doc['rows'])} rows, {len(doc['measurements'])} measurements, "
+          f"{len(doc['histograms'])} histograms, "
           f"perf={'on' if doc['perf']['available'] else 'off'})")
     return doc
+
+
+def require_histograms(path, doc, prefixes):
+    for prefix in prefixes:
+        hits = [key for key, h in doc["histograms"].items()
+                if h["name"].startswith(prefix) and h["count"] > 0]
+        if not hits:
+            fail(f"{path}: no non-empty histogram with name prefix '{prefix}'")
+        print(f"validate_report_json: OK: '{prefix}' -> {len(hits)} histogram(s), "
+              f"e.g. {hits[0]}")
 
 
 def validate_trace(path):
@@ -161,11 +197,18 @@ def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--report", help="run report JSON (--json output)")
     ap.add_argument("--trace", help="Chrome trace JSON (--trace output)")
+    ap.add_argument("--require-histogram", action="append", default=[],
+                    metavar="PREFIX",
+                    help="demand a non-empty histogram with this name prefix "
+                         "(repeatable; needs --report)")
     args = ap.parse_args()
     if not args.report and not args.trace:
         ap.error("nothing to validate: pass --report and/or --trace")
+    if args.require_histogram and not args.report:
+        ap.error("--require-histogram needs --report")
     if args.report:
-        validate_report(args.report)
+        doc = validate_report(args.report)
+        require_histograms(args.report, doc, args.require_histogram)
     if args.trace:
         validate_trace(args.trace)
 

@@ -100,6 +100,12 @@ int main(int argc, char** argv) {
   const double blk_conv = bench::items_per_sec("bs.blocked_conv", nopt, opts.reps, [&] {
     bs::price_blocked_from_aos(core::view_of(aos).aos, bs::Width::kAuto);
   });
+  // The SP twin of the fused row: same AOS-in / AOS-out accounting, but
+  // the register tile narrows to f32 (16 lanes on AVX-512) before the
+  // transcendentals — via the registered blackscholes.blocked_fused.16f.
+  req_aos.kernel_id = "blackscholes.blocked_fused.16f";
+  const double blk_conv_sp =
+      bench::measure_variant("bs.blocked_conv_sp", req_aos, nopt, opts.reps);
 
   report.add_row(proj.make_row("Blocked SIMD (AoSoA reg tiles) 8w", blk8, flops, bytes, 8, 8));
   report.add_row(proj.make_row("Blocked SP (16w in-register)", blk16f, flops, bytes, 8, 8));
@@ -107,6 +113,8 @@ int main(int argc, char** argv) {
   // output fields written once — ~1.4x the kernel's DRAM traffic, not 3x.
   report.add_row(proj.make_row("Blocked SIMD incl. AOS->blocked conversion", blk_conv, flops,
                                bytes + 2 * sizeof(double), 8, 8));
+  report.add_row(proj.make_row("Blocked SP incl. conversion (16w in-register)", blk_conv_sp,
+                               flops, bytes + 2 * sizeof(double), 8, 8));
 
   // Single-precision extension: double the lanes (Table I's SP peak rows).
   // The portfolio constructor derives the f32 arrays from the same seed-1
@@ -165,6 +173,10 @@ int main(int argc, char** argv) {
       "blocked incl. conversion at least matches SOA incl. conversion",
       blk_conv >= soa_conv,
       "blocked = " + harness::eng(blk_conv) + " vs soa = " + harness::eng(soa_conv));
+  report.add_check(
+      "SP fused incl. conversion at least matches the DP fused row",
+      blk_conv_sp > 0.9 * blk_conv,
+      "sp = " + harness::eng(blk_conv_sp) + " vs dp = " + harness::eng(blk_conv));
   report.add_check("projected KNC/SNB advanced ratio ~2x (bandwidth ratio)",
                    harness::ratio_within(
                        proj.project(proj.knc, inter8, flops, bytes, 8) /

@@ -29,6 +29,9 @@
 
 #pragma once
 
+#include <span>
+
+#include "finbench/engine/group.hpp"
 #include "finbench/engine/registry.hpp"
 #include "finbench/engine/request.hpp"
 #include "finbench/engine/thread_pool.hpp"
@@ -49,6 +52,20 @@ class Engine {
   // Repeat loops (benchmarks, servers) use this overload — after the first
   // call, re-pricing the same request is heap-allocation-free.
   void price(const PricingRequest& req, PricingResult& res) const;
+
+  // Multi-request entry point (finbench/engine/group.hpp): fuse the group
+  // into one arena-backed portfolio, price it in a single execution, and
+  // scatter per-member outputs/statuses back. Members must be pairwise
+  // fusable with group[0] — a member that is not gets priced individually
+  // rather than silently mis-fused. Single-member groups skip the fuse.
+  // `scratch` is caller-owned and reused; steady-state same-shaped groups
+  // are heap-allocation-free.
+  void price_group(std::span<const GroupJob> group, GroupScratch& scratch) const;
+
+  // True when `a` and `b` may share one fused batch: same variant, same
+  // fusable layout, matching batch scalars and accuracy/robustness knobs,
+  // no active fault plan, and a deterministic (non-statistical) kernel.
+  static bool fusable(const PricingRequest& a, const PricingRequest& b);
 
   // Process-wide engine over ThreadPool::shared().
   static Engine& shared();

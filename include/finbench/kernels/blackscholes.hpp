@@ -79,6 +79,13 @@ using WidthF = vecmath::WidthF;
 void price_intermediate_sp(core::BsSoaFView batch, WidthF w = WidthF::kAuto);
 void price_blocked_sp(core::BsBlockedView batch, WidthF w = WidthF::kAuto);
 
+// SP twin of price_blocked_from_aos: the f64 AOS inputs narrow to f32 in
+// register (cvtpd_ps on a stack-resident tile), price through the shared
+// SP model, and widen back into the AOS records — the fused "incl.
+// conversion" pipeline with twice the lanes per tile (8 on AVX2, 16 on
+// AVX-512). Accuracy matches the other SP rows (~1e-7 absolute).
+void price_blocked_from_aos_f32(core::BsAosView batch, WidthF w = WidthF::kAuto);
+
 // --- Batch greeks (extension): the full sensitivity set, SIMD across
 // options. Call and put greeks come from one d1/d2 evaluation per option
 // (put values via parity relations), so the whole set costs barely more

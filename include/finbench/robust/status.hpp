@@ -22,6 +22,9 @@
 //   kNotFound          unknown kernel id
 //   kDeadlineExceeded  the deadline/cancel token expired mid-run: partial
 //                      results, per-chunk status says what completed
+//   kResourceExhausted the request was shed by admission control before
+//                      any pricing happened (serve::Server queue-depth or
+//                      in-flight byte caps) — nothing ran, resubmit later
 //   kKernelError       a kernel failed (threw, or produced guarded-out
 //                      garbage) and the fallback chain could not repair it
 //
@@ -42,6 +45,7 @@ enum class StatusCode {
   kInvalidInput,
   kNotFound,
   kDeadlineExceeded,
+  kResourceExhausted,
   kKernelError,
 };
 
@@ -53,6 +57,7 @@ constexpr std::string_view to_string(StatusCode c) {
     case StatusCode::kInvalidInput: return "invalid_input";
     case StatusCode::kNotFound: return "not_found";
     case StatusCode::kDeadlineExceeded: return "deadline_exceeded";
+    case StatusCode::kResourceExhausted: return "resource_exhausted";
     case StatusCode::kKernelError: return "kernel_error";
   }
   return "?";
@@ -74,6 +79,9 @@ class Status {
   static Status not_found(std::string msg) { return {StatusCode::kNotFound, std::move(msg)}; }
   static Status deadline_exceeded(std::string msg) {
     return {StatusCode::kDeadlineExceeded, std::move(msg)};
+  }
+  static Status resource_exhausted(std::string msg) {
+    return {StatusCode::kResourceExhausted, std::move(msg)};
   }
   static Status kernel_error(std::string msg) {
     return {StatusCode::kKernelError, std::move(msg)};

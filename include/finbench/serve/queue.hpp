@@ -1,0 +1,101 @@
+// finbench/serve/queue.hpp
+//
+// The bounded lock-free submission queue of serve::Server: a fixed ring
+// of pointer cells with per-cell sequence numbers (Vyukov's bounded MPMC
+// design, used here multi-producer / single-consumer). Producers claim a
+// cell with one CAS on the tail and publish with one release store; the
+// single consumer pops with plain loads/stores on its own head cursor.
+// A full ring fails the push immediately — that failure IS the admission
+// signal (the server turns it into Status::kResourceExhausted) — so the
+// queue can never grow, allocate, or block a submitting thread.
+//
+// The queue stores raw pointers and never owns what they point at; the
+// element type is only a tag. Capacity is rounded up to a power of two.
+
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "finbench/arch/aligned.hpp"
+
+namespace finbench::serve {
+
+template <class T>
+class BoundedMpscQueue {
+ public:
+  explicit BoundedMpscQueue(std::size_t min_capacity) {
+    std::size_t cap = 1;
+    while (cap < min_capacity) cap <<= 1;
+    mask_ = cap - 1;
+    cells_ = std::make_unique<Cell[]>(cap);
+    for (std::size_t i = 0; i < cap; ++i) {
+      cells_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  BoundedMpscQueue(const BoundedMpscQueue&) = delete;
+  BoundedMpscQueue& operator=(const BoundedMpscQueue&) = delete;
+
+  // Multi-producer push. False when the ring is full — nothing is
+  // retried, nothing blocks: the caller sheds.
+  bool try_push(T* item) {
+    std::size_t pos = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      Cell& cell = cells_[pos & mask_];
+      const std::size_t seq = cell.seq.load(std::memory_order_acquire);
+      const auto diff =
+          static_cast<std::intptr_t>(seq) - static_cast<std::intptr_t>(pos);
+      if (diff == 0) {
+        if (tail_.compare_exchange_weak(pos, pos + 1, std::memory_order_relaxed)) {
+          cell.item = item;
+          cell.seq.store(pos + 1, std::memory_order_release);
+          return true;
+        }
+      } else if (diff < 0) {
+        return false;  // a full lap behind: ring is full
+      } else {
+        pos = tail_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  // Single-consumer pop; nullptr when empty. Must only ever be called
+  // from one thread (the dispatcher).
+  T* try_pop() {
+    const std::size_t pos = head_.load(std::memory_order_relaxed);
+    Cell& cell = cells_[pos & mask_];
+    const std::size_t seq = cell.seq.load(std::memory_order_acquire);
+    if (static_cast<std::intptr_t>(seq) - static_cast<std::intptr_t>(pos + 1) < 0) {
+      return nullptr;
+    }
+    T* item = cell.item;
+    cell.seq.store(pos + mask_ + 1, std::memory_order_release);
+    head_.store(pos + 1, std::memory_order_relaxed);
+    return item;
+  }
+
+  std::size_t capacity() const { return mask_ + 1; }
+
+  // Racy size estimate (monitoring / idle checks only).
+  std::size_t approx_size() const {
+    const std::size_t t = tail_.load(std::memory_order_acquire);
+    const std::size_t h = head_.load(std::memory_order_acquire);
+    return t >= h ? t - h : 0;
+  }
+
+ private:
+  struct Cell {
+    std::atomic<std::size_t> seq{0};
+    T* item = nullptr;
+  };
+
+  std::unique_ptr<Cell[]> cells_;
+  std::size_t mask_ = 0;
+  alignas(arch::kCacheLineBytes) std::atomic<std::size_t> tail_{0};  // producers
+  alignas(arch::kCacheLineBytes) std::atomic<std::size_t> head_{0};  // consumer
+};
+
+}  // namespace finbench::serve

@@ -228,6 +228,11 @@ void count_status(robust::StatusCode code) {
       c.add(1);
       return;
     }
+    case robust::StatusCode::kResourceExhausted: {
+      static obs::Counter& c = obs::counter("engine.status.resource_exhausted");
+      c.add(1);
+      return;
+    }
     case robust::StatusCode::kKernelError: {
       static obs::Counter& c = obs::counter("engine.status.kernel_error");
       c.add(1);

@@ -73,6 +73,13 @@ void run_blocked_sp(const PricingRequest&, const core::PortfolioView& view,
   res.ok = true;
 }
 
+template <WidthF W>
+void run_fused_sp(const PricingRequest&, const core::PortfolioView& view, PricingResult& res) {
+  kernels::bs::price_blocked_from_aos_f32(view.aos, W);
+  res.items = view.aos.size();
+  res.ok = true;
+}
+
 VariantInfo base(const char* id, OptLevel level, int width, Layout layout, const char* desc) {
   VariantInfo v;
   v.id = id;
@@ -183,6 +190,29 @@ void register_blackscholes(Registry& r) {
     v.bytes_per_item = bytes;
     v.fallback_id = "blackscholes.blocked.8f";
     v.run_batch = run_blocked_sp<WidthF::kAuto>;
+    r.add(std::move(v));
+  }
+  // --- Fused AOS -> f32 register tile (incl. conversion) -------------------
+  // The SP analog of the fused DP pipeline: the request stays in its
+  // native AOS layout (no negotiation, no blocked array in DRAM) and the
+  // f64 -> f32 narrowing rides the register tile. Fallbacks stay in the
+  // AOS layout as required.
+  {
+    VariantInfo v = base("blackscholes.blocked_fused.8f", OptLevel::kAdvanced, 8, Layout::kBsAos,
+                         "fused AOS -> f32 register tile incl. conversion, 8-wide SP");
+    v.tolerance = 1e-3;  // SP arithmetic vs the DP reference
+    v.bytes_per_item = bytes;  // storage stays f64 AOS: full 40 B/option move
+    v.run_batch = run_fused_sp<WidthF::kAvx2>;
+    r.add(std::move(v));
+  }
+  {
+    VariantInfo v = base("blackscholes.blocked_fused.16f", OptLevel::kAdvanced, 16,
+                         Layout::kBsAos,
+                         "fused AOS -> f32 register tile incl. conversion, 16-wide SP (AVX-512)");
+    v.tolerance = 1e-3;
+    v.bytes_per_item = bytes;
+    v.fallback_id = "blackscholes.blocked_fused.8f";
+    v.run_batch = run_fused_sp<WidthF::kAuto>;
     r.add(std::move(v));
   }
 }

@@ -239,6 +239,18 @@ inline void stream_f64_8(double* p, simd::Vec<float, 8> x) {
 #endif
 }
 
+// Plain-store twin of stream_f64_8 for the fused AOS path, whose tile
+// buffer lives on the stack and is read straight back (a non-temporal
+// store there would only evict its own line).
+inline void store_f64_8(double* p, simd::Vec<float, 8> x) {
+#if defined(FINBENCH_HAVE_AVX512)
+  _mm512_store_pd(p, _mm512_cvtps_pd(x.v));
+#else
+  _mm256_store_pd(p, _mm256_cvtps_pd(_mm256_castps256_ps128(x.v)));
+  _mm256_store_pd(p + 4, _mm256_cvtps_pd(_mm256_extractf128_ps(x.v, 1)));
+#endif
+}
+
 #if defined(FINBENCH_HAVE_AVX512)
 // Two 8-lane field runs fused into one 16-float vector (and back).
 inline simd::Vec<float, 16> load_f32_16(const double* a, const double* b) {
@@ -250,6 +262,11 @@ inline simd::Vec<float, 16> load_f32_16(const double* a, const double* b) {
 inline void stream_f64_16(double* a, double* b, simd::Vec<float, 16> x) {
   _mm512_stream_pd(a, _mm512_cvtps_pd(_mm512_castps512_ps256(x.v)));
   _mm512_stream_pd(b, _mm512_cvtps_pd(_mm512_extractf32x8_ps(x.v, 1)));
+}
+
+inline void store_f64_16(double* a, double* b, simd::Vec<float, 16> x) {
+  _mm512_store_pd(a, _mm512_cvtps_pd(_mm512_castps512_ps256(x.v)));
+  _mm512_store_pd(b, _mm512_cvtps_pd(_mm512_extractf32x8_ps(x.v, 1)));
 }
 #endif
 
@@ -396,6 +413,90 @@ void price_blocked_sp16(const core::BsBlockedView& batch) {
 }
 #endif
 
+// --- Fused AOS -> f32 register tile pipeline --------------------------------
+//
+// The SP twin of price_from_aos_width: transpose W options' inputs into
+// aligned stack runs of doubles (L1-hot), narrow f64->f32 in register with
+// the same cvtpd_ps converters the in-memory SP kernel uses, price through
+// the shared sp_tile model, and widen the two outputs back into the
+// caller's AOS records. Same "incl. conversion" accounting as the DP fused
+// path — the AOS array is read once and written once, no blocked array
+// ever exists in DRAM — but with twice the lanes per tile, which is what
+// extends Fig. 4's fused-pipeline win to the 16-lane SP rows.
+
+// Width-specific converter glue: one tile's field run in / out.
+template <int W>
+struct SpAosIo;
+
+template <>
+struct SpAosIo<8> {
+  static simd::Vec<float, 8> in(const double* p) { return load_f32_8(p); }
+  static void out(double* p, simd::Vec<float, 8> x) { store_f64_8(p, x); }
+};
+
+#if defined(FINBENCH_HAVE_AVX512)
+template <>
+struct SpAosIo<16> {
+  static simd::Vec<float, 16> in(const double* p) { return load_f32_16(p, p + 8); }
+  static void out(double* p, simd::Vec<float, 16> x) { store_f64_16(p, p + 8, x); }
+};
+#endif
+
+void price_from_aos_sp_scalar(core::BsOptionAos* o, std::size_t begin, std::size_t end,
+                              float rate, float vol, float div) {
+  using V1 = simd::Vec<float, 1>;
+  for (std::size_t i = begin; i < end; ++i) {
+    const SpOut<V1> r = sp_tile(V1(static_cast<float>(o[i].spot)),
+                                V1(static_cast<float>(o[i].strike)),
+                                V1(static_cast<float>(o[i].years)), rate, vol, div);
+    o[i].call = static_cast<double>(r.call.v);
+    o[i].put = static_cast<double>(r.put.v);
+  }
+}
+
+template <int W>
+void price_from_aos_sp_width(const core::BsAosView& batch) {
+  using VF = simd::Vec<float, W>;
+  const float rate = static_cast<float>(batch.rate);
+  const float vol = static_cast<float>(batch.vol);
+  const float div = static_cast<float>(batch.dividend);
+  core::BsOptionAos* const o = batch.options.data();
+  const std::size_t n = batch.size();
+  const std::ptrdiff_t nfull = static_cast<std::ptrdiff_t>(n / W);
+
+  auto tile = [&](core::BsOptionAos* x) {
+    alignas(64) double buf[5][W];
+    for (int ln = 0; ln < W; ++ln) {
+      buf[0][ln] = x[ln].spot;
+      buf[1][ln] = x[ln].strike;
+      buf[2][ln] = x[ln].years;
+    }
+    const SpOut<VF> r = sp_tile(SpAosIo<W>::in(buf[0]), SpAosIo<W>::in(buf[1]),
+                                SpAosIo<W>::in(buf[2]), rate, vol, div);
+    SpAosIo<W>::out(buf[3], r.call);
+    SpAosIo<W>::out(buf[4], r.put);
+    for (int ln = 0; ln < W; ++ln) {
+      x[ln].call = buf[3][ln];
+      x[ln].put = buf[4][ln];
+    }
+  };
+
+  // x2 unroll, as in the DP fused path: the second tile's transpose
+  // overlaps the first tile's transcendentals.
+  const std::ptrdiff_t npairs = nfull / 2;
+#pragma omp parallel for schedule(static)
+  for (std::ptrdiff_t p = 0; p < npairs; ++p) {
+    core::BsOptionAos* const x = o + static_cast<std::size_t>(2 * p) * W;
+    tile(x);
+    tile(x + W);
+  }
+  if (nfull % 2 != 0) tile(o + static_cast<std::size_t>(nfull - 1) * W);
+
+  // Sub-W tail: scalar lanes of the same SP model, so the whole batch
+  // shares one tolerance.
+  price_from_aos_sp_scalar(o, static_cast<std::size_t>(nfull) * W, n, rate, vol, div);
+}
+
 }  // namespace
 
 void price_blocked(core::BsBlockedView batch, Width w) {
@@ -426,6 +527,26 @@ void price_blocked_from_aos(core::BsAosView batch, Width w) {
 #else
     case Width::kAvx512:
     case Width::kAuto: price_from_aos_dispatch<4>(batch); return;
+#endif
+  }
+}
+
+void price_blocked_from_aos_f32(core::BsAosView batch, WidthF w) {
+  static obs::Counter& priced = obs::counter("bs.options_priced");
+  priced.add(batch.size());
+  switch (w) {
+    case WidthF::kScalar:
+      price_from_aos_sp_scalar(batch.options.data(), 0, batch.size(),
+                               static_cast<float>(batch.rate), static_cast<float>(batch.vol),
+                               static_cast<float>(batch.dividend));
+      return;
+    case WidthF::kAvx2: price_from_aos_sp_width<8>(batch); return;
+#if defined(FINBENCH_HAVE_AVX512)
+    case WidthF::kAvx512:
+    case WidthF::kAuto: price_from_aos_sp_width<16>(batch); return;
+#else
+    case WidthF::kAvx512:
+    case WidthF::kAuto: price_from_aos_sp_width<8>(batch); return;
 #endif
   }
 }

@@ -99,6 +99,33 @@ TEST_P(BlockedWidthFTest, BlockedSpMatchesAnalyticAtSinglePrecision) {
   }
 }
 
+TEST_P(BlockedWidthFTest, FusedAosSpMatchesAnalyticAcrossTailShapes) {
+  for (std::size_t n : kSizes) {
+    auto aos = core::make_bs_workload_aos(n, 1);
+    bs::price_blocked_from_aos_f32(aos.view(), GetParam());
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto& o = aos.options[i];
+      const core::BsPrice p =
+          core::black_scholes(o.spot, o.strike, o.years, aos.rate, aos.vol, aos.dividend);
+      EXPECT_NEAR(o.call, p.call, 1e-3 * std::max(1.0, p.call)) << "n=" << n << " i=" << i;
+      EXPECT_NEAR(o.put, p.put, 1e-3 * std::max(1.0, p.put)) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST_P(BlockedWidthFTest, FusedAosSpHandlesDividendYield) {
+  auto aos = core::make_bs_workload_aos(77, 5);
+  aos.dividend = 0.03;
+  bs::price_blocked_from_aos_f32(aos.view(), GetParam());
+  for (std::size_t i = 0; i < aos.options.size(); ++i) {
+    const auto& o = aos.options[i];
+    const core::BsPrice p =
+        core::black_scholes(o.spot, o.strike, o.years, aos.rate, aos.vol, aos.dividend);
+    EXPECT_NEAR(o.call, p.call, 1e-3 * std::max(1.0, p.call)) << i;
+    EXPECT_NEAR(o.put, p.put, 1e-3 * std::max(1.0, p.put)) << i;
+  }
+}
+
 // The DP blocked kernel must agree with the in-memory kernel bit-for-bit
 // through the fused path at matching width: both run the identical tile
 // math, the only difference is where the tile's storage lives.

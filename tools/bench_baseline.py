@@ -4,9 +4,9 @@
 Usage:
     bench_baseline.py [--binary build/bench/fig4_blackscholes]
                       [--out BENCH_pr5.json] [--nopt N] [--reps R]
-                      [--assert-blocked]
+                      [--quick] [--assert-blocked] [--assert-serve]
 
-Runs the Fig. 4 exhibit with `--json`, validates the report against the
+Runs the exhibit binary with `--json`, validates the report against the
 finbench.run_report/v2 schema (via validate_report_json.py, same
 directory), and writes it to --out. With --assert-blocked it additionally
 enforces the PR5 perf gate: the "Blocked SIMD incl. AOS->blocked
@@ -17,6 +17,14 @@ check robust on noisy shared CI hosts). The v2 per-repetition latency
 histograms ride along in the captured report; the summary line prints the
 blocked row's p50/p99 so tail behaviour is recorded next to the best-of
 throughput.
+
+With --assert-serve (run against build/bench/serve_latency) it enforces
+the serve gate instead: the exhibit's "coalescing does not worsen p99 at
+the highest offered load" shape check must be present (every failed check
+already fails the run), and the captured report must carry populated
+per-(mode, load) `serve.request.seconds` histograms for both the
+coalesced and uncoalesced modes — proof the open-loop quantiles actually
+landed in the v2 report rather than only in stdout.
 
 Exits non-zero with a message on the first violation. CI runs this in the
 perf-smoke job; keep the captured baseline out of version control unless
@@ -34,6 +42,9 @@ SOA_ROW = "SOA SIMD incl. AOS<->SOA conversion"
 # The per-repetition latency histogram behind the blocked row: bench labels
 # are the short measurement names, not the report row labels.
 BLOCKED_HIST = 'bench.rep.seconds{label="bs.blocked_conv"}'
+
+SERVE_CHECK = "coalescing does not worsen p99 at the highest offered load"
+SERVE_HIST_PREFIX = "serve.request.seconds{"
 
 
 def find_row(report, label):
@@ -56,6 +67,10 @@ def main():
                     help="repetitions per row (default: %(default)s)")
     ap.add_argument("--assert-blocked", action="store_true",
                     help="enforce the blocked-vs-SOA incl.-conversion gate")
+    ap.add_argument("--assert-serve", action="store_true",
+                    help="enforce the serve_latency coalescing-p99 gate")
+    ap.add_argument("--quick", action="store_true",
+                    help="pass --quick to the exhibit (CI problem sizes)")
     args = ap.parse_args()
 
     binary = Path(args.binary)
@@ -65,6 +80,8 @@ def main():
     out = Path(args.out)
     cmd = [str(binary), "--nopt", str(args.nopt), "--reps", str(args.reps),
            "--json", str(out)]
+    if args.quick:
+        cmd.append("--quick")
     print("bench_baseline: running", " ".join(cmd), flush=True)
     run = subprocess.run(cmd)
     if run.returncode != 0:
@@ -83,7 +100,7 @@ def main():
 
     failed = [c for c in report.get("checks", []) if not c.get("passed", False)]
     for c in failed:
-        print(f"bench_baseline: exhibit check FAILED: {c.get('label')}: "
+        print(f"bench_baseline: exhibit check FAILED: {c.get('name')}: "
               f"{c.get('detail', '')}", file=sys.stderr)
     if failed:
         sys.exit(1)
@@ -109,6 +126,22 @@ def main():
         print(f"bench_baseline: blocked incl. conversion rep latency: "
               f"p50 = {1e3 * hist['p50']:.2f} ms, p99 = {1e3 * hist['p99']:.2f} ms "
               f"over {hist['count']} reps")
+
+    if args.assert_serve:
+        if not any(c.get("name") == SERVE_CHECK for c in report.get("checks", [])):
+            sys.exit(f"bench_baseline: report is missing the {SERVE_CHECK!r} "
+                     "shape check (wrong binary?)")
+        hists = report.get("histograms", {})
+        for mode in ("coalesced", "uncoalesced"):
+            keyed = {k: h for k, h in hists.items()
+                     if k.startswith(SERVE_HIST_PREFIX) and f'mode="{mode}"' in k
+                     and h.get("count", 0) > 0}
+            if not keyed:
+                sys.exit("bench_baseline: report has no populated "
+                         f"serve.request.seconds histogram for mode={mode}")
+            for key, h in sorted(keyed.items()):
+                print(f"bench_baseline: {key}: p50 = {1e3 * h['p50']:.3f} ms, "
+                      f"p99 = {1e3 * h['p99']:.3f} ms over {h['count']} requests")
 
     return 0
 

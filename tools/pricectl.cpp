@@ -10,6 +10,7 @@
 //            [--trace PATH] [--sanitize off|reject|clamp|skip]
 //            [--guard off|finite|full] [--deadline-ms N] [--inject SPEC]
 //            [--metrics PATH|-] [--watch MS] [--flight-dump PATH]
+//            [--serve N] [--no-coalesce]
 //
 // --kernel runs kSpecs workloads through the batched engine (persistent
 // thread pool, cost-model-weighted chunks, --schedule selects dynamic
@@ -41,6 +42,15 @@
 // is in flight; --flight-dump writes the per-chunk flight recorder as
 // JSON after the run, and also redirects the engine's automatic
 // post-mortem dump (deadline / kernel error / quarantine) to that path.
+//
+// Request-stream mode (docs/serve.md): --serve N prices the workload as N
+// concurrent sub-requests streamed through a serve::Server instead of one
+// whole-batch Engine::price call. Each sub-request draws its own options
+// (seed + index) over the same batch scalars, so the coalescer can legally
+// fuse them back into large batches; --no-coalesce prices every
+// sub-request individually for comparison. The serve.* histograms
+// (request / queue latency, batch size) land in --watch, --metrics, and
+// the run report like every engine series.
 
 #include <algorithm>
 #include <atomic>
@@ -63,6 +73,7 @@
 #include "finbench/engine/registry.hpp"
 #include "finbench/engine/validate.hpp"
 #include "finbench/robust/robust.hpp"
+#include "finbench/serve/server.hpp"
 #include "finbench/vecmath/array_math.hpp"
 
 using namespace finbench;
@@ -105,14 +116,33 @@ int run_validate(std::size_t nopt) {
 // with (rather than corrupts) the report table and --metrics on stdout.
 void print_live_metrics() {
   std::uint64_t requests = 0, items = 0;
+  std::uint64_t srv_submitted = 0, srv_completed = 0, srv_shed = 0;
   for (const auto& [name, v] : obs::snapshot_metrics().counters) {
     if (name == "engine.requests") requests = v;
     else if (name == "engine.items") items = v;
+    else if (name == "serve.submitted") srv_submitted = v;
+    else if (name == "serve.completed") srv_completed = v;
+    else if (name == "robust.admission.shed") srv_shed = v;
   }
   std::fprintf(stderr, "[watch] engine.requests=%" PRIu64 " engine.items=%" PRIu64 "\n",
                requests, items);
+  if (srv_submitted > 0) {
+    std::fprintf(stderr,
+                 "[watch] serve.submitted=%" PRIu64 " serve.completed=%" PRIu64
+                 " admission.shed=%" PRIu64 "\n",
+                 srv_submitted, srv_completed, srv_shed);
+  }
   for (const auto& h : obs::snapshot_histograms()) {
-    if (h.name != "engine.request.seconds" || h.snap.count == 0) continue;
+    const bool serve_series = h.name.rfind("serve.", 0) == 0;
+    if ((h.name != "engine.request.seconds" && !serve_series) || h.snap.count == 0) continue;
+    if (serve_series && h.name.size() >= 5 &&
+        h.name.compare(h.name.size() - 5, 5, ".size") == 0) {
+      // Dimensionless series (batch sizes ride the ns axis raw).
+      std::fprintf(stderr, "[watch]   %s n=%" PRIu64 " p50=%.3g p90=%.3g max=%.3g\n",
+                   h.key().c_str(), h.snap.count, 1e9 * h.snap.p50(), 1e9 * h.snap.p90(),
+                   static_cast<double>(h.snap.max_ns));
+      continue;
+    }
     std::fprintf(stderr,
                  "[watch]   %s n=%" PRIu64 " p50=%.4gms p90=%.4gms p99=%.4gms max=%.4gms\n",
                  h.key().c_str(), h.snap.count, 1e3 * h.snap.p50(), 1e3 * h.snap.p90(),
@@ -130,6 +160,113 @@ void print_parallel_stats() {
   }
 }
 
+// --serve N: the closed-loop request-stream mode. The workload splits into
+// N sub-requests (each drawing its own options from seed + index over the
+// same batch scalars, so the group is fusable by construction); every rep
+// submits all N to a serve::Server and waits for completion, which
+// exercises the queue, the admission gate, and — unless --no-coalesce —
+// the coalescer re-fusing the stream back into large batches.
+int run_serve(const engine::VariantInfo* v, const engine::PricingRequest& proto,
+              engine::Layout req_layout, std::size_t items, int nreq, bool coalesce,
+              bench::Options& opts, const std::string& metrics_path, int watch_ms) {
+  const std::size_t per = std::max<std::size_t>(1, items / static_cast<std::size_t>(nreq));
+  std::vector<core::Portfolio> pfs;
+  pfs.reserve(static_cast<std::size_t>(nreq));
+  std::vector<finbench::serve::PricingJob> jobs(static_cast<std::size_t>(nreq));
+  std::size_t poisoned = 0;
+  for (int j = 0; j < nreq; ++j) {
+    const std::size_t seed = proto.seed + static_cast<std::size_t>(j);
+    if (req_layout == engine::Layout::kSpecs) {
+      core::SingleOptionWorkloadParams p;
+      if (v->european_only) p.style = core::ExerciseStyle::kEuropean;
+      auto specs = core::make_option_workload(per, seed, p);
+      if (proto.faults.poison > 0.0) {
+        poisoned += robust::inject_input_faults(std::span<core::OptionSpec>(specs), proto.faults);
+      }
+      pfs.push_back(core::Portfolio::specs(std::span<const core::OptionSpec>(specs)));
+    } else {
+      pfs.push_back(core::Portfolio::bs(per, req_layout, seed));
+      if (proto.faults.poison > 0.0) {
+        poisoned += robust::inject_input_faults(pfs.back().view(), proto.faults);
+      }
+    }
+    jobs[static_cast<std::size_t>(j)].request = proto;
+    jobs[static_cast<std::size_t>(j)].request.portfolio = pfs.back().view();
+  }
+
+  finbench::serve::ServerConfig cfg;
+  cfg.coalesce = coalesce;
+  cfg.queue_capacity = std::max<std::size_t>(1024, 2 * static_cast<std::size_t>(nreq));
+  finbench::serve::Server server(cfg);
+  server.start();
+
+  std::atomic<bool> watch_stop{false};
+  std::thread watcher;
+  if (watch_ms > 0) {
+    watcher = std::thread([watch_ms, &watch_stop] {
+      while (!watch_stop.load(std::memory_order_relaxed)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(watch_ms));
+        print_live_metrics();
+      }
+    });
+  }
+
+  const double rate =
+      bench::items_per_sec("pricectl.serve", per * static_cast<std::size_t>(nreq), opts.reps, [&] {
+        for (auto& job : jobs) {
+          const robust::Status st = server.submit(job);
+          if (!st.ok()) throw std::runtime_error(st.to_string());
+        }
+        for (auto& job : jobs) {
+          server.wait(job);
+          if (!job.result.status.ok() &&
+              job.result.status.code() != robust::StatusCode::kDeadlineExceeded) {
+            throw std::runtime_error(job.result.status.to_string());
+          }
+        }
+      });
+
+  if (watcher.joinable()) {
+    watch_stop.store(true, std::memory_order_relaxed);
+    watcher.join();
+    print_live_metrics();
+  }
+  server.stop();
+  const finbench::serve::Server::Stats st = server.stats();
+
+  opts.layout = std::string(engine::to_string(req_layout));
+  harness::Report report("pricectl --serve: " + proto.kernel_id, "items/s");
+  report.add_note("serve: " + std::to_string(nreq) + " requests x " + std::to_string(per) +
+                  " items, coalesce = " + (coalesce ? std::string("on") : std::string("off")));
+  report.add_note("serve: submitted = " + std::to_string(st.submitted) +
+                  ", completed = " + std::to_string(st.completed) +
+                  ", batches = " + std::to_string(st.batches) +
+                  ", coalesced = " + std::to_string(st.coalesced) +
+                  ", max_batch = " + std::to_string(st.max_batch));
+  report.add_note("serve: shed(queue) = " + std::to_string(st.shed_queue) +
+                  ", shed(bytes) = " + std::to_string(st.shed_bytes) +
+                  ", expired_in_queue = " + std::to_string(st.expired_in_queue));
+  if (proto.faults.any()) {
+    report.add_note("robust: inject = " + proto.faults.to_spec() +
+                    ", poisoned = " + std::to_string(poisoned));
+  }
+  bench::Projector proj;
+  const double flops = v->flops_per_item ? v->flops_per_item(jobs[0].request) : 0.0;
+  const double bytes = v->bytes_per_item ? v->bytes_per_item(jobs[0].request) : 0.0;
+  const int w = v->width == 0 ? vecmath::max_width() : v->width;
+  report.add_row(proj.make_row(v->description, rate, flops, bytes, w, w));
+  if (metrics_path == "-") {
+    bench::finish_quiet(report, opts);
+    obs::write_openmetrics(std::cout);
+  } else {
+    bench::finish(report, opts);
+    if (!metrics_path.empty() && !obs::write_openmetrics_file(metrics_path)) {
+      std::fprintf(stderr, "warning: could not write OpenMetrics to %s\n", metrics_path.c_str());
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -145,6 +282,8 @@ int main(int argc, char** argv) {
   std::size_t nopt = 0;
   engine::PricingRequest req;
   int spy = 0;
+  int serve_n = 0;
+  bool no_coalesce = false;
 
   for (int i = 1; i < argc; ++i) {
     auto next = [&](std::size_t fallback) -> std::size_t {
@@ -201,6 +340,10 @@ int main(int argc, char** argv) {
       flight_path = argv[++i];
     } else if (!std::strcmp(argv[i], "--watch")) {
       watch_ms = static_cast<int>(next(0));
+    } else if (!std::strcmp(argv[i], "--serve")) {
+      serve_n = static_cast<int>(next(0));
+    } else if (!std::strcmp(argv[i], "--no-coalesce")) {
+      no_coalesce = true;
     }
   }
 
@@ -224,7 +367,8 @@ int main(int argc, char** argv) {
                  "               [--csv PATH] [--trace PATH]\n"
                  "               [--sanitize off|reject|clamp|skip] [--guard off|finite|full]\n"
                  "               [--deadline-ms N] [--inject SPEC]\n"
-                 "               [--metrics PATH|-] [--watch MS] [--flight-dump PATH]\n");
+                 "               [--metrics PATH|-] [--watch MS] [--flight-dump PATH]\n"
+                 "               [--serve N] [--no-coalesce]\n");
     return 2;
   }
 
@@ -235,6 +379,28 @@ int main(int argc, char** argv) {
   }
   req.kernel_id = kernel_id;
   if (spy > 0) req.steps_per_year = spy;
+
+  if (serve_n > 0) {
+    engine::Layout serve_layout = v->layout;
+    switch (v->layout) {
+      case engine::Layout::kBsAos:
+      case engine::Layout::kBsSoa:
+      case engine::Layout::kBsSoaF:
+      case engine::Layout::kBsBlocked:
+        if (layout_flag == "aos") serve_layout = engine::Layout::kBsAos;
+        else if (layout_flag == "soa") serve_layout = engine::Layout::kBsSoa;
+        else if (layout_flag == "blocked") serve_layout = engine::Layout::kBsBlocked;
+        break;
+      case engine::Layout::kSpecs:
+        break;
+      default:
+        std::fprintf(stderr, "pricectl: --serve has no workload builder for layout '%s'\n",
+                     std::string(engine::to_string(v->layout)).c_str());
+        return 2;
+    }
+    return run_serve(v, req, serve_layout, nopt ? nopt : (1u << 18), serve_n, !no_coalesce,
+                     opts, metrics_path, watch_ms);
+  }
 
   // Workload by layout, sized for an interactive run unless --nopt given.
   // One owning Portfolio covers every case; the request just carries its

@@ -63,6 +63,7 @@ ROBUST_COUNTERS = [
     "robust.inject.thrown", "robust.inject.slow",
     "robust.fallback.chunks", "robust.fallback.exhausted",
     "robust.deadline.expired", "robust.deadline.chunks_skipped",
+    "robust.admission.shed",
     "pool.exceptions.suppressed",
 ]
 

@@ -65,7 +65,15 @@ class Engine {
   // True when `a` and `b` may share one fused batch: same variant, same
   // fusable layout, matching batch scalars and accuracy/robustness knobs,
   // no active fault plan, and a deterministic (non-statistical) kernel.
+  // Auto-intent requests ("blackscholes.auto") compare by *resolved plan*:
+  // both resolve through the tuner first and fuse only when they land on
+  // the same concrete variant, schedule, and chunk granularity.
   static bool fusable(const PricingRequest& a, const PricingRequest& b);
+
+  // Participants the engine executes with (pool workers + caller). The
+  // tuner keys plans on this: a plan raced at one pool size does not
+  // dispatch another.
+  int pool_size() const;
 
   // Process-wide engine over ThreadPool::shared().
   static Engine& shared();

@@ -57,8 +57,18 @@ struct PricingRequest {
 
   // --- Scheduling (engine execution only; direct run_batch dispatch keeps
   // each kernel's native OpenMP structure) ----------------------------------
+  // Under `auto` dispatch (kernel_id = "<family>.auto", e.g.
+  // "blackscholes.auto") these are *defaults the tuner may override*: the
+  // resolved DispatchPlan's schedule / chunks_per_thread win unless the
+  // matching pin below is set. Concrete kernel_ids use them verbatim.
   arch::Schedule schedule = arch::Schedule::kDynamic;
   int chunks_per_thread = 8;  // dynamic chunk granularity target
+
+  // Pins: the caller insists on the value above even under auto dispatch.
+  // The tuner still races the full grid and bumps engine.tune.pinned_losing
+  // (once per key) when the pinned choice loses the tuned one by >10%.
+  bool pin_schedule = false;
+  bool pin_chunks = false;
 
   // --- Robustness (finbench/robust; docs/robustness.md) --------------------
   // Input sanitization policy. The default masks faulty options out
@@ -120,6 +130,12 @@ struct PricingResult {
   bool ok = false;
   std::string error;       // empty on success
   std::string kernel_id;
+
+  // Concrete variant the request resolved to. Equal to kernel_id for
+  // explicit dispatch; under auto dispatch it is the plan's variant id and
+  // `tuned` is true (kernel_id keeps the caller's intent id).
+  std::string resolved_id;
+  bool tuned = false;
 
   // Structured outcome of the robust pricing path (finbench/robust).
   robust::Status status{};

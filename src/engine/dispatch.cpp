@@ -1,0 +1,107 @@
+// Dispatch resolution: the first step of Engine::price / price_group.
+// Explicit kernel ids pass straight through to the registry; auto-intent
+// ids ("<family>.auto", e.g. "blackscholes.auto") resolve to a concrete
+// DispatchPlan through finbench::tune — PlanCache hit or a one-time race —
+// and the plan's schedule / chunks_per_thread override the request's
+// defaults unless the caller pinned them.
+//
+// The resolution is cached in the request's Scratch keyed on every
+// TuneKey ingredient, so a steady-state repetition of the same request
+// neither rebuilds the key (a string allocation) nor takes the PlanCache
+// mutex: re-pricing a resolved auto request stays allocation-free.
+
+#include <string>
+
+#include "finbench/obs/metrics.hpp"
+#include "finbench/tune/tuner.hpp"
+#include "variants.hpp"
+
+namespace finbench::engine {
+
+ResolvedDispatch resolve_dispatch(const Engine& eng, const PricingRequest& req) {
+  ResolvedDispatch out;
+  out.schedule = req.schedule;
+  out.chunks_per_thread = req.chunks_per_thread;
+
+  if (!tune::is_auto_id(req.kernel_id)) {
+    out.v = Registry::instance().find(req.kernel_id);
+    if (out.v == nullptr) {
+      out.error = robust::Status::not_found("unknown kernel id '" + req.kernel_id +
+                                            "' (see pricectl --list)");
+    }
+    return out;
+  }
+
+  // Never race an empty workload: a plan measured over nothing is
+  // meaningless and would persist.
+  if (req.portfolio.size() == 0) {
+    out.error = robust::Status::invalid_argument(
+        "auto intent '" + req.kernel_id + "' got an empty workload (layout " +
+        std::string(core::to_string(req.portfolio.layout)) + ")");
+    return out;
+  }
+
+  const std::string_view family = tune::auto_family(req.kernel_id);
+  if (family.empty()) {
+    out.error = robust::Status::not_found(
+        "unknown auto family in '" + req.kernel_id +
+        "' (families: bs/blackscholes, binomial, mc/montecarlo, brownian, cn/cranknicolson)");
+    return out;
+  }
+
+  Scratch& s = scratch_of(req);
+  const int threads = eng.pool_size();
+  const void* src = workload_data_key(req.portfolio);
+  const int pin_sched = req.pin_schedule ? static_cast<int>(req.schedule) : -1;
+  const int pin_cpt = req.pin_chunks ? req.chunks_per_thread : 0;
+  const bool cached = s.has_plan && s.plan_src == src && s.plan_n == req.portfolio.size() &&
+                      s.plan_layout == req.portfolio.layout && s.plan_threads == threads &&
+                      s.plan_steps == req.steps && s.plan_spy == req.steps_per_year &&
+                      s.plan_npath == req.npath && s.plan_bridge == req.bridge_depth &&
+                      s.plan_cn == req.cn_num_prices && s.plan_pin_sched == pin_sched &&
+                      s.plan_pin_cpt == pin_cpt;
+  if (cached) {
+    static obs::Counter& c_hit = obs::counter("engine.tune.hit");
+    c_hit.add(1);
+  } else {
+    const tune::TuneKey key = tune::key_for(req, family, threads);
+    tune::Resolution r = tune::resolve(eng, req, key);
+    if (!r.plan.valid()) {
+      out.error = robust::Status::not_found(
+          "auto dispatch found no runnable variant for family '" + std::string(family) +
+          "' on this workload (layout " + std::string(core::to_string(req.portfolio.layout)) +
+          ")");
+      return out;
+    }
+    s.plan = std::move(r.plan);
+    s.has_plan = true;
+    s.plan_src = src;
+    s.plan_n = req.portfolio.size();
+    s.plan_layout = req.portfolio.layout;
+    s.plan_threads = threads;
+    s.plan_steps = req.steps;
+    s.plan_spy = req.steps_per_year;
+    s.plan_npath = req.npath;
+    s.plan_bridge = req.bridge_depth;
+    s.plan_cn = req.cn_num_prices;
+    s.plan_pin_sched = pin_sched;
+    s.plan_pin_cpt = pin_cpt;
+  }
+
+  out.v = Registry::instance().find(s.plan.variant_id);
+  if (out.v == nullptr) {
+    // The registry changed under a cached plan (tests that re-register);
+    // drop the stale plan so the next call re-resolves.
+    s.has_plan = false;
+    out.error = robust::Status::not_found("resolved plan names unknown variant '" +
+                                          s.plan.variant_id + "'");
+    return out;
+  }
+  out.tuned = true;
+  // Pinned knobs keep the caller's value; unpinned ones take the plan's.
+  out.schedule = req.pin_schedule ? req.schedule : s.plan.schedule;
+  out.chunks_per_thread = req.pin_chunks ? req.chunks_per_thread : s.plan.chunks_per_thread;
+  return out;
+}
+
+}  // namespace finbench::engine

@@ -26,21 +26,6 @@ namespace {
 
 constexpr double kQuietNan = std::numeric_limits<double>::quiet_NaN();
 
-// Identity of the workload's data for the negotiation cache: if the
-// request later points at different arrays (or a different size), the
-// cached converted view must be rebuilt.
-const void* workload_key(const core::PortfolioView& v) {
-  switch (v.layout) {
-    case Layout::kSpecs: return v.specs.data();
-    case Layout::kBsAos: return v.aos.options.data();
-    case Layout::kBsSoa: return v.soa.spot.data();
-    case Layout::kBsSoaF: return v.sp.spot.data();
-    case Layout::kBsBlocked: return v.blocked.data.data();
-    case Layout::kPaths: return nullptr;
-  }
-  return nullptr;
-}
-
 // SIMD-across-options kernels group lanes by position within the span they
 // are handed: an interior chunk boundary that is not a multiple of the
 // vector width would regroup lanes and perturb results in the last ulp.
@@ -57,9 +42,9 @@ constexpr std::size_t kChunkAlign = 8;
 // steady-state repetitions reuse it without touching the heap.
 const std::vector<std::size_t>& chunk_bounds(const VariantInfo& v, const PricingRequest& req,
                                              const core::PortfolioView& view, std::size_t n,
-                                             int nparts) {
+                                             int nparts, arch::Schedule schedule) {
   Scratch& s = scratch_of(req);
-  const int sched = static_cast<int>(req.schedule);
+  const int sched = static_cast<int>(schedule);
   if (s.bounds_n == n && s.bounds_nparts == nparts && s.bounds_sched == sched &&
       !s.bounds.empty()) {
     return s.bounds;
@@ -73,7 +58,7 @@ const std::vector<std::size_t>& chunk_bounds(const VariantInfo& v, const Pricing
     b -= b % kChunkAlign;
     if (b > bounds.back() && b < n) bounds.push_back(b);
   };
-  if (v.item_cost && req.schedule == arch::Schedule::kDynamic && !view.specs.empty()) {
+  if (v.item_cost && schedule == arch::Schedule::kDynamic && !view.specs.empty()) {
     std::vector<double>& cost = s.item_cost;
     cost.resize(n);
     double total = 0.0;
@@ -256,6 +241,8 @@ struct RunErrors {
 
 Engine::Engine(ThreadPool* pool) : pool_(pool ? pool : &ThreadPool::shared()) {}
 
+int Engine::pool_size() const { return pool_->size(); }
+
 Engine& Engine::shared() {
   static Engine e;
   return e;
@@ -272,6 +259,8 @@ void Engine::price(const PricingRequest& req, PricingResult& res) const {
   res.error.clear();
   res.status.reset();
   res.kernel_id = req.kernel_id;  // same id on a reused result: no realloc
+  res.resolved_id.clear();
+  res.tuned = false;
   res.items = 0;
   res.seconds = 0.0;
   res.convert_seconds = 0.0;
@@ -298,12 +287,21 @@ void Engine::price(const PricingRequest& req, PricingResult& res) const {
     count_status(res.status.code());
   };
 
-  const VariantInfo* v = Registry::instance().find(req.kernel_id);
-  if (!v) {
-    finish(robust::Status::not_found("unknown kernel id '" + req.kernel_id +
-                                     "' (see pricectl --list)"));
+  // Resolve the kernel id — a concrete registry id passes through, an auto
+  // intent ("blackscholes.auto") resolves to a DispatchPlan (cache hit or
+  // a one-time race) whose schedule/chunks_per_thread govern execution
+  // below. Resolution happens before the deadline is armed: the race is a
+  // once-per-key warm-up cost, not part of the priced run. (An auto intent
+  // over an empty workload is rejected inside resolve_dispatch — racing
+  // nothing would persist a meaningless plan.)
+  ResolvedDispatch rd = resolve_dispatch(*this, req);
+  if (rd.v == nullptr) {
+    finish(std::move(rd.error));
     return;
   }
+  const VariantInfo* v = rd.v;
+  res.resolved_id = v->id;
+  res.tuned = rd.tuned;
   res.layout = v->layout;
   const std::size_t n = req.portfolio.size();
   if (n == 0) {
@@ -385,7 +383,7 @@ void Engine::price(const PricingRequest& req, PricingResult& res) const {
           " (not convertible)"));
       return;
     }
-    const void* key = workload_key(working);
+    const void* key = workload_data_key(working);
     if (!s.has_negotiated || s.negotiated_src != key || s.negotiated_n != n ||
         s.negotiated_from != working.layout || s.negotiated_to != v->layout) {
       s.arena.reset();
@@ -591,15 +589,18 @@ void Engine::price(const PricingRequest& req, PricingResult& res) const {
     }
   }
 
+  // Effective scheduling: the request's values for explicit dispatch, the
+  // resolved plan's for auto (pins keep the caller's value — see
+  // PricingRequest::pin_schedule/pin_chunks).
   const int P = pool_->size();
-  const int nparts = req.schedule == arch::Schedule::kDynamic
-                         ? P * std::max(1, req.chunks_per_thread)
+  const int nparts = rd.schedule == arch::Schedule::kDynamic
+                         ? P * std::max(1, rd.chunks_per_thread)
                          : P;
-  const std::vector<std::size_t>& bounds = chunk_bounds(*v, req, *view, n, nparts);
+  const std::vector<std::size_t>& bounds = chunk_bounds(*v, req, *view, n, nparts, rd.schedule);
   const std::size_t nchunks = bounds.size() - 1;
   res.chunk_status.assign(nchunks, static_cast<std::uint8_t>(ChunkStatus::kNotRun));
   const char* site =
-      req.schedule == arch::Schedule::kDynamic ? "engine.dynamic" : "engine.static";
+      rd.schedule == arch::Schedule::kDynamic ? "engine.dynamic" : "engine.static";
 
   RunErrors errors;
   const bool inject = req.faults.any_engine_side();
@@ -670,7 +671,7 @@ void Engine::price(const PricingRequest& req, PricingResult& res) const {
         fr.set_status(slot == static_cast<std::uint8_t>(ChunkStatus::kOk) ? "ok" : "failed");
         ctx.flight->record(fr);
       },
-      req.schedule, site, cancel);
+      rd.schedule, site, cancel);
 
   // --- Quarantine & fallback pass (serial, exceptional) --------------------
   // Failed chunks re-price through the fallback chain's batch entry point

@@ -16,6 +16,7 @@
 #include "finbench/engine/engine.hpp"
 #include "finbench/robust/guards.hpp"
 #include "finbench/robust/sanitize.hpp"
+#include "finbench/tune/key.hpp"
 #include "variants.hpp"
 
 namespace finbench::engine {
@@ -142,6 +143,8 @@ void reset_result(PricingResult& r) {
   r.ok = false;
   r.error.clear();
   r.status.reset();
+  r.resolved_id.clear();
+  r.tuned = false;
   r.items = 0;
   r.seconds = 0.0;
   r.convert_seconds = 0.0;
@@ -197,6 +200,16 @@ bool Engine::fusable(const PricingRequest& a, const PricingRequest& b) {
     default:
       break;
   }
+  // Auto-intent pairs fuse on their *resolved* plans, not the intent
+  // string: both must land on the same concrete variant with the same
+  // effective schedule and chunk granularity (each member resolves through
+  // its own scratch, so steady-state checks are cache hits, not races).
+  if (tune::is_auto_id(a.kernel_id)) {
+    const ResolvedDispatch ra = resolve_dispatch(Engine::shared(), a);
+    const ResolvedDispatch rb = resolve_dispatch(Engine::shared(), b);
+    return ra.v != nullptr && ra.v == rb.v && !ra.v->statistical &&
+           ra.schedule == rb.schedule && ra.chunks_per_thread == rb.chunks_per_thread;
+  }
   // Statistical estimators key their per-option RNG substreams by batch
   // index — fusing would change a member's answer depending on who it
   // shares a batch with. Deterministic kernels are element-wise across
@@ -244,6 +257,25 @@ void Engine::price_group(std::span<const GroupJob> group, GroupScratch& gs) cons
   f.seed = proto.seed;
   f.schedule = proto.schedule;
   f.chunks_per_thread = proto.chunks_per_thread;
+  f.pin_schedule = proto.pin_schedule;
+  f.pin_chunks = proto.pin_chunks;
+  // An auto group fuses on the plan the members resolved to at *their*
+  // size: re-resolving at the fused size could land in a different size
+  // bucket, pick a different variant, and break bitwise parity between a
+  // coalesced member and the same request priced solo. Pin the concrete
+  // id and the plan's scheduling onto the fused request instead.
+  bool group_tuned = false;
+  if (tune::is_auto_id(proto.kernel_id)) {
+    ResolvedDispatch rd = resolve_dispatch(*this, proto);
+    if (rd.v != nullptr) {
+      f.kernel_id = rd.v->id;
+      f.schedule = rd.schedule;
+      f.chunks_per_thread = rd.chunks_per_thread;
+      f.pin_schedule = true;
+      f.pin_chunks = true;
+      group_tuned = true;
+    }
+  }
   f.sanitize = proto.sanitize;
   f.guard = proto.guard;
   f.fallback = proto.fallback;
@@ -282,7 +314,9 @@ void Engine::price_group(std::span<const GroupJob> group, GroupScratch& gs) cons
     const std::size_t m = group[j].req->portfolio.size();
     PricingResult& r = *group[j].res;
     reset_result(r);
-    r.kernel_id = fr.kernel_id;
+    r.kernel_id = group[j].req->kernel_id;  // the member's own (intent) id
+    r.resolved_id = fr.resolved_id;
+    r.tuned = group_tuned;
     r.request_id = fr.request_id;
     r.layout = fr.layout;
     r.seconds = fr.seconds;

@@ -17,6 +17,7 @@
 #include "finbench/kernels/montecarlo.hpp"
 #include "finbench/obs/flight_recorder.hpp"
 #include "finbench/obs/histogram.hpp"
+#include "finbench/tune/plan.hpp"
 
 namespace finbench::engine {
 
@@ -102,10 +103,65 @@ struct Scratch {
   obs::Histogram* hist_chunk = nullptr;    // engine.chunk.seconds{...}
   obs::FlightRecorder* flight = nullptr;
   std::string hist_kernel_id;  // kernel id the cached handles belong to
+
+  // --- Auto-dispatch plan cache (engine-owned; finbench/tune) --------------
+  // The DispatchPlan an auto-intent request resolved to, cached so a
+  // steady-state repetition never re-derives the TuneKey (which allocates
+  // a family string) or takes the PlanCache mutex. The key mirrors every
+  // TuneKey ingredient; any change invalidates the cached plan and
+  // resolution goes back through tune::resolve.
+  tune::DispatchPlan plan{};
+  bool has_plan = false;
+  const void* plan_src = nullptr;  // workload data pointer
+  std::size_t plan_n = 0;
+  core::Layout plan_layout = core::Layout::kSpecs;
+  int plan_threads = 0;
+  int plan_steps = 0;
+  int plan_spy = 0;
+  std::size_t plan_npath = 0;
+  int plan_bridge = 0;
+  int plan_cn = 0;
+  int plan_pin_sched = -2;  // -2 = never resolved; else TuneKey::pinned_schedule
+  int plan_pin_cpt = -1;    // TuneKey::pinned_chunks
 };
 
 // Ensure req.scratch exists; returns it.
 Scratch& scratch_of(const PricingRequest& req);
+
+// Identity pointer of a view's workload data — the cache-invalidation key
+// for scratch-cached derived state (negotiated layouts, resolved plans).
+inline const void* workload_data_key(const core::PortfolioView& view) {
+  switch (view.layout) {
+    case core::Layout::kSpecs: return view.specs.data();
+    case core::Layout::kBsAos: return view.aos.options.data();
+    case core::Layout::kBsSoa: return view.soa.spot.data();
+    case core::Layout::kBsSoaF: return view.sp.spot.data();
+    case core::Layout::kBsBlocked: return view.blocked.data.data();
+    case core::Layout::kPaths: return nullptr;
+  }
+  return nullptr;
+}
+
+class Engine;
+
+// Outcome of resolving a request's kernel_id to a concrete variant plus
+// effective scheduling — the first step of Engine::price/price_group.
+// Explicit ids pass through (tuned = false, scheduling = the request's);
+// auto-intent ids ("<family>.auto") resolve through tune::resolve, with
+// the winning plan's schedule/chunks_per_thread overriding the request
+// defaults unless pinned. `error` reports an unknown id / family / no
+// runnable candidate; v is null in that case.
+struct ResolvedDispatch {
+  const VariantInfo* v = nullptr;
+  arch::Schedule schedule = arch::Schedule::kDynamic;
+  int chunks_per_thread = 8;
+  bool tuned = false;
+  robust::Status error{};
+};
+
+// Defined in src/engine/dispatch.cpp. Caches the resolution in the
+// request's Scratch so steady-state repetitions skip the tuner entirely.
+ResolvedDispatch resolve_dispatch(const Engine& eng, const PricingRequest& req);
 
 // Slot count for the kernel scratch pools: covers both execution modes —
 // the kernel's own OpenMP team (arch::num_threads() workers with dense

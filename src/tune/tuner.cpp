@@ -1,0 +1,286 @@
+#include "finbench/tune/tuner.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "finbench/arch/timing.hpp"
+#include "finbench/core/option.hpp"
+#include "finbench/engine/registry.hpp"
+#include "finbench/obs/metrics.hpp"
+
+namespace finbench::tune {
+
+namespace {
+
+// Configurations within this factor of the best rate are considered tied;
+// the one with the lower measured imbalance wins the tie.
+constexpr double kTieBand = 0.97;
+
+// A pinned configuration losing the unconstrained best by more than this
+// factor flips RaceReport::pinned_losing.
+constexpr double kPinnedLossFactor = 1.10;
+
+// Delta-sampler over an obs::Stat: mean of the observations recorded
+// between construction and delta_mean() — how the race attributes
+// parallel.engine.<schedule>.imbalance samples to one configuration.
+class StatProbe {
+ public:
+  explicit StatProbe(const char* name) : stat_(&obs::stat(name)) {
+    const obs::Stat::Summary s = stat_->summary();
+    sum0_ = s.sum;
+    count0_ = s.count;
+  }
+
+  double delta_mean() const {
+    const obs::Stat::Summary s = stat_->summary();
+    if (s.count <= count0_) return 0.0;
+    return (s.sum - sum0_) / static_cast<double>(s.count - count0_);
+  }
+
+ private:
+  obs::Stat* stat_;
+  double sum0_ = 0.0;
+  std::uint64_t count0_ = 0;
+};
+
+bool satisfies_pins(const TuneKey& key, const CandidateResult& c) {
+  if (key.pinned_schedule >= 0 &&
+      static_cast<int>(c.schedule) != key.pinned_schedule) {
+    return false;
+  }
+  // chunks_per_thread only matters under dynamic scheduling; a static
+  // configuration trivially honors a chunk pin.
+  if (key.pinned_chunks > 0 && c.schedule == arch::Schedule::kDynamic &&
+      c.chunks_per_thread != key.pinned_chunks) {
+    return false;
+  }
+  return true;
+}
+
+// Best candidate by rate among `cands` passing `pred`, with the imbalance
+// tie-break: a config within kTieBand of the best whose measured imbalance
+// is lower replaces it. Returns nullptr when nothing passes.
+template <class Pred>
+const CandidateResult* pick_best(const std::vector<CandidateResult>& cands, Pred pred) {
+  const CandidateResult* best = nullptr;
+  for (const CandidateResult& c : cands) {
+    if (!c.ok || !pred(c)) continue;
+    if (best == nullptr || c.items_per_sec > best->items_per_sec) best = &c;
+  }
+  if (best == nullptr) return nullptr;
+  for (const CandidateResult& c : cands) {
+    if (!c.ok || !pred(c) || &c == best) continue;
+    if (c.items_per_sec >= kTieBand * best->items_per_sec && c.imbalance > 0.0 &&
+        (best->imbalance <= 0.0 || c.imbalance < best->imbalance)) {
+      best = &c;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+TuneKey key_for(const engine::PricingRequest& req, std::string_view family, int threads) {
+  TuneKey k;
+  k.family = std::string(family);
+  k.layout = req.portfolio.layout;
+  k.size_bucket = size_bucket_of(req.portfolio.size());
+  k.threads = threads;
+  k.steps = req.steps;
+  k.steps_per_year = req.steps_per_year;
+  k.npath = req.npath;
+  k.bridge_depth = req.bridge_depth;
+  k.cn_num_prices = req.cn_num_prices;
+  k.pinned_schedule = req.pin_schedule ? static_cast<int>(req.schedule) : -1;
+  k.pinned_chunks = req.pin_chunks ? req.chunks_per_thread : 0;
+  if (req.portfolio.layout == core::Layout::kSpecs) {
+    for (const core::OptionSpec& s : req.portfolio.specs) {
+      if (s.style == core::ExerciseStyle::kAmerican) {
+        k.american = true;
+        break;
+      }
+    }
+  }
+  return k;
+}
+
+RaceReport race(const engine::Engine& eng, const engine::PricingRequest& req,
+                const TuneKey& key, const RaceOptions& opt) {
+  RaceReport rep;
+  rep.key = key;
+  arch::WallTimer race_timer;
+
+  // Imbalance telemetry only records when parallel timing is on; the race
+  // wants the data (it is the tie-breaker), so enable it for the duration
+  // and restore the caller's setting after.
+  const bool timing_was_on = obs::parallel_timing_enabled();
+  if (opt.imbalance && !timing_was_on) obs::enable_parallel_timing(true);
+
+  // Candidates: every registry variant of the family whose layout the
+  // workload matches or can negotiate to, minus european_only variants
+  // when the workload carries American exercise.
+  std::vector<const engine::VariantInfo*> candidates;
+  for (const engine::VariantInfo* v : engine::Registry::instance().all()) {
+    if (v->kernel != key.family) continue;
+    const core::Layout from = req.portfolio.layout;
+    if (v->layout != from && !core::convertible(from, v->layout)) continue;
+    if (key.american && v->european_only) continue;
+    candidates.push_back(v);
+  }
+
+  // One configuration probe through the real engine path: warm-up (builds
+  // the candidate's own Scratch — negotiation, streams, pools) plus
+  // best-of-reps on PricingResult::seconds.
+  auto probe = [&](const engine::VariantInfo* v, arch::Schedule sched,
+                   int cpt) -> CandidateResult {
+    CandidateResult c;
+    c.id = v->id;
+    c.schedule = sched;
+    c.chunks_per_thread = cpt;
+    engine::PricingRequest r = req;
+    r.kernel_id = v->id;
+    r.schedule = sched;
+    r.chunks_per_thread = cpt;
+    r.pin_schedule = false;
+    r.pin_chunks = false;
+    // The race is a warm-up, not the priced run: never inject faults into
+    // it, and never let the caller's deadline abort candidate timing.
+    r.faults = {};
+    r.deadline_seconds = 0.0;
+    r.cancel = nullptr;
+    r.scratch.reset();  // candidate-private caches, dropped after the race
+    const char* site = sched == arch::Schedule::kDynamic
+                           ? "parallel.engine.dynamic.imbalance"
+                           : "parallel.engine.static.imbalance";
+    StatProbe imbalance(site);
+    engine::PricingResult res;
+    try {
+      eng.price(r, res);  // warm-up
+      if (!res.status.ok()) {
+        c.note = res.status.to_string();
+        return c;
+      }
+      double best = res.seconds;
+      for (int i = 1; i < std::max(1, opt.reps); ++i) {
+        eng.price(r, res);
+        if (!res.status.ok()) {
+          c.note = res.status.to_string();
+          return c;
+        }
+        best = std::min(best, res.seconds);
+      }
+      if (best > 0.0 && res.items > 0) {
+        c.items_per_sec = static_cast<double>(res.items) / best;
+        c.ok = true;
+      } else {
+        c.note = "no measurable rate";
+      }
+    } catch (const std::exception& e) {
+      c.note = e.what();
+    } catch (...) {
+      c.note = "non-std exception during race";
+    }
+    c.imbalance = imbalance.delta_mean();
+    return c;
+  };
+
+  // Phase 1 — race the variants at the key's (possibly pinned) seed
+  // configuration; unpinned keys seed with the PricingRequest defaults.
+  const arch::Schedule seed_sched = key.pinned_schedule >= 0
+                                        ? static_cast<arch::Schedule>(key.pinned_schedule)
+                                        : arch::Schedule::kDynamic;
+  const int seed_cpt = key.pinned_chunks > 0 ? key.pinned_chunks : 8;
+  for (const engine::VariantInfo* v : candidates) {
+    rep.candidates.push_back(probe(v, seed_sched, seed_cpt));
+  }
+
+  const CandidateResult* phase1 =
+      pick_best(rep.candidates, [](const CandidateResult&) { return true; });
+  if (phase1 == nullptr) {
+    if (opt.imbalance && !timing_was_on) obs::enable_parallel_timing(false);
+    rep.race_seconds = race_timer.seconds();
+    return rep;  // winner stays !valid()
+  }
+
+  // Phase 2 — schedule / chunks_per_thread grid on the winning variant.
+  // Only chunked kSpecs execution consumes these knobs; whole-batch
+  // variants (Black–Scholes, Brownian) keep the seed configuration.
+  const engine::VariantInfo* wv = engine::Registry::instance().find(phase1->id);
+  if (wv != nullptr && wv->run_range != nullptr && wv->layout == core::Layout::kSpecs &&
+      req.portfolio.size() >= 2) {
+    std::vector<std::pair<arch::Schedule, int>> grid = {
+        {arch::Schedule::kDynamic, 4},
+        {arch::Schedule::kDynamic, 8},
+        {arch::Schedule::kDynamic, 16},
+        {arch::Schedule::kStatic, seed_cpt},
+    };
+    if (key.pinned_chunks > 0) {
+      grid.emplace_back(arch::Schedule::kDynamic, key.pinned_chunks);
+    }
+    for (const auto& [sched, cpt] : grid) {
+      const bool already =
+          std::any_of(rep.candidates.begin(), rep.candidates.end(),
+                      [&, s = sched, c = cpt](const CandidateResult& r) {
+                        return r.id == wv->id && r.schedule == s &&
+                               (s == arch::Schedule::kStatic || r.chunks_per_thread == c);
+                      });
+      if (!already) rep.candidates.push_back(probe(wv, sched, cpt));
+    }
+  }
+
+  if (opt.imbalance && !timing_was_on) obs::enable_parallel_timing(false);
+
+  // Winner: best configuration honoring the pins. The unconstrained best
+  // across the whole grid prices what the pins cost.
+  const bool pinned = key.pinned_schedule >= 0 || key.pinned_chunks > 0;
+  const CandidateResult* constrained =
+      pick_best(rep.candidates, [&](const CandidateResult& c) { return satisfies_pins(key, c); });
+  const CandidateResult* unconstrained =
+      pick_best(rep.candidates, [](const CandidateResult&) { return true; });
+  if (unconstrained != nullptr) rep.best_items_per_sec = unconstrained->items_per_sec;
+  const CandidateResult* winner = constrained != nullptr ? constrained : unconstrained;
+  if (winner != nullptr) {
+    rep.winner.variant_id = winner->id;
+    rep.winner.schedule = winner->schedule;
+    rep.winner.chunks_per_thread = winner->chunks_per_thread;
+    rep.winner.items_per_sec = winner->items_per_sec;
+    rep.winner.imbalance = winner->imbalance;
+    if (pinned && constrained != nullptr && unconstrained != nullptr &&
+        unconstrained->items_per_sec > kPinnedLossFactor * constrained->items_per_sec) {
+      rep.pinned_losing = true;
+    }
+  }
+  rep.race_seconds = race_timer.seconds();
+  return rep;
+}
+
+Resolution resolve(const engine::Engine& eng, const engine::PricingRequest& req,
+                   const TuneKey& key) {
+  Resolution out;
+  PlanCache& cache = PlanCache::instance();
+  if (std::optional<DispatchPlan> p = cache.find(key)) {
+    if (engine::Registry::instance().find(p->variant_id) != nullptr) {
+      obs::counter("engine.tune.hit").add(1);
+      out.plan = std::move(*p);
+      out.hit = true;
+      return out;
+    }
+    // The cached plan names a variant this build does not ship (a stale
+    // cache from another binary age): drop it and re-race rather than
+    // mis-dispatch.
+    cache.erase(key);
+  }
+  obs::counter("engine.tune.miss").add(1);
+  RaceReport rep = race(eng, req, key);
+  obs::counter("engine.tune.race").add(1);
+  out.raced = true;
+  if (rep.pinned_losing) obs::counter("engine.tune.pinned_losing").add(1);
+  if (!rep.winner.valid()) return out;
+  cache.put(key, rep);
+  out.plan = rep.winner;
+  return out;
+}
+
+}  // namespace finbench::tune

@@ -4,13 +4,28 @@
 //   pricectl --list                      enumerate every registered variant
 //   pricectl --validate [--nopt N]       self-validate variants vs references
 //   pricectl --kernel ID --nopt N        price a workload through variant ID
+//            [--auto] [--tune] [--explain] [--tune-cache PATH]
 //            [--layout aos|soa|blocked|auto] [--schedule dynamic|static]
-//            [--steps N] [--npath N] [--prices N] [--depth N] [--seed N]
-//            [--spy N] [--reps N] [--threads N] [--json PATH] [--csv PATH]
-//            [--trace PATH] [--sanitize off|reject|clamp|skip]
+//            [--chunks N] [--steps N] [--npath N] [--prices N] [--depth N]
+//            [--seed N] [--spy N] [--reps N] [--threads N] [--json PATH]
+//            [--csv PATH] [--trace PATH] [--sanitize off|reject|clamp|skip]
 //            [--guard off|finite|full] [--deadline-ms N] [--inject SPEC]
 //            [--metrics PATH|-] [--watch MS] [--flight-dump PATH]
 //            [--serve N] [--no-coalesce]
+//
+// Auto dispatch (docs/autotuning.md): --kernel also accepts an *intent* id
+// "<family>.auto" (bs/blackscholes, binomial, mc/montecarlo, brownian,
+// cn/cranknicolson) — the engine races the family's candidate variants,
+// layouts, and schedule settings once per workload shape and dispatches
+// the winner; --auto turns a bare family name into that intent ("--auto
+// --kernel bs" == "--kernel bs.auto"). --tune-cache PATH persists the
+// raced plans (schema finbench.tune_cache/v1, fingerprinted by host CPU)
+// so later runs resolve without racing; --tune forces a re-race of this
+// workload's key; --explain prints the cached race evidence — every
+// candidate's measured rate and imbalance — after the run. --chunks pins
+// chunks_per_thread (and --schedule now pins the schedule) even under
+// auto dispatch; the tuner warns via the engine.tune.pinned_losing counter
+// when a pin costs >10% against the tuned choice.
 //
 // --kernel runs kSpecs workloads through the batched engine (persistent
 // thread pool, cost-model-weighted chunks, --schedule selects dynamic
@@ -59,6 +74,7 @@
 #include <cstdio>
 #include <cstring>
 #include <iostream>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -74,6 +90,7 @@
 #include "finbench/engine/validate.hpp"
 #include "finbench/robust/robust.hpp"
 #include "finbench/serve/server.hpp"
+#include "finbench/tune/tuner.hpp"
 #include "finbench/vecmath/array_math.hpp"
 
 using namespace finbench;
@@ -166,9 +183,13 @@ void print_parallel_stats() {
 // submits all N to a serve::Server and waits for completion, which
 // exercises the queue, the admission gate, and — unless --no-coalesce —
 // the coalescer re-fusing the stream back into large batches.
-int run_serve(const engine::VariantInfo* v, const engine::PricingRequest& proto,
-              engine::Layout req_layout, std::size_t items, int nreq, bool coalesce,
-              bench::Options& opts, const std::string& metrics_path, int watch_ms) {
+// `v` is null under auto dispatch (the intent has no registry entry yet);
+// `family` is then the canonical kernel family, and the reporting variant
+// is looked up from the first job's resolved id after the run.
+int run_serve(const engine::VariantInfo* v, const std::string& family,
+              const engine::PricingRequest& proto, engine::Layout req_layout, std::size_t items,
+              int nreq, bool coalesce, bench::Options& opts, const std::string& metrics_path,
+              int watch_ms) {
   const std::size_t per = std::max<std::size_t>(1, items / static_cast<std::size_t>(nreq));
   std::vector<core::Portfolio> pfs;
   pfs.reserve(static_cast<std::size_t>(nreq));
@@ -178,7 +199,7 @@ int run_serve(const engine::VariantInfo* v, const engine::PricingRequest& proto,
     const std::size_t seed = proto.seed + static_cast<std::size_t>(j);
     if (req_layout == engine::Layout::kSpecs) {
       core::SingleOptionWorkloadParams p;
-      if (v->european_only) p.style = core::ExerciseStyle::kEuropean;
+      if (v ? v->european_only : family == "mc") p.style = core::ExerciseStyle::kEuropean;
       auto specs = core::make_option_workload(per, seed, p);
       if (proto.faults.poison > 0.0) {
         poisoned += robust::inject_input_faults(std::span<core::OptionSpec>(specs), proto.faults);
@@ -234,10 +255,19 @@ int run_serve(const engine::VariantInfo* v, const engine::PricingRequest& proto,
   server.stop();
   const finbench::serve::Server::Stats st = server.stats();
 
+  // Under auto dispatch the jobs carry what the tuner resolved; report
+  // through the resolved variant so rates/roofline stay meaningful.
+  const engine::VariantInfo* rv = v;
+  if (rv == nullptr) rv = engine::Registry::instance().find(jobs[0].result.resolved_id);
+
   opts.layout = std::string(engine::to_string(req_layout));
   harness::Report report("pricectl --serve: " + proto.kernel_id, "items/s");
   report.add_note("serve: " + std::to_string(nreq) + " requests x " + std::to_string(per) +
                   " items, coalesce = " + (coalesce ? std::string("on") : std::string("off")));
+  if (jobs[0].result.tuned) {
+    report.add_note("tune: " + proto.kernel_id + " -> " + jobs[0].result.resolved_id +
+                    " (auto dispatch; coalescer keys on the resolved plan)");
+  }
   report.add_note("serve: submitted = " + std::to_string(st.submitted) +
                   ", completed = " + std::to_string(st.completed) +
                   ", batches = " + std::to_string(st.batches) +
@@ -251,10 +281,11 @@ int run_serve(const engine::VariantInfo* v, const engine::PricingRequest& proto,
                     ", poisoned = " + std::to_string(poisoned));
   }
   bench::Projector proj;
-  const double flops = v->flops_per_item ? v->flops_per_item(jobs[0].request) : 0.0;
-  const double bytes = v->bytes_per_item ? v->bytes_per_item(jobs[0].request) : 0.0;
-  const int w = v->width == 0 ? vecmath::max_width() : v->width;
-  report.add_row(proj.make_row(v->description, rate, flops, bytes, w, w));
+  const double flops = rv && rv->flops_per_item ? rv->flops_per_item(jobs[0].request) : 0.0;
+  const double bytes = rv && rv->bytes_per_item ? rv->bytes_per_item(jobs[0].request) : 0.0;
+  const int w = rv == nullptr || rv->width == 0 ? vecmath::max_width() : rv->width;
+  report.add_row(
+      proj.make_row(rv != nullptr ? rv->description : proto.kernel_id, rate, flops, bytes, w, w));
   if (metrics_path == "-") {
     bench::finish_quiet(report, opts);
     obs::write_openmetrics(std::cout);
@@ -284,6 +315,10 @@ int main(int argc, char** argv) {
   int spy = 0;
   int serve_n = 0;
   bool no_coalesce = false;
+  bool auto_mode = false;
+  bool force_tune = false;
+  bool explain = false;
+  std::string tune_cache_path;
 
   for (int i = 1; i < argc; ++i) {
     auto next = [&](std::size_t fallback) -> std::size_t {
@@ -311,6 +346,18 @@ int main(int argc, char** argv) {
     } else if (!std::strcmp(argv[i], "--schedule") && i + 1 < argc) {
       req.schedule = !std::strcmp(argv[++i], "static") ? arch::Schedule::kStatic
                                                        : arch::Schedule::kDynamic;
+      req.pin_schedule = true;  // an explicit schedule wins over a tuned plan
+    } else if (!std::strcmp(argv[i], "--chunks")) {
+      req.chunks_per_thread = static_cast<int>(next(req.chunks_per_thread));
+      req.pin_chunks = true;
+    } else if (!std::strcmp(argv[i], "--auto")) {
+      auto_mode = true;
+    } else if (!std::strcmp(argv[i], "--tune")) {
+      force_tune = true;
+    } else if (!std::strcmp(argv[i], "--explain")) {
+      explain = true;
+    } else if (!std::strcmp(argv[i], "--tune-cache") && i + 1 < argc) {
+      tune_cache_path = argv[++i];
     } else if (!std::strcmp(argv[i], "--sanitize") && i + 1 < argc) {
       const std::string s = argv[++i];
       if (s == "off") req.sanitize = robust::SanitizePolicy::kOff;
@@ -358,31 +405,81 @@ int main(int argc, char** argv) {
 
   if (list) return run_list();
   if (validate) return run_validate(nopt ? nopt : 64);
+  if (kernel_id.empty() && auto_mode) kernel_id = "bs.auto";
   if (kernel_id.empty()) {
     std::fprintf(stderr,
                  "usage: pricectl --list | --validate | --kernel ID --nopt N [--json PATH]\n"
+                 "               [--auto] [--tune] [--explain] [--tune-cache PATH]\n"
                  "               [--layout aos|soa|blocked|auto] [--schedule dynamic|static]\n"
-                 "               [--steps N] [--npath N] [--prices N] [--depth N]\n"
+                 "               [--chunks N] [--steps N] [--npath N] [--prices N] [--depth N]\n"
                  "               [--seed N] [--spy N] [--reps N] [--threads N]\n"
                  "               [--csv PATH] [--trace PATH]\n"
                  "               [--sanitize off|reject|clamp|skip] [--guard off|finite|full]\n"
                  "               [--deadline-ms N] [--inject SPEC]\n"
                  "               [--metrics PATH|-] [--watch MS] [--flight-dump PATH]\n"
-                 "               [--serve N] [--no-coalesce]\n");
+                 "               [--serve N] [--no-coalesce]\n"
+                 "       ID is a concrete variant (--list) or an auto intent '<family>.auto'\n"
+                 "       (bs/blackscholes, binomial, mc/montecarlo, brownian, cn/cranknicolson)\n");
     return 2;
   }
+  // --auto turns a bare family name into the auto intent: "--auto --kernel
+  // bs" prices "bs.auto". A concrete 3-part id with --auto is a
+  // contradiction worth flagging rather than guessing about.
+  if (auto_mode && !tune::is_auto_id(kernel_id)) {
+    if (kernel_id.find('.') == std::string::npos) {
+      kernel_id += ".auto";
+    } else {
+      std::fprintf(stderr,
+                   "pricectl: --auto needs a kernel family (e.g. --kernel bs), not the "
+                   "concrete variant id '%s'\n",
+                   kernel_id.c_str());
+      return 2;
+    }
+  }
 
-  const engine::VariantInfo* v = engine::Registry::instance().find(kernel_id);
-  if (!v) {
-    std::fprintf(stderr, "pricectl: unknown kernel id '%s' (see --list)\n", kernel_id.c_str());
-    return 2;
+  if (!tune_cache_path.empty()) {
+    const robust::Status st = tune::PlanCache::instance().set_path(tune_cache_path);
+    if (st.code() != robust::StatusCode::kOk) {
+      std::fprintf(stderr, "pricectl: tune cache: %s\n", st.to_string().c_str());
+    }
+  }
+
+  // Resolve what we're pricing: a concrete registry variant, or an auto
+  // intent (known family, no registry entry — the engine resolves it).
+  const bool auto_id = tune::is_auto_id(kernel_id);
+  std::string family;
+  const engine::VariantInfo* v = nullptr;
+  if (auto_id) {
+    family = std::string(tune::auto_family(kernel_id));
+    if (family.empty()) {
+      std::fprintf(stderr,
+                   "pricectl: unknown auto family in '%s' (families: bs/blackscholes, "
+                   "binomial, mc/montecarlo, brownian, cn/cranknicolson)\n",
+                   kernel_id.c_str());
+      return 2;
+    }
+  } else {
+    v = engine::Registry::instance().find(kernel_id);
+    if (!v) {
+      std::fprintf(stderr, "pricectl: unknown kernel id '%s' (see --list)\n", kernel_id.c_str());
+      return 2;
+    }
   }
   req.kernel_id = kernel_id;
   if (spy > 0) req.steps_per_year = spy;
 
+  // Native layout the workload is built in: the variant's own, or the
+  // family default for an auto intent (BS books arrive AOS, Brownian wants
+  // paths, the chunked families take specs).
+  const engine::Layout native =
+      v != nullptr ? v->layout
+      : family == "bs" ? engine::Layout::kBsAos
+      : family == "brownian" ? engine::Layout::kPaths
+                             : engine::Layout::kSpecs;
+
   if (serve_n > 0) {
-    engine::Layout serve_layout = v->layout;
-    switch (v->layout) {
+    engine::Layout serve_layout = native;
+    switch (native) {
       case engine::Layout::kBsAos:
       case engine::Layout::kBsSoa:
       case engine::Layout::kBsSoaF:
@@ -395,11 +492,11 @@ int main(int argc, char** argv) {
         break;
       default:
         std::fprintf(stderr, "pricectl: --serve has no workload builder for layout '%s'\n",
-                     std::string(engine::to_string(v->layout)).c_str());
+                     std::string(engine::to_string(native)).c_str());
         return 2;
     }
-    return run_serve(v, req, serve_layout, nopt ? nopt : (1u << 18), serve_n, !no_coalesce,
-                     opts, metrics_path, watch_ms);
+    return run_serve(v, family, req, serve_layout, nopt ? nopt : (1u << 18), serve_n,
+                     !no_coalesce, opts, metrics_path, watch_ms);
   }
 
   // Workload by layout, sized for an interactive run unless --nopt given.
@@ -409,8 +506,8 @@ int main(int argc, char** argv) {
   core::Portfolio pf;
   std::size_t items = nopt;
   std::size_t poisoned = 0;
-  engine::Layout req_layout = v->layout;
-  switch (v->layout) {
+  engine::Layout req_layout = native;
+  switch (native) {
     case engine::Layout::kBsAos:
     case engine::Layout::kBsSoa:
     case engine::Layout::kBsSoaF:
@@ -426,8 +523,10 @@ int main(int argc, char** argv) {
       break;
     case engine::Layout::kSpecs: {
       core::SingleOptionWorkloadParams p;
-      if (v->european_only) p.style = core::ExerciseStyle::kEuropean;
-      if (v->kernel == "cn") {
+      if (v != nullptr ? v->european_only : family == "mc") {
+        p.style = core::ExerciseStyle::kEuropean;
+      }
+      if ((v != nullptr ? v->kernel : family) == "cn") {
         p.style = core::ExerciseStyle::kAmerican;
         p.vol_min = 0.2;
         p.vol_max = 0.4;
@@ -455,10 +554,18 @@ int main(int argc, char** argv) {
       break;
     default:
       std::fprintf(stderr, "pricectl: no workload builder for layout '%s'\n",
-                   std::string(engine::to_string(v->layout)).c_str());
+                   std::string(engine::to_string(native)).c_str());
       return 2;
   }
   req.portfolio = pf.view();
+
+  // --tune: drop this workload's key from the plan cache so the pricing
+  // below re-races even when a (possibly stale) plan is already cached.
+  if (auto_id && force_tune) {
+    const tune::TuneKey key =
+        tune::key_for(req, family, engine::Engine::shared().pool_size());
+    tune::PlanCache::instance().erase(key);
+  }
 
   // Route the engine's automatic post-mortem dump to the requested path
   // before anything can trigger it.
@@ -496,6 +603,20 @@ int main(int argc, char** argv) {
     print_live_metrics();
   }
 
+  // The reporting variant: the one named, or the one the tuner resolved.
+  const engine::VariantInfo* rv =
+      v != nullptr ? v : engine::Registry::instance().find(last.resolved_id);
+  const engine::Layout rv_layout = rv != nullptr ? rv->layout : last.layout;
+
+  // The plan a tuned run dispatched through (for the schedule note and
+  // --explain); the cache holds it under the request's own key.
+  std::optional<tune::DispatchPlan> plan;
+  tune::TuneKey key;
+  if (auto_id) {
+    key = tune::key_for(req, family, eng.pool_size());
+    plan = tune::PlanCache::instance().find(key);
+  }
+
   // Layout provenance: what the request carried, what the variant needed,
   // and what the negotiation cost (one-time; the converted buffer is
   // cached in the request's scratch across repetitions).
@@ -504,21 +625,35 @@ int main(int argc, char** argv) {
   if (last.convert_bytes > 0) {
     std::printf("layout negotiation: %s -> %s, one-time conversion %.3g ms (%zu bytes)\n",
                 std::string(engine::to_string(req_layout)).c_str(),
-                std::string(engine::to_string(v->layout)).c_str(),
+                std::string(engine::to_string(rv_layout)).c_str(),
                 1e3 * last.convert_seconds, last.convert_bytes);
   }
 
   harness::Report report("pricectl: " + kernel_id, "items/s");
   report.add_note("layout = " + opts.layout + " (variant native: " +
-                  std::string(engine::to_string(v->layout)) +
-                  "), items = " + std::to_string(items) + ", exhibit = " + v->exhibit);
+                  std::string(engine::to_string(rv_layout)) +
+                  "), items = " + std::to_string(items) +
+                  ", exhibit = " + (rv != nullptr ? rv->exhibit : std::string("-")));
   if (last.convert_bytes > 0) {
     report.add_note("negotiated conversion = " + harness::eng(last.convert_seconds) +
                     " s one-time, " + std::to_string(last.convert_bytes) + " bytes");
   }
-  report.add_note("schedule = " + std::string(req.schedule == arch::Schedule::kDynamic
+  if (last.tuned) {
+    report.add_note("tune: " + kernel_id + " -> " + last.resolved_id + " (auto dispatch)");
+    std::string counters = "tune:";
+    for (const auto& [name, c] : obs::snapshot_metrics().counters) {
+      if (name.rfind("engine.tune.", 0) == 0) {
+        counters += " " + name.substr(sizeof("engine.tune.") - 1) + "=" + std::to_string(c);
+      }
+    }
+    report.add_note(counters);
+  }
+  const arch::Schedule eff_sched =
+      last.tuned && plan && !req.pin_schedule ? plan->schedule : req.schedule;
+  report.add_note("schedule = " + std::string(eff_sched == arch::Schedule::kDynamic
                                                   ? "dynamic (ticket self-scheduling)"
-                                                  : "static (equal-count stripes)"));
+                                                  : "static (equal-count stripes)") +
+                  (last.tuned && !req.pin_schedule ? " [tuned]" : ""));
   // Robustness provenance: what policies ran and what they had to do.
   // The run report's `robust` object carries the obs counters; these notes
   // are the human-readable summary of the same run.
@@ -544,10 +679,11 @@ int main(int argc, char** argv) {
                     ", deadline = " + std::to_string(last.chunks_deadline));
   }
   bench::Projector proj;
-  const double flops = v->flops_per_item ? v->flops_per_item(req) : 0.0;
-  const double bytes = v->bytes_per_item ? v->bytes_per_item(req) : 0.0;
-  const int w = v->width == 0 ? vecmath::max_width() : v->width;
-  report.add_row(proj.make_row(v->description, rate, flops, bytes, w, w));
+  const double flops = rv && rv->flops_per_item ? rv->flops_per_item(req) : 0.0;
+  const double bytes = rv && rv->bytes_per_item ? rv->bytes_per_item(req) : 0.0;
+  const int w = rv == nullptr || rv->width == 0 ? vecmath::max_width() : rv->width;
+  report.add_row(
+      proj.make_row(rv != nullptr ? rv->description : kernel_id, rate, flops, bytes, w, w));
   // `--metrics -` claims stdout for the OpenMetrics exposition, so the
   // report table and parallel stats are suppressed (the JSON/CSV/trace
   // exports still run) — scrapers get a pure document they can pipe
@@ -565,6 +701,35 @@ int main(int argc, char** argv) {
       obs::write_openmetrics(std::cout);
     } else if (!obs::write_openmetrics_file(metrics_path)) {
       std::fprintf(stderr, "warning: could not write OpenMetrics to %s\n", metrics_path.c_str());
+    }
+  }
+
+  // --explain: the race evidence behind this workload's plan — every
+  // candidate configuration's measured rate and imbalance. (To stderr when
+  // `--metrics -` owns stdout.)
+  if (explain && auto_id) {
+    FILE* out = metrics_path == "-" ? stderr : stdout;
+    if (const auto rep = tune::PlanCache::instance().explain(key)) {
+      std::fprintf(out, "tune: key %s\n", key.to_string().c_str());
+      std::fprintf(out, "tune: winner %s sched=%s cpt=%d %.4g items/s imbalance=%.3f (race %.2f s)\n",
+                   rep->winner.variant_id.c_str(),
+                   std::string(tune::to_string(rep->winner.schedule)).c_str(),
+                   rep->winner.chunks_per_thread, rep->winner.items_per_sec,
+                   rep->winner.imbalance, rep->race_seconds);
+      if (rep->pinned_losing) {
+        std::fprintf(out,
+                     "tune: WARNING pinned schedule/chunks lose >10%% to the unconstrained "
+                     "best (%.4g items/s)\n",
+                     rep->best_items_per_sec);
+      }
+      for (const auto& c : rep->candidates) {
+        std::fprintf(out, "tune:   %-34s %-8s cpt=%-3d %12.4g items/s imbalance=%.3f%s%s\n",
+                     c.id.c_str(), std::string(tune::to_string(c.schedule)).c_str(),
+                     c.chunks_per_thread, c.items_per_sec, c.imbalance,
+                     c.ok ? "" : "  FAILED: ", c.ok ? "" : c.note.c_str());
+      }
+    } else {
+      std::fprintf(out, "tune: no cache entry for key %s\n", key.to_string().c_str());
     }
   }
 

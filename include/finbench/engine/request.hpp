@@ -19,6 +19,8 @@
 
 #include "finbench/arch/parallel.hpp"
 #include "finbench/core/portfolio.hpp"
+#include "finbench/resilience/brownout.hpp"
+#include "finbench/resilience/retry.hpp"
 #include "finbench/robust/deadline.hpp"
 #include "finbench/robust/fault.hpp"
 #include "finbench/robust/guards.hpp"
@@ -93,8 +95,22 @@ struct PricingRequest {
   // Deterministic engine-side fault injection (tests, CI smoke runs):
   // corrupt outputs, throw in chunks, slow chunks down. Input poisoning
   // (FaultPlan::poison) is applied by whoever owns the workload — see
-  // robust::inject_input_faults. Never active during fallback repricing.
+  // robust::inject_input_faults. Never active during fallback repricing,
+  // and never scored by the circuit breakers (a request-level injected
+  // fault is test machinery, not variant health).
   robust::FaultPlan faults{};
+
+  // --- Resilience (finbench/resilience; docs/resilience.md) ----------------
+  // Serve-layer retry opt-in: max_attempts > 1 lets the dispatcher retry
+  // kKernelError / kResourceExhausted outcomes with decorrelated-jitter
+  // backoff, subject to the server's global retry budget. Ignored by a
+  // direct Engine::price call (the engine itself never retries).
+  resilience::RetryPolicy retry{};
+
+  // Brownout opt-in: how far the serve dispatcher may degrade this
+  // request's accuracy knobs under overload, and its shedding priority.
+  // The defaults forbid any degradation.
+  resilience::DegradePolicy degrade{};
 
   // Adapter-owned cache; reused across repeated pricings of this request.
   mutable std::shared_ptr<Scratch> scratch;
@@ -184,6 +200,16 @@ struct PricingResult {
   std::size_t chunks_degraded = 0;   // re-priced through the fallback chain
   std::size_t chunks_failed = 0;     // unrecoverable
   std::size_t chunks_deadline = 0;   // skipped at deadline/cancellation
+
+  // --- Resilience detail (serve-layer; zero on a direct engine call) -------
+  // Brownout ladder level the dispatcher applied to this request (0 =
+  // none) and the accuracy knobs that actually executed when degraded
+  // (0 = as requested). A browned-out result is at least kDegraded.
+  int brownout_level = 0;
+  std::size_t npath_applied = 0;
+  int steps_applied = 0;
+  // Dispatch attempts the serve retry layer made (1 = no retries).
+  int attempts = 1;
 
   double items_per_sec() const {
     return seconds > 0.0 ? static_cast<double>(items) / seconds : 0.0;

@@ -18,9 +18,11 @@
 // request's deadline-skipped / never-run chunks, the exact data a
 // deadline post-mortem needs. The engine triggers flight_auto_dump() on
 // kDeadlineExceeded, kKernelError, and quarantine (fallback re-pricing);
-// the first such event per process writes the dump (re-arm with
-// reset_flight_auto_dump()), so a long degraded run does not spend its
-// time re-serializing the same story. On demand: pricectl --flight-dump.
+// the first event *per distinct reason* per process writes a dump to a
+// reason-suffixed path ("finbench_flight.deadline_exceeded.json"), so a
+// quarantine dump never swallows a later deadline dump, while a long
+// degraded run still serializes each story only once (re-arm everything
+// with reset_flight_auto_dump()). On demand: pricectl --flight-dump.
 
 #pragma once
 
@@ -99,9 +101,11 @@ std::string flight_dump_path();
 // string. Returns false when the file cannot be written.
 bool write_flight_dump(const std::string& path, const std::string& reason = "on_demand");
 
-// Post-mortem trigger: writes the dump to flight_dump_path() the first
-// time it fires in the process (returns whether this call wrote it).
-// Re-arm with reset_flight_auto_dump().
+// Post-mortem trigger: the first call per distinct `reason` writes a dump
+// to flight_dump_path() with ".<reason>" spliced in before the extension
+// (returns whether this call wrote it; later calls with the same reason
+// return false). At most 8 distinct reasons dump per arming period.
+// Re-arm every reason with reset_flight_auto_dump().
 bool flight_auto_dump(const char* reason);
 void reset_flight_auto_dump();
 

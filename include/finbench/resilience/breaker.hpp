@@ -1,0 +1,179 @@
+// finbench/resilience/breaker.hpp
+//
+// Per-variant circuit breakers: the adaptive half of the robustness story.
+// PR 4's fallback chain repairs *one* failing pricing; a breaker notices a
+// variant that keeps failing and takes it out of rotation so the fallback
+// chain stops being the hot path.
+//
+// Each registry variant gets a Breaker keyed by its stable id. The engine
+// records one Outcome per pricing that executed the variant (ok, kernel
+// error, quarantine/fallback repair, deadline miss); the tuner consults
+// the breaker before handing out a plan:
+//
+//   closed     normal operation. record() maintains a sliding window of
+//              the last `window` outcomes; once `min_samples` are present
+//              and the failure ratio reaches `trip_ratio`, the breaker
+//              trips open.
+//   open       allow() rejects without racing or dispatching — resolve()
+//              substitutes the variant's fallback chain instead. After
+//              the current backoff (open_seconds, doubling per re-trip up
+//              to max_open_seconds) the breaker half-opens.
+//   half-open  allow() grants exactly `probes` requests through to the
+//              real variant. `probes` consecutive kOk outcomes close the
+//              breaker (and reset the backoff); any failure re-opens it
+//              with a doubled backoff.
+//
+// Transitions bump resilience.breaker.{open,half_open,close} and land in
+// the flight recorder ("brk_open"/"brk_half"/"brk_close" against the
+// variant id), so a post-mortem shows *when* traffic left a variant.
+//
+// Recording is skipped for requests carrying a robust::FaultPlan — those
+// are deliberate test faults, not variant health. Chaos-harness variant
+// faults (resilience/chaos.hpp) do count: that is the point of them.
+
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace finbench::resilience {
+
+enum class BreakerState : int { kClosed = 0, kOpen = 1, kHalfOpen = 2 };
+
+constexpr std::string_view to_string(BreakerState s) {
+  switch (s) {
+    case BreakerState::kClosed: return "closed";
+    case BreakerState::kOpen: return "open";
+    case BreakerState::kHalfOpen: return "half_open";
+  }
+  return "?";
+}
+
+// Outcome of one pricing through a variant, as the breaker scores it.
+// Everything but kOk counts toward the trip ratio: a quarantined run burnt
+// a fallback re-price and a deadline miss burnt the caller's budget even
+// though both returned usable results.
+enum class Outcome : int { kOk = 0, kError = 1, kQuarantine = 2, kDeadlineMiss = 3 };
+
+struct BreakerConfig {
+  std::size_t window = 32;       // sliding outcome window per variant
+  std::size_t min_samples = 8;   // outcomes required before tripping
+  double trip_ratio = 0.5;       // failure fraction that trips
+  double open_seconds = 0.25;    // first backoff; doubles per re-trip
+  double max_open_seconds = 8.0;
+  int probes = 3;                // half-open probe budget / closes needed
+};
+
+class Breaker {
+ public:
+  Breaker(std::string id, const BreakerConfig& cfg);
+  Breaker(const Breaker&) = delete;
+  Breaker& operator=(const Breaker&) = delete;
+
+  // May this request run the variant? Closed: one relaxed load, always
+  // true. Open: false until the backoff elapses (then half-opens and the
+  // call consumes the first probe). Half-open: consumes a probe, false
+  // once the probe budget for this half-open period is spent.
+  bool allow();
+
+  // Non-consuming peek: would allow() pass right now? Used by the race to
+  // filter candidates without burning half-open probes.
+  bool available() const;
+
+  // Score one pricing that actually executed the variant.
+  void record(Outcome o);
+
+  BreakerState state() const { return state_.load(std::memory_order_relaxed); }
+  const std::string& id() const { return id_; }
+
+  struct Snapshot {
+    BreakerState state = BreakerState::kClosed;
+    std::size_t window_samples = 0;
+    std::size_t window_failures = 0;
+    std::uint64_t trips = 0;
+    std::uint64_t rejected = 0;
+    double backoff_seconds = 0.0;  // next open period
+  };
+  Snapshot snapshot() const;
+
+  // Back to closed with an empty window and the initial backoff (tests,
+  // chaos harness scenario resets).
+  void reset();
+
+ private:
+  void trip_locked(double now);
+  void close_locked();
+  void half_open_locked();
+  double now_seconds() const;
+
+  const std::string id_;
+  const BreakerConfig cfg_;
+  std::atomic<BreakerState> state_{BreakerState::kClosed};
+
+  mutable std::mutex mu_;
+  std::vector<std::uint8_t> win_;  // 1 = failure; cfg_.window slots
+  std::size_t win_pos_ = 0;
+  std::size_t win_count_ = 0;
+  std::size_t win_failures_ = 0;
+  double backoff_ = 0.0;     // current open period
+  double reopen_at_ = 0.0;   // when the open state half-opens
+  int probes_left_ = 0;      // half-open: allow() budget
+  int probe_ok_ = 0;         // half-open: consecutive kOk outcomes
+  std::uint64_t trips_ = 0;
+  std::uint64_t rejected_ = 0;
+};
+
+// Process-wide variant-id -> Breaker map. Breaker handles are stable for
+// the life of the process (unique_ptr values), so the engine caches the
+// pointer next to its per-kernel histogram handles. Disabled (set_enabled
+// false) every allow() passes and record() is a no-op — `pricectl
+// --breaker off` and the chaos harness's control arm.
+class BreakerRegistry {
+ public:
+  static BreakerRegistry& instance();
+
+  Breaker& of(std::string_view variant_id);
+
+  // allow()/record() through the enabled flag; allow() of an unknown id
+  // creates its breaker (closed, so it passes).
+  bool allow(std::string_view variant_id);
+  void record(std::string_view variant_id, Outcome o);
+
+  // Non-consuming: false only for an existing breaker that would reject.
+  // Unknown ids are available without instantiating a breaker.
+  bool available(std::string_view variant_id) const;
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+
+  // Config for breakers created after this call (existing ones keep
+  // theirs; reset() to drop them).
+  void set_config(const BreakerConfig& cfg);
+  BreakerConfig config() const;
+
+  std::vector<std::pair<std::string, Breaker::Snapshot>> snapshot() const;
+
+  // Drop every breaker (tests, chaos scenario boundaries). Invalidate
+  // no handles lightly: cached Breaker* become dangling, so the engine
+  // re-resolves via the generation counter below.
+  void reset();
+  std::uint64_t generation() const { return generation_.load(std::memory_order_acquire); }
+
+ private:
+  BreakerRegistry() = default;
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::unique_ptr<Breaker>> map_;
+  std::atomic<bool> enabled_{true};
+  std::atomic<std::uint64_t> generation_{1};
+  BreakerConfig cfg_{};
+};
+
+}  // namespace finbench::resilience

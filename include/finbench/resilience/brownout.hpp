@@ -1,0 +1,141 @@
+// finbench/resilience/brownout.hpp
+//
+// Brownout: load-shaped accuracy degradation for the serve dispatcher.
+//
+// When the rolling queue-delay p99 or the deadline-miss ratio crosses the
+// configured thresholds, the dispatcher steps down a ladder instead of
+// letting every request miss its deadline:
+//
+//   L0  normal           requests run with their own knobs
+//   L1  mild degrade     accuracy knobs (MC path counts, lattice steps)
+//                        scaled to max(0.5, declared floor)
+//   L2  floor degrade    knobs scaled to the request's declared floor
+//                        (DegradePolicy::min_*_fraction)
+//   L3  floor + shed     additionally, requests whose priority is below
+//                        BrownoutConfig::shed_below_priority are rejected
+//                        with kResourceExhausted before dispatch
+//
+// Degradation is strictly opt-in per request: the default DegradePolicy
+// declares floors of 1.0 (no reduction allowed) and priority 0 (never
+// shed under the default shed_below_priority of 0), so a request that
+// never heard of brownout is never touched. Cheaper *variants* come for
+// free: scaled knobs form a new TuneKey, and the tuner's race picks the
+// cheapest variant that wins at the degraded accuracy.
+//
+// Hysteresis — the no-flapping contract: stepping down requires the
+// overload signal plus `dwell_seconds` since the last transition;
+// stepping up requires `up_healthy_evals` consecutive healthy evaluation
+// windows *and* `up_dwell_seconds` at the current level, against a
+// healthier threshold (step_up_fraction * queue_p99_seconds) than the one
+// that stepped down. Every transition bumps the resilience.brownout.*
+// metrics, sets the resilience.brownout.level gauge, and writes a flight-
+// recorder event ("brownout" against kernel id "serve.brownout").
+//
+// Threading: on_complete()/evaluate() are dispatcher-thread-only and
+// allocation-free in steady state (fixed rings, no heap); level() and
+// snapshot() are safe from any thread (atomics only). Time is injected
+// into evaluate() so tests drive the ladder deterministically.
+
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace finbench::resilience {
+
+// Rides on PricingRequest: how far the serve layer may degrade this
+// request when browned out. Defaults forbid everything.
+struct DegradePolicy {
+  double min_npath_fraction = 1.0;  // MC paths may drop to this fraction
+  double min_steps_fraction = 1.0;  // lattice/PDE steps may drop to this
+  int priority = 0;                 // < shed_below_priority is shed at L3
+};
+
+struct BrownoutConfig {
+  bool enabled = true;
+  double queue_p99_seconds = 0.050;  // step-down threshold on queue delay p99
+  double miss_ratio = 0.10;          // ... or on deadline-miss fraction
+  double step_up_fraction = 0.5;     // healthy when p99 < fraction * threshold
+  double sample_horizon_seconds = 0.5;  // only delays this recent count
+  double eval_interval_seconds = 0.020;
+  double dwell_seconds = 0.100;      // min spacing between step-downs
+  double up_dwell_seconds = 0.300;   // min time at a level before stepping up
+  int up_healthy_evals = 3;          // consecutive healthy windows to step up
+  int max_level = 3;
+  std::size_t min_samples = 16;      // completions per window before signals count
+  int shed_below_priority = 0;       // L3 sheds priority < this (default: none)
+};
+
+class Brownout {
+ public:
+  Brownout();
+  explicit Brownout(const BrownoutConfig& cfg);
+
+  void configure(const BrownoutConfig& cfg);
+  const BrownoutConfig& config() const { return cfg_; }
+
+  // Current ladder level; any thread.
+  int level() const { return level_.load(std::memory_order_relaxed); }
+
+  // Dispatcher thread: one completed job's queue delay + whether it
+  // missed its deadline, stamped with the same clock evaluate() gets —
+  // only samples inside sample_horizon_seconds count, so the ladder
+  // steps back up on fresh evidence instead of overload-era history.
+  void on_complete(double queue_seconds, bool deadline_miss, double now_seconds);
+
+  // Dispatcher thread: maybe transition. `now_seconds` is any monotonic
+  // clock (tests inject their own). Cheap no-op between eval intervals.
+  // Returns the level after evaluation.
+  int evaluate(double now_seconds);
+
+  // Should a request with this priority be shed at the current level?
+  bool shed(int priority) const {
+    return cfg_.enabled && level() >= cfg_.max_level && priority < cfg_.shed_below_priority;
+  }
+
+  // Scale `npath`/`steps` in place per `policy` at the current level.
+  // Returns true when anything changed (the serve layer then marks the
+  // result kDegraded and records the applied knobs).
+  bool apply(const DegradePolicy& policy, std::size_t& npath, int& steps) const;
+
+  struct Snapshot {
+    int level = 0;
+    std::uint64_t transitions = 0;
+    std::uint64_t sheds = 0;
+    double queue_p99_seconds = 0.0;  // last evaluated window
+    double miss_ratio = 0.0;
+  };
+  Snapshot snapshot() const;
+
+  void note_shed() { sheds_.fetch_add(1, std::memory_order_relaxed); }
+
+  // Back to L0 with empty windows (tests, scenario boundaries).
+  void reset();
+
+ private:
+  void transition(int to, double now);
+
+  BrownoutConfig cfg_{};
+  std::atomic<int> level_{0};
+  std::atomic<std::uint64_t> transitions_{0};
+  std::atomic<std::uint64_t> sheds_{0};
+  std::atomic<double> last_p99_{0.0};
+  std::atomic<double> last_miss_{0.0};
+
+  // Dispatcher-thread state (no locks: single writer).
+  static constexpr std::size_t kRing = 256;
+  std::array<double, kRing> delays_{};   // rolling queue delays
+  std::array<double, kRing> stamps_{};   // completion time of each sample
+  std::array<double, kRing> scratch_{};  // percentile workspace
+  std::size_t ring_pos_ = 0;
+  std::size_t ring_count_ = 0;
+  std::uint64_t window_completed_ = 0;  // since last evaluation
+  std::uint64_t window_missed_ = 0;
+  double last_eval_ = -1.0e300;
+  double last_transition_ = -1.0e300;
+  int healthy_evals_ = 0;
+};
+
+}  // namespace finbench::resilience

@@ -1,0 +1,49 @@
+// finbench/resilience/chaos.hpp
+//
+// Variant-scoped chaos faults: the poison the chaos harness feeds the
+// breakers.
+//
+// PR 4's robust::FaultPlan rides on one *request* and deliberately does
+// not trip breakers (a test injecting a fault into its own request is not
+// evidence the variant is sick). The chaos harness needs the opposite: a
+// fault attached to a *variant*, hitting every request the tuner routes
+// to it, exactly like a miscompiled kernel or a bad core would — so
+// breakers trip, tune::resolve substitutes the fallback chain, and
+// availability recovers while the poison is still active.
+//
+// set_variant_fault() binds a FaultPlan (throw_rate / slow / slow_ms — the
+// engine-side sites) to a variant id; the engine consults maybe_inject()
+// right before each chunk of that variant runs. Decisions are the same
+// deterministic splitmix64 streams as request-level plans, keyed on
+// (plan.seed, site, request_id * K + chunk), so a seed-keyed schedule
+// replays exactly.
+//
+// The no-chaos cost is one relaxed atomic load per chunk (chaos_active()),
+// zero when no fault was ever installed.
+
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "finbench/robust/fault.hpp"
+
+namespace finbench::resilience {
+
+// Bind/replace the fault plan for one variant. Only the engine-side
+// sites (throw_rate, slow, corrupt is ignored here) are honoured.
+void set_variant_fault(std::string_view variant_id, const robust::FaultPlan& plan);
+
+void clear_variant_fault(std::string_view variant_id);
+void clear_variant_faults();
+
+// One relaxed load: any variant fault installed?
+bool chaos_active();
+
+// The engine's per-chunk hook. May sleep (slow site) and/or throw
+// robust::InjectedKernelFault (throw site) per the variant's plan; a
+// variant with no plan returns immediately. Call only when
+// chaos_active() is true.
+void maybe_inject(const char* variant_id, std::uint64_t request_id, std::uint64_t chunk);
+
+}  // namespace finbench::resilience

@@ -1,0 +1,75 @@
+// finbench/resilience/retry.hpp
+//
+// Retry policy + global retry budget for the serve dispatcher.
+//
+// A PricingRequest opts in by setting retry.max_attempts > 1. The serve
+// dispatcher re-enqueues a failed job after a decorrelated-jitter backoff
+// — but only for statuses where a retry can plausibly help:
+//
+//   kKernelError        the variant (or its chain) failed this time; a
+//                       retry may land on a different variant once the
+//                       breaker trips
+//   kResourceExhausted  shed under pressure; pressure passes
+//
+// Never retried: kInvalidInput / kInvalidArgument / kNotFound (the request
+// is wrong, not unlucky), kDeadlineExceeded (the budget is gone),
+// kOk / kDegraded (done). Retries of coalesced groups are per *member*:
+// each job carries its own attempt counter and backoff state, so one bad
+// member doesn't re-price its whole former group.
+//
+// The RetryBudget is the anti-amplification guard: a token bucket that
+// earns `tokens_per_request` per first-attempt dispatch and spends one
+// token per retry. Under a 100%-failure outage, total attempts are
+// bounded by primaries * (1 + tokens_per_request) + burst — the retry
+// layer can never turn an outage into a self-inflicted DDoS.
+
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+
+namespace finbench::resilience {
+
+// Rides on PricingRequest. Default = disabled (single attempt).
+struct RetryPolicy {
+  int max_attempts = 1;               // total dispatches, including the first
+  double base_backoff_seconds = 0.001;
+  double max_backoff_seconds = 0.100;
+
+  bool enabled() const { return max_attempts > 1; }
+};
+
+// Decorrelated jitter (the "DecorrelatedJitter" scheme from the AWS
+// architecture blog): next = min(cap, uniform(base, prev * 3)). `state`
+// is a splitmix64 stream the caller owns, so a job's backoff sequence is
+// a pure function of its seed — the chaos harness replays exactly.
+double decorrelated_jitter(std::uint64_t& state, double base_seconds, double cap_seconds,
+                           double prev_seconds);
+
+// Global token bucket shared by every retry the dispatcher performs.
+// Mutex-guarded: it is touched once per dispatch / retry decision on the
+// dispatcher thread plus occasional stats() readers.
+class RetryBudget {
+ public:
+  RetryBudget() = default;
+
+  void configure(double tokens_per_request, double burst);
+
+  // A first-attempt dispatch happened: earn tokens_per_request (clamped
+  // to burst).
+  void on_primary();
+
+  // Spend one token for a retry; false (and no spend) when the bucket
+  // has less than one token.
+  bool try_acquire();
+
+  double available() const;
+
+ private:
+  mutable std::mutex mu_;
+  double tokens_ = 8.0;
+  double per_request_ = 0.1;
+  double burst_ = 8.0;
+};
+
+}  // namespace finbench::resilience

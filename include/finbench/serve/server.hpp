@@ -38,6 +38,19 @@
 // obs::Histogram registry, so quantiles ride the v2 run report and the
 // OpenMetrics export like every engine metric.
 //
+// Resilience (finbench/resilience; docs/resilience.md): the dispatcher is
+// where retry and brownout live. A job whose request opts in
+// (retry.max_attempts > 1) is re-enqueued after a decorrelated-jitter
+// backoff when it fails with kKernelError / kResourceExhausted — subject
+// to the server's global RetryBudget token bucket, each coalesced member
+// retrying independently. The Brownout controller watches queue-delay p99
+// and deadline-miss ratio from completed jobs and steps the degradation
+// ladder; at L1+ the dispatcher scales each opted-in request's accuracy
+// knobs (within its DegradePolicy floors) before coalescing, restores
+// them at completion, and marks the result kDegraded with the applied
+// knobs; at the top level it sheds requests below the configured priority
+// with kResourceExhausted before dispatch.
+//
 // Steady state is allocation-free: with jobs, queue, and group scratch
 // warm, the dispatcher loop performs zero heap allocations per request
 // (tests/test_serve.cpp proves it with a counting operator new).
@@ -57,6 +70,8 @@
 #include "finbench/engine/group.hpp"
 #include "finbench/engine/request.hpp"
 #include "finbench/obs/histogram.hpp"
+#include "finbench/resilience/brownout.hpp"
+#include "finbench/resilience/retry.hpp"
 #include "finbench/robust/status.hpp"
 #include "finbench/serve/queue.hpp"
 
@@ -81,6 +96,17 @@ struct ServerConfig {
   // `mode="coalesced",load="500"` — the latency bench uses this to keep
   // per-load-point quantiles apart in one run report.
   std::string histogram_labels;
+
+  // Brownout controller thresholds and hysteresis. Degradation itself is
+  // strictly opt-in per request (PricingRequest::degrade); with every
+  // request at the default policy the ladder may move but touches nothing.
+  resilience::BrownoutConfig brownout{};
+
+  // Global retry budget: tokens earned per first-attempt dispatch and the
+  // bucket burst. One retry spends one token, so total attempts under a
+  // 100%-failure outage are bounded by primaries * (1 + tokens) + burst.
+  double retry_tokens_per_request = 0.1;
+  double retry_burst = 8.0;
 
   // Engine to price on; nullptr = Engine::shared() (the process pool).
   engine::Engine* engine = nullptr;
@@ -113,6 +139,18 @@ class PricingJob {
   std::atomic<int> state_{kIdle};
   std::uint64_t submit_ns_ = 0;
   std::size_t bytes_ = 0;
+
+  // Serve-layer retry state (dispatcher-owned; reset on every submit).
+  int attempts_ = 1;            // dispatches so far, including the first
+  std::uint64_t retry_ns_ = 0;  // not-before time of the pending retry
+  double backoff_s_ = 0.0;      // previous backoff (decorrelated jitter)
+  std::uint64_t rng_state_ = 0; // job-local jitter stream
+
+  // Brownout state: original knobs saved across a degraded dispatch.
+  std::size_t saved_npath_ = 0;
+  int saved_steps_ = 0;
+  int degrade_level_ = 0;       // ladder level applied (0 = untouched)
+  bool degraded_ = false;
 };
 
 class Server {
@@ -147,14 +185,29 @@ class Server {
     std::uint64_t batches = 0;        // price_group calls
     std::uint64_t coalesced = 0;      // members of batches with size > 1
     std::uint64_t max_batch = 0;      // largest fused group so far
+    std::uint64_t retries = 0;        // re-dispatches performed
+    std::uint64_t retry_denied = 0;   // retries refused by the budget
+    std::uint64_t brownout_shed = 0;  // priority sheds at the top level
+    int brownout_level = 0;           // ladder level at the stats() call
   };
   Stats stats() const;
+
+  // Brownout controller telemetry (level, transitions, last p99/miss).
+  resilience::Brownout::Snapshot brownout_snapshot() const { return brownout_.snapshot(); }
 
   const ServerConfig& config() const { return cfg_; }
 
  private:
   void run_dispatcher();
   void process(std::uint64_t now_ns);
+  // Post-dispatch routing: earn the primary's budget tokens, retry when
+  // the outcome and policy allow it, otherwise complete.
+  void finish(PricingJob& job, std::uint64_t end_ns, std::size_t batch_size);
+  bool maybe_retry(PricingJob& job, std::uint64_t end_ns);
+  static void restore_knobs(PricingJob& job);
+  // Move due (or, when flushing, all) retries into pending_; returns the
+  // earliest not-before time still waiting (0 when none).
+  std::uint64_t collect_due_retries(std::uint64_t now_ns, bool flush);
   void complete(PricingJob& job, std::uint64_t end_ns, std::size_t batch_size);
   void signal_done();
 
@@ -186,6 +239,12 @@ class Server {
   std::vector<PricingJob*> members_;
   std::vector<engine::GroupJob> group_jobs_;
 
+  // Resilience: jobs waiting out a retry backoff (dispatcher-private),
+  // the global retry budget, and the brownout controller.
+  std::vector<PricingJob*> retryq_;
+  resilience::RetryBudget retry_budget_;
+  resilience::Brownout brownout_;
+
   // Cached telemetry handles (resolved once in the constructor).
   obs::Histogram* hist_request_ = nullptr;  // serve.request.seconds
   obs::Histogram* hist_queue_ = nullptr;    // serve.queue.seconds
@@ -193,7 +252,8 @@ class Server {
 
   // Per-server stats (obs counters are process-global; these are local).
   std::atomic<std::uint64_t> n_submitted_{0}, n_completed_{0}, n_shed_queue_{0},
-      n_shed_bytes_{0}, n_expired_{0}, n_batches_{0}, n_coalesced_{0}, n_max_batch_{0};
+      n_shed_bytes_{0}, n_expired_{0}, n_batches_{0}, n_coalesced_{0}, n_max_batch_{0},
+      n_retries_{0}, n_retry_denied_{0}, n_brownout_shed_{0};
 };
 
 }  // namespace finbench::serve

@@ -74,6 +74,13 @@ struct RaceReport {
   // warning.
   double best_items_per_sec = 0.0;
   bool pinned_losing = false;
+
+  // Candidates excluded because their circuit breaker was open when the
+  // race ran (finbench/resilience). A race with exclusions produced a
+  // degraded-era winner: resolve() uses it for the current pricing but
+  // does not persist it, so the healthy-era field re-races later.
+  // Transient — never serialized into the plan cache.
+  int breaker_excluded = 0;
 };
 
 }  // namespace finbench::tune

@@ -61,12 +61,20 @@ struct Resolution {
   DispatchPlan plan;   // valid() false: no runnable candidate
   bool hit = false;    // served from PlanCache::instance()
   bool raced = false;  // a race ran (and its winner was persisted)
+  // The plan's variant was swapped for a fallback-chain link because the
+  // winner's circuit breaker is open (finbench/resilience). A substituted
+  // plan is one-shot: it is never persisted and callers must not cache it
+  // — the next resolution re-consults the breaker, which is how half-open
+  // probes reach the real winner again.
+  bool substituted = false;
 };
 
 // Cache-through resolution: PlanCache hit (validated against the registry
 // — a plan naming a variant this build does not ship re-races instead of
 // mis-dispatching), else race + put. Bumps engine.tune.{hit,miss,race,
-// pinned_losing}.
+// pinned_losing}. A hit whose winner is breaker-rejected substitutes the
+// first allowed link of the winner's fallback chain (substituted = true,
+// not persisted); an exhausted chain fails open to the winner.
 Resolution resolve(const engine::Engine& eng, const engine::PricingRequest& req,
                    const TuneKey& key);
 

@@ -13,6 +13,7 @@
 #include <string>
 
 #include "finbench/obs/metrics.hpp"
+#include "finbench/resilience/breaker.hpp"
 #include "finbench/tune/tuner.hpp"
 #include "variants.hpp"
 
@@ -54,12 +55,37 @@ ResolvedDispatch resolve_dispatch(const Engine& eng, const PricingRequest& req) 
   const void* src = workload_data_key(req.portfolio);
   const int pin_sched = req.pin_schedule ? static_cast<int>(req.schedule) : -1;
   const int pin_cpt = req.pin_chunks ? req.chunks_per_thread : 0;
-  const bool cached = s.has_plan && s.plan_src == src && s.plan_n == req.portfolio.size() &&
-                      s.plan_layout == req.portfolio.layout && s.plan_threads == threads &&
-                      s.plan_steps == req.steps && s.plan_spy == req.steps_per_year &&
-                      s.plan_npath == req.npath && s.plan_bridge == req.bridge_depth &&
-                      s.plan_cn == req.cn_num_prices && s.plan_pin_sched == pin_sched &&
-                      s.plan_pin_cpt == pin_cpt;
+  bool cached = s.has_plan && s.plan_src == src && s.plan_n == req.portfolio.size() &&
+                s.plan_layout == req.portfolio.layout && s.plan_threads == threads &&
+                s.plan_steps == req.steps && s.plan_spy == req.steps_per_year &&
+                s.plan_npath == req.npath && s.plan_bridge == req.bridge_depth &&
+                s.plan_cn == req.cn_num_prices && s.plan_pin_sched == pin_sched &&
+                s.plan_pin_cpt == pin_cpt;
+
+  // Even a scratch-cached plan must pass the winner's circuit breaker: a
+  // variant that trips mid-stream re-routes steady-state request loops
+  // too, and the same check grants the half-open probes that let it come
+  // back. The handle is cached beside the plan; the generation guard
+  // re-resolves it after a BreakerRegistry::reset().
+  resilience::BreakerRegistry& brk = resilience::BreakerRegistry::instance();
+  if (cached && brk.enabled()) {
+    const std::uint64_t gen = brk.generation();
+    if (s.plan_breaker == nullptr || s.plan_breaker_gen != gen) {
+      s.plan_breaker = &brk.of(s.plan.variant_id);
+      s.plan_breaker_gen = gen;
+    }
+    if (!s.plan_breaker->allow()) {
+      static obs::Counter& c_reroute = obs::counter("engine.tune.breaker_reroute");
+      c_reroute.add(1);
+      cached = false;  // resolve below; tune::resolve substitutes the chain
+    }
+  }
+
+  // A breaker-substituted resolution is deliberately NOT scratch-cached:
+  // the substitute plan lasts exactly one pricing, so the next call
+  // re-consults the breaker (whose half-open probes route recovery).
+  tune::DispatchPlan substituted{};
+  const tune::DispatchPlan* plan = &s.plan;
   if (cached) {
     static obs::Counter& c_hit = obs::counter("engine.tune.hit");
     c_hit.add(1);
@@ -73,34 +99,40 @@ ResolvedDispatch resolve_dispatch(const Engine& eng, const PricingRequest& req) 
           ")");
       return out;
     }
-    s.plan = std::move(r.plan);
-    s.has_plan = true;
-    s.plan_src = src;
-    s.plan_n = req.portfolio.size();
-    s.plan_layout = req.portfolio.layout;
-    s.plan_threads = threads;
-    s.plan_steps = req.steps;
-    s.plan_spy = req.steps_per_year;
-    s.plan_npath = req.npath;
-    s.plan_bridge = req.bridge_depth;
-    s.plan_cn = req.cn_num_prices;
-    s.plan_pin_sched = pin_sched;
-    s.plan_pin_cpt = pin_cpt;
+    if (r.substituted) {
+      substituted = std::move(r.plan);
+      plan = &substituted;
+    } else {
+      s.plan = std::move(r.plan);
+      s.has_plan = true;
+      s.plan_src = src;
+      s.plan_n = req.portfolio.size();
+      s.plan_layout = req.portfolio.layout;
+      s.plan_threads = threads;
+      s.plan_steps = req.steps;
+      s.plan_spy = req.steps_per_year;
+      s.plan_npath = req.npath;
+      s.plan_bridge = req.bridge_depth;
+      s.plan_cn = req.cn_num_prices;
+      s.plan_pin_sched = pin_sched;
+      s.plan_pin_cpt = pin_cpt;
+      s.plan_breaker = nullptr;  // re-resolve against the new winner
+    }
   }
 
-  out.v = Registry::instance().find(s.plan.variant_id);
+  out.v = Registry::instance().find(plan->variant_id);
   if (out.v == nullptr) {
     // The registry changed under a cached plan (tests that re-register);
     // drop the stale plan so the next call re-resolves.
     s.has_plan = false;
     out.error = robust::Status::not_found("resolved plan names unknown variant '" +
-                                          s.plan.variant_id + "'");
+                                          plan->variant_id + "'");
     return out;
   }
   out.tuned = true;
   // Pinned knobs keep the caller's value; unpinned ones take the plan's.
-  out.schedule = req.pin_schedule ? req.schedule : s.plan.schedule;
-  out.chunks_per_thread = req.pin_chunks ? req.chunks_per_thread : s.plan.chunks_per_thread;
+  out.schedule = req.pin_schedule ? req.schedule : plan->schedule;
+  out.chunks_per_thread = req.pin_chunks ? req.chunks_per_thread : plan->chunks_per_thread;
   return out;
 }
 

@@ -17,6 +17,8 @@
 #include "finbench/obs/histogram.hpp"
 #include "finbench/obs/metrics.hpp"
 #include "finbench/obs/trace.hpp"
+#include "finbench/resilience/breaker.hpp"
+#include "finbench/resilience/chaos.hpp"
 #include "finbench/robust/guards.hpp"
 #include "variants.hpp"
 
@@ -271,6 +273,10 @@ void Engine::price(const PricingRequest& req, PricingResult& res) const {
   res.chunk_status.clear();
   res.options_clamped = res.options_skipped = res.options_repaired = 0;
   res.chunks_degraded = res.chunks_failed = res.chunks_deadline = 0;
+  res.brownout_level = 0;
+  res.npath_applied = 0;
+  res.steps_applied = 0;
+  res.attempts = 1;
 
   // The flight recorder's join key: one id per engine execution,
   // process-unique, stamped into every record this run produces.
@@ -331,6 +337,19 @@ void Engine::price(const PricingRequest& req, PricingResult& res) const {
     s.hist_chunk = &obs::histogram("engine.chunk.seconds", labels);
     s.flight = &obs::flight_recorder();
     s.hist_kernel_id = v->id;
+    s.breaker = nullptr;  // re-resolve below: the variant changed
+  }
+
+  // The executed variant's circuit breaker, cached with the histogram
+  // handles; the generation guard re-resolves after a registry reset
+  // (tests, chaos scenario boundaries) so the handle never dangles.
+  {
+    resilience::BreakerRegistry& brk = resilience::BreakerRegistry::instance();
+    const std::uint64_t gen = brk.generation();
+    if (s.breaker == nullptr || s.breaker_gen != gen) {
+      s.breaker = &brk.of(v->id);
+      s.breaker_gen = gen;
+    }
   }
 
   // --- Input sanitization --------------------------------------------------
@@ -415,6 +434,22 @@ void Engine::price(const PricingRequest& req, PricingResult& res) const {
   // Final bookkeeping shared by both execution shapes: NaN out the
   // sanitizer-skipped outputs, aggregate a Status from what happened.
   auto aggregate = [&](RunErrors& errors, std::size_t priced_items) {
+    // Score this execution on the variant's circuit breaker — except for
+    // requests carrying an injected FaultPlan, whose failures are test
+    // machinery, not variant health (variant-scoped chaos faults do not
+    // ride on the request and therefore do count).
+    if (!req.faults.any() && s.breaker != nullptr &&
+        resilience::BreakerRegistry::instance().enabled()) {
+      resilience::Outcome oc = resilience::Outcome::kOk;
+      if (res.chunks_failed > 0) {
+        oc = resilience::Outcome::kError;
+      } else if (res.chunks_deadline > 0) {
+        oc = resilience::Outcome::kDeadlineMiss;
+      } else if (res.chunks_degraded > 0) {
+        oc = resilience::Outcome::kQuarantine;
+      }
+      s.breaker->record(oc);
+    }
     if (!res.option_faults.empty()) {
       mask_skipped_outputs(res.option_faults, res.values, res.std_errors,
                            negotiated ? req.portfolio : working);
@@ -488,6 +523,7 @@ void Engine::price(const PricingRequest& req, PricingResult& res) const {
     bool priced = false;
     try {
       if (req.faults.any_engine_side()) inject_chunk_faults(req.faults, 0);
+      if (resilience::chaos_active()) resilience::maybe_inject(v->id.c_str(), res.request_id, 0);
       v->run_batch(req, *view, res);
       priced = true;
     } catch (const std::exception& e) {
@@ -635,6 +671,10 @@ void Engine::price(const PricingRequest& req, PricingResult& res) const {
         const double start_us = obs::trace::now_us();
         try {
           if (ctx.inject) inject_chunk_faults(ctx.req->faults, c);
+          if (resilience::chaos_active()) {
+            resilience::maybe_inject(ctx.v->id.c_str(), ctx.res->request_id,
+                                     static_cast<std::uint64_t>(c));
+          }
           ctx.v->run_range(*ctx.req, *ctx.view, begin, end, *ctx.res);
           if (ctx.req->faults.corrupt > 0.0) {
             inject_corrupt_values({ctx.res->values.data() + begin, end - begin}, begin,

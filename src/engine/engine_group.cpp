@@ -8,6 +8,7 @@
 // caused it, not smeared across the group.
 
 #include <algorithm>
+#include <cmath>
 #include <cstddef>
 #include <cstdint>
 #include <string>
@@ -155,6 +156,10 @@ void reset_result(PricingResult& r) {
   r.chunk_status.clear();
   r.options_clamped = r.options_skipped = r.options_repaired = 0;
   r.chunks_degraded = r.chunks_failed = r.chunks_deadline = 0;
+  r.brownout_level = 0;
+  r.npath_applied = 0;
+  r.steps_applied = 0;
+  r.attempts = 1;
 }
 
 }  // namespace
@@ -330,14 +335,47 @@ void Engine::price_group(std::span<const GroupJob> group, GroupScratch& gs) cons
         if (bit & robust::kFaultClamped) ++r.options_clamped;
       }
     }
-    if (terminal) {
-      // Nothing usable ran for this member (rejection, unknown kernel,
-      // unrecoverable kernel error, or the group deadline expired before
-      // the fused batch priced): propagate the fused status verbatim.
+    // A mid-batch deadline is terminal for the *fused* run but not
+    // necessarily for every member: chunks that completed before the
+    // expiry fully priced the members they covered. Scatter per member —
+    // a member whose whole slice priced gets its values and a clean (or
+    // degraded) status; a member with unpriced items keeps
+    // kDeadlineExceeded with whatever partial values exist. An item
+    // counts as priced when its value is finite or the sanitizer skipped
+    // it by design (NaN output with kFaultSkipped set).
+    bool member_terminal = terminal;
+    std::size_t member_priced = m;
+    if (terminal && fc == robust::StatusCode::kDeadlineExceeded && !bs && !fr.values.empty()) {
+      member_priced = 0;
+      for (std::size_t i = 0; i < m; ++i) {
+        const bool skipped =
+            !fr.option_faults.empty() &&
+            (fr.option_faults[off + i] & robust::kFaultSkipped) != 0;
+        if (std::isfinite(fr.values[off + i]) || skipped) ++member_priced;
+      }
+      member_terminal = member_priced < m;
+    }
+    if (member_terminal) {
+      // Nothing usable (or not everything) ran for this member
+      // (rejection, unknown kernel, unrecoverable kernel error, or the
+      // deadline caught its slice): propagate the fused status.
       r.status = fr.status;
       r.ok = false;
       r.error = fr.error;
-      if (fc == robust::StatusCode::kDeadlineExceeded) r.chunks_deadline = 1;
+      if (fc == robust::StatusCode::kDeadlineExceeded) {
+        r.chunks_deadline = 1;
+        // Disclose the partial values so a caller that can use a subset
+        // sees what priced (mirrors the solo chunked path's contract).
+        if (!bs && !fr.values.empty()) {
+          r.values.assign(fr.values.begin() + static_cast<std::ptrdiff_t>(off),
+                          fr.values.begin() + static_cast<std::ptrdiff_t>(off + m));
+          if (!fr.std_errors.empty()) {
+            r.std_errors.assign(fr.std_errors.begin() + static_cast<std::ptrdiff_t>(off),
+                                fr.std_errors.begin() + static_cast<std::ptrdiff_t>(off + m));
+          }
+          r.items = member_priced;
+        }
+      }
       continue;
     }
     // Usable fused outputs: re-guard this member's range with its own

@@ -17,6 +17,7 @@
 #include "finbench/kernels/montecarlo.hpp"
 #include "finbench/obs/flight_recorder.hpp"
 #include "finbench/obs/histogram.hpp"
+#include "finbench/resilience/breaker.hpp"
 #include "finbench/tune/plan.hpp"
 
 namespace finbench::engine {
@@ -103,6 +104,19 @@ struct Scratch {
   obs::Histogram* hist_chunk = nullptr;    // engine.chunk.seconds{...}
   obs::FlightRecorder* flight = nullptr;
   std::string hist_kernel_id;  // kernel id the cached handles belong to
+
+  // --- Resilience (engine-owned; finbench/resilience) ----------------------
+  // The executed variant's circuit breaker, cached with the histogram
+  // handles (same invalidation key) so outcome recording is one pointer
+  // call per pricing. breaker_gen guards against BreakerRegistry::reset()
+  // invalidating the handle between pricings.
+  resilience::Breaker* breaker = nullptr;
+  std::uint64_t breaker_gen = 0;
+  // Breaker of the scratch-cached auto plan's winner (dispatch.cpp): the
+  // cached-plan fast path re-checks allow() through this handle each
+  // pricing so a trip re-routes even steady-state request loops.
+  resilience::Breaker* plan_breaker = nullptr;
+  std::uint64_t plan_breaker_gen = 0;
 
   // --- Auto-dispatch plan cache (engine-owned; finbench/tune) --------------
   // The DispatchPlan an auto-intent request resolved to, cached so a

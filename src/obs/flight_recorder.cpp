@@ -1,6 +1,7 @@
 #include "finbench/obs/flight_recorder.hpp"
 
 #include <algorithm>
+#include <cctype>
 #include <cstring>
 #include <fstream>
 #include <mutex>
@@ -69,15 +70,40 @@ void FlightRecorder::clear() {
 namespace {
 
 struct FlightState {
-  std::mutex mu;                 // guards recorder swap and dump path
+  std::mutex mu;                 // guards recorder swap, dump path, dumped reasons
   FlightRecorder* recorder = new FlightRecorder;
   std::string dump_path = "finbench_flight.json";
-  std::atomic<bool> dumped{false};
+  // One auto-dump per *distinct reason* per process (re-arm with
+  // reset_flight_auto_dump): a quarantine dump must not swallow a later
+  // deadline dump, while a long degraded run still serializes each story
+  // only once. Capacity-capped so a hostile reason stream cannot grow it.
+  std::vector<std::string> dumped_reasons;
 };
+
+constexpr std::size_t kMaxAutoDumpReasons = 8;
 
 FlightState& state() {
   static FlightState* s = new FlightState;  // leaked: usable at teardown
   return *s;
+}
+
+// Reason-suffixed dump path: "finbench_flight.json" + "deadline_exceeded"
+// -> "finbench_flight.deadline_exceeded.json", so per-reason dumps do not
+// overwrite each other. Reasons are engine-internal tokens, but sanitize
+// anyway in case one ever carries user text.
+std::string reason_dump_path(const std::string& base, const std::string& reason) {
+  std::string tag;
+  tag.reserve(reason.size());
+  for (char c : reason) {
+    tag += (std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_' || c == '-') ? c : '_';
+  }
+  const std::size_t dot = base.rfind('.');
+  const std::size_t slash = base.find_last_of("/\\");
+  if (dot == std::string::npos || dot == 0 ||
+      (slash != std::string::npos && dot < slash)) {
+    return base + "." + tag;
+  }
+  return base.substr(0, dot) + "." + tag + base.substr(dot);
 }
 
 }  // namespace
@@ -165,12 +191,24 @@ bool write_flight_dump(const std::string& path, const std::string& reason) {
 
 bool flight_auto_dump(const char* reason) {
   FlightState& s = state();
-  if (s.dumped.exchange(true, std::memory_order_acq_rel)) return false;
-  return write_flight_dump(flight_dump_path(), reason != nullptr ? reason : "auto");
+  const std::string r = reason != nullptr ? reason : "auto";
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    if (s.dumped_reasons.size() >= kMaxAutoDumpReasons) return false;
+    for (const std::string& seen : s.dumped_reasons) {
+      if (seen == r) return false;
+    }
+    s.dumped_reasons.push_back(r);
+    path = reason_dump_path(s.dump_path, r);
+  }
+  return write_flight_dump(path, r);
 }
 
 void reset_flight_auto_dump() {
-  state().dumped.store(false, std::memory_order_release);
+  FlightState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.dumped_reasons.clear();
 }
 
 }  // namespace finbench::obs

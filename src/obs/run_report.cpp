@@ -264,7 +264,8 @@ void write_robust(json::Writer& w, const std::string& denormal_mode) {
       "robust.inject.thrown",     "robust.inject.slow",
       "robust.fallback.chunks",   "robust.fallback.exhausted",
       "robust.deadline.expired",  "robust.deadline.chunks_skipped",
-      "robust.admission.shed",    "pool.exceptions.suppressed",
+      "robust.admission.shed",    "robust.admission.shed_queue_full",
+      "robust.admission.shed_bytes", "pool.exceptions.suppressed",
   };
   const MetricsSnapshot snap = snapshot_metrics();
   const auto counter_of = [&snap](std::string_view name) -> std::uint64_t {

@@ -1,0 +1,238 @@
+// Per-variant circuit breakers (finbench/resilience/breaker.hpp).
+
+#include "finbench/resilience/breaker.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "finbench/obs/flight_recorder.hpp"
+#include "finbench/obs/metrics.hpp"
+
+namespace finbench::resilience {
+namespace {
+
+obs::Counter& c_open() {
+  static obs::Counter& c = obs::counter("resilience.breaker.open");
+  return c;
+}
+obs::Counter& c_half() {
+  static obs::Counter& c = obs::counter("resilience.breaker.half_open");
+  return c;
+}
+obs::Counter& c_close() {
+  static obs::Counter& c = obs::counter("resilience.breaker.close");
+  return c;
+}
+obs::Counter& c_rejected() {
+  static obs::Counter& c = obs::counter("resilience.breaker.rejected");
+  return c;
+}
+
+// Breaker transitions are rare; a flight-recorder line per transition
+// gives post-mortems the exact moment traffic left / returned to a
+// variant.
+void flight_transition(const std::string& variant_id, const char* what) {
+  obs::FlightRecord r;
+  r.start_us = r.end_us = 0.0;
+  r.set_kernel(variant_id.c_str());
+  r.set_status(what);
+  obs::flight_recorder().record(r);
+}
+
+}  // namespace
+
+Breaker::Breaker(std::string id, const BreakerConfig& cfg)
+    : id_(std::move(id)), cfg_(cfg), win_(std::max<std::size_t>(1, cfg.window), 0) {
+  backoff_ = cfg_.open_seconds;
+}
+
+double Breaker::now_seconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+bool Breaker::allow() {
+  if (state_.load(std::memory_order_relaxed) == BreakerState::kClosed) return true;
+  std::lock_guard<std::mutex> lk(mu_);
+  switch (state_.load(std::memory_order_relaxed)) {
+    case BreakerState::kClosed:
+      return true;
+    case BreakerState::kOpen:
+      if (now_seconds() >= reopen_at_) {
+        half_open_locked();
+        --probes_left_;  // this caller is the first probe
+        return true;
+      }
+      ++rejected_;
+      c_rejected().add(1);
+      return false;
+    case BreakerState::kHalfOpen:
+      if (probes_left_ > 0) {
+        --probes_left_;
+        return true;
+      }
+      ++rejected_;
+      c_rejected().add(1);
+      return false;
+  }
+  return true;
+}
+
+bool Breaker::available() const {
+  if (state_.load(std::memory_order_relaxed) == BreakerState::kClosed) return true;
+  std::lock_guard<std::mutex> lk(mu_);
+  switch (state_.load(std::memory_order_relaxed)) {
+    case BreakerState::kClosed:
+      return true;
+    case BreakerState::kOpen:
+      return now_seconds() >= reopen_at_;
+    case BreakerState::kHalfOpen:
+      return probes_left_ > 0;
+  }
+  return true;
+}
+
+void Breaker::record(Outcome o) {
+  const bool failure = o != Outcome::kOk;
+  std::lock_guard<std::mutex> lk(mu_);
+  switch (state_.load(std::memory_order_relaxed)) {
+    case BreakerState::kOpen:
+      // A straggler that was dispatched before the trip; the open state
+      // already knows the variant is sick.
+      return;
+    case BreakerState::kHalfOpen:
+      if (failure) {
+        trip_locked(now_seconds());  // doubles the backoff
+      } else if (++probe_ok_ >= cfg_.probes) {
+        close_locked();
+      }
+      return;
+    case BreakerState::kClosed:
+      break;
+  }
+  // Closed: slide the window.
+  win_failures_ -= win_[win_pos_];
+  win_[win_pos_] = failure ? 1 : 0;
+  win_failures_ += win_[win_pos_];
+  win_pos_ = (win_pos_ + 1) % win_.size();
+  win_count_ = std::min(win_count_ + 1, win_.size());
+  if (win_count_ >= cfg_.min_samples &&
+      static_cast<double>(win_failures_) >=
+          cfg_.trip_ratio * static_cast<double>(win_count_)) {
+    trip_locked(now_seconds());
+  }
+}
+
+void Breaker::trip_locked(double now) {
+  state_.store(BreakerState::kOpen, std::memory_order_relaxed);
+  reopen_at_ = now + backoff_;
+  backoff_ = std::min(backoff_ * 2.0, cfg_.max_open_seconds);
+  ++trips_;
+  c_open().add(1);
+  flight_transition(id_, "brk_open");
+}
+
+void Breaker::half_open_locked() {
+  state_.store(BreakerState::kHalfOpen, std::memory_order_relaxed);
+  probes_left_ = cfg_.probes;
+  probe_ok_ = 0;
+  c_half().add(1);
+  flight_transition(id_, "brk_half");
+}
+
+void Breaker::close_locked() {
+  state_.store(BreakerState::kClosed, std::memory_order_relaxed);
+  std::fill(win_.begin(), win_.end(), 0);
+  win_pos_ = win_count_ = win_failures_ = 0;
+  backoff_ = cfg_.open_seconds;
+  c_close().add(1);
+  flight_transition(id_, "brk_close");
+}
+
+Breaker::Snapshot Breaker::snapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  Snapshot s;
+  s.state = state_.load(std::memory_order_relaxed);
+  s.window_samples = win_count_;
+  s.window_failures = win_failures_;
+  s.trips = trips_;
+  s.rejected = rejected_;
+  s.backoff_seconds = backoff_;
+  return s;
+}
+
+void Breaker::reset() {
+  std::lock_guard<std::mutex> lk(mu_);
+  state_.store(BreakerState::kClosed, std::memory_order_relaxed);
+  std::fill(win_.begin(), win_.end(), 0);
+  win_pos_ = win_count_ = win_failures_ = 0;
+  backoff_ = cfg_.open_seconds;
+  reopen_at_ = 0.0;
+  probes_left_ = probe_ok_ = 0;
+}
+
+BreakerRegistry& BreakerRegistry::instance() {
+  static BreakerRegistry* r = new BreakerRegistry();  // leaked: outlive static dtors
+  return *r;
+}
+
+Breaker& BreakerRegistry::of(std::string_view variant_id) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = map_.find(std::string(variant_id));
+  if (it == map_.end()) {
+    it = map_.emplace(std::string(variant_id),
+                      std::make_unique<Breaker>(std::string(variant_id), cfg_))
+             .first;
+  }
+  return *it->second;
+}
+
+bool BreakerRegistry::allow(std::string_view variant_id) {
+  if (!enabled()) return true;
+  return of(variant_id).allow();
+}
+
+void BreakerRegistry::record(std::string_view variant_id, Outcome o) {
+  if (!enabled()) return;
+  of(variant_id).record(o);
+}
+
+bool BreakerRegistry::available(std::string_view variant_id) const {
+  if (!enabled()) return true;
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = map_.find(std::string(variant_id));
+  if (it == map_.end()) return true;
+  return it->second->available();
+}
+
+void BreakerRegistry::set_config(const BreakerConfig& cfg) {
+  std::lock_guard<std::mutex> lk(mu_);
+  cfg_ = cfg;
+}
+
+BreakerConfig BreakerRegistry::config() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return cfg_;
+}
+
+std::vector<std::pair<std::string, Breaker::Snapshot>> BreakerRegistry::snapshot() const {
+  std::vector<std::pair<std::string, Breaker::Snapshot>> out;
+  {
+    // Registry lock held across the per-breaker snapshots so a concurrent
+    // reset() cannot destroy a breaker mid-read; Breaker methods never
+    // call back into the registry, so the order is safe.
+    std::lock_guard<std::mutex> lk(mu_);
+    out.reserve(map_.size());
+    for (const auto& [id, b] : map_) out.emplace_back(id, b->snapshot());
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
+void BreakerRegistry::reset() {
+  std::lock_guard<std::mutex> lk(mu_);
+  map_.clear();
+  generation_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+}  // namespace finbench::resilience

@@ -1,0 +1,183 @@
+// Brownout degradation ladder (finbench/resilience/brownout.hpp).
+
+#include "finbench/resilience/brownout.hpp"
+
+#include <algorithm>
+
+#include "finbench/obs/flight_recorder.hpp"
+#include "finbench/obs/metrics.hpp"
+
+namespace finbench::resilience {
+namespace {
+
+obs::Counter& c_down() {
+  static obs::Counter& c = obs::counter("resilience.brownout.step_down");
+  return c;
+}
+obs::Counter& c_up() {
+  static obs::Counter& c = obs::counter("resilience.brownout.step_up");
+  return c;
+}
+obs::Counter& c_transitions() {
+  static obs::Counter& c = obs::counter("resilience.brownout.transitions");
+  return c;
+}
+obs::Gauge& g_level() {
+  static obs::Gauge& g = obs::gauge("resilience.brownout.level");
+  return g;
+}
+obs::Gauge& g_p99() {
+  static obs::Gauge& g = obs::gauge("resilience.brownout.queue_p99_ms");
+  return g;
+}
+
+}  // namespace
+
+Brownout::Brownout() = default;
+
+Brownout::Brownout(const BrownoutConfig& cfg) { configure(cfg); }
+
+void Brownout::configure(const BrownoutConfig& cfg) {
+  cfg_ = cfg;
+  cfg_.max_level = std::clamp(cfg_.max_level, 1, 3);
+  cfg_.eval_interval_seconds = std::max(cfg_.eval_interval_seconds, 1.0e-6);
+  cfg_.sample_horizon_seconds = std::max(cfg_.sample_horizon_seconds, cfg_.eval_interval_seconds);
+  reset();
+}
+
+void Brownout::on_complete(double queue_seconds, bool deadline_miss, double now_seconds) {
+  if (!cfg_.enabled) return;
+  delays_[ring_pos_] = queue_seconds;
+  stamps_[ring_pos_] = now_seconds;
+  ring_pos_ = (ring_pos_ + 1) % kRing;
+  ring_count_ = std::min(ring_count_ + 1, kRing);
+  ++window_completed_;
+  if (deadline_miss) ++window_missed_;
+}
+
+int Brownout::evaluate(double now_seconds) {
+  const int cur = level();
+  if (!cfg_.enabled) return cur;
+  if (now_seconds - last_eval_ < cfg_.eval_interval_seconds) return cur;
+  last_eval_ = now_seconds;
+
+  // Queue-delay p99 over the *fresh* samples in the ring: overload-era
+  // history past the horizon must not keep the ladder pinned down after
+  // the load drops.
+  const double horizon = now_seconds - cfg_.sample_horizon_seconds;
+  std::size_t fresh = 0;
+  for (std::size_t i = 0; i < ring_count_; ++i) {
+    if (stamps_[i] >= horizon) scratch_[fresh++] = delays_[i];
+  }
+  double p99 = 0.0;
+  if (fresh > 0) {
+    const std::size_t k =
+        std::min(fresh - 1, static_cast<std::size_t>(0.99 * static_cast<double>(fresh)));
+    std::nth_element(scratch_.begin(), scratch_.begin() + k, scratch_.begin() + fresh);
+    p99 = scratch_[k];
+  }
+  double miss = 0.0;
+  const std::uint64_t completed = window_completed_;
+  if (completed > 0) miss = static_cast<double>(window_missed_) / static_cast<double>(completed);
+  window_completed_ = window_missed_ = 0;
+
+  last_p99_.store(p99, std::memory_order_relaxed);
+  last_miss_.store(miss, std::memory_order_relaxed);
+  g_p99().set(p99 * 1e3);
+
+  // Step-down needs a trustworthy window; step-up treats sparse traffic
+  // as healthy — a near-empty arrival stream cannot be overloaded.
+  const bool signals_valid = fresh >= cfg_.min_samples;
+  const bool miss_valid = completed >= cfg_.min_samples;
+  const bool overloaded = (signals_valid && p99 > cfg_.queue_p99_seconds) ||
+                          (miss_valid && miss > cfg_.miss_ratio);
+  const bool healthy =
+      !overloaded && (!signals_valid || (p99 < cfg_.step_up_fraction * cfg_.queue_p99_seconds &&
+                                         miss <= cfg_.step_up_fraction * cfg_.miss_ratio));
+
+  if (overloaded) {
+    healthy_evals_ = 0;
+    if (cur < cfg_.max_level && now_seconds - last_transition_ >= cfg_.dwell_seconds) {
+      transition(cur + 1, now_seconds);
+    }
+    return level();
+  }
+  if (healthy) {
+    ++healthy_evals_;
+    if (cur > 0 && healthy_evals_ >= cfg_.up_healthy_evals &&
+        now_seconds - last_transition_ >= cfg_.up_dwell_seconds) {
+      transition(cur - 1, now_seconds);
+      healthy_evals_ = 0;
+    }
+  } else {
+    healthy_evals_ = 0;
+  }
+  return level();
+}
+
+void Brownout::transition(int to, double now) {
+  const int from = level();
+  level_.store(to, std::memory_order_relaxed);
+  last_transition_ = now;
+  transitions_.fetch_add(1, std::memory_order_relaxed);
+  c_transitions().add(1);
+  (to > from ? c_down() : c_up()).add(1);
+  g_level().set(static_cast<double>(to));
+
+  obs::FlightRecord r;
+  r.begin = static_cast<std::uint64_t>(from);  // ladder levels, not item ranges
+  r.end = static_cast<std::uint64_t>(to);
+  r.set_kernel("serve.brownout");
+  r.set_status("brownout");
+  obs::flight_recorder().record(r);
+}
+
+bool Brownout::apply(const DegradePolicy& policy, std::size_t& npath, int& steps) const {
+  const int cur = level();
+  if (!cfg_.enabled || cur <= 0) return false;
+  // L1 halves (bounded below by the declared floor); L2+ goes to the floor.
+  const double frac_npath =
+      cur == 1 ? std::max(policy.min_npath_fraction, 0.5) : policy.min_npath_fraction;
+  const double frac_steps =
+      cur == 1 ? std::max(policy.min_steps_fraction, 0.5) : policy.min_steps_fraction;
+  bool changed = false;
+  if (frac_npath < 1.0 && npath > 1) {
+    const std::size_t scaled = std::max<std::size_t>(
+        1, static_cast<std::size_t>(static_cast<double>(npath) * frac_npath));
+    if (scaled < npath) {
+      npath = scaled;
+      changed = true;
+    }
+  }
+  if (frac_steps < 1.0 && steps > 2) {
+    const int scaled = std::max(2, static_cast<int>(static_cast<double>(steps) * frac_steps));
+    if (scaled < steps) {
+      steps = scaled;
+      changed = true;
+    }
+  }
+  return changed;
+}
+
+Brownout::Snapshot Brownout::snapshot() const {
+  Snapshot s;
+  s.level = level();
+  s.transitions = transitions_.load(std::memory_order_relaxed);
+  s.sheds = sheds_.load(std::memory_order_relaxed);
+  s.queue_p99_seconds = last_p99_.load(std::memory_order_relaxed);
+  s.miss_ratio = last_miss_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void Brownout::reset() {
+  level_.store(0, std::memory_order_relaxed);
+  ring_pos_ = ring_count_ = 0;
+  window_completed_ = window_missed_ = 0;
+  last_eval_ = -1.0e300;
+  last_transition_ = -1.0e300;
+  healthy_evals_ = 0;
+  last_p99_.store(0.0, std::memory_order_relaxed);
+  last_miss_.store(0.0, std::memory_order_relaxed);
+}
+
+}  // namespace finbench::resilience

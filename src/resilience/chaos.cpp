@@ -1,0 +1,86 @@
+// Variant-scoped chaos faults (finbench/resilience/chaos.hpp).
+
+#include "finbench/resilience/chaos.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include "finbench/obs/metrics.hpp"
+
+namespace finbench::resilience {
+namespace {
+
+struct ChaosState {
+  std::mutex mu;
+  std::unordered_map<std::string, robust::FaultPlan> plans;
+};
+
+ChaosState& state() {
+  static ChaosState* s = new ChaosState();  // leaked: outlive static dtors
+  return *s;
+}
+
+// Relaxed fast-path flag: engine chunks pay one load when no fault was
+// ever installed this process.
+std::atomic<int> g_active{0};
+
+// Mix the request id and chunk into one decision index so two chunks of
+// the same request draw independent fates, matching FaultPlan::hits'
+// (seed, site, index) streams.
+std::uint64_t decision_index(std::uint64_t request_id, std::uint64_t chunk) {
+  return request_id * 1000003ULL + chunk;
+}
+
+}  // namespace
+
+void set_variant_fault(std::string_view variant_id, const robust::FaultPlan& plan) {
+  ChaosState& s = state();
+  std::lock_guard<std::mutex> lk(s.mu);
+  s.plans[std::string(variant_id)] = plan;
+  g_active.store(s.plans.empty() ? 0 : 1, std::memory_order_release);
+}
+
+void clear_variant_fault(std::string_view variant_id) {
+  ChaosState& s = state();
+  std::lock_guard<std::mutex> lk(s.mu);
+  s.plans.erase(std::string(variant_id));
+  g_active.store(s.plans.empty() ? 0 : 1, std::memory_order_release);
+}
+
+void clear_variant_faults() {
+  ChaosState& s = state();
+  std::lock_guard<std::mutex> lk(s.mu);
+  s.plans.clear();
+  g_active.store(0, std::memory_order_release);
+}
+
+bool chaos_active() { return g_active.load(std::memory_order_relaxed) != 0; }
+
+void maybe_inject(const char* variant_id, std::uint64_t request_id, std::uint64_t chunk) {
+  robust::FaultPlan plan;
+  {
+    ChaosState& s = state();
+    std::lock_guard<std::mutex> lk(s.mu);
+    auto it = s.plans.find(variant_id);
+    if (it == s.plans.end()) return;
+    plan = it->second;
+  }
+  const std::uint64_t idx = decision_index(request_id, chunk);
+  if (plan.slow > 0.0 && plan.hits(3, idx, plan.slow)) {
+    static obs::Counter& c = obs::counter("resilience.chaos.slowed");
+    c.add(1);
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(plan.slow_ms));
+  }
+  if (plan.throw_rate > 0.0 && plan.hits(2, idx, plan.throw_rate)) {
+    static obs::Counter& c = obs::counter("resilience.chaos.thrown");
+    c.add(1);
+    throw robust::InjectedKernelFault(std::string("chaos: poisoned variant ") + variant_id);
+  }
+}
+
+}  // namespace finbench::resilience

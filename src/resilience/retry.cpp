@@ -1,0 +1,57 @@
+// Retry backoff + global retry budget (finbench/resilience/retry.hpp).
+
+#include "finbench/resilience/retry.hpp"
+
+#include <algorithm>
+
+namespace finbench::resilience {
+namespace {
+
+// Same generator family as robust::FaultPlan::hits — deterministic,
+// stateless beyond the caller-owned word.
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+double decorrelated_jitter(std::uint64_t& state, double base_seconds, double cap_seconds,
+                           double prev_seconds) {
+  base_seconds = std::max(base_seconds, 0.0);
+  cap_seconds = std::max(cap_seconds, base_seconds);
+  const double prev = std::max(prev_seconds, base_seconds);
+  const double u =
+      static_cast<double>(splitmix64(state) >> 11) * (1.0 / 9007199254740992.0);  // [0,1)
+  const double next = base_seconds + u * (prev * 3.0 - base_seconds);
+  return std::clamp(next, base_seconds, cap_seconds);
+}
+
+void RetryBudget::configure(double tokens_per_request, double burst) {
+  std::lock_guard<std::mutex> lk(mu_);
+  per_request_ = std::max(tokens_per_request, 0.0);
+  burst_ = std::max(burst, 0.0);
+  tokens_ = burst_;  // start full: a cold server can absorb an early blip
+}
+
+void RetryBudget::on_primary() {
+  std::lock_guard<std::mutex> lk(mu_);
+  tokens_ = std::min(tokens_ + per_request_, burst_);
+}
+
+bool RetryBudget::try_acquire() {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (tokens_ < 1.0) return false;
+  tokens_ -= 1.0;
+  return true;
+}
+
+double RetryBudget::available() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return tokens_;
+}
+
+}  // namespace finbench::resilience

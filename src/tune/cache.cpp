@@ -2,6 +2,8 @@
 
 #include <unistd.h>
 
+#include <atomic>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -290,7 +292,15 @@ bool PlanCache::save_as(const std::string& path) const {
 }
 
 bool PlanCache::save_locked(const std::string& path) const {
-  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  // Unique tmp name per writer: pid distinguishes processes sharing one
+  // --tune-cache path, the process-wide sequence distinguishes this
+  // process's own PlanCache objects (two instances saving concurrently
+  // hold different mu_). Without both, two writers could open the same
+  // tmp file and interleave halves of two caches before the rename — the
+  // torn-read race the two-writer stress test pins down.
+  static std::atomic<std::uint64_t> tmp_seq{0};
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid()) + "." +
+                          std::to_string(tmp_seq.fetch_add(1, std::memory_order_relaxed));
   {
     std::ofstream out(tmp);
     if (!out) return false;

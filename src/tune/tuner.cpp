@@ -9,6 +9,7 @@
 #include "finbench/core/option.hpp"
 #include "finbench/engine/registry.hpp"
 #include "finbench/obs/metrics.hpp"
+#include "finbench/resilience/breaker.hpp"
 
 namespace finbench::tune {
 
@@ -122,11 +123,20 @@ RaceReport race(const engine::Engine& eng, const engine::PricingRequest& req,
   // workload matches or can negotiate to, minus european_only variants
   // when the workload carries American exercise.
   std::vector<const engine::VariantInfo*> candidates;
+  resilience::BreakerRegistry& brk = resilience::BreakerRegistry::instance();
   for (const engine::VariantInfo* v : engine::Registry::instance().all()) {
     if (v->kernel != key.family) continue;
     const core::Layout from = req.portfolio.layout;
     if (v->layout != from && !core::convertible(from, v->layout)) continue;
     if (key.american && v->european_only) continue;
+    // A tripped breaker takes the variant out of the race entirely —
+    // probing a sick variant would both waste the race budget and risk
+    // crowning it. available() is non-consuming, so no half-open probe is
+    // burnt here.
+    if (brk.enabled() && !brk.available(v->id)) {
+      ++rep.breaker_excluded;
+      continue;
+    }
     candidates.push_back(v);
   }
 
@@ -256,15 +266,63 @@ RaceReport race(const engine::Engine& eng, const engine::PricingRequest& req,
   return rep;
 }
 
+namespace {
+
+// Mirror of the engine's fallback chain walk (fallback_id, else
+// reference_id, null at the chain end / self-reference), hop-capped so a
+// mis-registered cycle cannot spin.
+const engine::VariantInfo* chain_next(const engine::VariantInfo& v) {
+  const std::string& next = !v.fallback_id.empty() ? v.fallback_id : v.reference_id;
+  if (next.empty() || next == v.id) return nullptr;
+  return engine::Registry::instance().find(next);
+}
+
+// First fallback-chain link of `from` that is runnable for this key and
+// whose breaker admits traffic. allow() (consuming) is correct here: a
+// half-open substitute is probing too.
+const engine::VariantInfo* first_allowed_fallback(const engine::VariantInfo& from,
+                                                  const engine::PricingRequest& req,
+                                                  const TuneKey& key,
+                                                  resilience::BreakerRegistry& brk) {
+  const engine::VariantInfo* fb = chain_next(from);
+  for (int hops = 0; fb != nullptr && hops < 8; ++hops, fb = chain_next(*fb)) {
+    if (key.american && fb->european_only) continue;
+    const core::Layout lay = req.portfolio.layout;
+    if (fb->layout != lay && !core::convertible(lay, fb->layout)) continue;
+    if (brk.allow(fb->id)) return fb;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
 Resolution resolve(const engine::Engine& eng, const engine::PricingRequest& req,
                    const TuneKey& key) {
   Resolution out;
   PlanCache& cache = PlanCache::instance();
+  resilience::BreakerRegistry& brk = resilience::BreakerRegistry::instance();
   if (std::optional<DispatchPlan> p = cache.find(key)) {
-    if (engine::Registry::instance().find(p->variant_id) != nullptr) {
-      obs::counter("engine.tune.hit").add(1);
+    const engine::VariantInfo* v = engine::Registry::instance().find(p->variant_id);
+    if (v != nullptr) {
+      if (!brk.enabled() || brk.allow(p->variant_id)) {
+        obs::counter("engine.tune.hit").add(1);
+        out.plan = std::move(*p);
+        out.hit = true;
+        return out;
+      }
+      // The cached winner's breaker is open: substitute the first allowed
+      // link of its fallback chain for this one pricing. The healthy plan
+      // stays in the cache — the breaker owns recovery (half-open probes
+      // come back through the allow() above), not the tuner. An exhausted
+      // chain fails open to the winner: trying a sick variant beats
+      // refusing to price at all.
+      obs::counter("engine.tune.breaker_skipped").add(1);
       out.plan = std::move(*p);
       out.hit = true;
+      out.substituted = true;
+      if (const engine::VariantInfo* sub = first_allowed_fallback(*v, req, key, brk)) {
+        out.plan.variant_id = sub->id;
+      }
       return out;
     }
     // The cached plan names a variant this build does not ship (a stale
@@ -278,6 +336,15 @@ Resolution resolve(const engine::Engine& eng, const engine::PricingRequest& req,
   out.raced = true;
   if (rep.pinned_losing) obs::counter("engine.tune.pinned_losing").add(1);
   if (!rep.winner.valid()) return out;
+  if (rep.breaker_excluded > 0) {
+    // Breakers kept candidates out of this race: the winner is the best of
+    // a degraded field. Use it now, but do not persist — the key re-races
+    // once the breakers close, so the cache only ever records healthy-era
+    // winners.
+    out.substituted = true;
+    out.plan = rep.winner;
+    return out;
+  }
   cache.put(key, rep);
   out.plan = rep.winner;
   return out;

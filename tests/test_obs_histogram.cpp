@@ -394,6 +394,44 @@ TEST_F(ObsHistogramGlobals, AutoDumpFiresOncePerProcessUntilRearmed) {
   std::remove(path.c_str());
 }
 
+TEST_F(ObsHistogramGlobals, AutoDumpFiresPerDistinctReasonIntoSuffixedPaths) {
+  const std::string base = ::testing::TempDir() + "flight_auto_reason.json";
+  obs::set_flight_dump_path(base);
+  obs::reset_flight_auto_dump();
+  obs::flight_recorder().record(make_record(10, 0, "degraded"));
+  // A quarantine dump must not swallow a later deadline dump: each
+  // distinct reason gets its own first-event dump.
+  EXPECT_TRUE(obs::flight_auto_dump("quarantine"));
+  EXPECT_TRUE(obs::flight_auto_dump("deadline_exceeded"));
+  // Repeats of either reason stay latched...
+  EXPECT_FALSE(obs::flight_auto_dump("quarantine"));
+  EXPECT_FALSE(obs::flight_auto_dump("deadline_exceeded"));
+  // ...and the dumps landed in reason-suffixed files, so neither
+  // overwrote the other.
+  const std::string qpath = ::testing::TempDir() + "flight_auto_reason.quarantine.json";
+  const std::string dpath = ::testing::TempDir() + "flight_auto_reason.deadline_exceeded.json";
+  EXPECT_EQ(obs::json::parse_file(qpath).at("reason").string, "quarantine");
+  EXPECT_EQ(obs::json::parse_file(dpath).at("reason").string, "deadline_exceeded");
+  // reset_flight_auto_dump re-arms every reason at once.
+  obs::reset_flight_auto_dump();
+  EXPECT_TRUE(obs::flight_auto_dump("quarantine"));
+  // The per-arming-period cap bounds a hostile reason stream: "quarantine"
+  // took one of the 8 slots, 7 more distinct reasons fit, the 9th is
+  // dropped.
+  std::vector<std::string> extra;
+  for (int i = 0; i < 7; ++i) {
+    const std::string reason = "r" + std::to_string(i);
+    EXPECT_TRUE(obs::flight_auto_dump(reason.c_str())) << reason;
+    extra.push_back(::testing::TempDir() + "flight_auto_reason." + reason + ".json");
+  }
+  EXPECT_FALSE(obs::flight_auto_dump("one_too_many"));
+  obs::reset_flight_auto_dump();
+  obs::set_flight_dump_path("finbench_flight.json");
+  std::remove(qpath.c_str());
+  std::remove(dpath.c_str());
+  for (const std::string& p : extra) std::remove(p.c_str());
+}
+
 // --- OpenMetrics exporter -----------------------------------------------------
 
 TEST_F(ObsHistogramGlobals, OpenMetricsNameTransliterates) {

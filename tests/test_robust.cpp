@@ -25,6 +25,7 @@
 #include "finbench/obs/flight_recorder.hpp"
 #include "finbench/obs/json.hpp"
 #include "finbench/obs/metrics.hpp"
+#include "finbench/resilience/chaos.hpp"
 #include "finbench/robust/robust.hpp"
 
 using namespace finbench;
@@ -585,6 +586,63 @@ TEST(EngineRobust, DeadlineYieldsPartialResultsWithPerChunkStatus) {
   }
   EXPECT_EQ(unpriced_items, workload.size() - res.items);
   std::remove(dump_path.c_str());
+}
+
+// A group deadline that expires mid-fused-batch is scattered per member:
+// a member whose whole slice priced before the expiry completes clean;
+// a member whose slice never ran keeps kDeadlineExceeded with its NaN
+// partial values disclosed. Deterministic by construction: an inline
+// single-participant pool runs the two 16-item chunks sequentially, and a
+// variant-scoped chaos slow fault makes chunk 0 outlast the deadline so
+// chunk 1 (= member B's slice) is skipped at the boundary.
+TEST(EngineRobust, GroupDeadlineScattersPartialStatusPerMember) {
+  engine::ThreadPool pool(1);  // inline: chunks run sequentially
+  Engine eng(&pool);
+
+  const auto book_a = european_workload(16, 23);
+  const auto book_b = european_workload(16, 29);
+  PricingRequest req_a, req_b;
+  PricingResult res_a, res_b;
+  for (auto* r : {&req_a, &req_b}) {
+    r->kernel_id = "binomial.intermediate.auto";
+    r->steps = 64;
+    r->chunks_per_thread = 2;  // 2 chunks of 16 = one chunk per member
+  }
+  req_a.portfolio = core::view_of(std::span<const core::OptionSpec>(book_a));
+  req_b.portfolio = core::view_of(std::span<const core::OptionSpec>(book_b));
+  ASSERT_TRUE(Engine::fusable(req_a, req_b));
+
+  FaultPlan slow;
+  slow.seed = 31;
+  slow.slow = 1.0;  // every chunk of the variant sleeps...
+  slow.slow_ms = 40.0;
+  resilience::set_variant_fault("binomial.intermediate.auto", slow);
+
+  engine::GroupScratch gs;
+  gs.deadline_seconds = 0.020;  // ...and the budget dies inside chunk 0
+  const engine::GroupJob group[] = {{&req_a, &res_a}, {&req_b, &res_b}};
+  eng.price_group(group, gs);
+  resilience::clear_variant_faults();
+
+  // Member A: its chunk had started before the expiry and ran to the end.
+  EXPECT_TRUE(res_a.ok) << res_a.status.to_string();
+  EXPECT_EQ(res_a.status.code(), StatusCode::kOk);
+  EXPECT_EQ(res_a.items, book_a.size());
+  ASSERT_EQ(res_a.values.size(), book_a.size());
+  for (double v : res_a.values) EXPECT_TRUE(std::isfinite(v));
+
+  // Member B: its slice was skipped at the chunk boundary — partial
+  // status, zero priced items, NaN values disclosed for inspection.
+  EXPECT_FALSE(res_b.ok);
+  EXPECT_EQ(res_b.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(res_b.chunks_deadline, 1u);
+  EXPECT_EQ(res_b.items, 0u);
+  ASSERT_EQ(res_b.values.size(), book_b.size());
+  for (double v : res_b.values) EXPECT_TRUE(std::isnan(v));
+
+  // Both members came out of the same fused execution.
+  EXPECT_EQ(res_a.request_id, res_b.request_id);
+  EXPECT_EQ(res_a.resolved_id, res_b.resolved_id);
 }
 
 TEST(EngineRobust, PreCancelledTokenPricesNothing) {

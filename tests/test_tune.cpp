@@ -15,12 +15,14 @@
 //   - serve coalescing: two auto requests resolving to the same plan fuse
 //     (coalesced == 2) and stay bitwise identical to an explicit solo run
 
+#include <atomic>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -217,6 +219,73 @@ TEST(PlanCache, FileRoundTripIsDeterministic) {
   const std::string t1((std::istreambuf_iterator<char>(f1)), std::istreambuf_iterator<char>());
   const std::string t2((std::istreambuf_iterator<char>(f2)), std::istreambuf_iterator<char>());
   EXPECT_EQ(t1, t2);
+}
+
+// Two processes (here: threads) saving the same cache path concurrently must
+// never leave a torn file behind. save_as() writes to a per-writer temp name
+// (path + ".tmp.<pid>.<seq>") and renames atomically, so every load observes
+// either writer's complete snapshot — a shared ".tmp" name would let one
+// writer clobber the other's half-written bytes before its rename.
+TEST(PlanCache, ConcurrentSaversNeverTearTheFile) {
+  const std::string path = temp_path("tune_two_writers.json");
+  std::remove(path.c_str());
+
+  tune::PlanCache w1, w2;
+  const tune::TuneKey k1 = make_key(10);
+  tune::TuneKey k2 = make_key(12);
+  k2.family = "binomial";
+  w1.put(k1, make_report(k1, "bs.intermediate.avx2"));
+  w2.put(k1, make_report(k1, "bs.intermediate.avx2"));
+  w2.put(k2, make_report(k2, "binomial.advanced.auto"));
+
+  constexpr int kRounds = 200;
+  std::atomic<bool> go{false};
+  std::atomic<int> failures{0};
+  auto writer = [&](tune::PlanCache* cache) {
+    while (!go.load(std::memory_order_acquire)) {}
+    for (int i = 0; i < kRounds; ++i) {
+      if (!cache->save_as(path)) failures.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+  std::atomic<bool> done{false};
+  std::atomic<int> degraded_loads{0};
+  std::atomic<int> ok_loads{0};
+  std::thread reader([&] {
+    while (!go.load(std::memory_order_acquire)) {}
+    while (!done.load(std::memory_order_acquire)) {
+      tune::PlanCache r;
+      const robust::Status st = r.load(path);
+      if (st.code() == robust::StatusCode::kOk && r.size() >= 1) {
+        ok_loads.fetch_add(1, std::memory_order_relaxed);
+      } else if (st.code() != robust::StatusCode::kOk) {
+        degraded_loads.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+  std::thread t1(writer, &w1), t2(writer, &w2);
+  go.store(true, std::memory_order_release);
+  t1.join();
+  t2.join();
+  done.store(true, std::memory_order_release);
+  reader.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  // A torn file parse-rejects into kDegraded; atomic renames mean the reader
+  // never sees one (absent files load kOk/empty and are counted as neither).
+  EXPECT_EQ(degraded_loads.load(), 0);
+  EXPECT_GT(ok_loads.load(), 0);
+
+  // The survivor is one writer's complete snapshot: k1 is present in both.
+  tune::PlanCache final_cache;
+  const robust::Status st = final_cache.load(path);
+  EXPECT_EQ(st.code(), robust::StatusCode::kOk) << st.to_string();
+  ASSERT_GE(final_cache.size(), 1u);
+  EXPECT_TRUE(final_cache.find(k1).has_value());
+
+  // No shared-name temp dropping left behind after both writers finished.
+  std::ifstream probe(path + ".tmp");
+  EXPECT_FALSE(probe.good()) << "stale shared tmp file left behind";
+  std::remove(path.c_str());
 }
 
 TEST(PlanCache, AbsentFileLoadsOkAndEmpty) {

@@ -11,7 +11,8 @@
 //            [--csv PATH] [--trace PATH] [--sanitize off|reject|clamp|skip]
 //            [--guard off|finite|full] [--deadline-ms N] [--inject SPEC]
 //            [--metrics PATH|-] [--watch MS] [--flight-dump PATH]
-//            [--serve N] [--no-coalesce]
+//            [--serve N] [--no-coalesce] [--chaos SPEC] [--breaker on|off]
+//            [--retry N] [--brownout on|off]
 //
 // Auto dispatch (docs/autotuning.md): --kernel also accepts an *intent* id
 // "<family>.auto" (bs/blackscholes, binomial, mc/montecarlo, brownian,
@@ -58,6 +59,17 @@
 // JSON after the run, and also redirects the engine's automatic
 // post-mortem dump (deadline / kernel error / quarantine) to that path.
 //
+// Resilience controls (docs/resilience.md): --chaos "variant=<id>,<spec>"
+// binds a robust::FaultPlan to a *variant* (every request routed to it is
+// hit — the poison that trips circuit breakers, unlike --inject's
+// request-scoped plan which deliberately does not); --breaker off disables
+// the per-variant circuit breakers (the chaos control arm); --retry N sets
+// the request's serve-layer retry budget to N total attempts; --brownout
+// off disables the serve dispatcher's overload-degradation ladder, and
+// --brownout on additionally declares this workload degradable to 1/4 of
+// its accuracy knobs so the ladder has something to act on. --watch prints
+// any non-closed breaker states alongside the latency view.
+//
 // Request-stream mode (docs/serve.md): --serve N prices the workload as N
 // concurrent sub-requests streamed through a serve::Server instead of one
 // whole-batch Engine::price call. Each sub-request draws its own options
@@ -88,6 +100,8 @@
 #include "finbench/engine/engine.hpp"
 #include "finbench/engine/registry.hpp"
 #include "finbench/engine/validate.hpp"
+#include "finbench/resilience/breaker.hpp"
+#include "finbench/resilience/chaos.hpp"
 #include "finbench/robust/robust.hpp"
 #include "finbench/serve/server.hpp"
 #include "finbench/tune/tuner.hpp"
@@ -149,6 +163,16 @@ void print_live_metrics() {
                  " admission.shed=%" PRIu64 "\n",
                  srv_submitted, srv_completed, srv_shed);
   }
+  // Breaker states: only non-closed breakers are worth a line (a healthy
+  // fleet prints nothing extra).
+  for (const auto& [id, b] : resilience::BreakerRegistry::instance().snapshot()) {
+    if (b.state == resilience::BreakerState::kClosed && b.trips == 0) continue;
+    std::fprintf(stderr,
+                 "[watch] breaker %s state=%s window=%zu/%zu trips=%" PRIu64
+                 " rejected=%" PRIu64 " backoff=%.3gs\n",
+                 id.c_str(), std::string(resilience::to_string(b.state)).c_str(),
+                 b.window_failures, b.window_samples, b.trips, b.rejected, b.backoff_seconds);
+  }
   for (const auto& h : obs::snapshot_histograms()) {
     const bool serve_series = h.name.rfind("serve.", 0) == 0;
     if ((h.name != "engine.request.seconds" && !serve_series) || h.snap.count == 0) continue;
@@ -188,8 +212,8 @@ void print_parallel_stats() {
 // is looked up from the first job's resolved id after the run.
 int run_serve(const engine::VariantInfo* v, const std::string& family,
               const engine::PricingRequest& proto, engine::Layout req_layout, std::size_t items,
-              int nreq, bool coalesce, bench::Options& opts, const std::string& metrics_path,
-              int watch_ms) {
+              int nreq, bool coalesce, bool brownout_on, bench::Options& opts,
+              const std::string& metrics_path, int watch_ms) {
   const std::size_t per = std::max<std::size_t>(1, items / static_cast<std::size_t>(nreq));
   std::vector<core::Portfolio> pfs;
   pfs.reserve(static_cast<std::size_t>(nreq));
@@ -218,6 +242,7 @@ int run_serve(const engine::VariantInfo* v, const std::string& family,
   finbench::serve::ServerConfig cfg;
   cfg.coalesce = coalesce;
   cfg.queue_capacity = std::max<std::size_t>(1024, 2 * static_cast<std::size_t>(nreq));
+  cfg.brownout.enabled = brownout_on;
   finbench::serve::Server server(cfg);
   server.start();
 
@@ -276,6 +301,12 @@ int run_serve(const engine::VariantInfo* v, const std::string& family,
   report.add_note("serve: shed(queue) = " + std::to_string(st.shed_queue) +
                   ", shed(bytes) = " + std::to_string(st.shed_bytes) +
                   ", expired_in_queue = " + std::to_string(st.expired_in_queue));
+  if (st.retries > 0 || st.retry_denied > 0 || st.brownout_shed > 0 || st.brownout_level > 0) {
+    report.add_note("resilience: retries = " + std::to_string(st.retries) +
+                    ", retry_denied = " + std::to_string(st.retry_denied) +
+                    ", brownout_shed = " + std::to_string(st.brownout_shed) +
+                    ", brownout_level = " + std::to_string(st.brownout_level));
+  }
   if (proto.faults.any()) {
     report.add_note("robust: inject = " + proto.faults.to_spec() +
                     ", poisoned = " + std::to_string(poisoned));
@@ -315,6 +346,8 @@ int main(int argc, char** argv) {
   int spy = 0;
   int serve_n = 0;
   bool no_coalesce = false;
+  bool brownout_on = false;
+  std::string chaos_spec;
   bool auto_mode = false;
   bool force_tune = false;
   bool explain = false;
@@ -391,7 +424,50 @@ int main(int argc, char** argv) {
       serve_n = static_cast<int>(next(0));
     } else if (!std::strcmp(argv[i], "--no-coalesce")) {
       no_coalesce = true;
+    } else if (!std::strcmp(argv[i], "--chaos") && i + 1 < argc) {
+      chaos_spec = argv[++i];
+    } else if (!std::strcmp(argv[i], "--breaker") && i + 1 < argc) {
+      const std::string b = argv[++i];
+      if (b != "on" && b != "off") {
+        std::fprintf(stderr, "pricectl: --breaker takes on or off\n");
+        return 2;
+      }
+      resilience::BreakerRegistry::instance().set_enabled(b == "on");
+    } else if (!std::strcmp(argv[i], "--retry")) {
+      req.retry.max_attempts = static_cast<int>(next(1));
+    } else if (!std::strcmp(argv[i], "--brownout") && i + 1 < argc) {
+      const std::string b = argv[++i];
+      if (b != "on" && b != "off") {
+        std::fprintf(stderr, "pricectl: --brownout takes on or off\n");
+        return 2;
+      }
+      brownout_on = b == "on";
+      if (brownout_on) {
+        // Make the ladder actionable: declare the workload degradable to
+        // a quarter of its accuracy knobs.
+        req.degrade.min_npath_fraction = 0.25;
+        req.degrade.min_steps_fraction = 0.25;
+      }
     }
+  }
+
+  if (!chaos_spec.empty()) {
+    // "variant=<id>,<faultplan-spec>": bind the plan to the variant so
+    // every request routed there is hit (the breaker-tripping kind).
+    const std::string prefix = "variant=";
+    const std::size_t comma = chaos_spec.find(',');
+    if (chaos_spec.rfind(prefix, 0) != 0 || comma == std::string::npos ||
+        comma <= prefix.size()) {
+      std::fprintf(stderr, "pricectl: --chaos takes \"variant=<id>,<faultplan-spec>\"\n");
+      return 2;
+    }
+    const std::string cid = chaos_spec.substr(prefix.size(), comma - prefix.size());
+    auto plan = robust::FaultPlan::parse(chaos_spec.substr(comma + 1));
+    if (!plan) {
+      std::fprintf(stderr, "pricectl: --chaos: %s\n", plan.status().to_string().c_str());
+      return 2;
+    }
+    resilience::set_variant_fault(cid, *plan);
   }
 
   if (!inject_spec.empty()) {
@@ -418,6 +494,8 @@ int main(int argc, char** argv) {
                  "               [--deadline-ms N] [--inject SPEC]\n"
                  "               [--metrics PATH|-] [--watch MS] [--flight-dump PATH]\n"
                  "               [--serve N] [--no-coalesce]\n"
+                 "               [--chaos \"variant=<id>,<faultplan-spec>\"] [--breaker on|off]\n"
+                 "               [--retry N] [--brownout on|off]\n"
                  "       ID is a concrete variant (--list) or an auto intent '<family>.auto'\n"
                  "       (bs/blackscholes, binomial, mc/montecarlo, brownian, cn/cranknicolson)\n");
     return 2;
@@ -496,7 +574,7 @@ int main(int argc, char** argv) {
         return 2;
     }
     return run_serve(v, family, req, serve_layout, nopt ? nopt : (1u << 18), serve_n,
-                     !no_coalesce, opts, metrics_path, watch_ms);
+                     !no_coalesce, brownout_on, opts, metrics_path, watch_ms);
   }
 
   // Workload by layout, sized for an interactive run unless --nopt given.

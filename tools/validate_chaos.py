@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Validate a serve_chaos report (finbench.chaos_report/v1).
+
+Usage: validate_chaos.py REPORT.json [...]
+
+Asserts the resilience contract the chaos harness exists to prove
+(docs/resilience.md):
+
+  * with breakers ON, availability under a poisoned tuned winner is
+    >= 99% (the breaker trips at least once and tune::resolve substitutes
+    the fallback chain);
+  * with breakers OFF the identical seed-keyed schedule is measurably
+    worse (>= 5 points lower availability);
+  * the brownout ladder actually moved under overload (>= 1 level,
+    degraded results marked kDegraded with applied knobs) without
+    flapping (2..12 transitions, hysteresis working);
+  * brownout bounds the open-loop p99: strictly below the ladder-off run
+    of the identical schedule.
+
+Crash-freedom is asserted by the caller: serve_chaos exiting nonzero (or
+not producing the report) fails the CI job before this validator runs.
+"""
+
+import json
+import sys
+
+SCHEMA = "finbench.chaos_report/v1"
+SCENARIO_KEYS = ["name", "sent", "accepted", "available", "availability",
+                 "p50_ms", "p99_ms", "trips", "retries", "transitions",
+                 "brownout_shed", "max_level", "final_level",
+                 "degraded_marked", "wall_seconds"]
+
+
+def fail(msg):
+    print(f"validate_chaos: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def validate(path):
+    with open(path) as f:
+        doc = json.load(f)
+
+    if doc.get("schema") != SCHEMA:
+        fail(f"{path}: unexpected schema {doc.get('schema')!r}")
+
+    by_name = {}
+    for i, s in enumerate(doc.get("scenarios", [])):
+        for key in SCENARIO_KEYS:
+            if key not in s:
+                fail(f"{path}: scenarios[{i}] missing '{key}'")
+        by_name[s["name"]] = s
+    for name in ["poison_breakers_on", "poison_breakers_off",
+                 "brownout_on", "brownout_off"]:
+        if name not in by_name:
+            fail(f"{path}: missing scenario '{name}'")
+
+    on = by_name["poison_breakers_on"]
+    off = by_name["poison_breakers_off"]
+    if on["accepted"] == 0:
+        fail(f"{path}: poison_breakers_on accepted no requests")
+    if on["availability"] < 0.99:
+        fail(f"{path}: availability with breakers on is {on['availability']:.4f}, "
+             f"expected >= 0.99")
+    if off["availability"] > on["availability"] - 0.05:
+        fail(f"{path}: breakers-off availability {off['availability']:.4f} is not "
+             f"measurably worse than breakers-on {on['availability']:.4f}")
+    if on["trips"] < 1:
+        fail(f"{path}: the poisoned variant's breaker never tripped")
+
+    bon = by_name["brownout_on"]
+    boff = by_name["brownout_off"]
+    if bon["max_level"] < 1:
+        fail(f"{path}: brownout ladder never stepped down under overload")
+    if not (2 <= bon["transitions"] <= 12):
+        fail(f"{path}: brownout transitions = {bon['transitions']}, expected 2..12 "
+             f"(hysteresis should bound flapping)")
+    if bon["degraded_marked"] < 1:
+        fail(f"{path}: no browned-out result was marked kDegraded with applied knobs")
+    if boff["transitions"] != 0:
+        fail(f"{path}: the disabled ladder transitioned {boff['transitions']} times")
+    if bon["p99_ms"] >= boff["p99_ms"]:
+        fail(f"{path}: brownout did not bound p99: on={bon['p99_ms']:.3f}ms "
+             f"vs off={boff['p99_ms']:.3f}ms")
+
+    print(f"validate_chaos: OK: {path}: "
+          f"poison availability {on['availability']:.4f} (on) vs "
+          f"{off['availability']:.4f} (off), {on['trips']} trip(s); "
+          f"brownout max_level={bon['max_level']} "
+          f"transitions={bon['transitions']} "
+          f"p99 {bon['p99_ms']:.1f}ms (on) vs {boff['p99_ms']:.1f}ms (off)")
+
+
+def main():
+    if len(sys.argv) < 2:
+        fail("usage: validate_chaos.py REPORT.json [...]")
+    for path in sys.argv[1:]:
+        validate(path)
+
+
+if __name__ == "__main__":
+    main()

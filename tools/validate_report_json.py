@@ -64,6 +64,7 @@ ROBUST_COUNTERS = [
     "robust.fallback.chunks", "robust.fallback.exhausted",
     "robust.deadline.expired", "robust.deadline.chunks_skipped",
     "robust.admission.shed",
+    "robust.admission.shed_queue_full", "robust.admission.shed_bytes",
     "pool.exceptions.suppressed",
 ]
 

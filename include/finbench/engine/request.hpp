@@ -36,6 +36,12 @@ namespace finbench::engine {
 // parallelizes *inside* one request).
 struct Scratch;
 
+// Intra-option task parallelism (engine/task_group.hpp): whether expensive
+// options may decompose into nested fork-join tasks inside their chunk.
+// kAuto defers to the tuner (which races tasked vs. flat execution under
+// auto dispatch) or a threads > 1 heuristic for explicit kernel ids.
+enum class TaskMode : int { kAuto = -1, kOff = 0, kOn = 1 };
+
 struct PricingRequest {
   // Registry id of the variant to run, e.g. "bs.intermediate.avx2".
   std::string kernel_id;
@@ -65,6 +71,7 @@ struct PricingRequest {
   // matching pin below is set. Concrete kernel_ids use them verbatim.
   arch::Schedule schedule = arch::Schedule::kDynamic;
   int chunks_per_thread = 8;  // dynamic chunk granularity target
+  TaskMode tasks = TaskMode::kAuto;  // intra-option fork-join tasks
 
   // Pins: the caller insists on the value above even under auto dispatch.
   // The tuner still races the full grid and bumps engine.tune.pinned_losing

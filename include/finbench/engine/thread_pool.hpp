@@ -20,6 +20,7 @@
 
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <exception>
@@ -32,6 +33,8 @@
 #include "finbench/robust/deadline.hpp"
 
 namespace finbench::engine {
+
+class TaskGroup;
 
 class ThreadPool {
  public:
@@ -78,11 +81,46 @@ class ThreadPool {
   static int current_participant();
 
  private:
+  friend class TaskGroup;
+
+  // --- Nested fork-join task layer (finbench/engine/task_group.hpp) ---
+  //
+  // Intrusive node of the pool-global FIFO task queue. Nodes are owned by
+  // their TaskGroup's inline slots; the pool only links/unlinks them.
+  struct TaskNode {
+    void (*invoke)(TaskNode*) = nullptr;
+    TaskGroup* group = nullptr;
+    TaskNode* next = nullptr;
+    std::thread::id owner{};     // spawner, for the steal counter
+    std::atomic<int> state{0};   // TaskGroup slot lifecycle (0 = free)
+  };
+
+  void post_task(TaskNode* n);
+  TaskNode* try_pop_task();
+  // Execute one popped task, maintaining the steal/depth counters.
+  static void execute_task(TaskNode* n);
+  // Block until a task is queued or `pending` (a group's outstanding-task
+  // count) drops to zero. Used by TaskGroup::join when the queue is empty
+  // but other threads still run this group's tasks.
+  void wait_task_or_group_idle(const std::atomic<int>& pending);
+  void notify_task_waiters();
+  // Run-scoped help: a participant out of chunk tickets drains queued
+  // tasks until every chunk of the live run has completed.
+  void help_tasks_until_run_done();
+
+  static void count_task_spawned();
+  static void count_suppressed_exception();
+
   void worker_main(int participant);
   void participate(int participant);
   void execute_chunk(std::ptrdiff_t c);
 
   std::vector<std::thread> workers_;
+
+  std::mutex task_mu_;                // guards the task queue links
+  std::condition_variable task_cv_;   // task posted / group drained / run done
+  TaskNode* task_head_ = nullptr;
+  TaskNode* task_tail_ = nullptr;
 
   std::mutex mu_;                    // guards gen_, run_live_, stop_
   std::condition_variable cv_work_;  // new generation / stop

@@ -77,4 +77,92 @@ void price_advanced_tile(std::span<const core::OptionSpec> opts, int steps,
                          std::span<double> out, int tile_size, Width w = Width::kAuto,
                          core::ScratchPool* scratch = nullptr);
 
+// --- Blocked-layout family (Layout::kBsBlocked AoSoA tiles) ------------------
+// European CRR pricing straight off the blocked tiles: per-lane lattice
+// parameters come from the blocked spot/strike/years fields plus the
+// view-shared rate/vol/dividend, and both the call and put prices are
+// written back into the tiles (fields 3 and 4) — no OptionSpec gather.
+// Lanes whose block width is not a multiple of W fall back to scalar lanes.
+void price_blocked(const core::BsBlockedView& view, int steps, Width w = Width::kAuto,
+                   core::ScratchPool* scratch = nullptr);
+
+// --- Shared CRR derivation (banded / blocked entry points) -------------------
+namespace detail {
+// The reference kernel's lattice coefficients, exposed so every other
+// entry point derives bitwise-identical parameters from one definition.
+struct CrrDerived {
+  double pu_by_df;
+  double pd_by_df;
+  double up;
+  double down;
+};
+// Throws std::invalid_argument when the risk-neutral probability leaves
+// [0, 1], exactly like the batch kernels.
+CrrDerived crr_derived(const core::OptionSpec& o, int steps);
+double payoff_of(const core::OptionSpec& o, double s);
+}  // namespace detail
+
+// --- Banded decomposition: intra-option task parallelism ---------------------
+//
+// The backward induction `call[j] = pu*call[j+1] + pd*call[j]` (ascending
+// j, in place) is a pure level map: every level-i value depends only on
+// two completed level-(i+1) values. Grouping kBandLevels levels into one
+// band pass over ping-pong src/dst lattices therefore splits each pass's
+// output range into independent segments — the task-parallel unit a
+// TaskGroup executes — while every output is still computed by the
+// *identical* floating-point expression, so the result is bitwise-equal
+// to price_one_reference no matter how many tasks ran (or none).
+namespace banded {
+
+// Engine-side threshold: European options at least this deep are worth
+// decomposing into segment tasks (docs/engine.md, task parallelism).
+inline constexpr int kMinTaskSteps = 512;
+// Levels reduced per band pass. Adjacent segments of a pass recompute a
+// levels-deep triangle of overlap ((nseg-1) * levels^2 / 2 extra updates
+// per pass), so the redundant-work fraction is ~levels / (2 * kSegmentMin):
+// 64-deep bands over 512-wide segments cost ~6% extra updates — the price
+// of decomposing a loop-carried reduction into independent tasks.
+inline constexpr int kBandLevels = 64;
+// Minimum outputs per segment, and the segment cap per pass (sized to
+// engine::TaskGroup::kMaxTasks).
+inline constexpr std::size_t kSegmentMin = 512;
+inline constexpr int kMaxSegments = 64;
+
+struct Params {
+  double pu_by_df;
+  double pd_by_df;
+};
+
+// One independent slice of a band pass: produce dst[lo .. lo+count) from
+// src[lo .. lo+count+levels-1], reducing `levels` levels.
+struct Segment {
+  const double* src;  // pass input lattice (immutable during the pass)
+  double* dst;        // pass output lattice (disjoint slices per segment)
+  std::size_t lo;     // first output index
+  std::size_t count;  // outputs produced
+  int levels;         // levels this pass reduces
+  const Params* params;
+};
+
+// Work space reduce_segment needs: the first reduced level's row.
+inline std::size_t work_doubles(const Segment& s) {
+  return s.count + static_cast<std::size_t>(s.levels) - 1;
+}
+
+void reduce_segment(const Segment& s, std::span<double> work);
+
+// Executes segs[0..nseg); every segment must be complete on return.
+using SegmentRunner = void (*)(void* ctx, const Segment* segs, int nseg);
+
+// In-order runner; ctx is a std::span<double>* work buffer of at least
+// `steps` doubles (an upper bound on work_doubles of any segment).
+void serial_segment_runner(void* ctx, const Segment* segs, int nseg);
+
+// European-only banded backward induction. `lattice` holds the two
+// ping-pong arrays: at least 2*(steps+1) doubles.
+double price_one_banded(const core::OptionSpec& opt, int steps, std::span<double> lattice,
+                        SegmentRunner runner, void* ctx);
+
+}  // namespace banded
+
 }  // namespace finbench::kernels::binomial

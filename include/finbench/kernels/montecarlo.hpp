@@ -63,6 +63,23 @@ void price_basic_stream(std::span<const core::OptionSpec> opts, std::span<const 
 void price_optimized_stream(std::span<const core::OptionSpec> opts, std::span<const double> z,
                             std::size_t npath, std::span<McResult> out, Width w = Width::kAuto);
 
+// --- Path-block partials: intra-option task parallelism ---------------------
+// Raw payoff moments of one option over the normal block z: v0 = sum of
+// payoffs, v1 = sum of squared payoffs — the same accumulation
+// integrate_paths performs, cut at a block boundary. Combining per-block
+// partials in block order and finalizing yields a *deterministic* price
+// for a fixed block split, but NOT one bitwise-equal to the flat
+// single-sweep accumulation (the reduction tree differs); callers that
+// need bitwise-stable output across task on/off must keep npath below the
+// engine's task threshold or pin tasks off.
+struct McMoments {
+  double v0 = 0.0;
+  double v1 = 0.0;
+};
+McMoments integrate_stream_partial(const core::OptionSpec& opt, std::span<const double> z,
+                                   Width w = Width::kAuto);
+McResult finalize_moments(const core::OptionSpec& opt, const McMoments& m, std::size_t npath);
+
 // --- computed-RNG flavor: a fresh Philox substream per option --------------
 // Option o draws from NormalStream(seed, stream_base + o), so a caller
 // pricing a sub-range [b, e) of a larger portfolio passes stream_base = b

@@ -56,11 +56,16 @@ struct TuneKey {
   int pinned_schedule = -1;  // else static_cast<int>(arch::Schedule)
   int pinned_chunks = 0;     // else the pinned chunks_per_thread
 
+  // Intra-option task mode pinned by the caller: -1 = auto (the race
+  // decides, trying tasks on and off), 0 = forced off, 1 = forced on.
+  int tasks = -1;
+
   bool american = false;  // kSpecs workload carries American exercise
 
   auto tie() const {
     return std::tie(family, layout, size_bucket, threads, steps, steps_per_year, npath,
-                    bridge_depth, cn_num_prices, pinned_schedule, pinned_chunks, american);
+                    bridge_depth, cn_num_prices, pinned_schedule, pinned_chunks, tasks,
+                    american);
   }
 
   friend bool operator<(const TuneKey& a, const TuneKey& b) { return a.tie() < b.tie(); }

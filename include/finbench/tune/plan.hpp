@@ -38,6 +38,7 @@ struct DispatchPlan {
   std::string variant_id;  // concrete registry id; empty = no plan
   arch::Schedule schedule = arch::Schedule::kDynamic;
   int chunks_per_thread = 8;
+  bool tasks = false;  // intra-option fork-join tasks enabled
 
   // Race-time evidence: best measured throughput of this configuration and
   // the parallel.engine.<schedule>.imbalance mean observed while it ran
@@ -55,6 +56,7 @@ struct CandidateResult {
   std::string id;
   arch::Schedule schedule = arch::Schedule::kDynamic;
   int chunks_per_thread = 8;
+  bool tasks = false;  // raced with intra-option tasks enabled
   double items_per_sec = 0.0;
   double imbalance = 0.0;
   bool ok = false;

@@ -23,6 +23,10 @@ ResolvedDispatch resolve_dispatch(const Engine& eng, const PricingRequest& req) 
   ResolvedDispatch out;
   out.schedule = req.schedule;
   out.chunks_per_thread = req.chunks_per_thread;
+  // Explicit task mode wins everywhere; kAuto falls back to a threads > 1
+  // heuristic here, and to the raced plan's verdict under auto dispatch.
+  out.tasks = req.tasks == TaskMode::kOn ||
+              (req.tasks == TaskMode::kAuto && eng.pool_size() > 1);
 
   if (!tune::is_auto_id(req.kernel_id)) {
     out.v = Registry::instance().find(req.kernel_id);
@@ -55,12 +59,13 @@ ResolvedDispatch resolve_dispatch(const Engine& eng, const PricingRequest& req) 
   const void* src = workload_data_key(req.portfolio);
   const int pin_sched = req.pin_schedule ? static_cast<int>(req.schedule) : -1;
   const int pin_cpt = req.pin_chunks ? req.chunks_per_thread : 0;
+  const int pin_tasks = static_cast<int>(req.tasks);
   bool cached = s.has_plan && s.plan_src == src && s.plan_n == req.portfolio.size() &&
                 s.plan_layout == req.portfolio.layout && s.plan_threads == threads &&
                 s.plan_steps == req.steps && s.plan_spy == req.steps_per_year &&
                 s.plan_npath == req.npath && s.plan_bridge == req.bridge_depth &&
                 s.plan_cn == req.cn_num_prices && s.plan_pin_sched == pin_sched &&
-                s.plan_pin_cpt == pin_cpt;
+                s.plan_pin_cpt == pin_cpt && s.plan_tasks == pin_tasks;
 
   // Even a scratch-cached plan must pass the winner's circuit breaker: a
   // variant that trips mid-stream re-routes steady-state request loops
@@ -116,6 +121,7 @@ ResolvedDispatch resolve_dispatch(const Engine& eng, const PricingRequest& req) 
       s.plan_cn = req.cn_num_prices;
       s.plan_pin_sched = pin_sched;
       s.plan_pin_cpt = pin_cpt;
+      s.plan_tasks = pin_tasks;
       s.plan_breaker = nullptr;  // re-resolve against the new winner
     }
   }
@@ -133,6 +139,7 @@ ResolvedDispatch resolve_dispatch(const Engine& eng, const PricingRequest& req) 
   // Pinned knobs keep the caller's value; unpinned ones take the plan's.
   out.schedule = req.pin_schedule ? req.schedule : plan->schedule;
   out.chunks_per_thread = req.pin_chunks ? req.chunks_per_thread : plan->chunks_per_thread;
+  if (req.tasks == TaskMode::kAuto) out.tasks = plan->tasks;
   return out;
 }
 

@@ -323,6 +323,13 @@ void Engine::price(const PricingRequest& req, PricingResult& res) const {
   core::PortfolioView working = req.portfolio;
   Scratch& s = scratch_of(req);
 
+  // Intra-option task handoff: with the resolved task mode on, variant
+  // adapters may decompose expensive options into nested fork-join tasks
+  // on the engine's pool (engine/task_group.hpp). Re-stamped every pricing
+  // — the resolved mode can change between repetitions (tuner, pins).
+  s.tasks_on = rd.tasks;
+  s.task_pool = rd.tasks ? pool_ : nullptr;
+
   // Per-kernel latency instruments, resolved once per kernel id: the
   // registry lookup builds label strings and takes a mutex, so repeated
   // pricings of the same request must go through these cached handles

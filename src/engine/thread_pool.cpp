@@ -18,9 +18,89 @@ namespace {
 thread_local bool t_in_pool_run = false;
 // Participant index of the active run on this thread; -1 outside a run.
 thread_local int t_pool_participant = -1;
+// Fork-join nesting depth on this thread: >0 while a spawned task runs,
+// so a task executed from inside another task counts as nested.
+thread_local int t_task_depth = 0;
 }  // namespace
 
 int ThreadPool::current_participant() { return t_pool_participant; }
+
+// --- Nested fork-join task layer ---------------------------------------------
+
+void ThreadPool::count_task_spawned() {
+  static obs::Counter& spawned = obs::counter("engine.tasks.spawned");
+  spawned.add(1);
+}
+
+void ThreadPool::count_suppressed_exception() {
+  static obs::Counter& suppressed = obs::counter("pool.exceptions.suppressed");
+  suppressed.add(1);
+}
+
+void ThreadPool::post_task(TaskNode* n) {
+  {
+    std::lock_guard<std::mutex> lock(task_mu_);
+    if (task_tail_ != nullptr) {
+      task_tail_->next = n;
+    } else {
+      task_head_ = n;
+    }
+    task_tail_ = n;
+  }
+  task_cv_.notify_one();
+}
+
+ThreadPool::TaskNode* ThreadPool::try_pop_task() {
+  std::lock_guard<std::mutex> lock(task_mu_);
+  TaskNode* n = task_head_;
+  if (n != nullptr) {
+    task_head_ = n->next;
+    if (task_head_ == nullptr) task_tail_ = nullptr;
+    n->next = nullptr;
+  }
+  return n;
+}
+
+void ThreadPool::execute_task(TaskNode* n) {
+  static obs::Counter& steals = obs::counter("engine.tasks.steals");
+  static obs::Counter& depth = obs::counter("engine.tasks.depth");
+  if (std::this_thread::get_id() != n->owner) steals.add(1);
+  if (t_task_depth > 0) depth.add(1);
+  ++t_task_depth;
+  n->invoke(n);  // never throws: the thunk captures into the group
+  --t_task_depth;
+}
+
+void ThreadPool::wait_task_or_group_idle(const std::atomic<int>& pending) {
+  std::unique_lock<std::mutex> lock(task_mu_);
+  task_cv_.wait(lock, [&] {
+    return task_head_ != nullptr || pending.load(std::memory_order_acquire) == 0;
+  });
+}
+
+void ThreadPool::notify_task_waiters() {
+  // Taking the queue lock before notifying closes the check-then-block
+  // race against wait_task_or_group_idle / help_tasks_until_run_done.
+  { std::lock_guard<std::mutex> lock(task_mu_); }
+  task_cv_.notify_all();
+}
+
+void ThreadPool::help_tasks_until_run_done() {
+  // Chunks join their own tasks before completing, so once every chunk of
+  // the live run has completed the queue is necessarily empty and helpers
+  // must leave promptly (run() waits for active_workers_ == 0).
+  while (completed_.load(std::memory_order_acquire) < nchunks_) {
+    if (TaskNode* n = try_pop_task()) {
+      execute_task(n);
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(task_mu_);
+    task_cv_.wait(lock, [&] {
+      return task_head_ != nullptr ||
+             completed_.load(std::memory_order_acquire) >= nchunks_;
+    });
+  }
+}
 
 ThreadPool::ThreadPool(int threads) {
   int n = threads > 0 ? threads : arch::num_threads();
@@ -67,7 +147,11 @@ void ThreadPool::execute_chunk(std::ptrdiff_t c) {
       failed_.store(true, std::memory_order_relaxed);
     }
   }
-  completed_.fetch_add(1, std::memory_order_acq_rel);
+  if (completed_.fetch_add(1, std::memory_order_acq_rel) + 1 == nchunks_) {
+    // Wake helpers parked on the task queue so they can observe run
+    // completion and leave participate() (run() waits on them).
+    notify_task_waiters();
+  }
 }
 
 void ThreadPool::participate(int participant) {
@@ -86,6 +170,10 @@ void ThreadPool::participate(int participant) {
       execute_chunk(c);
     }
   }
+  // Out of chunk tickets: drain intra-option tasks spawned by still-running
+  // chunks until the run completes, so a mixed-expiry batch's deep tail
+  // option keeps every participant busy instead of idling P-1 of them.
+  help_tasks_until_run_done();
   t_in_pool_run = false;
   t_pool_participant = -1;
   if (timing) {

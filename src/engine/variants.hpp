@@ -22,6 +22,8 @@
 
 namespace finbench::engine {
 
+class ThreadPool;
+
 // Request-lifetime derived data, built on the first pricing of a request
 // and reused across repetitions (benchmark loops re-price the same request
 // many times; regenerating normal streams inside the timed region would
@@ -137,6 +139,15 @@ struct Scratch {
   int plan_cn = 0;
   int plan_pin_sched = -2;  // -2 = never resolved; else TuneKey::pinned_schedule
   int plan_pin_cpt = -1;    // TuneKey::pinned_chunks
+  int plan_tasks = -2;      // -2 = never resolved; else TuneKey::tasks
+
+  // --- Intra-option task handoff (engine-owned; engine/task_group.hpp) -----
+  // Set by Engine::price for the duration of one execution: when tasks_on,
+  // variant run_range adapters may decompose expensive options into nested
+  // fork-join tasks on task_pool. Null / false outside engine execution
+  // (direct run_batch dispatch stays flat).
+  bool tasks_on = false;
+  ThreadPool* task_pool = nullptr;
 };
 
 // Ensure req.scratch exists; returns it.
@@ -169,6 +180,7 @@ struct ResolvedDispatch {
   const VariantInfo* v = nullptr;
   arch::Schedule schedule = arch::Schedule::kDynamic;
   int chunks_per_thread = 8;
+  bool tasks = false;  // effective intra-option task mode
   bool tuned = false;
   robust::Status error{};
 };

@@ -9,6 +9,7 @@
 #include <algorithm>
 #include <span>
 
+#include "finbench/engine/task_group.hpp"
 #include "finbench/kernels/binomial.hpp"
 #include "variants.hpp"
 
@@ -18,6 +19,7 @@ namespace {
 
 using core::OptLevel;
 using kernels::binomial::Width;
+namespace banded = kernels::binomial::banded;
 
 // Effective lattice depth for one option under this request.
 int steps_for(const core::OptionSpec& o, const PricingRequest& req) {
@@ -69,17 +71,88 @@ void reserve_lattice(const PricingRequest& req, const core::PortfolioView& view)
                          scratch_slots());
 }
 
+// --- Intra-option task decomposition (engine/task_group.hpp) -----------------
+// When Engine::price hands this execution a task pool (Scratch::tasks_on),
+// deep European options split their band passes into TaskGroup segments
+// instead of reducing serially on one worker. Every segment computes the
+// identical floating-point expression the reference kernel uses, so the
+// tasked result stays bitwise-equal to the flat path (see the banded
+// header comment) — the decomposition only changes *who* computes.
+
+struct TaskedSegCtx {
+  ThreadPool* pool;
+  core::ScratchPool* scratch;        // per-task work leases
+  std::span<double> spawner_work;    // serial fallback / spawner's own segment
+};
+
+void tasked_segment_runner(void* ctx_p, const banded::Segment* segs, int nseg) {
+  auto* ctx = static_cast<TaskedSegCtx*>(ctx_p);
+  if (nseg <= 1) {
+    for (int i = 0; i < nseg; ++i) banded::reduce_segment(segs[i], ctx->spawner_work);
+    return;
+  }
+  // Independent segments: inline overflow execution is correct, so no
+  // can_spawn gate. The spawner keeps segs[0] for itself and helps in
+  // join() once it is done.
+  TaskGroup group(*ctx->pool);
+  core::ScratchPool* scratch = ctx->scratch;
+  for (int i = 1; i < nseg; ++i) {
+    const banded::Segment seg = segs[i];
+    group.spawn([seg, scratch] {
+      const std::size_t need = banded::work_doubles(seg);
+      core::ScratchPool::Lease lease = scratch->claim(need);
+      if (lease) {
+        banded::reduce_segment(seg, {lease.data(), need});
+      } else {
+        arch::AlignedVector<double> local(need);
+        banded::reduce_segment(seg, {local.data(), need});
+      }
+    });
+  }
+  banded::reduce_segment(segs[0], ctx->spawner_work);
+  group.join();
+}
+
+// One deep European option through the banded decomposition. The chunk
+// claims one lattice-pool slot for the ping-pong lattices plus the
+// spawner's work row: 3*(steps+1) doubles fits the (steps+1)*8 slot.
+double price_one_tasked(const core::OptionSpec& opt, int steps, Scratch& s) {
+  const std::size_t lat = static_cast<std::size_t>(steps) + 1;
+  const std::size_t need = 3 * lat;
+  core::ScratchPool::Lease lease = s.lattice_pool.claim(need);
+  arch::AlignedVector<double> local;
+  double* base = nullptr;
+  if (lease) {
+    base = lease.data();
+  } else {
+    local.resize(need);
+    base = local.data();
+  }
+  TaskedSegCtx ctx{s.task_pool, &s.lattice_pool, {base + 2 * lat, lat}};
+  return banded::price_one_banded(opt, steps, {base, 2 * lat}, tasked_segment_runner, &ctx);
+}
+
 template <BatchFn K, Width W>
 void run_range(const PricingRequest& req, const core::PortfolioView& view, std::size_t begin,
                std::size_t end, PricingResult& res) {
-  core::ScratchPool* pool = &scratch_of(req).lattice_pool;
+  Scratch& s = scratch_of(req);
+  core::ScratchPool* pool = &s.lattice_pool;
   std::span<double> out{res.values.data() + begin, end - begin};
   if (req.steps_per_year > 0) {
     // Heterogeneous depths: the lattice is priced per option (SIMD variants
-    // accept single-option spans via their scalar tail path).
+    // accept single-option spans via their scalar tail path — which is
+    // price_one_reference, so routing deep European options through the
+    // banded decomposition below is bitwise-neutral for every variant).
+    const bool tasks = s.tasks_on && s.task_pool != nullptr;
     for (std::size_t o = begin; o < end; ++o) {
-      K(view.specs.subspan(o, 1), steps_for(view.specs[o], req),
-        {res.values.data() + o, 1}, W, pool);
+      const core::OptionSpec& opt = view.specs[o];
+      const int steps = steps_for(opt, req);
+      if (tasks && steps >= banded::kMinTaskSteps &&
+          opt.style == core::ExerciseStyle::kEuropean) {
+        res.values[o] = price_one_tasked(opt, steps, s);
+        continue;
+      }
+      K(view.specs.subspan(o, 1), steps, {res.values.data() + o, 1}, W, pool);
     }
     return;
   }
@@ -99,6 +172,63 @@ void run_batch(const PricingRequest& req, const core::PortfolioView& view,
     return;
   }
   K(view.specs, req.steps, res.values, W, &scratch_of(req).lattice_pool);
+}
+
+// --- Blocked-layout family (Layout::kBsBlocked AoSoA tiles) ------------------
+// Whole-batch only: the blocked view carries no per-option expiry scaling
+// and writes call+put straight back into tile fields 3/4, so outputs flow
+// through the layout (validate.cpp's blocked reader), not res.values.
+
+double blocked_flops(const PricingRequest& req) {
+  return 2.0 * kernels::binomial::flops_per_option(req.steps);  // call + put
+}
+
+// Reserve enough for the widest variant's dual lattice: 2*(steps+1)*8
+// doubles per worker == lattice_doubles(steps, 16).
+void reserve_blocked(const PricingRequest& req, const core::PortfolioView&) {
+  Scratch& s = scratch_of(req);
+  s.lattice_pool.reserve(s.kernel_arena, kernels::binomial::lattice_doubles(req.steps, 16),
+                         scratch_slots());
+}
+
+template <Width W>
+void run_blocked(const PricingRequest& req, const core::PortfolioView& view,
+                 PricingResult& res) {
+  reserve_blocked(req, view);
+  kernels::binomial::price_blocked(view.blocked, req.steps, W,
+                                   &scratch_of(req).lattice_pool);
+  res.items = view.blocked.size();
+  res.ok = true;
+}
+
+// Spec-gather baseline and blocked-layout validation anchor: each lane is
+// gathered into an OptionSpec and both sides priced through the scalar
+// reference kernel. This is the comparison the CI lattice gate holds the
+// tile variants against (docs: the blocked family must beat the gather).
+void run_blocked_gather(const PricingRequest& req, const core::PortfolioView& view,
+                        PricingResult& res) {
+  reserve_blocked(req, view);
+  const core::BsBlockedView& b = view.blocked;
+  core::ScratchPool* pool = &scratch_of(req).lattice_pool;
+  const std::size_t bw = static_cast<std::size_t>(b.block);
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    const std::size_t blk = i / bw;
+    const std::size_t ln = i % bw;
+    core::OptionSpec o{};
+    o.spot = b.field(blk, 0)[ln];
+    o.strike = b.field(blk, 1)[ln];
+    o.years = b.field(blk, 2)[ln];
+    o.rate = b.rate;
+    o.vol = b.vol;
+    o.dividend = b.dividend;
+    o.style = core::ExerciseStyle::kEuropean;
+    o.type = core::OptionType::kCall;
+    kernels::binomial::price_reference({&o, 1}, req.steps, {b.field(blk, 3) + ln, 1}, pool);
+    o.type = core::OptionType::kPut;
+    kernels::binomial::price_reference({&o, 1}, req.steps, {b.field(blk, 4) + ln, 1}, pool);
+  }
+  res.items = b.size();
+  res.ok = true;
 }
 
 VariantInfo base(const char* id, OptLevel level, int width, const char* desc) {
@@ -180,6 +310,45 @@ void register_binomial(Registry& r) {
     v.european_only = true;
     v.fallback_id = "binomial.advanced.auto";  // -> intermediate -> reference
     wire<kernels::binomial::price_advanced_unrolled, Width::kAuto>(v);
+    r.add(std::move(v));
+  }
+  // --- Blocked (AoSoA) family ----------------------------------------------
+  // European CRR straight off Layout::kBsBlocked tiles: aligned unit-stride
+  // lane setup (no OptionSpec gather) and dual call+put lattices reducing
+  // together for ILP. Fallback chain steps 8 -> 4 -> gather without leaving
+  // the blocked layout; the gather baseline is the family's validation
+  // anchor (cross-layout comparison against the specs reference would
+  // mismatch output shapes — blocked emits call+put pairs).
+  {
+    VariantInfo v = base("binomial.blocked_gather.scalar", OptLevel::kReference, 1,
+                         "per-lane OptionSpec gather through the scalar reference");
+    v.layout = Layout::kBsBlocked;
+    v.reference_id = "";
+    v.european_only = true;
+    v.flops_per_item = blocked_flops;
+    v.run_batch = run_blocked_gather;
+    r.add(std::move(v));
+  }
+  {
+    VariantInfo v = base("binomial.blocked.4", OptLevel::kAdvanced, 4,
+                         "AoSoA tiles, 4-wide DP, dual call+put lattices");
+    v.layout = Layout::kBsBlocked;
+    v.reference_id = "binomial.blocked_gather.scalar";
+    v.european_only = true;
+    v.flops_per_item = blocked_flops;
+    v.fallback_id = "binomial.blocked_gather.scalar";
+    v.run_batch = run_blocked<Width::kAvx2>;
+    r.add(std::move(v));
+  }
+  {
+    VariantInfo v = base("binomial.blocked.8", OptLevel::kAdvanced, 8,
+                         "AoSoA tiles, 8-wide DP (AVX-512), dual call+put lattices");
+    v.layout = Layout::kBsBlocked;
+    v.reference_id = "binomial.blocked_gather.scalar";
+    v.european_only = true;
+    v.flops_per_item = blocked_flops;
+    v.fallback_id = "binomial.blocked.4";
+    v.run_batch = run_blocked<Width::kAuto>;
     r.add(std::move(v));
   }
 }

@@ -12,10 +12,13 @@
 // never allocates, which the engine's zero-steady-state-allocation
 // guarantee depends on.
 
+#include <algorithm>
 #include <span>
 #include <vector>
 
+#include "finbench/engine/task_group.hpp"
 #include "finbench/kernels/montecarlo.hpp"
+#include "finbench/obs/metrics.hpp"
 #include "finbench/rng/normal.hpp"
 #include "variants.hpp"
 
@@ -116,6 +119,61 @@ void stream_batch(const PricingRequest& req, const core::PortfolioView& view,
   res.ok = true;
 }
 
+// --- Path-block tasks (engine/task_group.hpp) --------------------------------
+// When the engine hands this execution a task pool, each option's path
+// integration splits into independent normal-array blocks; leaf tasks
+// accumulate raw payoff moments and the spawner combines them in block
+// order. Deterministic for a fixed npath (the split is a pure function of
+// npath), but not bitwise-equal to the flat sweep — the reduction tree
+// differs (see integrate_stream_partial's header note), which is why this
+// rides only the optimized_stream rows and only when tasking is on.
+
+constexpr std::size_t kMcTaskBlock = 8192;  // min paths per leaf task
+constexpr int kMcMaxBlocks = 64;            // TaskGroup capacity
+
+template <Width W>
+void stream_range_tasked(const PricingRequest& req, const core::PortfolioView& view,
+                         std::size_t begin, std::size_t end, PricingResult& res) {
+  Scratch& s = *req.scratch;  // built by prepare_stream
+  const std::size_t npath = req.npath;
+  if (!s.tasks_on || s.task_pool == nullptr || npath < 2 * kMcTaskBlock) {
+    stream_range<kernels::mc::price_optimized_stream, W>(req, view, begin, end, res);
+    return;
+  }
+  static obs::Counter& paths = obs::counter("mc.paths");
+  paths.add((end - begin) * npath);
+  std::span<McResult> mc{s.mc.data() + begin, end - begin};
+  const std::size_t blksz =
+      std::max(kMcTaskBlock,
+               (npath + static_cast<std::size_t>(kMcMaxBlocks) - 1) / kMcMaxBlocks);
+  const int nblk = static_cast<int>((npath + blksz - 1) / blksz);
+  const double* z = s.z.data();
+  for (std::size_t o = begin; o < end; ++o) {
+    const core::OptionSpec& opt = view.specs[o];
+    kernels::mc::McMoments parts[kMcMaxBlocks];
+    TaskGroup group(*s.task_pool);
+    for (int i = 1; i < nblk; ++i) {
+      const std::size_t lo = static_cast<std::size_t>(i) * blksz;
+      const std::size_t cnt = std::min(blksz, npath - lo);
+      const double* zp = z + lo;
+      kernels::mc::McMoments* dst = &parts[i];
+      const core::OptionSpec* op = &opt;
+      group.spawn([op, zp, cnt, dst] {
+        *dst = kernels::mc::integrate_stream_partial(*op, {zp, cnt}, W);
+      });
+    }
+    parts[0] = kernels::mc::integrate_stream_partial(opt, {z, blksz}, W);
+    group.join();
+    kernels::mc::McMoments total;
+    for (int i = 0; i < nblk; ++i) {
+      total.v0 += parts[i].v0;
+      total.v1 += parts[i].v1;
+    }
+    mc[o - begin] = kernels::mc::finalize_moments(opt, total, npath);
+  }
+  store(mc, begin, res);
+}
+
 using ComputedFn = void (*)(std::span<const core::OptionSpec>, std::size_t, std::uint64_t,
                             std::span<McResult>, Width, std::uint64_t, core::ScratchPool*);
 
@@ -206,7 +264,7 @@ void register_montecarlo(Registry& r) {
     v.bytes_per_item = bytes_stream;
     v.prepare = prepare_stream;
     v.run_batch = stream_batch<kernels::mc::price_optimized_stream, Width::kAvx2>;
-    v.run_range = stream_range<kernels::mc::price_optimized_stream, Width::kAvx2>;
+    v.run_range = stream_range_tasked<Width::kAvx2>;
     r.add(std::move(v));
   }
   {
@@ -216,7 +274,7 @@ void register_montecarlo(Registry& r) {
     v.bytes_per_item = bytes_stream;
     v.prepare = prepare_stream;
     v.run_batch = stream_batch<kernels::mc::price_optimized_stream, Width::kAuto>;
-    v.run_range = stream_range<kernels::mc::price_optimized_stream, Width::kAuto>;
+    v.run_range = stream_range_tasked<Width::kAuto>;
     r.add(std::move(v));
   }
   {

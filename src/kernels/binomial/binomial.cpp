@@ -65,6 +65,17 @@ struct LatticeBuf {
 
 }  // namespace
 
+namespace detail {
+
+CrrDerived crr_derived(const core::OptionSpec& o, int steps) {
+  const CrrParams p = crr(o, steps);
+  return {p.pu_by_df, p.pd_by_df, p.up, p.down};
+}
+
+double payoff_of(const core::OptionSpec& o, double s) { return payoff(o, s); }
+
+}  // namespace detail
+
 // --- Reference (Lis. 2) ----------------------------------------------------
 
 double price_one_reference(const core::OptionSpec& opt, int steps) {

@@ -1,0 +1,83 @@
+// Banded backward induction for one deep European option: the intra-option
+// decomposition the engine's fork-join task layer executes (PR 10). See the
+// header comment in finbench/kernels/binomial.hpp — every lattice value is
+// computed by the identical floating-point expression the reference kernel
+// uses (plain mul/add under -ffp-contract=off), so tasked, serial-runner,
+// and price_one_reference results are bitwise-equal.
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "finbench/kernels/binomial.hpp"
+
+namespace finbench::kernels::binomial::banded {
+
+void reduce_segment(const Segment& s, std::span<double> work) {
+  assert(work.size() >= work_doubles(s));
+  const double pu = s.params->pu_by_df;
+  const double pd = s.params->pd_by_df;
+  const int levels = s.levels;
+  double* w = work.data();
+
+  // First level reads the (immutable) pass input directly — no copy.
+  const double* src = s.src + s.lo;
+  const std::size_t w1 = s.count + static_cast<std::size_t>(levels) - 1;
+  for (std::size_t t = 0; t < w1; ++t) w[t] = pu * src[t + 1] + pd * src[t];
+
+  // Remaining levels reduce in place, ascending t: w[t+1] is still the
+  // previous level's value when w[t] is written — same dependence shape as
+  // the reference kernel's in-place inner loop.
+  for (int l = 2; l <= levels; ++l) {
+    const std::size_t wn = s.count + static_cast<std::size_t>(levels - l);
+    for (std::size_t t = 0; t < wn; ++t) w[t] = pu * w[t + 1] + pd * w[t];
+  }
+
+  for (std::size_t t = 0; t < s.count; ++t) s.dst[s.lo + t] = w[t];
+}
+
+void serial_segment_runner(void* ctx, const Segment* segs, int nseg) {
+  const std::span<double> work = *static_cast<std::span<double>*>(ctx);
+  for (int i = 0; i < nseg; ++i) reduce_segment(segs[i], work);
+}
+
+double price_one_banded(const core::OptionSpec& opt, int steps, std::span<double> lattice,
+                        SegmentRunner runner, void* ctx) {
+  assert(opt.style == core::ExerciseStyle::kEuropean);
+  assert(lattice.size() >= 2 * (static_cast<std::size_t>(steps) + 1));
+  const detail::CrrDerived p = detail::crr_derived(opt, steps);
+  const Params params{p.pu_by_df, p.pd_by_df};
+
+  double* src = lattice.data();
+  double* dst = lattice.data() + (steps + 1);
+
+  // Leaves exactly as the reference kernel builds them.
+  double s = opt.spot * std::pow(p.down, steps);
+  const double ratio = p.up / p.down;
+  for (int j = 0; j <= steps; ++j) {
+    src[j] = detail::payoff_of(opt, s);
+    s *= ratio;
+  }
+
+  Segment segs[kMaxSegments];
+  int m = steps;  // levels left to reduce; src holds values 0..m
+  while (m > 0) {
+    const int levels = std::min(kBandLevels, m);
+    const std::size_t out = static_cast<std::size_t>(m - levels) + 1;
+    std::size_t segsz = kSegmentMin;
+    if (out > segsz * static_cast<std::size_t>(kMaxSegments)) {
+      segsz = (out + kMaxSegments - 1) / kMaxSegments;
+    }
+    const int nseg = static_cast<int>((out + segsz - 1) / segsz);
+    for (int i = 0; i < nseg; ++i) {
+      const std::size_t lo = static_cast<std::size_t>(i) * segsz;
+      segs[i] = Segment{src, dst, lo, std::min(segsz, out - lo), levels, &params};
+    }
+    runner(ctx, segs, nseg);
+    std::swap(src, dst);
+    m -= levels;
+  }
+  return src[0];
+}
+
+}  // namespace finbench::kernels::binomial::banded

@@ -102,7 +102,7 @@ void price_basic_stream(std::span<const core::OptionSpec> opts, std::span<const 
 namespace {
 
 template <int W>
-McResult integrate_paths(const core::OptionSpec& opt, const double* z, std::size_t npath) {
+McMoments integrate_moments(const core::OptionSpec& opt, const double* z, std::size_t npath) {
   using V = simd::Vec<double, W>;
   const PathParams p = path_params(opt);
   const V spot(opt.spot), strike(opt.strike), vrt(p.v_rt_t), mu(p.mu_t), sign(p.sign);
@@ -128,7 +128,13 @@ McResult integrate_paths(const core::OptionSpec& opt, const double* z, std::size
     v0 += res;
     v1 += res * res;
   }
-  return finalize(p, v0, v1, npath);
+  return {v0, v1};
+}
+
+template <int W>
+McResult integrate_paths(const core::OptionSpec& opt, const double* z, std::size_t npath) {
+  const McMoments m = integrate_moments<W>(opt, z, npath);
+  return finalize(path_params(opt), m.v0, m.v1, npath);
 }
 
 template <int W>
@@ -223,6 +229,26 @@ void price_optimized_stream(std::span<const core::OptionSpec> opts, std::span<co
     case Width::kAuto: optimized_stream_width<4>(opts, z, npath, out); return;
 #endif
   }
+}
+
+McMoments integrate_stream_partial(const core::OptionSpec& opt, std::span<const double> z,
+                                   Width w) {
+  switch (w) {
+    case Width::kScalar: return integrate_moments<1>(opt, z.data(), z.size());
+    case Width::kAvx2: return integrate_moments<4>(opt, z.data(), z.size());
+#if defined(FINBENCH_HAVE_AVX512)
+    case Width::kAvx512:
+    case Width::kAuto: return integrate_moments<8>(opt, z.data(), z.size());
+#else
+    case Width::kAvx512:
+    case Width::kAuto: return integrate_moments<4>(opt, z.data(), z.size());
+#endif
+  }
+  return {};
+}
+
+McResult finalize_moments(const core::OptionSpec& opt, const McMoments& m, std::size_t npath) {
+  return finalize(path_params(opt), m.v0, m.v1, npath);
 }
 
 void price_reference_computed(std::span<const core::OptionSpec> opts, std::size_t npath,

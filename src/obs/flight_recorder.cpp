@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cctype>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <mutex>
+#include <system_error>
 
 #include "finbench/obs/json.hpp"
 
@@ -72,7 +74,7 @@ namespace {
 struct FlightState {
   std::mutex mu;                 // guards recorder swap, dump path, dumped reasons
   FlightRecorder* recorder = new FlightRecorder;
-  std::string dump_path = "finbench_flight.json";
+  std::string dump_path = "flight_dumps/finbench_flight.json";
   // One auto-dump per *distinct reason* per process (re-arm with
   // reset_flight_auto_dump): a quarantine dump must not swallow a later
   // deadline dump, while a long degraded run still serializes each story
@@ -148,6 +150,13 @@ bool write_flight_dump(const std::string& path, const std::string& reason) {
     }
   }
 
+  // Default dumps land in a directory (kept out of version control);
+  // create it on demand so first-dump-ever still succeeds.
+  const std::size_t slash = path.find_last_of("/\\");
+  if (slash != std::string::npos && slash > 0) {
+    std::error_code ec;
+    std::filesystem::create_directories(path.substr(0, slash), ec);
+  }
   std::ofstream f(path, std::ios::binary | std::ios::trunc);
   if (!f) return false;
   json::Writer w(f);

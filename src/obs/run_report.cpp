@@ -283,6 +283,31 @@ void write_robust(json::Writer& w, const std::string& denormal_mode) {
   w.end_object();
 }
 
+// The fork-join story of the run: every engine.tasks.* counter the nested
+// task layer bumped. Fixed keys with explicit zeros, like write_robust, so
+// a flat-chunked run still reports the object and consumers can diff task
+// activity across runs without probing for key presence.
+void write_tasks(json::Writer& w) {
+  static constexpr const char* kCounters[] = {
+      "engine.tasks.spawned",
+      "engine.tasks.steals",
+      "engine.tasks.depth",
+  };
+  const MetricsSnapshot snap = snapshot_metrics();
+  const auto counter_of = [&snap](std::string_view name) -> std::uint64_t {
+    for (const auto& [n, v] : snap.counters) {
+      if (n == name) return v;
+    }
+    return 0;
+  };
+  w.begin_object();
+  w.key("counters");
+  w.begin_object();
+  for (const char* name : kCounters) w.kv(name, counter_of(name));
+  w.end_object();
+  w.end_object();
+}
+
 void write_perf(json::Writer& w) {
   w.begin_object();
   const bool avail = perf_available();
@@ -353,6 +378,9 @@ bool write_run_report(const std::string& path, const harness::Report& report,
 
   w.key("robust");
   write_robust(w, ctx.denormal_mode);
+
+  w.key("tasks");
+  write_tasks(w);
 
   w.key("perf");
   write_perf(w);

@@ -79,6 +79,7 @@ TuneKey parse_key(const Value& v) {
     k.pinned_schedule = static_cast<int>(s);
   }
   k.pinned_chunks = get_int(v, "pinned_chunks");
+  k.tasks = get_int(v, "tasks");
   k.american = get_bool(v, "american");
   return k;
 }
@@ -90,6 +91,7 @@ DispatchPlan parse_plan(const Value& v) {
   p.schedule = get_schedule(v, "schedule");
   p.chunks_per_thread = get_int(v, "chunks_per_thread");
   if (p.chunks_per_thread < 1) throw std::runtime_error("plan.chunks_per_thread: < 1");
+  p.tasks = get_bool(v, "tasks");
   p.items_per_sec = get_number(v, "items_per_sec");
   p.imbalance = get_number(v, "imbalance");
   return p;
@@ -100,6 +102,7 @@ CandidateResult parse_candidate(const Value& v) {
   c.id = get_string(v, "id");
   c.schedule = get_schedule(v, "schedule");
   c.chunks_per_thread = get_int(v, "chunks_per_thread");
+  c.tasks = get_bool(v, "tasks");
   c.items_per_sec = get_number(v, "items_per_sec");
   c.imbalance = get_number(v, "imbalance");
   c.ok = get_bool(v, "ok");
@@ -123,6 +126,7 @@ void write_key(obs::json::Writer& w, const TuneKey& k) {
            ? std::string_view("none")
            : to_string(static_cast<arch::Schedule>(k.pinned_schedule)));
   w.kv("pinned_chunks", k.pinned_chunks);
+  w.kv("tasks", k.tasks);
   w.kv("american", k.american);
   w.end_object();
 }
@@ -132,6 +136,7 @@ void write_plan(obs::json::Writer& w, const DispatchPlan& p) {
   w.kv("variant", p.variant_id);
   w.kv("schedule", to_string(p.schedule));
   w.kv("chunks_per_thread", p.chunks_per_thread);
+  w.kv("tasks", p.tasks);
   w.kv("items_per_sec", p.items_per_sec);
   w.kv("imbalance", p.imbalance);
   w.end_object();
@@ -338,6 +343,7 @@ bool PlanCache::save_locked(const std::string& path) const {
         w.kv("id", c.id);
         w.kv("schedule", to_string(c.schedule));
         w.kv("chunks_per_thread", c.chunks_per_thread);
+        w.kv("tasks", c.tasks);
         w.kv("items_per_sec", c.items_per_sec);
         w.kv("imbalance", c.imbalance);
         w.kv("ok", c.ok);

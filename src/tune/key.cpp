@@ -94,6 +94,10 @@ std::string TuneKey::to_string() const {
     s += " pinned_chunks=";
     s += std::to_string(pinned_chunks);
   }
+  if (tasks != -1) {
+    s += " tasks=";
+    s += tasks == 1 ? "on" : "off";
+  }
   if (american) s += " american";
   s += "}";
   return s;

@@ -57,7 +57,14 @@ bool satisfies_pins(const TuneKey& key, const CandidateResult& c) {
       c.chunks_per_thread != key.pinned_chunks) {
     return false;
   }
+  if (key.tasks >= 0 && c.tasks != (key.tasks == 1)) return false;
   return true;
+}
+
+// Families whose variants can decompose options into intra-option tasks —
+// the only ones where racing tasks on vs. off can change the answer.
+bool family_has_tasks(std::string_view family) {
+  return family == "binomial" || family == "cn" || family == "mc";
 }
 
 // Best candidate by rate among `cands` passing `pred`, with the imbalance
@@ -96,6 +103,7 @@ TuneKey key_for(const engine::PricingRequest& req, std::string_view family, int 
   k.cn_num_prices = req.cn_num_prices;
   k.pinned_schedule = req.pin_schedule ? static_cast<int>(req.schedule) : -1;
   k.pinned_chunks = req.pin_chunks ? req.chunks_per_thread : 0;
+  k.tasks = static_cast<int>(req.tasks);
   if (req.portfolio.layout == core::Layout::kSpecs) {
     for (const core::OptionSpec& s : req.portfolio.specs) {
       if (s.style == core::ExerciseStyle::kAmerican) {
@@ -143,16 +151,18 @@ RaceReport race(const engine::Engine& eng, const engine::PricingRequest& req,
   // One configuration probe through the real engine path: warm-up (builds
   // the candidate's own Scratch — negotiation, streams, pools) plus
   // best-of-reps on PricingResult::seconds.
-  auto probe = [&](const engine::VariantInfo* v, arch::Schedule sched,
-                   int cpt) -> CandidateResult {
+  auto probe = [&](const engine::VariantInfo* v, arch::Schedule sched, int cpt,
+                   bool tasks) -> CandidateResult {
     CandidateResult c;
     c.id = v->id;
     c.schedule = sched;
     c.chunks_per_thread = cpt;
+    c.tasks = tasks;
     engine::PricingRequest r = req;
     r.kernel_id = v->id;
     r.schedule = sched;
     r.chunks_per_thread = cpt;
+    r.tasks = tasks ? engine::TaskMode::kOn : engine::TaskMode::kOff;
     r.pin_schedule = false;
     r.pin_chunks = false;
     // The race is a warm-up, not the priced run: never inject faults into
@@ -202,8 +212,9 @@ RaceReport race(const engine::Engine& eng, const engine::PricingRequest& req,
                                         ? static_cast<arch::Schedule>(key.pinned_schedule)
                                         : arch::Schedule::kDynamic;
   const int seed_cpt = key.pinned_chunks > 0 ? key.pinned_chunks : 8;
+  const bool seed_tasks = key.tasks == 1;
   for (const engine::VariantInfo* v : candidates) {
-    rep.candidates.push_back(probe(v, seed_sched, seed_cpt));
+    rep.candidates.push_back(probe(v, seed_sched, seed_cpt, seed_tasks));
   }
 
   const CandidateResult* phase1 =
@@ -233,10 +244,25 @@ RaceReport race(const engine::Engine& eng, const engine::PricingRequest& req,
       const bool already =
           std::any_of(rep.candidates.begin(), rep.candidates.end(),
                       [&, s = sched, c = cpt](const CandidateResult& r) {
-                        return r.id == wv->id && r.schedule == s &&
+                        return r.id == wv->id && r.schedule == s && r.tasks == seed_tasks &&
                                (s == arch::Schedule::kStatic || r.chunks_per_thread == c);
                       });
-      if (!already) rep.candidates.push_back(probe(wv, sched, cpt));
+      if (!already) rep.candidates.push_back(probe(wv, sched, cpt, seed_tasks));
+    }
+  }
+
+  // Phase 3 — race the intra-option task mode on the winning configuration
+  // when the caller left it to auto. Only lattice/path families consume the
+  // knob, and a single-participant pool has nobody to steal tasks.
+  if (key.tasks < 0 && key.threads > 1 && family_has_tasks(key.family)) {
+    const CandidateResult* sofar =
+        pick_best(rep.candidates, [](const CandidateResult&) { return true; });
+    if (sofar != nullptr) {
+      const engine::VariantInfo* tv = engine::Registry::instance().find(sofar->id);
+      if (tv != nullptr && tv->run_range != nullptr) {
+        rep.candidates.push_back(
+            probe(tv, sofar->schedule, sofar->chunks_per_thread, !sofar->tasks));
+      }
     }
   }
 
@@ -244,7 +270,7 @@ RaceReport race(const engine::Engine& eng, const engine::PricingRequest& req,
 
   // Winner: best configuration honoring the pins. The unconstrained best
   // across the whole grid prices what the pins cost.
-  const bool pinned = key.pinned_schedule >= 0 || key.pinned_chunks > 0;
+  const bool pinned = key.pinned_schedule >= 0 || key.pinned_chunks > 0 || key.tasks >= 0;
   const CandidateResult* constrained =
       pick_best(rep.candidates, [&](const CandidateResult& c) { return satisfies_pins(key, c); });
   const CandidateResult* unconstrained =
@@ -255,6 +281,7 @@ RaceReport race(const engine::Engine& eng, const engine::PricingRequest& req,
     rep.winner.variant_id = winner->id;
     rep.winner.schedule = winner->schedule;
     rep.winner.chunks_per_thread = winner->chunks_per_thread;
+    rep.winner.tasks = winner->tasks;
     rep.winner.items_per_sec = winner->items_per_sec;
     rep.winner.imbalance = winner->imbalance;
     if (pinned && constrained != nullptr && unconstrained != nullptr &&

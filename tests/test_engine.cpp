@@ -50,18 +50,19 @@ TEST(Registry, HasTheFullVariantCatalog) {
 TEST(Registry, IdsAreWellFormedAndMetadataIsComplete) {
   for (const engine::VariantInfo* v : Registry::instance().all()) {
     // id = "<kernel>.<variant>.<scalar|avx2|auto>". The register-tiled
-    // blocked family spells its kernel out ("blackscholes.blocked.*",
-    // "blackscholes.blocked_fused.*") and uses the suffix for its lane
-    // count (4/8 DP, 8f/16f SP).
+    // blocked families use the suffix for their lane count instead
+    // (4/8 DP, 8f/16f SP), and the Black–Scholes one additionally spells
+    // its kernel out ("blackscholes.blocked.*", "blackscholes.blocked_fused.*").
     EXPECT_EQ(std::count(v->id.begin(), v->id.end(), '.'), 2) << v->id;
     const bool blocked_bs =
         v->kernel == "bs" && (v->id.rfind("blackscholes.blocked.", 0) == 0 ||
                               v->id.rfind("blackscholes.blocked_fused.", 0) == 0);
+    const bool blocked = blocked_bs || v->id.rfind("binomial.blocked.", 0) == 0;
     if (!blocked_bs) EXPECT_EQ(v->id.rfind(v->kernel + ".", 0), 0u) << v->id;
     const std::string suffix = v->id.substr(v->id.rfind('.') + 1);
     EXPECT_TRUE(suffix == "scalar" || suffix == "avx2" || suffix == "auto" ||
-                (blocked_bs && (suffix == "4" || suffix == "8" || suffix == "8f" ||
-                                suffix == "16f")))
+                (blocked && (suffix == "4" || suffix == "8" || suffix == "8f" ||
+                             suffix == "16f")))
         << v->id;
     EXPECT_NE(v->run_batch, nullptr) << v->id;
     EXPECT_FALSE(v->description.empty()) << v->id;

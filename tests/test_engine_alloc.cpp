@@ -185,6 +185,35 @@ TEST(EngineAlloc, BinomialLatticeScratchIsPooledAfterWarmup) {
   }
 }
 
+// The nested fork-join layer must preserve the guarantee: deep European
+// options decomposing into banded segment tasks lease their per-task work
+// rows from the same pooled lattice slots, TaskGroup keeps its closures
+// in fixed inline storage, and the pool's task queue is intrusive — so a
+// tasked mixed-expiry batch is as allocation-free as a flat one.
+TEST(EngineAlloc, TaskedMixedExpiryBinomialIsAllocationFree) {
+  const auto workload = core::make_option_workload(48, 11);  // European
+  PricingRequest req;
+  req.kernel_id = "binomial.advanced.auto";
+  req.portfolio = core::view_of(std::span<const core::OptionSpec>(workload));
+  req.steps_per_year = 512;  // years up to 3.0: depths cross kMinTaskSteps
+  req.tasks = engine::TaskMode::kOn;
+  req.chunks_per_thread = 3;
+
+  engine::ThreadPool pool(4);
+  Engine eng(&pool);
+  PricingResult res;
+  eng.price(req, res);  // warm-up: lattice pool, chunk bounds, task counters
+  eng.price(req, res);  // second warm-up: result buffers at capacity
+  ASSERT_TRUE(res.ok) << res.error;
+
+  const std::size_t allocs = allocations_during([&] {
+    for (int rep = 0; rep < 10; ++rep) eng.price(req, res);
+  });
+  ASSERT_TRUE(res.ok) << res.error;
+  ASSERT_EQ(res.values.size(), workload.size());
+  EXPECT_EQ(allocs, 0u) << "steady-state tasked binomial pricing allocated";
+}
+
 TEST(EngineAlloc, MonteCarloComputedRngScratchIsPooledAfterWarmup) {
   const auto workload = core::make_option_workload(48, 13);
   PricingRequest req;

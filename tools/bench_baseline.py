@@ -4,7 +4,8 @@
 Usage:
     bench_baseline.py [--binary build/bench/fig4_blackscholes]
                       [--out BENCH_pr5.json] [--nopt N] [--reps R]
-                      [--quick] [--assert-blocked] [--assert-serve]
+                      [--threads T] [--quick]
+                      [--assert-blocked] [--assert-serve] [--assert-lattice]
 
 Runs the exhibit binary with `--json`, validates the report against the
 finbench.run_report/v2 schema (via validate_report_json.py, same
@@ -17,6 +18,16 @@ check robust on noisy shared CI hosts). The v2 per-repetition latency
 histograms ride along in the captured report; the summary line prints the
 blocked row's p50/p99 so tail behaviour is recorded next to the best-of
 throughput.
+
+With --assert-lattice (run against build/bench/lattice_tasks) it enforces
+the nested fork-join gate: the exhibit's shape checks — segment tasks
+actually spawned, tasking beats flat chunking on rep p99, and the blocked
+SIMD binomial family beats the spec-gather path — must all pass (any
+failed check already fails the run), and the captured report must carry
+populated `bench.rep.seconds` histograms for both the flat and tasked
+measurements plus a `tasks` object with a non-zero engine.tasks.spawned
+counter. Pass --threads so the p99 gate runs against a real pool (on a
+single-hardware-thread host the exhibit reports it as vacuous).
 
 With --assert-serve (run against build/bench/serve_latency) it enforces
 the serve gate instead: the exhibit's "coalescing does not worsen p99 at
@@ -46,6 +57,14 @@ BLOCKED_HIST = 'bench.rep.seconds{label="bs.blocked_conv"}'
 SERVE_CHECK = "coalescing does not worsen p99 at the highest offered load"
 SERVE_HIST_PREFIX = "serve.request.seconds{"
 
+LATTICE_CHECKS = [
+    "nested fork-join engaged (segment tasks spawned)",
+    "tasking beats flat chunking on rep p99 (<= 1.10x slack)",
+    "binomial.blocked.{4,8} beats the spec-gather path",
+]
+LATTICE_HISTS = ['bench.rep.seconds{label="lattice.flat"}',
+                 'bench.rep.seconds{label="lattice.tasks"}']
+
 
 def find_row(report, label):
     for row in report.get("rows", []):
@@ -69,6 +88,10 @@ def main():
                     help="enforce the blocked-vs-SOA incl.-conversion gate")
     ap.add_argument("--assert-serve", action="store_true",
                     help="enforce the serve_latency coalescing-p99 gate")
+    ap.add_argument("--assert-lattice", action="store_true",
+                    help="enforce the lattice_tasks fork-join + blocked-family gates")
+    ap.add_argument("--threads", type=int, default=0,
+                    help="thread count passed to the exhibit (0: its default)")
     ap.add_argument("--quick", action="store_true",
                     help="pass --quick to the exhibit (CI problem sizes)")
     args = ap.parse_args()
@@ -82,6 +105,8 @@ def main():
            "--json", str(out)]
     if args.quick:
         cmd.append("--quick")
+    if args.threads > 0:
+        cmd += ["--threads", str(args.threads)]
     print("bench_baseline: running", " ".join(cmd), flush=True)
     run = subprocess.run(cmd)
     if run.returncode != 0:
@@ -126,6 +151,29 @@ def main():
         print(f"bench_baseline: blocked incl. conversion rep latency: "
               f"p50 = {1e3 * hist['p50']:.2f} ms, p99 = {1e3 * hist['p99']:.2f} ms "
               f"over {hist['count']} reps")
+
+    if args.assert_lattice:
+        names = [c.get("name") for c in report.get("checks", [])]
+        for want in LATTICE_CHECKS:
+            if want not in names:
+                sys.exit(f"bench_baseline: report is missing the {want!r} "
+                         "shape check (wrong binary?)")
+        hists = report.get("histograms", {})
+        p99s = {}
+        for key in LATTICE_HISTS:
+            h = hists.get(key)
+            if h is None or h.get("count", 0) < args.reps:
+                sys.exit(f"bench_baseline: report has no populated {key!r} "
+                         "histogram (per-rep latency recording broken?)")
+            p99s[key] = h["p99"]
+            print(f"bench_baseline: {key}: p50 = {1e3 * h['p50']:.2f} ms, "
+                  f"p99 = {1e3 * h['p99']:.2f} ms over {h['count']} reps")
+        spawned = report.get("tasks", {}).get("counters", {}).get(
+            "engine.tasks.spawned", 0)
+        if spawned <= 0:
+            sys.exit("bench_baseline: report's tasks.counters shows no spawned "
+                     "tasks — the fork-join layer never engaged")
+        print(f"bench_baseline: engine.tasks.spawned = {spawned}")
 
     if args.assert_serve:
         if not any(c.get("name") == SERVE_CHECK for c in report.get("checks", [])):

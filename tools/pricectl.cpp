@@ -383,6 +383,15 @@ int main(int argc, char** argv) {
     } else if (!std::strcmp(argv[i], "--chunks")) {
       req.chunks_per_thread = static_cast<int>(next(req.chunks_per_thread));
       req.pin_chunks = true;
+    } else if (!std::strcmp(argv[i], "--tasks") && i + 1 < argc) {
+      const std::string t = argv[++i];
+      if (t == "on") req.tasks = engine::TaskMode::kOn;
+      else if (t == "off") req.tasks = engine::TaskMode::kOff;
+      else if (t == "auto") req.tasks = engine::TaskMode::kAuto;
+      else {
+        std::fprintf(stderr, "pricectl: --tasks takes on, off, or auto\n");
+        return 2;
+      }
     } else if (!std::strcmp(argv[i], "--auto")) {
       auto_mode = true;
     } else if (!std::strcmp(argv[i], "--tune")) {
@@ -488,7 +497,7 @@ int main(int argc, char** argv) {
                  "               [--auto] [--tune] [--explain] [--tune-cache PATH]\n"
                  "               [--layout aos|soa|blocked|auto] [--schedule dynamic|static]\n"
                  "               [--chunks N] [--steps N] [--npath N] [--prices N] [--depth N]\n"
-                 "               [--seed N] [--spy N] [--reps N] [--threads N]\n"
+                 "               [--seed N] [--spy N] [--reps N] [--threads N] [--tasks on|off|auto]\n"
                  "               [--csv PATH] [--trace PATH]\n"
                  "               [--sanitize off|reject|clamp|skip] [--guard off|finite|full]\n"
                  "               [--deadline-ms N] [--inject SPEC]\n"
@@ -732,6 +741,21 @@ int main(int argc, char** argv) {
                                                   ? "dynamic (ticket self-scheduling)"
                                                   : "static (equal-count stripes)") +
                   (last.tuned && !req.pin_schedule ? " [tuned]" : ""));
+  // Intra-option fork-join provenance: the requested mode plus whatever the
+  // nested task layer actually did (the run report's `tasks` object carries
+  // the same counters in machine form).
+  {
+    std::string tnote = std::string("tasks = ") +
+                        (req.tasks == engine::TaskMode::kOn    ? "on"
+                         : req.tasks == engine::TaskMode::kOff ? "off"
+                                                               : "auto");
+    for (const auto& [name, c] : obs::snapshot_metrics().counters) {
+      if (name.rfind("engine.tasks.", 0) == 0) {
+        tnote += ", " + name.substr(sizeof("engine.") - 1) + " = " + std::to_string(c);
+      }
+    }
+    report.add_note(tnote);
+  }
   // Robustness provenance: what policies ran and what they had to do.
   // The run report's `robust` object carries the obs counters; these notes
   // are the human-readable summary of the same run.

@@ -37,6 +37,7 @@ REPORT_REQUIRED = {
     "metrics": dict,
     "histograms": dict,
     "robust": dict,
+    "tasks": dict,
     "perf": dict,
     "trace": dict,
 }
@@ -66,6 +67,14 @@ ROBUST_COUNTERS = [
     "robust.admission.shed",
     "robust.admission.shed_queue_full", "robust.admission.shed_bytes",
     "pool.exceptions.suppressed",
+]
+
+# The tasks object mirrors the robust schema: the nested fork-join layer's
+# counters are always present, zero when tasking never fired.
+TASK_COUNTERS = [
+    "engine.tasks.spawned",
+    "engine.tasks.steals",
+    "engine.tasks.depth",
 ]
 
 
@@ -137,6 +146,15 @@ def validate_report(path):
             fail(f"{path}: robust.counters missing '{key}'")
         if not isinstance(robust["counters"][key], int) or robust["counters"][key] < 0:
             fail(f"{path}: robust.counters['{key}'] should be a non-negative integer")
+
+    tasks = doc["tasks"]
+    if "counters" not in tasks:
+        fail(f"{path}: tasks missing 'counters'")
+    for key in TASK_COUNTERS:
+        if key not in tasks["counters"]:
+            fail(f"{path}: tasks.counters missing '{key}'")
+        if not isinstance(tasks["counters"][key], int) or tasks["counters"][key] < 0:
+            fail(f"{path}: tasks.counters['{key}'] should be a non-negative integer")
 
     if "available" not in doc["perf"]:
         fail(f"{path}: perf missing 'available'")
